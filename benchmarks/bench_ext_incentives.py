@@ -1,0 +1,98 @@
+"""Extension benchmarks: partial participation and lingering seeds.
+
+The paper's conclusion flags both as future work -- Akamai-style partial
+participation ("as little as 30 % of its users participate") and caching
+schemes.  These benches sweep each knob through the simulator and check
+the semi-closed forms in :mod:`repro.core.extensions` against it.
+"""
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core import VALANCIUS
+from repro.core.extensions import (
+    energy_savings_extended,
+    offload_fraction_with_linger,
+    offload_fraction_with_participation,
+)
+from repro.experiments.config import city_trace
+from repro.sim.engine import SimulationConfig, Simulator
+
+
+def test_participation_sweep(benchmark, settings, report_sink):
+    """Savings vs participation rate (the Akamai 30 % reality check)."""
+    trace = city_trace(settings)
+    rates = (0.1, 0.3, 0.5, 1.0)
+
+    def run_sweep():
+        return {
+            rate: Simulator(
+                SimulationConfig(upload_ratio=1.0, participation_rate=rate)
+            ).run(trace)
+            for rate in rates
+        }
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    previous = -1.0
+    for rate in rates:
+        result = results[rate]
+        s = result.savings(VALANCIUS)
+        assert s >= previous  # more participation, more savings
+        previous = s
+        rows.append([f"{rate:.0%}", f"{result.offload_fraction():.4f}", f"{s:.4f}"])
+    # At Akamai's 30 %, savings survive but are a fraction of the ideal.
+    assert results[0.3].savings(VALANCIUS) < results[1.0].savings(VALANCIUS)
+    assert results[0.3].savings(VALANCIUS) > 0.0
+    report_sink(
+        "Extension: participation rate",
+        render_table(["participation", "offload G", "S (valancius)"], rows),
+    )
+
+
+def test_linger_sweep(benchmark, settings, report_sink):
+    """Savings vs post-viewing seeding time (the caching extension)."""
+    trace = city_trace(settings)
+    mean_duration = trace.total_watch_seconds() / max(len(trace), 1)
+    lingers = (0.0, 0.5, 2.0)
+
+    def run_sweep():
+        return {
+            ratio: Simulator(
+                SimulationConfig(
+                    upload_ratio=1.0, seed_linger_seconds=ratio * mean_duration
+                )
+            ).run(trace)
+            for ratio in lingers
+        }
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    previous = -1.0
+    for ratio in lingers:
+        result = results[ratio]
+        s = result.savings(VALANCIUS)
+        assert s >= previous  # longer caching, more savings
+        previous = s
+        rows.append([f"{ratio:.1f} x mean session", f"{result.offload_fraction():.4f}", f"{s:.4f}"])
+    report_sink(
+        "Extension: lingering seeds (caching)",
+        render_table(["linger time", "offload G", "S (valancius)"], rows),
+    )
+
+
+def test_extension_closed_forms(benchmark):
+    """The semi-closed forms evaluate fast enough for planning sweeps."""
+
+    def sweep():
+        out = []
+        for c in (0.5, 2.0, 10.0, 50.0):
+            out.append(offload_fraction_with_participation(c, 0.3))
+            out.append(offload_fraction_with_linger(c, 1.0, upload_ratio=0.5))
+            out.append(energy_savings_extended(c, VALANCIUS, linger_ratio=1.0))
+        return out
+
+    values = benchmark(sweep)
+    assert all(-1.0 <= v <= 1.0 for v in values)

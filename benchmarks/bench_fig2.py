@@ -1,0 +1,38 @@
+"""Benchmark regenerating Fig. 2: savings vs capacity, theory vs sim.
+
+Asserts the figure's qualitative content: savings grow with popularity
+tier, with the q/beta ratio, and the Eq. 12 curve tracks the simulated
+dots.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+
+
+def test_fig2_savings_vs_capacity(benchmark, settings, report_sink):
+    report = benchmark.pedantic(
+        run_experiment, args=("fig2", settings), rounds=1, iterations=1
+    )
+    data = report.data
+
+    for model in ("valancius", "baliga"):
+        # Popularity ordering (paper: left column >> right column).
+        popular = data[f"{model}/tier-popular/1.0"]["sim_mean"]
+        medium = data[f"{model}/tier-medium/1.0"]["sim_mean"]
+        unpopular = data[f"{model}/tier-unpopular/1.0"]["sim_mean"]
+        assert popular > medium > unpopular
+
+        # Upload-ratio ordering within the popular tier.
+        ratios = [data[f"{model}/tier-popular/{r}"]["sim_mean"] for r in (0.2, 0.6, 1.0)]
+        assert ratios == sorted(ratios)
+
+        # Theory tracks simulation (the paper's "good agreement").
+        assert data[f"{model}/tier-popular/1.0"]["mae"] < 0.1
+
+    # Valancius sits above Baliga at every tier (paper rows).
+    assert (
+        data["valancius/tier-popular/1.0"]["sim_mean"]
+        > data["baliga/tier-popular/1.0"]["sim_mean"]
+    )
+    report_sink("Fig. 2", report.render())

@@ -1,0 +1,24 @@
+"""Benchmark regenerating Fig. 3: per-swarm capacity and savings CCDFs."""
+
+from repro.experiments.config import paper_simulation
+from repro.experiments.runner import run_experiment
+
+
+def test_fig3_catalogue_distributions(benchmark, settings, report_sink):
+    paper_simulation(settings)  # warm the shared simulation cache
+    report = benchmark.pedantic(
+        run_experiment, args=("fig3", settings), rounds=1, iterations=1
+    )
+
+    # Heavy tail: the busiest swarm dwarfs the median (paper Fig. 3 left).
+    capacity = report.data["capacity"]
+    assert capacity["max"] > 10 * capacity["median"]
+
+    # Savings skew: median item saves a sliver, the head saves a lot
+    # (paper: median ~2 %, top-1 % capture 21-33 % of saved energy).
+    for model in ("valancius", "baliga"):
+        stats = report.data[model]
+        assert stats["median_item_savings"] < 0.1
+        assert stats["top1pct_share_of_savings"] > 0.05
+        assert stats["max_item_savings"] > stats["median_item_savings"]
+    report_sink("Fig. 3", report.render())

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Fig. 4: daily aggregate savings per ISP."""
+
+from repro.experiments.config import paper_simulation
+from repro.experiments.runner import run_experiment
+
+
+def test_fig4_daily_savings(benchmark, settings, report_sink):
+    paper_simulation(settings)  # warm the shared simulation cache
+    report = benchmark.pedantic(
+        run_experiment, args=("fig4", settings), rounds=1, iterations=1
+    )
+    data = report.data
+
+    for model in ("valancius", "baliga"):
+        # ISP ordering: bigger subscriber share, denser swarms, more
+        # savings (paper: ISP-1 on top).
+        assert data[f"{model}/ISP-1"]["mean_sim"] > data[f"{model}/ISP-5"]["mean_sim"]
+        # Theory tracks the daily simulated series.
+        assert data[f"{model}/ISP-1"]["mae"] < 0.05
+
+    # Valancius above Baliga day by day (the paper's two panels).
+    assert data["valancius/ISP-1"]["mean_sim"] > data["baliga/ISP-1"]["mean_sim"]
+
+    # Density extrapolation reaches the paper's headline band
+    # (~30 % Valancius / ~18 % Baliga for the biggest ISP).
+    assert 0.15 < data["extrapolated/valancius"] < 0.50
+    assert 0.10 < data["extrapolated/baliga"] < 0.35
+    report_sink("Fig. 4", report.render())

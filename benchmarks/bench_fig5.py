@@ -1,0 +1,29 @@
+"""Benchmark regenerating Fig. 5: savings decomposition vs capacity."""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+
+
+def test_fig5_savings_decomposition(benchmark, settings, report_sink):
+    report = benchmark(run_experiment, "fig5", settings)
+    data = report.data
+
+    for model in ("valancius", "baliga"):
+        series = data[model]["series"]
+        # CDN savings rise towards 1; user savings mirror them to -1.
+        assert series["CDN"][-1][1] == pytest.approx(1.0, abs=0.01)
+        assert series["User"][-1][1] == pytest.approx(-1.0, abs=0.01)
+        # CC transfer starts at -1 (nobody shares) and ends positive.
+        assert series["CC Transfer"][0][1] == pytest.approx(-1.0, abs=0.01)
+        assert series["CC Transfer"][-1][1] > 0.0
+        # End-to-end savings are monotone increasing in capacity.
+        values = [s for _, s in series["End-to-End"]]
+        assert values == sorted(values)
+
+    # Asymptotes: +18 % (Valancius) / +58 % (Baliga), paper Section V.
+    assert data["valancius"]["asymptotic_cct"] == pytest.approx(0.18, abs=0.01)
+    assert data["baliga"]["asymptotic_cct"] == pytest.approx(0.58, abs=0.01)
+    # Baliga's richer credit crosses zero at a smaller swarm.
+    assert data["baliga"]["neutral_capacity"] < data["valancius"]["neutral_capacity"]
+    report_sink("Fig. 5", report.render())

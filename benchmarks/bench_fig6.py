@@ -1,0 +1,23 @@
+"""Benchmark regenerating Fig. 6: per-user carbon credit transfer CDF."""
+
+from repro.experiments.config import paper_simulation
+from repro.experiments.runner import run_experiment
+
+
+def test_fig6_per_user_cct(benchmark, settings, report_sink):
+    paper_simulation(settings)  # warm the shared simulation cache
+    report = benchmark.pedantic(
+        run_experiment, args=("fig6", settings), rounds=1, iterations=1
+    )
+    data = report.data
+
+    # Baliga's curve sits right of Valancius' (paper: >70 % vs ~41 %
+    # carbon positive at full density; the ordering is scale-free).
+    assert (
+        data["baliga"]["carbon_positive_share"]
+        >= data["valancius"]["carbon_positive_share"]
+    )
+    for model in ("valancius", "baliga"):
+        assert data[model]["median_cct"] >= -1.0
+        assert data[model]["mean_cct"] >= -1.0
+    report_sink("Fig. 6", report.render())

@@ -1,0 +1,46 @@
+"""Throughput benchmarks of the two computational substrates.
+
+Not a paper artefact -- these measure the cost of the machinery itself
+(sessions generated per second, sessions simulated per second and the
+closed-form evaluation rate), so regressions in the engine show up
+directly.
+"""
+
+import pytest
+
+from repro.core import SavingsModel, VALANCIUS
+from repro.sim.engine import SimulationConfig, Simulator
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+
+_CONFIG = GeneratorConfig(
+    num_users=2_000, num_items=150, days=3, expected_sessions=15_000, seed=5
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return TraceGenerator(config=_CONFIG).generate()
+
+
+def test_trace_generation_throughput(benchmark):
+    trace = benchmark.pedantic(
+        lambda: TraceGenerator(config=_CONFIG).generate(), rounds=3, iterations=1
+    )
+    assert len(trace) > 10_000
+
+
+def test_simulation_throughput(benchmark, trace):
+    simulator = Simulator(SimulationConfig(upload_ratio=1.0))
+    result = benchmark.pedantic(lambda: simulator.run(trace), rounds=3, iterations=1)
+    assert result.total.demanded_bits > 0
+
+
+def test_master_equation_evaluation_rate(benchmark):
+    model = SavingsModel(VALANCIUS)
+    grid = [10 ** (-3 + 7 * i / 499) for i in range(500)]
+
+    def sweep():
+        return [model.savings(c) for c in grid]
+
+    values = benchmark(sweep)
+    assert len(values) == 500

@@ -1,0 +1,37 @@
+"""Benchmarks regenerating the paper's Tables I, III and IV."""
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+
+
+def test_table1_dataset_description(benchmark, settings, report_sink):
+    """Table I: generate two synthetic months and summarise them."""
+    report = benchmark.pedantic(
+        run_experiment, args=("table1", settings), rounds=1, iterations=1
+    )
+    stats = report.data["stats"]
+    # Two months, the later one slightly busier (paper: 3.3M -> 3.6M users).
+    assert stats["Jul 2014"]["users"] > stats["Sep 2013"]["users"]
+    assert stats["Sep 2013"]["sessions"] > 0
+    report_sink("Table I", report.render())
+
+
+def test_table3_localisation_probabilities(benchmark, settings, report_sink):
+    """Table III: the 345/9/1 hierarchy's localisation probabilities."""
+    report = benchmark(run_experiment, "table3", settings)
+    rows = {row["layer"]: row["probability"] for row in report.data["rows"]}
+    assert rows["Exchange Point"] == pytest.approx(0.0029, abs=1e-4)
+    assert rows["Point of Presence"] == pytest.approx(0.1111, abs=1e-4)
+    assert rows["Core Router"] == 1.0
+    report_sink("Table III", report.render())
+
+
+def test_table4_energy_parameters(benchmark, settings, report_sink):
+    """Table IV: both energy parameter sets, with the hop-count check."""
+    report = benchmark(run_experiment, "table4", settings)
+    models = report.data["models"]
+    assert models["valancius"]["gamma_server"] == pytest.approx(211.1)
+    assert models["valancius"]["gamma_cdn_network"] == pytest.approx(7 * 150.0)
+    assert models["baliga"]["gamma_core"] == pytest.approx(245.74)
+    report_sink("Table IV", report.render())

@@ -1,0 +1,20 @@
+"""Benchmark: the simulator-vs-theory validation sweep.
+
+The paper's Fig. 2/4 claim -- Eq. 12 matches the simulation -- as a
+single timed, asserted artefact.  Runs under stationary (M/M/inf)
+conditions where the agreement should be tight.
+"""
+
+from repro.sim.validation import validate_against_theory
+
+
+def test_simulator_validates_master_equation(benchmark, report_sink):
+    report = benchmark.pedantic(
+        lambda: validate_against_theory(
+            capacities=(1.0, 3.0, 8.0), upload_ratios=(0.4, 1.0), days=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.passes(offload_tol=0.03, savings_tol=0.03)
+    report_sink("Validation: Eq. 3 / Eq. 12 vs simulation", report.render())

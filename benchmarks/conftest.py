@@ -1,0 +1,52 @@
+"""Benchmark harness plumbing.
+
+Each benchmark registers the report it reproduced via the
+``report_sink`` fixture; everything collected is printed in the pytest
+terminal summary, so ``pytest benchmarks/ --benchmark-only`` shows the
+paper's tables and figure series alongside the timing table.
+
+Scale knobs (environment variables):
+
+* ``CONSUME_LOCAL_BENCH_SCALE`` -- trace scale factor (default 0.05;
+  1.0 reproduces the headline EXPERIMENTS.md numbers but takes minutes).
+* ``CONSUME_LOCAL_BENCH_DAYS`` -- trace days (default 7).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import pytest
+
+from repro.experiments.config import ExperimentSettings
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+def bench_settings() -> ExperimentSettings:
+    """The shared settings every benchmark runs at."""
+    scale = float(os.environ.get("CONSUME_LOCAL_BENCH_SCALE", "0.05"))
+    days = int(os.environ.get("CONSUME_LOCAL_BENCH_DAYS", "7"))
+    return ExperimentSettings(scale=scale, days=days)
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return bench_settings()
+
+
+@pytest.fixture
+def report_sink():
+    """Register a rendered report for the terminal summary."""
+
+    def sink(name: str, text: str) -> None:
+        _REPORTS.append((name, text))
+
+    return sink
+
+
+def pytest_terminal_summary(terminalreporter) -> None:
+    for name, text in _REPORTS:
+        terminalreporter.write_sep("=", f"reproduced artefact: {name}")
+        terminalreporter.write_line(text)

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""A catch-up TV platform deciding whether to deploy peer assistance.
+
+Scenario: an iPlayer-like broadcaster streams a Zipf catalogue to a
+multi-ISP city and wants to know, before touching any client code,
+
+* how much greener hybrid delivery would make the whole platform,
+* which content actually produces the savings (spoiler: the head),
+* how savings move through the week (demand is diurnal and weekly).
+
+Run:  python examples/catchup_tv_platform.py  [--scale 0.5]
+"""
+
+import argparse
+
+from repro.analysis import (
+    median_item_savings,
+    render_table,
+    top_share_of_savings,
+)
+from repro.core import BALIGA, VALANCIUS
+from repro.sim import SimulationConfig, simulate
+from repro.trace import GeneratorConfig, TraceGenerator, summarise
+from repro.trace.population import DeviceProfile
+
+
+def build_platform_trace(scale: float):
+    """One simulated week of a mid-sized national streaming platform."""
+    config = GeneratorConfig(
+        num_users=int(20_000 * scale),
+        num_items=300,
+        days=7,
+        expected_sessions=220_000 * scale,
+        zipf_exponent=0.9,
+        seed=2018,
+    )
+    device_mix = (
+        DeviceProfile("desktop", bitrate=1.5e6, share=0.7),
+        DeviceProfile("tv", bitrate=3.0e6, share=0.3),
+    )
+    return TraceGenerator(config=config, device_mix=device_mix).generate()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25, help="workload size")
+    args = parser.parse_args()
+
+    trace = build_platform_trace(args.scale)
+    stats = summarise(trace)
+    print("Platform week:")
+    for label, value in stats.table_rows():
+        print(f"  {label}: {value}")
+
+    result = simulate(trace, SimulationConfig(upload_ratio=1.0))
+
+    print("\nPlatform-wide outcome of enabling peer assistance:")
+    rows = []
+    for energy in (VALANCIUS, BALIGA):
+        rows.append(
+            [
+                energy.name,
+                f"{result.savings(energy):.1%}",
+                f"{median_item_savings(result, energy):.2%}",
+                f"{top_share_of_savings(result, energy, 0.01):.0%}",
+            ]
+        )
+    print(
+        render_table(
+            ["energy model", "system savings", "median item savings", "top-1% share"],
+            rows,
+        )
+    )
+
+    print("\nWhere the savings live (top 5 items by saved energy):")
+    per_content = result.per_content_results()
+    ranked = sorted(per_content.values(), key=lambda r: r.capacity, reverse=True)
+    rows = [
+        [
+            r.key.content_id,
+            round(r.capacity, 1),
+            r.ledger.sessions,
+            f"{r.savings(VALANCIUS):.1%}",
+        ]
+        for r in ranked[:5]
+    ]
+    print(render_table(["item", "capacity", "sessions", "savings (Valancius)"], rows))
+
+    print("\nDay-by-day (largest ISP, Valancius):")
+    rows = [
+        [f"day {day}", f"{s:.1%}"]
+        for day, s in result.daily_savings("ISP-1", VALANCIUS)
+    ]
+    print(render_table(["day", "savings"], rows))
+    weekend = [s for d, s in result.daily_savings("ISP-1", VALANCIUS) if d % 7 >= 5]
+    weekday = [s for d, s in result.daily_savings("ISP-1", VALANCIUS) if d % 7 < 5]
+    if weekend and weekday:
+        print(
+            f"\nweekend mean {sum(weekend)/len(weekend):.1%} vs "
+            f"weekday mean {sum(weekday)/len(weekday):.1%} -- busier days "
+            "mean denser swarms mean greener delivery."
+        )
+
+
+if __name__ == "__main__":
+    main()

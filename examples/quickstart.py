@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's model in ten lines, then a tiny simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import BALIGA, SavingsModel, VALANCIUS
+from repro.sim import SimulationConfig, simulate
+from repro.trace import GeneratorConfig, TraceGenerator
+
+
+def analytical_tour() -> None:
+    """The closed-form model (paper Section III & V)."""
+    print("=== Analytical model ===")
+    for energy in (VALANCIUS, BALIGA):
+        model = SavingsModel(energy)
+        print(f"\n{energy.name} parameters:")
+        for capacity in (0.1, 1, 10, 100, 10_000):
+            print(
+                f"  swarm capacity {capacity:>7,}: "
+                f"offload G = {model.offload_fraction(capacity):5.1%}, "
+                f"energy savings S = {model.savings(capacity):6.1%}, "
+                f"user CCT = {model.carbon_credit_transfer(capacity):+6.1%}"
+            )
+        print(
+            f"  users turn carbon neutral at capacity ~"
+            f"{model.neutrality_capacity():.1f}; at full offload they are "
+            f"carbon positive by {model.asymptotic_carbon_positivity():.0%}"
+        )
+
+
+def simulated_tour() -> None:
+    """A small synthetic workload through the trace-driven simulator."""
+    print("\n=== Trace-driven simulation ===")
+    config = GeneratorConfig(
+        num_users=2_000,
+        num_items=150,
+        days=3,
+        expected_sessions=15_000,
+        seed=7,
+    )
+    trace = TraceGenerator(config=config).generate()
+    print(f"generated {len(trace):,} sessions over {trace.num_days} days")
+
+    result = simulate(trace, SimulationConfig(upload_ratio=1.0))
+    print(f"traffic offloaded to peers: {result.offload_fraction():.1%}")
+    for energy in (VALANCIUS, BALIGA):
+        print(
+            f"  {energy.name:>10}: system savings {result.savings(energy):6.2%}, "
+            f"carbon-positive users {result.carbon_positive_share(energy):5.1%}"
+        )
+
+    top = max(result.per_content_results().values(), key=lambda r: r.capacity)
+    print(
+        f"busiest item: {top.key.content_id} "
+        f"(capacity {top.capacity:.1f} concurrent viewers, "
+        f"savings {top.savings(VALANCIUS):.1%} under Valancius)"
+    )
+
+
+if __name__ == "__main__":
+    analytical_tour()
+    simulated_tour()

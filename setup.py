@@ -1,0 +1,10 @@
+"""Legacy installer shim.
+
+All metadata lives in pyproject.toml (PEP 621).  This file exists only so
+that ``pip install -e .`` works in offline environments without the
+``wheel`` package, via setuptools' legacy develop-mode code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""consume-local: reproduction of "Consume Local: Towards Carbon Free
+Content Delivery" (Raman et al., IEEE ICDCS 2018).
+
+The package has five layers, bottom-up:
+
+* :mod:`repro.topology` -- the ISP metropolitan tree substrate,
+* :mod:`repro.trace` -- the workload substrate (synthetic stand-in for
+  the proprietary BBC iPlayer trace),
+* :mod:`repro.core` -- the paper's analytical model (Eqs. 1-13),
+* :mod:`repro.sim` -- the discrete time-step hybrid-CDN simulator,
+* :mod:`repro.experiments` -- drivers reproducing every table and figure.
+
+Quickstart::
+
+    from repro.core import SavingsModel, VALANCIUS
+
+    model = SavingsModel(VALANCIUS)
+    model.savings(capacity=100)   # end-to-end energy savings, Eq. 12
+"""
+
+from repro.core import (
+    BALIGA,
+    EnergyModel,
+    LayerProbabilities,
+    LONDON_LAYERS,
+    SavingsModel,
+    VALANCIUS,
+    carbon_credit_transfer,
+    energy_savings,
+    offload_fraction,
+)
+from repro.sim import SimulationConfig, Simulator, simulate
+from repro.trace import GeneratorConfig, Trace, TraceGenerator, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BALIGA",
+    "EnergyModel",
+    "GeneratorConfig",
+    "LONDON_LAYERS",
+    "LayerProbabilities",
+    "SavingsModel",
+    "SimulationConfig",
+    "Simulator",
+    "Trace",
+    "TraceGenerator",
+    "VALANCIUS",
+    "__version__",
+    "carbon_credit_transfer",
+    "energy_savings",
+    "generate_trace",
+    "offload_fraction",
+    "simulate",
+]

@@ -1,0 +1,35 @@
+"""Analysis toolkit: distributions, aggregates, theory-vs-sim comparison,
+and terminal rendering for the experiment reports."""
+
+from repro.analysis.aggregates import (
+    daily_theory_savings,
+    median_item_savings,
+    per_item_savings,
+    top_share_of_savings,
+    weighted_theory_savings,
+)
+from repro.analysis.comparison import ComparisonRow, ComparisonSummary, compare_series
+from repro.analysis.distributions import (
+    EmpiricalDistribution,
+    ccdf_points,
+    ecdf_points,
+)
+from repro.analysis.plots import ascii_chart
+from repro.analysis.tables import format_value, render_table
+
+__all__ = [
+    "ComparisonRow",
+    "ComparisonSummary",
+    "EmpiricalDistribution",
+    "ascii_chart",
+    "ccdf_points",
+    "compare_series",
+    "daily_theory_savings",
+    "ecdf_points",
+    "format_value",
+    "median_item_savings",
+    "per_item_savings",
+    "render_table",
+    "top_share_of_savings",
+    "weighted_theory_savings",
+]

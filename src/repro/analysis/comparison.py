@@ -1,0 +1,96 @@
+"""Theory-vs-simulation comparison (the paper's Fig. 2/4 overlay claim).
+
+The paper validates Eq. 12 by overlaying theoretical curves on simulated
+points and noting they are "generally in good agreement".  This module
+makes that claim quantitative: paired rows and summary error metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["ComparisonRow", "ComparisonSummary", "compare_series"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paired observation.
+
+    Attributes:
+        x: the shared abscissa (capacity, day, ...).
+        simulated: the simulated value.
+        theoretical: the model's prediction at the same ``x``.
+    """
+
+    x: float
+    simulated: float
+    theoretical: float
+
+    @property
+    def error(self) -> float:
+        """Signed difference, simulated minus theoretical."""
+        return self.simulated - self.theoretical
+
+    @property
+    def absolute_error(self) -> float:
+        return abs(self.error)
+
+
+@dataclass(frozen=True)
+class ComparisonSummary:
+    """Aggregate agreement metrics over paired rows.
+
+    Attributes:
+        rows: the underlying pairs.
+        mean_absolute_error: mean |sim - theo|.
+        max_absolute_error: worst-case |sim - theo|.
+        rmse: root-mean-square error.
+        bias: mean signed error (positive = simulation above theory).
+    """
+
+    rows: Tuple[ComparisonRow, ...]
+    mean_absolute_error: float
+    max_absolute_error: float
+    rmse: float
+    bias: float
+
+    def within(self, tolerance: float) -> bool:
+        """True when every pair agrees within ``tolerance`` (absolute)."""
+        return self.max_absolute_error <= tolerance
+
+
+def compare_series(
+    simulated: Sequence[Tuple[float, float]],
+    theoretical: Sequence[Tuple[float, float]],
+) -> ComparisonSummary:
+    """Pair two (x, y) series on x and summarise their disagreement.
+
+    The x values must match pairwise (the usual case: both series were
+    evaluated on the same sweep).
+
+    Raises:
+        ValueError: on length mismatch, mismatched x values, or empty
+            input.
+    """
+    if not simulated or not theoretical:
+        raise ValueError("both series must be non-empty")
+    if len(simulated) != len(theoretical):
+        raise ValueError(
+            f"series lengths differ: {len(simulated)} vs {len(theoretical)}"
+        )
+    rows: List[ComparisonRow] = []
+    for (xs, ys), (xt, yt) in zip(sorted(simulated), sorted(theoretical)):
+        if not math.isclose(xs, xt, rel_tol=1e-9, abs_tol=1e-9):
+            raise ValueError(f"x values differ: {xs} vs {xt}")
+        rows.append(ComparisonRow(x=xs, simulated=ys, theoretical=yt))
+
+    abs_errors = [row.absolute_error for row in rows]
+    return ComparisonSummary(
+        rows=tuple(rows),
+        mean_absolute_error=sum(abs_errors) / len(rows),
+        max_absolute_error=max(abs_errors),
+        rmse=math.sqrt(sum(e * e for e in abs_errors) / len(rows)),
+        bias=sum(row.error for row in rows) / len(rows),
+    )

@@ -1,0 +1,97 @@
+"""Empirical distributions: ECDF, CCDF, quantiles.
+
+The paper reports distributions twice: Fig. 3 plots CCDFs of per-swarm
+capacities and savings over the catalogue, and Fig. 6 plots the CDF of
+per-user carbon-credit transfers.  These helpers compute the standard
+right-continuous empirical distribution functions used for both.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["EmpiricalDistribution", "ecdf_points", "ccdf_points"]
+
+
+@dataclass(frozen=True)
+class EmpiricalDistribution:
+    """An immutable empirical distribution over a sample.
+
+    Attributes:
+        values: the sample, sorted ascending.
+    """
+
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("sample must be non-empty")
+        if any(math.isnan(v) for v in self.values):
+            raise ValueError("sample must not contain NaN")
+        object.__setattr__(self, "values", tuple(sorted(self.values)))
+
+    @classmethod
+    def from_sample(cls, sample: Sequence[float]) -> "EmpiricalDistribution":
+        return cls(values=tuple(sample))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def cdf(self, x: float) -> float:
+        """``P[X <= x]`` under the empirical measure."""
+        return bisect.bisect_right(self.values, x) / len(self.values)
+
+    def ccdf(self, x: float) -> float:
+        """``P[X > x]`` -- the survival function plotted in Fig. 3."""
+        return 1.0 - self.cdf(x)
+
+    def quantile(self, q: float) -> float:
+        """The smallest sample value with at least mass ``q`` below it."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q!r}")
+        if q == 0.0:
+            return self.values[0]
+        index = math.ceil(q * len(self.values)) - 1
+        return self.values[max(index, 0)]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def min(self) -> float:
+        return self.values[0]
+
+    @property
+    def max(self) -> float:
+        return self.values[-1]
+
+    def share_above(self, x: float) -> float:
+        """Fraction of total *mass* carried by samples > x.
+
+        Used for statements like "the top-1 % of items obtain 21-33 % of
+        the savings": mass-weighted, not count-weighted.
+        """
+        total = sum(self.values)
+        if total == 0.0:
+            return 0.0
+        return sum(v for v in self.values if v > x) / total
+
+
+def ecdf_points(sample: Sequence[float]) -> List[Tuple[float, float]]:
+    """``(x, P[X <= x])`` at each distinct sample value, ascending."""
+    dist = EmpiricalDistribution.from_sample(sample)
+    return [(x, dist.cdf(x)) for x in sorted(set(dist.values))]
+
+
+def ccdf_points(sample: Sequence[float]) -> List[Tuple[float, float]]:
+    """``(x, P[X > x])`` at each distinct sample value, ascending."""
+    dist = EmpiricalDistribution.from_sample(sample)
+    return [(x, dist.ccdf(x)) for x in sorted(set(dist.values))]

@@ -1,0 +1,102 @@
+"""ASCII line/scatter charts for terminal experiment reports.
+
+The paper's figures are log-x line charts and CDFs; the benchmark
+harness reproduces their *shape* directly in the terminal so a reader
+can eyeball who wins and where the crossovers fall without a plotting
+stack.  Markers from later series overwrite earlier ones on collisions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    log_x: bool = False,
+    title: Optional[str] = None,
+    y_label: str = "",
+) -> str:
+    """Render (x, y) series as an ASCII chart.
+
+    Args:
+        series: name -> list of (x, y) points; each series gets a marker.
+        width: plot area width in characters.
+        height: plot area height in rows.
+        log_x: use a log10 x axis (the paper's capacity axes are log).
+        title: optional heading.
+        y_label: short y-axis description shown in the legend line.
+
+    Returns:
+        The chart as a single string.
+
+    Raises:
+        ValueError: when there are no points, or log_x with x <= 0.
+    """
+    points_by_name = {name: list(pts) for name, pts in series.items() if pts}
+    if not points_by_name:
+        raise ValueError("nothing to plot: every series is empty")
+    if width < 8 or height < 4:
+        raise ValueError(f"plot area too small: {width}x{height}")
+
+    def x_of(value: float) -> float:
+        if log_x:
+            if value <= 0:
+                raise ValueError(f"log_x requires x > 0, got {value!r}")
+            return math.log10(value)
+        return value
+
+    xs = [x_of(x) for pts in points_by_name.values() for x, _ in pts]
+    ys = [y for pts in points_by_name.values() for _, y in pts]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for index, (name, pts) in enumerate(points_by_name.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in pts:
+            col = int((x_of(x) - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(f"  [{y_label}]  " + "   ".join(legend) if y_label else "  " + "   ".join(legend))
+    top_label = f"{y_max:.3g}"
+    bottom_label = f"{y_min:.3g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = top_label.rjust(label_width)
+        elif i == height - 1:
+            label = bottom_label.rjust(label_width)
+        else:
+            label = " " * label_width
+        out.append(f"{label} |{''.join(row_cells)}")
+    x_lo = f"{(10 ** x_min if log_x else x_min):.3g}"
+    x_hi = f"{(10 ** x_max if log_x else x_max):.3g}"
+    axis = " " * label_width + " +" + "-" * width
+    out.append(axis)
+    out.append(
+        " " * (label_width + 2)
+        + x_lo
+        + " " * max(1, width - len(x_lo) - len(x_hi))
+        + x_hi
+        + ("  (log)" if log_x else "")
+    )
+    return "\n".join(out)

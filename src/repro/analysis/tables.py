@@ -1,0 +1,69 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment driver and benchmark prints its results as monospace
+tables (the closest a terminal gets to the paper's tables); this module
+is the single renderer they share.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "format_value"]
+
+
+def format_value(value: object, *, precision: int = 4) -> str:
+    """Human-friendly cell formatting: floats trimmed, rest str()'d."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value != value:  # NaN
+        return "nan"
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:.{precision}g}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Args:
+        headers: column names.
+        rows: row cells; values are formatted with :func:`format_value`.
+        title: optional heading printed above the table.
+        precision: significant digits for float cells.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    formatted: List[List[str]] = [
+        [format_value(cell, precision=precision) for cell in row] for row in rows
+    ]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in formatted)
+    return "\n".join(out)

@@ -1,0 +1,131 @@
+"""Command-line interface: ``consume-local``.
+
+Subcommands::
+
+    consume-local tables              # Tables I, III, IV
+    consume-local fig2 ... fig6      # one figure each
+    consume-local all                # everything (writes files with --out)
+    consume-local generate trace.jsonl    # emit a synthetic trace
+    consume-local simulate trace.jsonl    # simulate a saved trace
+
+Common options: ``--scale`` (trace size multiplier), ``--days``,
+``--seed``, ``--quick`` (preset small scale), ``--out DIR``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.energy import builtin_models
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+from repro.sim.engine import SimulationConfig, Simulator
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+from repro.trace.loader import load_jsonl, save_jsonl
+from repro.trace.stats import summarise
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="consume-local",
+        description=(
+            "Reproduction of 'Consume Local: Towards Carbon Free Content "
+            "Delivery' (ICDCS 2018): analytical model, trace generator and "
+            "hybrid-CDN simulator."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("tables", "fig2", "fig3", "fig4", "fig5", "fig6", "all"):
+        cmd = sub.add_parser(name, help=f"run the {name} reproduction")
+        _add_settings_args(cmd)
+        cmd.add_argument(
+            "--out", type=Path, default=None, help="directory to write report files to"
+        )
+
+    generate = sub.add_parser("generate", help="generate a synthetic trace file")
+    _add_settings_args(generate)
+    generate.add_argument("path", type=Path, help="output .jsonl path")
+
+    simulate = sub.add_parser("simulate", help="simulate a saved trace file")
+    simulate.add_argument("path", type=Path, help="input .jsonl path")
+    simulate.add_argument(
+        "--upload-ratio", type=float, default=1.0, help="q/beta (default 1.0)"
+    )
+    return parser
+
+
+def _add_settings_args(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--scale", type=float, default=1.0, help="trace size multiplier")
+    cmd.add_argument("--days", type=int, default=30, help="trace length in days")
+    cmd.add_argument("--seed", type=int, default=20130901, help="master seed")
+    cmd.add_argument(
+        "--quick", action="store_true", help="preset small scale for a fast run"
+    )
+
+
+def _settings_from(args: argparse.Namespace) -> ExperimentSettings:
+    if getattr(args, "quick", False):
+        return ExperimentSettings.quick()
+    return ExperimentSettings(scale=args.scale, days=args.days, seed=args.seed)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    settings = _settings_from(args) if hasattr(args, "scale") else None
+
+    if args.command == "all":
+        reports = run_all(settings, out_dir=args.out)
+        for report in reports:
+            print(report.render())
+            print()
+        return 0
+
+    if args.command == "tables":
+        reports = [run_experiment(n, settings) for n in ("table1", "table3", "table4")]
+        for report in reports:
+            print(report.render())
+            print()
+        if args.out:
+            args.out.mkdir(parents=True, exist_ok=True)
+            for report in reports:
+                (args.out / f"{report.name}.txt").write_text(report.render() + "\n")
+        return 0
+
+    if args.command.startswith("fig"):
+        report = run_experiment(args.command, settings)
+        print(report.render())
+        if args.out:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{report.name}.txt").write_text(report.render() + "\n")
+        return 0
+
+    if args.command == "generate":
+        trace = TraceGenerator(config=settings.city_config()).generate()
+        save_jsonl(trace, args.path)
+        stats = summarise(trace)
+        print(f"wrote {stats.num_sessions} sessions / {stats.num_users} users to {args.path}")
+        return 0
+
+    if args.command == "simulate":
+        trace = load_jsonl(args.path)
+        result = Simulator(SimulationConfig(upload_ratio=args.upload_ratio)).run(trace)
+        print(f"sessions: {len(trace)}  offload G: {result.offload_fraction():.4f}")
+        for model in builtin_models():
+            print(
+                f"{model.name:>10}: savings {result.savings(model):.4f}, "
+                f"carbon-positive users {result.carbon_positive_share(model):.1%}"
+            )
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Core analytical model of "Consume Local" (paper Sections III & V).
+
+Public surface:
+
+* :class:`~repro.core.energy.EnergyModel` with the two built-in
+  parameter sets :data:`VALANCIUS` and :data:`BALIGA` (Table IV),
+* :class:`~repro.core.localisation.LayerProbabilities` /
+  :data:`LONDON_LAYERS` (Table III),
+* the closed forms: :func:`offload_fraction` (Eq. 3),
+  :func:`energy_savings` (Eq. 12), :func:`carbon_credit_transfer`
+  (Eq. 13),
+* the :class:`SavingsModel` facade bundling all of the above.
+"""
+
+from repro.core.analytical import (
+    SavingsBreakdown,
+    energy_savings,
+    offload_fraction,
+    peer_network_energy_per_bit,
+    savings_breakdown,
+    savings_curve,
+)
+from repro.core.carbon import (
+    CarbonIntensity,
+    UK_GRID_2014,
+    UserFootprint,
+    asymptotic_carbon_positivity,
+    carbon_credit_transfer,
+    carbon_credit_transfer_at_capacity,
+    neutrality_capacity,
+    neutrality_offload_fraction,
+)
+from repro.core.energy import BALIGA, BUILTIN_MODELS, EnergyModel, VALANCIUS, builtin_models
+from repro.core.extensions import (
+    energy_savings_extended,
+    offload_fraction_with_linger,
+    offload_fraction_with_participation,
+)
+from repro.core.localisation import (
+    LayerProbabilities,
+    LONDON_LAYERS,
+    gamma_p2p,
+    peer_found_probability,
+    poisson_weighted_localisation,
+)
+from repro.core.queueing import SwarmDynamics, busy_probability, capacity
+from repro.core.savings import SavingsModel
+
+__all__ = [
+    "BALIGA",
+    "BUILTIN_MODELS",
+    "CarbonIntensity",
+    "EnergyModel",
+    "LayerProbabilities",
+    "LONDON_LAYERS",
+    "SavingsBreakdown",
+    "SavingsModel",
+    "SwarmDynamics",
+    "UK_GRID_2014",
+    "UserFootprint",
+    "VALANCIUS",
+    "asymptotic_carbon_positivity",
+    "builtin_models",
+    "busy_probability",
+    "capacity",
+    "carbon_credit_transfer",
+    "carbon_credit_transfer_at_capacity",
+    "energy_savings",
+    "energy_savings_extended",
+    "offload_fraction_with_linger",
+    "offload_fraction_with_participation",
+    "gamma_p2p",
+    "neutrality_capacity",
+    "neutrality_offload_fraction",
+    "offload_fraction",
+    "peer_found_probability",
+    "peer_network_energy_per_bit",
+    "poisson_weighted_localisation",
+    "savings_breakdown",
+    "savings_curve",
+]

@@ -1,0 +1,229 @@
+"""The paper's analytical energy-savings model (Eqs. 1, 3, 8-12).
+
+Everything here is a pure function of:
+
+* the swarm capacity ``c`` (average concurrent viewers, Little's law),
+* the upload/bitrate ratio ``q / beta``,
+* an :class:`repro.core.energy.EnergyModel` (per-bit constants), and
+* :class:`repro.core.localisation.LayerProbabilities` (how likely peers
+  are to be co-located at each layer of the ISP tree).
+
+The chain of results:
+
+1. **Offload fraction** (Eq. 3)::
+
+       G(c) = (q / beta) * (c + e^{-c} - 1) / c
+
+   the share of watched bytes that fellow peers can supply.
+
+2. **Swarm-dependent network energy** (corrected Eq. 10): the per-useful-
+   bit cost of carrying peer traffic through the ISP tree,
+   ``PUE * (q / beta) * E[(L-1) gamma_p2p(L)] / c`` -- see
+   :mod:`repro.core.localisation` for the closed form and the erratum.
+
+3. **Master equation** (Eq. 12)::
+
+       S(c) = G * (psi_s - psi_p^m) / psi_s  -  Psi_p^r / (psi_s * T_u)
+
+   the end-to-end fraction of energy saved by hybrid delivery relative
+   to serving everything from the CDN.  ``S`` can be negative when
+   modem double-counting outweighs the shorter paths.
+
+The component breakdown used by Fig. 5 (CDN-only and user-only savings,
+both normalised to their own no-P2P baselines) also lives here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.energy import EnergyModel
+from repro.core.localisation import (
+    LayerProbabilities,
+    LONDON_LAYERS,
+    expected_weighted_gamma,
+)
+from repro.topology.layers import NetworkLayer
+
+__all__ = [
+    "offload_fraction",
+    "peer_network_energy_per_bit",
+    "energy_savings",
+    "SavingsBreakdown",
+    "savings_breakdown",
+    "savings_curve",
+]
+
+
+def offload_fraction(c: float, upload_ratio: float = 1.0, *, cap: bool = True) -> float:
+    """Share ``G`` of watched traffic that peers can serve (Eq. 3).
+
+    ``G = (q / beta) * (c + e^{-c} - 1) / c``: the Poisson-averaged
+    fraction of demand covered by the ``L - 1`` upload-capable peers.
+    The occupancy factor ``(c + e^{-c} - 1)/c`` is < 1 and tends to 1 as
+    the swarm grows; at ``c = 1`` it is ``e^{-1} ~ 0.37`` (the paper's
+    footnote 3).
+
+    Args:
+        c: swarm capacity (average concurrent viewers), >= 0.
+        upload_ratio: the ``q / beta`` ratio of per-peer upload bandwidth
+            to content bitrate, >= 0.
+        cap: clamp the result to [0, 1].  With ``upload_ratio > 1`` the
+            raw formula can exceed 1, but no more than all of the demand
+            can be offloaded; the paper only evaluates ratios <= 1.
+
+    Returns:
+        The offload fraction ``G`` in [0, 1] (or the raw value when
+        ``cap=False``).
+    """
+    _check_capacity(c)
+    _check_ratio(upload_ratio)
+    if c == 0.0:
+        return 0.0
+    occupancy = (c + math.exp(-c) - 1.0) / c
+    raw = upload_ratio * occupancy
+    return min(raw, 1.0) if cap else raw
+
+
+def peer_network_energy_per_bit(
+    c: float,
+    model: EnergyModel,
+    *,
+    upload_ratio: float = 1.0,
+    layers: LayerProbabilities = LONDON_LAYERS,
+) -> float:
+    """Per-useful-bit network energy of peer traffic, ``Psi_p^r / T_u``.
+
+    From Eq. 9, summing ``PUE * gamma_p2p(L) * (L - 1) * q * dtau`` over
+    windows and dividing by the useful traffic ``T_u = c * beta *
+    sum(dtau)`` gives::
+
+        Psi_p^r / T_u = PUE * (q / beta) * E[(L-1) gamma_p2p(L)] / c
+
+    (corrected Eq. 10 -- see :mod:`repro.core.localisation`).
+
+    Returns:
+        nJ per *watched* bit spent moving peer traffic through the ISP
+        network.  Zero when ``c == 0``.
+    """
+    _check_capacity(c)
+    _check_ratio(upload_ratio)
+    if c == 0.0:
+        return 0.0
+    gammas = {layer: model.gamma_for_layer(layer) for layer in NetworkLayer if layer.is_peer_layer}
+    weighted = expected_weighted_gamma(gammas, layers, c)
+    return model.pue * upload_ratio * weighted / c
+
+
+def energy_savings(
+    c: float,
+    model: EnergyModel,
+    *,
+    upload_ratio: float = 1.0,
+    layers: LayerProbabilities = LONDON_LAYERS,
+) -> float:
+    """End-to-end energy savings ``S`` of hybrid delivery (Eq. 12).
+
+    ``S = G * (psi_s - psi_p^m)/psi_s - (Psi_p^r / T_u) / psi_s``: peers
+    replace expensive server bits (first term) at the price of carrying
+    peer traffic through the metro network (second term).
+
+    Args:
+        c: swarm capacity.
+        model: energy parameter set (e.g. ``VALANCIUS`` or ``BALIGA``).
+        upload_ratio: ``q / beta``.
+        layers: ISP-layer localisation probabilities.
+
+    Returns:
+        Fraction of the CDN-only energy saved; may be negative when the
+        double modem traversal outweighs the shorter paths (tiny swarms).
+    """
+    g = offload_fraction(c, upload_ratio)
+    psi_s = model.psi_server
+    first = g * (psi_s - model.psi_peer_modem) / psi_s
+    second = peer_network_energy_per_bit(c, model, upload_ratio=upload_ratio, layers=layers) / psi_s
+    return first - second
+
+
+@dataclass(frozen=True)
+class SavingsBreakdown:
+    """Per-party view of hybrid-CDN savings at one capacity (Fig. 5).
+
+    Each fraction is normalised to that party's own energy cost with
+    peer assistance disabled, exactly as Fig. 5's caption specifies.
+
+    Attributes:
+        capacity: swarm capacity ``c`` the row was evaluated at.
+        offload_fraction: ``G`` (Eq. 3).
+        end_to_end: system-wide savings ``S`` (Eq. 12).
+        cdn: CDN savings; the CDN serves only ``(1 - G)`` of the bytes,
+            so its normalised saving is ``G``.
+        user: user "savings"; users spend ``l * gamma_m * (1 + G)`` per
+            watched bit instead of ``l * gamma_m``, i.e. ``-G``.
+        carbon_credit_transfer: users' net normalised footprint after the
+            CDN's saved server energy is transferred to them (Eq. 13).
+    """
+
+    capacity: float
+    offload_fraction: float
+    end_to_end: float
+    cdn: float
+    user: float
+    carbon_credit_transfer: float
+
+
+def savings_breakdown(
+    c: float,
+    model: EnergyModel,
+    *,
+    upload_ratio: float = 1.0,
+    layers: LayerProbabilities = LONDON_LAYERS,
+) -> SavingsBreakdown:
+    """Evaluate every Fig. 5 curve at a single capacity.
+
+    The carbon-credit-transfer component is delegated to
+    :func:`repro.core.carbon.carbon_credit_transfer`.
+    """
+    # Imported lazily to keep core modules free of import cycles:
+    # carbon.py uses offload_fraction from this module.
+    from repro.core.carbon import carbon_credit_transfer
+
+    g = offload_fraction(c, upload_ratio)
+    return SavingsBreakdown(
+        capacity=c,
+        offload_fraction=g,
+        end_to_end=energy_savings(c, model, upload_ratio=upload_ratio, layers=layers),
+        cdn=g,
+        user=-g,
+        carbon_credit_transfer=carbon_credit_transfer(g, model),
+    )
+
+
+def savings_curve(
+    capacities: Sequence[float],
+    model: EnergyModel,
+    *,
+    upload_ratio: float = 1.0,
+    layers: LayerProbabilities = LONDON_LAYERS,
+) -> list:
+    """Evaluate ``S(c)`` over a capacity sweep (the Fig. 2 black curve).
+
+    Returns:
+        A list of ``(c, S)`` tuples, one per input capacity, in order.
+    """
+    return [
+        (c, energy_savings(c, model, upload_ratio=upload_ratio, layers=layers))
+        for c in capacities
+    ]
+
+
+def _check_capacity(c: float) -> None:
+    if not math.isfinite(c) or c < 0:
+        raise ValueError(f"capacity must be finite and >= 0, got {c!r}")
+
+
+def _check_ratio(upload_ratio: float) -> None:
+    if not math.isfinite(upload_ratio) or upload_ratio < 0:
+        raise ValueError(f"upload_ratio must be finite and >= 0, got {upload_ratio!r}")

@@ -1,0 +1,236 @@
+"""Carbon-credit transfer scheme and carbon accounting (paper Section V).
+
+The hybrid CDN's savings accrue to the CDN operator while participating
+users *spend more* (their modems upload as well as download).  The paper
+proposes transferring the CDN's saved footprint to users as carbon
+credits.  With offload fraction ``G``:
+
+* the CDN saves ``PUE * gamma_s * G`` per watched bit (its servers no
+  longer touch the peer-delivered bytes),
+* a user consumes ``l * gamma_m * (1 + G)`` per watched bit (download
+  everything, upload the shared fraction).
+
+The **normalised carbon credit transfer** (Eq. 13)::
+
+    CCT = (PUE * gamma_s * G - l * gamma_m * (1 + G)) / (l * gamma_m * (1 + G))
+
+``CCT = -1`` with no sharing (users bear their whole footprint);
+``CCT >= 0`` means *carbon positive*: the transferred credit covers the
+user's entire streaming footprint and then some.
+
+The neutrality threshold solves ``CCT = 0``::
+
+    G* = l * gamma_m / (PUE * gamma_s - l * gamma_m)
+
+ERRATUM -- the paper prints the numerator as ``PUE * gamma_m``; solving
+its own Eq. 13 gives ``l * gamma_m`` (the difference is small -- l = 1.07
+vs PUE = 1.2 -- but the corrected form is what actually zeroes Eq. 13).
+
+Per-user accounting (Fig. 6) applies the same scheme to measured bytes:
+a user who watched ``T`` bits and uploaded ``U`` bits receives credit
+``PUE * gamma_s * U`` against a footprint ``l * gamma_m * (T + U)``.
+
+Also provided: conversion from per-bit energy to grams of CO2-equivalent
+via a grid carbon-intensity figure, for reporting absolute footprints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.analytical import offload_fraction
+from repro.core.energy import EnergyModel
+
+__all__ = [
+    "carbon_credit_transfer",
+    "carbon_credit_transfer_at_capacity",
+    "neutrality_offload_fraction",
+    "neutrality_capacity",
+    "asymptotic_carbon_positivity",
+    "UserFootprint",
+    "CarbonIntensity",
+    "UK_GRID_2014",
+]
+
+#: Joules per kilowatt-hour, for energy -> emissions conversions.
+_JOULES_PER_KWH = 3.6e6
+_NANO = 1e-9
+
+
+def carbon_credit_transfer(g: float, model: EnergyModel) -> float:
+    """Normalised per-user footprint after credit transfer (Eq. 13).
+
+    Args:
+        g: offload fraction ``G`` in [0, 1].
+        model: energy parameter set supplying ``gamma_s``, ``gamma_m``,
+            ``PUE`` and ``l``.
+
+    Returns:
+        ``CCT`` in [-1, inf): -1 means the user bears their full
+        footprint (no sharing); values >= 0 mean carbon positive.
+    """
+    if not 0.0 <= g <= 1.0:
+        raise ValueError(f"offload fraction must be in [0, 1], got {g!r}")
+    footprint = model.loss * model.gamma_modem * (1.0 + g)
+    credit = model.pue * model.gamma_server * g
+    return (credit - footprint) / footprint
+
+
+def carbon_credit_transfer_at_capacity(
+    c: float,
+    model: EnergyModel,
+    *,
+    upload_ratio: float = 1.0,
+) -> float:
+    """Eq. 13 evaluated through Eq. 3: ``CCT(G(c))``.
+
+    Convenience for analytic sweeps (the green curve of Fig. 5).
+    """
+    return carbon_credit_transfer(offload_fraction(c, upload_ratio), model)
+
+
+def neutrality_offload_fraction(model: EnergyModel) -> float:
+    """Offload fraction ``G*`` at which users become carbon neutral.
+
+    Solves ``CCT = 0``: ``G* = l*gamma_m / (PUE*gamma_s - l*gamma_m)``
+    (see the module-level erratum note).  Values > 1 mean neutrality is
+    unreachable under this parameter set even at full offload.
+    """
+    modem = model.loss * model.gamma_modem
+    server = model.pue * model.gamma_server
+    if server <= modem:
+        return math.inf
+    return modem / (server - modem)
+
+
+def neutrality_capacity(
+    model: EnergyModel,
+    *,
+    upload_ratio: float = 1.0,
+    tol: float = 1e-10,
+) -> float:
+    """Swarm capacity at which the average user turns carbon neutral.
+
+    Inverts ``G(c) = G*`` by bisection on the monotone occupancy factor.
+    Returns ``inf`` when ``G*`` exceeds the reachable offload fraction
+    ``min(upload_ratio, 1)``.
+    """
+    target = neutrality_offload_fraction(model)
+    if not math.isfinite(target):
+        return math.inf
+    reachable = min(upload_ratio, 1.0)
+    if target >= reachable:
+        return math.inf
+    lo, hi = 0.0, 1.0
+    while offload_fraction(hi, upload_ratio) < target:
+        hi *= 2.0
+        if hi > 1e12:  # pragma: no cover - defensive, G(c) -> reachable > target
+            return math.inf
+    while hi - lo > tol * max(1.0, hi):
+        mid = 0.5 * (lo + hi)
+        if offload_fraction(mid, upload_ratio) < target:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def asymptotic_carbon_positivity(model: EnergyModel) -> float:
+    """``CCT`` at full offload (``G = 1``).
+
+    The paper reports users end up carbon positive by 18 % (Valancius)
+    / 58 % (Baliga) of their streaming footprint in this limit.
+    """
+    return carbon_credit_transfer(1.0, model)
+
+
+@dataclass(frozen=True)
+class UserFootprint:
+    """Measured byte counts for one user over an accounting period.
+
+    Attributes:
+        watched_bits: total bits the user streamed (from servers plus
+            peers); the paper's ``T_u``.
+        uploaded_bits: bits the user uploaded to fellow peers.
+    """
+
+    watched_bits: float
+    uploaded_bits: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.watched_bits < 0 or self.uploaded_bits < 0:
+            raise ValueError(
+                f"byte counts must be >= 0, got watched={self.watched_bits!r} "
+                f"uploaded={self.uploaded_bits!r}"
+            )
+
+    @property
+    def modem_bits(self) -> float:
+        """Bits crossing the user's own equipment (down + up)."""
+        return self.watched_bits + self.uploaded_bits
+
+    def footprint_nj(self, model: EnergyModel) -> float:
+        """Energy (nJ) consumed by the user's own equipment."""
+        return model.loss * model.gamma_modem * self.modem_bits
+
+    def credit_nj(self, model: EnergyModel) -> float:
+        """Carbon credit (as energy, nJ) earned by uploading.
+
+        Each uploaded bit spares the CDN ``PUE * gamma_s``; the scheme
+        transfers exactly that to the uploader.
+        """
+        return model.pue * model.gamma_server * self.uploaded_bits
+
+    def carbon_credit_transfer(self, model: EnergyModel) -> float:
+        """Normalised net footprint after transfer (the Fig. 6 x-axis).
+
+        ``(credit - footprint) / footprint``; users who streamed nothing
+        have no footprint and are reported as exactly neutral (0.0).
+        """
+        footprint = self.footprint_nj(model)
+        if footprint == 0.0:
+            return 0.0
+        return (self.credit_nj(model) - footprint) / footprint
+
+    def is_carbon_positive(self, model: EnergyModel) -> bool:
+        """True when the transferred credit covers the whole footprint."""
+        return self.carbon_credit_transfer(model) >= 0.0
+
+
+@dataclass(frozen=True)
+class CarbonIntensity:
+    """Grid carbon intensity for converting energy to emissions.
+
+    Attributes:
+        grams_co2_per_kwh: grams of CO2-equivalent emitted per kWh of
+            electricity drawn from this grid.
+        name: label for reports.
+    """
+
+    grams_co2_per_kwh: float
+    name: str = "grid"
+
+    def __post_init__(self) -> None:
+        if self.grams_co2_per_kwh < 0:
+            raise ValueError(
+                f"carbon intensity must be >= 0, got {self.grams_co2_per_kwh!r}"
+            )
+
+    def grams_for_nj(self, energy_nj: float) -> float:
+        """Convert nanojoules to grams CO2-equivalent."""
+        if energy_nj < 0:
+            raise ValueError(f"energy must be >= 0, got {energy_nj!r}")
+        kwh = energy_nj * _NANO / _JOULES_PER_KWH
+        return kwh * self.grams_co2_per_kwh
+
+    def grams_for_bits(self, num_bits: float, per_bit_nj: float) -> float:
+        """Convert a traffic volume at a per-bit cost to grams CO2e."""
+        if num_bits < 0 or per_bit_nj < 0:
+            raise ValueError("num_bits and per_bit_nj must be >= 0")
+        return self.grams_for_nj(num_bits * per_bit_nj)
+
+
+#: Average UK grid intensity around the trace period (2013-2014) --
+#: roughly 450 gCO2e/kWh (DEFRA/DECC reporting figures of that era).
+UK_GRID_2014 = CarbonIntensity(grams_co2_per_kwh=450.0, name="uk-grid-2014")

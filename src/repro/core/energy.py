@@ -1,0 +1,302 @@
+"""Per-bit energy models for CDN and peer-assisted content delivery.
+
+The paper builds on two published, independently measured energy models
+(Table IV):
+
+* **Valancius et al.** ("Greening the Internet with Nano Data Centers",
+  CoNEXT 2009) -- network path costs derived from a per-hop constant of
+  150 nJ/bit: a traditional CDN path crosses 7 hops, peers localised
+  within the same core router 6 hops, the same PoP 4 hops, and the same
+  exchange point 2 hops.
+* **Baliga et al.** ("Green Cloud Computing", Proc. IEEE 2011) -- per
+  equipment-class figures summed over the devices on each kind of path.
+
+Both share the power-usage-efficiency factor (PUE, 1.2) and the end-user
+energy loss factor (l, 1.07), taken from Valancius et al. for
+consistency, exactly as the paper does.
+
+Per-bit cost functions (paper Eqs. 4--6)::
+
+    psi_s   = PUE * (gamma_s + gamma_cdn) + l * gamma_m          # server
+    psi_p^m = 2 * l * gamma_m                                    # modems
+    psi_p^r = PUE * gamma_p2p(L)                                 # network
+
+``gamma_p2p`` depends on how close the matched peers are and is computed
+by :mod:`repro.core.localisation`; this module only knows the per-layer
+constants ``gamma_exp / gamma_pop / gamma_core``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.topology.layers import NetworkLayer
+
+__all__ = [
+    "EnergyModel",
+    "VALANCIUS",
+    "BALIGA",
+    "BUILTIN_MODELS",
+    "builtin_models",
+    "PER_HOP_NJ_PER_BIT",
+    "VALANCIUS_HOP_COUNTS",
+]
+
+#: Valancius et al. express network costs as hops x 150 nJ/bit.
+PER_HOP_NJ_PER_BIT = 150.0
+
+#: Hop counts behind the Valancius network parameters (Table IV caption).
+VALANCIUS_HOP_COUNTS: Mapping[str, int] = {
+    "cdn": 7,
+    "core": 6,
+    "pop": 4,
+    "exchange": 2,
+}
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """A complete per-bit energy parameterisation (paper Table IV).
+
+    All ``gamma_*`` values are in nanojoules per bit (nJ/bit).  The
+    dataclass is frozen: derive variants with :meth:`with_overrides`.
+
+    Attributes:
+        name: short identifier used in reports ("valancius", "baliga").
+        gamma_server: per-bit consumption of the CDN content server
+            (``gamma_s``).
+        gamma_modem: per-bit consumption of the end-user modem / CPE
+            (``gamma_m``).
+        gamma_cdn_network: per-bit consumption of the network path between
+            a user and a CDN node (``gamma_cdn``).
+        gamma_exchange: per-bit cost of a peer-to-peer path localised
+            within one exchange point (``gamma_exp``).
+        gamma_pop: per-bit cost of a P2P path localised within one point
+            of presence (``gamma_pop``).
+        gamma_core: per-bit cost of a P2P path crossing the metro core
+            (``gamma_core``).
+        pue: power usage efficiency multiplier applied to shared
+            infrastructure (servers and network), accounting for cooling
+            and redundancy.
+        loss: end-user energy loss factor ``l`` applied to customer
+            premises equipment.
+    """
+
+    name: str
+    gamma_server: float
+    gamma_modem: float
+    gamma_cdn_network: float
+    gamma_exchange: float
+    gamma_pop: float
+    gamma_core: float
+    pue: float = 1.2
+    loss: float = 1.07
+
+    def __post_init__(self) -> None:
+        for label, value in self._numeric_fields():
+            if not value >= 0.0:
+                raise ValueError(f"{label} must be >= 0, got {value!r}")
+        if self.pue < 1.0:
+            raise ValueError(f"pue must be >= 1 (it is an overhead factor), got {self.pue!r}")
+        if self.loss < 1.0:
+            raise ValueError(f"loss must be >= 1 (it is an overhead factor), got {self.loss!r}")
+        if not (self.gamma_exchange <= self.gamma_pop <= self.gamma_core):
+            raise ValueError(
+                "per-layer P2P costs must be monotone: "
+                f"gamma_exchange ({self.gamma_exchange}) <= gamma_pop "
+                f"({self.gamma_pop}) <= gamma_core ({self.gamma_core})"
+            )
+
+    def _numeric_fields(self) -> Iterator[Tuple[str, float]]:
+        yield "gamma_server", self.gamma_server
+        yield "gamma_modem", self.gamma_modem
+        yield "gamma_cdn_network", self.gamma_cdn_network
+        yield "gamma_exchange", self.gamma_exchange
+        yield "gamma_pop", self.gamma_pop
+        yield "gamma_core", self.gamma_core
+
+    # ------------------------------------------------------------------
+    # Per-bit cost functions (paper Eqs. 4--6)
+    # ------------------------------------------------------------------
+
+    @property
+    def psi_server(self) -> float:
+        """Per-bit cost of serving from the CDN, ``psi_s`` (Eq. 4).
+
+        ``psi_s = PUE * (gamma_s + gamma_cdn) + l * gamma_m``: the server
+        and the network between server and user are shared infrastructure
+        (PUE-inflated); the user's modem is hit once.
+        """
+        return self.pue * (self.gamma_server + self.gamma_cdn_network) + self.loss * self.gamma_modem
+
+    @property
+    def psi_peer_modem(self) -> float:
+        """Swarm-size-independent part of the P2P per-bit cost (Eq. 6).
+
+        ``psi_p^m = 2 * l * gamma_m`` -- each peer-delivered bit crosses
+        two modems: the uploader's and the downloader's.
+        """
+        return 2.0 * self.loss * self.gamma_modem
+
+    def psi_peer_network(self, gamma_p2p: float) -> float:
+        """Swarm-size-dependent part of the P2P per-bit cost (Eq. 6).
+
+        ``psi_p^r = PUE * gamma_p2p`` where ``gamma_p2p`` reflects how
+        deep into the ISP hierarchy the matched peers' traffic must climb
+        (see :mod:`repro.core.localisation`).
+        """
+        if gamma_p2p < 0:
+            raise ValueError(f"gamma_p2p must be >= 0, got {gamma_p2p!r}")
+        return self.pue * gamma_p2p
+
+    def psi_peer(self, gamma_p2p: float) -> float:
+        """Total per-bit P2P cost ``psi_p = 2*l*gamma_m + PUE*gamma_p2p``."""
+        return self.psi_peer_modem + self.psi_peer_network(gamma_p2p)
+
+    def gamma_for_layer(self, layer: NetworkLayer) -> float:
+        """Per-bit network cost of a peer transfer localised at ``layer``.
+
+        Maps the lowest common layer of two peers' attachment points to
+        the corresponding Table IV constant.
+        """
+        return self._layer_gammas()[layer]
+
+    def _layer_gammas(self) -> Dict[NetworkLayer, float]:
+        return {
+            NetworkLayer.EXCHANGE: self.gamma_exchange,
+            NetworkLayer.POP: self.gamma_pop,
+            NetworkLayer.CORE: self.gamma_core,
+        }
+
+    # ------------------------------------------------------------------
+    # Whole-transfer energy helpers (used by the simulator's accounting)
+    # ------------------------------------------------------------------
+
+    def server_energy_nj(self, num_bits: float) -> float:
+        """Energy (nJ) to deliver ``num_bits`` from a CDN server."""
+        _check_bits(num_bits)
+        return num_bits * self.psi_server
+
+    def peer_energy_nj(self, num_bits: float, layer: NetworkLayer) -> float:
+        """Energy (nJ) to deliver ``num_bits`` between peers meeting at ``layer``."""
+        _check_bits(num_bits)
+        return num_bits * self.psi_peer(self.gamma_for_layer(layer))
+
+    def user_download_energy_nj(self, num_bits: float) -> float:
+        """Energy (nJ) spent by a user's own CPE to *receive* ``num_bits``."""
+        _check_bits(num_bits)
+        return num_bits * self.loss * self.gamma_modem
+
+    def user_upload_energy_nj(self, num_bits: float) -> float:
+        """Energy (nJ) spent by a user's own CPE to *upload* ``num_bits``.
+
+        Symmetric with download at the modem: the asymmetry of access
+        technology affects bandwidth, not the per-bit modem constant.
+        """
+        return self.user_download_energy_nj(num_bits)
+
+    def cdn_server_energy_nj(self, num_bits: float) -> float:
+        """Energy (nJ) attributable to the CDN *server* alone (PUE-inflated).
+
+        This is the quantity the carbon-credit transfer scheme (Eq. 13)
+        counts as saved when a bit is peer-delivered: ``PUE * gamma_s``
+        per bit.
+        """
+        _check_bits(num_bits)
+        return num_bits * self.pue * self.gamma_server
+
+    # ------------------------------------------------------------------
+    # Variants
+    # ------------------------------------------------------------------
+
+    def with_overrides(self, **overrides: float) -> "EnergyModel":
+        """Return a copy with the given fields replaced.
+
+        Example::
+
+            hot_modems = VALANCIUS.with_overrides(gamma_modem=150.0)
+        """
+        return replace(self, **overrides)
+
+    def as_table_row(self) -> Dict[str, float]:
+        """Flat mapping used by the Table IV experiment renderer."""
+        return {
+            "gamma_server": self.gamma_server,
+            "gamma_modem": self.gamma_modem,
+            "gamma_cdn_network": self.gamma_cdn_network,
+            "gamma_exchange": self.gamma_exchange,
+            "gamma_pop": self.gamma_pop,
+            "gamma_core": self.gamma_core,
+            "pue": self.pue,
+            "loss": self.loss,
+        }
+
+    @classmethod
+    def from_hop_counts(
+        cls,
+        name: str,
+        *,
+        gamma_server: float,
+        gamma_modem: float,
+        per_hop: float = PER_HOP_NJ_PER_BIT,
+        hops: Mapping[str, int] = VALANCIUS_HOP_COUNTS,
+        pue: float = 1.2,
+        loss: float = 1.07,
+    ) -> "EnergyModel":
+        """Build a model whose network costs are ``hops * per_hop`` nJ/bit.
+
+        This is exactly how the Valancius parameters in Table IV are
+        derived (``gamma_cdn = 7 x 150``, ``gamma_core = 6 x 150``,
+        ``gamma_pop = 4 x 150``, ``gamma_exp = 2 x 150``).
+        """
+        required = {"cdn", "core", "pop", "exchange"}
+        missing = required - set(hops)
+        if missing:
+            raise ValueError(f"hop counts missing entries: {sorted(missing)}")
+        return cls(
+            name=name,
+            gamma_server=gamma_server,
+            gamma_modem=gamma_modem,
+            gamma_cdn_network=per_hop * hops["cdn"],
+            gamma_exchange=per_hop * hops["exchange"],
+            gamma_pop=per_hop * hops["pop"],
+            gamma_core=per_hop * hops["core"],
+            pue=pue,
+            loss=loss,
+        )
+
+
+#: Valancius et al. parameter set (Table IV, left column).
+VALANCIUS = EnergyModel.from_hop_counts(
+    "valancius",
+    gamma_server=211.1,
+    gamma_modem=100.0,
+)
+
+#: Baliga et al. parameter set (Table IV, right column).
+BALIGA = EnergyModel(
+    name="baliga",
+    gamma_server=281.3,
+    gamma_modem=100.0,
+    gamma_cdn_network=142.5,
+    gamma_exchange=144.86,
+    gamma_pop=197.48,
+    gamma_core=245.74,
+)
+
+#: Both widely-used parameterisations, keyed by name.
+BUILTIN_MODELS: Mapping[str, EnergyModel] = {
+    VALANCIUS.name: VALANCIUS,
+    BALIGA.name: BALIGA,
+}
+
+
+def builtin_models() -> Tuple[EnergyModel, ...]:
+    """The built-in parameter sets in paper order (Valancius, Baliga)."""
+    return (VALANCIUS, BALIGA)
+
+
+def _check_bits(num_bits: float) -> None:
+    if num_bits < 0:
+        raise ValueError(f"num_bits must be >= 0, got {num_bits!r}")

@@ -1,0 +1,190 @@
+"""Analytical extensions beyond the paper's base model.
+
+The paper's conclusion sketches future work -- caching schemes, economic
+models of (partial) user participation, live streaming.  The simulator
+implements two of them directly (``participation_rate`` and
+``seed_linger_seconds`` in :class:`repro.sim.SimulationConfig`); this
+module provides the matching closed/semi-closed forms so the extensions
+can be reasoned about without simulation, exactly as Eq. 12 does for the
+base system.
+
+**Partial participation.**  Akamai NetSession reports "as little as
+30 %" of users contribute upload capacity (paper Section VI).  Thinning
+the Poisson swarm: the ``L - 1`` upload-capable peers participate
+independently with rate ``a``, so the per-window shareable volume is
+``(L - 1) * min(a * q, beta)`` in expectation and Eq. 3 generalises to::
+
+    G(c; a) = min(a * q / beta, 1) * (c + e^{-c} - 1) / c
+
+**Lingering seeds (caching).**  Viewers keep serving for ``T_l`` seconds
+after they finish watching.  By Little's law the lingering population is
+an independent Poisson with mean ``c_l = c * T_l / u``.  With at least
+one cached copy present no server seed stream is needed at all, so::
+
+    E[peer bits per window] = E[ min(L*beta, (L + M - 1)*q) ; M >= 1 ]
+                            + E[ (L-1) * min(q, beta)       ; M = 0  ]
+
+which this module evaluates by exact (truncated) Poisson summation --
+a semi-closed form rather than an elementary formula, pinned against the
+simulator by the test-suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core import queueing
+from repro.core.energy import EnergyModel
+from repro.core.localisation import (
+    LONDON_LAYERS,
+    LayerProbabilities,
+    expected_weighted_gamma,
+)
+from repro.topology.layers import NetworkLayer
+
+__all__ = [
+    "offload_fraction_with_participation",
+    "offload_fraction_with_linger",
+    "energy_savings_extended",
+]
+
+
+def offload_fraction_with_participation(
+    c: float,
+    participation_rate: float,
+    *,
+    upload_ratio: float = 1.0,
+) -> float:
+    """Eq. 3 under partial participation (Poisson thinning).
+
+    Args:
+        c: swarm capacity.
+        participation_rate: fraction ``a`` of users contributing upload.
+        upload_ratio: ``q / beta``.
+
+    Returns:
+        The offload fraction; ``a = 1`` reduces to the paper's Eq. 3.
+    """
+    if not 0.0 <= participation_rate <= 1.0:
+        raise ValueError(
+            f"participation_rate must be in [0, 1], got {participation_rate!r}"
+        )
+    _check_capacity(c)
+    _check_ratio(upload_ratio)
+    if c == 0.0:
+        return 0.0
+    occupancy = (c + math.exp(-c) - 1.0) / c
+    return min(participation_rate * upload_ratio, 1.0) * occupancy
+
+
+def offload_fraction_with_linger(
+    c: float,
+    linger_ratio: float,
+    *,
+    upload_ratio: float = 1.0,
+    participation_rate: float = 1.0,
+) -> float:
+    """Offload fraction with lingering seeds (the caching extension).
+
+    Args:
+        c: *viewer* capacity (concurrent watchers).
+        linger_ratio: ``T_l / u`` -- linger time over mean session
+            duration; the lingering population has mean ``c * linger_ratio``.
+        upload_ratio: ``q / beta``.
+        participation_rate: fraction of users uploading (thins both the
+            viewing and the lingering supply).
+
+    Returns:
+        Expected fraction of demand served by peers (viewers and
+        lingering seeds together), in [0, 1].
+    """
+    if linger_ratio < 0:
+        raise ValueError(f"linger_ratio must be >= 0, got {linger_ratio!r}")
+    if not 0.0 <= participation_rate <= 1.0:
+        raise ValueError(
+            f"participation_rate must be in [0, 1], got {participation_rate!r}"
+        )
+    _check_capacity(c)
+    _check_ratio(upload_ratio)
+    if c == 0.0:
+        return 0.0
+    if linger_ratio == 0.0:
+        return offload_fraction_with_participation(
+            c, participation_rate, upload_ratio=upload_ratio
+        )
+
+    # Effective per-peer upload in units of beta, after thinning; the
+    # lingering population is likewise thinned (non-participants gain
+    # nothing by lingering).
+    q_eff = participation_rate * upload_ratio
+    c_linger = c * linger_ratio * participation_rate
+
+    def shareable(viewers: int) -> float:
+        if viewers == 0:
+            return 0.0
+
+        def with_lingerers(m: int) -> float:
+            if m == 0:
+                if viewers < 2:
+                    return 0.0
+                return (viewers - 1) * min(q_eff, 1.0)
+            return min(float(viewers), (viewers + m - 1) * q_eff)
+
+        return queueing.expected_value(c_linger, with_lingerers)
+
+    expected_peer = queueing.expected_value(c, shareable)
+    return min(expected_peer / c, 1.0)
+
+
+def energy_savings_extended(
+    c: float,
+    model: EnergyModel,
+    *,
+    upload_ratio: float = 1.0,
+    participation_rate: float = 1.0,
+    linger_ratio: float = 0.0,
+    layers: LayerProbabilities = LONDON_LAYERS,
+) -> float:
+    """Eq. 12 generalised to partial participation and lingering seeds.
+
+    The offload fraction comes from the extended models above.  The
+    network term keeps Eq. 10's structure but evaluates the per-peer
+    localisation cost at the *member* density ``c * (1 + linger_ratio)``
+    -- lingering seeds make close-by copies more likely, which is most
+    of caching's energy benefit.  This is an approximation in the same
+    spirit as the paper's own gamma_p2p treatment; the test-suite pins
+    it against the simulator.
+    """
+    g = offload_fraction_with_linger(
+        c,
+        linger_ratio,
+        upload_ratio=upload_ratio,
+        participation_rate=participation_rate,
+    )
+    psi_s = model.psi_server
+    first = g * (psi_s - model.psi_peer_modem) / psi_s
+
+    member_capacity = c * (1.0 + linger_ratio * participation_rate)
+    if member_capacity <= 0.0 or g <= 0.0:
+        return first
+    gammas = {
+        layer: model.gamma_for_layer(layer)
+        for layer in NetworkLayer
+        if layer.is_peer_layer
+    }
+    weighted = expected_weighted_gamma(gammas, layers, member_capacity)
+    excess = queueing.expected_excess_peers(member_capacity)
+    mean_gamma = weighted / excess if excess > 0 else model.gamma_core
+    second = g * model.pue * mean_gamma / psi_s
+    return first - second
+
+
+def _check_capacity(c: float) -> None:
+    if not math.isfinite(c) or c < 0:
+        raise ValueError(f"capacity must be finite and >= 0, got {c!r}")
+
+
+def _check_ratio(upload_ratio: float) -> None:
+    if not math.isfinite(upload_ratio) or upload_ratio < 0:
+        raise ValueError(f"upload_ratio must be finite and >= 0, got {upload_ratio!r}")

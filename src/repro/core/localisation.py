@@ -1,0 +1,307 @@
+"""Peer localisation probabilities and the Poisson-weighted sums of Eq. 10/11.
+
+Given a swarm of ``L`` concurrent viewers spread uniformly over an ISP
+hierarchy, the probability that a given viewer finds at least one fellow
+peer under the *same* node of a layer with per-node localisation
+probability ``p`` is (paper, Section III.D.2)::
+
+    P_layer(L) = 1 - (1 - p_layer)^(L - 1)
+
+Preferring lower (closer) layers, the expected per-bit network cost of
+peer traffic in a window with ``L`` viewers is (Eq. 7)::
+
+    gamma_p2p(L) = gamma_exp * P_exp(L)
+                 + gamma_pop * (P_pop(L) - P_exp(L))
+                 + gamma_core * (P_core(L) - P_pop(L))
+
+The analytical model needs the expectation of ``(L - 1) * gamma_p2p(L)``
+over the Poisson occupancy of an M/M/inf swarm with mean ``c``.  Writing
+
+    f(p, c) = E[(L - 1) * (1 - (1 - p)^(L - 1)) ; L >= 1],   L ~ Poisson(c)
+
+and expanding the Poisson sums in closed form (derivation below) gives::
+
+    f(p, c) = c - 1 + e^{-c} - c e^{-cp} + (e^{-cp} - e^{-c}) / (1 - p)
+
+with the limit ``f(1, c) = c - 1 + e^{-c}`` (matching the paper's printed
+special case).  The expectation then decomposes as::
+
+    E[(L-1) gamma_p2p(L)] = (gamma_exp - gamma_pop)  * f(p_exp, c)
+                          + (gamma_pop - gamma_core) * f(p_pop, c)
+                          + gamma_core               * f(p_core, c)
+
+ERRATUM -- the paper's Eq. 10 prints the first two coefficients with the
+opposite sign order, ``(gamma_pop - gamma_exp)`` and ``(gamma_core -
+gamma_pop)``, and Eq. 11 prints the ``p != 1`` numerator as
+``e^{-cp}(1-c+cp) - e^{-cp}`` (which is inconsistent with its own ``p=1``
+branch).  Both are typesetting slips: with the printed signs the
+large-``c`` per-bit cost would tend to ``2*gamma_core - gamma_exp``
+(energy *increasing* with swarm size), contradicting Fig. 2 and the
+paper's headline numbers; the corrected coefficients converge to
+``gamma_exp`` and reproduce Fig. 2's levels exactly (S ~ 0.47 Valancius /
+0.29 Baliga at c = 100, q/beta = 1).  The corrected numerator is
+``e^{-cp}(1-c+cp) - p e^{-c}``.  Tests pin the closed forms against exact
+Poisson summation (``repro.core.queueing.expected_value``).
+
+Derivation sketch (for ``L ~ Poisson(c)``, summing over ``L >= 1``):
+
+    E[(L-1)^+]                 = c - 1 + e^{-c}
+    E[(L-1)(1-p)^{L-1}; L>=1]  = c e^{-cp} - (e^{-cp} - e^{-c})/(1 - p)
+    f(p, c)                    = difference of the two lines above.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.core import queueing
+from repro.topology.layers import NetworkLayer, P2P_LAYERS
+
+__all__ = [
+    "LayerProbabilities",
+    "LONDON_LAYERS",
+    "localisation_probability",
+    "peer_found_probability",
+    "gamma_p2p",
+    "poisson_weighted_localisation",
+    "poisson_weighted_localisation_exact",
+    "expected_weighted_gamma",
+    "expected_weighted_gamma_exact",
+]
+
+#: Below this ``1 - p`` the closed form switches to the ``p -> 1`` limit
+#: to avoid catastrophic cancellation in ``(e^{-cp} - e^{-c})/(1-p)``.
+_P_ONE_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class LayerProbabilities:
+    """Per-layer probability that a random peer shares a given node.
+
+    For a layer with ``n`` identical nodes over which users attach
+    uniformly, the probability that a second, independently placed user
+    lands under the *same* node is ``1 / n`` (paper Table III).
+
+    Attributes:
+        exchange: ``p_exp``, probability of sharing an exchange point.
+        pop: ``p_pop``, probability of sharing a point of presence.
+        core: ``p_core``, probability of sharing the core (1 within one
+            metro ISP network).
+    """
+
+    exchange: float
+    pop: float
+    core: float = 1.0
+
+    def __post_init__(self) -> None:
+        for label, p in self.as_mapping().items():
+            if not 0.0 < p <= 1.0:
+                raise ValueError(f"probability for {label} must be in (0, 1], got {p!r}")
+        if not (self.exchange <= self.pop <= self.core):
+            raise ValueError(
+                "localisation probabilities must be monotone up the tree: "
+                f"exchange ({self.exchange}) <= pop ({self.pop}) <= core ({self.core})"
+            )
+
+    @classmethod
+    def from_counts(cls, *, exchanges: int, pops: int, cores: int = 1) -> "LayerProbabilities":
+        """Derive probabilities from node counts (uniform attachment).
+
+        ``p_layer = 1 / count`` for each layer; e.g. the paper's London
+        ISP has 345 exchanges, 9 PoPs and one core, giving
+        ``p_exp = 0.29 %``, ``p_pop = 11.11 %``, ``p_core = 100 %``.
+        """
+        for label, n in (("exchanges", exchanges), ("pops", pops), ("cores", cores)):
+            if n < 1:
+                raise ValueError(f"{label} must be >= 1, got {n}")
+        if not (exchanges >= pops >= cores):
+            raise ValueError(
+                "the hierarchy must narrow towards the root: "
+                f"exchanges ({exchanges}) >= pops ({pops}) >= cores ({cores})"
+            )
+        return cls(exchange=1.0 / exchanges, pop=1.0 / pops, core=1.0 / cores)
+
+    def for_layer(self, layer: NetworkLayer) -> float:
+        """The localisation probability of a P2P layer."""
+        mapping = {
+            NetworkLayer.EXCHANGE: self.exchange,
+            NetworkLayer.POP: self.pop,
+            NetworkLayer.CORE: self.core,
+        }
+        try:
+            return mapping[layer]
+        except KeyError:
+            raise ValueError(f"{layer!r} is not a peer localisation layer") from None
+
+    def as_mapping(self) -> Dict[str, float]:
+        """Plain dict view (used by table renderers)."""
+        return {"exchange": self.exchange, "pop": self.pop, "core": self.core}
+
+
+#: The paper's London ISP hierarchy: 345 exchange points, 9 PoPs, 1 core
+#: (Table III).
+LONDON_LAYERS = LayerProbabilities.from_counts(exchanges=345, pops=9, cores=1)
+
+
+def localisation_probability(count: int) -> float:
+    """Probability two uniform users share one of ``count`` nodes."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return 1.0 / count
+
+
+def peer_found_probability(p: float, num_online: int) -> float:
+    """``P_layer(L) = 1 - (1 - p)^(L - 1)`` -- at least one co-located peer.
+
+    Probability that a viewer in a swarm of ``num_online`` concurrent
+    viewers finds at least one of the other ``L - 1`` under the same node
+    of a layer with localisation probability ``p``.
+
+    Args:
+        p: per-node localisation probability in (0, 1].
+        num_online: instantaneous swarm size ``L`` (>= 1; with ``L = 1``
+            there are no other peers and the probability is 0).
+    """
+    _check_probability(p)
+    if num_online < 1:
+        raise ValueError(f"num_online must be >= 1, got {num_online}")
+    return -math.expm1((num_online - 1) * math.log1p(-p)) if p < 1.0 else (0.0 if num_online == 1 else 1.0)
+
+
+def gamma_p2p(
+    gammas: Mapping[NetworkLayer, float],
+    probabilities: LayerProbabilities,
+    num_online: int,
+) -> float:
+    """Expected per-bit P2P network cost in a window with ``L`` viewers (Eq. 7).
+
+    Peers prefer the closest available layer, so the per-bit cost is a
+    mixture over "found a peer at the exchange" / "only at the PoP" /
+    "only across the core"::
+
+        gamma_p2p(L) = gamma_exp * P_exp
+                     + gamma_pop * (P_pop - P_exp)
+                     + gamma_core * (P_core - P_pop)
+
+    Args:
+        gammas: per-layer per-bit costs, e.g. from
+            :meth:`repro.core.energy.EnergyModel.gamma_for_layer`.
+        probabilities: the layer localisation probabilities.
+        num_online: instantaneous swarm size ``L >= 1``.
+
+    Returns:
+        The expected per-bit network cost (nJ/bit).  For ``L = 1`` every
+        ``P`` is zero and the result is 0 (no peer traffic exists).
+    """
+    previous = 0.0
+    cost = 0.0
+    for layer in P2P_LAYERS:
+        found = peer_found_probability(probabilities.for_layer(layer), num_online)
+        cost += gammas[layer] * (found - previous)
+        previous = found
+    return cost
+
+
+def poisson_weighted_localisation(p: float, c: float) -> float:
+    """Corrected closed form of the paper's ``f(p, c)`` (Eq. 11).
+
+    ``f(p, c) = E[(L - 1) * P_layer(L); L >= 1]`` for ``L ~ Poisson(c)``:
+    the expected number of upload-capable peers weighted by the chance of
+    finding a co-located partner.  Closed form::
+
+        f(p, c) = c - 1 + e^{-c} - c e^{-cp} + (e^{-cp} - e^{-c})/(1 - p)
+
+    with the continuous limit ``f(1, c) = c - 1 + e^{-c}`` (the paper's
+    printed ``p = 1`` branch).  See the module docstring for the erratum
+    in the printed ``p != 1`` numerator.
+
+    Args:
+        p: layer localisation probability in (0, 1].
+        c: swarm capacity (Poisson mean), >= 0.
+    """
+    _check_probability(p)
+    if not math.isfinite(c) or c < 0:
+        raise ValueError(f"capacity must be finite and >= 0, got {c!r}")
+    # expm1 keeps the absolute error at ~ulp(c) for small c, where the
+    # naive `c - 1 + exp(-c)` form loses everything to cancellation
+    # (f(p, c) ~ p * c^2 / 2 as c -> 0, far below 1 ulp of 1.0).
+    base = c + math.expm1(-c)
+    if 1.0 - p < _P_ONE_EPS:
+        return max(base, 0.0)
+    ratio = (math.expm1(-c * p) - math.expm1(-c)) / (1.0 - p)
+    return max(base - c * math.exp(-c * p) + ratio, 0.0)
+
+
+def poisson_weighted_localisation_exact(p: float, c: float) -> float:
+    """Brute-force Poisson sum for ``f(p, c)`` (reference implementation).
+
+    Sums ``(L - 1) * (1 - (1 - p)^(L - 1)) * P[L]`` term by term; used by
+    the test-suite to pin :func:`poisson_weighted_localisation`.
+    """
+    _check_probability(p)
+
+    def weight(n: int) -> float:
+        if n < 1:
+            return 0.0
+        return (n - 1) * peer_found_probability(p, n)
+
+    return queueing.expected_value(c, weight)
+
+
+def expected_weighted_gamma(
+    gammas: Mapping[NetworkLayer, float],
+    probabilities: LayerProbabilities,
+    c: float,
+) -> float:
+    """``E[(L - 1) * gamma_p2p(L)]`` in closed form (corrected Eq. 10 core).
+
+    Decomposes Eq. 7 into telescoping ``P_layer`` terms::
+
+        E[(L-1) gamma_p2p(L)] = (gamma_exp - gamma_pop)  f(p_exp, c)
+                              + (gamma_pop - gamma_core) f(p_pop, c)
+                              + gamma_core               f(p_core, c)
+
+    (see the module-level erratum note for why the printed sign order in
+    the paper's Eq. 10 cannot be right).
+
+    Args:
+        gammas: per-layer per-bit costs (nJ/bit).
+        probabilities: layer localisation probabilities.
+        c: swarm capacity.
+
+    Returns:
+        Expected ``(L - 1) * gamma_p2p(L)`` in nJ/bit-weighted peers.
+    """
+    g_exp = gammas[NetworkLayer.EXCHANGE]
+    g_pop = gammas[NetworkLayer.POP]
+    g_core = gammas[NetworkLayer.CORE]
+    total = (
+        (g_exp - g_pop) * poisson_weighted_localisation(probabilities.exchange, c)
+        + (g_pop - g_core) * poisson_weighted_localisation(probabilities.pop, c)
+        + g_core * poisson_weighted_localisation(probabilities.core, c)
+    )
+    # The expectation is a sum of nonnegative terms; clamp the residual
+    # floating-point noise that can surface for c near the ulp scale.
+    return max(total, 0.0)
+
+
+def expected_weighted_gamma_exact(
+    gammas: Mapping[NetworkLayer, float],
+    probabilities: LayerProbabilities,
+    c: float,
+) -> float:
+    """Brute-force Poisson sum of ``E[(L - 1) * gamma_p2p(L)]`` (reference)."""
+
+    def weight(n: int) -> float:
+        if n < 2:
+            return 0.0
+        return (n - 1) * gamma_p2p(gammas, probabilities, n)
+
+    return queueing.expected_value(c, weight)
+
+
+def _check_probability(p: float) -> None:
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"probability must be in (0, 1], got {p!r}")

@@ -1,0 +1,210 @@
+"""M/M/infinity queueing model of a content swarm.
+
+The paper (Section III.B) models each content swarm as an M/M/inf queue,
+following Menasche et al.: viewers arrive as a Poisson process with rate
+``r`` (viewers per second), watch for an average duration ``u`` (seconds)
+and depart.  There is no queueing delay -- every viewer is "in service"
+(i.e. watching, and available as a peer) for the whole of their session.
+
+Two classical results drive everything downstream:
+
+* **Little's law** -- the average number of concurrent viewers (which the
+  paper calls the swarm's *capacity*) is ``c = u * r``.
+* **Poisson occupancy** -- in steady state the instantaneous number of
+  concurrent viewers ``L`` is Poisson distributed with mean ``c``; in
+  particular the probability that the swarm is non-empty is
+  ``p = 1 - exp(-c)``.
+
+This module wraps those results in a small, explicit API that the
+analytical model (:mod:`repro.core.analytical`) and the localisation
+machinery (:mod:`repro.core.localisation`) build on, plus exact helpers
+used by the test-suite to pin closed forms against brute-force sums.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "SwarmDynamics",
+    "capacity",
+    "busy_probability",
+    "occupancy_pmf",
+    "occupancy_cdf",
+    "expected_value",
+    "expected_excess_peers",
+    "truncation_bound",
+]
+
+#: Default absolute tolerance used when truncating infinite Poisson sums.
+_DEFAULT_TOL = 1e-12
+
+#: Hard cap on summation length so that pathological inputs terminate.
+_MAX_TERMS = 4_000_000
+
+
+def capacity(arrival_rate: float, mean_duration: float) -> float:
+    """Average number of concurrent viewers of a swarm (Little's law).
+
+    The paper terms this the swarm *capacity* ``c = u * r`` (Section
+    III.B): with arrival rate ``r`` and mean session duration ``u``, the
+    M/M/inf steady state holds ``c`` viewers on average.
+
+    Args:
+        arrival_rate: viewer arrival rate ``r`` in viewers/second (>= 0).
+        mean_duration: mean session duration ``u`` in seconds (>= 0).
+
+    Returns:
+        The swarm capacity ``c`` (dimensionless, viewers).
+
+    Raises:
+        ValueError: if either argument is negative or non-finite.
+    """
+    if not math.isfinite(arrival_rate) or arrival_rate < 0:
+        raise ValueError(f"arrival_rate must be finite and >= 0, got {arrival_rate!r}")
+    if not math.isfinite(mean_duration) or mean_duration < 0:
+        raise ValueError(f"mean_duration must be finite and >= 0, got {mean_duration!r}")
+    return arrival_rate * mean_duration
+
+
+def busy_probability(c: float) -> float:
+    """Probability that at least one viewer is online, ``p = 1 - e^-c``.
+
+    This is the steady-state probability that a Poisson(``c``) occupancy
+    is non-zero.  The paper denotes it ``p`` (Table II) and uses it to
+    discount the peer-sharable traffic: during the fraction of time the
+    swarm is empty nothing can be shared.
+    """
+    _check_capacity(c)
+    return -math.expm1(-c)
+
+
+def occupancy_pmf(c: float, n: int) -> float:
+    """Poisson pmf ``P[L = n]`` of the instantaneous swarm occupancy."""
+    _check_capacity(c)
+    if n < 0:
+        raise ValueError(f"occupancy must be >= 0, got {n}")
+    if c == 0.0:
+        return 1.0 if n == 0 else 0.0
+    # exp(n log c - c - log n!) is stable for large n where c**n overflows.
+    return math.exp(n * math.log(c) - c - math.lgamma(n + 1))
+
+
+def occupancy_cdf(c: float, n: int) -> float:
+    """Poisson cdf ``P[L <= n]`` of the instantaneous swarm occupancy."""
+    _check_capacity(c)
+    if n < 0:
+        return 0.0
+    total = 0.0
+    for k in range(0, n + 1):
+        total += occupancy_pmf(c, k)
+    return min(total, 1.0)
+
+
+def expected_value(c: float, fn, *, tol: float = _DEFAULT_TOL) -> float:
+    """Exact expectation ``E[fn(L)]`` for ``L ~ Poisson(c)``.
+
+    Sums ``fn(n) * P[L = n]`` until the Poisson tail mass multiplied by a
+    running bound on ``|fn|`` falls below ``tol``.  Intended for test /
+    reference use -- the closed forms in :mod:`repro.core.localisation`
+    are pinned against this function.
+
+    Args:
+        c: Poisson mean (the swarm capacity), >= 0.
+        fn: callable mapping an occupancy ``n`` to a float.
+        tol: absolute truncation tolerance.
+
+    Returns:
+        The expectation, truncated once the remaining tail is below
+        ``tol``.
+    """
+    _check_capacity(c)
+    if c == 0.0:
+        return float(fn(0))
+    total = 0.0
+    tail = 1.0  # remaining probability mass P[L >= n]
+    n = 0
+    bound = truncation_bound(c)
+    while n <= bound and n < _MAX_TERMS:
+        pmf = occupancy_pmf(c, n)
+        total += fn(n) * pmf
+        tail -= pmf
+        if tail <= tol and n > c:
+            break
+        n += 1
+    return total
+
+
+def expected_excess_peers(c: float) -> float:
+    """Closed form of ``E[(L - 1)^+] = E[max(L - 1, 0)]`` for Poisson(c).
+
+    This is the expected number of *uploading-capable* peers: in a window
+    with ``L`` concurrent viewers at most ``L - 1`` of them can be served
+    by fellow peers (the paper's Eq. 2 makes the peer-shared traffic
+    proportional to ``L - 1``).  The closed form is::
+
+        E[(L - 1)^+] = c - 1 + e^{-c}  =  c - p
+
+    with ``p = busy_probability(c)`` -- exactly the ``(c - p)`` factor in
+    the paper's sum of ``Delta T_p`` over windows (Section III.C).
+    """
+    _check_capacity(c)
+    return c - busy_probability(c)
+
+
+def truncation_bound(c: float, *, sigmas: float = 12.0) -> int:
+    """Occupancy value beyond which Poisson(c) mass is negligible.
+
+    Uses a mean + ``sigmas``-standard-deviations rule of thumb with a
+    small floor so that tiny capacities still sum a handful of terms.
+    """
+    _check_capacity(c)
+    return max(32, int(math.ceil(c + sigmas * math.sqrt(max(c, 1.0)))))
+
+
+@dataclass(frozen=True)
+class SwarmDynamics:
+    """Steady-state description of one content swarm.
+
+    A convenience bundle produced from trace measurements (arrival rate
+    and mean session length) or supplied directly; downstream code only
+    ever needs the derived :attr:`capacity`.
+
+    Attributes:
+        arrival_rate: viewer arrival rate ``r`` (viewers/second).
+        mean_duration: mean session duration ``u`` (seconds).
+    """
+
+    arrival_rate: float
+    mean_duration: float
+
+    def __post_init__(self) -> None:
+        # Route validation through capacity() so both fields are checked.
+        capacity(self.arrival_rate, self.mean_duration)
+
+    @property
+    def capacity(self) -> float:
+        """Average concurrent viewers ``c = u * r`` (Little's law)."""
+        return capacity(self.arrival_rate, self.mean_duration)
+
+    @property
+    def busy_probability(self) -> float:
+        """Probability the swarm has at least one viewer online."""
+        return busy_probability(self.capacity)
+
+    @classmethod
+    def from_capacity(cls, c: float, *, mean_duration: float = 1.0) -> "SwarmDynamics":
+        """Build dynamics with a given capacity (arrival rate is derived).
+
+        Useful for analytic sweeps where only ``c`` matters.
+        """
+        if mean_duration <= 0:
+            raise ValueError(f"mean_duration must be > 0, got {mean_duration!r}")
+        _check_capacity(c)
+        return cls(arrival_rate=c / mean_duration, mean_duration=mean_duration)
+
+
+def _check_capacity(c: float) -> None:
+    if not math.isfinite(c) or c < 0:
+        raise ValueError(f"capacity must be finite and >= 0, got {c!r}")

@@ -1,0 +1,102 @@
+"""High-level facade over the analytical model.
+
+:class:`SavingsModel` bundles an energy parameter set, an ISP layer
+description and an upload/bitrate ratio into one object so callers (the
+experiment drivers, the CLI, downstream users) can ask the questions the
+paper asks without threading four arguments everywhere::
+
+    from repro.core import SavingsModel, VALANCIUS
+
+    model = SavingsModel(VALANCIUS)
+    model.savings(capacity=100)          # ~0.47, Fig. 2's top-left peak
+    model.offload_fraction(capacity=1)   # ~0.37, footnote 3
+    model.breakdown(capacity=10)         # every Fig. 5 curve at c=10
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core import analytical, carbon
+from repro.core.analytical import SavingsBreakdown
+from repro.core.energy import EnergyModel
+from repro.core.localisation import LayerProbabilities, LONDON_LAYERS
+
+__all__ = ["SavingsModel"]
+
+
+@dataclass(frozen=True)
+class SavingsModel:
+    """The paper's closed-form model, fully parameterised.
+
+    Attributes:
+        energy: per-bit energy constants (``VALANCIUS`` / ``BALIGA`` or a
+            custom :class:`~repro.core.energy.EnergyModel`).
+        layers: ISP localisation probabilities; defaults to the paper's
+            London hierarchy (345 ExP / 9 PoP / 1 core).
+        upload_ratio: ``q / beta``, per-peer upload bandwidth over the
+            content bitrate; the paper sweeps 0.2 ... 1.0.
+    """
+
+    energy: EnergyModel
+    layers: LayerProbabilities = LONDON_LAYERS
+    upload_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.upload_ratio >= 0:
+            raise ValueError(f"upload_ratio must be >= 0, got {self.upload_ratio!r}")
+
+    # -- Eq. 3 ---------------------------------------------------------
+
+    def offload_fraction(self, capacity: float) -> float:
+        """Share of traffic peers can serve, ``G(c)`` (Eq. 3)."""
+        return analytical.offload_fraction(capacity, self.upload_ratio)
+
+    # -- Eq. 12 --------------------------------------------------------
+
+    def savings(self, capacity: float) -> float:
+        """End-to-end energy savings ``S(c)`` (master equation, Eq. 12)."""
+        return analytical.energy_savings(
+            capacity, self.energy, upload_ratio=self.upload_ratio, layers=self.layers
+        )
+
+    def savings_curve(self, capacities: Sequence[float]) -> List[tuple]:
+        """``S(c)`` over a sweep; the black theory curves of Figs. 2/4."""
+        return analytical.savings_curve(
+            capacities, self.energy, upload_ratio=self.upload_ratio, layers=self.layers
+        )
+
+    def peer_network_energy_per_bit(self, capacity: float) -> float:
+        """``Psi_p^r / T_u`` -- nJ of metro-network energy per watched bit."""
+        return analytical.peer_network_energy_per_bit(
+            capacity, self.energy, upload_ratio=self.upload_ratio, layers=self.layers
+        )
+
+    # -- Section V -----------------------------------------------------
+
+    def breakdown(self, capacity: float) -> SavingsBreakdown:
+        """All Fig. 5 curves (end-to-end / CDN / user / CCT) at one ``c``."""
+        return analytical.savings_breakdown(
+            capacity, self.energy, upload_ratio=self.upload_ratio, layers=self.layers
+        )
+
+    def carbon_credit_transfer(self, capacity: float) -> float:
+        """Normalised user footprint after credit transfer (Eq. 13)."""
+        return carbon.carbon_credit_transfer_at_capacity(
+            capacity, self.energy, upload_ratio=self.upload_ratio
+        )
+
+    def neutrality_capacity(self) -> float:
+        """Capacity at which the average user turns carbon neutral."""
+        return carbon.neutrality_capacity(self.energy, upload_ratio=self.upload_ratio)
+
+    def asymptotic_carbon_positivity(self) -> float:
+        """``CCT`` at full offload -- 18 % (Valancius) / 58 % (Baliga)."""
+        return carbon.asymptotic_carbon_positivity(self.energy)
+
+    # -- variants ------------------------------------------------------
+
+    def with_upload_ratio(self, upload_ratio: float) -> "SavingsModel":
+        """Same energy model and layers, different ``q / beta``."""
+        return SavingsModel(self.energy, layers=self.layers, upload_ratio=upload_ratio)

@@ -1,0 +1,168 @@
+"""Shared settings and cached artefacts for the experiment drivers.
+
+Two traces drive everything (see DESIGN.md's per-experiment index):
+
+* the **city trace** -- a month of the full synthetic catalogue over
+  five ISPs; powers Table I and Figs. 3, 4, 6;
+* the **exemplar trace** -- three pinned items at the paper's 100:10:1
+  popularity ratios with a uniform 1.5 Mbps bitrate; powers Fig. 2.
+
+``scale`` shrinks both proportionally (``quick()`` is what the test
+suite and fast benchmark runs use).  Traces and simulation results are
+memoised per settings value, so e.g. Figs. 3, 4 and 6 share one
+simulation run exactly like they share one trace in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Tuple
+
+from repro.sim.engine import SimulationConfig, Simulator
+from repro.sim.results import SimulationResult
+from repro.trace.events import Trace
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+from repro.trace.population import DeviceProfile
+
+__all__ = ["ExperimentSettings", "city_trace", "exemplar_trace", "paper_simulation"]
+
+#: Fig. 2 exemplar ids and their expected monthly views at scale = 1.
+#: The 100:10:1 ratio mirrors the paper's ~100K / ~10K / ~1K items
+#: ("Bad Education" / "Question Time" / "What's to Eat").
+TIER_VIEWS: Mapping[str, float] = {
+    "tier-popular": 120_000.0,
+    "tier-medium": 12_000.0,
+    "tier-unpopular": 1_200.0,
+}
+
+#: Fig. 2 uses a single-bitrate mix: the theory curve assumes a uniform
+#: beta, and the cost of mixing bitrates is measured separately by the
+#: bitrate ablation benchmark.
+UNIFORM_DEVICE_MIX: Tuple[DeviceProfile, ...] = (
+    DeviceProfile("desktop", bitrate=1.5e6, share=1.0),
+)
+
+#: City-trace device mix: three bitrate classes around the paper's modal
+#: 1.5 Mbps.  Fewer classes than the library default keeps sub-swarm
+#: fragmentation comparable to the paper's "split based on average
+#: bitrates" at our reduced population scale.
+CITY_DEVICE_MIX: Tuple[DeviceProfile, ...] = (
+    DeviceProfile("desktop", bitrate=1.5e6, share=0.70),
+    DeviceProfile("tv", bitrate=3.0e6, share=0.20),
+    DeviceProfile("mobile", bitrate=0.8e6, share=0.10),
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by every experiment driver.
+
+    Attributes:
+        scale: multiplies users and session counts; 1.0 is the headline
+            configuration (a ~1:20 scale model of the paper's London
+            month -- chosen so the *head* of the catalogue reaches the
+            paper's per-item capacities: swarm capacity is an absolute
+            quantity and cannot be preserved under uniform downscaling),
+            smaller values give proportionally faster runs.
+        days: trace length in days.
+        seed: master seed for both traces.
+        upload_ratio: the ``q / beta`` used outside Fig. 2's sweep.
+        num_users: city population at scale 1.
+        num_items: catalogue size at scale 1 (smaller than iPlayer's but
+            with identical Zipf structure; per-item capacities matter,
+            not the tail count).
+        expected_sessions: expected city-trace sessions at scale 1; with
+            600 Zipf(0.9) items the top item draws ~120K monthly views,
+            i.e. capacity ~90, matching the paper's popular exemplar.
+    """
+
+    scale: float = 1.0
+    days: int = 30
+    seed: int = 20130901
+    upload_ratio: float = 1.0
+    num_users: int = 60_000
+    num_items: int = 600
+    expected_sessions: float = 1_200_000.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be > 0, got {self.scale!r}")
+        if self.days < 1:
+            raise ValueError(f"days must be >= 1, got {self.days}")
+
+    @classmethod
+    def quick(cls) -> "ExperimentSettings":
+        """A fast configuration for tests and smoke benchmarks."""
+        return cls(scale=0.05, days=7)
+
+    # ------------------------------------------------------------------
+    # Derived generator configs
+    # ------------------------------------------------------------------
+
+    def city_config(self) -> GeneratorConfig:
+        """Generator config of the full-catalogue city trace."""
+        return GeneratorConfig(
+            num_users=max(100, int(self.num_users * self.scale)),
+            num_items=max(20, int(self.num_items * min(1.0, self.scale * 4))),
+            days=self.days,
+            expected_sessions=self.expected_sessions * self.scale * (self.days / 30),
+            seed=self.seed,
+        )
+
+    def exemplar_config(self) -> GeneratorConfig:
+        """Generator config of the Fig. 2 exemplar trace.
+
+        Only the three pinned tiers exist; their views scale with both
+        ``scale`` and trace length so per-day dots stay meaningful.
+        """
+        factor = self.scale * (self.days / 30)
+        return GeneratorConfig(
+            num_users=max(100, int(self.num_users * self.scale)),
+            num_items=len(TIER_VIEWS),
+            days=self.days,
+            expected_sessions=0.0,
+            pinned_views={tier: views * factor for tier, views in TIER_VIEWS.items()},
+            seed=self.seed + 1,
+        )
+
+    def simulation_config(self, upload_ratio: float = None) -> SimulationConfig:
+        """Simulation config at a given (or the default) upload ratio."""
+        ratio = self.upload_ratio if upload_ratio is None else upload_ratio
+        return SimulationConfig(upload_ratio=ratio)
+
+
+# ----------------------------------------------------------------------
+# Memoised artefacts
+# ----------------------------------------------------------------------
+
+_TRACES: Dict[Tuple, Trace] = {}
+_RESULTS: Dict[Tuple, SimulationResult] = {}
+
+
+def city_trace(settings: ExperimentSettings) -> Trace:
+    """The (cached) full-catalogue city trace for these settings."""
+    key = ("city", settings)
+    if key not in _TRACES:
+        _TRACES[key] = TraceGenerator(
+            config=settings.city_config(), device_mix=CITY_DEVICE_MIX
+        ).generate()
+    return _TRACES[key]
+
+
+def exemplar_trace(settings: ExperimentSettings) -> Trace:
+    """The (cached) Fig. 2 exemplar trace for these settings."""
+    key = ("exemplar", settings)
+    if key not in _TRACES:
+        _TRACES[key] = TraceGenerator(
+            config=settings.exemplar_config(), device_mix=UNIFORM_DEVICE_MIX
+        ).generate()
+    return _TRACES[key]
+
+
+def paper_simulation(settings: ExperimentSettings) -> SimulationResult:
+    """The (cached) paper-policy simulation of the city trace."""
+    key = ("city-sim", settings)
+    if key not in _RESULTS:
+        simulator = Simulator(settings.simulation_config())
+        _RESULTS[key] = simulator.run(city_trace(settings))
+    return _RESULTS[key]

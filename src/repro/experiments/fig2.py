@@ -1,0 +1,127 @@
+"""Fig. 2: energy savings vs swarm capacity, theory vs simulation.
+
+The paper's figure: for three exemplar items (popular / medium /
+unpopular, ~100:10:1 views) and the top-5 ISPs, simulated savings (dots)
+against the Eq. 12 curve (line), for q/beta in {0.2 ... 1.0}, under both
+energy models.
+
+Reproduction: each (tier, ISP) sub-trace is simulated once per upload
+ratio; every simulated *day* yields one dot at (measured daily capacity,
+daily savings), which is how the paper's dots spread along the capacity
+axis.  The theory curve is Eq. 12 over a log-spaced capacity grid.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.analysis.plots import ascii_chart
+from repro.analysis.tables import render_table
+from repro.core.energy import EnergyModel, builtin_models
+from repro.core.savings import SavingsModel
+from repro.experiments.config import ExperimentSettings, TIER_VIEWS, exemplar_trace
+from repro.experiments.report import Report
+from repro.sim.accounting import savings as ledger_savings
+from repro.sim.engine import SimulationConfig, Simulator
+from repro.trace.events import SECONDS_PER_DAY, Trace
+
+__all__ = ["run_fig2", "UPLOAD_RATIOS", "tier_dots"]
+
+#: The paper's q/beta sweep.
+UPLOAD_RATIOS: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+#: Dots: (capacity, savings) samples; one per simulated day per ISP.
+Dots = List[Tuple[float, float]]
+
+
+def tier_dots(
+    settings: ExperimentSettings,
+    tier: str,
+    model: EnergyModel,
+    upload_ratio: float,
+) -> Dots:
+    """Simulated daily (capacity, savings) dots for one tier and model."""
+    trace = exemplar_trace(settings).for_content(tier)
+    dots: Dots = []
+    for isp in trace.isps:
+        sub = trace.for_isp(isp)
+        result = Simulator(SimulationConfig(upload_ratio=upload_ratio)).run(sub)
+        for (name, _day), ledger in result.per_isp_day.items():
+            if name != isp or ledger.watch_seconds <= 0.0:
+                continue
+            capacity = ledger.watch_seconds / SECONDS_PER_DAY
+            dots.append((capacity, ledger_savings(ledger, model)))
+    return dots
+
+
+def run_fig2(settings: ExperimentSettings) -> Report:
+    """Reproduce Fig. 2 (both energy-model rows, all three tiers)."""
+    report = Report(
+        name="fig2",
+        title=(
+            "Energy savings vs capacity: theory (Eq. 12) and simulation, "
+            "3 popularity tiers x top-5 ISPs x q/beta sweep (paper Fig. 2)"
+        ),
+    )
+    summary_rows = []
+    data: Dict[str, Dict] = {}
+
+    for model in builtin_models():
+        for tier in TIER_VIEWS:
+            series: Dict[str, Dots] = {}
+            for ratio in UPLOAD_RATIOS:
+                dots = tier_dots(settings, tier, model, ratio)
+                if not dots:
+                    continue
+                series[f"sim q/b={ratio}"] = dots
+
+                capacities = [c for c, _ in dots]
+                grid = _log_grid(min(capacities), max(capacities))
+                theory = SavingsModel(model, upload_ratio=ratio)
+                series[f"theo q/b={ratio}"] = theory.savings_curve(grid)
+
+                sim_mean = sum(s for _, s in dots) / len(dots)
+                theo_at = [theory.savings(c) for c, _ in dots]
+                theo_mean = sum(theo_at) / len(theo_at)
+                mae = sum(abs(s - t) for (_, s), t in zip(dots, theo_at)) / len(dots)
+                summary_rows.append(
+                    [model.name, tier, ratio, round(sim_mean, 4), round(theo_mean, 4), round(mae, 4)]
+                )
+                data[f"{model.name}/{tier}/{ratio}"] = {
+                    "sim_mean": sim_mean,
+                    "theo_mean": theo_mean,
+                    "mae": mae,
+                    "dots": dots,
+                }
+            if series:
+                chart_series = {
+                    k: v for k, v in series.items() if k.endswith("=1.0") or k.endswith("=0.2")
+                }
+                report.add(
+                    f"{model.name} / {tier}",
+                    ascii_chart(
+                        chart_series,
+                        log_x=True,
+                        title=f"savings vs capacity ({model.name}, {tier})",
+                        y_label="S",
+                    ),
+                )
+
+    report.add(
+        "Theory vs simulation summary",
+        render_table(
+            ["model", "tier", "q/beta", "sim mean S", "theo mean S", "MAE"],
+            summary_rows,
+        ),
+    )
+    report.data = data
+    return report
+
+
+def _log_grid(lo: float, hi: float, points: int = 40) -> List[float]:
+    """Log-spaced capacities covering [lo/2, hi*2]."""
+    lo = max(lo / 2.0, 1e-3)
+    hi = max(hi * 2.0, lo * 10.0)
+    log_lo, log_hi = math.log10(lo), math.log10(hi)
+    return [10 ** (log_lo + (log_hi - log_lo) * i / (points - 1)) for i in range(points)]

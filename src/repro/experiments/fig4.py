@@ -1,0 +1,116 @@
+"""Fig. 4: aggregate daily energy savings across ISPs over a month.
+
+The paper plots daily system savings for ISPs 1, 4 and 5 over September
+2013, simulated and theoretical, under both energy models; the biggest
+ISP averages ~30 % (Valancius) / ~18 % (Baliga).  The theoretical series
+applies Eq. 12 per swarm per day (capacity measured from the trace) and
+weights by traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.aggregates import daily_theory_savings
+from repro.analysis.comparison import compare_series
+from repro.analysis.plots import ascii_chart
+from repro.analysis.tables import render_table
+from repro.core.energy import builtin_models
+from repro.core.savings import SavingsModel
+from repro.experiments.config import ExperimentSettings, city_trace, paper_simulation
+from repro.experiments.report import Report
+
+__all__ = ["run_fig4", "FIG4_ISPS", "PAPER_MONTHLY_SESSIONS"]
+
+#: The ISPs the paper plots (largest, a mid one and the smallest).
+FIG4_ISPS: Tuple[str, ...] = ("ISP-1", "ISP-4", "ISP-5")
+
+#: London sessions in the paper's Sep 2013 month (Table I) -- the
+#: reference density for the capacity extrapolation.
+PAPER_MONTHLY_SESSIONS = 23.5e6
+
+
+def run_fig4(settings: ExperimentSettings) -> Report:
+    """Reproduce Fig. 4 (both energy-model panels)."""
+    report = Report(
+        name="fig4",
+        title=(
+            "Aggregate daily energy savings across ISPs over the month, "
+            "simulated vs analytical (paper Fig. 4)"
+        ),
+    )
+    result = paper_simulation(settings)
+    trace = city_trace(settings)
+
+    data: Dict[str, Dict[str, object]] = {}
+    for model in builtin_models():
+        series: Dict[str, List[Tuple[float, float]]] = {}
+        rows = []
+        for isp in FIG4_ISPS:
+            simulated = [(float(d), s) for d, s in result.daily_savings(isp, model)]
+            theoretical = [
+                (float(d), s)
+                for d, s in daily_theory_savings(
+                    trace, isp, model, upload_ratio=settings.upload_ratio
+                )
+            ]
+            if not simulated:
+                continue
+            series[f"{isp} sim."] = simulated
+            series[f"{isp} theo."] = theoretical
+            summary = compare_series(simulated, theoretical)
+            mean_sim = sum(s for _, s in simulated) / len(simulated)
+            mean_theo = sum(s for _, s in theoretical) / len(theoretical)
+            rows.append(
+                [isp, round(mean_sim, 4), round(mean_theo, 4), round(summary.mean_absolute_error, 4)]
+            )
+            data[f"{model.name}/{isp}"] = {
+                "mean_sim": mean_sim,
+                "mean_theo": mean_theo,
+                "mae": summary.mean_absolute_error,
+                "series_sim": simulated,
+                "series_theo": theoretical,
+            }
+        if series:
+            report.add(
+                f"{model.name}: daily savings by ISP",
+                ascii_chart(series, title=f"daily S, {model.name}", y_label="S"),
+            )
+            report.add(
+                f"{model.name}: monthly means (paper: ~0.30 Valancius / "
+                "~0.18 Baliga for the biggest ISP)",
+                render_table(["ISP", "mean sim S", "mean theo S", "MAE"], rows),
+            )
+
+    # Whole-system numbers for the headline claim, plus the density
+    # extrapolation: swarm capacity is an absolute quantity, so a 1:N
+    # scale trace under-populates swarms by exactly N.  Scaling each
+    # measured capacity back up by N and applying the (simulation-
+    # validated) Eq. 12, traffic-weighted, estimates the full-density
+    # system savings -- this recovers the paper's ~30 % / ~18 %.
+    density_factor = PAPER_MONTHLY_SESSIONS * (settings.days / 30.0) / max(len(trace), 1)
+    headline = []
+    for model in builtin_models():
+        savings_model = SavingsModel(model, upload_ratio=settings.upload_ratio)
+        weighted = 0.0
+        total = 0.0
+        for swarm in result.per_swarm.values():
+            traffic = swarm.ledger.demanded_bits
+            weighted += savings_model.savings(swarm.capacity * density_factor) * traffic
+            total += traffic
+        extrapolated = weighted / total if total else 0.0
+        headline.append(
+            [model.name, round(result.savings(model), 4), round(extrapolated, 4)]
+        )
+        data[f"extrapolated/{model.name}"] = extrapolated
+    report.add(
+        f"Whole-system savings (paper headline: 24-48 %); extrapolation "
+        f"rescales measured capacities x{density_factor:.1f} to the paper's "
+        "trace density before applying Eq. 12",
+        render_table(
+            ["model", "system S (this scale)", "S at paper density (theo)"], headline
+        ),
+    )
+    data["system"] = {m.name: result.savings(m) for m in builtin_models()}
+    report.data = data
+    return report

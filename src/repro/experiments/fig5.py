@@ -1,0 +1,76 @@
+"""Fig. 5: savings decomposition vs swarm capacity (analytic).
+
+End-to-end savings (Eq. 12), CDN savings (G), user "savings" (-G) and
+the carbon credit transfer (Eq. 13) as capacity sweeps 10^-3 ... 10^4,
+for both energy models.  The CCT curve rises from -1 (no sharing) and
+crosses zero where users turn carbon neutral, asymptoting at +18 %
+(Valancius) / +58 % (Baliga).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.analysis.plots import ascii_chart
+from repro.analysis.tables import render_table
+from repro.core.energy import builtin_models
+from repro.core.savings import SavingsModel
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.report import Report
+
+__all__ = ["run_fig5", "capacity_grid"]
+
+
+def capacity_grid(points: int = 60) -> List[float]:
+    """Log-spaced capacities over the paper's 10^-3 ... 10^4 axis."""
+    return [10 ** (-3 + 7 * i / (points - 1)) for i in range(points)]
+
+
+def run_fig5(settings: ExperimentSettings) -> Report:
+    """Reproduce Fig. 5 (both panels)."""
+    report = Report(
+        name="fig5",
+        title=(
+            "Energy savings of the network by party (end-to-end / CDN / user) "
+            "and carbon credit transfer vs swarm capacity (paper Fig. 5)"
+        ),
+    )
+    grid = capacity_grid()
+    data: Dict[str, Dict[str, object]] = {}
+    for model in builtin_models():
+        savings_model = SavingsModel(model, upload_ratio=settings.upload_ratio)
+        rows = [savings_model.breakdown(c) for c in grid]
+        series = {
+            "End-to-End": [(r.capacity, r.end_to_end) for r in rows],
+            "CDN": [(r.capacity, r.cdn) for r in rows],
+            "User": [(r.capacity, r.user) for r in rows],
+            "CC Transfer": [(r.capacity, r.carbon_credit_transfer) for r in rows],
+        }
+        report.add(
+            f"{model.name}: savings vs capacity",
+            ascii_chart(series, log_x=True, title=f"Fig. 5, {model.name}", y_label="savings"),
+        )
+
+        neutrality = savings_model.neutrality_capacity()
+        asymptote = savings_model.asymptotic_carbon_positivity()
+        report.add(
+            f"{model.name}: carbon neutrality",
+            render_table(
+                ["quantity", "value"],
+                [
+                    ["neutral capacity c*", round(neutrality, 3) if math.isfinite(neutrality) else "inf"],
+                    ["neutral offload G*", round(
+                        savings_model.offload_fraction(neutrality), 4
+                    ) if math.isfinite(neutrality) else "unreachable"],
+                    ["asymptotic CCT (G=1)", round(asymptote, 4)],
+                ],
+            ),
+        )
+        data[model.name] = {
+            "series": series,
+            "neutral_capacity": neutrality,
+            "asymptotic_cct": asymptote,
+        }
+    report.data = data
+    return report

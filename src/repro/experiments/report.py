@@ -1,0 +1,38 @@
+"""The report structure every experiment driver produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["Report"]
+
+
+@dataclass
+class Report:
+    """A rendered experiment outcome plus its structured data.
+
+    Attributes:
+        name: experiment id ("table1", "fig2", ...).
+        title: the paper artefact being reproduced.
+        sections: ordered (heading, body) text blocks.
+        data: machine-readable results, for tests and EXPERIMENTS.md.
+    """
+
+    name: str
+    title: str
+    sections: List[Tuple[str, str]] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def add(self, heading: str, body: str) -> None:
+        """Append a section."""
+        self.sections.append((heading, body))
+
+    def render(self) -> str:
+        """The full report as plain text."""
+        out = [f"{'#' * 2} {self.name}: {self.title}"]
+        for heading, body in self.sections:
+            out.append("")
+            out.append(f"--- {heading} ---")
+            out.append(body)
+        return "\n".join(out)

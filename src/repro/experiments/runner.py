@@ -1,0 +1,56 @@
+"""Run every experiment and collect the reports."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.report import Report
+from repro.experiments.tables import run_table1, run_table3, run_table4
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+#: Every reproducible artefact, in paper order.
+EXPERIMENTS: Mapping[str, Callable[[ExperimentSettings], Report]] = {
+    "table1": run_table1,
+    "table3": run_table3,
+    "table4": run_table4,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+}
+
+
+def run_experiment(name: str, settings: Optional[ExperimentSettings] = None) -> Report:
+    """Run one experiment by id ("table1", "fig2", ...)."""
+    try:
+        driver = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return driver(settings or ExperimentSettings())
+
+
+def run_all(
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    out_dir: Optional[Path] = None,
+) -> List[Report]:
+    """Run every experiment; optionally write one text file per report."""
+    settings = settings or ExperimentSettings()
+    reports = [driver(settings) for driver in EXPERIMENTS.values()]
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for report in reports:
+            (out_dir / f"{report.name}.txt").write_text(report.render() + "\n")
+    return reports

@@ -1,0 +1,122 @@
+"""Reproduction of the paper's Tables I, III and IV.
+
+* **Table I** -- dataset description: two generated "months" (different
+  seeds standing in for Sep 2013 / Jul 2014) summarised by users, IPs
+  and sessions.
+* **Table III** -- localisation probabilities of the London ISP tree.
+* **Table IV** -- the two energy parameter sets, including the check
+  that the Valancius network figures equal hops x 150 nJ/bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis.tables import render_table
+from repro.core.energy import PER_HOP_NJ_PER_BIT, VALANCIUS_HOP_COUNTS, builtin_models
+from repro.experiments.config import CITY_DEVICE_MIX, ExperimentSettings, city_trace
+from repro.experiments.report import Report
+from repro.topology.isp import ISPNetwork
+from repro.trace.generator import TraceGenerator
+from repro.trace.stats import summarise
+
+__all__ = ["run_table1", "run_table3", "run_table4"]
+
+
+def run_table1(settings: ExperimentSettings) -> Report:
+    """Table I: dataset description for two generated months."""
+    report = Report(
+        name="table1",
+        title="Description of the dataset (paper Table I; synthetic, ~1:20 scale)",
+    )
+    months = {
+        "Sep 2013": settings,
+        "Jul 2014": replace(
+            settings,
+            seed=settings.seed + 100,
+            # The paper's second month is ~8 % busier (3.6M vs 3.3M users).
+            num_users=int(settings.num_users * 1.08),
+            expected_sessions=settings.expected_sessions * 1.03,
+        ),
+    }
+    stats = {}
+    for label, month_settings in months.items():
+        if label == "Sep 2013":
+            trace = city_trace(month_settings)
+        else:
+            trace = TraceGenerator(
+                config=month_settings.city_config(), device_mix=CITY_DEVICE_MIX
+            ).generate()
+        stats[label] = summarise(trace)
+
+    first = next(iter(stats.values()))
+    headers = ["", *stats.keys()]
+    rows = []
+    for index, (metric, _) in enumerate(first.table_rows()):
+        rows.append([metric, *(s.table_rows()[index][1] for s in stats.values())])
+    report.add("Dataset description", render_table(headers, rows))
+    report.data["stats"] = {
+        label: {
+            "users": s.num_users,
+            "ips": s.num_ip_addresses,
+            "sessions": s.num_sessions,
+        }
+        for label, s in stats.items()
+    }
+    return report
+
+
+def run_table3(settings: ExperimentSettings) -> Report:
+    """Table III: per-layer localisation probabilities."""
+    report = Report(
+        name="table3",
+        title="Localisation probabilities of the metro hierarchy (paper Table III)",
+    )
+    isp = ISPNetwork("London-major-ISP")
+    rows = [
+        [row["layer"], row["count"], f"{row['probability']:.2%}"]
+        for row in isp.localisation_table()
+    ]
+    report.add(
+        "Layer probabilities (345 ExP / 9 PoP / 1 core)",
+        render_table(["Layer", "Count", "Localisation Probability"], rows),
+    )
+    report.data["rows"] = isp.localisation_table()
+    return report
+
+
+def run_table4(settings: ExperimentSettings) -> Report:
+    """Table IV: energy parameters of both built-in models."""
+    report = Report(
+        name="table4",
+        title="Energy parameters, Valancius et al. and Baliga et al. (paper Table IV)",
+    )
+    models = builtin_models()
+    labels = {
+        "gamma_server": "Content Server (gamma_s)",
+        "gamma_modem": "End User Modem (gamma_m)",
+        "gamma_cdn_network": "Traditional CDN Network (gamma_cdn)",
+        "gamma_exchange": "P2P Network within ExP (gamma_exp)",
+        "gamma_pop": "P2P Network within PoP (gamma_pop)",
+        "gamma_core": "P2P Network within Core (gamma_core)",
+        "pue": "Power Efficiency (PUE)",
+        "loss": "End-user energy loss (l)",
+    }
+    rows = []
+    for key, label in labels.items():
+        rows.append([label, *(model.as_table_row()[key] for model in models)])
+    report.add(
+        "Per-bit energy parameters (nJ/bit)",
+        render_table(["Variable", *(m.name.title() for m in models)], rows),
+    )
+
+    hop_rows = [
+        [name, hops, hops * PER_HOP_NJ_PER_BIT]
+        for name, hops in sorted(VALANCIUS_HOP_COUNTS.items())
+    ]
+    report.add(
+        "Valancius derivation check: network params are hops x 150 nJ/bit",
+        render_table(["Path class", "Hops", "nJ/bit"], hop_rows),
+    )
+    report.data["models"] = {m.name: m.as_table_row() for m in models}
+    return report

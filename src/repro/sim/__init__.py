@@ -1,0 +1,44 @@
+"""Discrete time-step hybrid-CDN simulator (paper Section IV.A).
+
+Windows of ``delta_tau`` seconds (paper: 10 s), swarms scoped per
+content item x bitrate class x ISP, closest-first peer matching over the
+metro tree, byte ledgers at system / swarm / (ISP, day) / user level.
+"""
+
+from repro.sim.accounting import (
+    ByteLedger,
+    baseline_energy_nj,
+    hybrid_energy_nj,
+    savings,
+)
+from repro.sim.engine import SimulationConfig, Simulator, simulate
+from repro.sim.matching import PeerState, WindowAllocation, match_window
+from repro.sim.policies import PAPER_POLICY, SwarmKey, SwarmPolicy
+from repro.sim.results import SimulationResult, SwarmResult, UserTraffic
+from repro.sim.validation import (
+    ValidationPoint,
+    ValidationReport,
+    validate_against_theory,
+)
+
+__all__ = [
+    "ByteLedger",
+    "PAPER_POLICY",
+    "PeerState",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "SwarmKey",
+    "SwarmPolicy",
+    "SwarmResult",
+    "UserTraffic",
+    "ValidationPoint",
+    "ValidationReport",
+    "WindowAllocation",
+    "validate_against_theory",
+    "baseline_energy_nj",
+    "hybrid_energy_nj",
+    "match_window",
+    "savings",
+    "simulate",
+]

@@ -1,0 +1,122 @@
+"""Byte ledgers and energy accounting for simulation runs.
+
+The simulator deliberately accounts in **bytes by path class**, not in
+energy: a :class:`ByteLedger` records how many bits were served by the
+CDN and how many peer-to-peer at each localisation layer.  Energy (and
+therefore savings) is applied *afterwards* for any
+:class:`~repro.core.energy.EnergyModel` -- so a single simulation run
+yields both the Valancius and the Baliga numbers, exactly like the
+paper's twin columns.
+
+Savings definition (paper Eq. 1)::
+
+    S_sim = 1 - E_hybrid / E_cdn_only
+
+where ``E_cdn_only`` prices *all* demanded bits at the server per-bit
+cost ``psi_s`` and ``E_hybrid`` prices the ledger as recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+from repro.core.energy import EnergyModel
+from repro.topology.layers import NetworkLayer
+
+__all__ = ["ByteLedger", "hybrid_energy_nj", "baseline_energy_nj", "savings"]
+
+
+@dataclass
+class ByteLedger:
+    """Bits moved during (part of) a simulation, by path class.
+
+    Attributes:
+        server_bits: bits streamed from CDN servers.
+        peer_bits: bits streamed peer-to-peer, keyed by the layer where
+            the path turned around; the :attr:`NetworkLayer.SERVER` key
+            holds cross-ISP peer bits (transit-priced), which only the
+            non-ISP-friendly ablation produces.
+        demanded_bits: total bits streamed (server + peer); kept
+            explicitly so savings can be computed without re-deriving.
+        watch_seconds: user-seconds of viewing covered by this ledger
+            (drives measured-capacity statistics).
+        sessions: number of sessions that contributed.
+    """
+
+    server_bits: float = 0.0
+    peer_bits: Dict[NetworkLayer, float] = field(default_factory=dict)
+    demanded_bits: float = 0.0
+    watch_seconds: float = 0.0
+    sessions: int = 0
+
+    @property
+    def total_peer_bits(self) -> float:
+        return sum(self.peer_bits.values())
+
+    @property
+    def offload_fraction(self) -> float:
+        """Measured ``G``: share of demanded bits served by peers."""
+        if self.demanded_bits <= 0:
+            return 0.0
+        return self.total_peer_bits / self.demanded_bits
+
+    def add_server_bits(self, bits: float) -> None:
+        if bits < 0:
+            raise ValueError(f"bits must be >= 0, got {bits!r}")
+        self.server_bits += bits
+
+    def add_peer_bits(self, layer: NetworkLayer, bits: float) -> None:
+        if bits < 0:
+            raise ValueError(f"bits must be >= 0, got {bits!r}")
+        self.peer_bits[layer] = self.peer_bits.get(layer, 0.0) + bits
+
+    def merge(self, other: "ByteLedger") -> None:
+        """Fold another ledger into this one in place."""
+        self.server_bits += other.server_bits
+        for layer, bits in other.peer_bits.items():
+            self.peer_bits[layer] = self.peer_bits.get(layer, 0.0) + bits
+        self.demanded_bits += other.demanded_bits
+        self.watch_seconds += other.watch_seconds
+        self.sessions += other.sessions
+
+    @classmethod
+    def merged(cls, ledgers: Iterable["ByteLedger"]) -> "ByteLedger":
+        """A fresh ledger holding the sum of the given ones."""
+        total = cls()
+        for ledger in ledgers:
+            total.merge(ledger)
+        return total
+
+
+def hybrid_energy_nj(ledger: ByteLedger, model: EnergyModel) -> float:
+    """Energy (nJ) of the hybrid run recorded in ``ledger``.
+
+    Server bits are priced at ``psi_s``; peer bits at ``psi_p`` for their
+    layer; cross-ISP peer bits (the :attr:`NetworkLayer.SERVER` key) at
+    two modem traversals plus the PUE-inflated transit network
+    (consistent with :func:`repro.topology.routing.transfer_energy_nj`).
+    """
+    energy = model.server_energy_nj(ledger.server_bits)
+    for layer, bits in ledger.peer_bits.items():
+        if layer is NetworkLayer.SERVER:
+            energy += bits * (model.psi_peer_modem + model.pue * model.gamma_cdn_network)
+        else:
+            energy += model.peer_energy_nj(bits, layer)
+    return energy
+
+
+def baseline_energy_nj(ledger: ByteLedger, model: EnergyModel) -> float:
+    """Energy (nJ) had every demanded bit come from the CDN (no P2P)."""
+    return model.server_energy_nj(ledger.demanded_bits)
+
+
+def savings(ledger: ByteLedger, model: EnergyModel) -> float:
+    """Simulated energy savings ``S_sim = 1 - E_hybrid / E_cdn`` (Eq. 1).
+
+    Returns 0.0 for an empty ledger (no traffic, nothing to save).
+    """
+    baseline = baseline_energy_nj(ledger, model)
+    if baseline <= 0.0:
+        return 0.0
+    return 1.0 - hybrid_energy_nj(ledger, model) / baseline

@@ -1,0 +1,350 @@
+"""The discrete time-step simulator (paper Section IV.A).
+
+The paper: "we implemented a discrete time step simulator where
+timestamps of events (i.e., start times and durations), and bitrates of
+user sessions, are taken from the trace.  The simulator proceeds with a
+fixed time step of dtau = 10 seconds where for each dtau the simulator
+assesses how many peers are online, how much upload bandwidth they can
+share and how much download bandwidth they require ... We match peers
+that are closest to each other."
+
+Implementation notes:
+
+* Sessions are quantized to whole windows; a session covers windows
+  ``[floor(start / dtau), ceil(end / dtau))`` and demands
+  ``bitrate * dtau`` bits in each.
+* Between consecutive session starts/ends the online set of a swarm is
+  constant, so the per-window allocation is identical across the whole
+  stretch; the engine computes it once and scales -- the results are
+  *bit-for-bit identical* to stepping every window, at a cost of
+  O(sessions) rather than O(watched-time / dtau) per swarm.
+* Stretches are split at day boundaries so per-day ledgers stay exact
+  (``dtau`` must divide a day; 2/10/30/60 s all do).
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.accounting import ByteLedger
+from repro.sim.matching import PeerState, WindowAllocation, match_window
+from repro.sim.policies import PAPER_POLICY, SwarmKey, SwarmPolicy
+from repro.sim.results import SimulationResult, SwarmResult, UserTraffic
+from repro.trace.events import SECONDS_PER_DAY, Session, Trace
+
+__all__ = ["SimulationConfig", "Simulator", "simulate"]
+
+#: Event kinds, in the order they apply within one window.
+_REMOVE, _DEMOTE, _ADD = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of a simulation run.
+
+    Attributes:
+        delta_tau: window length in seconds (paper: 10 s); must divide a
+            day so per-day accounting is exact.
+        upload_ratio: per-peer upload bandwidth as a fraction of the
+            session bitrate (the paper's ``q / beta`` axis).
+        upload_bandwidth: absolute per-peer upload bandwidth in bits/s;
+            overrides ``upload_ratio`` when set (models a fixed access
+            technology instead of a ratio).
+        policy: swarm scoping policy (paper default: ISP-friendly,
+            bitrate-split).
+        allow_cross_isp_matching: enable the extra cross-ISP matching
+            phase (transit-priced); only the ablation turns this on.
+        locality_aware_matching: match closest-first (paper default);
+            False switches to random matching for the locality ablation.
+        participation_rate: fraction of users who contribute upload
+            capacity.  The paper's conclusion cites Akamai NetSession,
+            where "as little as 30 % of its users participate";
+            non-participants still stream but never upload.  Which users
+            participate is a deterministic hash of the user id, so the
+            same users opt in across runs and swarms.
+        seed_linger_seconds: how long a finished viewer keeps serving
+            the content as an upload-only "lingering seed" (the paper's
+            future-work caching direction).  0 reproduces the paper:
+            peers share only what they are currently watching.
+    """
+
+    delta_tau: float = 10.0
+    upload_ratio: float = 1.0
+    upload_bandwidth: Optional[float] = None
+    policy: SwarmPolicy = PAPER_POLICY
+    allow_cross_isp_matching: bool = False
+    locality_aware_matching: bool = True
+    participation_rate: float = 1.0
+    seed_linger_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delta_tau <= 0:
+            raise ValueError(f"delta_tau must be > 0, got {self.delta_tau!r}")
+        if SECONDS_PER_DAY % self.delta_tau != 0:
+            raise ValueError(
+                f"delta_tau must divide a day (86400 s), got {self.delta_tau!r}"
+            )
+        if self.upload_ratio < 0:
+            raise ValueError(f"upload_ratio must be >= 0, got {self.upload_ratio!r}")
+        if self.upload_bandwidth is not None and self.upload_bandwidth < 0:
+            raise ValueError(
+                f"upload_bandwidth must be >= 0, got {self.upload_bandwidth!r}"
+            )
+        if not 0.0 <= self.participation_rate <= 1.0:
+            raise ValueError(
+                f"participation_rate must be in [0, 1], got {self.participation_rate!r}"
+            )
+        if self.seed_linger_seconds < 0:
+            raise ValueError(
+                f"seed_linger_seconds must be >= 0, got {self.seed_linger_seconds!r}"
+            )
+
+    def upload_rate_for(self, bitrate: float) -> float:
+        """A peer's upload bandwidth in bits/s given their bitrate."""
+        if self.upload_bandwidth is not None:
+            return self.upload_bandwidth
+        return self.upload_ratio * bitrate
+
+    def participates(self, user_id: int) -> bool:
+        """Whether a user contributes upload capacity.
+
+        A deterministic hash of the user id, so participation is a
+        stable user property (across swarms, runs and processes) rather
+        than per-window noise.
+        """
+        if self.participation_rate >= 1.0:
+            return True
+        if self.participation_rate <= 0.0:
+            return False
+        bucket = zlib.crc32(str(user_id).encode("ascii")) % 10_000
+        return bucket < self.participation_rate * 10_000
+
+
+@dataclass
+class _SwarmAccumulator:
+    """Mutable per-swarm state while sweeping one swarm's events."""
+
+    key: SwarmKey
+    ledger: ByteLedger = field(default_factory=ByteLedger)
+    watch_seconds: float = 0.0
+    durations_total: float = 0.0
+    sessions: int = 0
+
+
+class Simulator:
+    """Runs the windowed hybrid-CDN simulation over a trace."""
+
+    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+        self.config = config or SimulationConfig()
+
+    def run(self, trace: Trace) -> SimulationResult:
+        """Simulate the whole trace.
+
+        Returns:
+            A :class:`~repro.sim.results.SimulationResult` with ledgers
+            at system / swarm / (ISP, day) / user level.
+        """
+        config = self.config
+        swarms: Dict[SwarmKey, List[Session]] = {}
+        for session in trace:
+            swarms.setdefault(config.policy.key_for(session), []).append(session)
+
+        per_swarm: Dict[SwarmKey, SwarmResult] = {}
+        per_isp_day: Dict[Tuple[str, int], ByteLedger] = {}
+        per_user: Dict[int, UserTraffic] = {}
+        total = ByteLedger()
+
+        for key, sessions in swarms.items():
+            result = self._run_swarm(key, sessions, trace.horizon, per_isp_day, per_user)
+            per_swarm[key] = result
+            total.merge(result.ledger)
+
+        return SimulationResult(
+            total=total,
+            per_swarm=per_swarm,
+            per_isp_day=per_isp_day,
+            per_user=per_user,
+            delta_tau=config.delta_tau,
+            horizon=trace.horizon,
+            upload_ratio=config.upload_ratio,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-swarm sweep
+    # ------------------------------------------------------------------
+
+    def _run_swarm(
+        self,
+        key: SwarmKey,
+        sessions: List[Session],
+        horizon: float,
+        per_isp_day: Dict[Tuple[str, int], ByteLedger],
+        per_user: Dict[int, UserTraffic],
+    ) -> SwarmResult:
+        config = self.config
+        dtau = config.delta_tau
+        windows_per_day = int(SECONDS_PER_DAY // dtau)
+
+        # Build events on the window grid.  Event kinds sort as
+        # remove (0) < demote (1) < add (2), so at a shared window a
+        # session ending exactly when another starts never overlaps it.
+        # "Demote" turns a finished viewer into an upload-only lingering
+        # seed (the caching extension); with seed_linger_seconds == 0
+        # sessions go straight to removal, reproducing the paper.
+        events: List[Tuple[int, int, Session]] = []
+        for session in sessions:
+            w_start = int(session.start // dtau)
+            w_end = max(w_start + 1, int(math.ceil(session.end / dtau)))
+            events.append((w_start, _ADD, session))
+            lingers = (
+                config.seed_linger_seconds > 0.0
+                and config.participates(session.user_id)
+            )
+            if lingers:
+                w_linger = int(math.ceil((session.end + config.seed_linger_seconds) / dtau))
+                if w_linger > w_end:
+                    events.append((w_end, _DEMOTE, session))
+                    events.append((w_linger, _REMOVE, session))
+                else:
+                    events.append((w_end, _REMOVE, session))
+            else:
+                events.append((w_end, _REMOVE, session))
+        events.sort(key=lambda e: (e[0], e[1]))
+
+        acc = _SwarmAccumulator(key=key)
+        acc.sessions = len(sessions)
+        acc.durations_total = sum(s.duration for s in sessions)
+        acc.ledger.sessions = len(sessions)
+
+        members: Dict[int, PeerState] = {}
+        previous_window = 0
+        index = 0
+        while index < len(events):
+            window = events[index][0]
+            if window > previous_window and members:
+                self._account_stretch(
+                    acc, members, previous_window, window, windows_per_day,
+                    per_isp_day, per_user,
+                )
+            previous_window = max(previous_window, window)
+            # Apply every event at this window (removals first by sort).
+            while index < len(events) and events[index][0] == window:
+                _, kind, session = events[index]
+                if kind == _REMOVE:
+                    members.pop(session.session_id, None)
+                elif kind == _DEMOTE:
+                    viewer = members.get(session.session_id)
+                    if viewer is not None:
+                        members[session.session_id] = PeerState(
+                            member_id=viewer.member_id,
+                            user_id=viewer.user_id,
+                            demand=0.0,
+                            supply=viewer.supply,
+                            exchange=viewer.exchange,
+                            pop=viewer.pop,
+                            isp=viewer.isp,
+                        )
+                else:
+                    supply_rate = (
+                        config.upload_rate_for(session.bitrate)
+                        if config.participates(session.user_id)
+                        else 0.0
+                    )
+                    members[session.session_id] = PeerState(
+                        member_id=session.session_id,
+                        user_id=session.user_id,
+                        demand=session.bitrate * dtau,
+                        supply=supply_rate * dtau,
+                        exchange=session.attachment.exchange,
+                        pop=session.attachment.pop,
+                        isp=session.isp,
+                    )
+                index += 1
+
+        acc.ledger.watch_seconds = acc.watch_seconds
+        return SwarmResult(
+            key=key,
+            ledger=acc.ledger,
+            capacity=acc.watch_seconds / horizon if horizon > 0 else 0.0,
+            arrival_rate=len(sessions) / horizon if horizon > 0 else 0.0,
+            mean_duration=acc.durations_total / len(sessions) if sessions else 0.0,
+        )
+
+    def _account_stretch(
+        self,
+        acc: _SwarmAccumulator,
+        members: Dict[int, PeerState],
+        w_from: int,
+        w_to: int,
+        windows_per_day: int,
+        per_isp_day: Dict[Tuple[str, int], ByteLedger],
+        per_user: Dict[int, UserTraffic],
+    ) -> None:
+        """Account a run of identical windows, split at day boundaries."""
+        config = self.config
+        member_list = list(members.values())
+        allocation = match_window(
+            member_list,
+            allow_cross_isp=config.allow_cross_isp_matching,
+            locality_aware=config.locality_aware_matching,
+        )
+        # Lingering seeds (demand 0) are not *viewers*: capacity counts
+        # concurrent watchers only, as in the paper.
+        viewers = sum(1 for m in member_list if m.demand > 0.0)
+        watch_per_window = viewers * config.delta_tau
+
+        window = w_from
+        while window < w_to:
+            day = window // windows_per_day
+            day_end = (day + 1) * windows_per_day
+            chunk = min(w_to, day_end) - window
+            self._apply_allocation(
+                acc, allocation, member_list, chunk, day,
+                watch_per_window * chunk, per_isp_day, per_user,
+            )
+            acc.watch_seconds += watch_per_window * chunk
+            window += chunk
+
+    def _apply_allocation(
+        self,
+        acc: _SwarmAccumulator,
+        allocation: WindowAllocation,
+        member_list: List[PeerState],
+        num_windows: int,
+        day: int,
+        watch_seconds: float,
+        per_isp_day: Dict[Tuple[str, int], ByteLedger],
+        per_user: Dict[int, UserTraffic],
+    ) -> None:
+        isp = acc.key.isp if acc.key.isp is not None else "all"
+        day_ledger = per_isp_day.get((isp, day))
+        if day_ledger is None:
+            day_ledger = per_isp_day[(isp, day)] = ByteLedger()
+        day_ledger.watch_seconds += watch_seconds
+
+        server = allocation.server_bits * num_windows
+        demanded = allocation.demanded_bits * num_windows
+        for ledger in (acc.ledger, day_ledger):
+            ledger.server_bits += server
+            ledger.demanded_bits += demanded
+            for layer, bits in allocation.peer_bits.items():
+                ledger.peer_bits[layer] = ledger.peer_bits.get(layer, 0.0) + bits * num_windows
+
+        for member in member_list:
+            traffic = per_user.get(member.user_id)
+            if traffic is None:
+                traffic = per_user[member.user_id] = UserTraffic()
+            traffic.watched_bits += member.demand * num_windows
+        for user_id, bits in allocation.uploaded_bits.items():
+            traffic = per_user.get(user_id)
+            if traffic is None:
+                traffic = per_user[user_id] = UserTraffic()
+            traffic.uploaded_bits += bits * num_windows
+
+
+def simulate(trace: Trace, config: Optional[SimulationConfig] = None) -> SimulationResult:
+    """One-call simulation with defaults (see :class:`SimulationConfig`)."""
+    return Simulator(config).run(trace)

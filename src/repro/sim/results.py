@@ -1,0 +1,168 @@
+"""Result structures produced by a simulation run.
+
+A :class:`SimulationResult` holds byte ledgers at every aggregation level
+the paper reports on:
+
+* whole-system (headline savings, Fig. 4's numerator),
+* per (ISP, day) -- Fig. 4's daily series,
+* per swarm and per content item -- Fig. 2's dots and Fig. 3's CCDFs,
+* per user -- Fig. 6's carbon-credit CDF.
+
+Energy models are applied lazily so one run serves both parameter sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.carbon import UserFootprint
+from repro.core.energy import EnergyModel
+from repro.sim.accounting import ByteLedger, savings
+from repro.sim.policies import SwarmKey
+
+__all__ = ["SwarmResult", "UserTraffic", "SimulationResult"]
+
+
+@dataclass
+class SwarmResult:
+    """Outcome of one swarm over the simulated horizon.
+
+    Attributes:
+        key: the swarm's identity under the scoping policy.
+        ledger: bytes moved for this swarm.
+        capacity: measured average concurrent viewers (watch-seconds over
+            the horizon -- the empirical analogue of Little's-law ``c``).
+        arrival_rate: measured session arrivals per second.
+        mean_duration: measured mean session duration in seconds.
+    """
+
+    key: SwarmKey
+    ledger: ByteLedger
+    capacity: float
+    arrival_rate: float
+    mean_duration: float
+
+    def savings(self, model: EnergyModel) -> float:
+        """This swarm's simulated savings under ``model``."""
+        return savings(self.ledger, model)
+
+
+@dataclass
+class UserTraffic:
+    """Per-user byte totals over the run.
+
+    Attributes:
+        watched_bits: bits the user streamed (server + peers).
+        uploaded_bits: bits the user uploaded to peers.
+    """
+
+    watched_bits: float = 0.0
+    uploaded_bits: float = 0.0
+
+    def footprint(self) -> UserFootprint:
+        """As a :class:`~repro.core.carbon.UserFootprint` for Eq. 13."""
+        return UserFootprint(
+            watched_bits=self.watched_bits, uploaded_bits=self.uploaded_bits
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced, aggregated at the paper's levels.
+
+    Attributes:
+        total: whole-system ledger.
+        per_swarm: ledgers and measured dynamics per swarm key.
+        per_isp_day: ledgers keyed by (ISP name, zero-based day).
+        per_user: byte totals per user id.
+        delta_tau: window size the run used (seconds).
+        horizon: trace horizon (seconds).
+        upload_ratio: the ``q / beta`` the run was configured with.
+    """
+
+    total: ByteLedger
+    per_swarm: Dict[SwarmKey, SwarmResult]
+    per_isp_day: Dict[Tuple[str, int], ByteLedger]
+    per_user: Dict[int, UserTraffic]
+    delta_tau: float
+    horizon: float
+    upload_ratio: float
+
+    # ------------------------------------------------------------------
+    # Headline numbers
+    # ------------------------------------------------------------------
+
+    def savings(self, model: EnergyModel) -> float:
+        """System-wide simulated savings ``S_sim`` under ``model``."""
+        return savings(self.total, model)
+
+    def offload_fraction(self) -> float:
+        """System-wide measured ``G`` (model-independent)."""
+        return self.total.offload_fraction
+
+    # ------------------------------------------------------------------
+    # Figure-level views
+    # ------------------------------------------------------------------
+
+    def isp_names(self) -> List[str]:
+        return sorted({isp for isp, _ in self.per_isp_day})
+
+    def days(self) -> List[int]:
+        return sorted({day for _, day in self.per_isp_day})
+
+    def daily_savings(self, isp: str, model: EnergyModel) -> List[Tuple[int, float]]:
+        """Fig. 4 series: (day, savings) for one ISP, day-ordered."""
+        rows = []
+        for (name, day), ledger in self.per_isp_day.items():
+            if name == isp:
+                rows.append((day, savings(ledger, model)))
+        return sorted(rows)
+
+    def isp_ledger(self, isp: str) -> ByteLedger:
+        """All of one ISP's traffic, merged across days."""
+        return ByteLedger.merged(
+            ledger for (name, _), ledger in self.per_isp_day.items() if name == isp
+        )
+
+    def per_content_results(self) -> Dict[str, SwarmResult]:
+        """Swarms merged up to content-item level (Fig. 3's unit).
+
+        Capacity adds across sub-swarms (concurrent viewers of the item
+        across ISPs and bitrate classes); arrival rates add; mean
+        duration is session-weighted.
+        """
+        merged: Dict[str, List[SwarmResult]] = {}
+        for result in self.per_swarm.values():
+            merged.setdefault(result.key.content_id, []).append(result)
+        out: Dict[str, SwarmResult] = {}
+        for content_id, results in merged.items():
+            ledger = ByteLedger.merged(r.ledger for r in results)
+            sessions = sum(r.ledger.sessions for r in results)
+            mean_duration = (
+                sum(r.mean_duration * r.ledger.sessions for r in results) / sessions
+                if sessions
+                else 0.0
+            )
+            out[content_id] = SwarmResult(
+                key=SwarmKey(content_id=content_id),
+                ledger=ledger,
+                capacity=sum(r.capacity for r in results),
+                arrival_rate=sum(r.arrival_rate for r in results),
+                mean_duration=mean_duration,
+            )
+        return out
+
+    def user_footprints(self) -> Dict[int, UserFootprint]:
+        """Per-user footprints for the Fig. 6 carbon-credit CDF."""
+        return {uid: traffic.footprint() for uid, traffic in self.per_user.items()}
+
+    def carbon_positive_share(self, model: EnergyModel) -> float:
+        """Fraction of users whose credit covers their footprint."""
+        footprints = self.user_footprints()
+        if not footprints:
+            return 0.0
+        positive = sum(
+            1 for fp in footprints.values() if fp.is_carbon_positive(model)
+        )
+        return positive / len(footprints)

@@ -1,0 +1,182 @@
+"""Controlled validation of the simulator against the analytical model.
+
+The paper's central empirical claim is that the master equation (Eq. 12)
+"is a reasonable approximation that can potentially be used for network
+planning purposes" -- i.e. the closed form tracks the trace-driven
+simulation.  This module packages that check as a reusable harness: it
+manufactures *stationary* single-item workloads at chosen capacities
+(flat arrivals, uniform bitrate, one ISP -- the M/M/inf model's exact
+assumptions), simulates them, and compares measured offload and savings
+against Eq. 3 / Eq. 12 point by point.
+
+Used three ways: by the test-suite (tight tolerances under stationary
+conditions), by the validation benchmark, and by users who modify the
+engine and want to know it still honours the theory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import render_table
+from repro.core.energy import EnergyModel, VALANCIUS
+from repro.core.savings import SavingsModel
+from repro.sim.engine import SimulationConfig, Simulator
+from repro.topology.city import CityNetwork
+from repro.topology.isp import ISPNetwork
+from repro.trace.diurnal import FLAT_PROFILE
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+from repro.trace.population import DeviceProfile
+
+__all__ = ["ValidationPoint", "ValidationReport", "validate_against_theory"]
+
+#: Mean completion of the generator's Beta(6, 2) viewing model.
+_MEAN_COMPLETION = 6.0 / (6.0 + 2.0)
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One (capacity, upload-ratio) comparison.
+
+    Attributes:
+        target_capacity: the capacity the workload was built to hit.
+        measured_capacity: the capacity the simulation actually measured.
+        upload_ratio: the ``q / beta`` simulated.
+        offload_sim: measured offload fraction ``G``.
+        offload_theory: Eq. 3 at the measured capacity.
+        savings_sim: measured savings ``S`` (Eq. 1).
+        savings_theory: Eq. 12 at the measured capacity.
+    """
+
+    target_capacity: float
+    measured_capacity: float
+    upload_ratio: float
+    offload_sim: float
+    offload_theory: float
+    savings_sim: float
+    savings_theory: float
+
+    @property
+    def offload_error(self) -> float:
+        return abs(self.offload_sim - self.offload_theory)
+
+    @property
+    def savings_error(self) -> float:
+        return abs(self.savings_sim - self.savings_theory)
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All validation points plus aggregate agreement."""
+
+    model_name: str
+    points: Tuple[ValidationPoint, ...]
+
+    @property
+    def max_offload_error(self) -> float:
+        return max(p.offload_error for p in self.points)
+
+    @property
+    def max_savings_error(self) -> float:
+        return max(p.savings_error for p in self.points)
+
+    def passes(self, *, offload_tol: float = 0.02, savings_tol: float = 0.02) -> bool:
+        """True when every point agrees within the given tolerances."""
+        return (
+            self.max_offload_error <= offload_tol
+            and self.max_savings_error <= savings_tol
+        )
+
+    def render(self) -> str:
+        """The comparison as a table (one row per point)."""
+        rows = [
+            [
+                round(p.measured_capacity, 2),
+                p.upload_ratio,
+                round(p.offload_sim, 4),
+                round(p.offload_theory, 4),
+                round(p.savings_sim, 4),
+                round(p.savings_theory, 4),
+            ]
+            for p in self.points
+        ]
+        return render_table(
+            ["capacity", "q/beta", "G sim", "G theo", "S sim", "S theo"],
+            rows,
+            title=f"Simulator vs Eq. 3/12 ({self.model_name}, stationary workloads)",
+        )
+
+
+def validate_against_theory(
+    capacities: Sequence[float] = (1.0, 3.0, 8.0, 20.0),
+    upload_ratios: Sequence[float] = (0.4, 1.0),
+    *,
+    model: EnergyModel = VALANCIUS,
+    days: int = 4,
+    seed: int = 20180601,
+) -> ValidationReport:
+    """Run the stationary validation sweep.
+
+    Args:
+        capacities: target swarm capacities to manufacture.
+        upload_ratios: ``q / beta`` values to simulate at each capacity.
+        model: energy parameterisation for the savings comparison.
+        days: workload length (longer = tighter statistics).
+        seed: workload seed.
+
+    Returns:
+        A :class:`ValidationReport`; points appear in sweep order.
+    """
+    if not capacities:
+        raise ValueError("need at least one capacity")
+    if not upload_ratios:
+        raise ValueError("need at least one upload ratio")
+
+    # One ISP, one bitrate, flat arrivals: exactly the closed form's world.
+    city = CityNetwork(
+        name="validation-city", isps=(ISPNetwork("ISP-1"),), shares=(1.0,)
+    )
+    device_mix = (DeviceProfile("uniform", bitrate=1.5e6, share=1.0),)
+
+    points: List[ValidationPoint] = []
+    for capacity in capacities:
+        trace = _stationary_item_trace(capacity, days, seed, city, device_mix)
+        for ratio in upload_ratios:
+            simulator = Simulator(SimulationConfig(upload_ratio=ratio))
+            result = simulator.run(trace)
+            swarm = max(result.per_swarm.values(), key=lambda r: r.capacity)
+            theory = SavingsModel(model, upload_ratio=ratio)
+            points.append(
+                ValidationPoint(
+                    target_capacity=capacity,
+                    measured_capacity=swarm.capacity,
+                    upload_ratio=ratio,
+                    offload_sim=swarm.ledger.offload_fraction,
+                    offload_theory=theory.offload_fraction(swarm.capacity),
+                    savings_sim=swarm.savings(model),
+                    savings_theory=theory.savings(swarm.capacity),
+                )
+            )
+    return ValidationReport(model_name=model.name, points=tuple(points))
+
+
+def _stationary_item_trace(capacity, days, seed, city, device_mix):
+    """A flat-arrival single-item trace hitting a target capacity."""
+    horizon = days * 86_400.0
+    # Little's law, inverted: views = c * horizon / mean session length.
+    # Catalogue durations average ~2 610 s over the TV slot grid.
+    mean_duration = 2_610.0 * _MEAN_COMPLETION
+    views = capacity * horizon / mean_duration
+    config = GeneratorConfig(
+        num_users=max(200, int(views)),
+        num_items=1,
+        days=days,
+        expected_sessions=0.0,
+        pinned_views={"validation-item": views},
+        seed=seed,
+    )
+    generator = TraceGenerator(
+        config=config, city=city, device_mix=tuple(device_mix), profile=FLAT_PROFILE
+    )
+    return generator.generate()

@@ -1,0 +1,30 @@
+"""ISP metropolitan network substrate (paper Fig. 1 / Table III).
+
+A regular three-layer tree per ISP (core -> PoPs -> exchange points ->
+users), a city bundling several ISPs with market shares, and transfer
+classification ("at which layer do two users' paths meet?") with the
+corresponding per-transfer energy.
+"""
+
+from repro.topology.city import CityNetwork, DEFAULT_ISP_SHARES, default_london
+from repro.topology.isp import ISPNetwork, LONDON_EXCHANGES, LONDON_POPS
+from repro.topology.layers import NetworkLayer, P2P_LAYERS
+from repro.topology.nodes import AttachmentPoint, lowest_common_layer
+from repro.topology.routing import Transfer, classify_transfer, hop_count, transfer_energy_nj
+
+__all__ = [
+    "AttachmentPoint",
+    "CityNetwork",
+    "DEFAULT_ISP_SHARES",
+    "ISPNetwork",
+    "LONDON_EXCHANGES",
+    "LONDON_POPS",
+    "NetworkLayer",
+    "P2P_LAYERS",
+    "Transfer",
+    "classify_transfer",
+    "default_london",
+    "hop_count",
+    "lowest_common_layer",
+    "transfer_energy_nj",
+]

@@ -1,0 +1,75 @@
+"""Layers of the ISP metropolitan network hierarchy.
+
+The paper (Fig. 1, Table III) models a metropolitan ISP as a three-layer
+tree, verified through private conversations with a large national ISP:
+
+* **exchange points** (ExP) -- 345 of them; the leaves users hang off,
+* **points of presence** (PoP) -- 9 aggregating the exchange points,
+* a single **core router** at the root.
+
+When two peers exchange traffic, the cost of the transfer is determined
+by the *lowest common layer* of their attachment points: two users under
+the same exchange point meet at :attr:`NetworkLayer.EXCHANGE`; users
+under different exchanges but the same PoP meet at
+:attr:`NetworkLayer.POP`; anything else within the ISP climbs to
+:attr:`NetworkLayer.CORE`.  Traffic to a CDN server leaves the metro tree
+entirely (:attr:`NetworkLayer.SERVER`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["NetworkLayer", "P2P_LAYERS"]
+
+
+class NetworkLayer(enum.IntEnum):
+    """Where a transfer is localised, ordered from closest to farthest.
+
+    The integer ordering matters: lower values mean shorter paths, and
+    peer matching prefers the lowest layer available
+    (``min`` over candidate layers is "closest-first").
+    """
+
+    #: Both endpoints under the same exchange point (shortest P2P path).
+    EXCHANGE = 1
+    #: Same point of presence, different exchange points.
+    POP = 2
+    #: Same ISP metro network, different PoPs (path crosses the core).
+    CORE = 3
+    #: Path leaves the metro network towards a content server.
+    SERVER = 4
+
+    @property
+    def is_peer_layer(self) -> bool:
+        """True for layers at which two *peers* can be matched."""
+        return self is not NetworkLayer.SERVER
+
+    @property
+    def short_name(self) -> str:
+        """Compact label used in tables and reports."""
+        return _SHORT_NAMES[self]
+
+    @property
+    def paper_name(self) -> str:
+        """The name used in the paper's Table III."""
+        return _PAPER_NAMES[self]
+
+
+_SHORT_NAMES = {
+    NetworkLayer.EXCHANGE: "exp",
+    NetworkLayer.POP: "pop",
+    NetworkLayer.CORE: "core",
+    NetworkLayer.SERVER: "server",
+}
+
+_PAPER_NAMES = {
+    NetworkLayer.EXCHANGE: "Exchange Point",
+    NetworkLayer.POP: "Point of Presence",
+    NetworkLayer.CORE: "Core Router",
+    NetworkLayer.SERVER: "Content Server",
+}
+
+#: The three layers at which peer-to-peer traffic can be localised,
+#: ordered closest-first.
+P2P_LAYERS = (NetworkLayer.EXCHANGE, NetworkLayer.POP, NetworkLayer.CORE)

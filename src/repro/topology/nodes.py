@@ -1,0 +1,59 @@
+"""Attachment points: where a user hangs off the ISP tree.
+
+A user's position in the metropolitan hierarchy is fully described by the
+triple (ISP, point of presence, exchange point).  Attachment points are
+value objects -- hashable, comparable, and cheap to create in bulk during
+trace generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.layers import NetworkLayer
+
+__all__ = ["AttachmentPoint", "lowest_common_layer"]
+
+
+@dataclass(frozen=True, order=True)
+class AttachmentPoint:
+    """A leaf position in one ISP's metropolitan tree.
+
+    Attributes:
+        isp: name of the ISP whose tree the user hangs off.
+        pop: index of the point of presence (0-based).
+        exchange: index of the exchange point (0-based, unique within the
+            ISP, not within the PoP).
+    """
+
+    isp: str
+    pop: int
+    exchange: int
+
+    def __post_init__(self) -> None:
+        if not self.isp:
+            raise ValueError("isp name must be non-empty")
+        if self.pop < 0:
+            raise ValueError(f"pop index must be >= 0, got {self.pop}")
+        if self.exchange < 0:
+            raise ValueError(f"exchange index must be >= 0, got {self.exchange}")
+
+
+def lowest_common_layer(a: AttachmentPoint, b: AttachmentPoint) -> NetworkLayer:
+    """The closest layer at which traffic between two users can turn around.
+
+    * same exchange point -> :attr:`NetworkLayer.EXCHANGE`
+    * same PoP, different exchange -> :attr:`NetworkLayer.POP`
+    * same ISP, different PoP -> :attr:`NetworkLayer.CORE`
+    * different ISPs -> :attr:`NetworkLayer.SERVER` -- the metro trees do
+      not meet; the transfer would transit like CDN traffic.  The paper's
+      ISP-friendly swarms never match such peers (the ablation benchmarks
+      do, deliberately).
+    """
+    if a.isp != b.isp:
+        return NetworkLayer.SERVER
+    if a.exchange == b.exchange:
+        return NetworkLayer.EXCHANGE
+    if a.pop == b.pop:
+        return NetworkLayer.POP
+    return NetworkLayer.CORE

@@ -1,0 +1,87 @@
+"""Transfer classification and per-transfer energy on the metro tree.
+
+The simulator never routes packets; what it needs from the topology is,
+for every transfer, (a) *where the path turns around* (the lowest common
+layer of the endpoints) and (b) the energy of pushing the transfer's bits
+along that class of path under a given
+:class:`~repro.core.energy.EnergyModel`.  This module provides both, plus
+the hop-count view that underlies the Valancius parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.topology.layers import NetworkLayer
+from repro.topology.nodes import AttachmentPoint, lowest_common_layer
+
+if TYPE_CHECKING:  # imported for annotations only -- keeps the module
+    # importable while repro.core.energy itself is mid-import (it needs
+    # repro.topology.layers, whose parent package imports this module).
+    from repro.core.energy import EnergyModel
+
+__all__ = ["Transfer", "classify_transfer", "transfer_energy_nj", "hop_count"]
+
+#: Hop counts per path class, as used to derive the Valancius parameters
+#: (Table IV caption): server paths cross 7 hops; peer paths meeting at
+#: the core/PoP/exchange cross 6/4/2.
+_HOPS = {
+    NetworkLayer.SERVER: 7,
+    NetworkLayer.CORE: 6,
+    NetworkLayer.POP: 4,
+    NetworkLayer.EXCHANGE: 2,
+}
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """A classified transfer between two endpoints.
+
+    Attributes:
+        layer: lowest common layer of the endpoints' attachment points.
+        same_isp: whether both endpoints subscribe to the same ISP
+            (ISP-friendly swarms guarantee this; ablations may not).
+    """
+
+    layer: NetworkLayer
+    same_isp: bool
+
+    @property
+    def is_local(self) -> bool:
+        """True when the path stays inside one metro tree."""
+        return self.same_isp and self.layer.is_peer_layer
+
+
+def classify_transfer(a: AttachmentPoint, b: AttachmentPoint) -> Transfer:
+    """Classify a peer-to-peer transfer between two attachment points."""
+    return Transfer(layer=lowest_common_layer(a, b), same_isp=a.isp == b.isp)
+
+
+def hop_count(layer: NetworkLayer) -> int:
+    """Network hops crossed by a path of the given class."""
+    return _HOPS[layer]
+
+
+def transfer_energy_nj(
+    model: EnergyModel,
+    a: AttachmentPoint,
+    b: AttachmentPoint,
+    num_bits: float,
+) -> float:
+    """Total energy to move ``num_bits`` between two *peers*.
+
+    Includes both modem traversals and the PUE-inflated network path at
+    the endpoints' lowest common layer.  Cross-ISP transfers (which
+    ISP-friendly swarms forbid) are charged at the CDN network rate
+    ``gamma_cdn`` -- the path leaves both metro trees and transits, so the
+    traditional-CDN path cost is the closest published figure (used only
+    by the cross-ISP ablation).
+    """
+    if num_bits < 0:
+        raise ValueError(f"num_bits must be >= 0, got {num_bits!r}")
+    transfer = classify_transfer(a, b)
+    if transfer.layer is NetworkLayer.SERVER:
+        gamma = model.gamma_cdn_network
+        return num_bits * (model.psi_peer_modem + model.pue * gamma)
+    return model.peer_energy_nj(num_bits, transfer.layer)

@@ -1,0 +1,51 @@
+"""Workload substrate: sessions, catalogue, population, synthetic traces.
+
+Substitutes the paper's proprietary BBC iPlayer trace with a fully
+parameterised synthetic generator (see DESIGN.md for the substitution
+rationale).  The simulator consumes a :class:`Trace` regardless of where
+it came from.
+"""
+
+from repro.trace.catalogue import Catalogue, ContentItem, zipf_weights
+from repro.trace.diurnal import DiurnalProfile, FLAT_PROFILE, UK_TV_PROFILE
+from repro.trace.events import SECONDS_PER_DAY, Session, Trace
+from repro.trace.generator import (
+    GeneratorConfig,
+    TraceGenerator,
+    generate_trace,
+    sample_poisson,
+)
+from repro.trace.loader import load_csv, load_jsonl, save_csv, save_jsonl
+from repro.trace.population import (
+    DEFAULT_DEVICE_MIX,
+    DeviceProfile,
+    Population,
+    User,
+)
+from repro.trace.stats import TraceStats, summarise
+
+__all__ = [
+    "Catalogue",
+    "ContentItem",
+    "DEFAULT_DEVICE_MIX",
+    "DeviceProfile",
+    "DiurnalProfile",
+    "FLAT_PROFILE",
+    "GeneratorConfig",
+    "Population",
+    "SECONDS_PER_DAY",
+    "Session",
+    "Trace",
+    "TraceGenerator",
+    "TraceStats",
+    "UK_TV_PROFILE",
+    "User",
+    "generate_trace",
+    "load_csv",
+    "load_jsonl",
+    "sample_poisson",
+    "save_csv",
+    "save_jsonl",
+    "summarise",
+    "zipf_weights",
+]

@@ -1,0 +1,190 @@
+"""Content catalogue with Zipf-distributed popularity.
+
+The paper's Fig. 3 shows the iPlayer catalogue has "a few popular items
+but a large majority of unpopular items" -- the classic heavy-tailed
+video-on-demand popularity.  We model per-item expected view counts as a
+Zipf law over popularity rank, with optional *pinned* items whose view
+counts are set explicitly (used to plant the Fig. 2 exemplars: a ~100K
+views hit, a ~10K mid-tier show and a ~1K niche item, scaled to the
+configured trace size).
+
+Programme durations follow the TV-schedule grid (30/45/60/90-minute
+slots) rather than a continuous distribution -- iPlayer is catch-up TV,
+and "TV shows are much longer than the average YouTube video" (paper
+Section IV.A).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ContentItem", "Catalogue", "zipf_weights"]
+
+#: TV schedule slot lengths in seconds, with rough airtime shares.
+_SLOT_DURATIONS: Tuple[Tuple[float, float], ...] = (
+    (30 * 60.0, 0.45),
+    (45 * 60.0, 0.20),
+    (60 * 60.0, 0.25),
+    (90 * 60.0, 0.10),
+)
+
+_GENRES = ("drama", "comedy", "news", "documentary", "entertainment", "sport", "children")
+
+
+def zipf_weights(n: int, exponent: float) -> List[float]:
+    """Normalised Zipf weights ``w_k ~ k^-exponent`` for ranks 1..n."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if exponent < 0:
+        raise ValueError(f"exponent must be >= 0, got {exponent}")
+    raw = [(k + 1) ** -exponent for k in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+@dataclass(frozen=True)
+class ContentItem:
+    """One programme available for on-demand streaming.
+
+    Attributes:
+        content_id: stable identifier, e.g. ``"item-0042"``.
+        title: human-readable name (synthetic ones are generated).
+        duration: programme length in seconds.
+        genre: coarse genre label, informational.
+        expected_views: expected number of sessions over the trace
+            horizon (the Zipf mass assigned to this item).
+    """
+
+    content_id: str
+    title: str
+    duration: float
+    genre: str
+    expected_views: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration!r}")
+        if self.expected_views < 0:
+            raise ValueError(f"expected_views must be >= 0, got {self.expected_views!r}")
+
+
+@dataclass(frozen=True)
+class Catalogue:
+    """The full set of items available during the trace.
+
+    Attributes:
+        items: all items, most popular first.
+    """
+
+    items: Tuple[ContentItem, ...]
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ValueError("catalogue must contain at least one item")
+        ids = [item.content_id for item in self.items]
+        if len(set(ids)) != len(ids):
+            raise ValueError("content ids must be unique")
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def get(self, content_id: str) -> ContentItem:
+        """Look up an item by id."""
+        for item in self.items:
+            if item.content_id == content_id:
+                return item
+        raise KeyError(f"no item {content_id!r} in catalogue")
+
+    @property
+    def total_expected_views(self) -> float:
+        return sum(item.expected_views for item in self.items)
+
+    def by_popularity(self) -> List[ContentItem]:
+        """Items sorted by expected views, descending."""
+        return sorted(self.items, key=lambda i: i.expected_views, reverse=True)
+
+    def popularity_tiers(self) -> Dict[str, ContentItem]:
+        """The Fig. 2 exemplars: the most popular item, a mid-tier item
+        (~popularity rank at 1/10th the top item's views) and an
+        unpopular item (~1/100th).
+
+        Returns:
+            Mapping with keys ``"popular"``, ``"medium"``, ``"unpopular"``.
+        """
+        ranked = self.by_popularity()
+        top = ranked[0]
+        tiers = {"popular": top}
+        for key, factor in (("medium", 0.1), ("unpopular", 0.01)):
+            target = top.expected_views * factor
+            tiers[key] = min(ranked, key=lambda i: abs(i.expected_views - target))
+        return tiers
+
+    @classmethod
+    def generate(
+        cls,
+        num_items: int,
+        total_expected_views: float,
+        *,
+        zipf_exponent: float = 0.9,
+        pinned_views: Optional[Mapping[str, float]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> "Catalogue":
+        """Generate a synthetic catalogue.
+
+        Args:
+            num_items: catalogue size (iPlayer's is thousands of items).
+            total_expected_views: expected sessions across the horizon;
+                divided over items by Zipf rank.
+            zipf_exponent: popularity skew (literature on VoD traces
+                reports 0.8-1.0; the default 0.9 sits in the middle).
+            pinned_views: optional explicit view counts, keyed by
+                content id; pinned items are prepended and the Zipf mass
+                covers the remainder.  Used to plant the Fig. 2 tier
+                exemplars at paper-like popularity ratios.
+            rng: randomness for durations/genres (a fresh seeded
+                generator when omitted).
+        """
+        if num_items < 1:
+            raise ValueError(f"num_items must be >= 1, got {num_items}")
+        if total_expected_views < 0:
+            raise ValueError(
+                f"total_expected_views must be >= 0, got {total_expected_views}"
+            )
+        rng = rng or random.Random(0)
+        pinned = dict(pinned_views or {})
+        if len(pinned) > num_items:
+            raise ValueError(
+                f"{len(pinned)} pinned items exceed catalogue size {num_items}"
+            )
+        pinned_total = sum(pinned.values())
+        num_zipf = num_items - len(pinned)
+        remaining = max(total_expected_views - pinned_total, 0.0)
+        weights = zipf_weights(num_zipf, zipf_exponent) if num_zipf else []
+
+        items: List[ContentItem] = []
+        for content_id, views in pinned.items():
+            items.append(_make_item(content_id, views, rng))
+        for rank, weight in enumerate(weights):
+            content_id = f"item-{rank:05d}"
+            items.append(_make_item(content_id, remaining * weight, rng))
+        items.sort(key=lambda i: i.expected_views, reverse=True)
+        return cls(items=tuple(items))
+
+
+def _make_item(content_id: str, expected_views: float, rng: random.Random) -> ContentItem:
+    durations = [d for d, _ in _SLOT_DURATIONS]
+    weights = [w for _, w in _SLOT_DURATIONS]
+    duration = rng.choices(durations, weights=weights)[0]
+    genre = rng.choice(_GENRES)
+    return ContentItem(
+        content_id=content_id,
+        title=f"Programme {content_id}",
+        duration=duration,
+        genre=genre,
+        expected_views=expected_views,
+    )

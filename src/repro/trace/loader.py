@@ -1,0 +1,138 @@
+"""Trace persistence: JSON-lines and CSV round-trips.
+
+The on-disk formats carry exactly the :class:`~repro.trace.events.Session`
+fields, one record per line, so generated traces can be cached between
+experiment runs and external traces (with the same schema) can be fed to
+the simulator.  A small header record in the JSONL format stores the
+horizon so round-trips are lossless.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from repro.topology.nodes import AttachmentPoint
+from repro.trace.events import Session, Trace
+
+__all__ = [
+    "session_to_record",
+    "session_from_record",
+    "save_jsonl",
+    "load_jsonl",
+    "save_csv",
+    "load_csv",
+]
+
+_CSV_FIELDS = [
+    "session_id",
+    "user_id",
+    "content_id",
+    "start",
+    "duration",
+    "bitrate",
+    "isp",
+    "pop",
+    "exchange",
+    "device",
+]
+
+
+def session_to_record(session: Session) -> Dict[str, object]:
+    """Flatten a session into a JSON/CSV-friendly dict."""
+    return {
+        "session_id": session.session_id,
+        "user_id": session.user_id,
+        "content_id": session.content_id,
+        "start": session.start,
+        "duration": session.duration,
+        "bitrate": session.bitrate,
+        "isp": session.attachment.isp,
+        "pop": session.attachment.pop,
+        "exchange": session.attachment.exchange,
+        "device": session.device,
+    }
+
+
+def session_from_record(record: Dict[str, object]) -> Session:
+    """Rebuild a session from a flat record (inverse of
+    :func:`session_to_record`)."""
+    try:
+        return Session(
+            session_id=int(record["session_id"]),
+            user_id=int(record["user_id"]),
+            content_id=str(record["content_id"]),
+            start=float(record["start"]),
+            duration=float(record["duration"]),
+            bitrate=float(record["bitrate"]),
+            attachment=AttachmentPoint(
+                isp=str(record["isp"]),
+                pop=int(record["pop"]),
+                exchange=int(record["exchange"]),
+            ),
+            device=str(record.get("device", "unknown")),
+        )
+    except KeyError as missing:
+        raise ValueError(f"session record is missing field {missing}") from None
+
+
+def save_jsonl(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace as JSON lines (header record first)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"kind": "trace-header", "version": 1, "horizon": trace.horizon}
+        handle.write(json.dumps(header) + "\n")
+        for session in trace:
+            handle.write(json.dumps(session_to_record(session)) + "\n")
+
+
+def load_jsonl(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_jsonl`."""
+    path = Path(path)
+    horizon = 0.0
+    sessions: List[Session] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "trace-header":
+                horizon = float(record.get("horizon", 0.0))
+                continue
+            try:
+                sessions.append(session_from_record(record))
+            except (ValueError, TypeError) as exc:
+                raise ValueError(f"{path}:{line_number + 1}: bad session record: {exc}") from exc
+    return Trace.from_sessions(sessions, horizon=horizon)
+
+
+def save_csv(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace as CSV (no horizon header; it is re-derived on load)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for session in trace:
+            writer.writerow(session_to_record(session))
+
+
+def load_csv(path: Union[str, Path], horizon: float = 0.0) -> Trace:
+    """Read a trace written by :func:`save_csv`.
+
+    Args:
+        path: CSV file path.
+        horizon: trace length in seconds; when 0 it is re-derived from
+            the latest session end (rounded up to whole days).
+    """
+    path = Path(path)
+    sessions: List[Session] = []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        for line_number, record in enumerate(csv.DictReader(handle)):
+            try:
+                sessions.append(session_from_record(record))
+            except (ValueError, TypeError) as exc:
+                raise ValueError(f"{path}:{line_number + 2}: bad session record: {exc}") from exc
+    return Trace.from_sessions(sessions, horizon=horizon)

@@ -1,0 +1,103 @@
+"""Trace summary statistics (the paper's Table I and beyond).
+
+Table I describes the dataset with three rows per month: number of users,
+number of IP addresses and number of sessions.  Our synthetic population
+attaches one household (= one IP) per user, so we additionally estimate
+distinct IPs the way a real trace would see them: a household NAT shared
+by ~2.2 users on average (3.3M users vs 1.5M IPs in the paper's Sep 2013
+column).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.trace.events import SECONDS_PER_DAY, Trace
+
+__all__ = ["TraceStats", "summarise"]
+
+#: Users per IP address implied by the paper's Table I (3.3M / 1.5M).
+USERS_PER_IP = 2.2
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate description of one trace (one "month" of data).
+
+    Attributes:
+        num_users: distinct viewers.
+        num_ip_addresses: distinct household IPs (users / 2.2, matching
+            the paper's observed NAT ratio).
+        num_sessions: total sessions.
+        num_items: distinct content items viewed.
+        days: trace length in days.
+        total_hours_watched: user-hours of viewing.
+        mean_session_minutes: mean session duration.
+        mean_concurrency: average concurrent viewers across the trace.
+        sessions_per_user_top_decile_share: fraction of sessions from the
+            most active 10% of users (the paper's skew observation).
+    """
+
+    num_users: int
+    num_ip_addresses: int
+    num_sessions: int
+    num_items: int
+    days: int
+    total_hours_watched: float
+    mean_session_minutes: float
+    mean_concurrency: float
+    sessions_per_user_top_decile_share: float
+
+    def table_rows(self) -> List[Tuple[str, str]]:
+        """Rows in the paper's Table I format (plus context rows)."""
+        return [
+            ("Number of Users", _millions(self.num_users)),
+            ("Number of IP addresses", _millions(self.num_ip_addresses)),
+            ("Number of Sessions", _millions(self.num_sessions)),
+            ("Distinct items", f"{self.num_items:,}"),
+            ("Days covered", str(self.days)),
+            ("Hours watched", f"{self.total_hours_watched:,.0f}"),
+            ("Mean session (min)", f"{self.mean_session_minutes:.1f}"),
+            ("Mean concurrent viewers", f"{self.mean_concurrency:,.1f}"),
+            ("Top-decile session share", f"{self.sessions_per_user_top_decile_share:.0%}"),
+        ]
+
+
+def summarise(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` for a trace."""
+    num_sessions = len(trace)
+    user_sessions = Counter(s.user_id for s in trace)
+    num_users = len(user_sessions)
+    total_seconds = trace.total_watch_seconds()
+    mean_minutes = (total_seconds / num_sessions / 60.0) if num_sessions else 0.0
+
+    if user_sessions:
+        counts = sorted(user_sessions.values(), reverse=True)
+        top_n = max(1, len(counts) // 10)
+        top_share = sum(counts[:top_n]) / num_sessions
+    else:
+        top_share = 0.0
+
+    return TraceStats(
+        num_users=num_users,
+        num_ip_addresses=int(round(num_users / USERS_PER_IP)) if num_users else 0,
+        num_sessions=num_sessions,
+        num_items=len(trace.content_ids),
+        days=trace.num_days,
+        total_hours_watched=total_seconds / 3600.0,
+        mean_session_minutes=mean_minutes,
+        mean_concurrency=trace.mean_concurrency(),
+        sessions_per_user_top_decile_share=top_share,
+    )
+
+
+def _millions(value: int) -> str:
+    """Format counts the way Table I does (e.g. "3.3M"), falling back to
+    plain integers below 1M (synthetic traces are 1:100 scale)."""
+    if value >= 1_000_000:
+        return f"{value / 1e6:.1f}M"
+    if value >= 10_000:
+        return f"{value / 1e3:.1f}K"
+    return f"{value:,}"

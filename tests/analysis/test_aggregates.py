@@ -1,0 +1,103 @@
+"""Tests for aggregate statistics over simulation results."""
+
+import pytest
+
+from repro.analysis.aggregates import (
+    daily_theory_savings,
+    median_item_savings,
+    per_item_savings,
+    top_share_of_savings,
+    weighted_theory_savings,
+)
+from repro.core.energy import BALIGA, VALANCIUS
+from repro.sim import SimulationConfig, simulate
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = GeneratorConfig(
+        num_users=1_500, num_items=100, days=3, expected_sessions=12_000, seed=23
+    )
+    return TraceGenerator(config=config).generate()
+
+
+@pytest.fixture(scope="module")
+def result(trace):
+    return simulate(trace, SimulationConfig(upload_ratio=1.0))
+
+
+class TestPerItemSavings:
+    def test_one_entry_per_item(self, result):
+        items = per_item_savings(result, VALANCIUS)
+        assert len(items) == len(result.per_content_results())
+
+    def test_values_bounded(self, result):
+        for s in per_item_savings(result, VALANCIUS).values():
+            assert -1.0 <= s < 1.0
+
+    def test_median_below_head(self, result):
+        """The catalogue skew: median item saves far less than the top."""
+        items = per_item_savings(result, VALANCIUS)
+        median = median_item_savings(result, VALANCIUS)
+        assert median < max(items.values())
+
+
+class TestTopShare:
+    def test_top_share_bounds(self, result):
+        share = top_share_of_savings(result, VALANCIUS, 0.01)
+        assert 0.0 <= share <= 1.0
+
+    def test_larger_fraction_larger_share(self, result):
+        top1 = top_share_of_savings(result, VALANCIUS, 0.01)
+        top10 = top_share_of_savings(result, VALANCIUS, 0.10)
+        assert top10 >= top1
+
+    def test_whole_catalogue_is_everything(self, result):
+        assert top_share_of_savings(result, VALANCIUS, 1.0) == pytest.approx(1.0)
+
+    def test_disproportionate_head(self, result):
+        """Paper: top-1 % of items capture >20 % of the savings."""
+        share = top_share_of_savings(result, VALANCIUS, 0.01)
+        assert share > 0.05  # strongly disproportionate even at small scale
+
+    def test_invalid_fraction(self, result):
+        with pytest.raises(ValueError):
+            top_share_of_savings(result, VALANCIUS, 0.0)
+
+
+class TestWeightedTheory:
+    def test_weighted_between_extremes(self, result):
+        swarms = list(result.per_swarm.values())
+        weighted = weighted_theory_savings(swarms, VALANCIUS)
+        from repro.core.savings import SavingsModel
+
+        model = SavingsModel(VALANCIUS)
+        individual = [model.savings(s.capacity) for s in swarms]
+        assert min(individual) <= weighted <= max(individual)
+
+    def test_tracks_simulation(self, result):
+        weighted = weighted_theory_savings(result.per_swarm.values(), VALANCIUS)
+        assert weighted == pytest.approx(result.savings(VALANCIUS), abs=0.05)
+
+    def test_empty_is_zero(self):
+        assert weighted_theory_savings([], VALANCIUS) == 0.0
+
+
+class TestDailyTheory:
+    def test_one_row_per_day(self, trace):
+        rows = daily_theory_savings(trace, "ISP-1", VALANCIUS)
+        assert [day for day, _ in rows] == [0, 1, 2]
+
+    def test_values_bounded(self, trace):
+        for _, s in daily_theory_savings(trace, "ISP-1", BALIGA):
+            assert -1.0 < s < 1.0
+
+    def test_unknown_isp_empty(self, trace):
+        assert daily_theory_savings(trace, "ISP-99", VALANCIUS) == []
+
+    def test_tracks_daily_simulation(self, trace, result):
+        theo = dict(daily_theory_savings(trace, "ISP-1", VALANCIUS))
+        sim = dict(result.daily_savings("ISP-1", VALANCIUS))
+        for day in sim:
+            assert theo[day] == pytest.approx(sim[day], abs=0.06)

@@ -1,0 +1,61 @@
+"""Tests for theory-vs-simulation comparison metrics."""
+
+import pytest
+
+from repro.analysis.comparison import ComparisonRow, compare_series
+
+
+class TestComparisonRow:
+    def test_errors(self):
+        row = ComparisonRow(x=1.0, simulated=0.5, theoretical=0.4)
+        assert row.error == pytest.approx(0.1)
+        assert row.absolute_error == pytest.approx(0.1)
+
+    def test_negative_error(self):
+        row = ComparisonRow(x=1.0, simulated=0.3, theoretical=0.4)
+        assert row.error == pytest.approx(-0.1)
+        assert row.absolute_error == pytest.approx(0.1)
+
+
+class TestCompareSeries:
+    def test_perfect_agreement(self):
+        series = [(1.0, 0.2), (2.0, 0.4)]
+        summary = compare_series(series, series)
+        assert summary.mean_absolute_error == 0.0
+        assert summary.rmse == 0.0
+        assert summary.bias == 0.0
+        assert summary.within(0.0)
+
+    def test_metrics(self):
+        sim = [(1.0, 0.5), (2.0, 0.1)]
+        theo = [(1.0, 0.4), (2.0, 0.3)]
+        summary = compare_series(sim, theo)
+        assert summary.mean_absolute_error == pytest.approx(0.15)
+        assert summary.max_absolute_error == pytest.approx(0.2)
+        assert summary.bias == pytest.approx((0.1 - 0.2) / 2)
+        assert summary.rmse == pytest.approx(((0.01 + 0.04) / 2) ** 0.5)
+
+    def test_within(self):
+        sim = [(1.0, 0.5)]
+        theo = [(1.0, 0.4)]
+        summary = compare_series(sim, theo)
+        assert summary.within(0.1)
+        assert not summary.within(0.05)
+
+    def test_pairs_sorted_on_x(self):
+        sim = [(2.0, 0.2), (1.0, 0.1)]
+        theo = [(1.0, 0.1), (2.0, 0.2)]
+        summary = compare_series(sim, theo)
+        assert summary.mean_absolute_error == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="lengths"):
+            compare_series([(1.0, 0.1)], [(1.0, 0.1), (2.0, 0.2)])
+
+    def test_x_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="x values"):
+            compare_series([(1.0, 0.1)], [(1.5, 0.1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_series([], [])

@@ -1,0 +1,109 @@
+"""Tests for empirical distributions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.distributions import (
+    EmpiricalDistribution,
+    ccdf_points,
+    ecdf_points,
+)
+
+SAMPLES = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestConstruction:
+    def test_sorts_values(self):
+        dist = EmpiricalDistribution.from_sample([3.0, 1.0, 2.0])
+        assert dist.values == (1.0, 2.0, 3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution.from_sample([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution.from_sample([1.0, math.nan])
+
+
+class TestCdf:
+    def test_step_values(self):
+        dist = EmpiricalDistribution.from_sample([1.0, 2.0, 3.0, 4.0])
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(1.0) == 0.25
+        assert dist.cdf(2.5) == 0.5
+        assert dist.cdf(4.0) == 1.0
+
+    def test_ccdf_complements(self):
+        dist = EmpiricalDistribution.from_sample([1.0, 2.0, 3.0])
+        for x in (-1.0, 1.5, 3.5):
+            assert dist.cdf(x) + dist.ccdf(x) == pytest.approx(1.0)
+
+    def test_duplicates_weighted(self):
+        dist = EmpiricalDistribution.from_sample([1.0, 1.0, 1.0, 5.0])
+        assert dist.cdf(1.0) == 0.75
+
+    @given(sample=SAMPLES)
+    @settings(max_examples=50)
+    def test_cdf_monotone(self, sample):
+        dist = EmpiricalDistribution.from_sample(sample)
+        xs = sorted(sample)
+        for a, b in zip(xs, xs[1:]):
+            assert dist.cdf(a) <= dist.cdf(b)
+
+
+class TestQuantiles:
+    def test_median_odd(self):
+        dist = EmpiricalDistribution.from_sample([1.0, 5.0, 3.0])
+        assert dist.median == 3.0
+
+    def test_extremes(self):
+        dist = EmpiricalDistribution.from_sample([2.0, 8.0])
+        assert dist.quantile(0.0) == 2.0
+        assert dist.quantile(1.0) == 8.0
+        assert dist.min == 2.0
+        assert dist.max == 8.0
+
+    def test_invalid_q(self):
+        dist = EmpiricalDistribution.from_sample([1.0])
+        with pytest.raises(ValueError):
+            dist.quantile(1.5)
+
+    def test_mean(self):
+        dist = EmpiricalDistribution.from_sample([1.0, 2.0, 3.0])
+        assert dist.mean == pytest.approx(2.0)
+
+    @given(sample=SAMPLES, q=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50)
+    def test_quantile_in_sample(self, sample, q):
+        dist = EmpiricalDistribution.from_sample(sample)
+        assert dist.quantile(q) in dist.values
+
+
+class TestShareAbove:
+    def test_top_mass_share(self):
+        dist = EmpiricalDistribution.from_sample([1.0, 1.0, 8.0])
+        assert dist.share_above(1.0) == pytest.approx(0.8)
+
+    def test_zero_total(self):
+        dist = EmpiricalDistribution.from_sample([0.0, 0.0])
+        assert dist.share_above(0.0) == 0.0
+
+
+class TestPointHelpers:
+    def test_ecdf_points(self):
+        points = ecdf_points([1.0, 2.0, 2.0, 3.0])
+        assert points == [(1.0, 0.25), (2.0, 0.75), (3.0, 1.0)]
+
+    def test_ccdf_points(self):
+        points = ccdf_points([1.0, 2.0])
+        assert points == [(1.0, 0.5), (2.0, 0.0)]
+
+    def test_ecdf_ends_at_one(self):
+        points = ecdf_points([5.0, -2.0, 7.5])
+        assert points[-1][1] == pytest.approx(1.0)

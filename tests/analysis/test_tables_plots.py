@@ -1,0 +1,87 @@
+"""Tests for table and ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.plots import ascii_chart
+from repro.analysis.tables import format_value, render_table
+
+
+class TestFormatValue:
+    def test_int_grouping(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_float_precision(self):
+        assert format_value(0.123456, precision=3) == "0.123"
+
+    def test_whole_float_as_int(self):
+        assert format_value(5.0) == "5"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+    def test_bool_not_treated_as_int(self):
+        assert format_value(True) == "True"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all lines same width
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "========"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_headers_present(self):
+        text = render_table(["alpha", "beta"], [["x", "y"]])
+        assert "alpha" in text and "beta" in text
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart({"s1": [(1.0, 1.0), (2.0, 2.0)]})
+        assert "* s1" in chart
+        plot_body = "\n".join(chart.splitlines()[1:])
+        assert "*" in plot_body
+
+    def test_log_axis_labels(self):
+        chart = ascii_chart({"s": [(0.01, 0.0), (100.0, 1.0)]}, log_x=True)
+        assert "(log)" in chart
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(0.0, 1.0)]}, log_x=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": []})
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(0.0, 1.0)]}, width=2, height=2)
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart({"flat": [(1.0, 0.5), (2.0, 0.5)]})
+        assert "flat" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart(
+            {"a": [(1.0, 0.0)], "b": [(2.0, 1.0)]},
+            title="t",
+        )
+        assert "* a" in chart and "o b" in chart
+
+    def test_y_bounds_labelled(self):
+        chart = ascii_chart({"s": [(0.0, -1.0), (1.0, 1.0)]})
+        assert "-1" in chart and "1" in chart

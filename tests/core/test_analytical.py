@@ -1,0 +1,180 @@
+"""Tests for the master equation (Eq. 12) and its ingredients."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import analytical
+from repro.core.analytical import (
+    energy_savings,
+    offload_fraction,
+    peer_network_energy_per_bit,
+    savings_breakdown,
+    savings_curve,
+)
+from repro.core.energy import BALIGA, VALANCIUS, builtin_models
+from repro.core.localisation import LONDON_LAYERS, LayerProbabilities
+
+CAPS = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+RATIOS = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestOffloadFraction:
+    def test_empty_swarm_offloads_nothing(self):
+        assert offload_fraction(0.0) == 0.0
+
+    def test_footnote_three(self):
+        # Paper footnote 3: at c = 1, G = 0.37 * q/beta.
+        assert offload_fraction(1.0) == pytest.approx(math.exp(-1), abs=1e-4)
+        assert offload_fraction(1.0, 0.5) == pytest.approx(0.5 * math.exp(-1), abs=1e-4)
+
+    def test_large_swarm_saturates(self):
+        assert offload_fraction(1e4) == pytest.approx(1.0, abs=1e-3)
+
+    def test_upload_ratio_scales_linearly(self):
+        c = 5.0
+        assert offload_fraction(c, 0.4) == pytest.approx(0.4 * offload_fraction(c, 1.0))
+
+    def test_cap_at_one(self):
+        assert offload_fraction(1e6, 2.0) == 1.0
+
+    def test_uncapped_raw_value(self):
+        raw = offload_fraction(1e6, 2.0, cap=False)
+        assert raw == pytest.approx(2.0, abs=1e-3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            offload_fraction(-1.0)
+        with pytest.raises(ValueError):
+            offload_fraction(1.0, -0.1)
+        with pytest.raises(ValueError):
+            offload_fraction(math.nan)
+
+    @given(c=CAPS, ratio=RATIOS)
+    def test_bounds(self, c, ratio):
+        g = offload_fraction(c, ratio)
+        assert 0.0 <= g <= 1.0
+        assert g <= ratio + 1e-12
+
+    @given(c=st.floats(min_value=0.0, max_value=1e3))
+    def test_monotone_in_capacity(self, c):
+        assert offload_fraction(c + 1.0) >= offload_fraction(c) - 1e-12
+
+
+class TestPeerNetworkEnergy:
+    def test_zero_capacity_is_free(self):
+        assert peer_network_energy_per_bit(0.0, VALANCIUS) == 0.0
+
+    def test_large_swarm_converges_to_local_path_cost(self):
+        """As c -> inf the per-watched-bit cost tends to PUE * gamma_exp * q/b."""
+        cost = peer_network_energy_per_bit(1e5, VALANCIUS)
+        assert cost == pytest.approx(1.2 * 300.0, rel=0.01)
+
+    def test_scales_with_upload_ratio(self):
+        c = 10.0
+        full = peer_network_energy_per_bit(c, VALANCIUS, upload_ratio=1.0)
+        half = peer_network_energy_per_bit(c, VALANCIUS, upload_ratio=0.5)
+        assert half == pytest.approx(0.5 * full)
+
+    def test_hand_computed_value_at_c100(self):
+        """Pinned against the by-hand expansion used to validate the model."""
+        cost = peer_network_energy_per_bit(100.0, VALANCIUS)
+        assert cost == pytest.approx(623.1, rel=1e-3)
+
+    @given(c=st.floats(min_value=0.0, max_value=1e4), ratio=RATIOS)
+    def test_nonnegative(self, c, ratio):
+        assert peer_network_energy_per_bit(c, BALIGA, upload_ratio=ratio) >= 0.0
+
+
+class TestEnergySavings:
+    """The master equation against the paper's Fig. 2 anchor points."""
+
+    def test_valancius_peak_savings(self):
+        # Fig. 2 top-left: popular item, q/b = 1, savings climb to ~0.45-0.48.
+        assert energy_savings(100.0, VALANCIUS) == pytest.approx(0.4747, abs=0.002)
+
+    def test_baliga_peak_savings(self):
+        # Fig. 2 bottom-left: ~0.29 for Baliga at large capacity.
+        assert energy_savings(100.0, BALIGA) == pytest.approx(0.2903, abs=0.002)
+
+    def test_asymptotic_savings_valancius(self):
+        # c -> inf, q/b = 1: S -> (psi_s - psi_m - PUE*g_exp)/psi_s = 0.6457.
+        assert energy_savings(1e6, VALANCIUS) == pytest.approx(0.6457, abs=1e-3)
+
+    @pytest.mark.parametrize("model", builtin_models(), ids=lambda m: m.name)
+    def test_headline_band_at_q04(self, model):
+        """Paper: savings remain over 10% in both models at q/b = 0.4."""
+        assert energy_savings(100.0, model, upload_ratio=0.4) > 0.10
+
+    @pytest.mark.parametrize("model", builtin_models(), ids=lambda m: m.name)
+    def test_tiny_swarms_save_little(self, model):
+        assert abs(energy_savings(0.01, model)) < 0.02
+
+    @pytest.mark.parametrize("model", builtin_models(), ids=lambda m: m.name)
+    @given(c=st.floats(min_value=0.01, max_value=1e4))
+    @settings(max_examples=40, deadline=None)
+    def test_savings_below_offload_bound(self, model, c):
+        """S can never beat offloading G of the traffic for free."""
+        assert energy_savings(c, model) <= offload_fraction(c) + 1e-9
+
+    @pytest.mark.parametrize("model", builtin_models(), ids=lambda m: m.name)
+    def test_monotone_increasing_in_capacity(self, model):
+        capacities = [0.1, 0.5, 1, 2, 5, 10, 50, 100, 1000]
+        values = [energy_savings(c, model) for c in capacities]
+        assert values == sorted(values)
+
+    def test_custom_layers_change_answer(self):
+        flat = LayerProbabilities(exchange=0.5, pop=0.75, core=1.0)
+        # Dense localisation -> cheaper P2P paths -> larger savings.
+        assert energy_savings(10.0, VALANCIUS, layers=flat) > energy_savings(
+            10.0, VALANCIUS, layers=LONDON_LAYERS
+        )
+
+    def test_negative_savings_possible_with_hot_modems(self):
+        """If modems dominate, P2P costs more than the CDN (paper Sec. II)."""
+        hot = VALANCIUS.with_overrides(gamma_modem=900.0)
+        assert energy_savings(2.0, hot) < 0.0
+
+
+class TestSavingsBreakdown:
+    def test_cdn_equals_offload_fraction(self):
+        row = savings_breakdown(10.0, VALANCIUS)
+        assert row.cdn == pytest.approx(row.offload_fraction)
+
+    def test_user_is_negative_offload(self):
+        row = savings_breakdown(10.0, VALANCIUS)
+        assert row.user == pytest.approx(-row.offload_fraction)
+
+    def test_end_to_end_matches_master_equation(self):
+        row = savings_breakdown(3.0, BALIGA)
+        assert row.end_to_end == pytest.approx(energy_savings(3.0, BALIGA))
+
+    def test_cct_starts_at_minus_one(self):
+        row = savings_breakdown(0.0, VALANCIUS)
+        assert row.carbon_credit_transfer == pytest.approx(-1.0)
+
+    @pytest.mark.parametrize("model,limit", [(VALANCIUS, 0.1837), (BALIGA, 0.5774)])
+    def test_cct_asymptotes(self, model, limit):
+        row = savings_breakdown(1e6, model)
+        assert row.carbon_credit_transfer == pytest.approx(limit, abs=1e-3)
+
+    def test_capacity_recorded(self):
+        assert savings_breakdown(42.0, VALANCIUS).capacity == 42.0
+
+
+class TestSavingsCurve:
+    def test_returns_pairs_in_order(self):
+        capacities = [0.1, 1.0, 10.0]
+        curve = savings_curve(capacities, VALANCIUS)
+        assert [c for c, _ in curve] == capacities
+        for c, s in curve:
+            assert s == pytest.approx(energy_savings(c, VALANCIUS))
+
+    def test_empty_sweep(self):
+        assert savings_curve([], BALIGA) == []
+
+    def test_respects_upload_ratio(self):
+        curve = savings_curve([10.0], VALANCIUS, upload_ratio=0.2)
+        assert curve[0][1] == pytest.approx(energy_savings(10.0, VALANCIUS, upload_ratio=0.2))

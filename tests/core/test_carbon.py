@@ -1,0 +1,198 @@
+"""Tests for the carbon-credit transfer scheme (paper Section V, Eq. 13)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import carbon
+from repro.core.carbon import (
+    CarbonIntensity,
+    UK_GRID_2014,
+    UserFootprint,
+    asymptotic_carbon_positivity,
+    carbon_credit_transfer,
+    carbon_credit_transfer_at_capacity,
+    neutrality_capacity,
+    neutrality_offload_fraction,
+)
+from repro.core.analytical import offload_fraction
+from repro.core.energy import BALIGA, VALANCIUS, builtin_models
+
+FRACTIONS = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestCarbonCreditTransfer:
+    def test_no_sharing_full_footprint(self):
+        assert carbon_credit_transfer(0.0, VALANCIUS) == pytest.approx(-1.0)
+        assert carbon_credit_transfer(0.0, BALIGA) == pytest.approx(-1.0)
+
+    def test_full_offload_valancius(self):
+        # (1.2*211.1 - 1.07*100*2) / (1.07*100*2) = 0.1837 -> "18 %".
+        assert carbon_credit_transfer(1.0, VALANCIUS) == pytest.approx(0.1837, abs=1e-3)
+
+    def test_full_offload_baliga(self):
+        # (1.2*281.3 - 214) / 214 = 0.5774 -> "58 %".
+        assert carbon_credit_transfer(1.0, BALIGA) == pytest.approx(0.5774, abs=1e-3)
+
+    def test_matches_eq13_form(self):
+        g = 0.6
+        model = VALANCIUS
+        num = model.pue * model.gamma_server * g - model.loss * model.gamma_modem * (1 + g)
+        den = model.loss * model.gamma_modem * (1 + g)
+        assert carbon_credit_transfer(g, model) == pytest.approx(num / den)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            carbon_credit_transfer(-0.1, VALANCIUS)
+        with pytest.raises(ValueError):
+            carbon_credit_transfer(1.1, VALANCIUS)
+
+    @pytest.mark.parametrize("model", builtin_models(), ids=lambda m: m.name)
+    @given(g=FRACTIONS)
+    def test_bounded_below_by_minus_one(self, model, g):
+        assert carbon_credit_transfer(g, model) >= -1.0
+
+    @pytest.mark.parametrize("model", builtin_models(), ids=lambda m: m.name)
+    def test_monotone_in_offload(self, model):
+        values = [carbon_credit_transfer(g / 10, model) for g in range(11)]
+        assert values == sorted(values)
+
+
+class TestCarbonCreditTransferAtCapacity:
+    def test_composes_with_offload_fraction(self):
+        c = 7.0
+        expected = carbon_credit_transfer(offload_fraction(c), VALANCIUS)
+        assert carbon_credit_transfer_at_capacity(c, VALANCIUS) == pytest.approx(expected)
+
+    def test_zero_capacity(self):
+        assert carbon_credit_transfer_at_capacity(0.0, BALIGA) == pytest.approx(-1.0)
+
+    def test_upload_ratio_respected(self):
+        c = 20.0
+        limited = carbon_credit_transfer_at_capacity(c, VALANCIUS, upload_ratio=0.2)
+        full = carbon_credit_transfer_at_capacity(c, VALANCIUS, upload_ratio=1.0)
+        assert limited < full
+
+
+class TestNeutralityThreshold:
+    def test_valancius_threshold(self):
+        # l*g_m / (PUE*g_s - l*g_m) = 107 / 146.32.
+        assert neutrality_offload_fraction(VALANCIUS) == pytest.approx(107 / 146.32, abs=1e-4)
+
+    def test_baliga_threshold(self):
+        assert neutrality_offload_fraction(BALIGA) == pytest.approx(107 / 230.56, abs=1e-4)
+
+    @pytest.mark.parametrize("model", builtin_models(), ids=lambda m: m.name)
+    def test_threshold_zeroes_eq13(self, model):
+        g_star = neutrality_offload_fraction(model)
+        assert carbon_credit_transfer(g_star, model) == pytest.approx(0.0, abs=1e-12)
+
+    def test_unreachable_when_modems_dominate(self):
+        heavy = VALANCIUS.with_overrides(gamma_modem=500.0)
+        assert neutrality_offload_fraction(heavy) == math.inf
+
+    def test_printed_erratum_does_not_zero_eq13(self):
+        """The AAM prints PUE*gamma_m in the numerator; that G does not
+        actually make Eq. 13 vanish."""
+        model = VALANCIUS
+        printed = (model.pue * model.gamma_modem) / (
+            model.pue * model.gamma_server - model.loss * model.gamma_modem
+        )
+        assert carbon_credit_transfer(printed, model) != pytest.approx(0.0, abs=1e-3)
+
+
+class TestNeutralityCapacity:
+    @pytest.mark.parametrize("model", builtin_models(), ids=lambda m: m.name)
+    def test_capacity_achieves_neutrality(self, model):
+        c_star = neutrality_capacity(model)
+        assert carbon_credit_transfer_at_capacity(c_star, model) == pytest.approx(0.0, abs=1e-6)
+
+    def test_baliga_needs_smaller_swarms(self):
+        # Baliga's hotter servers make credits worth more.
+        assert neutrality_capacity(BALIGA) < neutrality_capacity(VALANCIUS)
+
+    def test_infinite_when_ratio_too_low(self):
+        # With q/b = 0.5 the max offload (0.5) < G* (0.73) for Valancius.
+        assert neutrality_capacity(VALANCIUS, upload_ratio=0.5) == math.inf
+
+    def test_infinite_when_unreachable(self):
+        heavy = VALANCIUS.with_overrides(gamma_modem=500.0)
+        assert neutrality_capacity(heavy) == math.inf
+
+
+class TestAsymptoticCarbonPositivity:
+    def test_paper_values(self):
+        assert asymptotic_carbon_positivity(VALANCIUS) == pytest.approx(0.18, abs=0.005)
+        assert asymptotic_carbon_positivity(BALIGA) == pytest.approx(0.58, abs=0.005)
+
+
+class TestUserFootprint:
+    def test_modem_bits(self):
+        fp = UserFootprint(watched_bits=100.0, uploaded_bits=40.0)
+        assert fp.modem_bits == 140.0
+
+    def test_footprint_energy(self):
+        fp = UserFootprint(watched_bits=1e6, uploaded_bits=0.0)
+        assert fp.footprint_nj(VALANCIUS) == pytest.approx(1.07 * 100 * 1e6)
+
+    def test_credit_energy(self):
+        fp = UserFootprint(watched_bits=0.0, uploaded_bits=1e6)
+        assert fp.credit_nj(VALANCIUS) == pytest.approx(1.2 * 211.1 * 1e6)
+
+    def test_non_sharer_is_fully_negative(self):
+        fp = UserFootprint(watched_bits=1e9, uploaded_bits=0.0)
+        assert fp.carbon_credit_transfer(VALANCIUS) == pytest.approx(-1.0)
+
+    def test_idle_user_is_neutral(self):
+        fp = UserFootprint(watched_bits=0.0, uploaded_bits=0.0)
+        assert fp.carbon_credit_transfer(VALANCIUS) == 0.0
+        assert fp.is_carbon_positive(VALANCIUS)
+
+    def test_matches_eq13_when_upload_equals_g_times_watch(self):
+        """Per-user accounting reduces to Eq. 13 when U = G * T."""
+        g = 0.5
+        fp = UserFootprint(watched_bits=1e6, uploaded_bits=g * 1e6)
+        assert fp.carbon_credit_transfer(BALIGA) == pytest.approx(
+            carbon_credit_transfer(g, BALIGA)
+        )
+
+    def test_heavy_uploader_is_positive(self):
+        fp = UserFootprint(watched_bits=1e6, uploaded_bits=5e6)
+        assert fp.is_carbon_positive(BALIGA)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            UserFootprint(watched_bits=-1.0)
+        with pytest.raises(ValueError):
+            UserFootprint(watched_bits=1.0, uploaded_bits=-1.0)
+
+    @given(
+        watched=st.floats(min_value=0, max_value=1e12),
+        uploaded=st.floats(min_value=0, max_value=1e12),
+    )
+    def test_cct_bounded_below(self, watched, uploaded):
+        fp = UserFootprint(watched_bits=watched, uploaded_bits=uploaded)
+        assert fp.carbon_credit_transfer(VALANCIUS) >= -1.0
+
+
+class TestCarbonIntensity:
+    def test_grams_for_nj(self):
+        # 3.6e15 nJ = 1 kWh.
+        assert UK_GRID_2014.grams_for_nj(3.6e15) == pytest.approx(450.0)
+
+    def test_grams_for_bits(self):
+        grid = CarbonIntensity(grams_co2_per_kwh=100.0)
+        assert grid.grams_for_bits(3.6e15, 1.0) == pytest.approx(100.0)
+
+    def test_zero_energy_zero_grams(self):
+        assert UK_GRID_2014.grams_for_nj(0.0) == 0.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            CarbonIntensity(grams_co2_per_kwh=-1.0)
+        with pytest.raises(ValueError):
+            UK_GRID_2014.grams_for_nj(-1.0)
+        with pytest.raises(ValueError):
+            UK_GRID_2014.grams_for_bits(-1.0, 1.0)

@@ -1,0 +1,192 @@
+"""Tests for the per-bit energy models (paper Table IV, Eqs. 4-6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.energy import (
+    BALIGA,
+    BUILTIN_MODELS,
+    EnergyModel,
+    PER_HOP_NJ_PER_BIT,
+    VALANCIUS,
+    VALANCIUS_HOP_COUNTS,
+    builtin_models,
+)
+from repro.topology.layers import NetworkLayer
+
+
+class TestTableIVConstants:
+    """Pin the built-in parameter sets to the paper's Table IV."""
+
+    def test_valancius_row(self):
+        assert VALANCIUS.gamma_server == pytest.approx(211.1)
+        assert VALANCIUS.gamma_modem == pytest.approx(100.0)
+        assert VALANCIUS.gamma_cdn_network == pytest.approx(1050.0)
+        assert VALANCIUS.gamma_exchange == pytest.approx(300.0)
+        assert VALANCIUS.gamma_pop == pytest.approx(600.0)
+        assert VALANCIUS.gamma_core == pytest.approx(900.0)
+
+    def test_baliga_row(self):
+        assert BALIGA.gamma_server == pytest.approx(281.3)
+        assert BALIGA.gamma_modem == pytest.approx(100.0)
+        assert BALIGA.gamma_cdn_network == pytest.approx(142.5)
+        assert BALIGA.gamma_exchange == pytest.approx(144.86)
+        assert BALIGA.gamma_pop == pytest.approx(197.48)
+        assert BALIGA.gamma_core == pytest.approx(245.74)
+
+    @pytest.mark.parametrize("model", builtin_models(), ids=lambda m: m.name)
+    def test_shared_overheads(self, model):
+        # PUE and loss are taken from Valancius et al. for both models.
+        assert model.pue == pytest.approx(1.2)
+        assert model.loss == pytest.approx(1.07)
+
+    def test_valancius_derived_from_hop_counts(self):
+        # Table IV caption: network params are h x 150 nJ/bit.
+        assert VALANCIUS.gamma_cdn_network == 7 * PER_HOP_NJ_PER_BIT
+        assert VALANCIUS.gamma_core == 6 * PER_HOP_NJ_PER_BIT
+        assert VALANCIUS.gamma_pop == 4 * PER_HOP_NJ_PER_BIT
+        assert VALANCIUS.gamma_exchange == 2 * PER_HOP_NJ_PER_BIT
+
+    def test_builtin_registry(self):
+        assert set(BUILTIN_MODELS) == {"valancius", "baliga"}
+        assert BUILTIN_MODELS["valancius"] is VALANCIUS
+        assert BUILTIN_MODELS["baliga"] is BALIGA
+
+
+class TestPerBitCosts:
+    def test_psi_server_valancius(self):
+        # 1.2 * (211.1 + 1050) + 1.07 * 100 = 1620.32
+        assert VALANCIUS.psi_server == pytest.approx(1620.32)
+
+    def test_psi_server_baliga(self):
+        # 1.2 * (281.3 + 142.5) + 1.07 * 100 = 615.56
+        assert BALIGA.psi_server == pytest.approx(615.56)
+
+    @pytest.mark.parametrize("model", builtin_models(), ids=lambda m: m.name)
+    def test_psi_peer_modem_double_counts(self, model):
+        assert model.psi_peer_modem == pytest.approx(2 * model.loss * model.gamma_modem)
+
+    def test_psi_peer_combines_modem_and_network(self):
+        gamma = 300.0
+        expected = VALANCIUS.psi_peer_modem + 1.2 * gamma
+        assert VALANCIUS.psi_peer(gamma) == pytest.approx(expected)
+
+    def test_psi_peer_network_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VALANCIUS.psi_peer_network(-1.0)
+
+    @pytest.mark.parametrize("model", builtin_models(), ids=lambda m: m.name)
+    def test_peer_beats_server_at_exchange(self, model):
+        """The whole premise: a local peer path is cheaper than the CDN."""
+        assert model.psi_peer(model.gamma_exchange) < model.psi_server
+
+    def test_gamma_for_layer(self):
+        assert VALANCIUS.gamma_for_layer(NetworkLayer.EXCHANGE) == 300.0
+        assert VALANCIUS.gamma_for_layer(NetworkLayer.POP) == 600.0
+        assert VALANCIUS.gamma_for_layer(NetworkLayer.CORE) == 900.0
+
+    def test_gamma_for_server_layer_rejected(self):
+        with pytest.raises(KeyError):
+            VALANCIUS.gamma_for_layer(NetworkLayer.SERVER)
+
+
+class TestTransferEnergy:
+    def test_server_energy_scales_linearly(self):
+        assert VALANCIUS.server_energy_nj(2e6) == pytest.approx(2 * VALANCIUS.server_energy_nj(1e6))
+
+    def test_peer_energy_prefers_lower_layers(self):
+        bits = 1e6
+        exp = VALANCIUS.peer_energy_nj(bits, NetworkLayer.EXCHANGE)
+        pop = VALANCIUS.peer_energy_nj(bits, NetworkLayer.POP)
+        core = VALANCIUS.peer_energy_nj(bits, NetworkLayer.CORE)
+        assert exp < pop < core
+
+    def test_zero_bits_zero_energy(self):
+        assert VALANCIUS.server_energy_nj(0) == 0.0
+        assert VALANCIUS.peer_energy_nj(0, NetworkLayer.CORE) == 0.0
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            VALANCIUS.server_energy_nj(-1)
+        with pytest.raises(ValueError):
+            VALANCIUS.peer_energy_nj(-1, NetworkLayer.POP)
+        with pytest.raises(ValueError):
+            VALANCIUS.user_download_energy_nj(-1)
+
+    def test_user_upload_symmetric_with_download(self):
+        assert VALANCIUS.user_upload_energy_nj(5e5) == VALANCIUS.user_download_energy_nj(5e5)
+
+    def test_cdn_server_energy_is_pue_inflated_server_only(self):
+        bits = 1e6
+        assert VALANCIUS.cdn_server_energy_nj(bits) == pytest.approx(bits * 1.2 * 211.1)
+
+    @given(bits=st.floats(min_value=0, max_value=1e15))
+    def test_peer_transfer_decomposes(self, bits):
+        """Peer transfer = 2 modem halves + PUE-inflated network."""
+        total = BALIGA.peer_energy_nj(bits, NetworkLayer.POP)
+        parts = (
+            BALIGA.user_download_energy_nj(bits)
+            + BALIGA.user_upload_energy_nj(bits)
+            + bits * BALIGA.pue * BALIGA.gamma_pop
+        )
+        assert total == pytest.approx(parts)
+
+
+class TestValidation:
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(
+                name="bad", gamma_server=-1, gamma_modem=1, gamma_cdn_network=1,
+                gamma_exchange=1, gamma_pop=1, gamma_core=1,
+            )
+
+    def test_pue_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            VALANCIUS.with_overrides(pue=0.9)
+
+    def test_loss_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            VALANCIUS.with_overrides(loss=0.5)
+
+    def test_non_monotone_layers_rejected(self):
+        with pytest.raises(ValueError):
+            VALANCIUS.with_overrides(gamma_exchange=1000.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            VALANCIUS.gamma_server = 0.0
+
+
+class TestConstruction:
+    def test_with_overrides_returns_new_model(self):
+        hot = VALANCIUS.with_overrides(gamma_modem=150.0)
+        assert hot.gamma_modem == 150.0
+        assert VALANCIUS.gamma_modem == 100.0
+        assert hot.name == VALANCIUS.name
+
+    def test_from_hop_counts_custom(self):
+        model = EnergyModel.from_hop_counts(
+            "custom", gamma_server=100.0, gamma_modem=50.0, per_hop=10.0,
+            hops={"cdn": 10, "core": 8, "pop": 5, "exchange": 2},
+        )
+        assert model.gamma_cdn_network == 100.0
+        assert model.gamma_exchange == 20.0
+
+    def test_from_hop_counts_missing_key_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            EnergyModel.from_hop_counts(
+                "bad", gamma_server=1.0, gamma_modem=1.0, hops={"cdn": 7},
+            )
+
+    def test_as_table_row_round_trip(self):
+        row = BALIGA.as_table_row()
+        rebuilt = EnergyModel(name="copy", **row)
+        assert rebuilt.psi_server == pytest.approx(BALIGA.psi_server)
+
+    def test_valancius_matches_hop_table(self):
+        rebuilt = EnergyModel.from_hop_counts(
+            "valancius", gamma_server=211.1, gamma_modem=100.0,
+            hops=VALANCIUS_HOP_COUNTS,
+        )
+        assert rebuilt == VALANCIUS

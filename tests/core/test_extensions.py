@@ -1,0 +1,176 @@
+"""Tests for the participation and lingering-seed extensions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analytical import offload_fraction
+from repro.core.energy import BALIGA, VALANCIUS
+from repro.core.extensions import (
+    energy_savings_extended,
+    offload_fraction_with_linger,
+    offload_fraction_with_participation,
+)
+from repro.core.analytical import energy_savings
+
+CAPS = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+RATES = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestParticipation:
+    def test_full_participation_reduces_to_eq3(self):
+        for c in (0.1, 1.0, 10.0, 100.0):
+            assert offload_fraction_with_participation(c, 1.0) == pytest.approx(
+                offload_fraction(c)
+            )
+
+    def test_no_participation_no_offload(self):
+        assert offload_fraction_with_participation(10.0, 0.0) == 0.0
+
+    def test_akamai_30_percent(self):
+        """Paper Section VI: Akamai sees ~30 % participation."""
+        full = offload_fraction_with_participation(50.0, 1.0)
+        akamai = offload_fraction_with_participation(50.0, 0.3)
+        assert akamai == pytest.approx(0.3 * full, rel=1e-9)
+
+    def test_high_upload_compensates(self):
+        """a*q/beta saturates at 1: fast uploaders offset absentees."""
+        g = offload_fraction_with_participation(50.0, 0.5, upload_ratio=2.0)
+        assert g == pytest.approx(offload_fraction(50.0), rel=1e-9)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            offload_fraction_with_participation(1.0, -0.1)
+        with pytest.raises(ValueError):
+            offload_fraction_with_participation(1.0, 1.1)
+
+    @given(c=CAPS, rate=RATES)
+    def test_bounds_and_monotonicity(self, c, rate):
+        g = offload_fraction_with_participation(c, rate)
+        assert 0.0 <= g <= 1.0
+        assert g <= offload_fraction(c) + 1e-12
+
+
+class TestLinger:
+    def test_zero_linger_reduces_to_participation_model(self):
+        for c in (0.5, 5.0, 50.0):
+            assert offload_fraction_with_linger(c, 0.0) == pytest.approx(
+                offload_fraction_with_participation(c, 1.0)
+            )
+
+    def test_linger_increases_offload(self):
+        base = offload_fraction_with_linger(2.0, 0.0, upload_ratio=0.5)
+        cached = offload_fraction_with_linger(2.0, 1.0, upload_ratio=0.5)
+        assert cached > base
+
+    def test_linger_breaks_the_seed_barrier(self):
+        """Without caching G < occupancy < 1; long linger approaches 1
+        because even the seed stream can come from a cached copy."""
+        base = offload_fraction_with_linger(3.0, 0.0)
+        long_cache = offload_fraction_with_linger(3.0, 10.0)
+        assert long_cache > base
+        assert long_cache > 0.9
+
+    def test_zero_capacity(self):
+        assert offload_fraction_with_linger(0.0, 5.0) == 0.0
+
+    def test_invalid_linger(self):
+        with pytest.raises(ValueError):
+            offload_fraction_with_linger(1.0, -0.5)
+
+    @given(
+        c=st.floats(min_value=0.01, max_value=30.0),
+        linger=st.floats(min_value=0.0, max_value=5.0),
+        ratio=st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bounds(self, c, linger, ratio):
+        g = offload_fraction_with_linger(c, linger, upload_ratio=ratio)
+        assert 0.0 <= g <= 1.0
+
+    @given(c=st.floats(min_value=0.1, max_value=20.0))
+    @settings(max_examples=20, deadline=None)
+    def test_monotone_in_linger(self, c):
+        values = [
+            offload_fraction_with_linger(c, linger, upload_ratio=0.5)
+            for linger in (0.0, 0.5, 1.0, 2.0)
+        ]
+        assert values == sorted(values)
+
+
+class TestExtendedSavings:
+    def test_reduces_to_eq12_at_defaults(self):
+        """With full participation and no linger the extension must sit
+        close to the master equation (it swaps the exact Eq. 10 weighting
+        for a mean-gamma approximation)."""
+        for c in (1.0, 10.0, 100.0):
+            base = energy_savings(c, VALANCIUS)
+            ext = energy_savings_extended(c, VALANCIUS)
+            assert ext == pytest.approx(base, abs=0.03)
+
+    def test_linger_adds_savings(self):
+        base = energy_savings_extended(2.0, VALANCIUS, linger_ratio=0.0)
+        cached = energy_savings_extended(2.0, VALANCIUS, linger_ratio=2.0)
+        assert cached > base
+
+    def test_low_participation_hurts(self):
+        full = energy_savings_extended(20.0, BALIGA, participation_rate=1.0)
+        akamai = energy_savings_extended(20.0, BALIGA, participation_rate=0.3)
+        assert akamai < full
+
+    def test_linger_can_offset_low_participation(self):
+        """Caching at 30 % participation can beat no-cache full
+        participation at moderate capacities -- the design insight the
+        extension exists to expose."""
+        akamai_cached = energy_savings_extended(
+            5.0, VALANCIUS, participation_rate=0.3, linger_ratio=8.0
+        )
+        akamai_plain = energy_savings_extended(
+            5.0, VALANCIUS, participation_rate=0.3, linger_ratio=0.0
+        )
+        assert akamai_cached > 2 * akamai_plain
+
+    def test_zero_capacity(self):
+        assert energy_savings_extended(0.0, VALANCIUS, linger_ratio=1.0) == 0.0
+
+
+class TestSimulatorAgreement:
+    """Pin the semi-closed forms against the engine (stationary trace)."""
+
+    @pytest.fixture(scope="class")
+    def flat_trace(self):
+        from repro.trace import FLAT_PROFILE, GeneratorConfig, TraceGenerator
+
+        config = GeneratorConfig(
+            num_users=2_500,
+            num_items=1,
+            days=3,
+            expected_sessions=0,
+            pinned_views={"hit": 3_000.0},
+            seed=41,
+        )
+        return TraceGenerator(config=config, profile=FLAT_PROFILE).generate()
+
+    def test_participation_tracks_sim(self, flat_trace):
+        from repro.sim import SimulationConfig, simulate
+
+        result = simulate(
+            flat_trace, SimulationConfig(upload_ratio=1.0, participation_rate=0.5)
+        )
+        big = max(result.per_swarm.values(), key=lambda r: r.capacity)
+        theo = offload_fraction_with_participation(big.capacity, 0.5)
+        assert big.ledger.offload_fraction == pytest.approx(theo, rel=0.2)
+
+    def test_linger_tracks_sim(self, flat_trace):
+        from repro.sim import SimulationConfig, simulate
+
+        mean_duration = sum(s.duration for s in flat_trace) / len(flat_trace)
+        result = simulate(
+            flat_trace,
+            SimulationConfig(upload_ratio=0.5, seed_linger_seconds=mean_duration),
+        )
+        big = max(result.per_swarm.values(), key=lambda r: r.capacity)
+        theo = offload_fraction_with_linger(big.capacity, 1.0, upload_ratio=0.5)
+        assert big.ledger.offload_fraction == pytest.approx(theo, rel=0.12)

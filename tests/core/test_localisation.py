@@ -1,0 +1,256 @@
+"""Tests for peer localisation probabilities and the corrected Eq. 10/11."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import localisation, queueing
+from repro.core.localisation import (
+    LONDON_LAYERS,
+    LayerProbabilities,
+    expected_weighted_gamma,
+    expected_weighted_gamma_exact,
+    gamma_p2p,
+    localisation_probability,
+    peer_found_probability,
+    poisson_weighted_localisation,
+    poisson_weighted_localisation_exact,
+)
+from repro.topology.layers import NetworkLayer
+
+VALANCIUS_GAMMAS = {
+    NetworkLayer.EXCHANGE: 300.0,
+    NetworkLayer.POP: 600.0,
+    NetworkLayer.CORE: 900.0,
+}
+
+PROBS = st.floats(min_value=1e-4, max_value=1.0, allow_nan=False)
+CAPS = st.floats(min_value=0.0, max_value=200.0, allow_nan=False)
+
+
+class TestLayerProbabilities:
+    def test_table_iii_values(self):
+        # Table III: 345 ExP -> 0.29 %, 9 PoP -> 11.11 %, 1 core -> 100 %.
+        assert LONDON_LAYERS.exchange == pytest.approx(0.0029, abs=1e-4)
+        assert LONDON_LAYERS.pop == pytest.approx(0.1111, abs=1e-4)
+        assert LONDON_LAYERS.core == 1.0
+
+    def test_from_counts(self):
+        layers = LayerProbabilities.from_counts(exchanges=100, pops=10)
+        assert layers.exchange == pytest.approx(0.01)
+        assert layers.pop == pytest.approx(0.1)
+        assert layers.core == 1.0
+
+    def test_from_counts_rejects_widening_tree(self):
+        with pytest.raises(ValueError, match="narrow"):
+            LayerProbabilities.from_counts(exchanges=5, pops=10)
+
+    def test_from_counts_rejects_zero(self):
+        with pytest.raises(ValueError):
+            LayerProbabilities.from_counts(exchanges=0, pops=0)
+
+    def test_monotone_probabilities_required(self):
+        with pytest.raises(ValueError, match="monotone"):
+            LayerProbabilities(exchange=0.5, pop=0.1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            LayerProbabilities(exchange=0.0, pop=0.5)
+        with pytest.raises(ValueError):
+            LayerProbabilities(exchange=0.1, pop=1.5)
+
+    def test_for_layer(self):
+        assert LONDON_LAYERS.for_layer(NetworkLayer.EXCHANGE) == LONDON_LAYERS.exchange
+        assert LONDON_LAYERS.for_layer(NetworkLayer.POP) == LONDON_LAYERS.pop
+        assert LONDON_LAYERS.for_layer(NetworkLayer.CORE) == LONDON_LAYERS.core
+
+    def test_for_layer_rejects_server(self):
+        with pytest.raises(ValueError):
+            LONDON_LAYERS.for_layer(NetworkLayer.SERVER)
+
+    def test_as_mapping(self):
+        mapping = LONDON_LAYERS.as_mapping()
+        assert set(mapping) == {"exchange", "pop", "core"}
+
+
+class TestLocalisationProbability:
+    def test_inverse_count(self):
+        assert localisation_probability(345) == pytest.approx(1 / 345)
+
+    def test_single_node_certain(self):
+        assert localisation_probability(1) == 1.0
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            localisation_probability(0)
+
+
+class TestPeerFoundProbability:
+    def test_alone_means_no_peer(self):
+        assert peer_found_probability(0.5, 1) == 0.0
+        assert peer_found_probability(1.0, 1) == 0.0
+
+    def test_certain_layer_with_two_users(self):
+        assert peer_found_probability(1.0, 2) == 1.0
+
+    def test_formula(self):
+        # P = 1 - (1 - p)^(L-1)
+        assert peer_found_probability(0.1, 3) == pytest.approx(1 - 0.9**2)
+
+    def test_zero_users_rejected(self):
+        with pytest.raises(ValueError):
+            peer_found_probability(0.1, 0)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            peer_found_probability(0.0, 5)
+        with pytest.raises(ValueError):
+            peer_found_probability(1.1, 5)
+
+    @given(p=PROBS, n=st.integers(min_value=1, max_value=1000))
+    def test_bounds(self, p, n):
+        value = peer_found_probability(p, n)
+        assert 0.0 <= value <= 1.0
+
+    @given(p=PROBS, n=st.integers(min_value=1, max_value=500))
+    def test_monotone_in_swarm_size(self, p, n):
+        assert peer_found_probability(p, n + 1) >= peer_found_probability(p, n)
+
+    @given(n=st.integers(min_value=2, max_value=500))
+    def test_monotone_in_probability(self, n):
+        low = peer_found_probability(LONDON_LAYERS.exchange, n)
+        mid = peer_found_probability(LONDON_LAYERS.pop, n)
+        high = peer_found_probability(LONDON_LAYERS.core, n)
+        assert low <= mid <= high
+
+
+class TestGammaP2P:
+    def test_single_viewer_costs_nothing(self):
+        assert gamma_p2p(VALANCIUS_GAMMAS, LONDON_LAYERS, 1) == 0.0
+
+    def test_two_viewers_dominated_by_core(self):
+        # With p_exp, p_pop small, two random viewers almost surely meet
+        # only at the core.
+        cost = gamma_p2p(VALANCIUS_GAMMAS, LONDON_LAYERS, 2)
+        assert cost == pytest.approx(900.0, rel=0.05)
+        assert cost < 900.0  # a little mass at cheaper layers
+
+    def test_huge_swarm_converges_to_exchange(self):
+        cost = gamma_p2p(VALANCIUS_GAMMAS, LONDON_LAYERS, 5000)
+        assert cost == pytest.approx(300.0, rel=0.01)
+
+    def test_mixture_weights_sum_correctly(self):
+        """gamma_p2p is a convex combination scaled by P_core(L)."""
+        L = 10
+        p_exp = peer_found_probability(LONDON_LAYERS.exchange, L)
+        p_pop = peer_found_probability(LONDON_LAYERS.pop, L)
+        p_core = peer_found_probability(LONDON_LAYERS.core, L)
+        expected = 300 * p_exp + 600 * (p_pop - p_exp) + 900 * (p_core - p_pop)
+        assert gamma_p2p(VALANCIUS_GAMMAS, LONDON_LAYERS, L) == pytest.approx(expected)
+
+    @given(n=st.integers(min_value=1, max_value=2000))
+    def test_bounded_by_layer_extremes(self, n):
+        cost = gamma_p2p(VALANCIUS_GAMMAS, LONDON_LAYERS, n)
+        assert 0.0 <= cost <= 900.0
+
+    @given(n=st.integers(min_value=2, max_value=1000))
+    def test_monotone_decreasing_in_swarm_size(self, n):
+        """Bigger swarms find closer peers, so per-bit cost falls."""
+        assert (
+            gamma_p2p(VALANCIUS_GAMMAS, LONDON_LAYERS, n + 1)
+            <= gamma_p2p(VALANCIUS_GAMMAS, LONDON_LAYERS, n) + 1e-12
+        )
+
+
+class TestPoissonWeightedLocalisation:
+    """Pin the corrected closed form of Eq. 11 against exact sums."""
+
+    @pytest.mark.parametrize("p", [1 / 345, 1 / 9, 0.5, 1.0])
+    @pytest.mark.parametrize("c", [0.01, 0.3, 1.0, 4.0, 30.0, 150.0])
+    def test_closed_form_matches_exact_sum(self, p, c):
+        closed = poisson_weighted_localisation(p, c)
+        exact = poisson_weighted_localisation_exact(p, c)
+        assert closed == pytest.approx(exact, abs=1e-8, rel=1e-8)
+
+    def test_p_one_branch(self):
+        c = 3.0
+        assert poisson_weighted_localisation(1.0, c) == pytest.approx(c - 1 + math.exp(-c))
+
+    def test_p_near_one_continuous(self):
+        c = 3.0
+        near = poisson_weighted_localisation(1.0 - 1e-12, c)
+        at = poisson_weighted_localisation(1.0, c)
+        assert near == pytest.approx(at, abs=1e-9)
+
+    def test_zero_capacity(self):
+        assert poisson_weighted_localisation(0.5, 0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_printed_erratum_numerator_is_wrong(self):
+        """The AAM's printed numerator disagrees with the exact Poisson sum."""
+        p, c = 1 / 9, 10.0
+        printed = (math.exp(-c * p) * (1 - c + c * p) - math.exp(-c * p)) / (1 - p) + c - 1
+        exact = poisson_weighted_localisation_exact(p, c)
+        assert printed != pytest.approx(exact, rel=1e-3)
+
+    @given(p=PROBS, c=st.floats(min_value=0.0, max_value=100.0))
+    def test_nonnegative_and_below_excess_peers(self, p, c):
+        value = poisson_weighted_localisation(p, c)
+        assert value >= -1e-9
+        assert value <= queueing.expected_excess_peers(c) + 1e-9
+
+    @given(c=st.floats(min_value=0.01, max_value=100.0))
+    def test_monotone_in_probability(self, c):
+        low = poisson_weighted_localisation(0.01, c)
+        high = poisson_weighted_localisation(0.5, c)
+        assert low <= high + 1e-12
+
+
+class TestExpectedWeightedGamma:
+    """Pin the corrected Eq. 10 combination against brute force."""
+
+    @pytest.mark.parametrize("c", [0.05, 0.5, 1.0, 10.0, 100.0])
+    def test_closed_form_matches_exact(self, c):
+        closed = expected_weighted_gamma(VALANCIUS_GAMMAS, LONDON_LAYERS, c)
+        exact = expected_weighted_gamma_exact(VALANCIUS_GAMMAS, LONDON_LAYERS, c)
+        assert closed == pytest.approx(exact, rel=1e-7, abs=1e-7)
+
+    def test_large_capacity_tends_to_exchange_rate(self):
+        """Per-peer per-bit cost converges to gamma_exp as swarms grow.
+
+        This is the property the printed (sign-flipped) Eq. 10 violates.
+        """
+        c = 50_000.0
+        weighted = expected_weighted_gamma(VALANCIUS_GAMMAS, LONDON_LAYERS, c)
+        per_peer = weighted / queueing.expected_excess_peers(c)
+        assert per_peer == pytest.approx(300.0, rel=0.02)
+
+    def test_small_capacity_pays_pair_rate(self):
+        """At c -> 0 the conditional swarm is a pair, so the per-peer
+        per-bit cost tends to gamma_p2p(2) (~866 for Valancius/London:
+        two random users still share a PoP 11% of the time)."""
+        c = 0.01
+        weighted = expected_weighted_gamma(VALANCIUS_GAMMAS, LONDON_LAYERS, c)
+        per_peer = weighted / queueing.expected_excess_peers(c)
+        pair_rate = gamma_p2p(VALANCIUS_GAMMAS, LONDON_LAYERS, 2)
+        assert per_peer == pytest.approx(pair_rate, rel=0.01)
+
+    def test_printed_sign_order_diverges(self):
+        """The printed coefficient order grows towards 2*core - exp."""
+        c = 50_000.0
+        f = poisson_weighted_localisation
+        printed = (
+            (600 - 300) * f(LONDON_LAYERS.exchange, c)
+            + (900 - 600) * f(LONDON_LAYERS.pop, c)
+            + 900 * f(LONDON_LAYERS.core, c)
+        )
+        per_peer = printed / queueing.expected_excess_peers(c)
+        assert per_peer == pytest.approx(2 * 900 - 300, rel=0.02)  # nonsense value
+
+    @given(c=st.floats(min_value=0.0, max_value=150.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_exact(self, c):
+        closed = expected_weighted_gamma(VALANCIUS_GAMMAS, LONDON_LAYERS, c)
+        exact = expected_weighted_gamma_exact(VALANCIUS_GAMMAS, LONDON_LAYERS, c)
+        assert closed == pytest.approx(exact, rel=1e-6, abs=1e-6)

@@ -1,0 +1,178 @@
+"""Tests for the M/M/inf swarm queueing model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import queueing
+
+CAPACITIES = st.floats(min_value=0.0, max_value=500.0, allow_nan=False)
+SMALL_CAPACITIES = st.floats(min_value=1e-6, max_value=50.0, allow_nan=False)
+
+
+class TestCapacity:
+    def test_littles_law(self):
+        # 2 arrivals/s, 30 min sessions -> 3600 concurrent viewers.
+        assert queueing.capacity(2.0, 1800.0) == pytest.approx(3600.0)
+
+    def test_zero_arrivals(self):
+        assert queueing.capacity(0.0, 1800.0) == 0.0
+
+    def test_zero_duration(self):
+        assert queueing.capacity(5.0, 0.0) == 0.0
+
+    @pytest.mark.parametrize("rate,duration", [(-1.0, 1.0), (1.0, -1.0), (math.nan, 1.0), (1.0, math.inf)])
+    def test_invalid_inputs_rejected(self, rate, duration):
+        with pytest.raises(ValueError):
+            queueing.capacity(rate, duration)
+
+    @given(rate=st.floats(min_value=0, max_value=1e4), duration=st.floats(min_value=0, max_value=1e5))
+    def test_capacity_is_product(self, rate, duration):
+        assert queueing.capacity(rate, duration) == rate * duration
+
+
+class TestBusyProbability:
+    def test_empty_swarm(self):
+        assert queueing.busy_probability(0.0) == 0.0
+
+    def test_unit_capacity(self):
+        assert queueing.busy_probability(1.0) == pytest.approx(1 - math.exp(-1))
+
+    def test_saturates_to_one(self):
+        assert queueing.busy_probability(100.0) == pytest.approx(1.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            queueing.busy_probability(-0.1)
+
+    @given(c=CAPACITIES)
+    def test_bounds(self, c):
+        p = queueing.busy_probability(c)
+        assert 0.0 <= p <= 1.0
+
+    @given(c=st.floats(min_value=0.0, max_value=100.0))
+    def test_monotone_in_capacity(self, c):
+        assert queueing.busy_probability(c + 0.5) >= queueing.busy_probability(c)
+
+
+class TestOccupancyPmf:
+    def test_zero_capacity_concentrated_at_zero(self):
+        assert queueing.occupancy_pmf(0.0, 0) == 1.0
+        assert queueing.occupancy_pmf(0.0, 3) == 0.0
+
+    def test_matches_poisson_formula(self):
+        c, n = 3.5, 4
+        expected = math.exp(-c) * c**n / math.factorial(n)
+        assert queueing.occupancy_pmf(c, n) == pytest.approx(expected)
+
+    def test_large_occupancy_stable(self):
+        # naive c**n overflows near n ~ 150 for c = 200; lgamma form must not.
+        value = queueing.occupancy_pmf(200.0, 200)
+        assert 0.0 < value < 1.0
+
+    def test_negative_occupancy_rejected(self):
+        with pytest.raises(ValueError):
+            queueing.occupancy_pmf(1.0, -1)
+
+    @given(c=SMALL_CAPACITIES)
+    def test_pmf_sums_to_one(self, c):
+        total = sum(queueing.occupancy_pmf(c, n) for n in range(queueing.truncation_bound(c)))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestOccupancyCdf:
+    def test_negative_is_zero(self):
+        assert queueing.occupancy_cdf(2.0, -1) == 0.0
+
+    def test_complete_mass(self):
+        assert queueing.occupancy_cdf(2.0, 200) == pytest.approx(1.0)
+
+    def test_median_of_large_mean_near_mean(self):
+        assert queueing.occupancy_cdf(50.0, 50) == pytest.approx(0.5, abs=0.05)
+
+    @given(c=SMALL_CAPACITIES, n=st.integers(min_value=0, max_value=80))
+    def test_cdf_monotone(self, c, n):
+        assert queueing.occupancy_cdf(c, n + 1) >= queueing.occupancy_cdf(c, n)
+
+
+class TestExpectedValue:
+    def test_identity_gives_mean(self):
+        assert queueing.expected_value(7.3, lambda n: n) == pytest.approx(7.3)
+
+    def test_constant_function(self):
+        assert queueing.expected_value(4.0, lambda n: 2.5) == pytest.approx(2.5)
+
+    def test_second_moment(self):
+        c = 5.0  # E[L^2] = c + c^2 for Poisson
+        assert queueing.expected_value(c, lambda n: n * n) == pytest.approx(c + c * c)
+
+    def test_zero_capacity(self):
+        assert queueing.expected_value(0.0, lambda n: n + 10) == 10.0
+
+    @given(c=SMALL_CAPACITIES)
+    def test_indicator_matches_busy_probability(self, c):
+        online = queueing.expected_value(c, lambda n: 1.0 if n > 0 else 0.0)
+        assert online == pytest.approx(queueing.busy_probability(c), abs=1e-9)
+
+
+class TestExpectedExcessPeers:
+    def test_closed_form_matches_exact_sum(self):
+        for c in (0.01, 0.5, 1.0, 3.0, 25.0):
+            exact = queueing.expected_value(c, lambda n: max(n - 1, 0))
+            assert queueing.expected_excess_peers(c) == pytest.approx(exact, abs=1e-9)
+
+    def test_equals_c_minus_busy_probability(self):
+        c = 2.0
+        expected = c - queueing.busy_probability(c)
+        assert queueing.expected_excess_peers(c) == pytest.approx(expected)
+
+    @given(c=CAPACITIES)
+    def test_nonnegative_and_below_capacity(self, c):
+        value = queueing.expected_excess_peers(c)
+        assert 0.0 <= value <= c
+
+
+class TestSwarmDynamics:
+    def test_capacity_property(self):
+        dyn = queueing.SwarmDynamics(arrival_rate=0.5, mean_duration=60.0)
+        assert dyn.capacity == pytest.approx(30.0)
+
+    def test_busy_probability_property(self):
+        dyn = queueing.SwarmDynamics(arrival_rate=1.0, mean_duration=1.0)
+        assert dyn.busy_probability == pytest.approx(1 - math.exp(-1))
+
+    def test_from_capacity_round_trips(self):
+        dyn = queueing.SwarmDynamics.from_capacity(12.5)
+        assert dyn.capacity == pytest.approx(12.5)
+
+    def test_from_capacity_with_duration(self):
+        dyn = queueing.SwarmDynamics.from_capacity(10.0, mean_duration=100.0)
+        assert dyn.arrival_rate == pytest.approx(0.1)
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            queueing.SwarmDynamics.from_capacity(1.0, mean_duration=0.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            queueing.SwarmDynamics(arrival_rate=-1.0, mean_duration=10.0)
+
+    def test_frozen(self):
+        dyn = queueing.SwarmDynamics(arrival_rate=1.0, mean_duration=1.0)
+        with pytest.raises(AttributeError):
+            dyn.arrival_rate = 2.0
+
+
+class TestTruncationBound:
+    def test_floor_for_tiny_capacity(self):
+        assert queueing.truncation_bound(0.001) >= 32
+
+    def test_scales_with_capacity(self):
+        assert queueing.truncation_bound(10_000.0) > 10_000
+
+    @given(c=CAPACITIES)
+    def test_tail_mass_negligible(self, c):
+        bound = queueing.truncation_bound(c)
+        assert 1.0 - queueing.occupancy_cdf(c, bound) < 1e-9

@@ -1,0 +1,92 @@
+"""Tests for the SavingsModel facade."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    BALIGA,
+    SavingsModel,
+    VALANCIUS,
+    energy_savings,
+    offload_fraction,
+)
+from repro.core.localisation import LayerProbabilities
+
+
+@pytest.fixture
+def valancius():
+    return SavingsModel(VALANCIUS)
+
+
+@pytest.fixture
+def baliga():
+    return SavingsModel(BALIGA)
+
+
+class TestFacadeDelegation:
+    def test_savings_matches_function(self, valancius):
+        assert valancius.savings(10.0) == pytest.approx(energy_savings(10.0, VALANCIUS))
+
+    def test_offload_matches_function(self, valancius):
+        assert valancius.offload_fraction(3.0) == pytest.approx(offload_fraction(3.0))
+
+    def test_upload_ratio_threaded_through(self):
+        model = SavingsModel(VALANCIUS, upload_ratio=0.4)
+        assert model.savings(50.0) == pytest.approx(
+            energy_savings(50.0, VALANCIUS, upload_ratio=0.4)
+        )
+
+    def test_custom_layers_threaded_through(self):
+        layers = LayerProbabilities(exchange=0.25, pop=0.5, core=1.0)
+        model = SavingsModel(VALANCIUS, layers=layers)
+        assert model.savings(5.0) == pytest.approx(
+            energy_savings(5.0, VALANCIUS, layers=layers)
+        )
+
+    def test_curve_shape(self, baliga):
+        curve = baliga.savings_curve([0.1, 1, 10])
+        assert len(curve) == 3
+        assert curve[0][0] == 0.1
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            SavingsModel(VALANCIUS, upload_ratio=-1.0)
+
+
+class TestPaperAnchors:
+    def test_fig2_popular_item_levels(self, valancius, baliga):
+        """Fig. 2 left column: 35-48 % (Valancius), 24-29 % (Baliga)."""
+        assert 0.35 <= valancius.savings(60.0) <= 0.48
+        assert 0.24 <= baliga.savings(60.0) <= 0.30
+
+    def test_breakdown_consistency(self, valancius):
+        row = valancius.breakdown(10.0)
+        assert row.cdn == -row.user
+        assert row.end_to_end == pytest.approx(valancius.savings(10.0))
+        assert row.carbon_credit_transfer == pytest.approx(
+            valancius.carbon_credit_transfer(10.0)
+        )
+
+    def test_neutrality_capacities_ordered(self, valancius, baliga):
+        assert baliga.neutrality_capacity() < valancius.neutrality_capacity()
+
+    def test_neutrality_unreachable_at_low_ratio(self):
+        model = SavingsModel(VALANCIUS, upload_ratio=0.2)
+        assert model.neutrality_capacity() == math.inf
+
+    def test_asymptotic_positivity(self, valancius, baliga):
+        assert valancius.asymptotic_carbon_positivity() == pytest.approx(0.18, abs=0.005)
+        assert baliga.asymptotic_carbon_positivity() == pytest.approx(0.58, abs=0.005)
+
+
+class TestVariants:
+    def test_with_upload_ratio_creates_new(self, valancius):
+        slow = valancius.with_upload_ratio(0.2)
+        assert slow.upload_ratio == 0.2
+        assert valancius.upload_ratio == 1.0
+        assert slow.energy is valancius.energy
+
+    def test_frozen(self, valancius):
+        with pytest.raises(AttributeError):
+            valancius.upload_ratio = 0.5

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig_command(self):
+        args = build_parser().parse_args(["fig5", "--quick"])
+        assert args.command == "fig5"
+        assert args.quick
+
+    def test_generate_command(self):
+        args = build_parser().parse_args(["generate", "out.jsonl", "--days", "3"])
+        assert args.command == "generate"
+        assert args.days == 3
+
+    def test_simulate_command(self):
+        args = build_parser().parse_args(["simulate", "t.jsonl", "--upload-ratio", "0.4"])
+        assert args.upload_ratio == 0.4
+
+
+class TestCommands:
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "CC Transfer" in out
+
+    def test_tables_run(self, capsys):
+        assert main(["tables", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Exchange Point" in out
+        assert "Valancius" in out
+
+    def test_fig_with_out_dir(self, tmp_path, capsys):
+        assert main(["fig5", "--quick", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig5.txt").exists()
+
+    def test_generate_and_simulate_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["generate", str(path), "--quick"]) == 0
+        assert path.exists()
+        assert main(["simulate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "offload G" in out
+        assert "valancius" in out

@@ -1,0 +1,213 @@
+"""Integration tests for the experiment drivers (quick scale).
+
+These run every table/figure driver end to end on a small trace and
+assert the qualitative properties the paper reports.  The full-scale
+numbers live in the benchmarks and EXPERIMENTS.md.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentSettings,
+    run_experiment,
+)
+from repro.experiments.config import TIER_VIEWS
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return ExperimentSettings.quick()
+
+
+class TestSettings:
+    def test_quick_is_smaller(self):
+        quick = ExperimentSettings.quick()
+        full = ExperimentSettings()
+        assert quick.city_config().expected_sessions < full.city_config().expected_sessions
+        assert quick.days < full.days
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ExperimentSettings(scale=0.0)
+
+    def test_exemplar_pins_three_tiers(self, settings):
+        config = settings.exemplar_config()
+        assert set(config.pinned_views) == set(TIER_VIEWS)
+        ratios = sorted(config.pinned_views.values(), reverse=True)
+        assert ratios[0] / ratios[1] == pytest.approx(10.0)
+        assert ratios[1] / ratios[2] == pytest.approx(10.0)
+
+    def test_unknown_experiment_rejected(self, settings):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig99", settings)
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table3", "table4", "fig2", "fig3", "fig4", "fig5", "fig6",
+        }
+
+
+class TestTable1(object):
+    @pytest.fixture(scope="class")
+    def report(self, settings):
+        return run_experiment("table1", settings)
+
+    def test_two_months(self, report):
+        assert set(report.data["stats"]) == {"Sep 2013", "Jul 2014"}
+
+    def test_second_month_busier(self, report):
+        stats = report.data["stats"]
+        assert stats["Jul 2014"]["users"] > stats["Sep 2013"]["users"]
+
+    def test_nat_ratio(self, report):
+        stats = report.data["stats"]["Sep 2013"]
+        assert stats["ips"] == pytest.approx(stats["users"] / 2.2, rel=0.01)
+
+    def test_renders(self, report):
+        text = report.render()
+        assert "Number of Users" in text
+        assert "Number of Sessions" in text
+
+
+class TestTable3:
+    def test_paper_values(self, settings):
+        report = run_experiment("table3", settings)
+        rows = {row["layer"]: row for row in report.data["rows"]}
+        assert rows["Exchange Point"]["count"] == 345
+        assert rows["Exchange Point"]["probability"] == pytest.approx(0.0029, abs=1e-4)
+        assert rows["Point of Presence"]["count"] == 9
+        assert rows["Point of Presence"]["probability"] == pytest.approx(0.1111, abs=1e-4)
+        assert rows["Core Router"]["probability"] == 1.0
+
+
+class TestTable4:
+    def test_paper_values(self, settings):
+        report = run_experiment("table4", settings)
+        models = report.data["models"]
+        assert models["valancius"]["gamma_cdn_network"] == pytest.approx(1050.0)
+        assert models["baliga"]["gamma_server"] == pytest.approx(281.3)
+        assert models["valancius"]["pue"] == models["baliga"]["pue"] == 1.2
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def report(self, settings):
+        return run_experiment("fig2", settings)
+
+    def test_popularity_ordering(self, report):
+        """Popular items save more than unpopular at every ratio."""
+        for model in ("valancius", "baliga"):
+            popular = report.data[f"{model}/tier-popular/1.0"]["sim_mean"]
+            unpopular = report.data[f"{model}/tier-unpopular/1.0"]["sim_mean"]
+            assert popular > unpopular
+
+    def test_ratio_ordering(self, report):
+        """Higher q/beta -> more savings (paper Fig. 2 columns)."""
+        means = [
+            report.data[f"valancius/tier-popular/{r}"]["sim_mean"]
+            for r in (0.2, 0.6, 1.0)
+        ]
+        assert means == sorted(means)
+
+    def test_theory_tracks_simulation(self, report):
+        row = report.data["valancius/tier-popular/1.0"]
+        assert row["mae"] < 0.1
+
+    def test_valancius_above_baliga(self, report):
+        v = report.data["valancius/tier-popular/1.0"]["sim_mean"]
+        b = report.data["baliga/tier-popular/1.0"]["sim_mean"]
+        assert v > b
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def report(self, settings):
+        return run_experiment("fig3", settings)
+
+    def test_heavy_tail(self, report):
+        cap = report.data["capacity"]
+        assert cap["max"] > 10 * cap["median"]
+
+    def test_median_far_below_max(self, report):
+        for model in ("valancius", "baliga"):
+            stats = report.data[model]
+            assert stats["median_item_savings"] < stats["max_item_savings"]
+
+    def test_top_share_disproportionate(self, report):
+        assert report.data["valancius"]["top1pct_share_of_savings"] > 0.05
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def report(self, settings):
+        return run_experiment("fig4", settings)
+
+    def test_isps_present(self, report):
+        for isp in ("ISP-1", "ISP-4", "ISP-5"):
+            assert f"valancius/{isp}" in report.data
+
+    def test_biggest_isp_saves_most(self, report):
+        big = report.data["valancius/ISP-1"]["mean_sim"]
+        small = report.data["valancius/ISP-5"]["mean_sim"]
+        assert big > small
+
+    def test_theory_tracks_daily_sim(self, report):
+        assert report.data["valancius/ISP-1"]["mae"] < 0.05
+
+    def test_extrapolation_recovers_paper_band(self, report):
+        """Capacity-rescaled Eq. 12 lands in the paper's headline range."""
+        val = report.data["extrapolated/valancius"]
+        bal = report.data["extrapolated/baliga"]
+        assert 0.15 < val < 0.50
+        assert 0.10 < bal < 0.35
+        assert val > bal
+
+    def test_one_series_point_per_day(self, report, settings):
+        series = report.data["valancius/ISP-1"]["series_sim"]
+        assert len(series) == settings.days
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def report(self, settings):
+        return run_experiment("fig5", settings)
+
+    def test_cct_asymptotes(self, report):
+        assert report.data["valancius"]["asymptotic_cct"] == pytest.approx(0.18, abs=0.01)
+        assert report.data["baliga"]["asymptotic_cct"] == pytest.approx(0.58, abs=0.01)
+
+    def test_neutral_capacity_finite(self, report):
+        for model in ("valancius", "baliga"):
+            assert math.isfinite(report.data[model]["neutral_capacity"])
+
+    def test_cdn_user_mirror(self, report):
+        series = report.data["valancius"]["series"]
+        for (c1, cdn), (c2, user) in zip(series["CDN"], series["User"]):
+            assert cdn == pytest.approx(-user)
+
+    def test_curves_span_paper_axis(self, report):
+        series = report.data["valancius"]["series"]["End-to-End"]
+        assert series[0][0] == pytest.approx(1e-3)
+        assert series[-1][0] == pytest.approx(1e4)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def report(self, settings):
+        return run_experiment("fig6", settings)
+
+    def test_baliga_more_positive(self, report):
+        assert (
+            report.data["baliga"]["carbon_positive_share"]
+            >= report.data["valancius"]["carbon_positive_share"]
+        )
+
+    def test_cct_bounded_below(self, report):
+        for model in ("valancius", "baliga"):
+            assert report.data[model]["median_cct"] >= -1.0
+
+    def test_renders(self, report):
+        assert "CDF" in report.render()

@@ -1,0 +1,46 @@
+"""Tests for the experiment runner and report structure."""
+
+import pytest
+
+from repro.experiments.report import Report
+from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.config import ExperimentSettings
+
+
+class TestReport:
+    def test_sections_ordered(self):
+        report = Report(name="x", title="T")
+        report.add("first", "body one")
+        report.add("second", "body two")
+        text = report.render()
+        assert text.index("first") < text.index("second")
+        assert "## x: T" in text
+
+    def test_empty_report_renders_header(self):
+        assert Report(name="n", title="t").render() == "## n: t"
+
+
+class TestRunAll:
+    def test_writes_one_file_per_experiment(self, tmp_path):
+        settings = ExperimentSettings.quick()
+        reports = run_all(settings, out_dir=tmp_path)
+        assert len(reports) == len(EXPERIMENTS)
+        for name in EXPERIMENTS:
+            path = tmp_path / f"{name}.txt"
+            assert path.exists()
+            assert path.read_text().startswith(f"## {name}:")
+
+    def test_run_all_without_out_dir(self):
+        reports = run_all(ExperimentSettings.quick())
+        assert {r.name for r in reports} == set(EXPERIMENTS)
+
+    def test_reports_reuse_cached_simulation(self):
+        """fig3/fig4/fig6 share one city simulation: repeat runs are
+        effectively instant (cache keyed by settings)."""
+        import time
+
+        settings = ExperimentSettings.quick()
+        run_experiment("fig3", settings)  # warm
+        start = time.perf_counter()
+        run_experiment("fig3", settings)
+        assert time.perf_counter() - start < 2.0

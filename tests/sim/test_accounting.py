@@ -1,0 +1,134 @@
+"""Tests for byte ledgers and energy accounting."""
+
+import pytest
+
+from repro.core.energy import BALIGA, VALANCIUS
+from repro.sim.accounting import (
+    ByteLedger,
+    baseline_energy_nj,
+    hybrid_energy_nj,
+    savings,
+)
+from repro.topology.layers import NetworkLayer
+
+
+def ledger_with(server=0.0, exchange=0.0, pop=0.0, core=0.0, transit=0.0):
+    ledger = ByteLedger()
+    ledger.add_server_bits(server)
+    for layer, bits in [
+        (NetworkLayer.EXCHANGE, exchange),
+        (NetworkLayer.POP, pop),
+        (NetworkLayer.CORE, core),
+        (NetworkLayer.SERVER, transit),
+    ]:
+        if bits:
+            ledger.add_peer_bits(layer, bits)
+    ledger.demanded_bits = server + exchange + pop + core + transit
+    return ledger
+
+
+class TestByteLedger:
+    def test_empty(self):
+        ledger = ByteLedger()
+        assert ledger.total_peer_bits == 0.0
+        assert ledger.offload_fraction == 0.0
+
+    def test_offload_fraction(self):
+        ledger = ledger_with(server=300.0, exchange=700.0)
+        assert ledger.offload_fraction == pytest.approx(0.7)
+
+    def test_add_validation(self):
+        ledger = ByteLedger()
+        with pytest.raises(ValueError):
+            ledger.add_server_bits(-1.0)
+        with pytest.raises(ValueError):
+            ledger.add_peer_bits(NetworkLayer.POP, -1.0)
+
+    def test_merge(self):
+        a = ledger_with(server=100.0, pop=50.0)
+        a.watch_seconds = 10.0
+        a.sessions = 2
+        b = ledger_with(server=20.0, pop=30.0, core=5.0)
+        b.watch_seconds = 4.0
+        b.sessions = 1
+        a.merge(b)
+        assert a.server_bits == 120.0
+        assert a.peer_bits[NetworkLayer.POP] == 80.0
+        assert a.peer_bits[NetworkLayer.CORE] == 5.0
+        assert a.watch_seconds == 14.0
+        assert a.sessions == 3
+        assert a.demanded_bits == pytest.approx(205.0)
+
+    def test_merged_classmethod(self):
+        parts = [ledger_with(server=10.0), ledger_with(exchange=5.0)]
+        total = ByteLedger.merged(parts)
+        assert total.server_bits == 10.0
+        assert total.total_peer_bits == 5.0
+        # inputs untouched
+        assert parts[0].total_peer_bits == 0.0
+
+
+class TestEnergy:
+    def test_server_only_matches_model(self):
+        ledger = ledger_with(server=1e6)
+        assert hybrid_energy_nj(ledger, VALANCIUS) == pytest.approx(
+            VALANCIUS.server_energy_nj(1e6)
+        )
+
+    def test_peer_layers_priced_individually(self):
+        ledger = ledger_with(exchange=1e6, core=2e6)
+        expected = VALANCIUS.peer_energy_nj(1e6, NetworkLayer.EXCHANGE) + VALANCIUS.peer_energy_nj(
+            2e6, NetworkLayer.CORE
+        )
+        assert hybrid_energy_nj(ledger, VALANCIUS) == pytest.approx(expected)
+
+    def test_transit_peer_bits_priced_at_cdn_network(self):
+        ledger = ledger_with(transit=1e6)
+        expected = 1e6 * (VALANCIUS.psi_peer_modem + VALANCIUS.pue * VALANCIUS.gamma_cdn_network)
+        assert hybrid_energy_nj(ledger, VALANCIUS) == pytest.approx(expected)
+
+    def test_baseline_prices_all_demand_at_server(self):
+        ledger = ledger_with(server=1e6, exchange=3e6)
+        assert baseline_energy_nj(ledger, BALIGA) == pytest.approx(
+            BALIGA.server_energy_nj(4e6)
+        )
+
+
+class TestSavings:
+    def test_no_peering_no_savings(self):
+        ledger = ledger_with(server=1e6)
+        assert savings(ledger, VALANCIUS) == pytest.approx(0.0)
+
+    def test_empty_ledger(self):
+        assert savings(ByteLedger(), VALANCIUS) == 0.0
+
+    def test_full_exchange_offload(self):
+        """All-but-seed served at the exchange: S nears the asymptote."""
+        ledger = ledger_with(server=1e4, exchange=99e4)
+        s = savings(ledger, VALANCIUS)
+        asymptote = 1 - (VALANCIUS.psi_peer(VALANCIUS.gamma_exchange)) / VALANCIUS.psi_server
+        assert s == pytest.approx(0.99 * asymptote, rel=0.02)
+
+    def test_transit_peering_barely_saves(self):
+        """Cross-ISP 'peering' replaces the server with a second modem:
+        marginally cheaper energy-wise (the paper's objection to it is
+        ISP transit cost, not energy), but far worse than any same-ISP
+        layer."""
+        transit = savings(ledger_with(transit=1e6), VALANCIUS)
+        core = savings(ledger_with(core=1e6), VALANCIUS)
+        assert 0.0 < transit < core
+        expected = 1 - (
+            VALANCIUS.psi_peer_modem + VALANCIUS.pue * VALANCIUS.gamma_cdn_network
+        ) / VALANCIUS.psi_server
+        assert transit == pytest.approx(expected)
+
+    def test_savings_ordering_by_layer(self):
+        by_layer = {}
+        for name, kwargs in [
+            ("exchange", {"exchange": 9e5}),
+            ("pop", {"pop": 9e5}),
+            ("core", {"core": 9e5}),
+        ]:
+            ledger = ledger_with(server=1e5, **kwargs)
+            by_layer[name] = savings(ledger, BALIGA)
+        assert by_layer["exchange"] > by_layer["pop"] > by_layer["core"]

@@ -1,0 +1,169 @@
+"""Tests for the simulator's participation and lingering-seed extensions."""
+
+import pytest
+
+from repro.core import VALANCIUS
+from repro.sim import SimulationConfig, simulate
+from repro.topology.nodes import AttachmentPoint
+from repro.trace.events import Session, Trace
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+
+
+def make_session(session_id, user_id, start, duration, exchange=0, content_id="a"):
+    return Session(
+        session_id=session_id,
+        user_id=user_id,
+        content_id=content_id,
+        start=start,
+        duration=duration,
+        bitrate=1.5e6,
+        attachment=AttachmentPoint(isp="ISP-1", pop=0, exchange=exchange),
+    )
+
+
+class TestConfigValidation:
+    def test_participation_bounds(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(participation_rate=-0.1)
+        with pytest.raises(ValueError):
+            SimulationConfig(participation_rate=1.1)
+
+    def test_linger_bounds(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(seed_linger_seconds=-1.0)
+
+    def test_participates_deterministic(self):
+        config = SimulationConfig(participation_rate=0.5)
+        first = [config.participates(uid) for uid in range(100)]
+        second = [config.participates(uid) for uid in range(100)]
+        assert first == second
+
+    def test_participates_extremes(self):
+        all_in = SimulationConfig(participation_rate=1.0)
+        none_in = SimulationConfig(participation_rate=0.0)
+        assert all(all_in.participates(uid) for uid in range(50))
+        assert not any(none_in.participates(uid) for uid in range(50))
+
+    def test_participates_rate_approximate(self):
+        config = SimulationConfig(participation_rate=0.3)
+        share = sum(config.participates(uid) for uid in range(10_000)) / 10_000
+        assert share == pytest.approx(0.3, abs=0.03)
+
+
+class TestParticipationBehaviour:
+    def test_zero_participation_no_peering(self):
+        trace = Trace.from_sessions(
+            [
+                make_session(0, 1, 0.0, 600.0),
+                make_session(1, 2, 0.0, 600.0, exchange=1),
+            ]
+        )
+        result = simulate(trace, SimulationConfig(participation_rate=0.0))
+        assert result.total.total_peer_bits == 0.0
+
+    def test_non_participants_still_watch(self):
+        trace = Trace.from_sessions([make_session(0, 1, 0.0, 600.0)])
+        result = simulate(trace, SimulationConfig(participation_rate=0.0))
+        assert result.per_user[1].watched_bits > 0.0
+        assert result.per_user[1].uploaded_bits == 0.0
+
+    def test_partial_participation_between_extremes(self):
+        config = GeneratorConfig(
+            num_users=800, num_items=40, days=2, expected_sessions=5_000, seed=53
+        )
+        trace = TraceGenerator(config=config).generate()
+        g_none = simulate(trace, SimulationConfig(participation_rate=0.0)).offload_fraction()
+        g_half = simulate(trace, SimulationConfig(participation_rate=0.5)).offload_fraction()
+        g_full = simulate(trace, SimulationConfig(participation_rate=1.0)).offload_fraction()
+        assert g_none == 0.0
+        assert 0.0 < g_half < g_full
+
+    def test_non_participants_never_upload(self):
+        config = GeneratorConfig(
+            num_users=400, num_items=20, days=1, expected_sessions=2_500, seed=54
+        )
+        trace = TraceGenerator(config=config).generate()
+        sim_config = SimulationConfig(participation_rate=0.4)
+        result = simulate(trace, sim_config)
+        for uid, traffic in result.per_user.items():
+            if not sim_config.participates(uid):
+                assert traffic.uploaded_bits == 0.0
+
+
+class TestLingerBehaviour:
+    def test_cached_copy_serves_later_viewer(self):
+        trace = Trace.from_sessions(
+            [
+                make_session(0, 1, 0.0, 600.0),
+                make_session(1, 2, 700.0, 600.0, exchange=1),
+            ]
+        )
+        plain = simulate(trace)
+        cached = simulate(trace, SimulationConfig(seed_linger_seconds=1800.0))
+        assert plain.offload_fraction() == 0.0
+        assert cached.offload_fraction() == pytest.approx(0.5)
+
+    def test_linger_shorter_than_gap_does_not_help(self):
+        trace = Trace.from_sessions(
+            [
+                make_session(0, 1, 0.0, 600.0),
+                make_session(1, 2, 1800.0, 600.0, exchange=1),
+            ]
+        )
+        cached = simulate(trace, SimulationConfig(seed_linger_seconds=300.0))
+        assert cached.offload_fraction() == 0.0
+
+    def test_lingerer_not_counted_as_viewer(self):
+        """Capacity counts watchers; a lingering seed is not watching."""
+        trace = Trace.from_sessions([make_session(0, 1, 0.0, 600.0)])
+        plain = simulate(trace)
+        cached = simulate(trace, SimulationConfig(seed_linger_seconds=86_400.0 - 600.0))
+        swarm_plain = next(iter(plain.per_swarm.values()))
+        swarm_cached = next(iter(cached.per_swarm.values()))
+        assert swarm_cached.capacity == pytest.approx(swarm_plain.capacity)
+
+    def test_lingering_uploader_earns_credit(self):
+        trace = Trace.from_sessions(
+            [
+                make_session(0, 1, 0.0, 600.0),
+                make_session(1, 2, 700.0, 600.0, exchange=1),
+            ]
+        )
+        result = simulate(trace, SimulationConfig(seed_linger_seconds=1800.0))
+        assert result.per_user[1].uploaded_bits > 0.0
+        assert result.per_user[2].uploaded_bits == 0.0
+
+    def test_linger_with_no_participation_is_inert(self):
+        trace = Trace.from_sessions(
+            [
+                make_session(0, 1, 0.0, 600.0),
+                make_session(1, 2, 700.0, 600.0, exchange=1),
+            ]
+        )
+        result = simulate(
+            trace,
+            SimulationConfig(seed_linger_seconds=1800.0, participation_rate=0.0),
+        )
+        assert result.offload_fraction() == 0.0
+
+    def test_linger_increases_savings_on_real_workload(self):
+        config = GeneratorConfig(
+            num_users=600, num_items=30, days=2, expected_sessions=4_000, seed=55
+        )
+        trace = TraceGenerator(config=config).generate()
+        plain = simulate(trace)
+        cached = simulate(trace, SimulationConfig(seed_linger_seconds=3_600.0))
+        assert cached.savings(VALANCIUS) > plain.savings(VALANCIUS)
+
+    def test_conservation_holds_with_linger(self):
+        config = GeneratorConfig(
+            num_users=500, num_items=25, days=2, expected_sessions=3_000, seed=56
+        )
+        trace = TraceGenerator(config=config).generate()
+        result = simulate(trace, SimulationConfig(seed_linger_seconds=1_200.0))
+        total = result.total
+        assert total.server_bits + total.total_peer_bits == pytest.approx(
+            total.demanded_bits
+        )
+        uploaded = sum(u.uploaded_bits for u in result.per_user.values())
+        assert uploaded == pytest.approx(total.total_peer_bits)

@@ -1,0 +1,79 @@
+"""Tests for swarm scoping policies."""
+
+import pytest
+
+from repro.sim.policies import PAPER_POLICY, SwarmKey, SwarmPolicy
+from repro.topology.nodes import AttachmentPoint
+from repro.trace.events import Session
+
+
+def make_session(content_id="item-a", isp="ISP-1", bitrate=1.5e6, user_id=1):
+    return Session(
+        session_id=0,
+        user_id=user_id,
+        content_id=content_id,
+        start=0.0,
+        duration=600.0,
+        bitrate=bitrate,
+        attachment=AttachmentPoint(isp=isp, pop=0, exchange=0),
+    )
+
+
+class TestPaperPolicy:
+    def test_defaults(self):
+        assert PAPER_POLICY.split_by_isp
+        assert PAPER_POLICY.split_by_bitrate
+
+    def test_key_includes_all_dimensions(self):
+        key = PAPER_POLICY.key_for(make_session())
+        assert key == SwarmKey(content_id="item-a", isp="ISP-1", bitrate_class="1.50Mbps")
+
+    def test_same_item_different_isp_split(self):
+        a = PAPER_POLICY.key_for(make_session(isp="ISP-1"))
+        b = PAPER_POLICY.key_for(make_session(isp="ISP-2"))
+        assert a != b
+
+    def test_same_item_different_bitrate_split(self):
+        a = PAPER_POLICY.key_for(make_session(bitrate=1.5e6))
+        b = PAPER_POLICY.key_for(make_session(bitrate=3.0e6))
+        assert a != b
+
+    def test_different_items_always_split(self):
+        a = PAPER_POLICY.key_for(make_session(content_id="x"))
+        b = PAPER_POLICY.key_for(make_session(content_id="y"))
+        assert a != b
+
+
+class TestRelaxedPolicies:
+    def test_cross_isp_merges(self):
+        policy = SwarmPolicy(split_by_isp=False)
+        a = policy.key_for(make_session(isp="ISP-1"))
+        b = policy.key_for(make_session(isp="ISP-2"))
+        assert a == b
+        assert a.isp is None
+
+    def test_mixed_bitrate_merges(self):
+        policy = SwarmPolicy(split_by_bitrate=False)
+        a = policy.key_for(make_session(bitrate=1.5e6))
+        b = policy.key_for(make_session(bitrate=5.0e6))
+        assert a == b
+        assert a.bitrate_class is None
+
+
+class TestBitrateClass:
+    def test_label_format(self):
+        assert PAPER_POLICY.bitrate_class(1.5e6) == "1.50Mbps"
+        assert PAPER_POLICY.bitrate_class(0.8e6) == "0.80Mbps"
+
+    def test_close_bitrates_distinct(self):
+        assert PAPER_POLICY.bitrate_class(1.5e6) != PAPER_POLICY.bitrate_class(1.51e6)
+
+    def test_invalid_bitrate(self):
+        with pytest.raises(ValueError):
+            PAPER_POLICY.bitrate_class(0.0)
+
+    def test_keys_hashable_and_frozen(self):
+        key = PAPER_POLICY.key_for(make_session())
+        assert hash(key) == hash(PAPER_POLICY.key_for(make_session()))
+        with pytest.raises(AttributeError):
+            key.isp = "other"

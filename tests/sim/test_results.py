@@ -1,0 +1,115 @@
+"""Tests for simulation result aggregation."""
+
+import pytest
+
+from repro.core import BALIGA, VALANCIUS
+from repro.sim import SimulationConfig, simulate
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = GeneratorConfig(
+        num_users=1_000, num_items=80, days=3, expected_sessions=7_000, seed=17
+    )
+    trace = TraceGenerator(config=config).generate()
+    return simulate(trace, SimulationConfig(upload_ratio=1.0))
+
+
+class TestHeadline:
+    def test_savings_positive_for_busy_trace(self, result):
+        assert result.savings(VALANCIUS) > 0.0
+        assert result.savings(BALIGA) > 0.0
+
+    def test_valancius_saves_more_than_baliga(self, result):
+        """Valancius' expensive CDN paths make P2P relatively greener."""
+        assert result.savings(VALANCIUS) > result.savings(BALIGA)
+
+    def test_offload_is_model_independent(self, result):
+        assert 0.0 < result.offload_fraction() < 1.0
+
+
+class TestDailySeries:
+    def test_every_isp_every_day_present(self, result):
+        isps = result.isp_names()
+        days = result.days()
+        assert len(isps) == 5
+        assert days == [0, 1, 2]
+        for isp in isps:
+            series = result.daily_savings(isp, VALANCIUS)
+            assert [day for day, _ in series] == days
+
+    def test_daily_savings_ordered_and_bounded(self, result):
+        for isp in result.isp_names():
+            for _, s in result.daily_savings(isp, VALANCIUS):
+                assert -1.0 < s < 1.0
+
+    def test_isp_ledger_merges_days(self, result):
+        isp = result.isp_names()[0]
+        merged = result.isp_ledger(isp)
+        per_day = [
+            ledger
+            for (name, _), ledger in result.per_isp_day.items()
+            if name == isp
+        ]
+        assert merged.demanded_bits == pytest.approx(
+            sum(l.demanded_bits for l in per_day)
+        )
+
+    def test_biggest_isp_saves_most(self, result):
+        """Larger subscriber share -> bigger swarms -> higher savings."""
+        first = result.isp_ledger("ISP-1")
+        last = result.isp_ledger("ISP-5")
+        from repro.sim.accounting import savings
+
+        assert savings(first, VALANCIUS) > savings(last, VALANCIUS)
+
+
+class TestPerContent:
+    def test_merges_across_isps_and_bitrates(self, result):
+        per_content = result.per_content_results()
+        sub_swarm_count = len(result.per_swarm)
+        assert len(per_content) < sub_swarm_count
+        total_capacity = sum(r.capacity for r in result.per_swarm.values())
+        merged_capacity = sum(r.capacity for r in per_content.values())
+        assert merged_capacity == pytest.approx(total_capacity)
+
+    def test_popular_items_have_bigger_capacity(self, result):
+        per_content = result.per_content_results()
+        by_sessions = sorted(per_content.values(), key=lambda r: r.ledger.sessions)
+        assert by_sessions[-1].capacity > by_sessions[0].capacity
+
+    def test_popular_items_save_more(self, result):
+        per_content = result.per_content_results()
+        ranked = sorted(per_content.values(), key=lambda r: r.capacity)
+        low = ranked[0].savings(VALANCIUS)
+        high = ranked[-1].savings(VALANCIUS)
+        assert high > low
+
+
+class TestUserFootprints:
+    def test_footprints_cover_all_users(self, result):
+        footprints = result.user_footprints()
+        assert set(footprints) == set(result.per_user)
+
+    def test_carbon_positive_share_bounds(self, result):
+        for model in (VALANCIUS, BALIGA):
+            share = result.carbon_positive_share(model)
+            assert 0.0 <= share <= 1.0
+
+    def test_baliga_makes_more_users_positive(self, result):
+        """Baliga's hotter servers transfer more credit (paper: >70 % vs 41 %)."""
+        assert result.carbon_positive_share(BALIGA) >= result.carbon_positive_share(
+            VALANCIUS
+        )
+
+    def test_non_uploaders_are_negative(self, result):
+        from repro.core.carbon import UserFootprint
+
+        for traffic in result.per_user.values():
+            if traffic.uploaded_bits == 0.0 and traffic.watched_bits > 0.0:
+                fp = traffic.footprint()
+                assert fp.carbon_credit_transfer(VALANCIUS) == pytest.approx(-1.0)
+                break
+        else:  # pragma: no cover - extremely unlikely
+            pytest.fail("expected at least one non-uploading viewer")

@@ -1,0 +1,127 @@
+"""End-to-end integration tests across every layer of the library.
+
+These exercise the full pipeline -- generate -> persist -> reload ->
+simulate -> analyse -> report -- the way a downstream user would, and pin
+the cross-layer invariants no single-module test can see.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import compare_series, weighted_theory_savings
+from repro.core import BALIGA, SavingsModel, VALANCIUS
+from repro.sim import SimulationConfig, Simulator, simulate
+from repro.sim.accounting import baseline_energy_nj, hybrid_energy_nj
+from repro.trace import (
+    GeneratorConfig,
+    TraceGenerator,
+    load_jsonl,
+    save_jsonl,
+    summarise,
+)
+
+CONFIG = GeneratorConfig(
+    num_users=1_000, num_items=60, days=3, expected_sessions=8_000, seed=77
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return TraceGenerator(config=CONFIG).generate()
+
+
+@pytest.fixture(scope="module")
+def result(trace):
+    return simulate(trace, SimulationConfig(upload_ratio=1.0))
+
+
+class TestPipelineRoundTrip:
+    def test_persisted_trace_simulates_identically(self, trace, result, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        reloaded = load_jsonl(path)
+        rerun = simulate(reloaded, SimulationConfig(upload_ratio=1.0))
+        assert rerun.total.server_bits == pytest.approx(result.total.server_bits)
+        assert rerun.total.total_peer_bits == pytest.approx(
+            result.total.total_peer_bits
+        )
+        assert rerun.savings(VALANCIUS) == pytest.approx(result.savings(VALANCIUS))
+
+    def test_generation_reproducible_across_processes(self, trace):
+        """Seeds must survive process boundaries (no salted hashing)."""
+        code = (
+            "from repro.trace import GeneratorConfig, TraceGenerator\n"
+            f"config = GeneratorConfig(num_users={CONFIG.num_users}, "
+            f"num_items={CONFIG.num_items}, days={CONFIG.days}, "
+            f"expected_sessions={CONFIG.expected_sessions}, seed={CONFIG.seed})\n"
+            "t = TraceGenerator(config=config).generate()\n"
+            "print(len(t), t.sessions[0].user_id, t.sessions[-1].session_id)\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, check=True
+        ).stdout.split()
+        assert int(out[0]) == len(trace)
+        assert int(out[1]) == trace.sessions[0].user_id
+        assert int(out[2]) == trace.sessions[-1].session_id
+
+
+class TestCrossLayerInvariants:
+    def test_stats_agree_with_simulation(self, trace, result):
+        stats = summarise(trace)
+        assert stats.num_sessions == sum(
+            r.ledger.sessions for r in result.per_swarm.values()
+        )
+        assert set(result.per_user) <= set(trace.user_ids)
+
+    def test_energy_decomposition_consistent(self, result):
+        """System savings recompute from raw ledger energies (Eq. 1)."""
+        for model in (VALANCIUS, BALIGA):
+            hybrid = hybrid_energy_nj(result.total, model)
+            baseline = baseline_energy_nj(result.total, model)
+            assert result.savings(model) == pytest.approx(1 - hybrid / baseline)
+            assert hybrid <= baseline  # peering never costs extra here
+
+    def test_theory_tracks_system_savings(self, result):
+        weighted = weighted_theory_savings(result.per_swarm.values(), VALANCIUS)
+        assert weighted == pytest.approx(result.savings(VALANCIUS), abs=0.05)
+
+    def test_daily_series_compare_cleanly(self, trace, result):
+        from repro.analysis import daily_theory_savings
+
+        sim = [(float(d), s) for d, s in result.daily_savings("ISP-1", VALANCIUS)]
+        theo = [
+            (float(d), s) for d, s in daily_theory_savings(trace, "ISP-1", VALANCIUS)
+        ]
+        summary = compare_series(sim, theo)
+        assert summary.mean_absolute_error < 0.05
+
+    def test_upload_ratio_monotonicity_end_to_end(self, trace):
+        savings = []
+        for ratio in (0.2, 0.6, 1.0):
+            res = simulate(trace, SimulationConfig(upload_ratio=ratio))
+            savings.append(res.savings(VALANCIUS))
+        assert savings == sorted(savings)
+
+    def test_simulation_deterministic(self, trace, result):
+        rerun = Simulator(SimulationConfig(upload_ratio=1.0)).run(trace)
+        assert rerun.total.server_bits == result.total.server_bits
+        assert rerun.total.peer_bits == result.total.peer_bits
+
+
+class TestModelFacadeAgainstSimulation:
+    def test_per_swarm_predictions(self, result):
+        """Eq. 12 predicts each sizeable sub-swarm's simulated savings."""
+        model = SavingsModel(VALANCIUS)
+        checked = 0
+        for swarm in result.per_swarm.values():
+            if swarm.capacity < 1.0:
+                continue
+            predicted = model.savings(swarm.capacity)
+            # Diurnal bunching makes simulated swarms slightly denser
+            # than a stationary Poisson at equal mean capacity, so the
+            # simulation may sit a little above theory.
+            assert swarm.savings(VALANCIUS) == pytest.approx(predicted, abs=0.06)
+            checked += 1
+        assert checked >= 2

@@ -1,0 +1,127 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Complement the per-module suites with randomized structure: arbitrary
+sessions must round-trip through persistence unchanged, and the matcher
+must satisfy its conservation laws under adversarial swarm shapes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.matching import PeerState, match_window
+from repro.topology.layers import NetworkLayer
+from repro.topology.nodes import AttachmentPoint
+from repro.trace.events import Session
+from repro.trace.loader import session_from_record, session_to_record
+
+# --- strategies -------------------------------------------------------
+
+attachments = st.builds(
+    AttachmentPoint,
+    isp=st.sampled_from(["ISP-1", "ISP-2", "ISP-3"]),
+    pop=st.integers(min_value=0, max_value=8),
+    exchange=st.integers(min_value=0, max_value=344),
+)
+
+sessions = st.builds(
+    Session,
+    session_id=st.integers(min_value=0, max_value=2**31),
+    user_id=st.integers(min_value=0, max_value=2**31),
+    content_id=st.text(
+        alphabet=st.characters(whitelist_categories=("L", "N")), min_size=1, max_size=20
+    ),
+    start=st.floats(min_value=0.0, max_value=2_592_000.0, allow_nan=False),
+    duration=st.floats(min_value=1.0, max_value=36_000.0, allow_nan=False),
+    bitrate=st.floats(min_value=1e5, max_value=1e8, allow_nan=False),
+    attachment=attachments,
+    device=st.sampled_from(["tv", "desktop", "mobile", "unknown"]),
+)
+
+
+def peer_states(max_size: int):
+    return st.lists(
+        st.builds(
+            PeerState,
+            member_id=st.integers(min_value=0, max_value=10_000),
+            user_id=st.integers(min_value=0, max_value=50),
+            demand=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            supply=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            exchange=st.integers(min_value=0, max_value=5),
+            pop=st.integers(min_value=0, max_value=2),
+            isp=st.sampled_from(["ISP-1", "ISP-2"]),
+        ),
+        min_size=0,
+        max_size=max_size,
+        unique_by=lambda m: m.member_id,
+    )
+
+
+# --- persistence round-trip -------------------------------------------
+
+
+class TestSessionRoundTrip:
+    @given(session=sessions)
+    @settings(max_examples=200)
+    def test_record_round_trip_exact(self, session):
+        assert session_from_record(session_to_record(session)) == session
+
+    @given(session=sessions)
+    @settings(max_examples=50)
+    def test_json_round_trip_exact(self, session):
+        import json
+
+        record = json.loads(json.dumps(session_to_record(session)))
+        assert session_from_record(record) == session
+
+
+# --- matcher conservation laws ----------------------------------------
+
+
+class TestMatcherProperties:
+    @given(members=peer_states(max_size=14), cross=st.booleans(), local=st.booleans())
+    @settings(max_examples=150, deadline=None)
+    def test_conservation_and_caps(self, members, cross, local):
+        allocation = match_window(members, allow_cross_isp=cross, locality_aware=local)
+
+        total_demand = sum(m.demand for m in members)
+        # Every demanded bit is either peer-served or server-served.
+        assert allocation.server_bits + allocation.total_peer_bits == pytest.approx(
+            total_demand, rel=1e-9, abs=1e-6
+        )
+        assert allocation.demanded_bits == pytest.approx(total_demand)
+        # Uploads account exactly for peer bits.
+        assert sum(allocation.uploaded_bits.values()) == pytest.approx(
+            allocation.total_peer_bits, rel=1e-9, abs=1e-6
+        )
+        # Nothing is negative.
+        assert allocation.server_bits >= -1e-9
+        for bits in allocation.peer_bits.values():
+            assert bits >= -1e-9
+
+    @given(members=peer_states(max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_per_user_upload_caps(self, members):
+        allocation = match_window(members)
+        capacity_by_user = {}
+        for m in members:
+            capacity_by_user[m.user_id] = capacity_by_user.get(m.user_id, 0.0) + m.supply
+        for user_id, uploaded in allocation.uploaded_bits.items():
+            assert uploaded <= capacity_by_user[user_id] + 1e-6
+
+    @given(members=peer_states(max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_isp_friendly_layers_only(self, members):
+        """Without cross-ISP matching, no transit-layer peer bits exist."""
+        allocation = match_window(members, allow_cross_isp=False)
+        assert NetworkLayer.SERVER not in allocation.peer_bits
+
+    @given(members=peer_states(max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_locality_blind_matches_volume(self, members):
+        """Random matching never moves more than demand or supply allow."""
+        allocation = match_window(members, locality_aware=False)
+        total_supply = sum(m.supply for m in members)
+        total_demand = sum(m.demand for m in members)
+        assert allocation.total_peer_bits <= total_supply + 1e-6
+        assert allocation.total_peer_bits <= total_demand + 1e-6

@@ -1,0 +1,96 @@
+"""Tests for the multi-ISP city model."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.topology.city import CityNetwork, DEFAULT_ISP_SHARES, default_london
+from repro.topology.isp import ISPNetwork
+
+
+@pytest.fixture
+def london():
+    return default_london()
+
+
+class TestDefaultLondon:
+    def test_five_isps(self, london):
+        assert london.isp_names == ["ISP-1", "ISP-2", "ISP-3", "ISP-4", "ISP-5"]
+
+    def test_shares_aligned(self, london):
+        assert london.shares == DEFAULT_ISP_SHARES
+
+    def test_paper_tree_shape(self, london):
+        for isp in london.isps:
+            assert isp.num_exchanges == 345
+            assert isp.num_pops == 9
+
+    def test_custom_isp_count(self):
+        city = default_london(num_isps=3)
+        assert len(city.isps) == 3
+
+    def test_too_few_shares_rejected(self):
+        with pytest.raises(ValueError):
+            default_london(num_isps=3, shares=(0.5, 0.5))
+
+    def test_zero_isps_rejected(self):
+        with pytest.raises(ValueError):
+            default_london(num_isps=0)
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            CityNetwork("x", isps=(ISPNetwork("a"),), shares=(0.5, 0.5))
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError):
+            CityNetwork("x", isps=(ISPNetwork("a"), ISPNetwork("a")), shares=(0.5, 0.5))
+
+    def test_nonpositive_share(self):
+        with pytest.raises(ValueError):
+            CityNetwork("x", isps=(ISPNetwork("a"),), shares=(0.0,))
+
+    def test_empty_city(self):
+        with pytest.raises(ValueError):
+            CityNetwork("x", isps=(), shares=())
+
+
+class TestLookup:
+    def test_isp_by_name(self, london):
+        assert london.isp("ISP-3").name == "ISP-3"
+
+    def test_unknown_isp(self, london):
+        with pytest.raises(KeyError):
+            london.isp("ISP-99")
+
+    def test_normalised_shares_sum_to_one(self, london):
+        assert sum(london.normalised_shares().values()) == pytest.approx(1.0)
+
+    def test_normalised_shares_preserve_order(self, london):
+        shares = london.normalised_shares()
+        assert shares["ISP-1"] > shares["ISP-5"]
+
+
+class TestSampling:
+    def test_share_proportional(self, london):
+        rng = random.Random(5)
+        counts = Counter(london.sample_isp(rng).name for _ in range(20_000))
+        norm = london.normalised_shares()
+        for name, share in norm.items():
+            assert counts[name] / 20_000 == pytest.approx(share, rel=0.1)
+
+    def test_attachment_belongs_to_a_city_isp(self, london):
+        rng = random.Random(9)
+        for _ in range(50):
+            point = london.sample_attachment(rng)
+            assert point.isp in london.isp_names
+            isp = london.isp(point.isp)
+            assert 0 <= point.exchange < isp.num_exchanges
+            assert point.pop == isp.pop_of_exchange(point.exchange)
+
+    def test_deterministic_with_seed(self, london):
+        a = [london.sample_attachment(random.Random(1)) for _ in range(5)]
+        b = [london.sample_attachment(random.Random(1)) for _ in range(5)]
+        assert a == b

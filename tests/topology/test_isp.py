@@ -1,0 +1,146 @@
+"""Tests for the ISP metropolitan tree."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.isp import ISPNetwork, LONDON_EXCHANGES, LONDON_POPS
+from repro.topology.layers import NetworkLayer
+from repro.topology.nodes import AttachmentPoint
+
+
+@pytest.fixture
+def london():
+    return ISPNetwork("ISP-1")
+
+
+class TestStructure:
+    def test_paper_defaults(self, london):
+        assert london.num_exchanges == LONDON_EXCHANGES == 345
+        assert london.num_pops == LONDON_POPS == 9
+
+    def test_exchanges_per_pop(self, london):
+        # ceil(345 / 9) = 39.
+        assert london.exchanges_per_pop == 39
+
+    def test_every_exchange_has_valid_pop(self, london):
+        pops = {london.pop_of_exchange(e) for e in range(london.num_exchanges)}
+        assert pops == set(range(9))
+
+    def test_contiguous_blocks(self, london):
+        assert london.pop_of_exchange(0) == 0
+        assert london.pop_of_exchange(38) == 0
+        assert london.pop_of_exchange(39) == 1
+        assert london.pop_of_exchange(344) == 8
+
+    def test_out_of_range_exchange(self, london):
+        with pytest.raises(ValueError):
+            london.pop_of_exchange(345)
+        with pytest.raises(ValueError):
+            london.pop_of_exchange(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ISPNetwork("")
+        with pytest.raises(ValueError):
+            ISPNetwork("x", num_exchanges=5, num_pops=10)
+        with pytest.raises(ValueError):
+            ISPNetwork("x", num_exchanges=5, num_pops=0)
+
+    @given(
+        exchanges=st.integers(min_value=1, max_value=2000),
+        pops=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=50)
+    def test_pop_assignment_balanced(self, exchanges, pops):
+        if exchanges < pops:
+            return
+        isp = ISPNetwork("x", num_exchanges=exchanges, num_pops=pops)
+        counts = Counter(isp.pop_of_exchange(e) for e in range(exchanges))
+        # contiguous blocks of size ceil(E/P): sizes differ by < block.
+        assert max(counts.values()) - min(counts.values()) < isp.exchanges_per_pop
+        assert sum(counts.values()) == exchanges
+
+
+class TestAttachment:
+    def test_attachment_fields(self, london):
+        point = london.attachment(40)
+        assert point.isp == "ISP-1"
+        assert point.exchange == 40
+        assert point.pop == london.pop_of_exchange(40)
+
+    def test_sampling_is_uniform_ish(self, london):
+        rng = random.Random(7)
+        counts = Counter(london.sample_attachment(rng).exchange for _ in range(34_500))
+        # Every exchange should appear; expected count is 100.
+        assert len(counts) == 345
+        assert max(counts.values()) < 200
+
+    def test_sampling_deterministic_with_seed(self, london):
+        a = [london.sample_attachment(random.Random(3)).exchange for _ in range(5)]
+        b = [london.sample_attachment(random.Random(3)).exchange for _ in range(5)]
+        assert a == b
+
+
+class TestCommonLayer:
+    def test_same_exchange(self, london):
+        a, b = london.attachment(10), london.attachment(10)
+        assert london.common_layer(a, b) is NetworkLayer.EXCHANGE
+
+    def test_same_pop(self, london):
+        a, b = london.attachment(0), london.attachment(38)
+        assert london.common_layer(a, b) is NetworkLayer.POP
+
+    def test_cross_pop(self, london):
+        a, b = london.attachment(0), london.attachment(344)
+        assert london.common_layer(a, b) is NetworkLayer.CORE
+
+    def test_foreign_point_rejected(self, london):
+        foreign = AttachmentPoint(isp="ISP-2", pop=0, exchange=0)
+        with pytest.raises(ValueError):
+            london.common_layer(london.attachment(0), foreign)
+
+
+class TestLocalisationProbabilities:
+    def test_table_iii(self, london):
+        probs = london.layer_probabilities()
+        assert probs.exchange == pytest.approx(1 / 345)
+        assert probs.pop == pytest.approx(1 / 9)
+        assert probs.core == 1.0
+
+    def test_table_rows(self, london):
+        rows = london.localisation_table()
+        assert [row["count"] for row in rows] == [345, 9, 1]
+        assert rows[0]["probability"] == pytest.approx(0.0029, abs=1e-4)
+        assert rows[1]["probability"] == pytest.approx(0.1111, abs=1e-4)
+        assert rows[2]["probability"] == 1.0
+
+    def test_empirical_co_location_matches_probability(self, london):
+        """Sampled pairs share an exchange with probability ~1/345."""
+        rng = random.Random(11)
+        trials = 30_000
+        hits = sum(
+            1
+            for _ in range(trials)
+            if london.sample_attachment(rng).exchange == london.sample_attachment(rng).exchange
+        )
+        assert hits / trials == pytest.approx(1 / 345, rel=0.35)
+
+
+class TestNetworkxExport:
+    def test_node_and_edge_counts(self):
+        isp = ISPNetwork("small", num_exchanges=12, num_pops=3)
+        graph = isp.to_networkx()
+        # 1 core + 3 pops + 12 exchanges.
+        assert graph.number_of_nodes() == 16
+        # core-pop edges (3) + pop-exchange edges (12).
+        assert graph.number_of_edges() == 15
+
+    def test_tree_property(self):
+        import networkx as nx
+
+        graph = ISPNetwork("t", num_exchanges=20, num_pops=4).to_networkx()
+        assert nx.is_tree(graph)

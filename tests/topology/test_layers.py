@@ -1,0 +1,37 @@
+"""Tests for the network layer enumeration."""
+
+import pytest
+
+from repro.topology.layers import NetworkLayer, P2P_LAYERS
+
+
+class TestOrdering:
+    def test_closest_first(self):
+        assert NetworkLayer.EXCHANGE < NetworkLayer.POP < NetworkLayer.CORE < NetworkLayer.SERVER
+
+    def test_min_selects_closest(self):
+        assert min(NetworkLayer.CORE, NetworkLayer.EXCHANGE) is NetworkLayer.EXCHANGE
+
+    def test_p2p_layers_ordered(self):
+        assert list(P2P_LAYERS) == sorted(P2P_LAYERS)
+        assert P2P_LAYERS == (NetworkLayer.EXCHANGE, NetworkLayer.POP, NetworkLayer.CORE)
+
+
+class TestPredicates:
+    @pytest.mark.parametrize("layer", P2P_LAYERS)
+    def test_peer_layers(self, layer):
+        assert layer.is_peer_layer
+
+    def test_server_is_not_peer_layer(self):
+        assert not NetworkLayer.SERVER.is_peer_layer
+
+
+class TestNames:
+    def test_short_names_unique(self):
+        names = {layer.short_name for layer in NetworkLayer}
+        assert len(names) == len(NetworkLayer)
+
+    def test_paper_names(self):
+        assert NetworkLayer.EXCHANGE.paper_name == "Exchange Point"
+        assert NetworkLayer.POP.paper_name == "Point of Presence"
+        assert NetworkLayer.CORE.paper_name == "Core Router"

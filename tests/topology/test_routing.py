@@ -1,0 +1,109 @@
+"""Tests for transfer classification and per-transfer energy."""
+
+import pytest
+
+from repro.core.energy import BALIGA, VALANCIUS
+from repro.topology.isp import ISPNetwork
+from repro.topology.layers import NetworkLayer
+from repro.topology.nodes import AttachmentPoint, lowest_common_layer
+from repro.topology.routing import Transfer, classify_transfer, hop_count, transfer_energy_nj
+
+
+@pytest.fixture
+def isp():
+    return ISPNetwork("ISP-1")
+
+
+class TestLowestCommonLayer:
+    def test_same_exchange(self):
+        a = AttachmentPoint("ISP-1", pop=0, exchange=5)
+        b = AttachmentPoint("ISP-1", pop=0, exchange=5)
+        assert lowest_common_layer(a, b) is NetworkLayer.EXCHANGE
+
+    def test_same_pop(self):
+        a = AttachmentPoint("ISP-1", pop=0, exchange=5)
+        b = AttachmentPoint("ISP-1", pop=0, exchange=6)
+        assert lowest_common_layer(a, b) is NetworkLayer.POP
+
+    def test_same_isp_cross_pop(self):
+        a = AttachmentPoint("ISP-1", pop=0, exchange=5)
+        b = AttachmentPoint("ISP-1", pop=3, exchange=150)
+        assert lowest_common_layer(a, b) is NetworkLayer.CORE
+
+    def test_cross_isp(self):
+        a = AttachmentPoint("ISP-1", pop=0, exchange=5)
+        b = AttachmentPoint("ISP-2", pop=0, exchange=5)
+        assert lowest_common_layer(a, b) is NetworkLayer.SERVER
+
+    def test_symmetric(self, isp):
+        a, b = isp.attachment(3), isp.attachment(120)
+        assert lowest_common_layer(a, b) is lowest_common_layer(b, a)
+
+
+class TestClassifyTransfer:
+    def test_local_transfer(self, isp):
+        t = classify_transfer(isp.attachment(0), isp.attachment(1))
+        assert t == Transfer(layer=NetworkLayer.POP, same_isp=True)
+        assert t.is_local
+
+    def test_cross_isp_not_local(self):
+        a = AttachmentPoint("ISP-1", pop=0, exchange=0)
+        b = AttachmentPoint("ISP-2", pop=0, exchange=0)
+        t = classify_transfer(a, b)
+        assert not t.same_isp
+        assert not t.is_local
+
+
+class TestHopCount:
+    def test_paper_hop_counts(self):
+        assert hop_count(NetworkLayer.SERVER) == 7
+        assert hop_count(NetworkLayer.CORE) == 6
+        assert hop_count(NetworkLayer.POP) == 4
+        assert hop_count(NetworkLayer.EXCHANGE) == 2
+
+    def test_consistent_with_valancius_gammas(self):
+        """The Valancius per-layer gammas are exactly hops x 150."""
+        assert VALANCIUS.gamma_core == hop_count(NetworkLayer.CORE) * 150
+        assert VALANCIUS.gamma_pop == hop_count(NetworkLayer.POP) * 150
+        assert VALANCIUS.gamma_exchange == hop_count(NetworkLayer.EXCHANGE) * 150
+        assert VALANCIUS.gamma_cdn_network == hop_count(NetworkLayer.SERVER) * 150
+
+
+class TestTransferEnergy:
+    def test_same_exchange_cheapest(self, isp):
+        bits = 1e6
+        same_exp = transfer_energy_nj(VALANCIUS, isp.attachment(0), isp.attachment(0), bits)
+        same_pop = transfer_energy_nj(VALANCIUS, isp.attachment(0), isp.attachment(1), bits)
+        cross_pop = transfer_energy_nj(VALANCIUS, isp.attachment(0), isp.attachment(344), bits)
+        assert same_exp < same_pop < cross_pop
+
+    def test_matches_energy_model(self, isp):
+        bits = 1e6
+        energy = transfer_energy_nj(BALIGA, isp.attachment(0), isp.attachment(200), bits)
+        assert energy == pytest.approx(BALIGA.peer_energy_nj(bits, NetworkLayer.CORE))
+
+    def test_cross_isp_charged_at_cdn_network_rate(self):
+        a = AttachmentPoint("ISP-1", pop=0, exchange=0)
+        b = AttachmentPoint("ISP-2", pop=0, exchange=0)
+        bits = 1e6
+        expected = bits * (VALANCIUS.psi_peer_modem + VALANCIUS.pue * VALANCIUS.gamma_cdn_network)
+        assert transfer_energy_nj(VALANCIUS, a, b, bits) == pytest.approx(expected)
+
+    def test_cross_isp_more_expensive_than_core(self, isp):
+        """Breaking ISP-friendliness must never look cheaper than staying in."""
+        bits = 1e6
+        cross = transfer_energy_nj(
+            VALANCIUS,
+            AttachmentPoint("ISP-1", pop=0, exchange=0),
+            AttachmentPoint("ISP-2", pop=0, exchange=0),
+            bits,
+        )
+        core = transfer_energy_nj(VALANCIUS, isp.attachment(0), isp.attachment(344), bits)
+        assert cross > core
+
+    def test_zero_bits(self, isp):
+        assert transfer_energy_nj(VALANCIUS, isp.attachment(0), isp.attachment(1), 0.0) == 0.0
+
+    def test_negative_bits_rejected(self, isp):
+        with pytest.raises(ValueError):
+            transfer_energy_nj(VALANCIUS, isp.attachment(0), isp.attachment(1), -1.0)

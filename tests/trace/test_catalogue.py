@@ -1,0 +1,147 @@
+"""Tests for the Zipf content catalogue."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.catalogue import Catalogue, ContentItem, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        assert sum(zipf_weights(100, 0.9)) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50, 1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_exponent_zero_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert all(w == pytest.approx(0.1) for w in weights)
+
+    def test_ratio_follows_rank(self):
+        weights = zipf_weights(10, 1.0)
+        assert weights[0] / weights[1] == pytest.approx(2.0)
+        assert weights[0] / weights[4] == pytest.approx(5.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -0.5)
+
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        s=st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=30)
+    def test_properties(self, n, s):
+        weights = zipf_weights(n, s)
+        assert len(weights) == n
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
+
+
+class TestContentItem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContentItem("a", "A", duration=0.0, genre="drama", expected_views=1.0)
+        with pytest.raises(ValueError):
+            ContentItem("a", "A", duration=60.0, genre="drama", expected_views=-1.0)
+
+
+class TestCatalogueGeneration:
+    def test_size_and_mass(self):
+        cat = Catalogue.generate(100, 10_000.0, rng=random.Random(1))
+        assert len(cat) == 100
+        assert cat.total_expected_views == pytest.approx(10_000.0)
+
+    def test_sorted_by_popularity(self):
+        cat = Catalogue.generate(50, 1_000.0, rng=random.Random(1))
+        views = [item.expected_views for item in cat.items]
+        assert views == sorted(views, reverse=True)
+
+    def test_heavy_tail_shape(self):
+        """A few popular items, many unpopular ones (paper Fig. 3 left)."""
+        cat = Catalogue.generate(1000, 100_000.0, zipf_exponent=0.9, rng=random.Random(1))
+        ranked = cat.by_popularity()
+        top_10_share = sum(i.expected_views for i in ranked[:10]) / 100_000.0
+        median = ranked[len(ranked) // 2].expected_views
+        assert top_10_share > 0.2
+        assert median < ranked[0].expected_views / 100
+
+    def test_pinned_items(self):
+        cat = Catalogue.generate(
+            10,
+            1_000.0,
+            pinned_views={"hit": 500.0, "niche": 5.0},
+            rng=random.Random(1),
+        )
+        assert cat.get("hit").expected_views == 500.0
+        assert cat.get("niche").expected_views == 5.0
+        assert cat.total_expected_views == pytest.approx(1_000.0)
+
+    def test_pinned_items_can_exceed_budget(self):
+        cat = Catalogue.generate(
+            3, 100.0, pinned_views={"a": 150.0, "b": 10.0}, rng=random.Random(1)
+        )
+        # Zipf remainder clamps at zero; pinned mass is preserved.
+        assert cat.get("a").expected_views == 150.0
+        assert cat.total_expected_views == pytest.approx(160.0)
+
+    def test_too_many_pinned_rejected(self):
+        with pytest.raises(ValueError):
+            Catalogue.generate(1, 10.0, pinned_views={"a": 1.0, "b": 1.0})
+
+    def test_durations_from_tv_grid(self):
+        cat = Catalogue.generate(200, 1_000.0, rng=random.Random(3))
+        durations = {item.duration for item in cat}
+        assert durations <= {1800.0, 2700.0, 3600.0, 5400.0}
+
+    def test_deterministic_with_seed(self):
+        a = Catalogue.generate(20, 100.0, rng=random.Random(9))
+        b = Catalogue.generate(20, 100.0, rng=random.Random(9))
+        assert a == b
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            Catalogue.generate(0, 10.0)
+        with pytest.raises(ValueError):
+            Catalogue.generate(5, -1.0)
+
+
+class TestCatalogueAccess:
+    def test_get_by_id(self):
+        cat = Catalogue.generate(5, 100.0, rng=random.Random(1))
+        item = cat.items[2]
+        assert cat.get(item.content_id) is item
+
+    def test_get_missing(self):
+        cat = Catalogue.generate(5, 100.0, rng=random.Random(1))
+        with pytest.raises(KeyError):
+            cat.get("nope")
+
+    def test_duplicate_ids_rejected(self):
+        item = ContentItem("dup", "X", duration=60.0, genre="news", expected_views=1.0)
+        with pytest.raises(ValueError):
+            Catalogue(items=(item, item))
+
+    def test_empty_catalogue_rejected(self):
+        with pytest.raises(ValueError):
+            Catalogue(items=())
+
+
+class TestPopularityTiers:
+    def test_tier_ratios(self):
+        """Tiers land near the paper's 100K/10K/1K ratios (1 : 0.1 : 0.01)."""
+        cat = Catalogue.generate(2000, 200_000.0, zipf_exponent=0.9, rng=random.Random(1))
+        tiers = cat.popularity_tiers()
+        top = tiers["popular"].expected_views
+        assert tiers["medium"].expected_views == pytest.approx(0.1 * top, rel=0.25)
+        assert tiers["unpopular"].expected_views == pytest.approx(0.01 * top, rel=0.35)
+
+    def test_popular_is_rank_one(self):
+        cat = Catalogue.generate(100, 1_000.0, rng=random.Random(1))
+        assert cat.popularity_tiers()["popular"] == cat.by_popularity()[0]

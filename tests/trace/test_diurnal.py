@@ -1,0 +1,126 @@
+"""Tests for the diurnal arrival profile."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.trace.diurnal import (
+    DiurnalProfile,
+    FLAT_PROFILE,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    UK_TV_PROFILE,
+)
+
+
+class TestValidation:
+    def test_needs_24_weights(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile(hourly=(1.0,) * 23)
+
+    def test_rejects_negative_weight(self):
+        weights = [1.0] * 24
+        weights[3] = -0.1
+        with pytest.raises(ValueError):
+            DiurnalProfile(hourly=tuple(weights))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile(hourly=(0.0,) * 24)
+
+    def test_rejects_bad_weekend_multiplier(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile(hourly=(1.0,) * 24, weekend_multiplier=0.0)
+
+
+class TestIntensity:
+    def test_uk_profile_peaks_in_evening(self):
+        peak_hour = max(range(24), key=lambda h: UK_TV_PROFILE.intensity(h * SECONDS_PER_HOUR))
+        assert 20 <= peak_hour <= 22
+
+    def test_uk_profile_trough_in_small_hours(self):
+        trough = min(range(24), key=lambda h: UK_TV_PROFILE.intensity(h * SECONDS_PER_HOUR))
+        assert 2 <= trough <= 5
+
+    def test_flat_profile_constant(self):
+        values = {FLAT_PROFILE.intensity(h * SECONDS_PER_HOUR) for h in range(24)}
+        assert values == {1.0}
+
+    def test_weekend_multiplier_applied(self):
+        profile = DiurnalProfile(hourly=(1.0,) * 24, weekend_multiplier=2.0)
+        monday = profile.intensity(12 * SECONDS_PER_HOUR)
+        saturday = profile.intensity(5 * SECONDS_PER_DAY + 12 * SECONDS_PER_HOUR)
+        assert saturday == pytest.approx(2 * monday)
+
+    def test_is_weekend(self):
+        assert not UK_TV_PROFILE.is_weekend(0.0)  # Monday
+        assert UK_TV_PROFILE.is_weekend(5 * SECONDS_PER_DAY)  # Saturday
+        assert UK_TV_PROFILE.is_weekend(6 * SECONDS_PER_DAY + 100)  # Sunday
+        assert not UK_TV_PROFILE.is_weekend(7 * SECONDS_PER_DAY)  # Monday again
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            UK_TV_PROFILE.intensity(-1.0)
+
+
+class TestCumulative:
+    def test_length(self):
+        cumulative = FLAT_PROFILE.hourly_cumulative(SECONDS_PER_DAY)
+        assert len(cumulative) == 25
+
+    def test_monotone(self):
+        cumulative = UK_TV_PROFILE.hourly_cumulative(2 * SECONDS_PER_DAY)
+        assert cumulative == sorted(cumulative)
+
+    def test_partial_hours_round_up(self):
+        cumulative = FLAT_PROFILE.hourly_cumulative(90 * 60.0)  # 1.5 h
+        assert len(cumulative) == 3
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            FLAT_PROFILE.hourly_cumulative(0.0)
+
+
+class TestSampling:
+    def test_count_and_range(self):
+        rng = random.Random(1)
+        times = UK_TV_PROFILE.sample_times(500, SECONDS_PER_DAY, rng)
+        assert len(times) == 500
+        assert all(0 <= t < SECONDS_PER_DAY for t in times)
+
+    def test_zero_count(self):
+        assert UK_TV_PROFILE.sample_times(0, SECONDS_PER_DAY, random.Random(1)) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            UK_TV_PROFILE.sample_times(-1, SECONDS_PER_DAY, random.Random(1))
+
+    def test_evening_heavier_than_night(self):
+        rng = random.Random(2)
+        times = UK_TV_PROFILE.sample_times(20_000, SECONDS_PER_DAY, rng)
+        hours = Counter(int(t // SECONDS_PER_HOUR) for t in times)
+        assert hours[21] > 5 * max(hours[3], 1)
+
+    def test_flat_profile_roughly_uniform(self):
+        rng = random.Random(3)
+        times = FLAT_PROFILE.sample_times(24_000, SECONDS_PER_DAY, rng)
+        hours = Counter(int(t // SECONDS_PER_HOUR) for t in times)
+        assert min(hours.values()) > 800  # expectation 1000 per hour
+        assert max(hours.values()) < 1200
+
+    def test_deterministic_with_seed(self):
+        a = UK_TV_PROFILE.sample_times(10, SECONDS_PER_DAY, random.Random(7))
+        b = UK_TV_PROFILE.sample_times(10, SECONDS_PER_DAY, random.Random(7))
+        assert a == b
+
+    def test_samples_match_intensity_distribution(self):
+        """Empirical hour frequencies track the normalised intensities."""
+        rng = random.Random(4)
+        n = 50_000
+        times = UK_TV_PROFILE.sample_times(n, SECONDS_PER_DAY, rng)
+        hours = Counter(int(t // SECONDS_PER_HOUR) for t in times)
+        total_weight = sum(UK_TV_PROFILE.hourly)
+        for hour in (3, 12, 21):
+            expected = UK_TV_PROFILE.hourly[hour] / total_weight
+            assert hours[hour] / n == pytest.approx(expected, rel=0.15)

@@ -1,0 +1,178 @@
+"""Tests for the synthetic trace generator."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.diurnal import FLAT_PROFILE
+from repro.trace.events import SECONDS_PER_DAY
+from repro.trace.generator import (
+    GeneratorConfig,
+    TraceGenerator,
+    generate_trace,
+    sample_poisson,
+)
+
+
+SMALL = GeneratorConfig(
+    num_users=800,
+    num_items=100,
+    days=3,
+    expected_sessions=4_000,
+    seed=11,
+)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return TraceGenerator(config=SMALL).generate()
+
+
+class TestSamplePoisson:
+    def test_zero_lambda(self):
+        assert sample_poisson(random.Random(1), 0.0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sample_poisson(random.Random(1), -1.0)
+
+    @pytest.mark.parametrize("lam", [0.5, 3.0, 25.0, 100.0, 5_000.0])
+    def test_mean_and_variance(self, lam):
+        rng = random.Random(42)
+        n = 4_000
+        draws = [sample_poisson(rng, lam) for _ in range(n)]
+        mean = sum(draws) / n
+        var = sum((d - mean) ** 2 for d in draws) / n
+        assert mean == pytest.approx(lam, rel=0.1)
+        assert var == pytest.approx(lam, rel=0.25)
+
+    @given(lam=st.floats(min_value=0.0, max_value=500.0))
+    @settings(max_examples=50)
+    def test_nonnegative_int(self, lam):
+        value = sample_poisson(random.Random(0), lam)
+        assert isinstance(value, int)
+        assert value >= 0
+
+
+class TestGeneratorConfig:
+    def test_horizon(self):
+        assert SMALL.horizon == 3 * SECONDS_PER_DAY
+
+    def test_scaled(self):
+        big = GeneratorConfig(pinned_views={"hit": 100.0})
+        half = big.scaled(0.5)
+        assert half.num_users == big.num_users // 2
+        assert half.expected_sessions == pytest.approx(big.expected_sessions / 2)
+        assert half.pinned_views["hit"] == pytest.approx(50.0)
+        assert half.days == big.days  # time axis untouched
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            SMALL.scaled(0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_users": 0},
+            {"num_items": 0},
+            {"days": 0},
+            {"expected_sessions": -1.0},
+            {"completion_alpha": 0.0},
+            {"min_session_seconds": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GeneratorConfig(**kwargs)
+
+
+class TestGeneratedTrace:
+    def test_session_count_near_expectation(self, small_trace):
+        # Poisson totals plus the min-duration filter: within ~10 %.
+        assert len(small_trace) == pytest.approx(4_000, rel=0.1)
+
+    def test_sessions_within_horizon(self, small_trace):
+        assert all(s.start >= 0 for s in small_trace)
+        assert all(s.end <= small_trace.horizon + 1e-6 for s in small_trace)
+
+    def test_durations_respect_minimum(self, small_trace):
+        assert all(s.duration >= SMALL.min_session_seconds for s in small_trace)
+
+    def test_durations_bounded_by_longest_programme(self, small_trace):
+        assert all(s.duration <= 5_400.0 + 1e-6 for s in small_trace)
+
+    def test_bitrates_from_device_mix(self, small_trace):
+        bitrates = {s.bitrate for s in small_trace}
+        assert bitrates <= {0.8e6, 1.5e6, 3.0e6, 5.0e6}
+
+    def test_users_come_from_population(self, small_trace):
+        assert all(0 <= s.user_id < SMALL.num_users for s in small_trace)
+
+    def test_user_attachment_consistent(self, small_trace):
+        """A user keeps one attachment point across all their sessions."""
+        seen = {}
+        for s in small_trace:
+            if s.user_id in seen:
+                assert seen[s.user_id] == s.attachment
+            else:
+                seen[s.user_id] = s.attachment
+
+    def test_popularity_skew_realised(self, small_trace):
+        views = Counter(s.content_id for s in small_trace)
+        top = views.most_common(1)[0][1]
+        median = sorted(views.values())[len(views) // 2]
+        assert top > 5 * median
+
+    def test_deterministic(self):
+        a = TraceGenerator(config=SMALL).generate()
+        b = TraceGenerator(config=SMALL).generate()
+        assert len(a) == len(b)
+        assert a.sessions[:50] == b.sessions[:50]
+        assert a.sessions[-1] == b.sessions[-1]
+
+    def test_seed_changes_trace(self):
+        other = TraceGenerator(config=GeneratorConfig(
+            num_users=SMALL.num_users,
+            num_items=SMALL.num_items,
+            days=SMALL.days,
+            expected_sessions=SMALL.expected_sessions,
+            seed=99,
+        )).generate()
+        base = TraceGenerator(config=SMALL).generate()
+        assert base.sessions[:20] != other.sessions[:20]
+
+    def test_pinned_item_views(self):
+        config = GeneratorConfig(
+            num_users=500,
+            num_items=20,
+            days=2,
+            expected_sessions=3_000,
+            pinned_views={"exemplar": 1_000.0},
+            seed=5,
+        )
+        trace = TraceGenerator(config=config).generate()
+        views = Counter(s.content_id for s in trace)
+        assert views["exemplar"] == pytest.approx(1_000, rel=0.15)
+
+    def test_diurnal_shape_respected(self):
+        trace = TraceGenerator(config=SMALL).generate()
+        hours = Counter(int((s.start % SECONDS_PER_DAY) // 3600) for s in trace)
+        assert hours[21] > 3 * max(hours[3], 1)
+
+    def test_flat_profile_option(self):
+        trace = TraceGenerator(config=SMALL, profile=FLAT_PROFILE).generate()
+        hours = Counter(int((s.start % SECONDS_PER_DAY) // 3600) for s in trace)
+        assert max(hours.values()) < 3 * min(hours.values())
+
+
+class TestGenerateTraceHelper:
+    def test_defaults_smoke(self):
+        config = GeneratorConfig(
+            num_users=200, num_items=20, days=1, expected_sessions=500, seed=1
+        )
+        trace = generate_trace(config)
+        assert len(trace) > 300
+        assert trace.num_days == 1

@@ -1,0 +1,94 @@
+"""Tests for trace persistence (JSONL / CSV round-trips)."""
+
+import json
+
+import pytest
+
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+from repro.trace.loader import (
+    load_csv,
+    load_jsonl,
+    save_csv,
+    save_jsonl,
+    session_from_record,
+    session_to_record,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = GeneratorConfig(
+        num_users=150, num_items=15, days=1, expected_sessions=400, seed=3
+    )
+    return TraceGenerator(config=config).generate()
+
+
+class TestRecordRoundTrip:
+    def test_round_trip(self, trace):
+        session = trace.sessions[0]
+        rebuilt = session_from_record(session_to_record(session))
+        assert rebuilt == session
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            session_from_record({"session_id": 1})
+
+    def test_device_defaults_to_unknown(self, trace):
+        record = session_to_record(trace.sessions[0])
+        del record["device"]
+        assert session_from_record(record).device == "unknown"
+
+
+class TestJsonl:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        loaded = load_jsonl(path)
+        assert loaded.sessions == trace.sessions
+        assert loaded.horizon == trace.horizon
+
+    def test_header_first_line(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["kind"] == "trace-header"
+        assert first["horizon"] == trace.horizon
+
+    def test_blank_lines_tolerated(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_jsonl(path)) == len(trace)
+
+    def test_corrupt_record_reports_line(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        del record["bitrate"]
+        lines[1] = json.dumps(record)
+        path.write_text("\n".join(lines))
+        with pytest.raises(ValueError, match=":2:"):
+            load_jsonl(path)
+
+
+class TestCsv:
+    def test_round_trip_sessions(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_csv(trace, path)
+        loaded = load_csv(path, horizon=trace.horizon)
+        assert loaded.sessions == trace.sessions
+        assert loaded.horizon == trace.horizon
+
+    def test_horizon_rederived_without_hint(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_csv(trace, path)
+        loaded = load_csv(path)
+        assert loaded.horizon >= max(s.end for s in trace)
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        from repro.trace.events import Trace
+
+        path = tmp_path / "empty.csv"
+        save_csv(Trace.from_sessions([]), path)
+        assert len(load_csv(path)) == 0

@@ -1,0 +1,99 @@
+"""Tests for trace summary statistics (Table I)."""
+
+import pytest
+
+from repro.topology.nodes import AttachmentPoint
+from repro.trace.events import SECONDS_PER_DAY, Session, Trace
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+from repro.trace.stats import USERS_PER_IP, TraceStats, summarise
+
+
+def make_session(session_id, user_id, content_id="item-a", start=0.0, duration=3600.0):
+    return Session(
+        session_id=session_id,
+        user_id=user_id,
+        content_id=content_id,
+        start=start,
+        duration=duration,
+        bitrate=1.5e6,
+        attachment=AttachmentPoint(isp="ISP-1", pop=0, exchange=0),
+    )
+
+
+class TestSummarise:
+    def test_counts(self):
+        trace = Trace.from_sessions(
+            [
+                make_session(0, user_id=1),
+                make_session(1, user_id=1, content_id="item-b"),
+                make_session(2, user_id=2),
+            ]
+        )
+        stats = summarise(trace)
+        assert stats.num_users == 2
+        assert stats.num_sessions == 3
+        assert stats.num_items == 2
+
+    def test_ip_estimate_uses_nat_ratio(self):
+        trace = Trace.from_sessions([make_session(i, user_id=i) for i in range(22)])
+        stats = summarise(trace)
+        assert stats.num_ip_addresses == round(22 / USERS_PER_IP)
+
+    def test_hours_and_session_length(self):
+        trace = Trace.from_sessions(
+            [make_session(0, user_id=1, duration=1800.0), make_session(1, user_id=2, duration=5400.0)]
+        )
+        stats = summarise(trace)
+        assert stats.total_hours_watched == pytest.approx(2.0)
+        assert stats.mean_session_minutes == pytest.approx(60.0)
+
+    def test_empty_trace(self):
+        stats = summarise(Trace.from_sessions([]))
+        assert stats.num_users == 0
+        assert stats.num_sessions == 0
+        assert stats.mean_session_minutes == 0.0
+        assert stats.sessions_per_user_top_decile_share == 0.0
+
+    def test_top_decile_share(self):
+        # 10 users; user 0 has 91 sessions, others 1 each.
+        sessions = [make_session(i, user_id=0) for i in range(91)]
+        sessions += [make_session(91 + u, user_id=u) for u in range(1, 10)]
+        stats = summarise(Trace.from_sessions(sessions))
+        assert stats.sessions_per_user_top_decile_share == pytest.approx(0.91)
+
+    def test_mean_concurrency(self):
+        trace = Trace.from_sessions(
+            [make_session(0, user_id=1, duration=SECONDS_PER_DAY / 2)],
+            horizon=SECONDS_PER_DAY,
+        )
+        assert summarise(trace).mean_concurrency == pytest.approx(0.5)
+
+
+class TestTableRows:
+    def test_rows_render(self):
+        config = GeneratorConfig(
+            num_users=300, num_items=30, days=1, expected_sessions=700, seed=8
+        )
+        stats = summarise(TraceGenerator(config=config).generate())
+        rows = dict(stats.table_rows())
+        assert "Number of Users" in rows
+        assert "Number of Sessions" in rows
+        assert rows["Days covered"] == "1"
+
+    def test_millions_formatting(self):
+        stats = TraceStats(
+            num_users=3_300_000,
+            num_ip_addresses=1_500_000,
+            num_sessions=23_500_000,
+            num_items=1000,
+            days=30,
+            total_hours_watched=1e6,
+            mean_session_minutes=30.0,
+            mean_concurrency=10_000.0,
+            sessions_per_user_top_decile_share=0.5,
+        )
+        rows = dict(stats.table_rows())
+        # The paper's Sep 2013 column: 3.3M users, 1.5M IPs, 23.5M sessions.
+        assert rows["Number of Users"] == "3.3M"
+        assert rows["Number of IP addresses"] == "1.5M"
+        assert rows["Number of Sessions"] == "23.5M"
