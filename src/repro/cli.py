@@ -9,19 +9,23 @@ Subcommands::
     consume-local simulate trace.jsonl    # simulate a saved trace
 
 Common options: ``--scale`` (trace size multiplier), ``--days``,
-``--seed``, ``--quick`` (preset small scale), ``--out DIR``.
+``--seed``, ``--quick`` (preset small scale), ``--out DIR``, and
+``--workers N`` (shard simulation swarms over N worker processes;
+bit-for-bit identical results, just faster on multi-core hardware).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional
 
 from repro.core.energy import builtin_models
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+from repro.sim.backends import BACKEND_NAMES
 from repro.sim.engine import SimulationConfig, Simulator
 from repro.trace.generator import GeneratorConfig, TraceGenerator
 from repro.trace.loader import load_jsonl, save_jsonl
@@ -49,7 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     generate = sub.add_parser("generate", help="generate a synthetic trace file")
-    _add_settings_args(generate)
+    _add_settings_args(generate, include_workers=False)  # generation never simulates
     generate.add_argument("path", type=Path, help="output .jsonl path")
 
     simulate = sub.add_parser("simulate", help="simulate a saved trace file")
@@ -57,22 +61,57 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--upload-ratio", type=float, default=1.0, help="q/beta (default 1.0)"
     )
+    simulate.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes for swarm shards (default: serial)",
+    )
+    simulate.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="execution backend (default: auto from --workers)",
+    )
     return parser
 
 
-def _add_settings_args(cmd: argparse.ArgumentParser) -> None:
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value!r}")
+    return number
+
+
+def _add_settings_args(
+    cmd: argparse.ArgumentParser, *, include_workers: bool = True
+) -> None:
     cmd.add_argument("--scale", type=float, default=1.0, help="trace size multiplier")
     cmd.add_argument("--days", type=int, default=30, help="trace length in days")
     cmd.add_argument("--seed", type=int, default=20130901, help="master seed")
     cmd.add_argument(
         "--quick", action="store_true", help="preset small scale for a fast run"
     )
+    if include_workers:
+        cmd.add_argument(
+            "--workers",
+            type=_positive_int,
+            default=None,
+            help=(
+                "worker processes for simulation swarm shards (results are "
+                "bit-for-bit identical at any worker count; default: serial)"
+            ),
+        )
 
 
 def _settings_from(args: argparse.Namespace) -> ExperimentSettings:
+    workers = getattr(args, "workers", None)
     if getattr(args, "quick", False):
-        return ExperimentSettings.quick()
-    return ExperimentSettings(scale=args.scale, days=args.days, seed=args.seed)
+        settings = ExperimentSettings.quick()
+        return replace(settings, workers=workers) if workers is not None else settings
+    return ExperimentSettings(
+        scale=args.scale, days=args.days, seed=args.seed, workers=workers
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -115,7 +154,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "simulate":
         trace = load_jsonl(args.path)
-        result = Simulator(SimulationConfig(upload_ratio=args.upload_ratio)).run(trace)
+        config = SimulationConfig(
+            upload_ratio=args.upload_ratio,
+            workers=args.workers,
+            backend=args.backend,
+        )
+        result = Simulator(config).run(trace)
         print(f"sessions: {len(trace)}  offload G: {result.offload_fraction():.4f}")
         for model in builtin_models():
             print(

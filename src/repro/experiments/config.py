@@ -16,7 +16,7 @@ simulation run exactly like they share one trace in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.sim.engine import SimulationConfig, Simulator
 from repro.sim.results import SimulationResult
@@ -74,6 +74,10 @@ class ExperimentSettings:
         expected_sessions: expected city-trace sessions at scale 1; with
             600 Zipf(0.9) items the top item draws ~120K monthly views,
             i.e. capacity ~90, matching the paper's popular exemplar.
+        workers: worker count for the simulation backend (``None`` or 1
+            = serial; > 1 shards swarms over a process pool).  Results
+            are bit-for-bit identical at any worker count, so this is a
+            pure wall-clock knob.
     """
 
     scale: float = 1.0
@@ -83,12 +87,15 @@ class ExperimentSettings:
     num_users: int = 60_000
     num_items: int = 600
     expected_sessions: float = 1_200_000.0
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ValueError(f"scale must be > 0, got {self.scale!r}")
         if self.days < 1:
             raise ValueError(f"days must be >= 1, got {self.days}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers!r}")
 
     @classmethod
     def quick(cls) -> "ExperimentSettings":
@@ -125,10 +132,10 @@ class ExperimentSettings:
             seed=self.seed + 1,
         )
 
-    def simulation_config(self, upload_ratio: float = None) -> SimulationConfig:
+    def simulation_config(self, upload_ratio: Optional[float] = None) -> SimulationConfig:
         """Simulation config at a given (or the default) upload ratio."""
         ratio = self.upload_ratio if upload_ratio is None else upload_ratio
-        return SimulationConfig(upload_ratio=ratio)
+        return SimulationConfig(upload_ratio=ratio, workers=self.workers)
 
 
 # ----------------------------------------------------------------------
@@ -139,9 +146,19 @@ _TRACES: Dict[Tuple, Trace] = {}
 _RESULTS: Dict[Tuple, SimulationResult] = {}
 
 
+def _memo_key(kind: str, settings: ExperimentSettings) -> Tuple:
+    """Cache key for memoised artefacts.
+
+    ``workers`` is excluded: it only changes wall-clock, never values
+    (backends are bit-for-bit identical), so runs differing only in
+    worker count share traces and simulation results.
+    """
+    return (kind, replace(settings, workers=None))
+
+
 def city_trace(settings: ExperimentSettings) -> Trace:
     """The (cached) full-catalogue city trace for these settings."""
-    key = ("city", settings)
+    key = _memo_key("city", settings)
     if key not in _TRACES:
         _TRACES[key] = TraceGenerator(
             config=settings.city_config(), device_mix=CITY_DEVICE_MIX
@@ -151,7 +168,7 @@ def city_trace(settings: ExperimentSettings) -> Trace:
 
 def exemplar_trace(settings: ExperimentSettings) -> Trace:
     """The (cached) Fig. 2 exemplar trace for these settings."""
-    key = ("exemplar", settings)
+    key = _memo_key("exemplar", settings)
     if key not in _TRACES:
         _TRACES[key] = TraceGenerator(
             config=settings.exemplar_config(), device_mix=UNIFORM_DEVICE_MIX
@@ -161,7 +178,7 @@ def exemplar_trace(settings: ExperimentSettings) -> Trace:
 
 def paper_simulation(settings: ExperimentSettings) -> SimulationResult:
     """The (cached) paper-policy simulation of the city trace."""
-    key = ("city-sim", settings)
+    key = _memo_key("city-sim", settings)
     if key not in _RESULTS:
         simulator = Simulator(settings.simulation_config())
         _RESULTS[key] = simulator.run(city_trace(settings))

@@ -23,7 +23,7 @@ from repro.core.savings import SavingsModel
 from repro.experiments.config import ExperimentSettings, TIER_VIEWS, exemplar_trace
 from repro.experiments.report import Report
 from repro.sim.accounting import savings as ledger_savings
-from repro.sim.engine import SimulationConfig, Simulator
+from repro.sim.engine import Simulator
 from repro.trace.events import SECONDS_PER_DAY, Trace
 
 __all__ = ["run_fig2", "UPLOAD_RATIOS", "tier_dots"]
@@ -44,9 +44,11 @@ def tier_dots(
     """Simulated daily (capacity, savings) dots for one tier and model."""
     trace = exemplar_trace(settings).for_content(tier)
     dots: Dots = []
+    # One simulator (and hence one worker pool) shared by all ISPs.
+    simulator = Simulator(settings.simulation_config(upload_ratio))
     for isp in trace.isps:
         sub = trace.for_isp(isp)
-        result = Simulator(SimulationConfig(upload_ratio=upload_ratio)).run(sub)
+        result = simulator.run(sub)
         for (name, _day), ledger in result.per_isp_day.items():
             if name != isp or ledger.watch_seconds <= 0.0:
                 continue

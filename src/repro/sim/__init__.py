@@ -11,7 +11,21 @@ from repro.sim.accounting import (
     hybrid_energy_nj,
     savings,
 )
+from repro.sim.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.sim.engine import SimulationConfig, Simulator, simulate
+from repro.sim.kernel import (
+    SwarmOutput,
+    SwarmTask,
+    build_tasks,
+    merge_outputs,
+    run_swarm,
+)
 from repro.sim.matching import PeerState, WindowAllocation, match_window
 from repro.sim.policies import PAPER_POLICY, SwarmKey, SwarmPolicy
 from repro.sim.results import SimulationResult, SwarmResult, UserTraffic
@@ -23,18 +37,28 @@ from repro.sim.validation import (
 
 __all__ = [
     "ByteLedger",
+    "ExecutionBackend",
     "PAPER_POLICY",
     "PeerState",
+    "ProcessPoolBackend",
+    "SerialBackend",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
     "SwarmKey",
+    "SwarmOutput",
     "SwarmPolicy",
     "SwarmResult",
+    "SwarmTask",
+    "ThreadBackend",
     "UserTraffic",
     "ValidationPoint",
     "ValidationReport",
     "WindowAllocation",
+    "build_tasks",
+    "merge_outputs",
+    "resolve_backend",
+    "run_swarm",
     "validate_against_theory",
     "baseline_energy_nj",
     "hybrid_energy_nj",

@@ -71,8 +71,25 @@ class ByteLedger:
             raise ValueError(f"bits must be >= 0, got {bits!r}")
         self.peer_bits[layer] = self.peer_bits.get(layer, 0.0) + bits
 
+    def copy(self) -> "ByteLedger":
+        """An independent ledger with the same totals."""
+        return ByteLedger(
+            server_bits=self.server_bits,
+            peer_bits=dict(self.peer_bits),
+            demanded_bits=self.demanded_bits,
+            watch_seconds=self.watch_seconds,
+            sessions=self.sessions,
+        )
+
     def merge(self, other: "ByteLedger") -> None:
-        """Fold another ledger into this one in place."""
+        """Fold another ledger into this one in place.
+
+        Merging is associative up to float rounding, which is what lets
+        partial ledgers from parallel swarm shards reduce in any
+        grouping (:func:`merged` and the sim runtime always fold in a
+        canonical order, making the reduction bit-for-bit
+        deterministic).
+        """
         self.server_bits += other.server_bits
         for layer, bits in other.peer_bits.items():
             self.peer_bits[layer] = self.peer_bits.get(layer, 0.0) + bits

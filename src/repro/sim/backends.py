@@ -1,0 +1,229 @@
+"""Execution backends: where and how swarm kernels actually run.
+
+The simulation is embarrassingly parallel across swarms -- the paper's
+simulator sweeps each swarm independently (Section IV.A) -- so the
+engine delegates the *placement* of per-swarm work to a pluggable
+backend while keeping the physics in :mod:`repro.sim.kernel` and the
+reduction in :func:`repro.sim.kernel.merge_outputs`.
+
+Sharding / merge architecture::
+
+    sessions ──build_tasks──▶ [SwarmTask...]     (canonical order)
+                                   │
+                         backend.map_swarms      (any placement,
+                                   │              any completion order)
+                                   ▼
+                            [SwarmOutput...]     (task order restored)
+                                   │
+                            merge_outputs        (deterministic fold)
+                                   ▼
+                           SimulationResult
+
+Because tasks are immutable, kernels are pure, and every backend
+restores task order before the fold, all three backends are bit-for-bit
+equivalent; the only degrees of freedom are wall-clock time and memory
+residency.
+
+Backends:
+
+* :class:`SerialBackend` -- in-process loop; zero overhead, the
+  baseline every other backend must reproduce exactly.
+* :class:`ThreadBackend` -- a thread pool.  The kernel is pure Python
+  and GIL-bound, so this mainly exercises the shared-nothing contract
+  (and becomes useful under free-threaded builds); it needs no
+  pickling.
+* :class:`ProcessPoolBackend` -- a :class:`concurrent.futures.\
+ProcessPoolExecutor` over interleaved shards of tasks.  Tasks are
+  round-robin-assigned to ``4 x workers`` shards so the heavy head of
+  the Zipf catalogue (tasks arrive sorted by content id, with wildly
+  uneven session counts) spreads across workers; each shard costs one
+  pickle round-trip.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.sim.kernel import SwarmOutput, SwarmTask, run_shard, run_swarm
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.sim.engine import SimulationConfig
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
+]
+
+
+def _default_workers() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+class ExecutionBackend(ABC):
+    """Strategy for executing swarm kernels over a task list."""
+
+    #: Stable identifier, usable as ``SimulationConfig(backend=...)``.
+    name: str = "abstract"
+
+    @abstractmethod
+    def map_swarms(
+        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+    ) -> List[SwarmOutput]:
+        """Run every task, returning outputs **in task order**.
+
+        Implementations may execute in any placement and completion
+        order, but must restore task order so the caller's reduction is
+        deterministic.
+        """
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every swarm in the calling thread, in task order."""
+
+    name = "serial"
+
+    def map_swarms(
+        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+    ) -> List[SwarmOutput]:
+        return run_shard(tasks, config)
+
+
+class ThreadBackend(ExecutionBackend):
+    """Run swarms on a thread pool (shared-nothing, no pickling)."""
+
+    name = "thread"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        self.workers = workers or _default_workers()
+
+    def map_swarms(
+        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+    ) -> List[SwarmOutput]:
+        if not tasks:
+            return []
+        with ThreadPoolExecutor(max_workers=self.workers) as executor:
+            return list(executor.map(lambda task: run_swarm(task, config), tasks))
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Run swarm shards on worker processes.
+
+    Tasks are interleaved round-robin into ``shards_per_worker x
+    workers`` shards (task ``i`` goes to shard ``i mod n``), submitted
+    concurrently, and reassembled into task order before returning.
+
+    Workloads below ``min_sessions`` run inline instead: spawning a
+    pool and pickling tasks costs more than sweeping a small trace
+    (e.g. the per-ISP exemplar subtraces of Fig. 2), and results are
+    bit-for-bit identical either way.
+
+    The worker pool is created lazily on first parallel use and then
+    **kept alive across** ``map_swarms`` **calls**, so drivers that run
+    many simulations through one backend (or one Simulator) pay pool
+    startup once.  Call :meth:`close` (or rely on garbage collection /
+    interpreter exit) to release the workers.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        shards_per_worker: int = 4,
+        min_sessions: int = 5_000,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        if shards_per_worker < 1:
+            raise ValueError(
+                f"shards_per_worker must be >= 1, got {shards_per_worker!r}"
+            )
+        if min_sessions < 0:
+            raise ValueError(f"min_sessions must be >= 0, got {min_sessions!r}")
+        self.workers = workers or _default_workers()
+        self.shards_per_worker = shards_per_worker
+        self.min_sessions = min_sessions
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def close(self) -> None:
+        """Shut down the worker pool (recreated lazily if used again)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        self.close()
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def map_swarms(
+        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+    ) -> List[SwarmOutput]:
+        if not tasks:
+            return []
+        num_shards = min(len(tasks), self.workers * self.shards_per_worker)
+        total_sessions = sum(len(task.sessions) for task in tasks)
+        if num_shards <= 1 or self.workers <= 1 or total_sessions < self.min_sessions:
+            return run_shard(tasks, config)
+        shard_indices = [range(offset, len(tasks), num_shards) for offset in range(num_shards)]
+        outputs: List[Optional[SwarmOutput]] = [None] * len(tasks)
+        try:
+            executor = self._pool()
+            futures = [
+                executor.submit(run_shard, [tasks[i] for i in indices], config)
+                for indices in shard_indices
+            ]
+            for indices, future in zip(shard_indices, futures):
+                for i, output in zip(indices, future.result()):
+                    outputs[i] = output
+        except BrokenProcessPool:
+            self.close()  # next call starts a fresh pool
+            raise
+        return outputs  # type: ignore[return-value] - every slot is filled
+
+
+#: The registry of selectable backend names -- the single source of
+#: truth consumed by ``SimulationConfig`` validation and the CLI's
+#: ``--backend`` choices.
+BACKEND_NAMES: tuple = (
+    SerialBackend.name,
+    ThreadBackend.name,
+    ProcessPoolBackend.name,
+)
+
+
+def resolve_backend(
+    backend: Optional[str] = None, workers: Optional[int] = None
+) -> ExecutionBackend:
+    """Pick a backend from ``SimulationConfig(backend=..., workers=...)``.
+
+    * an explicit name (one of :data:`BACKEND_NAMES`) wins;
+    * otherwise ``workers`` > 1 selects the process pool;
+    * otherwise the serial baseline.
+    """
+    if backend is None:
+        if workers is not None and workers > 1:
+            return ProcessPoolBackend(workers)
+        return SerialBackend()
+    if backend == SerialBackend.name:
+        return SerialBackend()
+    if backend == ThreadBackend.name:
+        return ThreadBackend(workers)
+    if backend == ProcessPoolBackend.name:
+        return ProcessPoolBackend(workers)
+    raise ValueError(
+        f"unknown backend {backend!r}; choose from {', '.join(BACKEND_NAMES)}"
+    )

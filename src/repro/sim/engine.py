@@ -20,25 +20,41 @@ Implementation notes:
   O(sessions) rather than O(watched-time / dtau) per swarm.
 * Stretches are split at day boundaries so per-day ledgers stay exact
   (``dtau`` must divide a day; 2/10/30/60 s all do).
+
+Sharding / merge architecture (the parallel runtime):
+
+* The engine itself holds no simulation state.  It partitions the
+  session stream into canonically ordered, immutable
+  :class:`~repro.sim.kernel.SwarmTask` shards
+  (:func:`~repro.sim.kernel.build_tasks`), hands them to an execution
+  backend (:mod:`repro.sim.backends` -- serial loop, thread pool or
+  process pool, selected via ``SimulationConfig(workers=...,
+  backend=...)``), and deterministically folds the returned
+  :class:`~repro.sim.kernel.SwarmOutput` partials
+  (:func:`~repro.sim.kernel.merge_outputs`).
+* Each kernel run is a pure function of (task, config) and returns its
+  own per-(ISP, day) and per-user deltas instead of mutating shared
+  dicts; backends restore task order before the fold, so every backend
+  -- and every worker count -- produces bit-for-bit identical
+  :class:`~repro.sim.results.SimulationResult` values.
+* :meth:`Simulator.run_stream` feeds the same pipeline from a lazy
+  session iterator (e.g. ``TraceGenerator.iter_sessions()``) without
+  ever materializing a full :class:`~repro.trace.events.Trace`.
 """
 
 from __future__ import annotations
 
-import math
 import zlib
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
-from repro.sim.accounting import ByteLedger
-from repro.sim.matching import PeerState, WindowAllocation, match_window
-from repro.sim.policies import PAPER_POLICY, SwarmKey, SwarmPolicy
-from repro.sim.results import SimulationResult, SwarmResult, UserTraffic
+from repro.sim.backends import BACKEND_NAMES, ExecutionBackend, resolve_backend
+from repro.sim.kernel import build_tasks, merge_outputs
+from repro.sim.policies import PAPER_POLICY, SwarmPolicy
+from repro.sim.results import SimulationResult
 from repro.trace.events import SECONDS_PER_DAY, Session, Trace
 
 __all__ = ["SimulationConfig", "Simulator", "simulate"]
-
-#: Event kinds, in the order they apply within one window.
-_REMOVE, _DEMOTE, _ADD = 0, 1, 2
 
 
 @dataclass(frozen=True)
@@ -69,6 +85,13 @@ class SimulationConfig:
             the content as an upload-only "lingering seed" (the paper's
             future-work caching direction).  0 reproduces the paper:
             peers share only what they are currently watching.
+        workers: how many workers execute swarm shards.  ``None`` or 1
+            runs serially; > 1 selects the process pool unless
+            ``backend`` says otherwise.  Results are bit-for-bit
+            identical at any worker count.
+        backend: execution backend name ("serial", "thread" or
+            "process"); ``None`` auto-selects from ``workers``.  See
+            :mod:`repro.sim.backends`.
     """
 
     delta_tau: float = 10.0
@@ -79,6 +102,8 @@ class SimulationConfig:
     locality_aware_matching: bool = True
     participation_rate: float = 1.0
     seed_linger_seconds: float = 0.0
+    workers: Optional[int] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.delta_tau <= 0:
@@ -100,6 +125,12 @@ class SimulationConfig:
         if self.seed_linger_seconds < 0:
             raise ValueError(
                 f"seed_linger_seconds must be >= 0, got {self.seed_linger_seconds!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers!r}")
+        if self.backend is not None and self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES}, got {self.backend!r}"
             )
 
     def upload_rate_for(self, bitrate: float) -> float:
@@ -123,22 +154,34 @@ class SimulationConfig:
         return bucket < self.participation_rate * 10_000
 
 
-@dataclass
-class _SwarmAccumulator:
-    """Mutable per-swarm state while sweeping one swarm's events."""
-
-    key: SwarmKey
-    ledger: ByteLedger = field(default_factory=ByteLedger)
-    watch_seconds: float = 0.0
-    durations_total: float = 0.0
-    sessions: int = 0
-
-
 class Simulator:
-    """Runs the windowed hybrid-CDN simulation over a trace."""
+    """Runs the windowed hybrid-CDN simulation over a trace.
 
-    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+    Args:
+        config: run parameters (including ``workers`` / ``backend``).
+        backend: explicit :class:`~repro.sim.backends.ExecutionBackend`
+            instance; overrides whatever the config would select (used
+            by tests and benchmarks to inject a backend directly).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        backend: Optional[ExecutionBackend] = None,
+    ) -> None:
         self.config = config or SimulationConfig()
+        self._backend = backend
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend this simulator dispatches to.
+
+        Resolved from the config once and cached (the config is frozen,
+        so the resolution cannot change).
+        """
+        if self._backend is None:
+            self._backend = resolve_backend(self.config.backend, self.config.workers)
+        return self._backend
 
     def run(self, trace: Trace) -> SimulationResult:
         """Simulate the whole trace.
@@ -147,202 +190,33 @@ class Simulator:
             A :class:`~repro.sim.results.SimulationResult` with ledgers
             at system / swarm / (ISP, day) / user level.
         """
+        return self.run_stream(trace, trace.horizon)
+
+    def run_stream(
+        self, sessions: Iterable[Session], horizon: float
+    ) -> SimulationResult:
+        """Simulate a session stream without materializing a Trace.
+
+        Accepts any iterable of sessions -- in particular
+        ``TraceGenerator.iter_sessions()`` -- consumed exactly once and
+        partitioned directly into swarm shards.  Because shards are
+        canonically ordered, the result is a pure function of the
+        session *multiset*: ``run_stream(iter(trace), trace.horizon)``
+        equals ``run(trace)`` bit for bit.
+
+        Args:
+            sessions: the session stream (any order).
+            horizon: trace length in seconds (must cover every session).
+        """
         config = self.config
-        swarms: Dict[SwarmKey, List[Session]] = {}
-        for session in trace:
-            swarms.setdefault(config.policy.key_for(session), []).append(session)
-
-        per_swarm: Dict[SwarmKey, SwarmResult] = {}
-        per_isp_day: Dict[Tuple[str, int], ByteLedger] = {}
-        per_user: Dict[int, UserTraffic] = {}
-        total = ByteLedger()
-
-        for key, sessions in swarms.items():
-            result = self._run_swarm(key, sessions, trace.horizon, per_isp_day, per_user)
-            per_swarm[key] = result
-            total.merge(result.ledger)
-
-        return SimulationResult(
-            total=total,
-            per_swarm=per_swarm,
-            per_isp_day=per_isp_day,
-            per_user=per_user,
+        tasks = build_tasks(sessions, horizon, config.policy)
+        outputs = self.backend.map_swarms(tasks, config)
+        return merge_outputs(
+            outputs,
             delta_tau=config.delta_tau,
-            horizon=trace.horizon,
+            horizon=horizon,
             upload_ratio=config.upload_ratio,
         )
-
-    # ------------------------------------------------------------------
-    # Per-swarm sweep
-    # ------------------------------------------------------------------
-
-    def _run_swarm(
-        self,
-        key: SwarmKey,
-        sessions: List[Session],
-        horizon: float,
-        per_isp_day: Dict[Tuple[str, int], ByteLedger],
-        per_user: Dict[int, UserTraffic],
-    ) -> SwarmResult:
-        config = self.config
-        dtau = config.delta_tau
-        windows_per_day = int(SECONDS_PER_DAY // dtau)
-
-        # Build events on the window grid.  Event kinds sort as
-        # remove (0) < demote (1) < add (2), so at a shared window a
-        # session ending exactly when another starts never overlaps it.
-        # "Demote" turns a finished viewer into an upload-only lingering
-        # seed (the caching extension); with seed_linger_seconds == 0
-        # sessions go straight to removal, reproducing the paper.
-        events: List[Tuple[int, int, Session]] = []
-        for session in sessions:
-            w_start = int(session.start // dtau)
-            w_end = max(w_start + 1, int(math.ceil(session.end / dtau)))
-            events.append((w_start, _ADD, session))
-            lingers = (
-                config.seed_linger_seconds > 0.0
-                and config.participates(session.user_id)
-            )
-            if lingers:
-                w_linger = int(math.ceil((session.end + config.seed_linger_seconds) / dtau))
-                if w_linger > w_end:
-                    events.append((w_end, _DEMOTE, session))
-                    events.append((w_linger, _REMOVE, session))
-                else:
-                    events.append((w_end, _REMOVE, session))
-            else:
-                events.append((w_end, _REMOVE, session))
-        events.sort(key=lambda e: (e[0], e[1]))
-
-        acc = _SwarmAccumulator(key=key)
-        acc.sessions = len(sessions)
-        acc.durations_total = sum(s.duration for s in sessions)
-        acc.ledger.sessions = len(sessions)
-
-        members: Dict[int, PeerState] = {}
-        previous_window = 0
-        index = 0
-        while index < len(events):
-            window = events[index][0]
-            if window > previous_window and members:
-                self._account_stretch(
-                    acc, members, previous_window, window, windows_per_day,
-                    per_isp_day, per_user,
-                )
-            previous_window = max(previous_window, window)
-            # Apply every event at this window (removals first by sort).
-            while index < len(events) and events[index][0] == window:
-                _, kind, session = events[index]
-                if kind == _REMOVE:
-                    members.pop(session.session_id, None)
-                elif kind == _DEMOTE:
-                    viewer = members.get(session.session_id)
-                    if viewer is not None:
-                        members[session.session_id] = PeerState(
-                            member_id=viewer.member_id,
-                            user_id=viewer.user_id,
-                            demand=0.0,
-                            supply=viewer.supply,
-                            exchange=viewer.exchange,
-                            pop=viewer.pop,
-                            isp=viewer.isp,
-                        )
-                else:
-                    supply_rate = (
-                        config.upload_rate_for(session.bitrate)
-                        if config.participates(session.user_id)
-                        else 0.0
-                    )
-                    members[session.session_id] = PeerState(
-                        member_id=session.session_id,
-                        user_id=session.user_id,
-                        demand=session.bitrate * dtau,
-                        supply=supply_rate * dtau,
-                        exchange=session.attachment.exchange,
-                        pop=session.attachment.pop,
-                        isp=session.isp,
-                    )
-                index += 1
-
-        acc.ledger.watch_seconds = acc.watch_seconds
-        return SwarmResult(
-            key=key,
-            ledger=acc.ledger,
-            capacity=acc.watch_seconds / horizon if horizon > 0 else 0.0,
-            arrival_rate=len(sessions) / horizon if horizon > 0 else 0.0,
-            mean_duration=acc.durations_total / len(sessions) if sessions else 0.0,
-        )
-
-    def _account_stretch(
-        self,
-        acc: _SwarmAccumulator,
-        members: Dict[int, PeerState],
-        w_from: int,
-        w_to: int,
-        windows_per_day: int,
-        per_isp_day: Dict[Tuple[str, int], ByteLedger],
-        per_user: Dict[int, UserTraffic],
-    ) -> None:
-        """Account a run of identical windows, split at day boundaries."""
-        config = self.config
-        member_list = list(members.values())
-        allocation = match_window(
-            member_list,
-            allow_cross_isp=config.allow_cross_isp_matching,
-            locality_aware=config.locality_aware_matching,
-        )
-        # Lingering seeds (demand 0) are not *viewers*: capacity counts
-        # concurrent watchers only, as in the paper.
-        viewers = sum(1 for m in member_list if m.demand > 0.0)
-        watch_per_window = viewers * config.delta_tau
-
-        window = w_from
-        while window < w_to:
-            day = window // windows_per_day
-            day_end = (day + 1) * windows_per_day
-            chunk = min(w_to, day_end) - window
-            self._apply_allocation(
-                acc, allocation, member_list, chunk, day,
-                watch_per_window * chunk, per_isp_day, per_user,
-            )
-            acc.watch_seconds += watch_per_window * chunk
-            window += chunk
-
-    def _apply_allocation(
-        self,
-        acc: _SwarmAccumulator,
-        allocation: WindowAllocation,
-        member_list: List[PeerState],
-        num_windows: int,
-        day: int,
-        watch_seconds: float,
-        per_isp_day: Dict[Tuple[str, int], ByteLedger],
-        per_user: Dict[int, UserTraffic],
-    ) -> None:
-        isp = acc.key.isp if acc.key.isp is not None else "all"
-        day_ledger = per_isp_day.get((isp, day))
-        if day_ledger is None:
-            day_ledger = per_isp_day[(isp, day)] = ByteLedger()
-        day_ledger.watch_seconds += watch_seconds
-
-        server = allocation.server_bits * num_windows
-        demanded = allocation.demanded_bits * num_windows
-        for ledger in (acc.ledger, day_ledger):
-            ledger.server_bits += server
-            ledger.demanded_bits += demanded
-            for layer, bits in allocation.peer_bits.items():
-                ledger.peer_bits[layer] = ledger.peer_bits.get(layer, 0.0) + bits * num_windows
-
-        for member in member_list:
-            traffic = per_user.get(member.user_id)
-            if traffic is None:
-                traffic = per_user[member.user_id] = UserTraffic()
-            traffic.watched_bits += member.demand * num_windows
-        for user_id, bits in allocation.uploaded_bits.items():
-            traffic = per_user.get(user_id)
-            if traffic is None:
-                traffic = per_user[user_id] = UserTraffic()
-            traffic.uploaded_bits += bits * num_windows
 
 
 def simulate(trace: Trace, config: Optional[SimulationConfig] = None) -> SimulationResult:

@@ -1,0 +1,368 @@
+"""Pure per-swarm simulation kernel: the unit of parallel work.
+
+The engine's original sweep mutated three shared dicts (total ledger,
+per-(ISP, day) ledgers, per-user traffic) while iterating swarms, which
+made the run order load-bearing and the work impossible to distribute.
+This module is the refactored core: a swarm is described by an immutable
+:class:`SwarmTask`, simulated by the pure function :func:`run_swarm`,
+and its *entire* effect on the world is returned as a self-contained
+:class:`SwarmOutput` -- the swarm's ledger plus its own per-(ISP, day)
+and per-user deltas.  Nothing is shared, nothing is mutated, and a task
+round-trips through ``pickle`` unchanged, so the same kernel runs
+unmodified under the serial, thread and process backends
+(:mod:`repro.sim.backends`).
+
+Determinism contract:
+
+* :func:`build_tasks` orders swarms canonically (sorted swarm key) and
+  sorts each swarm's sessions by ``(start, session_id)``, so the task
+  list is a pure function of the session *multiset* -- independent of
+  trace ordering, iterator chunking or backend.
+* :func:`run_swarm` consumes only its task and the config; two calls
+  with equal arguments produce bit-for-bit equal outputs in any process.
+* :func:`merge_outputs` folds outputs in task order, so every backend
+  reduces to the identical float-addition sequence: parallel runs are
+  bit-for-bit equal to serial runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
+
+from repro.sim.accounting import ByteLedger
+from repro.sim.matching import PeerState, WindowAllocation, match_window
+from repro.sim.policies import SwarmKey, SwarmPolicy
+from repro.sim.results import (
+    SimulationResult,
+    SwarmResult,
+    UserTraffic,
+    merge_ledger_map,
+    merge_traffic_map,
+)
+from repro.trace.events import SECONDS_PER_DAY, Session
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.sim.engine import SimulationConfig
+
+__all__ = [
+    "SwarmTask",
+    "SwarmOutput",
+    "build_tasks",
+    "run_swarm",
+    "run_shard",
+    "merge_outputs",
+]
+
+#: Event kinds, in the order they apply within one window.
+_REMOVE, _DEMOTE, _ADD = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class SwarmTask:
+    """One swarm's complete, immutable work description.
+
+    Attributes:
+        key: the swarm's identity under the scoping policy.
+        sessions: the swarm's sessions, sorted by ``(start, session_id)``.
+        horizon: trace horizon in seconds (for capacity/arrival rates).
+    """
+
+    key: SwarmKey
+    sessions: Tuple[Session, ...]
+    horizon: float
+
+
+@dataclass
+class SwarmOutput:
+    """Everything one swarm contributed to the run.
+
+    Self-contained: holds the swarm's own per-(ISP, day) and per-user
+    deltas instead of mutating shared accounting structures, so outputs
+    can be produced on any worker and reduced in any process.
+
+    Attributes:
+        result: the swarm's ledger and measured dynamics.
+        per_isp_day: this swarm's ledger deltas keyed by (ISP, day).
+        per_user: this swarm's byte deltas keyed by user id.
+    """
+
+    result: SwarmResult
+    per_isp_day: Dict[Tuple[str, int], ByteLedger] = field(default_factory=dict)
+    per_user: Dict[int, UserTraffic] = field(default_factory=dict)
+
+
+def build_tasks(
+    sessions: Iterable[Session], horizon: float, policy: SwarmPolicy
+) -> List[SwarmTask]:
+    """Partition a session stream into canonically ordered swarm tasks.
+
+    Consumes any iterable (a :class:`~repro.trace.events.Trace`, a list,
+    or a lazy generator) exactly once; only the grouped sessions are
+    retained, never an intermediate full-trace tuple.
+
+    Raises:
+        ValueError: if ``horizon <= 0`` or a session ends after it.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon!r}")
+    groups: Dict[SwarmKey, List[Session]] = {}
+    latest_end = 0.0
+    for session in sessions:
+        groups.setdefault(policy.key_for(session), []).append(session)
+        if session.end > latest_end:
+            latest_end = session.end
+    if latest_end > horizon:
+        raise ValueError(
+            f"horizon {horizon} shorter than last session end {latest_end}"
+        )
+    tasks = []
+    for key in sorted(groups, key=SwarmKey.sort_key):
+        members = sorted(groups[key], key=lambda s: (s.start, s.session_id))
+        tasks.append(SwarmTask(key=key, sessions=tuple(members), horizon=horizon))
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# The per-swarm sweep
+# ----------------------------------------------------------------------
+
+
+def run_swarm(task: SwarmTask, config: "SimulationConfig") -> SwarmOutput:
+    """Simulate one swarm; pure, picklable, shared-nothing.
+
+    Builds add/demote/remove events on the window grid, sweeps the
+    stretches of constant membership, and accounts every byte into the
+    output's own ledgers.  See the module docstring in
+    :mod:`repro.sim.engine` for the windowing scheme.
+    """
+    dtau = config.delta_tau
+    windows_per_day = int(SECONDS_PER_DAY // dtau)
+    sessions = task.sessions
+
+    # Build events on the window grid.  Event kinds sort as
+    # remove (0) < demote (1) < add (2), so at a shared window a session
+    # ending exactly when another starts never overlaps it.  "Demote"
+    # turns a finished viewer into an upload-only lingering seed (the
+    # caching extension); with seed_linger_seconds == 0 sessions go
+    # straight to removal, reproducing the paper.
+    events: List[Tuple[int, int, Session]] = []
+    for session in sessions:
+        w_start = int(session.start // dtau)
+        w_end = max(w_start + 1, int(math.ceil(session.end / dtau)))
+        events.append((w_start, _ADD, session))
+        lingers = (
+            config.seed_linger_seconds > 0.0
+            and config.participates(session.user_id)
+        )
+        if lingers:
+            w_linger = int(math.ceil((session.end + config.seed_linger_seconds) / dtau))
+            if w_linger > w_end:
+                events.append((w_end, _DEMOTE, session))
+                events.append((w_linger, _REMOVE, session))
+            else:
+                events.append((w_end, _REMOVE, session))
+        else:
+            events.append((w_end, _REMOVE, session))
+    events.sort(key=lambda e: (e[0], e[1]))
+
+    output = SwarmOutput(
+        result=SwarmResult(
+            key=task.key,
+            ledger=ByteLedger(sessions=len(sessions)),
+            capacity=0.0,
+            arrival_rate=len(sessions) / task.horizon if task.horizon > 0 else 0.0,
+            mean_duration=(
+                sum(s.duration for s in sessions) / len(sessions) if sessions else 0.0
+            ),
+        )
+    )
+    watch_seconds = 0.0
+
+    members: Dict[int, PeerState] = {}
+    previous_window = 0
+    index = 0
+    while index < len(events):
+        window = events[index][0]
+        if window > previous_window and members:
+            watch_seconds += _account_stretch(
+                output, members, previous_window, window, windows_per_day, config
+            )
+        previous_window = max(previous_window, window)
+        # Apply every event at this window (removals first by sort).
+        while index < len(events) and events[index][0] == window:
+            _, kind, session = events[index]
+            if kind == _REMOVE:
+                members.pop(session.session_id, None)
+            elif kind == _DEMOTE:
+                viewer = members.get(session.session_id)
+                if viewer is not None:
+                    members[session.session_id] = PeerState(
+                        member_id=viewer.member_id,
+                        user_id=viewer.user_id,
+                        demand=0.0,
+                        supply=viewer.supply,
+                        exchange=viewer.exchange,
+                        pop=viewer.pop,
+                        isp=viewer.isp,
+                    )
+            else:
+                supply_rate = (
+                    config.upload_rate_for(session.bitrate)
+                    if config.participates(session.user_id)
+                    else 0.0
+                )
+                members[session.session_id] = PeerState(
+                    member_id=session.session_id,
+                    user_id=session.user_id,
+                    demand=session.bitrate * dtau,
+                    supply=supply_rate * dtau,
+                    exchange=session.attachment.exchange,
+                    pop=session.attachment.pop,
+                    isp=session.isp,
+                )
+            index += 1
+
+    output.result.ledger.watch_seconds = watch_seconds
+    output.result.capacity = (
+        watch_seconds / task.horizon if task.horizon > 0 else 0.0
+    )
+    return output
+
+
+def _account_stretch(
+    output: SwarmOutput,
+    members: Dict[int, PeerState],
+    w_from: int,
+    w_to: int,
+    windows_per_day: int,
+    config: "SimulationConfig",
+) -> float:
+    """Account a run of identical windows, split at day boundaries.
+
+    Returns the watch-seconds covered by the stretch.
+    """
+    member_list = list(members.values())
+    allocation = match_window(
+        member_list,
+        allow_cross_isp=config.allow_cross_isp_matching,
+        locality_aware=config.locality_aware_matching,
+    )
+    # Lingering seeds (demand 0) are not *viewers*: capacity counts
+    # concurrent watchers only, as in the paper.
+    viewers = sum(1 for m in member_list if m.demand > 0.0)
+    watch_per_window = viewers * config.delta_tau
+
+    watch_seconds = 0.0
+    window = w_from
+    while window < w_to:
+        day = window // windows_per_day
+        day_end = (day + 1) * windows_per_day
+        chunk = min(w_to, day_end) - window
+        _apply_allocation(
+            output, allocation, member_list, chunk, day, watch_per_window * chunk
+        )
+        watch_seconds += watch_per_window * chunk
+        window += chunk
+    return watch_seconds
+
+
+def _apply_allocation(
+    output: SwarmOutput,
+    allocation: WindowAllocation,
+    member_list: List[PeerState],
+    num_windows: int,
+    day: int,
+    watch_seconds: float,
+) -> None:
+    key = output.result.key
+    isp = key.isp if key.isp is not None else "all"
+    day_ledger = output.per_isp_day.get((isp, day))
+    if day_ledger is None:
+        day_ledger = output.per_isp_day[(isp, day)] = ByteLedger()
+    day_ledger.watch_seconds += watch_seconds
+
+    server = allocation.server_bits * num_windows
+    demanded = allocation.demanded_bits * num_windows
+    for ledger in (output.result.ledger, day_ledger):
+        ledger.server_bits += server
+        ledger.demanded_bits += demanded
+        for layer, bits in allocation.peer_bits.items():
+            ledger.peer_bits[layer] = ledger.peer_bits.get(layer, 0.0) + bits * num_windows
+
+    per_user = output.per_user
+    for member in member_list:
+        traffic = per_user.get(member.user_id)
+        if traffic is None:
+            traffic = per_user[member.user_id] = UserTraffic()
+        traffic.watched_bits += member.demand * num_windows
+    for user_id, bits in allocation.uploaded_bits.items():
+        traffic = per_user.get(user_id)
+        if traffic is None:
+            traffic = per_user[user_id] = UserTraffic()
+        traffic.uploaded_bits += bits * num_windows
+
+
+# ----------------------------------------------------------------------
+# Shard execution and deterministic reduction
+# ----------------------------------------------------------------------
+
+
+def run_shard(tasks: Sequence[SwarmTask], config: "SimulationConfig") -> List[SwarmOutput]:
+    """Run a batch of swarm tasks in-process, preserving order.
+
+    The unit of work a process backend ships to a worker: one pickle
+    round-trip amortises over the whole shard.
+    """
+    return [run_swarm(task, config) for task in tasks]
+
+
+def merge_outputs(
+    outputs: Iterable[SwarmOutput],
+    *,
+    delta_tau: float,
+    horizon: float,
+    upload_ratio: float,
+) -> SimulationResult:
+    """Reduce swarm outputs (in the given order) into a final result.
+
+    Every backend hands outputs back in canonical task order, so the
+    fold below performs the identical float-addition sequence no matter
+    how (or where, or in what completion order) the swarms actually ran.
+    The outputs themselves are never mutated or aliased: reducing the
+    same outputs twice gives the same result.
+    """
+    per_swarm: Dict[SwarmKey, SwarmResult] = {}
+    per_isp_day: Dict[Tuple[str, int], ByteLedger] = {}
+    per_user: Dict[int, UserTraffic] = {}
+    total = ByteLedger()
+
+    for output in outputs:
+        result = output.result
+        existing_result = per_swarm.get(result.key)
+        if existing_result is None:
+            per_swarm[result.key] = SwarmResult(
+                key=result.key,
+                ledger=result.ledger.copy(),
+                capacity=result.capacity,
+                arrival_rate=result.arrival_rate,
+                mean_duration=result.mean_duration,
+            )
+        else:  # duplicate key (never from build_tasks, but stay correct)
+            per_swarm[result.key] = SwarmResult.combine(
+                result.key, [existing_result, result]
+            )
+        total.merge(result.ledger)
+        merge_ledger_map(per_isp_day, output.per_isp_day)
+        merge_traffic_map(per_user, output.per_user)
+
+    return SimulationResult(
+        total=total,
+        per_swarm=per_swarm,
+        per_isp_day=per_isp_day,
+        per_user=per_user,
+        delta_tau=delta_tau,
+        horizon=horizon,
+        upload_ratio=upload_ratio,
+    )

@@ -35,12 +35,12 @@ to contributed supply.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
 
 from repro.topology.layers import NetworkLayer
 from repro.topology.nodes import AttachmentPoint, lowest_common_layer
 
-__all__ = ["PeerState", "WindowAllocation", "match_window"]
+__all__ = ["PeerState", "WindowAllocation", "match_window", "GroupKey", "BlockKey"]
 
 _EPS = 1e-9
 
@@ -72,6 +72,14 @@ class PeerState:
             raise ValueError(
                 f"demand/supply must be >= 0, got {self.demand!r}/{self.supply!r}"
             )
+
+
+#: Maps a member to its matching scope within a phase (e.g. its PoP).
+GroupKey = Callable[[PeerState], Hashable]
+
+#: Maps a member *index* to its forbidden self-service block (e.g. the
+#: subtree already matched at a lower phase).
+BlockKey = Callable[[int], Hashable]
 
 
 @dataclass
@@ -163,7 +171,7 @@ def match_window(
         allocation.server_bits += sum(demands)
         return allocation
 
-    phases: List[Tuple[NetworkLayer, callable, callable]] = [
+    phases: List[Tuple[NetworkLayer, GroupKey, BlockKey]] = [
         # (layer at which bits turn around, group key, forbidden-block key)
         (NetworkLayer.EXCHANGE, lambda m: (m.isp, m.exchange), lambda i: i),
         (NetworkLayer.POP, lambda m: (m.isp, m.pop), lambda i: (active[i].isp, active[i].exchange)),
@@ -194,8 +202,8 @@ def _match_randomly(
     O(n^2) in the window's swarm size; only the ablation benchmarks use
     it.
     """
-    scope_key = (lambda m: None) if allow_cross_isp else (lambda m: m.isp)
-    scopes: Dict[object, List[int]] = {}
+    scope_key: GroupKey = (lambda m: None) if allow_cross_isp else (lambda m: m.isp)
+    scopes: Dict[Hashable, List[int]] = {}
     for index, member in enumerate(active):
         scopes.setdefault(scope_key(member), []).append(index)
 
@@ -255,12 +263,12 @@ def _run_phase(
     demands: List[float],
     supplies: List[float],
     layer: NetworkLayer,
-    group_key,
-    block_key,
+    group_key: GroupKey,
+    block_key: BlockKey,
     allocation: WindowAllocation,
 ) -> None:
     """One matching phase: drain demand inside each ``group_key`` scope."""
-    scopes: Dict[object, List[int]] = {}
+    scopes: Dict[Hashable, List[int]] = {}
     for index, member in enumerate(active):
         scopes.setdefault(group_key(member), []).append(index)
 
@@ -277,7 +285,7 @@ def _run_phase(
 
         # Block-diagonal max-flow bound: a block (user at the exchange
         # phase, already-matched subtree above) cannot serve itself.
-        block_totals: Dict[object, float] = {}
+        block_totals: Dict[Hashable, float] = {}
         for i in indices:
             block = block_key(i)
             block_totals[block] = block_totals.get(block, 0.0) + demands[i] + supplies[i]

@@ -17,7 +17,7 @@ restriction costs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.trace.events import Session
 
@@ -37,6 +37,15 @@ class SwarmKey:
     content_id: str
     isp: Optional[str] = None
     bitrate_class: Optional[str] = None
+
+    def sort_key(self) -> Tuple[str, str, str]:
+        """A total order over swarm keys (``None`` scope fields first).
+
+        The parallel runtime shards and reduces swarms in this canonical
+        order, which is what makes results independent of trace
+        ordering, backend and completion order.
+        """
+        return (self.content_id, self.isp or "", self.bitrate_class or "")
 
 
 @dataclass(frozen=True)

@@ -9,19 +9,67 @@ the paper reports on:
 * per user -- Fig. 6's carbon-credit CDF.
 
 Energy models are applied lazily so one run serves both parameter sets.
+
+Every level is **associatively mergeable**: :class:`ByteLedger`,
+:class:`UserTraffic` and :class:`SwarmResult` fold pairwise, and
+:meth:`SimulationResult.merge` / :meth:`SimulationResult.from_partials`
+reduce partial results from swarm-disjoint shards into one result --
+deterministically, regardless of the order partials complete in (see
+``from_partials``).  This is what lets the parallel backends compute
+shards anywhere and reduce them afterwards.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.carbon import UserFootprint
 from repro.core.energy import EnergyModel
 from repro.sim.accounting import ByteLedger, savings
 from repro.sim.policies import SwarmKey
 
-__all__ = ["SwarmResult", "UserTraffic", "SimulationResult"]
+__all__ = [
+    "SwarmResult",
+    "UserTraffic",
+    "SimulationResult",
+    "merge_ledger_map",
+    "merge_traffic_map",
+]
+
+
+def merge_ledger_map(
+    target: Dict, source: Mapping[object, ByteLedger]
+) -> None:
+    """Copy-or-merge fold of keyed ledgers into ``target`` in place.
+
+    The one shared reduction used by both the kernel's output fold and
+    :meth:`SimulationResult.merge`, so the two paths cannot drift.
+    ``source`` is never mutated or aliased.
+    """
+    for key, ledger in source.items():
+        existing = target.get(key)
+        if existing is None:
+            target[key] = ledger.copy()
+        else:
+            existing.merge(ledger)
+
+
+def merge_traffic_map(
+    target: Dict, source: Mapping[int, "UserTraffic"]
+) -> None:
+    """Copy-or-merge fold of per-user traffic into ``target`` in place.
+
+    Shared by the kernel's output fold and
+    :meth:`SimulationResult.merge`; ``source`` is never mutated or
+    aliased.
+    """
+    for user_id, traffic in source.items():
+        existing = target.get(user_id)
+        if existing is None:
+            target[user_id] = traffic.copy()
+        else:
+            existing.merge(traffic)
 
 
 @dataclass
@@ -47,6 +95,32 @@ class SwarmResult:
         """This swarm's simulated savings under ``model``."""
         return savings(self.ledger, model)
 
+    @classmethod
+    def combine(cls, key: SwarmKey, results: Iterable["SwarmResult"]) -> "SwarmResult":
+        """Merge sub-results into one result under ``key``.
+
+        Ledgers and capacities add (concurrent viewers across the
+        sub-swarms), arrival rates add, mean duration is
+        session-weighted.  Associative up to float rounding -- the merge
+        primitive behind both content-level roll-ups and partial-result
+        reduction.
+        """
+        results = list(results)
+        ledger = ByteLedger.merged(r.ledger for r in results)
+        sessions = sum(r.ledger.sessions for r in results)
+        mean_duration = (
+            sum(r.mean_duration * r.ledger.sessions for r in results) / sessions
+            if sessions
+            else 0.0
+        )
+        return cls(
+            key=key,
+            ledger=ledger,
+            capacity=sum(r.capacity for r in results),
+            arrival_rate=sum(r.arrival_rate for r in results),
+            mean_duration=mean_duration,
+        )
+
 
 @dataclass
 class UserTraffic:
@@ -63,6 +137,16 @@ class UserTraffic:
     def footprint(self) -> UserFootprint:
         """As a :class:`~repro.core.carbon.UserFootprint` for Eq. 13."""
         return UserFootprint(
+            watched_bits=self.watched_bits, uploaded_bits=self.uploaded_bits
+        )
+
+    def merge(self, other: "UserTraffic") -> None:
+        """Fold another user's-worth of traffic into this one in place."""
+        self.watched_bits += other.watched_bits
+        self.uploaded_bits += other.uploaded_bits
+
+    def copy(self) -> "UserTraffic":
+        return UserTraffic(
             watched_bits=self.watched_bits, uploaded_bits=self.uploaded_bits
         )
 
@@ -88,6 +172,103 @@ class SimulationResult:
     delta_tau: float
     horizon: float
     upload_ratio: float
+
+    # ------------------------------------------------------------------
+    # Partial-result reduction
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "SimulationResult") -> "SimulationResult":
+        """Fold another (swarm-disjoint) partial result into this one.
+
+        All levels merge associatively: totals and (ISP, day) / user
+        ledgers add, colliding swarm keys combine via
+        :meth:`SwarmResult.combine`.  ``other`` is never mutated or
+        aliased, so partials stay valid after merging.  Returns ``self``
+        for chaining.
+
+        Raises:
+            ValueError: if the runs used different ``delta_tau``,
+                ``upload_ratio`` or ``horizon`` (ledgers priced on
+                different windows, or capacities/arrival rates
+                normalized by different denominators, are not
+                comparable).  A zero ``self.horizon`` (the empty
+                accumulator ``from_partials`` starts from) accepts any
+                horizon.
+        """
+        if other.delta_tau != self.delta_tau:
+            raise ValueError(
+                f"cannot merge results with different delta_tau: "
+                f"{self.delta_tau!r} vs {other.delta_tau!r}"
+            )
+        if other.upload_ratio != self.upload_ratio:
+            raise ValueError(
+                f"cannot merge results with different upload_ratio: "
+                f"{self.upload_ratio!r} vs {other.upload_ratio!r}"
+            )
+        if self.horizon > 0.0 and other.horizon > 0.0 and self.horizon != other.horizon:
+            raise ValueError(
+                f"cannot merge results with different horizons: "
+                f"{self.horizon!r} vs {other.horizon!r} (capacities and "
+                f"arrival rates are normalized by the horizon)"
+            )
+        self.total.merge(other.total)
+        for key, result in other.per_swarm.items():
+            mine = self.per_swarm.get(key)
+            parts = [mine, result] if mine is not None else [result]
+            self.per_swarm[key] = SwarmResult.combine(key, parts)
+        merge_ledger_map(self.per_isp_day, other.per_isp_day)
+        merge_traffic_map(self.per_user, other.per_user)
+        self.horizon = max(self.horizon, other.horizon)
+        return self
+
+    def identical_to(self, other: "SimulationResult") -> bool:
+        """Exact (bit-for-bit, not approximate) equality at every level.
+
+        The canonical check behind the runtime's determinism guarantee
+        -- backends, worker counts and session orderings must all
+        satisfy it.  Compares every accounting field (via the same
+        fingerprints :meth:`from_partials` orders by), so new ledger
+        fields are automatically covered.
+        """
+        return _partial_order_key(self) == _partial_order_key(other) and (
+            self.delta_tau,
+            self.upload_ratio,
+        ) == (other.delta_tau, other.upload_ratio)
+
+    @classmethod
+    def from_partials(
+        cls, partials: Iterable["SimulationResult"]
+    ) -> "SimulationResult":
+        """Reduce partial results from swarm-disjoint shards into one.
+
+        Partials are first ordered canonically by a fingerprint of their
+        *entire* content, then folded left-to-right -- so the reduction
+        performs the same float-addition sequence **regardless of the
+        order the partials arrived in** (i.e. regardless of shard
+        completion order).  Two partials can only tie if they are
+        bitwise identical at every level, in which case swapping them
+        cannot change the fold.  Inputs are not mutated.
+
+        Raises:
+            ValueError: if ``partials`` is empty, or the runs disagree
+                on ``delta_tau`` / ``upload_ratio``.
+        """
+        ordered = sorted(partials, key=_partial_order_key)
+        if not ordered:
+            raise ValueError("from_partials needs at least one partial result")
+        first = ordered[0]
+        merged = cls(
+            total=ByteLedger(),
+            per_swarm={},
+            per_isp_day={},
+            per_user={},
+            delta_tau=first.delta_tau,
+            horizon=0.0,
+            upload_ratio=first.upload_ratio,
+        )
+        for partial in ordered:
+            merged.merge(partial)
+        return merged
 
     # ------------------------------------------------------------------
     # Headline numbers
@@ -135,23 +316,10 @@ class SimulationResult:
         merged: Dict[str, List[SwarmResult]] = {}
         for result in self.per_swarm.values():
             merged.setdefault(result.key.content_id, []).append(result)
-        out: Dict[str, SwarmResult] = {}
-        for content_id, results in merged.items():
-            ledger = ByteLedger.merged(r.ledger for r in results)
-            sessions = sum(r.ledger.sessions for r in results)
-            mean_duration = (
-                sum(r.mean_duration * r.ledger.sessions for r in results) / sessions
-                if sessions
-                else 0.0
-            )
-            out[content_id] = SwarmResult(
-                key=SwarmKey(content_id=content_id),
-                ledger=ledger,
-                capacity=sum(r.capacity for r in results),
-                arrival_rate=sum(r.arrival_rate for r in results),
-                mean_duration=mean_duration,
-            )
-        return out
+        return {
+            content_id: SwarmResult.combine(SwarmKey(content_id=content_id), results)
+            for content_id, results in merged.items()
+        }
 
     def user_footprints(self) -> Dict[int, UserFootprint]:
         """Per-user footprints for the Fig. 6 carbon-credit CDF."""
@@ -166,3 +334,52 @@ class SimulationResult:
             1 for fp in footprints.values() if fp.is_carbon_positive(model)
         )
         return positive / len(footprints)
+
+
+def _ledger_fingerprint(ledger: ByteLedger) -> Tuple:
+    """Every field of a ledger as a sortable tuple.
+
+    Derived from ``dataclasses.fields`` so fields added to
+    :class:`ByteLedger` later are covered automatically -- this feeds
+    both :meth:`SimulationResult.identical_to` and the canonical
+    partial ordering, which must never silently skip a field.
+    """
+    values = []
+    for spec in fields(ByteLedger):
+        value = getattr(ledger, spec.name)
+        if isinstance(value, dict):
+            value = tuple(sorted((key.value, bits) for key, bits in value.items()))
+        values.append(value)
+    return tuple(values)
+
+
+def _partial_order_key(partial: SimulationResult) -> Tuple:
+    """Canonical order for :meth:`SimulationResult.from_partials`.
+
+    Covers every value the fold touches, so partials that compare equal
+    are bitwise-interchangeable and the reduction is provably
+    independent of arrival order.
+    """
+    return (
+        tuple(
+            sorted(
+                (key.sort_key(), _ledger_fingerprint(r.ledger), r.capacity,
+                 r.arrival_rate, r.mean_duration)
+                for key, r in partial.per_swarm.items()
+            )
+        ),
+        _ledger_fingerprint(partial.total),
+        tuple(
+            sorted(
+                (isp_day, _ledger_fingerprint(ledger))
+                for isp_day, ledger in partial.per_isp_day.items()
+            )
+        ),
+        tuple(
+            sorted(
+                (uid, t.watched_bits, t.uploaded_bits)
+                for uid, t in partial.per_user.items()
+            )
+        ),
+        partial.horizon,
+    )

@@ -13,7 +13,8 @@ day 0); bitrates are bits/second.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from functools import cached_property
+from typing import Iterable, Iterator, List, Tuple
 
 from repro.topology.nodes import AttachmentPoint
 
@@ -124,19 +125,19 @@ class Trace:
         """Trace length in whole days."""
         return int(self.horizon // SECONDS_PER_DAY)
 
-    @property
+    @cached_property
     def user_ids(self) -> List[int]:
-        """Distinct user ids, ascending."""
+        """Distinct user ids, ascending (computed once, then cached)."""
         return sorted({s.user_id for s in self.sessions})
 
-    @property
+    @cached_property
     def content_ids(self) -> List[str]:
-        """Distinct content ids, ascending."""
+        """Distinct content ids, ascending (computed once, then cached)."""
         return sorted({s.content_id for s in self.sessions})
 
-    @property
+    @cached_property
     def isps(self) -> List[str]:
-        """Distinct ISP names, ascending."""
+        """Distinct ISP names, ascending (computed once, then cached)."""
         return sorted({s.isp for s in self.sessions})
 
     def for_content(self, content_id: str) -> "Trace":
@@ -159,9 +160,14 @@ class Trace:
             (s for s in self.sessions if s.overlaps(t_from, t_to)), self.horizon
         )
 
-    def total_bits(self) -> float:
-        """Total useful traffic across all sessions."""
+    @cached_property
+    def _total_bits(self) -> float:
         return sum(s.bits_watched for s in self.sessions)
+
+    def total_bits(self) -> float:
+        """Total useful traffic across all sessions (cached after the
+        first call -- repeated access never rescans the trace)."""
+        return self._total_bits
 
     def total_watch_seconds(self) -> float:
         """Total user-seconds of viewing."""

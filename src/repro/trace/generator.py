@@ -25,7 +25,7 @@ import math
 import random
 import zlib
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Iterator, Mapping, Optional, Sequence, Tuple
 
 from repro.topology.city import CityNetwork, default_london
 from repro.trace.catalogue import Catalogue, ContentItem
@@ -168,11 +168,29 @@ class TraceGenerator:
         )
 
     def generate(self) -> Trace:
-        """Generate the full trace.
+        """Generate the full trace (materialized and start-time-sorted).
 
         Per item: a Poisson view count, diurnal-shaped start times,
         activity-weighted viewers, Beta-completion durations, the
         viewer's device bitrate.
+        """
+        return Trace.from_sessions(self.iter_sessions(), horizon=self.config.horizon)
+
+    def iter_sessions(self) -> Iterator[Session]:
+        """Yield the trace's sessions lazily, one at a time.
+
+        The streaming twin of :meth:`generate`: identical sessions (the
+        same RNG streams are consumed in the same order), yielded one at
+        a time instead of collected and sorted into a
+        :class:`~repro.trace.events.Trace` tuple.  Feeding this into
+        ``Simulator.run_stream`` skips that intermediate materialized
+        copy -- the simulator still retains the sessions grouped into
+        swarm shards, so peak memory remains O(sessions), just with one
+        full-trace tuple less; a consumer that filters or windows the
+        stream keeps only what it selects.  Sessions arrive in
+        generation order (grouped by content item), *not* sorted by
+        start time; the simulator's canonical sharding makes the result
+        independent of that ordering.
         """
         catalogue = self.build_catalogue()
         population = self.build_population()
@@ -182,7 +200,6 @@ class TraceGenerator:
         users = list(population.users)
         cum_weights = _cumulative(population.activity_weights())
 
-        sessions = []
         session_id = 0
         for item in catalogue:
             count = sample_poisson(rng, item.expected_views)
@@ -195,20 +212,17 @@ class TraceGenerator:
                 duration = min(duration, horizon - start)
                 if duration < self.config.min_session_seconds:
                     continue
-                sessions.append(
-                    Session(
-                        session_id=session_id,
-                        user_id=viewer.user_id,
-                        content_id=item.content_id,
-                        start=start,
-                        duration=duration,
-                        bitrate=viewer.bitrate,
-                        attachment=viewer.attachment,
-                        device=viewer.device.name,
-                    )
+                yield Session(
+                    session_id=session_id,
+                    user_id=viewer.user_id,
+                    content_id=item.content_id,
+                    start=start,
+                    duration=duration,
+                    bitrate=viewer.bitrate,
+                    attachment=viewer.attachment,
+                    device=viewer.device.name,
                 )
                 session_id += 1
-        return Trace.from_sessions(sessions, horizon=horizon)
 
     def _session_duration(self, item: ContentItem, rng: random.Random) -> float:
         completion = rng.betavariate(

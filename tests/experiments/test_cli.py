@@ -49,3 +49,36 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "offload G" in out
         assert "valancius" in out
+
+
+class TestWorkersFlag:
+    def test_workers_parsed_into_settings(self):
+        from repro.cli import _settings_from
+
+        args = build_parser().parse_args(["fig5", "--workers", "4"])
+        assert args.workers == 4
+        settings = _settings_from(args)
+        assert settings.workers == 4
+        assert settings.simulation_config().workers == 4
+
+    def test_quick_keeps_workers(self):
+        from repro.cli import _settings_from
+
+        args = build_parser().parse_args(["fig5", "--quick", "--workers", "2"])
+        settings = _settings_from(args)
+        assert settings.scale == 0.05  # still the quick preset
+        assert settings.workers == 2
+
+    def test_simulate_accepts_workers_and_backend(self):
+        args = build_parser().parse_args(
+            ["simulate", "t.jsonl", "--workers", "2", "--backend", "thread"]
+        )
+        assert args.workers == 2
+        assert args.backend == "thread"
+
+    def test_simulate_parallel_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["generate", str(path), "--quick", "--days", "1"]) == 0
+        assert main(["simulate", str(path), "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "offload G" in out

@@ -1,0 +1,245 @@
+"""Backend equivalence: every backend is bit-for-bit the serial run.
+
+The runtime's core guarantee (see repro/sim/backends.py): swarm tasks
+are canonically ordered, kernels are pure, and outputs fold in task
+order -- so thread and process pools must reproduce the serial
+baseline *exactly* (float equality, not approx), across policies,
+participation rates and the lingering-seed extension.
+"""
+
+import pytest
+
+from repro.sim import SimulationConfig, Simulator, simulate
+from repro.sim.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+from repro.sim.kernel import build_tasks, merge_outputs, run_swarm
+from repro.sim.policies import SwarmPolicy
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = GeneratorConfig(
+        num_users=300, num_items=25, days=2, expected_sessions=2_500, seed=42
+    )
+    return TraceGenerator(config=config).generate()
+
+
+def assert_identical(a, b):
+    """Exact equality at every accounting level of two results.
+
+    Field-by-field asserts first (readable failures), then the
+    canonical catch-all ``identical_to`` so fields added later are
+    still compared.
+    """
+    assert a.total.server_bits == b.total.server_bits
+    assert a.total.demanded_bits == b.total.demanded_bits
+    assert a.total.peer_bits == b.total.peer_bits
+    assert a.total.watch_seconds == b.total.watch_seconds
+    assert a.total.sessions == b.total.sessions
+    assert list(a.per_swarm.keys()) == list(b.per_swarm.keys())
+    for key, swarm in a.per_swarm.items():
+        other = b.per_swarm[key]
+        assert swarm.ledger.server_bits == other.ledger.server_bits
+        assert swarm.ledger.peer_bits == other.ledger.peer_bits
+        assert swarm.capacity == other.capacity
+    assert a.per_isp_day.keys() == b.per_isp_day.keys()
+    for key, ledger in a.per_isp_day.items():
+        assert ledger.server_bits == b.per_isp_day[key].server_bits
+        assert ledger.demanded_bits == b.per_isp_day[key].demanded_bits
+        assert ledger.peer_bits == b.per_isp_day[key].peer_bits
+    assert a.per_user.keys() == b.per_user.keys()
+    for uid, traffic in a.per_user.items():
+        assert traffic.watched_bits == b.per_user[uid].watched_bits
+        assert traffic.uploaded_bits == b.per_user[uid].uploaded_bits
+    assert a.identical_to(b)
+
+
+#: One config per axis the kernel branches on.
+CONFIGS = {
+    "paper-default": SimulationConfig(),
+    "upload-ratio": SimulationConfig(upload_ratio=0.4),
+    "cross-isp-swarms": SimulationConfig(policy=SwarmPolicy(split_by_isp=False)),
+    "mixed-bitrates": SimulationConfig(policy=SwarmPolicy(split_by_bitrate=False)),
+    "participation": SimulationConfig(participation_rate=0.35),
+    "lingering-seeds": SimulationConfig(seed_linger_seconds=120.0),
+    "random-matching": SimulationConfig(locality_aware_matching=False),
+    "cross-isp-matching": SimulationConfig(
+        policy=SwarmPolicy(split_by_isp=False), allow_cross_isp_matching=True
+    ),
+}
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_thread_backend_identical_to_serial(self, trace, name):
+        config = CONFIGS[name]
+        serial = Simulator(config, backend=SerialBackend()).run(trace)
+        threaded = Simulator(config, backend=ThreadBackend(4)).run(trace)
+        assert_identical(serial, threaded)
+
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_process_backend_identical_to_serial(self, trace, name):
+        config = CONFIGS[name]
+        serial = Simulator(config, backend=SerialBackend()).run(trace)
+        # min_sessions=0 forces real worker processes even on this
+        # small trace (the default would fall back inline).
+        pooled = Simulator(
+            config, backend=ProcessPoolBackend(2, min_sessions=0)
+        ).run(trace)
+        assert_identical(serial, pooled)
+
+    def test_workers_flag_identical_to_serial(self, trace):
+        serial = simulate(trace)
+        parallel = simulate(trace, SimulationConfig(workers=4))
+        assert_identical(serial, parallel)
+
+    def test_result_independent_of_session_order(self, trace):
+        """Canonical sharding: a shuffled stream gives the same result."""
+        serial = simulate(trace)
+        reversed_stream = Simulator(SimulationConfig()).run_stream(
+            reversed(trace.sessions), trace.horizon
+        )
+        assert_identical(serial, reversed_stream)
+
+
+class TestRunStream:
+    def test_stream_matches_materialized_run(self, trace):
+        config = SimulationConfig()
+        from_trace = Simulator(config).run(trace)
+        from_stream = Simulator(config).run_stream(iter(trace), trace.horizon)
+        assert_identical(from_trace, from_stream)
+
+    def test_generator_stream_matches_generated_trace(self):
+        gen = TraceGenerator(
+            config=GeneratorConfig(
+                num_users=150, num_items=12, days=1, expected_sessions=800, seed=9
+            )
+        )
+        trace = gen.generate()
+        result = Simulator(SimulationConfig()).run_stream(
+            gen.iter_sessions(), gen.config.horizon
+        )
+        assert_identical(simulate(trace), result)
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(ValueError):
+            Simulator().run_stream(iter([]), 0.0)
+
+    def test_rejects_sessions_past_horizon(self, trace):
+        with pytest.raises(ValueError):
+            Simulator().run_stream(iter(trace), trace.horizon / 4)
+
+
+class TestKernelContracts:
+    def test_tasks_canonically_ordered(self, trace):
+        config = SimulationConfig()
+        tasks = build_tasks(trace, trace.horizon, config.policy)
+        keys = [t.key.sort_key() for t in tasks]
+        assert keys == sorted(keys)
+        for task in tasks:
+            order = [(s.start, s.session_id) for s in task.sessions]
+            assert order == sorted(order)
+
+    def test_kernel_is_pure(self, trace):
+        config = SimulationConfig()
+        task = build_tasks(trace, trace.horizon, config.policy)[0]
+        first = run_swarm(task, config)
+        second = run_swarm(task, config)
+        assert first.result.ledger.server_bits == second.result.ledger.server_bits
+        assert first.per_isp_day.keys() == second.per_isp_day.keys()
+        assert first.per_user.keys() == second.per_user.keys()
+
+    def test_tasks_and_outputs_pickle(self, trace):
+        import pickle
+
+        config = SimulationConfig()
+        task = build_tasks(trace, trace.horizon, config.policy)[0]
+        assert pickle.loads(pickle.dumps(task)) == task
+        output = run_swarm(task, config)
+        clone = pickle.loads(pickle.dumps(output))
+        assert clone.result.ledger.server_bits == output.result.ledger.server_bits
+
+    def test_merge_outputs_empty(self):
+        result = merge_outputs([], delta_tau=10.0, horizon=86_400.0, upload_ratio=1.0)
+        assert result.total.demanded_bits == 0.0
+        assert result.per_swarm == {}
+
+
+class TestBackendSelection:
+    def test_auto_serial(self):
+        assert isinstance(resolve_backend(None, None), SerialBackend)
+        assert isinstance(resolve_backend(None, 1), SerialBackend)
+
+    def test_auto_process_when_workers(self):
+        backend = resolve_backend(None, 4)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.workers == 4
+
+    def test_explicit_names(self):
+        assert isinstance(resolve_backend("serial", 8), SerialBackend)
+        assert isinstance(resolve_backend("thread", 3), ThreadBackend)
+        assert isinstance(resolve_backend("process", 3), ProcessPoolBackend)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("gpu")
+
+    def test_config_validates_workers_and_backend(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(workers=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(backend="gpu")
+
+    def test_process_pool_single_task_falls_back_inline(self):
+        backend = ProcessPoolBackend(4)
+        config = SimulationConfig()
+        trace = TraceGenerator(
+            config=GeneratorConfig(
+                num_users=20, num_items=1, days=1, expected_sessions=30, seed=3
+            )
+        ).generate()
+        tasks = build_tasks(trace, trace.horizon, config.policy)
+        outputs = backend.map_swarms(tasks, config)
+        assert len(outputs) == len(tasks)
+
+    def test_process_pool_small_workload_falls_back_inline(self, trace):
+        """Below min_sessions the pool is never spawned (same results,
+        no per-run executor cost on tiny experiment subtraces)."""
+        backend = ProcessPoolBackend(4, min_sessions=10**9)
+        config = SimulationConfig()
+        tasks = build_tasks(trace, trace.horizon, config.policy)
+        outputs = backend.map_swarms(tasks, config)
+        assert len(outputs) == len(tasks)
+
+    def test_simulator_caches_resolved_backend(self):
+        simulator = Simulator(SimulationConfig(workers=2))
+        assert simulator.backend is simulator.backend
+
+
+class TestExecutorReuse:
+    def test_pool_persists_across_runs(self, trace):
+        backend = ProcessPoolBackend(2, min_sessions=0)
+        config = SimulationConfig()
+        tasks = build_tasks(trace, trace.horizon, config.policy)
+        backend.map_swarms(tasks, config)
+        pool = backend._executor
+        assert pool is not None
+        backend.map_swarms(tasks, config)
+        assert backend._executor is pool  # reused, not respawned
+        backend.close()
+        assert backend._executor is None
+
+    def test_pool_recreated_after_close(self, trace):
+        backend = ProcessPoolBackend(2, min_sessions=0)
+        config = SimulationConfig()
+        tasks = build_tasks(trace, trace.horizon, config.policy)
+        first = backend.map_swarms(tasks, config)
+        backend.close()
+        second = backend.map_swarms(tasks, config)
+        assert len(first) == len(second)
+        backend.close()

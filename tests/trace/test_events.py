@@ -161,3 +161,49 @@ class TestTrace:
             horizon=SECONDS_PER_DAY,
         )
         assert trace.mean_concurrency() == pytest.approx(1.0)
+
+
+class TestDerivedViewCaching:
+    """user_ids / content_ids / isps / total_bits() are O(n) scans; they
+    must run once per trace, not once per access."""
+
+    def make_trace(self):
+        return Trace.from_sessions(
+            [
+                make_session(session_id=0, duration=100.0, bitrate=1e6),
+                make_session(session_id=1, duration=200.0, bitrate=2e6),
+            ]
+        )
+
+    def test_id_views_cached(self):
+        trace = self.make_trace()
+        assert trace.user_ids is trace.user_ids
+        assert trace.content_ids is trace.content_ids
+        assert trace.isps is trace.isps
+
+    def test_repeated_total_bits_does_not_rescan(self, monkeypatch):
+        trace = self.make_trace()
+        calls = []
+        original = Session.bits_watched
+
+        def counting(self):
+            calls.append(1)
+            return original.__get__(self)
+
+        monkeypatch.setattr(Session, "bits_watched", property(counting))
+        first = trace.total_bits()
+        scans = len(calls)
+        assert scans == len(trace)
+        assert trace.total_bits() == first
+        assert len(calls) == scans  # cached: no further per-session work
+
+    def test_caches_are_per_instance(self):
+        trace = self.make_trace()
+        assert trace.user_ids == [1]
+        other = Trace.from_sessions([make_session(session_id=5, user_id=9)])
+        assert other.user_ids == [9]
+
+    def test_cached_values_correct(self):
+        trace = self.make_trace()
+        assert trace.total_bits() == pytest.approx(100 * 1e6 + 200 * 2e6)
+        assert trace.content_ids == ["item-a"]

@@ -176,3 +176,25 @@ class TestGenerateTraceHelper:
         trace = generate_trace(config)
         assert len(trace) > 300
         assert trace.num_days == 1
+
+
+class TestIterSessions:
+    def test_stream_equals_generated_trace(self):
+        """iter_sessions is the lazy twin of generate(): identical
+        sessions, identical order of RNG consumption."""
+        gen = TraceGenerator(config=SMALL)
+        streamed = list(gen.iter_sessions())
+        materialized = TraceGenerator(config=SMALL).generate()
+        assert sorted(streamed, key=lambda s: (s.start, s.session_id)) == list(
+            materialized.sessions
+        )
+
+    def test_stream_is_lazy(self):
+        gen = TraceGenerator(config=SMALL)
+        iterator = gen.iter_sessions()
+        first = next(iterator)
+        assert first.session_id == 0
+
+    def test_stream_is_restartable(self):
+        gen = TraceGenerator(config=SMALL)
+        assert list(gen.iter_sessions()) == list(gen.iter_sessions())
