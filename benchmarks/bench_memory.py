@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Memory benchmark: coordinator residency vs reduction mode and trace size.
+
+The batched reduction materializes every swarm-shard output in the
+coordinator before folding -- resident partial count equal to the shard
+total, growing linearly with the trace.  The streaming reduction
+(``SimulationConfig(reduction="streaming")``, see ``repro.sim.reduce``)
+folds outputs as shards complete and must keep its resident partial
+count bounded by ``workers + 1`` no matter how large the trace gets.
+This benchmark measures both (peak resident partial count straight from
+the runtime's own ``ReductionStats``, Python heap peak via
+``tracemalloc``) across a sweep of trace sizes, verifies every mode is
+bit-for-bit identical to batched, and **fails loudly** if
+
+* a streaming/spill run ever holds more than ``workers + 1`` partials,
+* the streaming bound does not stay flat while batched residency grows
+  with trace size, or
+* any mode's result differs from the batched baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_memory.py            # 1x 2x 4x
+    PYTHONPATH=src python benchmarks/bench_memory.py --sizes 1 4 16
+    PYTHONPATH=src python benchmarks/bench_memory.py --quick    # CI smoke
+
+Run standalone (argparse, not pytest) so CI and operators can invoke it
+without the benchmark plugin stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import tracemalloc
+from typing import List, Optional, Sequence
+
+from repro.sim.backends import ProcessPoolBackend, SerialBackend, ThreadBackend
+from repro.sim.engine import SimulationConfig, Simulator
+from repro.sim.reduce import REDUCTION_MODES
+from repro.trace.events import Trace
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+
+#: The 1x workload (matches bench_scaling.py's trace).
+BASE_CONFIG = GeneratorConfig(
+    num_users=2_000, num_items=150, days=3, expected_sessions=15_000, seed=5
+)
+
+
+def build_trace(size: float) -> Trace:
+    """The benchmark trace at ``size`` times the 1x workload."""
+    return TraceGenerator(config=BASE_CONFIG.scaled(size)).generate()
+
+
+def make_backend(name: str, workers: int):
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadBackend(workers)
+    return ProcessPoolBackend(workers, min_sessions=0)
+
+
+def measure(backend, workers: int, reduction: str, trace: Trace) -> dict:
+    """One simulation run under ``reduction``, instrumented."""
+    simulator = Simulator(SimulationConfig(reduction=reduction), backend=backend)
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = simulator.run(trace)
+    seconds = time.perf_counter() - start
+    _, heap_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    stats = simulator.last_reduction
+    return {
+        "reduction": reduction,
+        "workers": workers,
+        "result": result,
+        "seconds": seconds,
+        "heap_peak_mb": heap_peak / 1e6,
+        "blocks": stats.blocks,
+        "peak_resident": stats.peak_resident,
+        "peak_resident_outputs": stats.peak_resident_outputs,
+    }
+
+
+def run_benchmark(
+    sizes: Sequence[float], backend_name: str, workers: int
+) -> List[str]:
+    """Sweep sizes x reduction modes; return the list of violations."""
+    violations: List[str] = []
+    batched_peaks: List[int] = []
+    streaming_peaks: List[int] = []
+    bound = workers + 1
+
+    for size in sizes:
+        trace = build_trace(size)
+        backend = make_backend(backend_name, workers)
+        print(
+            f"\n-- trace {size:g}x: {len(trace)} sessions, "
+            f"{len(trace.user_ids)} users --"
+        )
+        baseline = None
+        for reduction in REDUCTION_MODES:
+            row = measure(backend, workers, reduction, trace)
+            marks = []
+            if reduction == "batched":
+                baseline = row["result"]
+                batched_peaks.append(row["peak_resident"])
+            else:
+                if not baseline.identical_to(row["result"]):
+                    violations.append(
+                        f"{size:g}x {reduction}: result differs from batched"
+                    )
+                    marks.append("!! RESULT MISMATCH")
+                if row["peak_resident"] > bound:
+                    violations.append(
+                        f"{size:g}x {reduction}: {row['peak_resident']} resident "
+                        f"partials exceeds workers + 1 = {bound}"
+                    )
+                    marks.append("!! UNBOUNDED")
+                if reduction == "streaming":
+                    streaming_peaks.append(row["peak_resident"])
+            print(
+                f"   {reduction:>9}   {row['seconds']:7.3f}s   "
+                f"heap peak {row['heap_peak_mb']:8.2f} MB   "
+                f"resident partials {row['peak_resident']:>5d} "
+                f"({row['peak_resident_outputs']} outputs) "
+                f"/ {row['blocks']} blocks   {' '.join(marks)}"
+            )
+        if hasattr(backend, "close"):
+            backend.close()
+
+    # Batched residency must track the shard count (non-decreasing with
+    # trace size -- the swarm-key space saturates at items x ISPs x
+    # bitrate classes, so growth is not strict forever -- and always
+    # far above the streaming bound) while streaming stays flat at the
+    # worker bound.  That gap is the whole point of the mode.
+    if len(sizes) > 1:
+        if any(later < earlier for earlier, later in zip(batched_peaks, batched_peaks[1:])):
+            violations.append(
+                f"batched resident partials shrank with trace size: "
+                f"{batched_peaks}"
+            )
+        if batched_peaks[-1] <= bound:
+            violations.append(
+                f"batched residency ({batched_peaks[-1]}) never exceeded the "
+                f"streaming bound ({bound}); trace too small to measure anything"
+            )
+        if max(streaming_peaks) > bound:
+            violations.append(
+                f"streaming resident partials exceeded the bound across "
+                f"sizes: {streaming_peaks} (bound {bound})"
+            )
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=float, nargs="+", default=None,
+        help="trace size multipliers over the 1x base (default: 1 2 4; "
+        "with --quick: 0.5 1)",
+    )
+    parser.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default="serial",
+        help="execution backend (default: serial -- residency is a "
+        "coordinator property, so the serial bound of 1 is the tightest)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker count for thread/process backends (default: 2)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke preset: small default sizes (explicit flags still win)",
+    )
+    args = parser.parse_args(argv)
+
+    # --quick only shrinks the *defaults*; explicit flags always win.
+    sizes = args.sizes or ([0.5, 1.0] if args.quick else [1.0, 2.0, 4.0])
+    backend_name = args.backend
+    workers = 1 if backend_name == "serial" else max(1, args.workers)
+
+    print(
+        f"backend: {backend_name}; workers: {workers}; sizes: {sizes}; "
+        f"streaming bound: workers + 1 = {workers + 1} resident partials"
+    )
+    violations = run_benchmark(sizes, backend_name, workers)
+
+    print()
+    if violations:
+        for violation in violations:
+            print(f"VIOLATION: {violation}")
+        return 1
+    print(
+        "ok: all modes bit-for-bit identical; streaming residency bounded "
+        f"by {workers + 1} while batched residency tracks the shard count"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,12 @@ Subcommands::
     consume-local simulate trace.jsonl    # simulate a saved trace
 
 Common options: ``--scale`` (trace size multiplier), ``--days``,
-``--seed``, ``--quick`` (preset small scale), ``--out DIR``, and
+``--seed``, ``--quick`` (preset small scale), ``--out DIR``,
 ``--workers N`` (shard simulation swarms over N worker processes;
-bit-for-bit identical results, just faster on multi-core hardware).
+bit-for-bit identical results, just faster on multi-core hardware) and
+``--reduction MODE`` (how shard outputs fold: "batched" default,
+"streaming" bounds coordinator memory by workers + 1 resident shards,
+"spill" also keeps per-user deltas on disk; all bit-for-bit identical).
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from repro.experiments.config import ExperimentSettings
 from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
 from repro.sim.backends import BACKEND_NAMES
 from repro.sim.engine import SimulationConfig, Simulator
+from repro.sim.reduce import REDUCTION_MODES
 from repro.trace.generator import GeneratorConfig, TraceGenerator
 from repro.trace.loader import load_jsonl, save_jsonl
 from repro.trace.stats import summarise
@@ -73,6 +77,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="execution backend (default: auto from --workers)",
     )
+    _add_reduction_arg(simulate)
+    simulate.add_argument(
+        "--spill-dir",
+        type=Path,
+        default=None,
+        help=(
+            "with --reduction spill: keep the per-user delta log in this "
+            "directory for out-of-core processing (default: a temporary "
+            "log, removed after the run)"
+        ),
+    )
     return parser
 
 
@@ -81,6 +96,18 @@ def _positive_int(value: str) -> int:
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value!r}")
     return number
+
+
+def _add_reduction_arg(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--reduction",
+        choices=REDUCTION_MODES,
+        default=None,
+        help=(
+            "shard-output reduction mode (default: batched; streaming/"
+            "spill bound coordinator memory, identical results)"
+        ),
+    )
 
 
 def _add_settings_args(
@@ -102,21 +129,35 @@ def _add_settings_args(
                 "bit-for-bit identical at any worker count; default: serial)"
             ),
         )
+        _add_reduction_arg(cmd)
 
 
 def _settings_from(args: argparse.Namespace) -> ExperimentSettings:
     workers = getattr(args, "workers", None)
+    reduction = getattr(args, "reduction", None)
     if getattr(args, "quick", False):
         settings = ExperimentSettings.quick()
-        return replace(settings, workers=workers) if workers is not None else settings
+        overrides = {}
+        if workers is not None:
+            overrides["workers"] = workers
+        if reduction is not None:
+            overrides["reduction"] = reduction
+        return replace(settings, **overrides) if overrides else settings
     return ExperimentSettings(
-        scale=args.scale, days=args.days, seed=args.seed, workers=workers
+        scale=args.scale,
+        days=args.days,
+        seed=args.seed,
+        workers=workers,
+        reduction=reduction,
     )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "spill_dir", None) is not None and args.reduction != "spill":
+        parser.error("--spill-dir requires --reduction spill")
     settings = _settings_from(args) if hasattr(args, "scale") else None
 
     if args.command == "all":
@@ -158,14 +199,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             upload_ratio=args.upload_ratio,
             workers=args.workers,
             backend=args.backend,
+            reduction=args.reduction or "batched",
+            spill_dir=str(args.spill_dir) if args.spill_dir is not None else None,
         )
-        result = Simulator(config).run(trace)
+        simulator = Simulator(config)
+        result = simulator.run(trace)
         print(f"sessions: {len(trace)}  offload G: {result.offload_fraction():.4f}")
         for model in builtin_models():
             print(
                 f"{model.name:>10}: savings {result.savings(model):.4f}, "
                 f"carbon-positive users {result.carbon_positive_share(model):.1%}"
             )
+        stats = simulator.last_reduction
+        if stats is not None and stats.spill_path is not None:
+            print(f"per-user delta log: {stats.spill_path}")
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.sim.engine import SimulationConfig, Simulator
+from repro.sim.reduce import REDUCTION_MODES
 from repro.sim.results import SimulationResult
 from repro.trace.events import Trace
 from repro.trace.generator import GeneratorConfig, TraceGenerator
@@ -78,6 +79,11 @@ class ExperimentSettings:
             = serial; > 1 shards swarms over a process pool).  Results
             are bit-for-bit identical at any worker count, so this is a
             pure wall-clock knob.
+        reduction: shard-output reduction mode ("batched", "streaming"
+            or "spill", see :data:`repro.sim.reduce.REDUCTION_MODES`);
+            ``None`` uses the simulator default ("batched").  Results
+            are bit-for-bit identical across modes, so like ``workers``
+            this is a pure resource knob (coordinator memory).
     """
 
     scale: float = 1.0
@@ -88,6 +94,7 @@ class ExperimentSettings:
     num_items: int = 600
     expected_sessions: float = 1_200_000.0
     workers: Optional[int] = None
+    reduction: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -96,6 +103,10 @@ class ExperimentSettings:
             raise ValueError(f"days must be >= 1, got {self.days}")
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers!r}")
+        if self.reduction is not None and self.reduction not in REDUCTION_MODES:
+            raise ValueError(
+                f"reduction must be one of {REDUCTION_MODES}, got {self.reduction!r}"
+            )
 
     @classmethod
     def quick(cls) -> "ExperimentSettings":
@@ -135,7 +146,11 @@ class ExperimentSettings:
     def simulation_config(self, upload_ratio: Optional[float] = None) -> SimulationConfig:
         """Simulation config at a given (or the default) upload ratio."""
         ratio = self.upload_ratio if upload_ratio is None else upload_ratio
-        return SimulationConfig(upload_ratio=ratio, workers=self.workers)
+        return SimulationConfig(
+            upload_ratio=ratio,
+            workers=self.workers,
+            reduction=self.reduction or "batched",
+        )
 
 
 # ----------------------------------------------------------------------
@@ -149,11 +164,12 @@ _RESULTS: Dict[Tuple, SimulationResult] = {}
 def _memo_key(kind: str, settings: ExperimentSettings) -> Tuple:
     """Cache key for memoised artefacts.
 
-    ``workers`` is excluded: it only changes wall-clock, never values
-    (backends are bit-for-bit identical), so runs differing only in
-    worker count share traces and simulation results.
+    ``workers`` and ``reduction`` are excluded: they only change
+    wall-clock and memory, never values (backends and reduction modes
+    are bit-for-bit identical), so runs differing only in those knobs
+    share traces and simulation results.
     """
-    return (kind, replace(settings, workers=None))
+    return (kind, replace(settings, workers=None, reduction=None))
 
 
 def city_trace(settings: ExperimentSettings) -> Trace:

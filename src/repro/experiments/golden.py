@@ -1,0 +1,94 @@
+"""Golden regression fixtures for the paper's figure experiments.
+
+Refactors like the parallel runtime (PR 1) or the streaming reduction
+pipeline rely on "bit-for-bit identical" guarantees -- but a silent
+drift in the *physics* would satisfy every internal-consistency test
+while quietly changing the paper numbers.  The golden layer pins them:
+the seeded :data:`GOLDEN_SETTINGS` mini-trace (~5K city sessions, a
+week) is run once through every Fig. 2-6 experiment path, the
+machine-readable ``Report.data`` payloads are canonicalised to JSON and
+committed under ``tests/golden/``, and ``tests/test_golden.py`` compares
+fresh runs against them **exactly** (floats are serialized with
+``repr``-level round-tripping, so the comparison is bit-for-bit).
+
+When a change *legitimately* moves the numbers (a physics fix, a new
+accounting field), regenerate the fixtures and review the diff::
+
+    PYTHONPATH=src python -m repro.experiments.golden tests/golden
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+from repro.experiments.config import ExperimentSettings
+from repro.experiments.runner import run_experiment
+
+__all__ = [
+    "GOLDEN_SETTINGS",
+    "GOLDEN_EXPERIMENTS",
+    "canonicalize",
+    "golden_payload",
+    "write_golden",
+]
+
+#: The pinned mini-trace: ~5K expected city sessions over a week
+#: (1.2M x 0.02 x 7/30 = 5.6K), small enough to simulate in seconds,
+#: large enough that every figure path exercises real swarm dynamics.
+GOLDEN_SETTINGS = ExperimentSettings(scale=0.02, days=7)
+
+#: The experiment paths the fixtures pin (the paper's figures; the
+#: tables are deterministic functions of the same simulation).
+GOLDEN_EXPERIMENTS: List[str] = ["fig2", "fig3", "fig4", "fig5", "fig6"]
+
+
+def canonicalize(value):
+    """``Report.data`` as plain JSON types, deterministically.
+
+    Dict keys become strings (sorted, so dict iteration order cannot
+    leak into the fixture), tuples become lists; numbers pass through
+    untouched -- ``json`` serializes floats with shortest-round-trip
+    ``repr``, so equality of canonical forms is bit-for-bit equality
+    of every float.
+    """
+    if isinstance(value, dict):
+        return {
+            str(key): canonicalize(value[key])
+            for key in sorted(value, key=str)
+        }
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"report data contains a non-JSON value of type {type(value).__name__}: "
+        f"{value!r}"
+    )
+
+
+def golden_payload(name: str) -> Dict:
+    """One experiment's canonical payload under the golden settings."""
+    report = run_experiment(name, GOLDEN_SETTINGS)
+    return canonicalize(report.data)
+
+
+def write_golden(out_dir: Path) -> List[Path]:
+    """(Re)generate every fixture; returns the files written."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in GOLDEN_EXPERIMENTS:
+        path = out_dir / f"{name}.json"
+        payload = golden_payload(name)
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+if __name__ == "__main__":
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("tests/golden")
+    for path in write_golden(target):
+        print(f"wrote {path}")

@@ -4,6 +4,9 @@ Every driver consumes the shared :class:`ExperimentSettings`, including
 its ``workers`` knob: pass ``workers=N`` (or settings with it set) and
 each experiment's simulation shards its swarms over N worker processes
 -- results are bit-for-bit identical to the serial run, only faster.
+Likewise ``reduction="streaming"`` (or ``"spill"``) folds shard
+outputs incrementally as they complete, bounding coordinator memory on
+large traces without changing a single bit of any report.
 """
 
 from __future__ import annotations
@@ -37,11 +40,15 @@ EXPERIMENTS: Mapping[str, Callable[[ExperimentSettings], Report]] = {
 
 
 def _resolve_settings(
-    settings: Optional[ExperimentSettings], workers: Optional[int]
+    settings: Optional[ExperimentSettings],
+    workers: Optional[int],
+    reduction: Optional[str] = None,
 ) -> ExperimentSettings:
     settings = settings or ExperimentSettings()
     if workers is not None:
         settings = replace(settings, workers=workers)
+    if reduction is not None:
+        settings = replace(settings, reduction=reduction)
     return settings
 
 
@@ -50,10 +57,12 @@ def run_experiment(
     settings: Optional[ExperimentSettings] = None,
     *,
     workers: Optional[int] = None,
+    reduction: Optional[str] = None,
 ) -> Report:
     """Run one experiment by id ("table1", "fig2", ...).
 
-    ``workers`` overrides ``settings.workers`` for this invocation.
+    ``workers`` / ``reduction`` override the settings' values for this
+    invocation.
     """
     try:
         driver = EXPERIMENTS[name]
@@ -61,7 +70,7 @@ def run_experiment(
         raise ValueError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return driver(_resolve_settings(settings, workers))
+    return driver(_resolve_settings(settings, workers, reduction))
 
 
 def run_all(
@@ -69,12 +78,14 @@ def run_all(
     *,
     out_dir: Optional[Path] = None,
     workers: Optional[int] = None,
+    reduction: Optional[str] = None,
 ) -> List[Report]:
     """Run every experiment; optionally write one text file per report.
 
-    ``workers`` overrides ``settings.workers`` for this invocation.
+    ``workers`` / ``reduction`` override the settings' values for this
+    invocation.
     """
-    settings = _resolve_settings(settings, workers)
+    settings = _resolve_settings(settings, workers, reduction)
     reports = [driver(settings) for driver in EXPERIMENTS.values()]
     if out_dir is not None:
         out_dir = Path(out_dir)

@@ -28,6 +28,15 @@ from repro.sim.kernel import (
 )
 from repro.sim.matching import PeerState, WindowAllocation, match_window
 from repro.sim.policies import PAPER_POLICY, SwarmKey, SwarmPolicy
+from repro.sim.reduce import (
+    REDUCTION_MODES,
+    FootprintAccumulator,
+    FootprintStats,
+    ReductionStats,
+    StreamingReducer,
+    iter_user_deltas,
+    load_user_deltas,
+)
 from repro.sim.results import SimulationResult, SwarmResult, UserTraffic
 from repro.sim.validation import (
     ValidationPoint,
@@ -38,13 +47,18 @@ from repro.sim.validation import (
 __all__ = [
     "ByteLedger",
     "ExecutionBackend",
+    "FootprintAccumulator",
+    "FootprintStats",
     "PAPER_POLICY",
     "PeerState",
     "ProcessPoolBackend",
+    "REDUCTION_MODES",
+    "ReductionStats",
     "SerialBackend",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
+    "StreamingReducer",
     "SwarmKey",
     "SwarmOutput",
     "SwarmPolicy",
@@ -56,6 +70,8 @@ __all__ = [
     "ValidationReport",
     "WindowAllocation",
     "build_tasks",
+    "iter_user_deltas",
+    "load_user_deltas",
     "merge_outputs",
     "resolve_backend",
     "run_swarm",

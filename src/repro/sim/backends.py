@@ -24,6 +24,27 @@ restores task order before the fold, all three backends are bit-for-bit
 equivalent; the only degrees of freedom are wall-clock time and memory
 residency.
 
+Every backend also exposes a **streaming** submission path
+(:meth:`ExecutionBackend.iter_outputs`) feeding the incremental
+reducer (:mod:`repro.sim.reduce`)::
+
+    sessions ──build_tasks──▶ [SwarmTask...]      (canonical order)
+                                   │
+                        backend.iter_outputs      (bounded in-flight
+                                   │               window, completion
+                                   ▼               order)
+                     (start_index, [SwarmOutput...]) blocks
+                                   │
+                          StreamingReducer        (re-orders to task
+                                   │               order, folds as
+                                   ▼               blocks complete)
+                           SimulationResult
+
+The streaming fold is the same reduction ``merge_outputs`` performs, so
+both paths are bit-for-bit identical; the difference is residency: the
+batched path holds every output until the fold, the streaming path at
+most ``workers + 1`` blocks (see ``SimulationConfig(reduction=...)``).
+
 Backends:
 
 * :class:`SerialBackend` -- in-process loop; zero overhead, the
@@ -44,9 +65,15 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
 from repro.sim.kernel import SwarmOutput, SwarmTask, run_shard, run_swarm
 
@@ -60,11 +87,113 @@ __all__ = [
     "ThreadBackend",
     "ProcessPoolBackend",
     "resolve_backend",
+    "contiguous_blocks",
 ]
+
+#: A contiguous run of tasks, tagged with the task index of its first
+#: member -- the unit the streaming submission path ships and the
+#: :class:`~repro.sim.reduce.StreamingReducer` re-orders by.
+OutputBlock = Tuple[int, List[SwarmOutput]]
 
 
 def _default_workers() -> int:
     return max(1, os.cpu_count() or 1)
+
+
+def contiguous_blocks(
+    tasks: Sequence[SwarmTask], num_blocks: int
+) -> List[Tuple[int, List[SwarmTask]]]:
+    """Split tasks into at most ``num_blocks`` contiguous, session-balanced runs.
+
+    Unlike the batched path's round-robin interleave (which optimizes
+    pure load balance), streaming shards must be *contiguous* in task
+    order: the reducer folds strictly in task order, so a shard's
+    outputs become foldable the moment every earlier shard has folded
+    -- interleaved shards would all have to finish before the first
+    fold.  Balance is recovered by weighting the cut points with
+    session counts; each block's target is re-paced from the weight
+    *remaining* when it opens, so one overweight Zipf-head task absorbs
+    only its own block instead of starving every later cut.
+
+    Returns ``(start_index, tasks)`` pairs covering every task exactly
+    once, in task order; every block is non-empty.
+    """
+    total_tasks = len(tasks)
+    if total_tasks == 0:
+        return []
+    num_blocks = max(1, min(num_blocks, total_tasks))
+    weights = [float(len(task.sessions)) for task in tasks]
+    if sum(weights) <= 0.0:  # degenerate all-empty tasks: split evenly
+        weights = [1.0] * total_tasks
+    blocks: List[Tuple[int, List[SwarmTask]]] = []
+    start = 0
+    block_weight = 0.0
+    weight_left = sum(weights)  # not yet assigned to a closed block
+    for index in range(total_tasks):
+        block_weight += weights[index]
+        open_and_unfilled = num_blocks - len(blocks)  # including the open block
+        if open_and_unfilled <= 1:
+            continue  # the last block swallows the remaining tasks
+        tasks_left = total_tasks - (index + 1)
+        target_reached = block_weight * open_and_unfilled >= weight_left
+        must_close = tasks_left < open_and_unfilled
+        if target_reached or must_close:
+            blocks.append((start, list(tasks[start : index + 1])))
+            start = index + 1
+            weight_left -= block_weight
+            block_weight = 0.0
+    if start < total_tasks:
+        blocks.append((start, list(tasks[start:])))
+    return blocks
+
+
+def _iter_single_tasks(
+    tasks: Sequence[SwarmTask], config: "SimulationConfig"
+) -> Iterator[OutputBlock]:
+    """One task at a time, lazily: exactly one output ever resident.
+
+    The shared inline streaming path -- the serial backend's whole
+    strategy, and the parallel backends' small-workload fallback.
+    """
+    for index, task in enumerate(tasks):
+        yield index, [run_swarm(task, config)]
+
+
+def _stream_blocks(
+    executor: Executor,
+    blocks: Sequence[Tuple[int, List[SwarmTask]]],
+    config: "SimulationConfig",
+    window: int,
+) -> Iterator[OutputBlock]:
+    """Submit task blocks with a bounded lookahead; yield in completion order.
+
+    ``imap``-style backpressure: at most ``window`` blocks may be past
+    the *yield frontier* (the earliest block not yet yielded) at any
+    time -- submitted, running, or completed-and-yielded out of order.
+    Since the reducer's fold frontier trails the yield frontier by at
+    most the blocks we yielded out of order, its reorder buffer can
+    never hold more than ``window`` blocks, no matter how long a slow
+    early shard straggles.
+    """
+    total = len(blocks)
+    pending: dict = {}  # future -> position in ``blocks``
+    yielded = [False] * total
+    frontier = 0  # first position not yet yielded
+    next_submit = 0
+    while next_submit < total or pending:
+        # Every pending future sits in [frontier, next_submit), so this
+        # single guard also caps len(pending) below ``window``.
+        while next_submit < total and next_submit < frontier + window:
+            start, chunk = blocks[next_submit]
+            pending[executor.submit(run_shard, chunk, config)] = next_submit
+            next_submit += 1
+        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            position = pending.pop(future)
+            yielded[position] = True
+            yield blocks[position][0], future.result()
+        while frontier < total and yielded[frontier]:
+            frontier += 1
 
 
 class ExecutionBackend(ABC):
@@ -84,6 +213,29 @@ class ExecutionBackend(ABC):
         deterministic.
         """
 
+    def iter_outputs(
+        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+    ) -> Iterator[OutputBlock]:
+        """Yield ``(start_index, outputs)`` blocks as they complete.
+
+        The streaming counterpart of :meth:`map_swarms`: blocks may be
+        yielded in any completion order, but together they must cover
+        the task list exactly once in contiguous runs, tagged with the
+        task index of each run's first output so the
+        :class:`~repro.sim.reduce.StreamingReducer` can restore the
+        canonical fold order.  Implementations bound how many blocks
+        are in flight past the earliest unyielded block, which is what
+        keeps the reducer's reorder buffer (and hence coordinator
+        memory) bounded.
+
+        This base implementation delegates to :meth:`map_swarms` as one
+        degenerate block, so third-party backends keep working before
+        they grow a real streaming path.
+        """
+        if not tasks:
+            return
+        yield 0, self.map_swarms(tasks, config)
+
 
 class SerialBackend(ExecutionBackend):
     """Run every swarm in the calling thread, in task order."""
@@ -94,6 +246,12 @@ class SerialBackend(ExecutionBackend):
         self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
     ) -> List[SwarmOutput]:
         return run_shard(tasks, config)
+
+    def iter_outputs(
+        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+    ) -> Iterator[OutputBlock]:
+        """One task at a time, lazily: exactly one output ever resident."""
+        return _iter_single_tasks(tasks, config)
 
 
 class ThreadBackend(ExecutionBackend):
@@ -113,6 +271,16 @@ class ThreadBackend(ExecutionBackend):
             return []
         with ThreadPoolExecutor(max_workers=self.workers) as executor:
             return list(executor.map(lambda task: run_swarm(task, config), tasks))
+
+    def iter_outputs(
+        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+    ) -> Iterator[OutputBlock]:
+        """Single-task blocks over the pool, ``workers + 1`` in flight."""
+        if not tasks:
+            return
+        blocks = [(index, [task]) for index, task in enumerate(tasks)]
+        with ThreadPoolExecutor(max_workers=self.workers) as executor:
+            yield from _stream_blocks(executor, blocks, config, self.workers + 1)
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -193,6 +361,49 @@ class ProcessPoolBackend(ExecutionBackend):
             self.close()  # next call starts a fresh pool
             raise
         return outputs  # type: ignore[return-value] - every slot is filled
+
+    def iter_outputs(
+        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+    ) -> Iterator[OutputBlock]:
+        """Contiguous session-balanced shards, ``workers + 1`` in flight.
+
+        Small workloads (below ``min_sessions``) stream inline one task
+        at a time instead, exactly like :class:`SerialBackend` -- same
+        results, no pool spawn, and still O(1) resident outputs.
+
+        Unlike the batched path's fixed shard count, the streaming
+        shard count *grows* with the trace so that each shard carries
+        at most ~``min_sessions`` sessions: a resident shard's output
+        size is then bounded by a constant, and with the ``workers +
+        1`` in-flight window the coordinator's resident memory stays
+        O(workers), not O(trace).
+        """
+        if not tasks:
+            return
+        total_sessions = sum(len(task.sessions) for task in tasks)
+        per_shard_quantum = max(1, self.min_sessions)
+        num_shards = min(
+            len(tasks),
+            max(
+                self.workers * self.shards_per_worker,
+                -(-total_sessions // per_shard_quantum),  # ceil division
+            ),
+        )
+        if (
+            self.workers <= 1
+            or total_sessions < self.min_sessions
+            or num_shards <= 1
+        ):
+            yield from _iter_single_tasks(tasks, config)
+            return
+        blocks = contiguous_blocks(tasks, num_shards)
+        try:
+            yield from _stream_blocks(
+                self._pool(), blocks, config, self.workers + 1
+            )
+        except BrokenProcessPool:
+            self.close()  # next call starts a fresh pool
+            raise
 
 
 #: The registry of selectable backend names -- the single source of

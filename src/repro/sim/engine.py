@@ -40,17 +40,33 @@ Sharding / merge architecture (the parallel runtime):
 * :meth:`Simulator.run_stream` feeds the same pipeline from a lazy
   session iterator (e.g. ``TraceGenerator.iter_sessions()``) without
   ever materializing a full :class:`~repro.trace.events.Trace`.
+* ``SimulationConfig(reduction=...)`` picks how shard outputs reduce:
+  "batched" materializes all outputs before the fold, "streaming"
+  folds them as shards complete with at most ``workers + 1`` blocks
+  resident, and "spill" additionally keeps per-user deltas on disk
+  until the result is built (:mod:`repro.sim.reduce`).  All modes are
+  bit-for-bit identical.
 """
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Iterable, Optional
 
 from repro.sim.backends import BACKEND_NAMES, ExecutionBackend, resolve_backend
 from repro.sim.kernel import build_tasks, merge_outputs
 from repro.sim.policies import PAPER_POLICY, SwarmPolicy
+from repro.sim.reduce import (
+    REDUCTION_MODES,
+    FootprintAccumulator,
+    ReductionStats,
+    StreamingReducer,
+)
 from repro.sim.results import SimulationResult
 from repro.trace.events import SECONDS_PER_DAY, Session, Trace
 
@@ -92,6 +108,22 @@ class SimulationConfig:
         backend: execution backend name ("serial", "thread" or
             "process"); ``None`` auto-selects from ``workers``.  See
             :mod:`repro.sim.backends`.
+        reduction: how shard outputs reduce into the final result (see
+            :data:`repro.sim.reduce.REDUCTION_MODES`).  "batched" (the
+            default) materializes every output before folding;
+            "streaming" folds outputs as shards complete, holding at
+            most ``workers + 1`` shard blocks resident and packing
+            per-user traffic into float columns; "spill" additionally
+            appends per-user deltas to a disk log until the final
+            result is materialized.  All three modes are bit-for-bit
+            identical -- the choice is a pure memory/IO trade.
+        spill_dir: where "spill" mode writes its per-user delta log.
+            ``None`` (the default) uses a run-scoped temporary
+            directory that is removed once the result is built; an
+            explicit directory keeps the log for out-of-core
+            consumers (readable via
+            :func:`repro.sim.reduce.iter_user_deltas`).  Only valid
+            with ``reduction="spill"``.
     """
 
     delta_tau: float = 10.0
@@ -104,6 +136,8 @@ class SimulationConfig:
     seed_linger_seconds: float = 0.0
     workers: Optional[int] = None
     backend: Optional[str] = None
+    reduction: str = "batched"
+    spill_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.delta_tau <= 0:
@@ -131,6 +165,15 @@ class SimulationConfig:
         if self.backend is not None and self.backend not in BACKEND_NAMES:
             raise ValueError(
                 f"backend must be one of {BACKEND_NAMES}, got {self.backend!r}"
+            )
+        if self.reduction not in REDUCTION_MODES:
+            raise ValueError(
+                f"reduction must be one of {REDUCTION_MODES}, got {self.reduction!r}"
+            )
+        if self.spill_dir is not None and self.reduction != "spill":
+            raise ValueError(
+                f"spill_dir is only valid with reduction='spill', "
+                f"got reduction={self.reduction!r}"
             )
 
     def upload_rate_for(self, bitrate: float) -> float:
@@ -171,6 +214,11 @@ class Simulator:
     ) -> None:
         self.config = config or SimulationConfig()
         self._backend = backend
+        #: :class:`~repro.sim.reduce.ReductionStats` of the most recent
+        #: run -- how many blocks folded, the peak resident partial
+        #: count, and where deltas spilled.  Benchmarks and tests
+        #: assert the streaming memory bound through this.
+        self.last_reduction: Optional[ReductionStats] = None
 
     @property
     def backend(self) -> ExecutionBackend:
@@ -204,19 +252,81 @@ class Simulator:
         session *multiset*: ``run_stream(iter(trace), trace.horizon)``
         equals ``run(trace)`` bit for bit.
 
+        With ``config.reduction`` set to "streaming" or "spill" the
+        whole pipeline is end-to-end streaming: sessions in, folded
+        result out, with the peak resident shard count bounded by
+        ``workers + 1`` instead of the shard total (see
+        :mod:`repro.sim.reduce`).  Results are bit-for-bit identical
+        across reduction modes.
+
         Args:
             sessions: the session stream (any order).
             horizon: trace length in seconds (must cover every session).
         """
         config = self.config
+        self.last_reduction = None  # never report a previous run's stats
         tasks = build_tasks(sessions, horizon, config.policy)
-        outputs = self.backend.map_swarms(tasks, config)
-        return merge_outputs(
-            outputs,
+        if config.reduction == "batched":
+            outputs = self.backend.map_swarms(tasks, config)
+            self.last_reduction = ReductionStats(
+                mode="batched",
+                outputs=len(outputs),
+                blocks=len(outputs),
+                # Everything is resident at once by construction.
+                peak_resident=len(outputs),
+                peak_resident_outputs=len(outputs),
+            )
+            return merge_outputs(
+                outputs,
+                delta_tau=config.delta_tau,
+                horizon=horizon,
+                upload_ratio=config.upload_ratio,
+            )
+        return self._run_streaming(tasks, horizon)
+
+    def _run_streaming(self, tasks, horizon: float) -> SimulationResult:
+        """The incremental path: fold shard blocks as they complete."""
+        config = self.config
+        temp_spill_dir: Optional[str] = None
+        spill_path: Optional[Path] = None
+        if config.reduction == "spill":
+            if config.spill_dir is not None:
+                spill_root = Path(config.spill_dir)
+                spill_root.mkdir(parents=True, exist_ok=True)
+            else:
+                temp_spill_dir = tempfile.mkdtemp(prefix="repro-spill-")
+                spill_root = Path(temp_spill_dir)
+            handle, raw_path = tempfile.mkstemp(
+                prefix="user-deltas-", suffix=".log", dir=spill_root
+            )
+            os.close(handle)
+            spill_path = Path(raw_path)
+        users = FootprintAccumulator(spill_path=spill_path)
+        reducer = StreamingReducer(
             delta_tau=config.delta_tau,
             horizon=horizon,
             upload_ratio=config.upload_ratio,
+            users=users,
         )
+        try:
+            for start_index, block in self.backend.iter_outputs(tasks, config):
+                reducer.add(start_index, block)
+            result = reducer.result()
+        finally:
+            users.close()
+            if temp_spill_dir is not None:
+                shutil.rmtree(temp_spill_dir, ignore_errors=True)
+        if reducer.outputs_folded != len(tasks):
+            raise RuntimeError(
+                f"backend {self.backend.name!r} delivered "
+                f"{reducer.outputs_folded} outputs for {len(tasks)} tasks"
+            )
+        stats = reducer.stats(config.reduction)
+        if temp_spill_dir is not None:
+            # The run-scoped temp log is gone; don't advertise its path.
+            stats = replace(stats, spill_path=None)
+        self.last_reduction = stats
+        return result
 
 
 def simulate(trace: Trace, config: Optional[SimulationConfig] = None) -> SimulationResult:

@@ -34,13 +34,8 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
 from repro.sim.accounting import ByteLedger
 from repro.sim.matching import PeerState, WindowAllocation, match_window
 from repro.sim.policies import SwarmKey, SwarmPolicy
-from repro.sim.results import (
-    SimulationResult,
-    SwarmResult,
-    UserTraffic,
-    merge_ledger_map,
-    merge_traffic_map,
-)
+from repro.sim.reduce import reduce_outputs
+from repro.sim.results import SimulationResult, SwarmResult, UserTraffic
 from repro.trace.events import SECONDS_PER_DAY, Session
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
@@ -328,40 +323,17 @@ def merge_outputs(
     """Reduce swarm outputs (in the given order) into a final result.
 
     Every backend hands outputs back in canonical task order, so the
-    fold below performs the identical float-addition sequence no matter
-    how (or where, or in what completion order) the swarms actually ran.
+    fold performs the identical float-addition sequence no matter how
+    (or where, or in what completion order) the swarms actually ran.
     The outputs themselves are never mutated or aliased: reducing the
     same outputs twice gives the same result.
+
+    The fold itself lives in :class:`repro.sim.reduce.StreamingReducer`
+    -- this is the batched entry point to the same reduction the
+    streaming modes use, so the two paths cannot drift.
     """
-    per_swarm: Dict[SwarmKey, SwarmResult] = {}
-    per_isp_day: Dict[Tuple[str, int], ByteLedger] = {}
-    per_user: Dict[int, UserTraffic] = {}
-    total = ByteLedger()
-
-    for output in outputs:
-        result = output.result
-        existing_result = per_swarm.get(result.key)
-        if existing_result is None:
-            per_swarm[result.key] = SwarmResult(
-                key=result.key,
-                ledger=result.ledger.copy(),
-                capacity=result.capacity,
-                arrival_rate=result.arrival_rate,
-                mean_duration=result.mean_duration,
-            )
-        else:  # duplicate key (never from build_tasks, but stay correct)
-            per_swarm[result.key] = SwarmResult.combine(
-                result.key, [existing_result, result]
-            )
-        total.merge(result.ledger)
-        merge_ledger_map(per_isp_day, output.per_isp_day)
-        merge_traffic_map(per_user, output.per_user)
-
-    return SimulationResult(
-        total=total,
-        per_swarm=per_swarm,
-        per_isp_day=per_isp_day,
-        per_user=per_user,
+    return reduce_outputs(
+        outputs,
         delta_tau=delta_tau,
         horizon=horizon,
         upload_ratio=upload_ratio,

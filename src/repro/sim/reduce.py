@@ -1,0 +1,467 @@
+"""Incremental streaming reduction of swarm-shard outputs.
+
+The batched runtime materializes every :class:`~repro.sim.kernel.\
+SwarmOutput` in the coordinator before folding them
+(:func:`~repro.sim.kernel.merge_outputs`), which caps trace size well
+below the paper's month-of-London scale: 23.5M sessions across 3.3M
+users means millions of resident per-user and per-(ISP, day) dict
+entries *per buffered shard*.  This module is the bounded-memory
+alternative:
+
+* :class:`StreamingReducer` folds shard outputs into a running
+  :class:`~repro.sim.results.SimulationResult` **as they complete**.
+  Outputs may arrive in any completion order; the reducer re-orders
+  them back into canonical task order (the order
+  :func:`~repro.sim.kernel.build_tasks` produced -- the same canonical
+  order that underpins ``SimulationResult.from_partials``'s
+  fingerprint sort) and folds the identical float-addition sequence
+  the batched path performs, so streaming results are bit-for-bit
+  equal to batched ones.  Its reorder buffer is the *only* place
+  un-folded shards live, and with the backends' bounded in-flight
+  submission window it never holds more than ``workers + 1`` blocks.
+* :class:`FootprintAccumulator` keeps per-user traffic out of the
+  dict-of-dataclasses representation while shards fold: packed
+  ``array('d')`` columns (two floats per user) in memory, or -- with a
+  ``spill_path`` -- an append-only delta log on disk so the
+  coordinator holds only fixed-size running statistics until the final
+  result is materialized.
+* :class:`ReductionStats` reports what a run actually did (mode,
+  blocks folded, peak resident partials, spill location) so benchmarks
+  and tests can assert the memory bound instead of trusting it.
+
+:func:`repro.sim.kernel.merge_outputs` is a thin wrapper over
+:class:`StreamingReducer`, so the batched and streaming reductions
+share one fold implementation and cannot drift.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.sim.accounting import ByteLedger
+from repro.sim.policies import SwarmKey
+from repro.sim.results import (
+    SimulationResult,
+    SwarmResult,
+    UserTraffic,
+    merge_ledger_map,
+    merge_traffic_map,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (kernel imports us)
+    from repro.sim.kernel import SwarmOutput
+
+__all__ = [
+    "REDUCTION_MODES",
+    "FootprintStats",
+    "FootprintAccumulator",
+    "StreamingReducer",
+    "ReductionStats",
+    "iter_user_deltas",
+    "load_user_deltas",
+    "reduce_outputs",
+]
+
+#: Selectable reduction modes, the single source of truth consumed by
+#: ``SimulationConfig`` validation and the CLI's ``--reduction`` choices.
+#:
+#: * ``"batched"``  -- materialize every shard output, then fold (the
+#:   historical behaviour; fastest for small traces, O(shards) memory).
+#: * ``"streaming"`` -- fold shard outputs as they complete; at most
+#:   ``workers + 1`` shard outputs resident, per-user traffic packed
+#:   into float columns until the final result is built.
+#: * ``"spill"``     -- streaming, plus per-user deltas appended to a
+#:   disk log instead of held in memory; the log is re-aggregated only
+#:   when the final result is materialized (and is left behind for
+#:   out-of-core consumers when ``spill_dir`` is set explicitly).
+REDUCTION_MODES: Tuple[str, ...] = ("batched", "streaming", "spill")
+
+
+# ----------------------------------------------------------------------
+# Per-user footprint accumulation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FootprintStats:
+    """Fixed-size summary of the per-user traffic folded so far.
+
+    Attributes:
+        users: distinct users seen (``None`` in spill mode, where the
+            accumulator deliberately keeps no per-user index).
+        records: per-(shard, user) delta records folded.
+        watched_bits: total bits streamed across all users.
+        uploaded_bits: total bits uploaded across all users.
+    """
+
+    users: Optional[int]
+    records: int
+    watched_bits: float
+    uploaded_bits: float
+
+
+class FootprintAccumulator:
+    """Collapses per-user traffic deltas into compact running state.
+
+    In-memory mode packs each user's (watched, uploaded) totals into two
+    ``array('d')`` columns plus an id->slot index -- O(users) floats
+    instead of O(users) :class:`~repro.sim.results.UserTraffic`
+    dataclass instances.  With ``spill_path`` set, deltas are instead
+    appended to a text log (one ``"uid watched uploaded"`` line per
+    user per shard, floats serialized with ``repr`` so they round-trip
+    exactly) and only fixed-size running totals stay resident.
+
+    Either way, :meth:`materialize` rebuilds the exact per-user dict the
+    batched reduction would have produced: additions happen in the same
+    (fold) order, so the result is bit-for-bit identical.
+    """
+
+    def __init__(self, spill_path: Optional[Union[str, Path]] = None) -> None:
+        self.spill_path: Optional[Path] = (
+            Path(spill_path) if spill_path is not None else None
+        )
+        self._spill_file = None
+        self._spill_closed = False
+        self._slots: Dict[int, int] = {}
+        self._watched = array("d")
+        self._uploaded = array("d")
+        self._records = 0
+        self._watched_total = 0.0
+        self._uploaded_total = 0.0
+
+    # -- folding -------------------------------------------------------
+
+    def add(self, per_user: Mapping[int, UserTraffic]) -> None:
+        """Fold one shard's per-user deltas (in their iteration order)."""
+        if self.spill_path is not None:
+            spill = self._spill()
+            for user_id, traffic in per_user.items():
+                spill.write(
+                    f"{user_id} {traffic.watched_bits!r} {traffic.uploaded_bits!r}\n"
+                )
+                self._records += 1
+                self._watched_total += traffic.watched_bits
+                self._uploaded_total += traffic.uploaded_bits
+            return
+        slots = self._slots
+        watched = self._watched
+        uploaded = self._uploaded
+        for user_id, traffic in per_user.items():
+            slot = slots.get(user_id)
+            if slot is None:
+                slot = slots[user_id] = len(watched)
+                watched.append(0.0)
+                uploaded.append(0.0)
+            watched[slot] += traffic.watched_bits
+            uploaded[slot] += traffic.uploaded_bits
+            self._records += 1
+            self._watched_total += traffic.watched_bits
+            self._uploaded_total += traffic.uploaded_bits
+
+    def _spill(self):
+        if self._spill_closed:
+            # Reopening with "w" would truncate the folded records --
+            # refuse instead of silently losing data.
+            raise RuntimeError(
+                f"spill log {self.spill_path} was already closed; "
+                f"cannot fold further deltas"
+            )
+        if self._spill_file is None:
+            self.spill_path.parent.mkdir(parents=True, exist_ok=True)
+            self._spill_file = open(self.spill_path, "w", encoding="ascii")
+        return self._spill_file
+
+    # -- reading back ----------------------------------------------------
+
+    @property
+    def num_users(self) -> Optional[int]:
+        """Distinct users folded so far (``None`` in spill mode)."""
+        if self.spill_path is not None:
+            return None
+        return len(self._slots)
+
+    def stats(self) -> FootprintStats:
+        """The fixed-size running summary."""
+        return FootprintStats(
+            users=self.num_users,
+            records=self._records,
+            watched_bits=self._watched_total,
+            uploaded_bits=self._uploaded_total,
+        )
+
+    def materialize(self) -> Dict[int, UserTraffic]:
+        """The exact per-user traffic map, as the batched fold builds it.
+
+        In-memory mode unpacks the float columns; spill mode closes and
+        re-reads the delta log, aggregating records in file (= fold)
+        order.  Both reproduce the batched dict bit for bit.
+        """
+        if self.spill_path is not None:
+            self.close()
+            if not self.spill_path.exists():
+                return {}
+            return load_user_deltas(self.spill_path)
+        return {
+            user_id: UserTraffic(
+                watched_bits=self._watched[slot], uploaded_bits=self._uploaded[slot]
+            )
+            for user_id, slot in self._slots.items()
+        }
+
+    def close(self) -> None:
+        """Flush and close the spill log (no-op in memory mode).
+
+        Once a written log is closed, further :meth:`add` calls raise
+        rather than truncate it.
+        """
+        if self._spill_file is not None:
+            self._spill_file.close()
+            self._spill_file = None
+            self._spill_closed = True
+
+
+def iter_user_deltas(path: Union[str, Path]) -> Iterator[Tuple[int, float, float]]:
+    """Stream ``(user_id, watched_bits, uploaded_bits)`` delta records.
+
+    The raw spill-log reader for out-of-core consumers that want to
+    process per-user deltas without ever building the full map.
+    """
+    with open(path, "r", encoding="ascii") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            user_field, watched_field, uploaded_field = line.split()
+            yield int(user_field), float(watched_field), float(uploaded_field)
+
+
+def load_user_deltas(path: Union[str, Path]) -> Dict[int, UserTraffic]:
+    """Aggregate a spill log back into the exact per-user traffic map.
+
+    Records are folded in file order -- the order shards folded in --
+    so the map is bit-for-bit the one the in-memory reduction builds.
+    """
+    per_user: Dict[int, UserTraffic] = {}
+    for user_id, watched_bits, uploaded_bits in iter_user_deltas(path):
+        delta = UserTraffic(watched_bits=watched_bits, uploaded_bits=uploaded_bits)
+        existing = per_user.get(user_id)
+        if existing is None:
+            per_user[user_id] = delta
+        else:  # the shared merge path, so spill replay cannot drift
+            existing.merge(delta)
+    return per_user
+
+
+# ----------------------------------------------------------------------
+# The incremental reducer
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReductionStats:
+    """What one reduction actually did, for benchmarks and assertions.
+
+    Attributes:
+        mode: one of :data:`REDUCTION_MODES`.
+        outputs: swarm outputs folded.
+        blocks: contiguous shard blocks the backend delivered.
+        peak_resident: most blocks ever resident (buffered awaiting
+            their turn in the fold, including the one being added).
+            Batched reduction reports the full block count here -- by
+            construction everything is resident at once.
+        peak_resident_outputs: most swarm *outputs* ever resident
+            across those blocks -- the honest memory unit when blocks
+            hold more than one output each (the process backend's
+            shards).  Batched reduction reports the full output count.
+        spill_path: where per-user deltas were spilled, if anywhere.
+    """
+
+    mode: str
+    outputs: int
+    blocks: int
+    peak_resident: int
+    peak_resident_outputs: int = 0
+    spill_path: Optional[str] = None
+
+
+class StreamingReducer:
+    """Folds swarm outputs into a running result, in canonical order.
+
+    Blocks of outputs are keyed by the task index of their first output
+    (tasks as ordered by :func:`~repro.sim.kernel.build_tasks`).  A
+    block arriving out of order is buffered; as soon as the next-in-line
+    block is present the fold advances through every contiguous buffered
+    block.  The fold itself is *the* reduction --
+    :func:`~repro.sim.kernel.merge_outputs` wraps this class -- so any
+    completion order produces the batched result bit for bit.
+
+    Args:
+        delta_tau / horizon / upload_ratio: run parameters stamped on
+            the final :class:`~repro.sim.results.SimulationResult`.
+        users: optional :class:`FootprintAccumulator` receiving per-user
+            deltas; ``None`` keeps the plain dict fold (batched mode).
+    """
+
+    def __init__(
+        self,
+        *,
+        delta_tau: float,
+        horizon: float,
+        upload_ratio: float,
+        users: Optional[FootprintAccumulator] = None,
+    ) -> None:
+        self._delta_tau = delta_tau
+        self._horizon = horizon
+        self._upload_ratio = upload_ratio
+        self._users = users
+        self._total = ByteLedger()
+        self._per_swarm: Dict[SwarmKey, SwarmResult] = {}
+        self._per_isp_day: Dict[Tuple[str, int], ByteLedger] = {}
+        self._per_user: Dict[int, UserTraffic] = {}
+        self._pending: Dict[int, List["SwarmOutput"]] = {}
+        self._next_index = 0
+        self._finalized = False
+        self._resident_outputs = 0
+        self.outputs_folded = 0
+        self.blocks_folded = 0
+        self.peak_resident = 0
+        self.peak_resident_outputs = 0
+
+    def add(self, index: int, outputs: Sequence["SwarmOutput"]) -> None:
+        """Accept the block whose first output is task ``index``.
+
+        Blocks may arrive in any order; each is buffered until every
+        earlier task has been folded, then folded in task order.
+
+        Raises:
+            ValueError: on an empty block, a block already folded, or a
+                duplicate index.
+            RuntimeError: after :meth:`result` has been called.
+        """
+        if self._finalized:
+            raise RuntimeError("cannot add blocks after result() was taken")
+        block = list(outputs)
+        if not block:
+            raise ValueError("blocks must contain at least one output")
+        if index < self._next_index or index in self._pending:
+            raise ValueError(f"block at task index {index} was already delivered")
+        self._pending[index] = block
+        self._resident_outputs += len(block)
+        if len(self._pending) > self.peak_resident:
+            self.peak_resident = len(self._pending)
+        if self._resident_outputs > self.peak_resident_outputs:
+            self.peak_resident_outputs = self._resident_outputs
+        while self._next_index in self._pending:
+            ready = self._pending.pop(self._next_index)
+            for output in ready:
+                self._fold(output)
+            self._next_index += len(ready)
+            self._resident_outputs -= len(ready)
+            self.blocks_folded += 1
+
+    def _fold(self, output: "SwarmOutput") -> None:
+        """One output's worth of the canonical reduction.
+
+        Mirrors (is) the batched fold: never mutates or aliases the
+        output, so re-reducing the same outputs stays idempotent.
+        """
+        result = output.result
+        existing = self._per_swarm.get(result.key)
+        if existing is None:
+            self._per_swarm[result.key] = SwarmResult(
+                key=result.key,
+                ledger=result.ledger.copy(),
+                capacity=result.capacity,
+                arrival_rate=result.arrival_rate,
+                mean_duration=result.mean_duration,
+            )
+        else:  # duplicate key (never from build_tasks, but stay correct)
+            self._per_swarm[result.key] = SwarmResult.combine(
+                result.key, [existing, result]
+            )
+        self._total.merge(result.ledger)
+        merge_ledger_map(self._per_isp_day, output.per_isp_day)
+        if self._users is not None:
+            self._users.add(output.per_user)
+        else:
+            merge_traffic_map(self._per_user, output.per_user)
+        self.outputs_folded += 1
+
+    def result(self) -> SimulationResult:
+        """Finish the reduction and build the final result.
+
+        Raises:
+            ValueError: if out-of-order blocks are still buffered (the
+                block at the fold frontier never arrived).
+        """
+        if self._pending:
+            raise ValueError(
+                f"block at task index {self._next_index} never arrived; "
+                f"{len(self._pending)} later blocks still buffered"
+            )
+        self._finalized = True
+        if self._users is not None:
+            per_user = self._users.materialize()
+        else:
+            per_user = self._per_user
+        return SimulationResult(
+            total=self._total,
+            per_swarm=self._per_swarm,
+            per_isp_day=self._per_isp_day,
+            per_user=per_user,
+            delta_tau=self._delta_tau,
+            horizon=self._horizon,
+            upload_ratio=self._upload_ratio,
+        )
+
+    def stats(self, mode: str) -> ReductionStats:
+        """This reduction's :class:`ReductionStats` under ``mode``."""
+        spill = self._users.spill_path if self._users is not None else None
+        return ReductionStats(
+            mode=mode,
+            outputs=self.outputs_folded,
+            blocks=self.blocks_folded,
+            peak_resident=self.peak_resident,
+            peak_resident_outputs=self.peak_resident_outputs,
+            spill_path=str(spill) if spill is not None else None,
+        )
+
+
+def reduce_outputs(
+    outputs: Iterable["SwarmOutput"],
+    *,
+    delta_tau: float,
+    horizon: float,
+    upload_ratio: float,
+    users: Optional[FootprintAccumulator] = None,
+) -> SimulationResult:
+    """Fold already-ordered outputs through a :class:`StreamingReducer`.
+
+    The implementation behind :func:`repro.sim.kernel.merge_outputs`:
+    one output per block, delivered in order, so the reducer never
+    buffers.
+    """
+    reducer = StreamingReducer(
+        delta_tau=delta_tau,
+        horizon=horizon,
+        upload_ratio=upload_ratio,
+        users=users,
+    )
+    index = 0
+    for output in outputs:
+        reducer.add(index, (output,))
+        index += 1
+    return reducer.result()

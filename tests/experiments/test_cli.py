@@ -51,6 +51,64 @@ class TestCommands:
         assert "valancius" in out
 
 
+class TestReductionFlag:
+    def test_reduction_parsed_into_settings(self):
+        from repro.cli import _settings_from
+
+        args = build_parser().parse_args(["fig5", "--reduction", "streaming"])
+        settings = _settings_from(args)
+        assert settings.reduction == "streaming"
+        assert settings.simulation_config().reduction == "streaming"
+
+    def test_quick_keeps_reduction(self):
+        from repro.cli import _settings_from
+
+        args = build_parser().parse_args(["fig5", "--quick", "--reduction", "spill"])
+        settings = _settings_from(args)
+        assert settings.scale == 0.05  # still the quick preset
+        assert settings.reduction == "spill"
+
+    def test_default_is_batched(self):
+        from repro.cli import _settings_from
+
+        args = build_parser().parse_args(["fig5", "--quick"])
+        settings = _settings_from(args)
+        assert settings.reduction is None
+        assert settings.simulation_config().reduction == "batched"
+
+    def test_rejects_unknown_reduction(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--reduction", "mapreduce"])
+
+    def test_simulate_streaming_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["generate", str(path), "--quick", "--days", "1"]) == 0
+        assert main(["simulate", str(path), "--reduction", "streaming"]) == 0
+        out = capsys.readouterr().out
+        assert "offload G" in out
+
+    def test_simulate_spill_dir_keeps_delta_log(self, tmp_path, capsys):
+        from repro.sim.reduce import load_user_deltas
+
+        path = tmp_path / "trace.jsonl"
+        spill_dir = tmp_path / "spill"
+        assert main(["generate", str(path), "--quick", "--days", "1"]) == 0
+        assert (
+            main(
+                [
+                    "simulate", str(path),
+                    "--reduction", "spill",
+                    "--spill-dir", str(spill_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "per-user delta log: " in out
+        log_path = out.rsplit("per-user delta log: ", 1)[1].strip()
+        assert load_user_deltas(log_path)  # non-empty, parseable
+
+
 class TestWorkersFlag:
     def test_workers_parsed_into_settings(self):
         from repro.cli import _settings_from

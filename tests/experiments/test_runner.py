@@ -34,6 +34,29 @@ class TestRunAll:
         reports = run_all(ExperimentSettings.quick())
         assert {r.name for r in reports} == set(EXPERIMENTS)
 
+    def test_reduction_override_threads_through(self):
+        from repro.experiments.runner import _resolve_settings
+
+        settings = _resolve_settings(ExperimentSettings.quick(), None, "streaming")
+        assert settings.reduction == "streaming"
+        assert settings.simulation_config().reduction == "streaming"
+
+    def test_reduction_mode_shares_memoised_artefacts(self):
+        """Reduction modes are bit-for-bit identical, so they share the
+        cached simulation exactly like worker counts do."""
+        from dataclasses import replace
+
+        from repro.experiments.config import paper_simulation
+
+        settings = ExperimentSettings.quick()
+        baseline = paper_simulation(settings)
+        streamed = paper_simulation(replace(settings, reduction="streaming"))
+        assert streamed is baseline  # same memo entry, not just equal
+
+    def test_settings_reject_unknown_reduction(self):
+        with pytest.raises(ValueError):
+            ExperimentSettings(reduction="mapreduce")
+
     def test_reports_reuse_cached_simulation(self):
         """fig3/fig4/fig6 share one city simulation: repeat runs are
         effectively instant (cache keyed by settings)."""

@@ -221,6 +221,48 @@ class TestBackendSelection:
         assert simulator.backend is simulator.backend
 
 
+class TestReductionMatrix:
+    """Backend x reduction equivalence: every cell of the
+    {serial, thread, process} x {batched, streaming, spill} matrix, on
+    both entry points (run / run_stream), reproduces the serial-batched
+    baseline bit for bit -- and the streaming modes obey the
+    ``workers + 1`` residency bound while doing it."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, trace):
+        return Simulator(SimulationConfig(), backend=SerialBackend()).run(trace)
+
+    @pytest.mark.parametrize("backend_name", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("reduction", ["batched", "streaming", "spill"])
+    def test_backend_reduction_equivalence(
+        self, trace, reference, backend_name, reduction, tmp_path
+    ):
+        backends = {
+            "serial": lambda: SerialBackend(),
+            "thread": lambda: ThreadBackend(3),
+            # min_sessions=0 forces real worker processes on this trace.
+            "process": lambda: ProcessPoolBackend(2, min_sessions=0),
+        }
+        backend = backends[backend_name]()
+        spill_dir = str(tmp_path) if reduction == "spill" else None
+        config = SimulationConfig(reduction=reduction, spill_dir=spill_dir)
+        simulator = Simulator(config, backend=backend)
+        try:
+            from_run = simulator.run(trace)
+            assert_identical(reference, from_run)
+            stats = simulator.last_reduction
+            assert stats is not None and stats.mode == reduction
+            if reduction != "batched":
+                workers = getattr(backend, "workers", 1)
+                assert 1 <= stats.peak_resident <= workers + 1
+
+            from_stream = simulator.run_stream(iter(trace.sessions), trace.horizon)
+            assert_identical(reference, from_stream)
+        finally:
+            if hasattr(backend, "close"):
+                backend.close()
+
+
 class TestExecutorReuse:
     def test_pool_persists_across_runs(self, trace):
         backend = ProcessPoolBackend(2, min_sessions=0)

@@ -1,0 +1,85 @@
+"""Golden regression: fresh figure runs must match the pinned fixtures.
+
+The fixtures under ``tests/golden/`` were produced by
+``python -m repro.experiments.golden`` on the seeded ~5K-session
+mini-trace and pin every machine-readable number the Fig. 2-6 paths
+report.  The comparison is **bit-for-bit** (floats round-trip through
+``repr``), so any refactor that silently moves the physics -- however
+slightly -- fails here, even if every internal-consistency test still
+passes.  If the change is intentional, regenerate the fixtures and
+review the numeric diff::
+
+    PYTHONPATH=src python -m repro.experiments.golden tests/golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.golden import (
+    GOLDEN_EXPERIMENTS,
+    GOLDEN_SETTINGS,
+    golden_payload,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def walk_mismatches(expected, actual, path=""):
+    """Yield human-readable 'where and what' for every differing leaf."""
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual), key=str):
+            if key not in expected:
+                yield f"{path}/{key}: unexpected new key"
+            elif key not in actual:
+                yield f"{path}/{key}: key disappeared"
+            else:
+                yield from walk_mismatches(
+                    expected[key], actual[key], f"{path}/{key}"
+                )
+    elif isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            yield f"{path}: length {len(expected)} -> {len(actual)}"
+        for index, (exp, act) in enumerate(zip(expected, actual)):
+            yield from walk_mismatches(exp, act, f"{path}[{index}]")
+    elif expected != actual or type(expected) is not type(actual):
+        # The type check catches drifts Python equality forgives
+        # (5 -> 5.0, True -> 1) but the serialized bytes do not.
+        yield f"{path}: {expected!r} -> {actual!r}"
+
+
+class TestGoldenFixtures:
+    def test_fixtures_are_committed(self):
+        missing = [
+            name
+            for name in GOLDEN_EXPERIMENTS
+            if not (GOLDEN_DIR / f"{name}.json").exists()
+        ]
+        assert not missing, (
+            f"golden fixtures missing for {missing}; regenerate with "
+            f"'PYTHONPATH=src python -m repro.experiments.golden tests/golden'"
+        )
+
+    @pytest.mark.parametrize("name", GOLDEN_EXPERIMENTS)
+    def test_fresh_run_matches_golden(self, name):
+        expected = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+        actual = golden_payload(name)
+        mismatches = list(walk_mismatches(expected, actual))
+        assert not mismatches, (
+            f"{name} drifted from its golden fixture "
+            f"(seed={GOLDEN_SETTINGS.seed}, scale={GOLDEN_SETTINGS.scale}, "
+            f"days={GOLDEN_SETTINGS.days}); first diffs:\n  "
+            + "\n  ".join(mismatches[:20])
+        )
+
+    def test_fixture_json_round_trips_exactly(self):
+        """The serialization itself must be lossless: loading a fixture
+        and re-dumping it reproduces the committed bytes."""
+        for name in GOLDEN_EXPERIMENTS:
+            path = GOLDEN_DIR / f"{name}.json"
+            payload = json.loads(path.read_text())
+            assert (
+                json.dumps(payload, indent=1, sort_keys=True) + "\n"
+                == path.read_text()
+            )
