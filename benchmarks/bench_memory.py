@@ -17,11 +17,23 @@ bit-for-bit identical to batched, and **fails loudly** if
   with trace size, or
 * any mode's result differs from the batched baseline.
 
+A second, **grouping** axis (``--grouping-axis``) measures the other
+memory ceiling: ``grouping="memory"`` buffers every session in the
+coordinator while partitioning the stream (peak buffered sessions ==
+trace size), while ``grouping="external"`` spills sorted runs to disk
+and must keep its peak buffered session count **flat at the sort-buffer
+bound** as the trace grows.  The axis streams
+``TraceGenerator.iter_sessions()`` end to end (generation -> grouping
+-> streaming reduction), verifies both groupings are bit-for-bit
+identical, and fails loudly if the external bound is exceeded or does
+not stay flat while memory grouping grows linearly.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_memory.py            # 1x 2x 4x
     PYTHONPATH=src python benchmarks/bench_memory.py --sizes 1 4 16
     PYTHONPATH=src python benchmarks/bench_memory.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_memory.py --quick --grouping-axis
 
 Run standalone (argparse, not pytest) so CI and operators can invoke it
 without the benchmark plugin stack.
@@ -33,10 +45,12 @@ import argparse
 import sys
 import time
 import tracemalloc
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from repro.sim.backends import ProcessPoolBackend, SerialBackend, ThreadBackend
 from repro.sim.engine import SimulationConfig, Simulator
+from repro.sim.grouping import ExternalGrouping, MemoryGrouping
 from repro.sim.reduce import REDUCTION_MODES
 from repro.trace.events import Trace
 from repro.trace.generator import GeneratorConfig, TraceGenerator
@@ -153,6 +167,102 @@ def run_benchmark(
     return violations
 
 
+#: Sort-buffer size for the grouping axis: far below the 1x session
+#: count, so external grouping genuinely spills and merges at every size.
+GROUPING_RUN_SESSIONS = 2_000
+
+
+def run_grouping_benchmark(sizes: Sequence[float]) -> List[str]:
+    """Sweep sizes x grouping modes; return the list of violations.
+
+    The population is held at the 1x size while expected sessions scale
+    -- isolating the per-session grouping footprint from the O(users)
+    population the generator itself holds.
+    """
+    violations: List[str] = []
+    memory_peaks: List[int] = []
+    external_peaks: List[int] = []
+
+    for size in sizes:
+        config = replace(
+            BASE_CONFIG, expected_sessions=BASE_CONFIG.expected_sessions * size
+        )
+        print(f"\n-- trace {size:g}x: ~{config.expected_sessions:,.0f} sessions --")
+        baseline = None
+        for mode in ("memory", "external"):
+            generator = TraceGenerator(config=config)
+            strategy = (
+                ExternalGrouping(run_sessions=GROUPING_RUN_SESSIONS)
+                if mode == "external"
+                else MemoryGrouping()
+            )
+            simulator = Simulator(
+                SimulationConfig(reduction="streaming"),
+                backend=SerialBackend(),
+                grouping=strategy,
+            )
+            tracemalloc.start()
+            start = time.perf_counter()
+            result = simulator.run_stream(
+                generator.iter_sessions(), config.horizon
+            )
+            seconds = time.perf_counter() - start
+            _, heap_peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            stats = simulator.last_grouping
+            marks = []
+            if mode == "memory":
+                baseline = result
+                memory_peaks.append(stats.peak_buffered_sessions)
+            else:
+                external_peaks.append(stats.peak_buffered_sessions)
+                if not baseline.identical_to(result):
+                    violations.append(
+                        f"{size:g}x external: result differs from memory grouping"
+                    )
+                    marks.append("!! RESULT MISMATCH")
+                if stats.peak_buffered_sessions > GROUPING_RUN_SESSIONS:
+                    violations.append(
+                        f"{size:g}x external: {stats.peak_buffered_sessions} "
+                        f"buffered sessions exceeds the sort buffer "
+                        f"({GROUPING_RUN_SESSIONS})"
+                    )
+                    marks.append("!! UNBOUNDED")
+            print(
+                f"   {mode:>9}   {seconds:7.3f}s   "
+                f"heap peak {heap_peak / 1e6:8.2f} MB   "
+                f"peak buffered sessions {stats.peak_buffered_sessions:>8,d}   "
+                f"runs spilled {stats.runs_spilled:>3d}   {' '.join(marks)}"
+            )
+
+    if len(sizes) > 1:
+        # Memory grouping buffers the whole trace: its peak must track
+        # the session count.  External grouping must stay pinned at the
+        # sort-buffer bound -- flat no matter how far the trace grows.
+        if memory_peaks[-1] < memory_peaks[0] * (sizes[-1] / sizes[0]) * 0.5:
+            violations.append(
+                f"memory-grouping residency did not grow with trace size: "
+                f"{memory_peaks}"
+            )
+        if memory_peaks[-1] <= GROUPING_RUN_SESSIONS:
+            violations.append(
+                f"memory-grouping residency ({memory_peaks[-1]}) never "
+                f"exceeded the external bound ({GROUPING_RUN_SESSIONS}); "
+                f"trace too small to measure anything"
+            )
+        if max(external_peaks) > GROUPING_RUN_SESSIONS:
+            violations.append(
+                f"external grouping exceeded its sort buffer across sizes: "
+                f"{external_peaks} (bound {GROUPING_RUN_SESSIONS})"
+            )
+        if max(external_peaks) > min(external_peaks) * 1.5:
+            violations.append(
+                f"external-grouping residency is not flat across sizes: "
+                f"{external_peaks}"
+            )
+    return violations
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -173,9 +283,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--quick", action="store_true",
         help="CI smoke preset: small default sizes (explicit flags still win)",
     )
+    parser.add_argument(
+        "--grouping-axis", action="store_true",
+        help="measure the grouping axis instead: coordinator residency "
+        "under memory vs external grouping as the trace grows",
+    )
     args = parser.parse_args(argv)
 
     # --quick only shrinks the *defaults*; explicit flags always win.
+    if args.grouping_axis:
+        sizes = args.sizes or ([1.0, 2.0] if args.quick else [1.0, 2.0, 4.0])
+        print(
+            f"grouping axis; sizes: {sizes}; external bound: "
+            f"{GROUPING_RUN_SESSIONS} buffered sessions (sort buffer)"
+        )
+        violations = run_grouping_benchmark(sizes)
+        print()
+        if violations:
+            for violation in violations:
+                print(f"VIOLATION: {violation}")
+            return 1
+        print(
+            "ok: both groupings bit-for-bit identical; external grouping "
+            f"residency flat at <= {GROUPING_RUN_SESSIONS} buffered sessions "
+            "while memory grouping tracks the trace size"
+        )
+        return 0
+
     sizes = args.sizes or ([0.5, 1.0] if args.quick else [1.0, 2.0, 4.0])
     backend_name = args.backend
     workers = 1 if backend_name == "serial" else max(1, args.workers)

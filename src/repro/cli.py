@@ -11,10 +11,14 @@ Subcommands::
 Common options: ``--scale`` (trace size multiplier), ``--days``,
 ``--seed``, ``--quick`` (preset small scale), ``--out DIR``,
 ``--workers N`` (shard simulation swarms over N worker processes;
-bit-for-bit identical results, just faster on multi-core hardware) and
+bit-for-bit identical results, just faster on multi-core hardware),
 ``--reduction MODE`` (how shard outputs fold: "batched" default,
 "streaming" bounds coordinator memory by workers + 1 resident shards,
-"spill" also keeps per-user deltas on disk; all bit-for-bit identical).
+"spill" also keeps per-user deltas on disk; all bit-for-bit identical)
+and ``--grouping MODE`` (how the session stream becomes swarm tasks:
+"memory" default, "external" groups out-of-core through a sorted shard
+file -- with ``--shard-dir DIR`` keeping the shard for out-of-core
+consumers; bit-for-bit identical either way).
 """
 
 from __future__ import annotations
@@ -30,9 +34,15 @@ from repro.experiments.config import ExperimentSettings
 from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
 from repro.sim.backends import BACKEND_NAMES
 from repro.sim.engine import SimulationConfig, Simulator
+from repro.sim.grouping import GROUPING_MODES
 from repro.sim.reduce import REDUCTION_MODES
 from repro.trace.generator import GeneratorConfig, TraceGenerator
-from repro.trace.loader import load_jsonl, save_jsonl
+from repro.trace.loader import (
+    iter_jsonl,
+    load_jsonl,
+    read_jsonl_horizon,
+    save_jsonl,
+)
 from repro.trace.stats import summarise
 
 __all__ = ["main", "build_parser"]
@@ -88,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
             "log, removed after the run)"
         ),
     )
+    _add_grouping_args(simulate)
     return parser
 
 
@@ -106,6 +117,28 @@ def _add_reduction_arg(cmd: argparse.ArgumentParser) -> None:
         help=(
             "shard-output reduction mode (default: batched; streaming/"
             "spill bound coordinator memory, identical results)"
+        ),
+    )
+
+
+def _add_grouping_args(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--grouping",
+        choices=GROUPING_MODES,
+        default=None,
+        help=(
+            "session grouping mode (default: memory; external groups "
+            "out-of-core through a sorted shard file, identical results)"
+        ),
+    )
+    cmd.add_argument(
+        "--shard-dir",
+        type=Path,
+        default=None,
+        help=(
+            "with --grouping external: keep the sorted session shard in "
+            "this directory for out-of-core processing (default: a "
+            "temporary shard, removed after the run)"
         ),
     )
 
@@ -130,11 +163,14 @@ def _add_settings_args(
             ),
         )
         _add_reduction_arg(cmd)
+        _add_grouping_args(cmd)
 
 
 def _settings_from(args: argparse.Namespace) -> ExperimentSettings:
     workers = getattr(args, "workers", None)
     reduction = getattr(args, "reduction", None)
+    grouping = getattr(args, "grouping", None)
+    shard_dir = getattr(args, "shard_dir", None)
     if getattr(args, "quick", False):
         settings = ExperimentSettings.quick()
         overrides = {}
@@ -142,6 +178,10 @@ def _settings_from(args: argparse.Namespace) -> ExperimentSettings:
             overrides["workers"] = workers
         if reduction is not None:
             overrides["reduction"] = reduction
+        if grouping is not None:
+            overrides["grouping"] = grouping
+        if shard_dir is not None:
+            overrides["shard_dir"] = str(shard_dir)
         return replace(settings, **overrides) if overrides else settings
     return ExperimentSettings(
         scale=args.scale,
@@ -149,6 +189,8 @@ def _settings_from(args: argparse.Namespace) -> ExperimentSettings:
         seed=args.seed,
         workers=workers,
         reduction=reduction,
+        grouping=grouping,
+        shard_dir=str(shard_dir) if shard_dir is not None else None,
     )
 
 
@@ -158,6 +200,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "spill_dir", None) is not None and args.reduction != "spill":
         parser.error("--spill-dir requires --reduction spill")
+    if getattr(args, "shard_dir", None) is not None and args.grouping != "external":
+        parser.error("--shard-dir requires --grouping external")
     settings = _settings_from(args) if hasattr(args, "scale") else None
 
     if args.command == "all":
@@ -194,17 +238,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "simulate":
-        trace = load_jsonl(args.path)
         config = SimulationConfig(
             upload_ratio=args.upload_ratio,
             workers=args.workers,
             backend=args.backend,
             reduction=args.reduction or "batched",
             spill_dir=str(args.spill_dir) if args.spill_dir is not None else None,
+            grouping=args.grouping or "memory",
+            shard_dir=str(args.shard_dir) if args.shard_dir is not None else None,
         )
         simulator = Simulator(config)
-        result = simulator.run(trace)
-        print(f"sessions: {len(trace)}  offload G: {result.offload_fraction():.4f}")
+        horizon = read_jsonl_horizon(args.path)
+        if config.grouping == "external" and horizon > 0:
+            # The out-of-core path: the trace file streams straight into
+            # external grouping; no full Trace is ever materialized.
+            result = simulator.run_stream(iter_jsonl(args.path), horizon)
+            num_sessions = result.total.sessions
+        else:
+            # Memory grouping -- or a headerless file whose horizon must
+            # be re-derived from session ends before simulating.
+            trace = load_jsonl(args.path)
+            result = simulator.run(trace)
+            num_sessions = len(trace)
+        print(f"sessions: {num_sessions}  offload G: {result.offload_fraction():.4f}")
         for model in builtin_models():
             print(
                 f"{model.name:>10}: savings {result.savings(model):.4f}, "
@@ -213,6 +269,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         stats = simulator.last_reduction
         if stats is not None and stats.spill_path is not None:
             print(f"per-user delta log: {stats.spill_path}")
+        grouping_stats = simulator.last_grouping
+        if grouping_stats is not None and grouping_stats.shard_path is not None:
+            print(f"sorted session shard: {grouping_stats.shard_path}")
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

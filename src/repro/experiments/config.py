@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.sim.engine import SimulationConfig, Simulator
+from repro.sim.grouping import GROUPING_MODES
 from repro.sim.reduce import REDUCTION_MODES
 from repro.sim.results import SimulationResult
 from repro.trace.events import Trace
@@ -84,6 +85,14 @@ class ExperimentSettings:
             ``None`` uses the simulator default ("batched").  Results
             are bit-for-bit identical across modes, so like ``workers``
             this is a pure resource knob (coordinator memory).
+        grouping: session-grouping mode ("memory" or "external", see
+            :data:`repro.sim.grouping.GROUPING_MODES`); ``None`` uses
+            the simulator default ("memory").  Bit-for-bit identical
+            either way -- "external" bounds coordinator memory during
+            grouping for month-of-London-scale traces.
+        shard_dir: where external grouping keeps its sorted shard file
+            (``None``: a run-scoped temporary directory).  Only
+            meaningful with ``grouping="external"``.
     """
 
     scale: float = 1.0
@@ -95,6 +104,8 @@ class ExperimentSettings:
     expected_sessions: float = 1_200_000.0
     workers: Optional[int] = None
     reduction: Optional[str] = None
+    grouping: Optional[str] = None
+    shard_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -106,6 +117,15 @@ class ExperimentSettings:
         if self.reduction is not None and self.reduction not in REDUCTION_MODES:
             raise ValueError(
                 f"reduction must be one of {REDUCTION_MODES}, got {self.reduction!r}"
+            )
+        if self.grouping is not None and self.grouping not in GROUPING_MODES:
+            raise ValueError(
+                f"grouping must be one of {GROUPING_MODES}, got {self.grouping!r}"
+            )
+        if self.shard_dir is not None and self.grouping != "external":
+            raise ValueError(
+                f"shard_dir is only valid with grouping='external', "
+                f"got grouping={self.grouping!r}"
             )
 
     @classmethod
@@ -150,6 +170,8 @@ class ExperimentSettings:
             upload_ratio=ratio,
             workers=self.workers,
             reduction=self.reduction or "batched",
+            grouping=self.grouping or "memory",
+            shard_dir=self.shard_dir,
         )
 
 
@@ -164,12 +186,16 @@ _RESULTS: Dict[Tuple, SimulationResult] = {}
 def _memo_key(kind: str, settings: ExperimentSettings) -> Tuple:
     """Cache key for memoised artefacts.
 
-    ``workers`` and ``reduction`` are excluded: they only change
-    wall-clock and memory, never values (backends and reduction modes
-    are bit-for-bit identical), so runs differing only in those knobs
-    share traces and simulation results.
+    ``workers``, ``reduction``, ``grouping`` and ``shard_dir`` are
+    excluded: they only change wall-clock and memory, never values
+    (backends, reduction modes and grouping strategies are bit-for-bit
+    identical), so runs differing only in those knobs share traces and
+    simulation results.
     """
-    return (kind, replace(settings, workers=None, reduction=None))
+    return (
+        kind,
+        replace(settings, workers=None, reduction=None, grouping=None, shard_dir=None),
+    )
 
 
 def city_trace(settings: ExperimentSettings) -> Trace:

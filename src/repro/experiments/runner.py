@@ -5,8 +5,10 @@ its ``workers`` knob: pass ``workers=N`` (or settings with it set) and
 each experiment's simulation shards its swarms over N worker processes
 -- results are bit-for-bit identical to the serial run, only faster.
 Likewise ``reduction="streaming"`` (or ``"spill"``) folds shard
-outputs incrementally as they complete, bounding coordinator memory on
-large traces without changing a single bit of any report.
+outputs incrementally as they complete, and ``grouping="external"``
+groups the session stream out-of-core through a sorted shard file,
+bounding coordinator memory on large traces without changing a single
+bit of any report.
 """
 
 from __future__ import annotations
@@ -43,12 +45,15 @@ def _resolve_settings(
     settings: Optional[ExperimentSettings],
     workers: Optional[int],
     reduction: Optional[str] = None,
+    grouping: Optional[str] = None,
 ) -> ExperimentSettings:
     settings = settings or ExperimentSettings()
     if workers is not None:
         settings = replace(settings, workers=workers)
     if reduction is not None:
         settings = replace(settings, reduction=reduction)
+    if grouping is not None:
+        settings = replace(settings, grouping=grouping)
     return settings
 
 
@@ -58,11 +63,12 @@ def run_experiment(
     *,
     workers: Optional[int] = None,
     reduction: Optional[str] = None,
+    grouping: Optional[str] = None,
 ) -> Report:
     """Run one experiment by id ("table1", "fig2", ...).
 
-    ``workers`` / ``reduction`` override the settings' values for this
-    invocation.
+    ``workers`` / ``reduction`` / ``grouping`` override the settings'
+    values for this invocation.
     """
     try:
         driver = EXPERIMENTS[name]
@@ -70,7 +76,7 @@ def run_experiment(
         raise ValueError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return driver(_resolve_settings(settings, workers, reduction))
+    return driver(_resolve_settings(settings, workers, reduction, grouping))
 
 
 def run_all(
@@ -79,13 +85,14 @@ def run_all(
     out_dir: Optional[Path] = None,
     workers: Optional[int] = None,
     reduction: Optional[str] = None,
+    grouping: Optional[str] = None,
 ) -> List[Report]:
     """Run every experiment; optionally write one text file per report.
 
-    ``workers`` / ``reduction`` override the settings' values for this
-    invocation.
+    ``workers`` / ``reduction`` / ``grouping`` override the settings'
+    values for this invocation.
     """
-    settings = _resolve_settings(settings, workers, reduction)
+    settings = _resolve_settings(settings, workers, reduction, grouping)
     reports = [driver(settings) for driver in EXPERIMENTS.values()]
     if out_dir is not None:
         out_dir = Path(out_dir)

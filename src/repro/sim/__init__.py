@@ -19,11 +19,21 @@ from repro.sim.backends import (
     resolve_backend,
 )
 from repro.sim.engine import SimulationConfig, Simulator, simulate
+from repro.sim.grouping import (
+    GROUPING_MODES,
+    ExternalGrouping,
+    GroupingStats,
+    GroupingStrategy,
+    MemoryGrouping,
+    TaskPlan,
+    resolve_grouping,
+)
 from repro.sim.kernel import (
     SwarmOutput,
     SwarmTask,
     build_tasks,
     merge_outputs,
+    resolve_task,
     run_swarm,
 )
 from repro.sim.matching import PeerState, WindowAllocation, match_window
@@ -47,8 +57,13 @@ from repro.sim.validation import (
 __all__ = [
     "ByteLedger",
     "ExecutionBackend",
+    "ExternalGrouping",
     "FootprintAccumulator",
     "FootprintStats",
+    "GROUPING_MODES",
+    "GroupingStats",
+    "GroupingStrategy",
+    "MemoryGrouping",
     "PAPER_POLICY",
     "PeerState",
     "ProcessPoolBackend",
@@ -64,6 +79,7 @@ __all__ = [
     "SwarmPolicy",
     "SwarmResult",
     "SwarmTask",
+    "TaskPlan",
     "ThreadBackend",
     "UserTraffic",
     "ValidationPoint",
@@ -74,6 +90,8 @@ __all__ = [
     "load_user_deltas",
     "merge_outputs",
     "resolve_backend",
+    "resolve_grouping",
+    "resolve_task",
     "run_swarm",
     "validate_against_theory",
     "baseline_energy_nj",

@@ -24,6 +24,18 @@ restores task order before the fold, all three backends are bit-for-bit
 equivalent; the only degrees of freedom are wall-clock time and memory
 residency.
 
+Backends consume a **task plan** (:mod:`repro.sim.grouping`), not a
+materialized task list: a plan knows its task count and per-task
+session counts (enough to balance shards) and yields tasks or cheap
+picklable *refs* lazily.  Under ``grouping="memory"`` a ref is the
+:class:`~repro.sim.kernel.SwarmTask` itself; under
+``grouping="external"`` it is an extent handle ``(path, offset,
+length, key)`` into the sorted shard file, and the worker decodes its
+own sessions (:func:`~repro.sim.kernel.resolve_task`) -- the
+coordinator never pickles session tuples to workers.  Plain task
+sequences are still accepted everywhere (normalized via
+:func:`~repro.sim.grouping.as_task_plan`).
+
 Every backend also exposes a **streaming** submission path
 (:meth:`ExecutionBackend.iter_outputs`) feeding the incremental
 reducer (:mod:`repro.sim.reduce`)::
@@ -73,9 +85,25 @@ from concurrent.futures import (
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
-from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.sim.kernel import SwarmOutput, SwarmTask, run_shard, run_swarm
+from repro.sim.grouping import TaskPlan, as_task_plan
+from repro.sim.kernel import (
+    SwarmOutput,
+    SwarmTask,
+    resolve_task,
+    run_shard,
+    run_swarm,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from repro.sim.engine import SimulationConfig
@@ -90,6 +118,10 @@ __all__ = [
     "contiguous_blocks",
 ]
 
+#: What backends accept: a lazy task plan, or (the historical API) a
+#: plain sequence of resident tasks.
+TaskSource = Union[TaskPlan, Sequence[SwarmTask]]
+
 #: A contiguous run of tasks, tagged with the task index of its first
 #: member -- the unit the streaming submission path ships and the
 #: :class:`~repro.sim.reduce.StreamingReducer` re-orders by.
@@ -101,9 +133,13 @@ def _default_workers() -> int:
 
 
 def contiguous_blocks(
-    tasks: Sequence[SwarmTask], num_blocks: int
-) -> List[Tuple[int, List[SwarmTask]]]:
-    """Split tasks into at most ``num_blocks`` contiguous, session-balanced runs.
+    tasks: Sequence, num_blocks: int
+) -> List[Tuple[int, List]]:
+    """Split task refs into at most ``num_blocks`` contiguous, session-balanced runs.
+
+    Accepts resident :class:`~repro.sim.kernel.SwarmTask` values or
+    extent refs -- anything with a ``num_sessions`` attribute -- so
+    balancing never forces a decode.
 
     Unlike the batched path's round-robin interleave (which optimizes
     pure load balance), streaming shards must be *contiguous* in task
@@ -122,7 +158,7 @@ def contiguous_blocks(
     if total_tasks == 0:
         return []
     num_blocks = max(1, min(num_blocks, total_tasks))
-    weights = [float(len(task.sessions)) for task in tasks]
+    weights = [float(task.num_sessions) for task in tasks]
     if sum(weights) <= 0.0:  # degenerate all-empty tasks: split evenly
         weights = [1.0] * total_tasks
     blocks: List[Tuple[int, List[SwarmTask]]] = []
@@ -148,12 +184,15 @@ def contiguous_blocks(
 
 
 def _iter_single_tasks(
-    tasks: Sequence[SwarmTask], config: "SimulationConfig"
+    tasks: Iterable[SwarmTask], config: "SimulationConfig"
 ) -> Iterator[OutputBlock]:
     """One task at a time, lazily: exactly one output ever resident.
 
     The shared inline streaming path -- the serial backend's whole
     strategy, and the parallel backends' small-workload fallback.
+    Consumes any task iterable (in particular a lazy plan's
+    ``iter_tasks()``, which decodes one extent at a time), so at most
+    one decoded task is resident alongside its output.
     """
     for index, task in enumerate(tasks):
         yield index, [run_swarm(task, config)]
@@ -161,7 +200,7 @@ def _iter_single_tasks(
 
 def _stream_blocks(
     executor: Executor,
-    blocks: Sequence[Tuple[int, List[SwarmTask]]],
+    blocks: Sequence[Tuple[int, List]],
     config: "SimulationConfig",
     window: int,
 ) -> Iterator[OutputBlock]:
@@ -204,17 +243,18 @@ class ExecutionBackend(ABC):
 
     @abstractmethod
     def map_swarms(
-        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+        self, tasks: TaskSource, config: "SimulationConfig"
     ) -> List[SwarmOutput]:
         """Run every task, returning outputs **in task order**.
 
-        Implementations may execute in any placement and completion
-        order, but must restore task order so the caller's reduction is
-        deterministic.
+        Accepts a lazy :class:`~repro.sim.grouping.TaskPlan` or a plain
+        task sequence.  Implementations may execute in any placement
+        and completion order, but must restore task order so the
+        caller's reduction is deterministic.
         """
 
     def iter_outputs(
-        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+        self, tasks: TaskSource, config: "SimulationConfig"
     ) -> Iterator[OutputBlock]:
         """Yield ``(start_index, outputs)`` blocks as they complete.
 
@@ -232,9 +272,10 @@ class ExecutionBackend(ABC):
         degenerate block, so third-party backends keep working before
         they grow a real streaming path.
         """
-        if not tasks:
+        plan = as_task_plan(tasks)
+        if len(plan) == 0:
             return
-        yield 0, self.map_swarms(tasks, config)
+        yield 0, self.map_swarms(plan, config)
 
 
 class SerialBackend(ExecutionBackend):
@@ -243,19 +284,26 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def map_swarms(
-        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+        self, tasks: TaskSource, config: "SimulationConfig"
     ) -> List[SwarmOutput]:
-        return run_shard(tasks, config)
+        plan = as_task_plan(tasks)
+        return [run_swarm(task, config) for task in plan.iter_tasks()]
 
     def iter_outputs(
-        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+        self, tasks: TaskSource, config: "SimulationConfig"
     ) -> Iterator[OutputBlock]:
         """One task at a time, lazily: exactly one output ever resident."""
-        return _iter_single_tasks(tasks, config)
+        return _iter_single_tasks(as_task_plan(tasks).iter_tasks(), config)
 
 
 class ThreadBackend(ExecutionBackend):
-    """Run swarms on a thread pool (shared-nothing, no pickling)."""
+    """Run swarms on a thread pool (shared-nothing, no pickling).
+
+    Task refs resolve inside the pool threads; with external grouping
+    the threads decode their extents through one shared store reader
+    (positional reads, no shared seek state), so decoding parallelises
+    along with the sweep.
+    """
 
     name = "thread"
 
@@ -265,20 +313,26 @@ class ThreadBackend(ExecutionBackend):
         self.workers = workers or _default_workers()
 
     def map_swarms(
-        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+        self, tasks: TaskSource, config: "SimulationConfig"
     ) -> List[SwarmOutput]:
-        if not tasks:
+        refs = as_task_plan(tasks).refs()
+        if not refs:
             return []
         with ThreadPoolExecutor(max_workers=self.workers) as executor:
-            return list(executor.map(lambda task: run_swarm(task, config), tasks))
+            return list(
+                executor.map(
+                    lambda ref: run_swarm(resolve_task(ref), config), refs
+                )
+            )
 
     def iter_outputs(
-        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+        self, tasks: TaskSource, config: "SimulationConfig"
     ) -> Iterator[OutputBlock]:
         """Single-task blocks over the pool, ``workers + 1`` in flight."""
-        if not tasks:
+        refs = as_task_plan(tasks).refs()
+        if not refs:
             return
-        blocks = [(index, [task]) for index, task in enumerate(tasks)]
+        blocks = [(index, [ref]) for index, ref in enumerate(refs)]
         with ThreadPoolExecutor(max_workers=self.workers) as executor:
             yield from _stream_blocks(executor, blocks, config, self.workers + 1)
 
@@ -289,6 +343,13 @@ class ProcessPoolBackend(ExecutionBackend):
     Tasks are interleaved round-robin into ``shards_per_worker x
     workers`` shards (task ``i`` goes to shard ``i mod n``), submitted
     concurrently, and reassembled into task order before returning.
+
+    What crosses the process boundary is the plan's *refs*: resident
+    tasks under memory grouping, but under external grouping just
+    ``(path, offset, length, key)`` extent handles -- each worker opens
+    the shard file itself and decodes only its own byte ranges
+    (:func:`~repro.sim.kernel.resolve_task`), so the coordinator's
+    session-pickling hot path disappears entirely.
 
     Workloads below ``min_sessions`` run inline instead: spawning a
     pool and pickling tasks costs more than sweeping a small trace
@@ -338,20 +399,23 @@ class ProcessPoolBackend(ExecutionBackend):
         return self._executor
 
     def map_swarms(
-        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+        self, tasks: TaskSource, config: "SimulationConfig"
     ) -> List[SwarmOutput]:
-        if not tasks:
+        plan = as_task_plan(tasks)
+        num_tasks = len(plan)
+        if num_tasks == 0:
             return []
-        num_shards = min(len(tasks), self.workers * self.shards_per_worker)
-        total_sessions = sum(len(task.sessions) for task in tasks)
+        num_shards = min(num_tasks, self.workers * self.shards_per_worker)
+        total_sessions = sum(plan.session_counts)
         if num_shards <= 1 or self.workers <= 1 or total_sessions < self.min_sessions:
-            return run_shard(tasks, config)
-        shard_indices = [range(offset, len(tasks), num_shards) for offset in range(num_shards)]
-        outputs: List[Optional[SwarmOutput]] = [None] * len(tasks)
+            return [run_swarm(task, config) for task in plan.iter_tasks()]
+        refs = plan.refs()
+        shard_indices = [range(offset, num_tasks, num_shards) for offset in range(num_shards)]
+        outputs: List[Optional[SwarmOutput]] = [None] * num_tasks
         try:
             executor = self._pool()
             futures = [
-                executor.submit(run_shard, [tasks[i] for i in indices], config)
+                executor.submit(run_shard, [refs[i] for i in indices], config)
                 for indices in shard_indices
             ]
             for indices, future in zip(shard_indices, futures):
@@ -363,7 +427,7 @@ class ProcessPoolBackend(ExecutionBackend):
         return outputs  # type: ignore[return-value] - every slot is filled
 
     def iter_outputs(
-        self, tasks: Sequence[SwarmTask], config: "SimulationConfig"
+        self, tasks: TaskSource, config: "SimulationConfig"
     ) -> Iterator[OutputBlock]:
         """Contiguous session-balanced shards, ``workers + 1`` in flight.
 
@@ -378,12 +442,13 @@ class ProcessPoolBackend(ExecutionBackend):
         1`` in-flight window the coordinator's resident memory stays
         O(workers), not O(trace).
         """
-        if not tasks:
+        plan = as_task_plan(tasks)
+        if len(plan) == 0:
             return
-        total_sessions = sum(len(task.sessions) for task in tasks)
+        total_sessions = sum(plan.session_counts)
         per_shard_quantum = max(1, self.min_sessions)
         num_shards = min(
-            len(tasks),
+            len(plan),
             max(
                 self.workers * self.shards_per_worker,
                 -(-total_sessions // per_shard_quantum),  # ceil division
@@ -394,9 +459,9 @@ class ProcessPoolBackend(ExecutionBackend):
             or total_sessions < self.min_sessions
             or num_shards <= 1
         ):
-            yield from _iter_single_tasks(tasks, config)
+            yield from _iter_single_tasks(plan.iter_tasks(), config)
             return
-        blocks = contiguous_blocks(tasks, num_shards)
+        blocks = contiguous_blocks(plan.refs(), num_shards)
         try:
             yield from _stream_blocks(
                 self._pool(), blocks, config, self.workers + 1

@@ -40,12 +40,17 @@ Sharding / merge architecture (the parallel runtime):
 * :meth:`Simulator.run_stream` feeds the same pipeline from a lazy
   session iterator (e.g. ``TraceGenerator.iter_sessions()``) without
   ever materializing a full :class:`~repro.trace.events.Trace`.
+* ``SimulationConfig(grouping=...)`` picks how the stream becomes
+  tasks: "memory" (dict-of-lists in the coordinator, O(sessions)
+  resident) or "external" (out-of-core merge-sort into a shard file
+  whose extents workers decode themselves; coordinator grouping
+  memory bounded by the sort buffer -- :mod:`repro.sim.grouping`).
 * ``SimulationConfig(reduction=...)`` picks how shard outputs reduce:
   "batched" materializes all outputs before the fold, "streaming"
   folds them as shards complete with at most ``workers + 1`` blocks
   resident, and "spill" additionally keeps per-user deltas on disk
-  until the result is built (:mod:`repro.sim.reduce`).  All modes are
-  bit-for-bit identical.
+  until the result is built (:mod:`repro.sim.reduce`).  All grouping
+  and reduction modes are bit-for-bit identical.
 """
 
 from __future__ import annotations
@@ -59,7 +64,14 @@ from pathlib import Path
 from typing import Iterable, Optional
 
 from repro.sim.backends import BACKEND_NAMES, ExecutionBackend, resolve_backend
-from repro.sim.kernel import build_tasks, merge_outputs
+from repro.sim.grouping import (
+    GROUPING_MODES,
+    GroupingStats,
+    GroupingStrategy,
+    TaskPlan,
+    resolve_grouping,
+)
+from repro.sim.kernel import merge_outputs
 from repro.sim.policies import PAPER_POLICY, SwarmPolicy
 from repro.sim.reduce import (
     REDUCTION_MODES,
@@ -124,6 +136,20 @@ class SimulationConfig:
             consumers (readable via
             :func:`repro.sim.reduce.iter_user_deltas`).  Only valid
             with ``reduction="spill"``.
+        grouping: how the session stream is partitioned into swarm
+            tasks (see :data:`repro.sim.grouping.GROUPING_MODES`).
+            "memory" (the default) groups in the coordinator --
+            O(sessions) resident during grouping; "external" groups by
+            out-of-core merge-sort into a shard file whose extents
+            workers decode themselves, bounding coordinator grouping
+            memory by the sort buffer regardless of trace size.  Both
+            modes are bit-for-bit identical on every backend and
+            reduction mode.
+        shard_dir: where "external" grouping keeps its sorted shard
+            file.  ``None`` (the default) uses a run-scoped temporary
+            directory that is removed once the run finishes; an
+            explicit directory keeps the shard for out-of-core
+            consumers.  Only valid with ``grouping="external"``.
     """
 
     delta_tau: float = 10.0
@@ -138,6 +164,8 @@ class SimulationConfig:
     backend: Optional[str] = None
     reduction: str = "batched"
     spill_dir: Optional[str] = None
+    grouping: str = "memory"
+    shard_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.delta_tau <= 0:
@@ -175,6 +203,15 @@ class SimulationConfig:
                 f"spill_dir is only valid with reduction='spill', "
                 f"got reduction={self.reduction!r}"
             )
+        if self.grouping not in GROUPING_MODES:
+            raise ValueError(
+                f"grouping must be one of {GROUPING_MODES}, got {self.grouping!r}"
+            )
+        if self.shard_dir is not None and self.grouping != "external":
+            raise ValueError(
+                f"shard_dir is only valid with grouping='external', "
+                f"got grouping={self.grouping!r}"
+            )
 
     def upload_rate_for(self, bitrate: float) -> float:
         """A peer's upload bandwidth in bits/s given their bitrate."""
@@ -205,20 +242,31 @@ class Simulator:
         backend: explicit :class:`~repro.sim.backends.ExecutionBackend`
             instance; overrides whatever the config would select (used
             by tests and benchmarks to inject a backend directly).
+        grouping: explicit :class:`~repro.sim.grouping.GroupingStrategy`
+            instance; overrides whatever the config would select (used
+            by tests and benchmarks to inject e.g. an
+            ``ExternalGrouping`` with a tiny sort buffer).
     """
 
     def __init__(
         self,
         config: Optional[SimulationConfig] = None,
         backend: Optional[ExecutionBackend] = None,
+        grouping: Optional[GroupingStrategy] = None,
     ) -> None:
         self.config = config or SimulationConfig()
         self._backend = backend
+        self._grouping = grouping
         #: :class:`~repro.sim.reduce.ReductionStats` of the most recent
         #: run -- how many blocks folded, the peak resident partial
         #: count, and where deltas spilled.  Benchmarks and tests
         #: assert the streaming memory bound through this.
         self.last_reduction: Optional[ReductionStats] = None
+        #: :class:`~repro.sim.grouping.GroupingStats` of the most recent
+        #: run -- how grouping happened (mode, peak buffered sessions,
+        #: spilled runs, shard location).  Benchmarks and tests assert
+        #: the out-of-core grouping bound through this.
+        self.last_grouping: Optional[GroupingStats] = None
 
     @property
     def backend(self) -> ExecutionBackend:
@@ -230,6 +278,19 @@ class Simulator:
         if self._backend is None:
             self._backend = resolve_backend(self.config.backend, self.config.workers)
         return self._backend
+
+    @property
+    def grouping(self) -> GroupingStrategy:
+        """The grouping strategy this simulator partitions streams with.
+
+        Resolved from the config once and cached (the config is frozen,
+        so the resolution cannot change).
+        """
+        if self._grouping is None:
+            self._grouping = resolve_grouping(
+                self.config.grouping, self.config.shard_dir
+            )
+        return self._grouping
 
     def run(self, trace: Trace) -> SimulationResult:
         """Simulate the whole trace.
@@ -265,26 +326,33 @@ class Simulator:
         """
         config = self.config
         self.last_reduction = None  # never report a previous run's stats
-        tasks = build_tasks(sessions, horizon, config.policy)
-        if config.reduction == "batched":
-            outputs = self.backend.map_swarms(tasks, config)
-            self.last_reduction = ReductionStats(
-                mode="batched",
-                outputs=len(outputs),
-                blocks=len(outputs),
-                # Everything is resident at once by construction.
-                peak_resident=len(outputs),
-                peak_resident_outputs=len(outputs),
-            )
-            return merge_outputs(
-                outputs,
-                delta_tau=config.delta_tau,
-                horizon=horizon,
-                upload_ratio=config.upload_ratio,
-            )
-        return self._run_streaming(tasks, horizon)
+        self.last_grouping = None
+        plan = self.grouping.plan(sessions, horizon, config.policy)
+        try:
+            if config.reduction == "batched":
+                outputs = self.backend.map_swarms(plan, config)
+                self.last_reduction = ReductionStats(
+                    mode="batched",
+                    outputs=len(outputs),
+                    blocks=len(outputs),
+                    # Everything is resident at once by construction.
+                    peak_resident=len(outputs),
+                    peak_resident_outputs=len(outputs),
+                )
+                return merge_outputs(
+                    outputs,
+                    delta_tau=config.delta_tau,
+                    horizon=horizon,
+                    upload_ratio=config.upload_ratio,
+                )
+            return self._run_streaming(plan, horizon)
+        finally:
+            # Cleanup before stats: a temporary shard is deleted here,
+            # and the stats must not advertise a path that is gone.
+            plan.cleanup()
+            self.last_grouping = plan.stats()
 
-    def _run_streaming(self, tasks, horizon: float) -> SimulationResult:
+    def _run_streaming(self, tasks: TaskPlan, horizon: float) -> SimulationResult:
         """The incremental path: fold shard blocks as they complete."""
         config = self.config
         temp_spill_dir: Optional[str] = None

@@ -1,0 +1,457 @@
+"""Grouping strategies: how a session stream becomes swarm tasks.
+
+``run_stream``'s "never materialize the trace" promise used to end at
+the grouping step: :func:`~repro.sim.kernel.build_tasks` held every
+per-swarm session list in the coordinator while partitioning the
+stream, so coordinator memory stayed O(sessions) no matter how bounded
+the reduction was.  This module makes grouping pluggable:
+
+* :class:`MemoryGrouping` (``grouping="memory"``, the default) -- the
+  historical dict-of-lists grouping, unchanged results, O(sessions)
+  coordinator memory.  Right for laptop-scale traces.
+* :class:`ExternalGrouping` (``grouping="external"``) -- out-of-core
+  grouping by external merge-sort (:mod:`repro.trace.store`):
+  sessions spill to sorted runs of at most ``run_sessions`` each, the
+  runs k-way merge into one globally sorted shard file keyed by
+  ``(SwarmKey.sort_key, start, session_id)``, and a
+  :class:`~repro.trace.store.ShardManifest` maps each swarm to its
+  ``(file, offset, length)`` extent.  Coordinator grouping memory is
+  O(``run_sessions``), independent of trace size.
+
+Both strategies produce a :class:`TaskPlan` -- the lazy interface
+backends consume instead of a materialized task list.  A plan knows its
+task count and per-task session counts (for shard balancing), can
+iterate :class:`~repro.sim.kernel.SwarmTask` values lazily, and
+exposes picklable *task refs* for shipping to worker processes:
+
+* a memory plan's refs are the tasks themselves (sessions and all);
+* an external plan's refs are :class:`ExtentTaskRef` values -- just
+  ``(path, index, count, key, horizon)`` -- and the worker opens the
+  shard file and decodes its own sessions
+  (:func:`repro.trace.store.shared_reader`), eliminating the
+  coordinator -> worker session-pickling hot path.
+
+Determinism: the external sort key extends the canonical task order
+(sorted swarm key, then ``(start, session_id)`` within a swarm) to a
+total order over sessions, and the sort/merge is deterministic, so both
+strategies yield *identical* task sequences -- every backend x
+reduction mode is bit-for-bit equal under either grouping.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.sim.kernel import SwarmTask, build_tasks
+from repro.sim.policies import SwarmPolicy
+from repro.trace.events import Session
+from repro.trace.store import (
+    Extent,
+    ExternalSessionSorter,
+    ShardManifest,
+    StoreWriter,
+    evict_reader,
+    shared_reader,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.policies import SwarmKey
+
+__all__ = [
+    "GROUPING_MODES",
+    "GroupingStats",
+    "TaskPlan",
+    "MemoryTaskPlan",
+    "ExternalTaskPlan",
+    "ExtentTaskRef",
+    "GroupingStrategy",
+    "MemoryGrouping",
+    "ExternalGrouping",
+    "resolve_grouping",
+    "as_task_plan",
+]
+
+#: Selectable grouping modes -- the single source of truth consumed by
+#: ``SimulationConfig`` validation and the CLI's ``--grouping`` choices.
+GROUPING_MODES = ("memory", "external")
+
+
+@dataclass(frozen=True)
+class GroupingStats:
+    """What one grouping pass actually did, for benchmarks and tests.
+
+    Attributes:
+        mode: one of :data:`GROUPING_MODES`.
+        tasks: swarm tasks produced.
+        sessions: sessions grouped.
+        peak_buffered_sessions: most sessions ever resident in the
+            coordinator during grouping.  Memory grouping reports the
+            full session count (everything is resident by
+            construction); external grouping is bounded by its
+            ``run_sessions`` buffer no matter the trace size -- the
+            number benchmarks assert flatness of.
+        runs_spilled: sorted runs written to disk (external only).
+        shard_path: the sorted shard file (external only; ``None``
+            after a temporary shard directory is cleaned up).
+    """
+
+    mode: str
+    tasks: int
+    sessions: int
+    peak_buffered_sessions: int
+    runs_spilled: int = 0
+    shard_path: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ExtentTaskRef:
+    """A picklable handle to one swarm task stored in a shard file.
+
+    The unit of zero-copy handoff: five scalar-ish fields instead of a
+    pickled tuple of thousands of sessions.  Workers resolve the ref by
+    opening the (immutable) shard file through the per-process reader
+    cache and decoding only their own byte extent.
+    """
+
+    path: str
+    index: int
+    count: int
+    key: "SwarmKey"
+    horizon: float
+
+    @property
+    def num_sessions(self) -> int:
+        """Session count (for shard balancing without decoding)."""
+        return self.count
+
+    def materialize(self) -> SwarmTask:
+        """Decode the task's sessions from the shard file."""
+        sessions = shared_reader(self.path).read_range(self.index, self.count)
+        return SwarmTask(
+            key=self.key, sessions=tuple(sessions), horizon=self.horizon
+        )
+
+
+class TaskPlan(ABC):
+    """A lazily consumable, canonically ordered set of swarm tasks.
+
+    The contract between grouping strategies and execution backends:
+    the plan knows how many tasks exist and how many sessions each
+    carries (so backends can balance shards without decoding anything),
+    yields tasks lazily in canonical order, and hands out cheap
+    picklable refs for cross-process shipping.
+    """
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of swarm tasks."""
+
+    @property
+    @abstractmethod
+    def session_counts(self) -> Sequence[int]:
+        """Per-task session counts, aligned with task order."""
+
+    @abstractmethod
+    def iter_tasks(self) -> Iterator[SwarmTask]:
+        """Yield every task in canonical order, decoding lazily."""
+
+    @abstractmethod
+    def refs(self) -> Sequence[object]:
+        """Picklable per-task refs (tasks themselves, or extent refs)."""
+
+    @abstractmethod
+    def stats(self) -> GroupingStats:
+        """How this plan was built (see :class:`GroupingStats`)."""
+
+    def cleanup(self) -> None:
+        """Release any resources the plan owns (temp shards, readers)."""
+
+
+class MemoryTaskPlan(TaskPlan):
+    """The materialized plan: a list of fully resident tasks."""
+
+    def __init__(
+        self, tasks: Sequence[SwarmTask], peak_buffered: Optional[int] = None
+    ) -> None:
+        self._tasks = list(tasks)
+        self._counts = [len(task.sessions) for task in self._tasks]
+        self._peak = (
+            peak_buffered if peak_buffered is not None else sum(self._counts)
+        )
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def session_counts(self) -> Sequence[int]:
+        return self._counts
+
+    def iter_tasks(self) -> Iterator[SwarmTask]:
+        return iter(self._tasks)
+
+    def refs(self) -> Sequence[SwarmTask]:
+        return self._tasks
+
+    def stats(self) -> GroupingStats:
+        return GroupingStats(
+            mode="memory",
+            tasks=len(self._tasks),
+            sessions=sum(self._counts),
+            peak_buffered_sessions=self._peak,
+        )
+
+
+class ExternalTaskPlan(TaskPlan):
+    """A plan backed by a sorted shard file and its manifest.
+
+    Holds only the manifest (one small :class:`~repro.trace.store.\
+    Extent` per swarm); sessions are decoded on demand --
+    :meth:`iter_tasks` one extent at a time in the coordinator, or
+    worker-side via the :class:`ExtentTaskRef` values :meth:`refs`
+    exposes.  When the plan owns its shard directory (the engine's
+    run-scoped temporary default), :meth:`cleanup` deletes it.
+    """
+
+    def __init__(
+        self,
+        manifest: ShardManifest,
+        *,
+        runs_spilled: int = 0,
+        peak_buffered: int = 0,
+        owned_dir: Optional[Path] = None,
+    ) -> None:
+        self.manifest = manifest
+        self._counts = [extent.count for extent in manifest.extents]
+        self._runs_spilled = runs_spilled
+        self._peak = peak_buffered
+        self._owned_dir = owned_dir
+        self._removed = False
+
+    def __len__(self) -> int:
+        return len(self.manifest.extents)
+
+    @property
+    def session_counts(self) -> Sequence[int]:
+        return self._counts
+
+    def iter_tasks(self) -> Iterator[SwarmTask]:
+        for ref in self.refs():
+            yield ref.materialize()
+
+    def refs(self) -> List[ExtentTaskRef]:
+        manifest = self.manifest
+        return [
+            ExtentTaskRef(
+                path=manifest.path,
+                index=extent.index,
+                count=extent.count,
+                key=extent.key,  # type: ignore[arg-type] - grouping stores SwarmKeys
+                horizon=manifest.horizon,
+            )
+            for extent in manifest.extents
+        ]
+
+    def stats(self) -> GroupingStats:
+        return GroupingStats(
+            mode="external",
+            tasks=len(self),
+            sessions=sum(self._counts),
+            peak_buffered_sessions=self._peak,
+            runs_spilled=self._runs_spilled,
+            # A removed temporary shard must not be advertised; an
+            # explicit shard_dir's shard survives cleanup and is.
+            shard_path=None if self._removed else self.manifest.path,
+        )
+
+    def cleanup(self) -> None:
+        """Evict the cached reader; delete the shard dir if owned."""
+        evict_reader(self.manifest.path)
+        if self._owned_dir is not None and not self._removed:
+            shutil.rmtree(self._owned_dir, ignore_errors=True)
+            self._removed = True
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+class GroupingStrategy(ABC):
+    """How a session stream is partitioned into a :class:`TaskPlan`."""
+
+    #: Stable identifier, usable as ``SimulationConfig(grouping=...)``.
+    name: str = "abstract"
+
+    @abstractmethod
+    def plan(
+        self, sessions: Iterable[Session], horizon: float, policy: SwarmPolicy
+    ) -> TaskPlan:
+        """Consume the stream once; return the canonical task plan.
+
+        Raises:
+            ValueError: if ``horizon <= 0`` or a session ends after it
+                (the same contract as
+                :func:`~repro.sim.kernel.build_tasks`).
+        """
+
+
+class MemoryGrouping(GroupingStrategy):
+    """Group in coordinator memory (the historical ``build_tasks``)."""
+
+    name = "memory"
+
+    def plan(
+        self, sessions: Iterable[Session], horizon: float, policy: SwarmPolicy
+    ) -> TaskPlan:
+        return MemoryTaskPlan(build_tasks(sessions, horizon, policy))
+
+
+class ExternalGrouping(GroupingStrategy):
+    """Group out-of-core via external merge-sort.
+
+    Args:
+        shard_dir: where run files, the sorted shard and its manifest
+            live.  ``None`` (the default) uses a run-scoped temporary
+            directory that the plan deletes on cleanup; an explicit
+            directory keeps ``shard.store`` for out-of-core consumers.
+        run_sessions: sort-buffer size -- the coordinator's peak
+            resident session count during grouping.  Smaller bounds
+            memory tighter at the cost of more spilled runs.
+    """
+
+    name = "external"
+
+    #: Name of the sorted shard file inside the shard directory.
+    SHARD_FILENAME = "shard.store"
+
+    def __init__(
+        self,
+        shard_dir: Optional[Union[str, Path]] = None,
+        run_sessions: int = 100_000,
+    ) -> None:
+        if run_sessions < 1:
+            raise ValueError(f"run_sessions must be >= 1, got {run_sessions!r}")
+        self.shard_dir = Path(shard_dir) if shard_dir is not None else None
+        self.run_sessions = run_sessions
+
+    def plan(
+        self, sessions: Iterable[Session], horizon: float, policy: SwarmPolicy
+    ) -> TaskPlan:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon!r}")
+        if self.shard_dir is not None:
+            self.shard_dir.mkdir(parents=True, exist_ok=True)
+            work_dir = Path(tempfile.mkdtemp(prefix="group-", dir=self.shard_dir))
+            owned_dir = None
+        else:
+            work_dir = Path(tempfile.mkdtemp(prefix="repro-shards-"))
+            owned_dir = work_dir
+
+        def sort_key(session: Session):
+            return (
+                policy.key_for(session).sort_key(),
+                session.start,
+                session.session_id,
+            )
+
+        try:
+            sorter = ExternalSessionSorter(
+                sort_key, directory=work_dir, run_sessions=self.run_sessions
+            )
+            latest_end = 0.0
+            for session in sessions:
+                sorter.add(session)
+                if session.end > latest_end:
+                    latest_end = session.end
+            if latest_end > horizon:
+                raise ValueError(
+                    f"horizon {horizon} shorter than last session end {latest_end}"
+                )
+
+            shard_path = work_dir / self.SHARD_FILENAME
+            extents: List[Extent] = []
+            current_key = None
+            current_start = 0
+            previous: Optional[Session] = None
+            with StoreWriter(shard_path, horizon=horizon) as writer:
+                for session in sorter.finish():
+                    # A swarm key is a pure function of (content_id,
+                    # isp, bitrate); recomputing it per session would
+                    # triple the key-construction cost of the sort, so
+                    # only a change in those raw fields can start a new
+                    # extent and only then is the key rebuilt.
+                    if previous is None or (
+                        session.content_id != previous.content_id
+                        or session.bitrate != previous.bitrate
+                        or session.isp != previous.isp
+                    ):
+                        key = policy.key_for(session)
+                        if key != current_key:
+                            if current_key is not None:
+                                extents.append(
+                                    Extent(
+                                        key=current_key,
+                                        index=current_start,
+                                        count=writer.records_written - current_start,
+                                    )
+                                )
+                            current_key = key
+                            current_start = writer.records_written
+                    previous = session
+                    writer.append(session)
+                if current_key is not None:
+                    extents.append(
+                        Extent(
+                            key=current_key,
+                            index=current_start,
+                            count=writer.records_written - current_start,
+                        )
+                    )
+            manifest = ShardManifest(
+                path=str(shard_path), horizon=horizon, extents=tuple(extents)
+            )
+            stats = sorter.stats
+            return ExternalTaskPlan(
+                manifest,
+                runs_spilled=stats.runs_spilled,
+                peak_buffered=stats.peak_buffered,
+                owned_dir=owned_dir,
+            )
+        except BaseException:
+            # Never leak a half-built shard directory on failure.
+            shutil.rmtree(work_dir, ignore_errors=True)
+            raise
+
+
+def resolve_grouping(
+    grouping: Optional[str] = None, shard_dir: Optional[str] = None
+) -> GroupingStrategy:
+    """Pick a strategy from ``SimulationConfig(grouping=..., shard_dir=...)``.
+
+    ``None`` and ``"memory"`` select the in-memory grouping;
+    ``"external"`` the out-of-core merge-sort (spilling under
+    ``shard_dir``, or a run-scoped temporary directory when unset).
+    """
+    if grouping is None or grouping == MemoryGrouping.name:
+        return MemoryGrouping()
+    if grouping == ExternalGrouping.name:
+        return ExternalGrouping(shard_dir=shard_dir)
+    raise ValueError(
+        f"unknown grouping {grouping!r}; choose from {', '.join(GROUPING_MODES)}"
+    )
+
+
+def as_task_plan(tasks: Union[TaskPlan, Sequence[SwarmTask]]) -> TaskPlan:
+    """Normalize a backend argument into a :class:`TaskPlan`.
+
+    Backends accept either a plan (the engine's path) or a plain task
+    sequence (the historical API, kept for tests and direct callers).
+    """
+    if isinstance(tasks, TaskPlan):
+        return tasks
+    return MemoryTaskPlan(tasks)

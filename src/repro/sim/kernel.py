@@ -45,6 +45,7 @@ __all__ = [
     "SwarmTask",
     "SwarmOutput",
     "build_tasks",
+    "resolve_task",
     "run_swarm",
     "run_shard",
     "merge_outputs",
@@ -67,6 +68,30 @@ class SwarmTask:
     key: SwarmKey
     sessions: Tuple[Session, ...]
     horizon: float
+
+    @property
+    def num_sessions(self) -> int:
+        """Session count (shared shape with extent refs, for balancing)."""
+        return len(self.sessions)
+
+    def materialize(self) -> "SwarmTask":
+        """A task *is* its own materialization (see :func:`resolve_task`)."""
+        return self
+
+
+def resolve_task(ref: object) -> SwarmTask:
+    """Turn a task ref into a resident :class:`SwarmTask`.
+
+    The worker-side half of the lazy task plan contract
+    (:mod:`repro.sim.grouping`): a ref is either a ``SwarmTask``
+    already (memory grouping -- sessions travelled with the ref) or an
+    extent handle whose ``materialize()`` decodes the sessions from the
+    shard file the worker opens itself (external grouping -- only
+    ``(path, offset, length, key)`` ever crossed the process boundary).
+    """
+    if isinstance(ref, SwarmTask):
+        return ref
+    return ref.materialize()  # type: ignore[attr-defined]
 
 
 @dataclass
@@ -304,13 +329,18 @@ def _apply_allocation(
 # ----------------------------------------------------------------------
 
 
-def run_shard(tasks: Sequence[SwarmTask], config: "SimulationConfig") -> List[SwarmOutput]:
-    """Run a batch of swarm tasks in-process, preserving order.
+def run_shard(
+    tasks: Sequence[object], config: "SimulationConfig"
+) -> List[SwarmOutput]:
+    """Run a batch of swarm task refs in-process, preserving order.
 
     The unit of work a process backend ships to a worker: one pickle
-    round-trip amortises over the whole shard.
+    round-trip amortises over the whole shard.  Accepts resident
+    :class:`SwarmTask` values or lazy refs (see :func:`resolve_task`);
+    each task is materialized, swept and released before the next, so
+    a worker holds at most one decoded task at a time.
     """
-    return [run_swarm(task, config) for task in tasks]
+    return [run_swarm(resolve_task(task), config) for task in tasks]
 
 
 def merge_outputs(

@@ -17,7 +17,11 @@ from typing import Dict, List
 
 from repro.core.localisation import LayerProbabilities
 from repro.topology.layers import NetworkLayer
-from repro.topology.nodes import AttachmentPoint, lowest_common_layer
+from repro.topology.nodes import (
+    AttachmentPoint,
+    intern_attachment,
+    lowest_common_layer,
+)
 
 __all__ = ["ISPNetwork", "LONDON_EXCHANGES", "LONDON_POPS"]
 
@@ -69,9 +73,15 @@ class ISPNetwork:
         return exchange // self.exchanges_per_pop
 
     def attachment(self, exchange: int) -> AttachmentPoint:
-        """The attachment point for a user behind ``exchange``."""
-        return AttachmentPoint(
-            isp=self.name, pop=self.pop_of_exchange(exchange), exchange=exchange
+        """The attachment point for a user behind ``exchange``.
+
+        Interned: every user behind the same exchange shares one
+        flyweight instance (see
+        :func:`repro.topology.nodes.intern_attachment`), so bulk
+        generation stops duplicating identical attachment objects.
+        """
+        return intern_attachment(
+            self.name, self.pop_of_exchange(exchange), exchange
         )
 
     def sample_attachment(self, rng: random.Random) -> AttachmentPoint:

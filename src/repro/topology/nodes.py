@@ -9,10 +9,11 @@ trace generation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.topology.layers import NetworkLayer
 
-__all__ = ["AttachmentPoint", "lowest_common_layer"]
+__all__ = ["AttachmentPoint", "intern_attachment", "lowest_common_layer"]
 
 
 @dataclass(frozen=True, order=True)
@@ -37,6 +38,30 @@ class AttachmentPoint:
             raise ValueError(f"pop index must be >= 0, got {self.pop}")
         if self.exchange < 0:
             raise ValueError(f"exchange index must be >= 0, got {self.exchange}")
+
+
+#: Flyweight cache: one AttachmentPoint per distinct (ISP, PoP,
+#: exchange) triple.  The key space is tiny (ISPs x exchanges -- a few
+#: thousand for the paper's London) while sessions number in the tens of
+#: millions, so interning turns per-session attachment storage into a
+#: shared reference.
+_INTERNED: Dict[Tuple[str, int, int], AttachmentPoint] = {}
+
+
+def intern_attachment(isp: str, pop: int, exchange: int) -> AttachmentPoint:
+    """The canonical shared :class:`AttachmentPoint` for a triple.
+
+    Attachment points are immutable value objects, so every producer of
+    bulk sessions (trace generation, loaders, the binary store) can
+    return the same instance for the same position: identity sharing
+    cuts per-session memory without changing equality semantics or any
+    RNG stream (interning consumes no randomness).
+    """
+    key = (isp, pop, exchange)
+    point = _INTERNED.get(key)
+    if point is None:
+        point = _INTERNED[key] = AttachmentPoint(isp=isp, pop=pop, exchange=exchange)
+    return point
 
 
 def lowest_common_layer(a: AttachmentPoint, b: AttachmentPoint) -> NetworkLayer:

@@ -15,7 +15,25 @@ from repro.trace.generator import (
     generate_trace,
     sample_poisson,
 )
-from repro.trace.loader import load_csv, load_jsonl, save_csv, save_jsonl
+from repro.trace.loader import (
+    iter_csv,
+    iter_jsonl,
+    iter_store,
+    load_csv,
+    load_jsonl,
+    load_store,
+    read_jsonl_horizon,
+    save_csv,
+    save_jsonl,
+    save_store,
+)
+from repro.trace.store import (
+    Extent,
+    ExternalSessionSorter,
+    ShardManifest,
+    StoreReader,
+    StoreWriter,
+)
 from repro.trace.population import (
     DEFAULT_DEVICE_MIX,
     DeviceProfile,
@@ -30,22 +48,33 @@ __all__ = [
     "DEFAULT_DEVICE_MIX",
     "DeviceProfile",
     "DiurnalProfile",
+    "Extent",
+    "ExternalSessionSorter",
     "FLAT_PROFILE",
     "GeneratorConfig",
     "Population",
     "SECONDS_PER_DAY",
     "Session",
+    "ShardManifest",
+    "StoreReader",
+    "StoreWriter",
     "Trace",
     "TraceGenerator",
     "TraceStats",
     "UK_TV_PROFILE",
     "User",
     "generate_trace",
+    "iter_csv",
+    "iter_jsonl",
+    "iter_store",
     "load_csv",
     "load_jsonl",
+    "load_store",
+    "read_jsonl_horizon",
     "sample_poisson",
     "save_csv",
     "save_jsonl",
+    "save_store",
     "summarise",
     "zipf_weights",
 ]

@@ -1,10 +1,24 @@
-"""Trace persistence: JSON-lines and CSV round-trips.
+"""Trace persistence: JSONL / CSV / binary-store round-trips.
 
-The on-disk formats carry exactly the :class:`~repro.trace.events.Session`
+The text formats carry exactly the :class:`~repro.trace.events.Session`
 fields, one record per line, so generated traces can be cached between
 experiment runs and external traces (with the same schema) can be fed to
 the simulator.  A small header record in the JSONL format stores the
 horizon so round-trips are lossless.
+
+Every format has two consumption styles:
+
+* ``load_*`` materializes a full :class:`~repro.trace.events.Trace`
+  (convenient for laptop-scale experiments);
+* ``iter_*`` yields sessions lazily, one at a time -- the streaming
+  entry points for the out-of-core pipeline (feed them straight into
+  ``Simulator.run_stream``; nothing beyond the current line/record is
+  ever resident).
+
+``save_store`` / ``iter_store`` / ``load_store`` round-trip through the
+compact binary format of :mod:`repro.trace.store` (56 bytes per session
+plus interned string tables) -- the format external grouping shards and
+workers decode from.
 """
 
 from __future__ import annotations
@@ -12,18 +26,25 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Union
+from typing import Dict, Iterator, List, Union
 
-from repro.topology.nodes import AttachmentPoint
+from repro.topology.nodes import intern_attachment
 from repro.trace.events import Session, Trace
+from repro.trace.store import StoreReader, StoreWriter
 
 __all__ = [
     "session_to_record",
     "session_from_record",
     "save_jsonl",
     "load_jsonl",
+    "iter_jsonl",
+    "read_jsonl_horizon",
     "save_csv",
     "load_csv",
+    "iter_csv",
+    "save_store",
+    "load_store",
+    "iter_store",
 ]
 
 _CSV_FIELDS = [
@@ -58,7 +79,12 @@ def session_to_record(session: Session) -> Dict[str, object]:
 
 def session_from_record(record: Dict[str, object]) -> Session:
     """Rebuild a session from a flat record (inverse of
-    :func:`session_to_record`)."""
+    :func:`session_to_record`).
+
+    Attachment points are interned (one shared instance per (ISP, PoP,
+    exchange) triple), so loading a month-scale trace does not duplicate
+    millions of identical attachment objects.
+    """
     try:
         return Session(
             session_id=int(record["session_id"]),
@@ -67,15 +93,18 @@ def session_from_record(record: Dict[str, object]) -> Session:
             start=float(record["start"]),
             duration=float(record["duration"]),
             bitrate=float(record["bitrate"]),
-            attachment=AttachmentPoint(
-                isp=str(record["isp"]),
-                pop=int(record["pop"]),
-                exchange=int(record["exchange"]),
+            attachment=intern_attachment(
+                str(record["isp"]), int(record["pop"]), int(record["exchange"])
             ),
             device=str(record.get("device", "unknown")),
         )
     except KeyError as missing:
         raise ValueError(f"session record is missing field {missing}") from None
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
 
 
 def save_jsonl(trace: Trace, path: Union[str, Path]) -> None:
@@ -88,11 +117,15 @@ def save_jsonl(trace: Trace, path: Union[str, Path]) -> None:
             handle.write(json.dumps(session_to_record(session)) + "\n")
 
 
-def load_jsonl(path: Union[str, Path]) -> Trace:
-    """Read a trace written by :func:`save_jsonl`."""
+def iter_jsonl(path: Union[str, Path]) -> Iterator[Session]:
+    """Yield sessions from a JSONL trace lazily, one line at a time.
+
+    Header records are skipped (use :func:`load_jsonl` when the stored
+    horizon matters, or read the first line yourself); only the current
+    line is ever resident, so arbitrarily large trace files stream
+    straight into ``Simulator.run_stream``.
+    """
     path = Path(path)
-    horizon = 0.0
-    sessions: List[Session] = []
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle):
             line = line.strip()
@@ -100,13 +133,45 @@ def load_jsonl(path: Union[str, Path]) -> Trace:
                 continue
             record = json.loads(line)
             if record.get("kind") == "trace-header":
-                horizon = float(record.get("horizon", 0.0))
                 continue
             try:
-                sessions.append(session_from_record(record))
+                yield session_from_record(record)
             except (ValueError, TypeError) as exc:
-                raise ValueError(f"{path}:{line_number + 1}: bad session record: {exc}") from exc
-    return Trace.from_sessions(sessions, horizon=horizon)
+                raise ValueError(
+                    f"{path}:{line_number + 1}: bad session record: {exc}"
+                ) from exc
+
+
+def read_jsonl_horizon(path: Union[str, Path]) -> float:
+    """The horizon stored in a JSONL trace's header record.
+
+    Returns 0.0 when the file has no header (external traces with the
+    session schema but no header record) -- callers then re-derive the
+    horizon from session ends, as :class:`~repro.trace.events.Trace`
+    does.  Reads only the first record, so it is O(1) in trace size.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") == "trace-header":
+                return float(record.get("horizon", 0.0))
+            break  # the header, if present, is the first record
+    return 0.0
+
+
+def load_jsonl(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_jsonl`."""
+    path = Path(path)
+    return Trace.from_sessions(iter_jsonl(path), horizon=read_jsonl_horizon(path))
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
 
 
 def save_csv(trace: Trace, path: Union[str, Path]) -> None:
@@ -119,6 +184,19 @@ def save_csv(trace: Trace, path: Union[str, Path]) -> None:
             writer.writerow(session_to_record(session))
 
 
+def iter_csv(path: Union[str, Path]) -> Iterator[Session]:
+    """Yield sessions from a CSV trace lazily, one row at a time."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        for line_number, record in enumerate(csv.DictReader(handle)):
+            try:
+                yield session_from_record(record)
+            except (ValueError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number + 2}: bad session record: {exc}"
+                ) from exc
+
+
 def load_csv(path: Union[str, Path], horizon: float = 0.0) -> Trace:
     """Read a trace written by :func:`save_csv`.
 
@@ -127,12 +205,34 @@ def load_csv(path: Union[str, Path], horizon: float = 0.0) -> Trace:
         horizon: trace length in seconds; when 0 it is re-derived from
             the latest session end (rounded up to whole days).
     """
-    path = Path(path)
-    sessions: List[Session] = []
-    with path.open("r", encoding="utf-8", newline="") as handle:
-        for line_number, record in enumerate(csv.DictReader(handle)):
-            try:
-                sessions.append(session_from_record(record))
-            except (ValueError, TypeError) as exc:
-                raise ValueError(f"{path}:{line_number + 2}: bad session record: {exc}") from exc
-    return Trace.from_sessions(sessions, horizon=horizon)
+    return Trace.from_sessions(iter_csv(path), horizon=horizon)
+
+
+# ----------------------------------------------------------------------
+# Binary store
+# ----------------------------------------------------------------------
+
+
+def save_store(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace in the compact binary store format.
+
+    56 bytes per session plus interned string tables -- the format the
+    out-of-core pipeline shards; round-trips are lossless, horizon
+    included (floats are stored as IEEE-754 doubles, so sessions read
+    back bit-for-bit equal).
+    """
+    with StoreWriter(path, horizon=trace.horizon) as writer:
+        for session in trace:
+            writer.append(session)
+
+
+def iter_store(path: Union[str, Path]) -> Iterator[Session]:
+    """Yield sessions from a binary store lazily, chunk-buffered."""
+    with StoreReader(path) as reader:
+        yield from reader.iter_sessions()
+
+
+def load_store(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_store` (horizon included)."""
+    with StoreReader(path) as reader:
+        return Trace.from_sessions(reader.iter_sessions(), horizon=reader.horizon)

@@ -1,0 +1,559 @@
+"""Out-of-core session storage: a compact binary columnar trace format.
+
+The paper's headline workload is a month of London catch-up TV -- 23.5M
+sessions from 3.3M users (Table I).  At that scale a trace does not fit
+in coordinator RAM as Python objects (a :class:`~repro.trace.events.\
+Session` costs hundreds of bytes; the packed record below costs 56), so
+this module provides the disk substrate the out-of-core pipeline stands
+on:
+
+* :class:`StoreWriter` / :class:`StoreReader` -- an append-only binary
+  session file: fixed-width struct-packed numeric columns plus interned
+  string tables for ``content_id`` / ``isp`` / ``device`` (and, via the
+  interned :class:`~repro.topology.nodes.AttachmentPoint` flyweights,
+  one attachment object per distinct (ISP, PoP, exchange) triple on
+  read-back).  Records are fixed size, so any contiguous extent of
+  sessions is addressable as ``(offset, length)`` byte ranges and a
+  worker process can decode *its own* sessions straight from the file
+  instead of receiving them pickled from the coordinator.
+* :class:`ExternalSessionSorter` -- a classic external merge-sort:
+  bounded in-memory runs are sorted and spilled as store files, then
+  k-way merged (``heapq.merge``) into one globally sorted stream.  The
+  sort key is injected by the caller (the simulator sorts by
+  ``(SwarmKey.sort_key, start, session_id)``), so the module stays
+  independent of the simulation layer.
+* :class:`Extent` / :class:`ShardManifest` -- the map from each group
+  (swarm) to its ``(file, offset, length)`` extent in a sorted store,
+  the unit of zero-copy handoff to workers.
+* :func:`shared_reader` -- a per-process cache of open readers so a
+  worker decoding many extents of the same shard file pays one open /
+  one string-table parse, with thread-safe positional reads
+  (``os.pread``) underneath.
+
+Everything round-trips losslessly: floats are stored as IEEE-754
+doubles, so a session read back from a store compares equal -- bit for
+bit -- to the one written.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import struct
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.topology.nodes import intern_attachment
+from repro.trace.events import Session
+
+__all__ = [
+    "RECORD_SIZE",
+    "StoreWriter",
+    "StoreReader",
+    "Extent",
+    "ShardManifest",
+    "ExternalSessionSorter",
+    "SorterStats",
+    "shared_reader",
+    "evict_reader",
+    "clear_reader_cache",
+]
+
+#: File layout:  [header][records...][footer JSON][tail]
+#:   header = magic (4 bytes) + version (u32 LE)
+#:   record = the fixed-width struct below, one per session
+#:   footer = UTF-8 JSON: record count, horizon, string tables
+#:   tail   = footer byte offset (u64 LE) + magic (4 bytes)
+_MAGIC = b"RPSS"
+_VERSION = 1
+_HEADER = struct.Struct("<4sI")
+_TAIL = struct.Struct("<Q4s")
+
+#: One session: session_id, user_id, content ref, start, duration,
+#: bitrate, isp ref, pop, exchange, device ref.  Little-endian, packed
+#: (no padding) -- 56 bytes.
+_RECORD = struct.Struct("<qqIdddHIIH")
+RECORD_SIZE = _RECORD.size
+
+#: Sequential readers decode this many records per file read.
+_READ_CHUNK_RECORDS = 4096
+
+
+class _StringTable:
+    """Order-preserving string interner for one store file."""
+
+    __slots__ = ("_index", "values")
+
+    def __init__(self, values: Optional[Sequence[str]] = None) -> None:
+        self.values: List[str] = list(values or [])
+        self._index: Dict[str, int] = {v: i for i, v in enumerate(self.values)}
+
+    def ref(self, value: str) -> int:
+        index = self._index.get(value)
+        if index is None:
+            index = self._index[value] = len(self.values)
+            self.values.append(value)
+        return index
+
+
+class StoreWriter:
+    """Append-only writer of the binary session format.
+
+    Records are written in :meth:`append` order; string tables are
+    collected incrementally and written into the footer at
+    :meth:`close`.  A file is unreadable until closed (the footer is
+    what makes it self-describing) -- use the context-manager form::
+
+        with StoreWriter(path, horizon) as writer:
+            for session in sessions:
+                writer.append(session)
+
+    Args:
+        path: output file path (parent directories are created).
+        horizon: trace horizon in seconds, stored in the footer so
+            round-trips are lossless; 0.0 marks "not recorded"
+            (intermediate sort runs).
+    """
+
+    def __init__(self, path: Union[str, Path], horizon: float = 0.0) -> None:
+        if horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon!r}")
+        self.path = Path(path)
+        self.horizon = horizon
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "wb")
+        self._file.write(_HEADER.pack(_MAGIC, _VERSION))
+        self._content = _StringTable()
+        self._isp = _StringTable()
+        self._device = _StringTable()
+        self._count = 0
+        self._closed = False
+
+    @property
+    def records_written(self) -> int:
+        """Sessions appended so far."""
+        return self._count
+
+    def append(self, session: Session) -> int:
+        """Write one session; returns its record index in the file."""
+        if self._closed:
+            raise RuntimeError(f"store {self.path} is closed")
+        self._file.write(
+            _RECORD.pack(
+                session.session_id,
+                session.user_id,
+                self._content.ref(session.content_id),
+                session.start,
+                session.duration,
+                session.bitrate,
+                self._isp.ref(session.attachment.isp),
+                session.attachment.pop,
+                session.attachment.exchange,
+                self._device.ref(session.device),
+            )
+        )
+        index = self._count
+        self._count += 1
+        return index
+
+    def close(self) -> None:
+        """Write the footer and tail; the file becomes readable."""
+        if self._closed:
+            return
+        footer = json.dumps(
+            {
+                "version": _VERSION,
+                "records": self._count,
+                "horizon": self.horizon,
+                "content": self._content.values,
+                "isp": self._isp.values,
+                "device": self._device.values,
+            }
+        ).encode("utf-8")
+        footer_offset = _HEADER.size + self._count * RECORD_SIZE
+        self._file.write(footer)
+        self._file.write(_TAIL.pack(footer_offset, _MAGIC))
+        self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "StoreWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class StoreReader:
+    """Random-access reader of a closed store file.
+
+    Reads go through ``os.pread`` (positional, no shared seek pointer),
+    so one reader instance may serve many threads concurrently -- the
+    property the thread backend and the shared reader cache rely on.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fd = os.open(self.path, os.O_RDONLY)
+        try:
+            size = os.fstat(self._fd).st_size
+            if size < _HEADER.size + _TAIL.size:
+                raise ValueError(f"{self.path}: not a session store (truncated)")
+            magic, version = _HEADER.unpack(os.pread(self._fd, _HEADER.size, 0))
+            if magic != _MAGIC:
+                raise ValueError(f"{self.path}: not a session store (bad magic)")
+            if version != _VERSION:
+                raise ValueError(
+                    f"{self.path}: unsupported store version {version} "
+                    f"(expected {_VERSION})"
+                )
+            footer_offset, tail_magic = _TAIL.unpack(
+                os.pread(self._fd, _TAIL.size, size - _TAIL.size)
+            )
+            if tail_magic != _MAGIC or footer_offset > size - _TAIL.size:
+                raise ValueError(f"{self.path}: corrupt store tail")
+            footer = json.loads(
+                os.pread(
+                    self._fd, size - _TAIL.size - footer_offset, footer_offset
+                ).decode("utf-8")
+            )
+            self._count: int = int(footer["records"])
+            self.horizon: float = float(footer["horizon"])
+            self._content: List[str] = list(footer["content"])
+            self._isp: List[str] = list(footer["isp"])
+            self._device: List[str] = list(footer["device"])
+        except Exception:
+            os.close(self._fd)
+            raise
+        self._closed = False
+
+    def __len__(self) -> int:
+        return self._count
+
+    def close(self) -> None:
+        if not self._closed:
+            os.close(self._fd)
+            self._closed = True
+
+    def __enter__(self) -> "StoreReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- decoding ------------------------------------------------------
+
+    def _decode(self, buffer: bytes, count: int) -> List[Session]:
+        content, isp, device = self._content, self._isp, self._device
+        sessions: List[Session] = []
+        for fields in _RECORD.iter_unpack(buffer[: count * RECORD_SIZE]):
+            (
+                session_id,
+                user_id,
+                content_ref,
+                start,
+                duration,
+                bitrate,
+                isp_ref,
+                pop,
+                exchange,
+                device_ref,
+            ) = fields
+            sessions.append(
+                Session(
+                    session_id=session_id,
+                    user_id=user_id,
+                    content_id=content[content_ref],
+                    start=start,
+                    duration=duration,
+                    bitrate=bitrate,
+                    attachment=intern_attachment(isp[isp_ref], pop, exchange),
+                    device=device[device_ref],
+                )
+            )
+        return sessions
+
+    def read_range(self, index: int, count: int) -> List[Session]:
+        """Decode ``count`` sessions starting at record ``index``.
+
+        The zero-copy handoff primitive: a worker holding only
+        ``(path, index, count)`` reads exactly its own bytes.
+        """
+        if index < 0 or count < 0 or index + count > self._count:
+            raise ValueError(
+                f"record range [{index}, {index + count}) outside "
+                f"[0, {self._count})"
+            )
+        if count == 0:
+            return []
+        offset = _HEADER.size + index * RECORD_SIZE
+        buffer = os.pread(self._fd, count * RECORD_SIZE, offset)
+        if len(buffer) != count * RECORD_SIZE:
+            raise ValueError(f"{self.path}: short read at record {index}")
+        return self._decode(buffer, count)
+
+    def iter_sessions(self) -> Iterator[Session]:
+        """Yield every session in record order, chunk-buffered."""
+        index = 0
+        while index < self._count:
+            chunk = min(_READ_CHUNK_RECORDS, self._count - index)
+            yield from self.read_range(index, chunk)
+            index += chunk
+
+
+# ----------------------------------------------------------------------
+# Shared reader cache (one open + one footer parse per file per process)
+# ----------------------------------------------------------------------
+
+_READER_LOCK = threading.Lock()
+_READER_CACHE: "OrderedDict[str, StoreReader]" = OrderedDict()
+
+#: Most readers ever cached per process.  Long-lived pool workers see a
+#: fresh temporary shard file per run; without a bound every run would
+#: pin one open fd (and, once the coordinator unlinks the shard, its
+#: disk space) in every worker forever.  One run touches one shard
+#: file, so a small LRU keeps all the reuse and none of the leak.
+_READER_CACHE_MAX = 4
+
+
+def shared_reader(path: Union[str, Path]) -> StoreReader:
+    """A process-wide cached :class:`StoreReader` for ``path``.
+
+    Store files are immutable once written, so caching is safe; reads
+    are positional (``os.pread``), so one cached reader serves any
+    number of threads.  Workers decoding many extents of the same shard
+    file hit the cache after the first open.  The cache is a small LRU
+    (:data:`_READER_CACHE_MAX` entries): least-recently-used readers
+    are closed on overflow, so persistent worker processes never
+    accumulate open fds to long-gone shard files.
+    """
+    key = str(Path(path))
+    evicted: List[StoreReader] = []
+    with _READER_LOCK:
+        reader = _READER_CACHE.get(key)
+        if reader is not None:
+            _READER_CACHE.move_to_end(key)
+            return reader
+        reader = _READER_CACHE[key] = StoreReader(key)
+        while len(_READER_CACHE) > _READER_CACHE_MAX:
+            _, stale = _READER_CACHE.popitem(last=False)
+            evicted.append(stale)
+    for stale in evicted:
+        stale.close()
+    return reader
+
+
+def evict_reader(path: Union[str, Path]) -> None:
+    """Close and drop the cached reader for ``path`` (if any)."""
+    key = str(Path(path))
+    with _READER_LOCK:
+        reader = _READER_CACHE.pop(key, None)
+    if reader is not None:
+        reader.close()
+
+
+def clear_reader_cache() -> None:
+    """Close and drop every cached reader (tests / process teardown)."""
+    with _READER_LOCK:
+        readers = list(_READER_CACHE.values())
+        _READER_CACHE.clear()
+    for reader in readers:
+        reader.close()
+
+
+# ----------------------------------------------------------------------
+# Extents and manifests
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Extent:
+    """One group's contiguous slice of a sorted store file.
+
+    Attributes:
+        key: the group's identity (the simulator stores
+            :class:`~repro.sim.policies.SwarmKey` values here; this
+            module only requires picklability).
+        index: record index of the group's first session.
+        count: number of sessions in the group.
+    """
+
+    key: object
+    index: int
+    count: int
+
+    @property
+    def offset(self) -> int:
+        """Byte offset of the extent's first record."""
+        return _HEADER.size + self.index * RECORD_SIZE
+
+    @property
+    def length(self) -> int:
+        """Extent size in bytes."""
+        return self.count * RECORD_SIZE
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Map from every group to its ``(file, offset, length)`` extent.
+
+    The product of external grouping: ``path`` is a store file whose
+    records are globally sorted so each group occupies one contiguous
+    extent, and ``extents`` lists the groups in sorted-key order --
+    exactly the canonical task order the simulator folds in.
+    """
+
+    path: str
+    horizon: float
+    extents: Tuple[Extent, ...]
+
+    @property
+    def num_sessions(self) -> int:
+        """Total sessions across all extents."""
+        return sum(extent.count for extent in self.extents)
+
+    def read_extent(self, extent: Extent) -> List[Session]:
+        """Decode one extent's sessions via the shared reader cache."""
+        return shared_reader(self.path).read_range(extent.index, extent.count)
+
+    def iter_groups(self) -> Iterator[Tuple[object, List[Session]]]:
+        """Yield ``(key, sessions)`` per group, in manifest order."""
+        for extent in self.extents:
+            yield extent.key, self.read_extent(extent)
+
+
+# ----------------------------------------------------------------------
+# External merge-sort
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SorterStats:
+    """What one external sort actually did.
+
+    Attributes:
+        sessions: total sessions sorted.
+        runs_spilled: sorted runs written to disk (0 when everything
+            fit in the buffer).
+        peak_buffered: most sessions ever resident in the sort buffer
+            -- the coordinator's grouping memory footprint, bounded by
+            ``run_sessions`` regardless of trace size.
+    """
+
+    sessions: int
+    runs_spilled: int
+    peak_buffered: int
+
+
+class ExternalSessionSorter:
+    """Bounded-memory sort of an arbitrarily large session stream.
+
+    Sessions are buffered up to ``run_sessions``; each full buffer is
+    sorted by ``sort_key`` and spilled as a store file under
+    ``directory``; :meth:`finish` k-way merges the spilled runs with
+    the final in-memory run (``heapq.merge`` -- streaming, at most one
+    read-chunk per run resident) and yields the globally sorted stream.
+    Run files are deleted as soon as the merge completes.
+
+    ``sort_key`` must be a total order over the added sessions (the
+    simulator's ``(SwarmKey.sort_key, start, session_id)`` key is: ids
+    are unique), so the merged order -- and everything built from it --
+    is deterministic.
+    """
+
+    def __init__(
+        self,
+        sort_key: Callable[[Session], object],
+        directory: Union[str, Path],
+        run_sessions: int = 100_000,
+    ) -> None:
+        if run_sessions < 1:
+            raise ValueError(f"run_sessions must be >= 1, got {run_sessions!r}")
+        self.sort_key = sort_key
+        self.directory = Path(directory)
+        self.run_sessions = run_sessions
+        self._buffer: List[Session] = []
+        self._run_paths: List[Path] = []
+        self._runs_spilled = 0
+        self._sessions = 0
+        self._peak_buffered = 0
+        self._finished = False
+
+    @property
+    def stats(self) -> SorterStats:
+        return SorterStats(
+            sessions=self._sessions,
+            runs_spilled=self._runs_spilled,
+            peak_buffered=self._peak_buffered,
+        )
+
+    def add(self, session: Session) -> None:
+        """Buffer one session, spilling a sorted run when full."""
+        if self._finished:
+            raise RuntimeError("cannot add sessions after finish()")
+        self._buffer.append(session)
+        self._sessions += 1
+        if len(self._buffer) > self._peak_buffered:
+            self._peak_buffered = len(self._buffer)
+        if len(self._buffer) >= self.run_sessions:
+            self._spill()
+
+    def extend(self, sessions: Iterable[Session]) -> None:
+        """Buffer a stream of sessions (spilling as needed)."""
+        for session in sessions:
+            self.add(session)
+
+    def _spill(self) -> None:
+        self._buffer.sort(key=self.sort_key)
+        path = self.directory / f"run-{len(self._run_paths):06d}.store"
+        with StoreWriter(path) as writer:
+            for session in self._buffer:
+                writer.append(session)
+        self._run_paths.append(path)
+        self._runs_spilled += 1
+        self._buffer = []
+
+    def finish(self) -> Iterator[Session]:
+        """Yield every added session in globally sorted order.
+
+        May be consumed once; spilled run files are removed when the
+        iterator is exhausted (or closed).
+        """
+        if self._finished:
+            raise RuntimeError("finish() may only be called once")
+        self._finished = True
+        self._buffer.sort(key=self.sort_key)
+        if not self._run_paths:
+            # Everything fit in one buffer: no disk round-trip needed.
+            yield from self._buffer
+            return
+        readers = [StoreReader(path) for path in self._run_paths]
+        try:
+            streams: List[Iterable[Session]] = [
+                reader.iter_sessions() for reader in readers
+            ]
+            if self._buffer:
+                streams.append(iter(self._buffer))
+            yield from heapq.merge(*streams, key=self.sort_key)
+        finally:
+            for reader in readers:
+                reader.close()
+            for path in self._run_paths:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+            self._run_paths = []

@@ -16,6 +16,7 @@ from repro.sim.backends import (
     ThreadBackend,
     resolve_backend,
 )
+from repro.sim.grouping import ExternalGrouping
 from repro.sim.kernel import build_tasks, merge_outputs, run_swarm
 from repro.sim.policies import SwarmPolicy
 from repro.trace.generator import GeneratorConfig, TraceGenerator
@@ -222,11 +223,12 @@ class TestBackendSelection:
 
 
 class TestReductionMatrix:
-    """Backend x reduction equivalence: every cell of the
-    {serial, thread, process} x {batched, streaming, spill} matrix, on
-    both entry points (run / run_stream), reproduces the serial-batched
-    baseline bit for bit -- and the streaming modes obey the
-    ``workers + 1`` residency bound while doing it."""
+    """Backend x reduction x grouping equivalence: every cell of the
+    {serial, thread, process} x {batched, streaming, spill} x
+    {memory, external} matrix, on both entry points (run / run_stream),
+    reproduces the serial-batched baseline bit for bit -- the streaming
+    modes obey the ``workers + 1`` residency bound, and external
+    grouping obeys its sort-buffer bound, while doing it."""
 
     @pytest.fixture(scope="class")
     def reference(self, trace):
@@ -234,8 +236,9 @@ class TestReductionMatrix:
 
     @pytest.mark.parametrize("backend_name", ["serial", "thread", "process"])
     @pytest.mark.parametrize("reduction", ["batched", "streaming", "spill"])
+    @pytest.mark.parametrize("grouping", ["memory", "external"])
     def test_backend_reduction_equivalence(
-        self, trace, reference, backend_name, reduction, tmp_path
+        self, trace, reference, backend_name, reduction, grouping, tmp_path
     ):
         backends = {
             "serial": lambda: SerialBackend(),
@@ -244,9 +247,16 @@ class TestReductionMatrix:
             "process": lambda: ProcessPoolBackend(2, min_sessions=0),
         }
         backend = backends[backend_name]()
-        spill_dir = str(tmp_path) if reduction == "spill" else None
+        spill_dir = str(tmp_path / "spill") if reduction == "spill" else None
         config = SimulationConfig(reduction=reduction, spill_dir=spill_dir)
-        simulator = Simulator(config, backend=backend)
+        # run_sessions=500 forces real spill-and-merge grouping on this
+        # ~2.5K-session trace (and exercises worker-side extent decode).
+        strategy = (
+            ExternalGrouping(shard_dir=tmp_path / "shards", run_sessions=500)
+            if grouping == "external"
+            else None
+        )
+        simulator = Simulator(config, backend=backend, grouping=strategy)
         try:
             from_run = simulator.run(trace)
             assert_identical(reference, from_run)
@@ -255,6 +265,11 @@ class TestReductionMatrix:
             if reduction != "batched":
                 workers = getattr(backend, "workers", 1)
                 assert 1 <= stats.peak_resident <= workers + 1
+            grouping_stats = simulator.last_grouping
+            assert grouping_stats is not None and grouping_stats.mode == grouping
+            if grouping == "external":
+                assert grouping_stats.peak_buffered_sessions <= 500
+                assert grouping_stats.runs_spilled >= 1
 
             from_stream = simulator.run_stream(iter(trace.sessions), trace.horizon)
             assert_identical(reference, from_stream)

@@ -198,3 +198,44 @@ class TestIterSessions:
     def test_stream_is_restartable(self):
         gen = TraceGenerator(config=SMALL)
         assert list(gen.iter_sessions()) == list(gen.iter_sessions())
+
+
+class TestAttachmentInterning:
+    """The flyweight satellite: per-session attachments share identity.
+
+    Attachment points are interned per (ISP, PoP, exchange) triple
+    (repro.topology.nodes.intern_attachment), so a month-scale trace
+    holds thousands of shared attachment objects instead of millions of
+    duplicates -- without consuming any randomness (the RNG streams,
+    and hence every generated session, are unchanged; the golden
+    fixtures in tests/golden/ pin that down to the bit).
+    """
+
+    def test_generated_attachments_share_identity(self):
+        trace = TraceGenerator(config=SMALL).generate()
+        by_triple = {}
+        for session in trace:
+            a = session.attachment
+            assert by_triple.setdefault((a.isp, a.pop, a.exchange), a) is a
+        # Far fewer distinct objects than sessions: the point of the
+        # flyweight.
+        assert len({id(s.attachment) for s in trace}) == len(by_triple)
+        assert len(by_triple) < len(trace)
+
+    def test_interning_is_identity_stable(self):
+        from repro.topology.nodes import AttachmentPoint, intern_attachment
+
+        a = intern_attachment("ISP-1", 2, 30)
+        b = intern_attachment("ISP-1", 2, 30)
+        assert a is b
+        assert a == AttachmentPoint(isp="ISP-1", pop=2, exchange=30)
+        assert intern_attachment("ISP-2", 2, 30) is not a
+
+    def test_rng_streams_unchanged_by_interning(self):
+        """Interning consumes no randomness: two generators with the
+        same seed still produce identical traces (the regression this
+        satellite guards -- a cache that drew from an RNG would skew
+        every downstream stream)."""
+        first = TraceGenerator(config=SMALL).generate()
+        second = TraceGenerator(config=SMALL).generate()
+        assert first.sessions == second.sessions

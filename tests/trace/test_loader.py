@@ -6,10 +6,16 @@ import pytest
 
 from repro.trace.generator import GeneratorConfig, TraceGenerator
 from repro.trace.loader import (
+    iter_csv,
+    iter_jsonl,
+    iter_store,
     load_csv,
     load_jsonl,
+    load_store,
+    read_jsonl_horizon,
     save_csv,
     save_jsonl,
+    save_store,
     session_from_record,
     session_to_record,
 )
@@ -70,6 +76,100 @@ class TestJsonl:
         path.write_text("\n".join(lines))
         with pytest.raises(ValueError, match=":2:"):
             load_jsonl(path)
+
+
+class TestStreamingLoaders:
+    """iter_* yield the same sessions the load_* Traces hold, lazily."""
+
+    def test_iter_jsonl_matches_load(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        assert tuple(iter_jsonl(path)) == trace.sessions
+
+    def test_iter_jsonl_is_lazy(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        stream = iter_jsonl(path)
+        first = next(stream)
+        assert first == trace.sessions[0]
+        stream.close()  # a partially consumed stream closes cleanly
+
+    def test_iter_jsonl_reports_corrupt_line(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        del record["duration"]
+        lines[1] = json.dumps(record)
+        path.write_text("\n".join(lines))
+        with pytest.raises(ValueError, match=":2:"):
+            list(iter_jsonl(path))
+
+    def test_read_jsonl_horizon(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        assert read_jsonl_horizon(path) == trace.horizon
+
+    def test_read_jsonl_horizon_headerless(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        # Strip the header: external traces may not carry one.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[1:]))
+        assert read_jsonl_horizon(path) == 0.0
+        assert tuple(iter_jsonl(path)) == trace.sessions
+
+    def test_iter_csv_matches_load(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_csv(trace, path)
+        assert tuple(iter_csv(path)) == trace.sessions
+
+    def test_streamed_simulation_equals_materialized(self, trace, tmp_path):
+        """The loaders' reason to exist: file -> run_stream, no Trace."""
+        from repro.sim import SimulationConfig, Simulator, simulate
+
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        result = Simulator(SimulationConfig()).run_stream(
+            iter_jsonl(path), read_jsonl_horizon(path)
+        )
+        assert simulate(trace).identical_to(result)
+
+    def test_loaded_attachments_are_interned(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        by_triple = {}
+        for session in iter_jsonl(path):
+            a = session.attachment
+            assert by_triple.setdefault((a.isp, a.pop, a.exchange), a) is a
+
+
+class TestBinaryStore:
+    def test_round_trip(self, trace, tmp_path):
+        path = tmp_path / "trace.store"
+        save_store(trace, path)
+        loaded = load_store(path)
+        assert loaded.sessions == trace.sessions
+        assert loaded.horizon == trace.horizon
+
+    def test_iter_store_matches(self, trace, tmp_path):
+        path = tmp_path / "trace.store"
+        save_store(trace, path)
+        assert tuple(iter_store(path)) == trace.sessions
+
+    def test_store_smaller_than_jsonl(self, trace, tmp_path):
+        jsonl = tmp_path / "trace.jsonl"
+        store = tmp_path / "trace.store"
+        save_jsonl(trace, jsonl)
+        save_store(trace, store)
+        assert store.stat().st_size < jsonl.stat().st_size / 3
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        from repro.trace.events import Trace
+
+        path = tmp_path / "empty.store"
+        save_store(Trace.from_sessions([]), path)
+        assert len(load_store(path)) == 0
 
 
 class TestCsv:

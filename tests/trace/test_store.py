@@ -1,0 +1,245 @@
+"""Tests for the binary session store and external merge-sort."""
+
+import pytest
+
+from repro.sim.policies import PAPER_POLICY
+from repro.trace.events import Session
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+from repro.trace.store import (
+    RECORD_SIZE,
+    Extent,
+    ExternalSessionSorter,
+    ShardManifest,
+    StoreReader,
+    StoreWriter,
+    clear_reader_cache,
+    evict_reader,
+    shared_reader,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = GeneratorConfig(
+        num_users=150, num_items=15, days=1, expected_sessions=600, seed=11
+    )
+    return TraceGenerator(config=config).generate()
+
+
+def write_store(sessions, path, horizon=0.0):
+    with StoreWriter(path, horizon=horizon) as writer:
+        for session in sessions:
+            writer.append(session)
+    return path
+
+
+class TestRoundTrip:
+    def test_sessions_bit_for_bit(self, trace, tmp_path):
+        path = write_store(trace, tmp_path / "t.store", horizon=trace.horizon)
+        with StoreReader(path) as reader:
+            loaded = list(reader.iter_sessions())
+            assert reader.horizon == trace.horizon
+        assert tuple(loaded) == trace.sessions
+
+    def test_fixed_record_size(self, trace, tmp_path):
+        path = write_store(trace, tmp_path / "t.store")
+        header_and_records = 8 + len(trace) * RECORD_SIZE
+        assert path.stat().st_size > header_and_records  # footer follows
+        with StoreReader(path) as reader:
+            assert len(reader) == len(trace)
+
+    def test_empty_store(self, tmp_path):
+        path = write_store([], tmp_path / "empty.store", horizon=86_400.0)
+        with StoreReader(path) as reader:
+            assert len(reader) == 0
+            assert list(reader.iter_sessions()) == []
+            assert reader.horizon == 86_400.0
+
+    def test_attachments_interned_on_read(self, trace, tmp_path):
+        path = write_store(trace, tmp_path / "t.store")
+        with StoreReader(path) as reader:
+            loaded = list(reader.iter_sessions())
+        by_triple = {}
+        for session in loaded:
+            a = session.attachment
+            triple = (a.isp, a.pop, a.exchange)
+            assert by_triple.setdefault(triple, a) is a
+
+    def test_writer_rejects_append_after_close(self, trace, tmp_path):
+        writer = StoreWriter(tmp_path / "t.store")
+        writer.close()
+        with pytest.raises(RuntimeError):
+            writer.append(trace.sessions[0])
+
+    def test_writer_rejects_negative_horizon(self, tmp_path):
+        with pytest.raises(ValueError):
+            StoreWriter(tmp_path / "t.store", horizon=-1.0)
+
+
+class TestReadRange:
+    def test_range_matches_slice(self, trace, tmp_path):
+        path = write_store(trace, tmp_path / "t.store")
+        with StoreReader(path) as reader:
+            assert tuple(reader.read_range(5, 17)) == trace.sessions[5:22]
+            assert reader.read_range(0, 0) == []
+
+    def test_out_of_bounds_rejected(self, trace, tmp_path):
+        path = write_store(trace, tmp_path / "t.store")
+        with StoreReader(path) as reader:
+            with pytest.raises(ValueError):
+                reader.read_range(0, len(trace) + 1)
+            with pytest.raises(ValueError):
+                reader.read_range(-1, 1)
+
+
+class TestCorruption:
+    def test_not_a_store(self, tmp_path):
+        path = tmp_path / "junk.store"
+        path.write_bytes(b"definitely not a session store, not even close")
+        with pytest.raises(ValueError, match="magic"):
+            StoreReader(path)
+
+    def test_truncated(self, tmp_path):
+        path = tmp_path / "tiny.store"
+        path.write_bytes(b"RPSS")
+        with pytest.raises(ValueError, match="truncated"):
+            StoreReader(path)
+
+
+class TestSharedReaderCache:
+    def test_same_instance_until_evicted(self, trace, tmp_path):
+        path = write_store(trace, tmp_path / "t.store")
+        try:
+            first = shared_reader(path)
+            assert shared_reader(path) is first
+            evict_reader(path)
+            second = shared_reader(path)
+            assert second is not first
+        finally:
+            clear_reader_cache()
+
+    def test_clear_cache(self, trace, tmp_path):
+        path = write_store(trace, tmp_path / "t.store")
+        reader = shared_reader(path)
+        clear_reader_cache()
+        assert shared_reader(path) is not reader
+        clear_reader_cache()
+
+    def test_cache_is_bounded_lru(self, trace, tmp_path):
+        """Persistent pool workers see a fresh shard per run: the cache
+        must close least-recently-used readers instead of pinning one
+        open fd per run forever."""
+        from repro.trace.store import _READER_CACHE, _READER_CACHE_MAX
+
+        clear_reader_cache()
+        try:
+            readers = []
+            for i in range(_READER_CACHE_MAX + 3):
+                path = write_store(trace.sessions[:5], tmp_path / f"s{i}.store")
+                readers.append(shared_reader(path))
+            assert len(_READER_CACHE) == _READER_CACHE_MAX
+            # The overflow evicted the oldest readers and closed them.
+            assert all(r._closed for r in readers[:3])
+            assert not readers[-1]._closed
+            # A cache hit refreshes recency: touching the oldest
+            # survivor keeps it alive through the next eviction.
+            survivor = readers[3]
+            assert shared_reader(survivor.path) is survivor
+            extra = write_store(trace.sessions[:5], tmp_path / "extra.store")
+            shared_reader(extra)
+            assert not survivor._closed
+        finally:
+            clear_reader_cache()
+
+
+class TestManifest:
+    def test_extent_geometry(self):
+        extent = Extent(key="k", index=3, count=7)
+        assert extent.offset == 8 + 3 * RECORD_SIZE
+        assert extent.length == 7 * RECORD_SIZE
+
+    def test_iter_groups_round_trip(self, trace, tmp_path):
+        # Sort by the paper policy's swarm key and cut extents by key.
+        keyed = sorted(
+            trace.sessions,
+            key=lambda s: (
+                PAPER_POLICY.key_for(s).sort_key(),
+                s.start,
+                s.session_id,
+            ),
+        )
+        path = write_store(keyed, tmp_path / "sorted.store", trace.horizon)
+        extents = []
+        start = 0
+        for i in range(1, len(keyed) + 1):
+            if i == len(keyed) or PAPER_POLICY.key_for(keyed[i]) != PAPER_POLICY.key_for(
+                keyed[start]
+            ):
+                extents.append(
+                    Extent(
+                        key=PAPER_POLICY.key_for(keyed[start]),
+                        index=start,
+                        count=i - start,
+                    )
+                )
+                start = i
+        manifest = ShardManifest(
+            path=str(path), horizon=trace.horizon, extents=tuple(extents)
+        )
+        try:
+            assert manifest.num_sessions == len(trace)
+            rebuilt = []
+            for key, sessions in manifest.iter_groups():
+                assert all(PAPER_POLICY.key_for(s) == key for s in sessions)
+                rebuilt.extend(sessions)
+            assert rebuilt == keyed
+        finally:
+            evict_reader(path)
+
+
+class TestExternalSorter:
+    def sort_key(self, session: Session):
+        return (
+            PAPER_POLICY.key_for(session).sort_key(),
+            session.start,
+            session.session_id,
+        )
+
+    def test_sorted_output_with_spilling(self, trace, tmp_path):
+        sorter = ExternalSessionSorter(self.sort_key, tmp_path, run_sessions=50)
+        sorter.extend(trace.sessions)
+        merged = list(sorter.finish())
+        assert merged == sorted(trace.sessions, key=self.sort_key)
+        stats = sorter.stats
+        assert stats.sessions == len(trace)
+        assert stats.runs_spilled == len(trace) // 50
+        assert stats.peak_buffered <= 50
+        # Run files are removed once the merge completes.
+        assert list(tmp_path.glob("run-*.store")) == []
+
+    def test_no_spill_when_buffer_fits(self, trace, tmp_path):
+        sorter = ExternalSessionSorter(self.sort_key, tmp_path, run_sessions=10**6)
+        sorter.extend(trace.sessions)
+        merged = list(sorter.finish())
+        assert merged == sorted(trace.sessions, key=self.sort_key)
+        assert sorter.stats.runs_spilled == 0
+
+    def test_order_independent_of_input_permutation(self, trace, tmp_path):
+        forward = ExternalSessionSorter(self.sort_key, tmp_path / "a", run_sessions=64)
+        forward.extend(trace.sessions)
+        backward = ExternalSessionSorter(self.sort_key, tmp_path / "b", run_sessions=64)
+        backward.extend(reversed(trace.sessions))
+        assert list(forward.finish()) == list(backward.finish())
+
+    def test_add_after_finish_rejected(self, trace, tmp_path):
+        sorter = ExternalSessionSorter(self.sort_key, tmp_path, run_sessions=10)
+        sorter.add(trace.sessions[0])
+        list(sorter.finish())
+        with pytest.raises(RuntimeError):
+            sorter.add(trace.sessions[1])
+        with pytest.raises(RuntimeError):
+            list(sorter.finish())
+
+    def test_rejects_bad_run_sessions(self, tmp_path):
+        with pytest.raises(ValueError):
+            ExternalSessionSorter(self.sort_key, tmp_path, run_sessions=0)
