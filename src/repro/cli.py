@@ -18,7 +18,11 @@ bit-for-bit identical results, just faster on multi-core hardware),
 and ``--grouping MODE`` (how the session stream becomes swarm tasks:
 "memory" default, "external" groups out-of-core through a sorted shard
 file -- with ``--shard-dir DIR`` keeping the shard for out-of-core
-consumers; bit-for-bit identical either way).
+consumers *and enabling the content-addressed shard cache*, so repeat
+runs over the same trace + policy skip the sort entirely; bit-for-bit
+identical either way).  ``simulate --upload-ratios 0.2 0.6 1.0`` runs a
+whole q/beta sweep in one amortized pass (``Simulator.run_sweep``),
+bit-for-bit identical to the per-ratio runs.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ from repro.sim.engine import SimulationConfig, Simulator
 from repro.sim.grouping import GROUPING_MODES
 from repro.sim.reduce import REDUCTION_MODES
 from repro.trace.generator import GeneratorConfig, TraceGenerator
+from repro.trace.store import file_fingerprint
 from repro.trace.loader import (
     iter_jsonl,
     load_jsonl,
@@ -74,6 +79,18 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("path", type=Path, help="input .jsonl path")
     simulate.add_argument(
         "--upload-ratio", type=float, default=1.0, help="q/beta (default 1.0)"
+    )
+    simulate.add_argument(
+        "--upload-ratios",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="RATIO",
+        help=(
+            "sweep several q/beta values in ONE pass (grouped once, "
+            "decoded once; bit-for-bit identical to per-ratio runs -- "
+            "see Simulator.run_sweep); overrides --upload-ratio"
+        ),
     )
     simulate.add_argument(
         "--workers",
@@ -249,29 +266,88 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         simulator = Simulator(config)
         horizon = read_jsonl_horizon(args.path)
-        if config.grouping == "external" and horizon > 0:
-            # The out-of-core path: the trace file streams straight into
-            # external grouping; no full Trace is ever materialized.
-            result = simulator.run_stream(iter_jsonl(args.path), horizon)
-            num_sessions = result.total.sessions
+        ratios = getattr(args, "upload_ratios", None)
+        if ratios:
+            # Whole sweep in one pass: grouped once, decoded once, the
+            # membership timeline swept once for every ratio.
+            sweep = [replace(config, upload_ratio=ratio) for ratio in ratios]
+            if config.grouping == "external" and horizon > 0:
+                # Streamed out-of-core sweep; with --shard-dir the shard
+                # cache is keyed on the trace file's content, so a
+                # second invocation (a second process) skips the sort.
+                results = simulator.run_sweep_stream(
+                    iter_jsonl(args.path),
+                    horizon,
+                    sweep,
+                    cache_token=(
+                        file_fingerprint(args.path)
+                        if simulator.grouping.supports_cache
+                        else None
+                    ),
+                )
+            else:
+                results = simulator.run_sweep(load_jsonl(args.path), sweep)
+            print(f"sessions: {results[0].total.sessions}  ({len(ratios)}-ratio sweep)")
+            for ratio, result in zip(ratios, results):
+                savings = ", ".join(
+                    f"{model.name} {result.savings(model):.4f}"
+                    for model in builtin_models()
+                )
+                print(
+                    f"  q/beta {ratio:g}: offload G {result.offload_fraction():.4f}, "
+                    f"savings {savings}"
+                )
+            sweep_stats = simulator.last_sweep
+            if sweep_stats is not None:
+                line = (
+                    f"sweep: {sweep_stats.tasks} swarms x {sweep_stats.configs} "
+                    f"configs, {sweep_stats.schedule_builds} schedules built, "
+                    f"allocation-memo hit rate {sweep_stats.memo_hit_rate:.1%}"
+                )
+                if sweep_stats.cache_hit is not None:
+                    line += f", shard cache {'hit' if sweep_stats.cache_hit else 'miss'}"
+                print(line)
         else:
-            # Memory grouping -- or a headerless file whose horizon must
-            # be re-derived from session ends before simulating.
-            trace = load_jsonl(args.path)
-            result = simulator.run(trace)
-            num_sessions = len(trace)
-        print(f"sessions: {num_sessions}  offload G: {result.offload_fraction():.4f}")
-        for model in builtin_models():
-            print(
-                f"{model.name:>10}: savings {result.savings(model):.4f}, "
-                f"carbon-positive users {result.carbon_positive_share(model):.1%}"
-            )
+            if config.grouping == "external" and horizon > 0:
+                # The out-of-core path: the trace file streams straight
+                # into external grouping (no full Trace materialized);
+                # with --shard-dir the shard cache is keyed on the trace
+                # file's content, so repeat runs skip the sort.
+                result = simulator.run_stream(
+                    iter_jsonl(args.path),
+                    horizon,
+                    cache_token=(
+                        file_fingerprint(args.path)
+                        if simulator.grouping.supports_cache
+                        else None
+                    ),
+                )
+                num_sessions = result.total.sessions
+            else:
+                # Memory grouping -- or a headerless file whose horizon
+                # must be re-derived from session ends before simulating.
+                trace = load_jsonl(args.path)
+                result = simulator.run(trace)
+                num_sessions = len(trace)
+            print(f"sessions: {num_sessions}  offload G: {result.offload_fraction():.4f}")
+            for model in builtin_models():
+                print(
+                    f"{model.name:>10}: savings {result.savings(model):.4f}, "
+                    f"carbon-positive users {result.carbon_positive_share(model):.1%}"
+                )
         stats = simulator.last_reduction
         if stats is not None and stats.spill_path is not None:
             print(f"per-user delta log: {stats.spill_path}")
         grouping_stats = simulator.last_grouping
         if grouping_stats is not None and grouping_stats.shard_path is not None:
-            print(f"sorted session shard: {grouping_stats.shard_path}")
+            line = f"sorted session shard: {grouping_stats.shard_path}"
+            if grouping_stats.cache_hit is not None:
+                line += (
+                    " (cache hit: reused, no re-sort)"
+                    if grouping_stats.cache_hit
+                    else " (cache miss: built)"
+                )
+            print(line)
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -16,7 +16,7 @@ simulation run exactly like they share one trace in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sim.engine import SimulationConfig, Simulator
 from repro.sim.grouping import GROUPING_MODES
@@ -26,7 +26,14 @@ from repro.trace.events import Trace
 from repro.trace.generator import GeneratorConfig, TraceGenerator
 from repro.trace.population import DeviceProfile
 
-__all__ = ["ExperimentSettings", "city_trace", "exemplar_trace", "paper_simulation"]
+__all__ = [
+    "ExperimentSettings",
+    "city_trace",
+    "exemplar_trace",
+    "paper_simulation",
+    "sweep_configs",
+    "memo_key",
+]
 
 #: Fig. 2 exemplar ids and their expected monthly views at scale = 1.
 #: The 100:10:1 ratio mirrors the paper's ~100K / ~10K / ~1K items
@@ -183,14 +190,16 @@ _TRACES: Dict[Tuple, Trace] = {}
 _RESULTS: Dict[Tuple, SimulationResult] = {}
 
 
-def _memo_key(kind: str, settings: ExperimentSettings) -> Tuple:
+def memo_key(kind: str, settings: ExperimentSettings) -> Tuple:
     """Cache key for memoised artefacts.
 
     ``workers``, ``reduction``, ``grouping`` and ``shard_dir`` are
     excluded: they only change wall-clock and memory, never values
     (backends, reduction modes and grouping strategies are bit-for-bit
     identical), so runs differing only in those knobs share traces and
-    simulation results.
+    simulation results.  Exported so figure drivers can key their own
+    sweep-level artefacts (e.g. fig2's per-tier ratio sweeps) the same
+    way.
     """
     return (
         kind,
@@ -198,9 +207,27 @@ def _memo_key(kind: str, settings: ExperimentSettings) -> Tuple:
     )
 
 
+#: Backwards-compatible private alias (pre-sweep name).
+_memo_key = memo_key
+
+
+def sweep_configs(
+    settings: ExperimentSettings, upload_ratios: Sequence[float]
+) -> List[SimulationConfig]:
+    """Per-ratio simulation configs for one ``Simulator.run_sweep`` call.
+
+    The sweep-submission helper figure drivers share: every config
+    carries the settings' runtime knobs and policy, differing only in
+    ``upload_ratio``, so a whole ratio axis ships as one sweep (grouped
+    once, decoded once, swept once -- see
+    :meth:`repro.sim.engine.Simulator.run_sweep`).
+    """
+    return [settings.simulation_config(ratio) for ratio in upload_ratios]
+
+
 def city_trace(settings: ExperimentSettings) -> Trace:
     """The (cached) full-catalogue city trace for these settings."""
-    key = _memo_key("city", settings)
+    key = memo_key("city", settings)
     if key not in _TRACES:
         _TRACES[key] = TraceGenerator(
             config=settings.city_config(), device_mix=CITY_DEVICE_MIX
@@ -210,7 +237,7 @@ def city_trace(settings: ExperimentSettings) -> Trace:
 
 def exemplar_trace(settings: ExperimentSettings) -> Trace:
     """The (cached) Fig. 2 exemplar trace for these settings."""
-    key = _memo_key("exemplar", settings)
+    key = memo_key("exemplar", settings)
     if key not in _TRACES:
         _TRACES[key] = TraceGenerator(
             config=settings.exemplar_config(), device_mix=UNIFORM_DEVICE_MIX
@@ -220,7 +247,7 @@ def exemplar_trace(settings: ExperimentSettings) -> Trace:
 
 def paper_simulation(settings: ExperimentSettings) -> SimulationResult:
     """The (cached) paper-policy simulation of the city trace."""
-    key = _memo_key("city-sim", settings)
+    key = memo_key("city-sim", settings)
     if key not in _RESULTS:
         simulator = Simulator(settings.simulation_config())
         _RESULTS[key] = simulator.run(city_trace(settings))

@@ -9,6 +9,14 @@ outputs incrementally as they complete, and ``grouping="external"``
 groups the session stream out-of-core through a sorted shard file,
 bounding coordinator memory on large traces without changing a single
 bit of any report.
+
+Sweep-heavy drivers submit whole parameter sweeps instead of per-point
+runs: fig2's upload-ratio axis goes through ``Simulator.run_sweep`` (one
+grouping + one timeline sweep for all five ratios -- see
+``repro.experiments.fig2.tier_dots``), and with ``grouping="external"``
+plus a persistent ``shard_dir`` the sorted shard is content-addressed
+and reused across experiments, runs and processes.  All of it is
+bit-for-bit identical to the naive per-point loop.
 """
 
 from __future__ import annotations

@@ -18,7 +18,7 @@ from repro.sim.backends import (
     ThreadBackend,
     resolve_backend,
 )
-from repro.sim.engine import SimulationConfig, Simulator, simulate
+from repro.sim.engine import SimulationConfig, Simulator, SweepStats, simulate
 from repro.sim.grouping import (
     GROUPING_MODES,
     ExternalGrouping,
@@ -73,6 +73,7 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
+    "SweepStats",
     "StreamingReducer",
     "SwarmKey",
     "SwarmOutput",

@@ -27,9 +27,13 @@ from repro.topology.layers import NetworkLayer
 __all__ = ["ByteLedger", "hybrid_energy_nj", "baseline_energy_nj", "savings"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ByteLedger:
     """Bits moved during (part of) a simulation, by path class.
+
+    ``slots=True``: one ledger exists per swarm, per (ISP, day) and per
+    reduction accumulator, and the kernel increments its fields in the
+    per-stretch hot loop.
 
     Attributes:
         server_bits: bits streamed from CDN servers.

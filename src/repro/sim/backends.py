@@ -98,11 +98,14 @@ from typing import (
 
 from repro.sim.grouping import TaskPlan, as_task_plan
 from repro.sim.kernel import (
+    MultiSwarmOutput,
     SwarmOutput,
     SwarmTask,
     resolve_task,
     run_shard,
+    run_shard_multi,
     run_swarm,
+    run_swarm_multi,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
@@ -126,6 +129,10 @@ TaskSource = Union[TaskPlan, Sequence[SwarmTask]]
 #: member -- the unit the streaming submission path ships and the
 #: :class:`~repro.sim.reduce.StreamingReducer` re-orders by.
 OutputBlock = Tuple[int, List[SwarmOutput]]
+
+#: The sweep counterpart: per-task :class:`~repro.sim.kernel.\
+#: MultiSwarmOutput` values (one output per sweep config inside each).
+MultiOutputBlock = Tuple[int, List[MultiSwarmOutput]]
 
 
 def _default_workers() -> int:
@@ -198,13 +205,27 @@ def _iter_single_tasks(
         yield index, [run_swarm(task, config)]
 
 
+def _iter_single_tasks_multi(
+    tasks: Iterable[SwarmTask], configs: Sequence["SimulationConfig"]
+) -> Iterator[MultiOutputBlock]:
+    """The sweep counterpart of :func:`_iter_single_tasks`."""
+    for index, task in enumerate(tasks):
+        yield index, [run_swarm_multi(task, configs)]
+
+
 def _stream_blocks(
     executor: Executor,
     blocks: Sequence[Tuple[int, List]],
-    config: "SimulationConfig",
     window: int,
-) -> Iterator[OutputBlock]:
+    shard_fn,
+    *shard_args,
+) -> Iterator[Tuple[int, List]]:
     """Submit task blocks with a bounded lookahead; yield in completion order.
+
+    ``shard_fn(chunk, *shard_args)`` is the picklable unit of work --
+    :func:`~repro.sim.kernel.run_shard` with a config for single runs,
+    :func:`~repro.sim.kernel.run_shard_multi` with a config list for
+    sweeps.
 
     ``imap``-style backpressure: at most ``window`` blocks may be past
     the *yield frontier* (the earliest block not yet yielded) at any
@@ -224,7 +245,7 @@ def _stream_blocks(
         # single guard also caps len(pending) below ``window``.
         while next_submit < total and next_submit < frontier + window:
             start, chunk = blocks[next_submit]
-            pending[executor.submit(run_shard, chunk, config)] = next_submit
+            pending[executor.submit(shard_fn, chunk, *shard_args)] = next_submit
             next_submit += 1
         done, _ = wait(pending, return_when=FIRST_COMPLETED)
         for future in done:
@@ -276,6 +297,35 @@ class ExecutionBackend(ABC):
         if len(plan) == 0:
             return
         yield 0, self.map_swarms(plan, config)
+
+    def map_swarms_multi(
+        self, tasks: TaskSource, configs: Sequence["SimulationConfig"]
+    ) -> List[MultiSwarmOutput]:
+        """Run every task under every sweep config, **in task order**.
+
+        The fan-out half of the sweep amortization
+        (:func:`~repro.sim.kernel.run_swarm_multi`): each task's
+        sessions are resolved once and swept for all K configs, so the
+        per-task cost -- pickling, shard decode, event-schedule build,
+        membership timeline -- is paid once instead of K times.  The
+        base implementation runs inline; parallel backends override it
+        to ship one task ref + K config deltas per worker round-trip.
+        """
+        plan = as_task_plan(tasks)
+        return [run_swarm_multi(task, configs) for task in plan.iter_tasks()]
+
+    def iter_outputs_multi(
+        self, tasks: TaskSource, configs: Sequence["SimulationConfig"]
+    ) -> Iterator[MultiOutputBlock]:
+        """Yield ``(start_index, multi outputs)`` blocks as they complete.
+
+        The streaming counterpart of :meth:`map_swarms_multi`, with the
+        same block contract as :meth:`iter_outputs` (contiguous runs
+        covering the task list exactly once, bounded in-flight window).
+        The base implementation streams inline one task at a time, so
+        at most one task's K outputs are resident beyond the reducer.
+        """
+        return _iter_single_tasks_multi(as_task_plan(tasks).iter_tasks(), configs)
 
 
 class SerialBackend(ExecutionBackend):
@@ -334,7 +384,35 @@ class ThreadBackend(ExecutionBackend):
             return
         blocks = [(index, [ref]) for index, ref in enumerate(refs)]
         with ThreadPoolExecutor(max_workers=self.workers) as executor:
-            yield from _stream_blocks(executor, blocks, config, self.workers + 1)
+            yield from _stream_blocks(
+                executor, blocks, self.workers + 1, run_shard, config
+            )
+
+    def map_swarms_multi(
+        self, tasks: TaskSource, configs: Sequence["SimulationConfig"]
+    ) -> List[MultiSwarmOutput]:
+        refs = as_task_plan(tasks).refs()
+        if not refs:
+            return []
+        with ThreadPoolExecutor(max_workers=self.workers) as executor:
+            return list(
+                executor.map(
+                    lambda ref: run_swarm_multi(resolve_task(ref), configs), refs
+                )
+            )
+
+    def iter_outputs_multi(
+        self, tasks: TaskSource, configs: Sequence["SimulationConfig"]
+    ) -> Iterator[MultiOutputBlock]:
+        """Single-task sweep blocks over the pool, ``workers + 1`` in flight."""
+        refs = as_task_plan(tasks).refs()
+        if not refs:
+            return
+        blocks = [(index, [ref]) for index, ref in enumerate(refs)]
+        with ThreadPoolExecutor(max_workers=self.workers) as executor:
+            yield from _stream_blocks(
+                executor, blocks, self.workers + 1, run_shard_multi, configs
+            )
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -464,7 +542,86 @@ class ProcessPoolBackend(ExecutionBackend):
         blocks = contiguous_blocks(plan.refs(), num_shards)
         try:
             yield from _stream_blocks(
-                self._pool(), blocks, config, self.workers + 1
+                self._pool(), blocks, self.workers + 1, run_shard, config
+            )
+        except BrokenProcessPool:
+            self.close()  # next call starts a fresh pool
+            raise
+
+    def map_swarms_multi(
+        self, tasks: TaskSource, configs: Sequence["SimulationConfig"]
+    ) -> List[MultiSwarmOutput]:
+        """Sweep-shard the task list over the pool, one ref set + K configs.
+
+        Mirrors :meth:`map_swarms`, but each shard round-trip carries the
+        config *list* once and returns K outputs per task -- pickling and
+        (under external grouping) shard decode amortize K-fold.  The
+        inline fallback weighs the workload as ``sessions x configs``,
+        since that is the actual sweep cost a pool spawn competes with.
+        """
+        plan = as_task_plan(tasks)
+        num_tasks = len(plan)
+        if num_tasks == 0:
+            return []
+        num_shards = min(num_tasks, self.workers * self.shards_per_worker)
+        total_sessions = sum(plan.session_counts)
+        if (
+            num_shards <= 1
+            or self.workers <= 1
+            or total_sessions * max(1, len(configs)) < self.min_sessions
+        ):
+            return [run_swarm_multi(task, configs) for task in plan.iter_tasks()]
+        refs = plan.refs()
+        shard_indices = [range(offset, num_tasks, num_shards) for offset in range(num_shards)]
+        outputs: List[Optional[MultiSwarmOutput]] = [None] * num_tasks
+        try:
+            executor = self._pool()
+            futures = [
+                executor.submit(run_shard_multi, [refs[i] for i in indices], configs)
+                for indices in shard_indices
+            ]
+            for indices, future in zip(shard_indices, futures):
+                for i, output in zip(indices, future.result()):
+                    outputs[i] = output
+        except BrokenProcessPool:
+            self.close()  # next call starts a fresh pool
+            raise
+        return outputs  # type: ignore[return-value] - every slot is filled
+
+    def iter_outputs_multi(
+        self, tasks: TaskSource, configs: Sequence["SimulationConfig"]
+    ) -> Iterator[MultiOutputBlock]:
+        """Contiguous sweep shards, ``workers + 1`` in flight.
+
+        The shard quantum shrinks with the config count: a resident
+        sweep block holds K outputs per task, so bounding the per-shard
+        session count at ``min_sessions / K`` keeps the coordinator's
+        resident-output footprint at the single-run level.
+        """
+        plan = as_task_plan(tasks)
+        if len(plan) == 0:
+            return
+        num_configs = max(1, len(configs))
+        total_sessions = sum(plan.session_counts)
+        per_shard_quantum = max(1, self.min_sessions // num_configs)
+        num_shards = min(
+            len(plan),
+            max(
+                self.workers * self.shards_per_worker,
+                -(-total_sessions // per_shard_quantum),  # ceil division
+            ),
+        )
+        if (
+            self.workers <= 1
+            or total_sessions * num_configs < self.min_sessions
+            or num_shards <= 1
+        ):
+            yield from _iter_single_tasks_multi(plan.iter_tasks(), configs)
+            return
+        blocks = contiguous_blocks(plan.refs(), num_shards)
+        try:
+            yield from _stream_blocks(
+                self._pool(), blocks, self.workers + 1, run_shard_multi, configs
             )
         except BrokenProcessPool:
             self.close()  # next call starts a fresh pool

@@ -61,7 +61,7 @@ import tempfile
 import zlib
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Sequence
 
 from repro.sim.backends import BACKEND_NAMES, ExecutionBackend, resolve_backend
 from repro.sim.grouping import (
@@ -78,11 +78,13 @@ from repro.sim.reduce import (
     FootprintAccumulator,
     ReductionStats,
     StreamingReducer,
+    SweepReducer,
 )
 from repro.sim.results import SimulationResult
 from repro.trace.events import SECONDS_PER_DAY, Session, Trace
+from repro.trace.store import trace_fingerprint
 
-__all__ = ["SimulationConfig", "Simulator", "simulate"]
+__all__ = ["SimulationConfig", "Simulator", "SweepStats", "simulate"]
 
 
 @dataclass(frozen=True)
@@ -234,6 +236,40 @@ class SimulationConfig:
         return bucket < self.participation_rate * 10_000
 
 
+@dataclass(frozen=True)
+class SweepStats:
+    """What one ``run_sweep`` actually shared, for benchmarks and tests.
+
+    Attributes:
+        configs: sweep configs evaluated.
+        tasks: swarm tasks swept (each decoded and scheduled once for
+            the whole sweep, not once per config).
+        memo_hits: memo-eligible window allocations answered from the
+            per-swarm allocation memo instead of re-solving
+            ``match_window`` (see :func:`repro.sim.kernel.run_swarm_multi`).
+        memo_misses: memo-eligible allocations that had to be solved.
+        schedule_builds: event schedules built across all tasks -- one
+            per task per distinct ``(delta_tau, seed_linger,
+            participation)`` signature, versus ``tasks x configs`` for
+            independent runs.
+        cache_hit: the grouping layer's shard-cache outcome (see
+            :attr:`repro.sim.grouping.GroupingStats.cache_hit`).
+    """
+
+    configs: int
+    tasks: int
+    memo_hits: int
+    memo_misses: int
+    schedule_builds: int
+    cache_hit: Optional[bool] = None
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of memo-eligible allocations served from the memo."""
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
+
+
 class Simulator:
     """Runs the windowed hybrid-CDN simulation over a trace.
 
@@ -264,9 +300,14 @@ class Simulator:
         self.last_reduction: Optional[ReductionStats] = None
         #: :class:`~repro.sim.grouping.GroupingStats` of the most recent
         #: run -- how grouping happened (mode, peak buffered sessions,
-        #: spilled runs, shard location).  Benchmarks and tests assert
-        #: the out-of-core grouping bound through this.
+        #: spilled runs, shard location, cache outcome).  Benchmarks and
+        #: tests assert the out-of-core grouping bound through this.
         self.last_grouping: Optional[GroupingStats] = None
+        #: :class:`SweepStats` of the most recent :meth:`run_sweep` --
+        #: how much work the sweep actually shared (allocation-memo hit
+        #: rate, schedule builds, shard-cache outcome).  ``None`` after
+        #: single-config runs.
+        self.last_sweep: Optional[SweepStats] = None
 
     @property
     def backend(self) -> ExecutionBackend:
@@ -292,17 +333,40 @@ class Simulator:
             )
         return self._grouping
 
+    def _cache_token(self, trace: Trace) -> Optional[str]:
+        """A shard-cache token for ``trace``, when caching can pay off.
+
+        The fingerprint is one streamed hashing pass -- far cheaper than
+        the sort it can skip -- but still only worth computing when the
+        grouping strategy actually persists shards
+        (:attr:`~repro.sim.grouping.GroupingStrategy.supports_cache`).
+        """
+        if getattr(self.grouping, "supports_cache", False):
+            return trace_fingerprint(trace)
+        return None
+
     def run(self, trace: Trace) -> SimulationResult:
         """Simulate the whole trace.
+
+        With a cache-capable grouping (``grouping="external"`` and a
+        persistent ``shard_dir``), the trace is fingerprinted and the
+        sorted shard is reused across runs and processes
+        (:attr:`last_grouping` ``.cache_hit`` reports the outcome).
 
         Returns:
             A :class:`~repro.sim.results.SimulationResult` with ledgers
             at system / swarm / (ISP, day) / user level.
         """
-        return self.run_stream(trace, trace.horizon)
+        return self.run_stream(
+            trace, trace.horizon, cache_token=self._cache_token(trace)
+        )
 
     def run_stream(
-        self, sessions: Iterable[Session], horizon: float
+        self,
+        sessions: Iterable[Session],
+        horizon: float,
+        *,
+        cache_token: Optional[str] = None,
     ) -> SimulationResult:
         """Simulate a session stream without materializing a Trace.
 
@@ -323,11 +387,19 @@ class Simulator:
         Args:
             sessions: the session stream (any order).
             horizon: trace length in seconds (must cover every session).
+            cache_token: optional content fingerprint of the stream
+                (see :func:`repro.trace.store.trace_fingerprint`); with
+                a cache-capable grouping it lets the plan come from the
+                content-addressed shard cache without consuming
+                ``sessions``.
         """
         config = self.config
         self.last_reduction = None  # never report a previous run's stats
         self.last_grouping = None
-        plan = self.grouping.plan(sessions, horizon, config.policy)
+        self.last_sweep = None
+        plan = self.grouping.plan(
+            sessions, horizon, config.policy, cache_token=cache_token
+        )
         try:
             if config.reduction == "batched":
                 outputs = self.backend.map_swarms(plan, config)
@@ -395,6 +467,174 @@ class Simulator:
             stats = replace(stats, spill_path=None)
         self.last_reduction = stats
         return result
+
+    # ------------------------------------------------------------------
+    # Multi-config sweeps
+    # ------------------------------------------------------------------
+
+    def run_sweep(
+        self, trace: Trace, configs: Sequence[SimulationConfig]
+    ) -> List[SimulationResult]:
+        """Simulate the whole trace under every config in one pass.
+
+        The sweep-amortized counterpart of K independent :meth:`run`
+        calls: the trace is grouped once, each swarm's sessions are
+        decoded and scheduled once, the membership timeline is swept
+        once per distinct schedule signature, and every backend
+        round-trip carries one task ref plus K config deltas.  Results
+        are **bit-for-bit identical** to the K independent runs, in
+        config order; :attr:`last_sweep` reports what was shared.
+        """
+        return self.run_sweep_stream(
+            trace, trace.horizon, configs, cache_token=self._cache_token(trace)
+        )
+
+    def run_sweep_stream(
+        self,
+        sessions: Iterable[Session],
+        horizon: float,
+        configs: Sequence[SimulationConfig],
+        *,
+        cache_token: Optional[str] = None,
+    ) -> List[SimulationResult]:
+        """Simulate a session stream under every config in one pass.
+
+        The swept configs supply the *physics* axes (``delta_tau``,
+        upload ratio/bandwidth, participation, lingering, matching
+        flags) and must share one swarm policy -- the task partition is
+        policy-defined, so mixed policies cannot share a plan.  The
+        *runtime* knobs (backend, workers, reduction, grouping,
+        spill/shard dirs) come from this simulator's own config; the
+        swept configs' runtime fields are ignored.
+
+        Returns per-config results in config order, each bit-for-bit
+        equal to ``run_stream`` under that config, on every backend x
+        reduction x grouping combination.
+        """
+        configs = list(configs)
+        if not configs:
+            raise ValueError("run_sweep needs at least one config")
+        policy = configs[0].policy
+        for config in configs[1:]:
+            if config.policy != policy:
+                raise ValueError(
+                    f"sweep configs must share one swarm policy; got "
+                    f"{policy!r} and {config.policy!r} (run separate sweeps "
+                    f"per policy -- the task partition is policy-defined)"
+                )
+        run_config = self.config
+        self.last_reduction = None
+        self.last_grouping = None
+        self.last_sweep = None
+        plan = self.grouping.plan(sessions, horizon, policy, cache_token=cache_token)
+        try:
+            if run_config.reduction == "batched":
+                multis = self.backend.map_swarms_multi(plan, configs)
+                memo_hits = sum(multi.memo_hits for multi in multis)
+                memo_misses = sum(multi.memo_misses for multi in multis)
+                schedule_builds = sum(multi.schedule_builds for multi in multis)
+                results = [
+                    merge_outputs(
+                        (multi.outputs[position] for multi in multis),
+                        delta_tau=config.delta_tau,
+                        horizon=horizon,
+                        upload_ratio=config.upload_ratio,
+                    )
+                    for position, config in enumerate(configs)
+                ]
+                total_outputs = len(multis) * len(configs)
+                self.last_reduction = ReductionStats(
+                    mode="batched",
+                    outputs=total_outputs,
+                    blocks=total_outputs,
+                    # Everything is resident at once by construction.
+                    peak_resident=total_outputs,
+                    peak_resident_outputs=total_outputs,
+                )
+            else:
+                results, kernel_stats = self._run_streaming_sweep(
+                    plan, horizon, configs
+                )
+                memo_hits, memo_misses, schedule_builds = kernel_stats
+        finally:
+            # Cleanup before stats: a temporary shard is deleted here,
+            # and the stats must not advertise a path that is gone.
+            plan.cleanup()
+            self.last_grouping = plan.stats()
+        self.last_sweep = SweepStats(
+            configs=len(configs),
+            tasks=len(plan),
+            memo_hits=memo_hits,
+            memo_misses=memo_misses,
+            schedule_builds=schedule_builds,
+            cache_hit=self.last_grouping.cache_hit,
+        )
+        return results
+
+    def _run_streaming_sweep(
+        self,
+        tasks: TaskPlan,
+        horizon: float,
+        configs: List[SimulationConfig],
+    ):
+        """The incremental sweep path: K reducers fed from one block stream."""
+        config = self.config
+        temp_spill_dir: Optional[str] = None
+        spill_root: Optional[Path] = None
+        if config.reduction == "spill":
+            if config.spill_dir is not None:
+                spill_root = Path(config.spill_dir)
+                spill_root.mkdir(parents=True, exist_ok=True)
+            else:
+                temp_spill_dir = tempfile.mkdtemp(prefix="repro-spill-")
+                spill_root = Path(temp_spill_dir)
+        accumulators: List[FootprintAccumulator] = []
+        reducers: List[StreamingReducer] = []
+        for position, sweep_config in enumerate(configs):
+            spill_path: Optional[Path] = None
+            if spill_root is not None:
+                handle, raw_path = tempfile.mkstemp(
+                    prefix=f"user-deltas-cfg{position}-", suffix=".log", dir=spill_root
+                )
+                os.close(handle)
+                spill_path = Path(raw_path)
+            users = FootprintAccumulator(spill_path=spill_path)
+            accumulators.append(users)
+            reducers.append(
+                StreamingReducer(
+                    delta_tau=sweep_config.delta_tau,
+                    horizon=horizon,
+                    upload_ratio=sweep_config.upload_ratio,
+                    users=users,
+                )
+            )
+        sweep_reducer = SweepReducer(reducers)
+        memo_hits = memo_misses = schedule_builds = 0
+        try:
+            for start_index, block in self.backend.iter_outputs_multi(tasks, configs):
+                for multi in block:
+                    memo_hits += multi.memo_hits
+                    memo_misses += multi.memo_misses
+                    schedule_builds += multi.schedule_builds
+                sweep_reducer.add(start_index, block)
+            results = sweep_reducer.results()
+        finally:
+            for users in accumulators:
+                users.close()
+            if temp_spill_dir is not None:
+                shutil.rmtree(temp_spill_dir, ignore_errors=True)
+        if sweep_reducer.outputs_folded != len(tasks):
+            raise RuntimeError(
+                f"backend {self.backend.name!r} delivered "
+                f"{sweep_reducer.outputs_folded} sweep outputs for "
+                f"{len(tasks)} tasks"
+            )
+        stats = sweep_reducer.stats(config.reduction)
+        if temp_spill_dir is not None:
+            # The run-scoped temp log is gone; don't advertise its path.
+            stats = replace(stats, spill_path=None)
+        self.last_reduction = stats
+        return results, (memo_hits, memo_misses, schedule_builds)
 
 
 def simulate(trace: Trace, config: Optional[SimulationConfig] = None) -> SimulationResult:

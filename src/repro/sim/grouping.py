@@ -40,27 +40,29 @@ reduction mode is bit-for-bit equal under either grouping.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import shutil
 import tempfile
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.sim.kernel import SwarmTask, build_tasks
-from repro.sim.policies import SwarmPolicy
+from repro.sim.policies import SwarmKey, SwarmPolicy
 from repro.trace.events import Session
 from repro.trace.store import (
+    STORE_VERSION,
     Extent,
     ExternalSessionSorter,
     ShardManifest,
     StoreWriter,
     evict_reader,
+    load_manifest,
+    save_manifest,
     shared_reader,
 )
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.sim.policies import SwarmKey
 
 __all__ = [
     "GROUPING_MODES",
@@ -98,6 +100,12 @@ class GroupingStats:
         runs_spilled: sorted runs written to disk (external only).
         shard_path: the sorted shard file (external only; ``None``
             after a temporary shard directory is cleaned up).
+        cache_hit: whether this plan came from the content-addressed
+            shard cache (``True``: the manifest was reused and the
+            session stream was **never consumed** -- no re-sort, no
+            re-write; ``False``: the cache was consulted and populated;
+            ``None``: caching was not in play -- no cache token, or no
+            persistent ``shard_dir``).
     """
 
     mode: str
@@ -106,6 +114,7 @@ class GroupingStats:
     peak_buffered_sessions: int
     runs_spilled: int = 0
     shard_path: Optional[str] = None
+    cache_hit: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -224,12 +233,14 @@ class ExternalTaskPlan(TaskPlan):
         runs_spilled: int = 0,
         peak_buffered: int = 0,
         owned_dir: Optional[Path] = None,
+        cache_hit: Optional[bool] = None,
     ) -> None:
         self.manifest = manifest
         self._counts = [extent.count for extent in manifest.extents]
         self._runs_spilled = runs_spilled
         self._peak = peak_buffered
         self._owned_dir = owned_dir
+        self._cache_hit = cache_hit
         self._removed = False
 
     def __len__(self) -> int:
@@ -266,6 +277,7 @@ class ExternalTaskPlan(TaskPlan):
             # A removed temporary shard must not be advertised; an
             # explicit shard_dir's shard survives cleanup and is.
             shard_path=None if self._removed else self.manifest.path,
+            cache_hit=self._cache_hit,
         )
 
     def cleanup(self) -> None:
@@ -287,11 +299,29 @@ class GroupingStrategy(ABC):
     #: Stable identifier, usable as ``SimulationConfig(grouping=...)``.
     name: str = "abstract"
 
+    #: Whether :meth:`plan` can reuse content-addressed cache entries
+    #: (checked by the engine before paying for a trace fingerprint).
+    supports_cache: bool = False
+
     @abstractmethod
     def plan(
-        self, sessions: Iterable[Session], horizon: float, policy: SwarmPolicy
+        self,
+        sessions: Iterable[Session],
+        horizon: float,
+        policy: SwarmPolicy,
+        cache_token: Optional[str] = None,
     ) -> TaskPlan:
         """Consume the stream once; return the canonical task plan.
+
+        Args:
+            sessions: the session stream (any order).
+            horizon: trace length in seconds.
+            policy: the swarm scoping policy.
+            cache_token: optional content fingerprint of the stream
+                (e.g. :func:`repro.trace.store.trace_fingerprint`).
+                Strategies with a persistent shard store may use it to
+                return a cached plan **without consuming the stream**;
+                strategies without a cache ignore it.
 
         Raises:
             ValueError: if ``horizon <= 0`` or a session ends after it
@@ -306,28 +336,48 @@ class MemoryGrouping(GroupingStrategy):
     name = "memory"
 
     def plan(
-        self, sessions: Iterable[Session], horizon: float, policy: SwarmPolicy
+        self,
+        sessions: Iterable[Session],
+        horizon: float,
+        policy: SwarmPolicy,
+        cache_token: Optional[str] = None,
     ) -> TaskPlan:
         return MemoryTaskPlan(build_tasks(sessions, horizon, policy))
 
 
 class ExternalGrouping(GroupingStrategy):
-    """Group out-of-core via external merge-sort.
+    """Group out-of-core via external merge-sort, with a shard cache.
 
     Args:
         shard_dir: where run files, the sorted shard and its manifest
             live.  ``None`` (the default) uses a run-scoped temporary
             directory that the plan deletes on cleanup; an explicit
-            directory keeps ``shard.store`` for out-of-core consumers.
+            directory keeps ``shard.store`` for out-of-core consumers
+            **and enables the content-addressed cache**.
         run_sessions: sort-buffer size -- the coordinator's peak
             resident session count during grouping.  Smaller bounds
             memory tighter at the cost of more spilled runs.
+
+    The cache: with a persistent ``shard_dir`` and a caller-supplied
+    ``cache_token`` (a :func:`repro.trace.store.trace_fingerprint` of
+    the stream), each distinct (trace fingerprint, policy, store
+    version, horizon) gets its own ``cache-<digest>/`` directory
+    holding the sorted shard and a JSON manifest.  A later plan call
+    with the same key -- in this process or any other -- loads the
+    manifest and returns **without consuming the session stream**: no
+    re-sort, no re-write, just one footer read to validate the shard.
+    Entries are published atomically (build in a temp dir, rename), so
+    concurrent builders race benignly: one wins, the other uses the
+    winner's entry.
     """
 
     name = "external"
 
     #: Name of the sorted shard file inside the shard directory.
     SHARD_FILENAME = "shard.store"
+
+    #: Name of the persisted manifest inside a cache entry.
+    MANIFEST_FILENAME = "manifest.json"
 
     def __init__(
         self,
@@ -339,11 +389,58 @@ class ExternalGrouping(GroupingStrategy):
         self.shard_dir = Path(shard_dir) if shard_dir is not None else None
         self.run_sessions = run_sessions
 
+    @property
+    def supports_cache(self) -> bool:
+        """True when a persistent ``shard_dir`` makes caching possible."""
+        return self.shard_dir is not None
+
+    def _cache_digest(self, cache_token: str, policy: SwarmPolicy, horizon: float) -> str:
+        """The content address of one (trace, policy, format) triple."""
+        policy_fingerprint = (
+            f"{type(policy).__module__}.{type(policy).__qualname__}:{policy!r}"
+        )
+        blob = json.dumps(
+            {
+                "trace": cache_token,
+                "policy": policy_fingerprint,
+                "store_version": STORE_VERSION,
+                "horizon": horizon,
+            },
+            sort_keys=True,
+        )
+        return hashlib.blake2b(blob.encode("utf-8"), digest_size=12).hexdigest()
+
+    def _load_cached(self, cache_dir: Path) -> Optional[ExternalTaskPlan]:
+        """A plan from a published cache entry, or None if absent/corrupt."""
+        manifest_path = cache_dir / self.MANIFEST_FILENAME
+        if not manifest_path.exists():
+            return None
+        try:
+            manifest, _meta = load_manifest(
+                manifest_path, key_decoder=_decode_swarm_key
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            # A torn or stale entry is treated as a miss; the rebuild
+            # republishes it.
+            return None
+        return ExternalTaskPlan(manifest, owned_dir=None, cache_hit=True)
+
     def plan(
-        self, sessions: Iterable[Session], horizon: float, policy: SwarmPolicy
+        self,
+        sessions: Iterable[Session],
+        horizon: float,
+        policy: SwarmPolicy,
+        cache_token: Optional[str] = None,
     ) -> TaskPlan:
         if horizon <= 0:
             raise ValueError(f"horizon must be > 0, got {horizon!r}")
+        cache_dir: Optional[Path] = None
+        if cache_token is not None and self.shard_dir is not None:
+            digest = self._cache_digest(cache_token, policy, horizon)
+            cache_dir = self.shard_dir / f"cache-{digest}"
+            cached = self._load_cached(cache_dir)
+            if cached is not None:
+                return cached
         if self.shard_dir is not None:
             self.shard_dir.mkdir(parents=True, exist_ok=True)
             work_dir = Path(tempfile.mkdtemp(prefix="group-", dir=self.shard_dir))
@@ -416,16 +513,82 @@ class ExternalGrouping(GroupingStrategy):
                 path=str(shard_path), horizon=horizon, extents=tuple(extents)
             )
             stats = sorter.stats
+            if cache_dir is not None:
+                manifest = self._publish(manifest, work_dir, cache_dir, cache_token)
             return ExternalTaskPlan(
                 manifest,
                 runs_spilled=stats.runs_spilled,
                 peak_buffered=stats.peak_buffered,
                 owned_dir=owned_dir,
+                cache_hit=False if cache_dir is not None else None,
             )
         except BaseException:
             # Never leak a half-built shard directory on failure.
             shutil.rmtree(work_dir, ignore_errors=True)
             raise
+
+    def _publish(
+        self,
+        manifest: ShardManifest,
+        work_dir: Path,
+        cache_dir: Path,
+        cache_token: str,
+    ) -> ShardManifest:
+        """Atomically promote a freshly built shard into the cache.
+
+        Writes the manifest beside the shard (shard referenced
+        relatively, so the entry is relocatable), then renames the
+        build directory to its content address.  If another process
+        published first, the rename fails and *their* entry wins -- we
+        discard our build and return their manifest, keeping exactly
+        one shard per content address on disk.  Returns the manifest
+        pointing at wherever the shard finally lives.
+        """
+        try:
+            save_manifest(
+                manifest,
+                work_dir / self.MANIFEST_FILENAME,
+                key_encoder=_encode_swarm_key,
+                meta={"trace_fingerprint": cache_token},
+            )
+        except TypeError:
+            # A custom policy with non-SwarmKey keys: usable shard, not
+            # cacheable -- leave it in the work dir, skip publication.
+            return manifest
+        try:
+            work_dir.rename(cache_dir)
+        except OSError:
+            published = self._load_cached(cache_dir)
+            if published is not None:
+                evict_reader(manifest.path)
+                shutil.rmtree(work_dir, ignore_errors=True)
+                return published.manifest
+            return manifest  # rename failed, no usable winner: keep ours
+        return ShardManifest(
+            path=str(cache_dir / self.SHARD_FILENAME),
+            horizon=manifest.horizon,
+            extents=manifest.extents,
+        )
+
+
+def _encode_swarm_key(key: object) -> Dict:
+    """JSON codec (encode half) for manifest extent keys."""
+    if not isinstance(key, SwarmKey):
+        raise TypeError(f"cannot persist non-SwarmKey extent key: {key!r}")
+    return {
+        "content_id": key.content_id,
+        "isp": key.isp,
+        "bitrate_class": key.bitrate_class,
+    }
+
+
+def _decode_swarm_key(payload: Dict) -> SwarmKey:
+    """JSON codec (decode half) for manifest extent keys."""
+    return SwarmKey(
+        content_id=payload["content_id"],
+        isp=payload.get("isp"),
+        bitrate_class=payload.get("bitrate_class"),
+    )
 
 
 def resolve_grouping(

@@ -29,10 +29,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.accounting import ByteLedger
-from repro.sim.matching import PeerState, WindowAllocation, match_window
+from repro.sim.matching import (
+    PeerState,
+    WindowAllocation,
+    match_window,
+    match_window_multi,
+)
 from repro.sim.policies import SwarmKey, SwarmPolicy
 from repro.sim.reduce import reduce_outputs
 from repro.sim.results import SimulationResult, SwarmResult, UserTraffic
@@ -44,10 +49,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
 __all__ = [
     "SwarmTask",
     "SwarmOutput",
+    "MultiSwarmOutput",
     "build_tasks",
     "resolve_task",
     "run_swarm",
+    "run_swarm_multi",
     "run_shard",
+    "run_shard_multi",
     "merge_outputs",
 ]
 
@@ -148,6 +156,53 @@ def build_tasks(
 # The per-swarm sweep
 # ----------------------------------------------------------------------
 
+#: One window-grid event: ``(window, kind, sequence, session)``.  The
+#: sequence number is the event's creation index, so plain tuple
+#: comparison is a total order that never reaches the ``Session`` --
+#: ``list.sort()`` runs without a key function and without ever
+#: comparing (unorderable, and expensive to even try) session objects.
+_Event = Tuple[int, int, int, Session]
+
+
+def _build_events(
+    sessions: Sequence[Session], config: "SimulationConfig"
+) -> List[_Event]:
+    """Add/demote/remove events on the window grid, in sweep order.
+
+    Event kinds sort as remove (0) < demote (1) < add (2), so at a
+    shared window a session ending exactly when another starts never
+    overlaps it.  "Demote" turns a finished viewer into an upload-only
+    lingering seed (the caching extension); with
+    ``seed_linger_seconds == 0`` sessions go straight to removal,
+    reproducing the paper.  The schedule depends only on the config's
+    ``(delta_tau, seed_linger_seconds, participation)`` signature, which
+    is what lets :func:`run_swarm_multi` share one schedule across a
+    whole sweep.
+    """
+    dtau = config.delta_tau
+    events: List[_Event] = []
+    for session in sessions:
+        w_start = int(session.start // dtau)
+        w_end = max(w_start + 1, int(math.ceil(session.end / dtau)))
+        events.append((w_start, _ADD, len(events), session))
+        lingers = (
+            config.seed_linger_seconds > 0.0
+            and config.participates(session.user_id)
+        )
+        if lingers:
+            w_linger = int(math.ceil((session.end + config.seed_linger_seconds) / dtau))
+            if w_linger > w_end:
+                events.append((w_end, _DEMOTE, len(events), session))
+                events.append((w_linger, _REMOVE, len(events), session))
+            else:
+                events.append((w_end, _REMOVE, len(events), session))
+        else:
+            events.append((w_end, _REMOVE, len(events), session))
+    # Ties on (window, kind) resolve by creation order -- exactly what
+    # the historical stable key-sort produced.
+    events.sort()
+    return events
+
 
 def run_swarm(task: SwarmTask, config: "SimulationConfig") -> SwarmOutput:
     """Simulate one swarm; pure, picklable, shared-nothing.
@@ -160,32 +215,7 @@ def run_swarm(task: SwarmTask, config: "SimulationConfig") -> SwarmOutput:
     dtau = config.delta_tau
     windows_per_day = int(SECONDS_PER_DAY // dtau)
     sessions = task.sessions
-
-    # Build events on the window grid.  Event kinds sort as
-    # remove (0) < demote (1) < add (2), so at a shared window a session
-    # ending exactly when another starts never overlaps it.  "Demote"
-    # turns a finished viewer into an upload-only lingering seed (the
-    # caching extension); with seed_linger_seconds == 0 sessions go
-    # straight to removal, reproducing the paper.
-    events: List[Tuple[int, int, Session]] = []
-    for session in sessions:
-        w_start = int(session.start // dtau)
-        w_end = max(w_start + 1, int(math.ceil(session.end / dtau)))
-        events.append((w_start, _ADD, session))
-        lingers = (
-            config.seed_linger_seconds > 0.0
-            and config.participates(session.user_id)
-        )
-        if lingers:
-            w_linger = int(math.ceil((session.end + config.seed_linger_seconds) / dtau))
-            if w_linger > w_end:
-                events.append((w_end, _DEMOTE, session))
-                events.append((w_linger, _REMOVE, session))
-            else:
-                events.append((w_end, _REMOVE, session))
-        else:
-            events.append((w_end, _REMOVE, session))
-    events.sort(key=lambda e: (e[0], e[1]))
+    events = _build_events(sessions, config)
 
     output = SwarmOutput(
         result=SwarmResult(
@@ -212,7 +242,7 @@ def run_swarm(task: SwarmTask, config: "SimulationConfig") -> SwarmOutput:
         previous_window = max(previous_window, window)
         # Apply every event at this window (removals first by sort).
         while index < len(events) and events[index][0] == window:
-            _, kind, session = events[index]
+            _, kind, _, session = events[index]
             if kind == _REMOVE:
                 members.pop(session.session_id, None)
             elif kind == _DEMOTE:
@@ -226,6 +256,7 @@ def run_swarm(task: SwarmTask, config: "SimulationConfig") -> SwarmOutput:
                         exchange=viewer.exchange,
                         pop=viewer.pop,
                         isp=viewer.isp,
+                        attachment=viewer.attachment,
                     )
             else:
                 supply_rate = (
@@ -241,6 +272,7 @@ def run_swarm(task: SwarmTask, config: "SimulationConfig") -> SwarmOutput:
                     exchange=session.attachment.exchange,
                     pop=session.attachment.pop,
                     isp=session.isp,
+                    attachment=session.attachment,
                 )
             index += 1
 
@@ -325,6 +357,545 @@ def _apply_allocation(
 
 
 # ----------------------------------------------------------------------
+# The multi-config sweep kernel
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class MultiSwarmOutput:
+    """One swarm's outputs for every config of a sweep, plus kernel stats.
+
+    Produced by :func:`run_swarm_multi`.  ``outputs[k]`` is bit-for-bit
+    the :class:`SwarmOutput` that ``run_swarm(task, configs[k])`` would
+    have produced; the counters report how much work the sweep actually
+    shared so callers can assert (and benchmarks can publish) the
+    amortization instead of trusting it.
+
+    Attributes:
+        outputs: per-config swarm outputs, aligned with the sweep's
+            config list.
+        memo_hits: memo-eligible stretches answered from the allocation
+            memo instead of re-solving ``match_window``.
+        memo_misses: memo-eligible stretches that had to be solved.
+        schedule_builds: distinct event schedules built -- one per
+            distinct ``(delta_tau, seed_linger, participation)``
+            signature among the configs.
+    """
+
+    outputs: List[SwarmOutput]
+    memo_hits: int = 0
+    memo_misses: int = 0
+    schedule_builds: int = 0
+
+
+class _AllocationMemo:
+    """Per-swarm allocation memo with an adaptive off-switch.
+
+    Replaying a memo entry is bitwise-exact, so enabling or disabling
+    memoization can never change results -- only wall-clock.  Whether it
+    *pays* depends on the trace: diurnal membership revisits make it
+    profitable, heavy-churn swarms make signature construction pure
+    overhead.  The memo therefore runs a probation window: after
+    ``PROBATION`` attempted lookups, a hit rate below ``MIN_HIT_RATE``
+    switches keying off for the rest of the swarm (entries are dropped
+    to free memory).  Hit/miss counters only ever count *attempted*
+    lookups, so reported hit rates stay honest.
+    """
+
+    __slots__ = ("entries", "hits", "misses", "enabled")
+
+    #: Attempted lookups before the hit rate is judged.
+    PROBATION = 64
+    #: Minimum hit rate that keeps the memo keying past probation.
+    MIN_HIT_RATE = 0.05
+
+    def __init__(self) -> None:
+        self.entries: Dict[Tuple, Tuple] = {}
+        self.hits = 0
+        self.misses = 0
+        self.enabled = True
+
+    def reassess(self) -> None:
+        """Disable keying when probation shows it cannot pay."""
+        attempts = self.hits + self.misses
+        if attempts >= self.PROBATION and self.hits < attempts * self.MIN_HIT_RATE:
+            self.enabled = False
+            self.entries.clear()
+
+
+def _schedule_signature(config: "SimulationConfig") -> Tuple:
+    """What the event schedule (and membership timeline) depends on.
+
+    Two configs with equal signatures produce identical event lists for
+    any session set: the window grid is set by ``delta_tau``, and the
+    demote/remove split by ``seed_linger_seconds`` gated on
+    participation.  With no lingering, participation never reaches the
+    schedule (it only scales supplies), so it is normalized out and a
+    whole upload-ratio x participation sweep shares one timeline.
+    """
+    return (
+        config.delta_tau,
+        config.seed_linger_seconds,
+        config.participation_rate if config.seed_linger_seconds > 0.0 else None,
+    )
+
+
+def run_swarm_multi(
+    task: SwarmTask, configs: Sequence["SimulationConfig"]
+) -> MultiSwarmOutput:
+    """Simulate one swarm under every config, amortizing shared work.
+
+    The sweep-side counterpart of :func:`run_swarm`: the task's sessions
+    are decoded once by the caller, the event schedule is built once per
+    distinct :func:`_schedule_signature`, and each signature group's
+    membership timeline is swept once while producing per-config
+    allocations.  Within a sweep, window allocations are memoized per
+    swarm by a canonical membership signature (see
+    :func:`_canonical_allocation`), so stretches that revisit an
+    identical membership state -- diurnal traces do so constantly --
+    skip ``match_window`` entirely.
+
+    Every output is **bit-for-bit identical** to the corresponding
+    independent ``run_swarm(task, config)`` call: the shared sweep
+    replays the exact event order, member ordering and float-addition
+    sequences of the single-config kernel, and the memo only answers
+    when replaying is provably exact (unique user ids; values invariant
+    under the user-rank relabelling the signature applies).
+    """
+    if not configs:
+        return MultiSwarmOutput(outputs=[])
+    groups: Dict[Tuple, List[int]] = {}
+    for position, config in enumerate(configs):
+        groups.setdefault(_schedule_signature(config), []).append(position)
+    outputs: List[Optional[SwarmOutput]] = [None] * len(configs)
+    # The allocation memo is shared across signature groups: an
+    # allocation is a pure function of (member states, matching flags),
+    # and member states already encode delta_tau / participation via
+    # their values.
+    memo = _AllocationMemo()
+    for positions in groups.values():
+        _sweep_signature_group(task, configs, positions, outputs, memo)
+    return MultiSwarmOutput(
+        outputs=outputs,  # type: ignore[arg-type] - every slot is filled
+        memo_hits=memo.hits,
+        memo_misses=memo.misses,
+        schedule_builds=len(groups),
+    )
+
+
+class _SlotAccount:
+    """One sweep config's supply-side accumulators within a group.
+
+    The demand side of the accounting (demanded bits, watch-seconds,
+    per-user watched bits, day watch/demand) is identical for every
+    config sharing a schedule signature, so the group accumulates it
+    once; only what depends on supply -- server bits, per-layer peer
+    bits, per-user uploads -- is tracked per config, in exactly the
+    same addition order the single-config kernel performs.
+    """
+
+    __slots__ = ("server_total", "peer_total", "day_server", "day_peer", "uploads")
+
+    def __init__(self) -> None:
+        self.server_total = 0.0
+        self.peer_total: Dict[object, float] = {}
+        self.day_server: Dict[int, float] = {}
+        self.day_peer: Dict[int, Dict[object, float]] = {}
+        self.uploads: Dict[int, float] = {}
+
+
+def _sweep_signature_group(
+    task: SwarmTask,
+    configs: Sequence["SimulationConfig"],
+    positions: List[int],
+    outputs: List[Optional[SwarmOutput]],
+    memo: _AllocationMemo,
+) -> None:
+    """Sweep one schedule-signature group's shared membership timeline.
+
+    Maintains a single members dict whose values are ``(state,
+    supplies)`` pairs: one shared :class:`~repro.sim.matching.PeerState`
+    (the states differ only in supply, so ids, demand and geometry are
+    stored once) plus the per-config supply tuple, both computed at the
+    member's add event and never rebuilt.  Accounting is split:
+    demand-side aggregates accumulate once for the whole group,
+    supply-side aggregates accumulate per config (:class:`_SlotAccount`),
+    and the per-config :class:`SwarmOutput` values are materialized at
+    the end -- with float-addition sequences identical, field for field,
+    to what K independent :func:`run_swarm` calls perform.
+    """
+    group_configs = [configs[k] for k in positions]
+    lead = group_configs[0]
+    dtau = lead.delta_tau
+    windows_per_day = int(SECONDS_PER_DAY // dtau)
+    sessions = task.sessions
+    events = _build_events(sessions, lead)
+
+    # Config slots (group-local indices) partitioned by matching flags:
+    # each partition's memo misses are solved in one shared-structure
+    # match_window_multi call per stretch.
+    flag_groups: Dict[Tuple[bool, bool], List[int]] = {}
+    for j, config in enumerate(group_configs):
+        flag_groups.setdefault(
+            (config.allow_cross_isp_matching, config.locality_aware_matching), []
+        ).append(j)
+
+    # Group-shared (demand-side) accounting state.
+    shared_days: Dict[int, List[float]] = {}  # day -> [watch_seconds, demanded]
+    watched: Dict[int, float] = {}  # user_id -> watched bits
+    total_demanded = 0.0
+    watch_seconds = 0.0
+    slots = [_SlotAccount() for _ in positions]
+    # Per-config supplies are a pure function of (bitrate, per-config
+    # participation) -- and traces draw bitrates from a handful of
+    # device classes -- so the K-wide supply tuple is computed once per
+    # distinct (bitrate, participation pattern) instead of per session.
+    # With every config at full participation (the common sweep) the
+    # pattern collapses to a constant; otherwise each user's pattern is
+    # resolved once through the configs' own deterministic hash.
+    supply_cache: Dict[Tuple, Tuple[float, ...]] = {}
+    all_participate = all(
+        config.participation_rate >= 1.0 for config in group_configs
+    )
+    participation_cache: Dict[int, Tuple[bool, ...]] = {}
+
+    members: Dict[int, Tuple[PeerState, Tuple[float, ...]]] = {}
+    previous_window = 0
+    index = 0
+    num_events = len(events)
+    while index < num_events:
+        window = events[index][0]
+        if window > previous_window and members:
+            stretch_watch, total_demanded = _account_stretch_multi(
+                slots,
+                flag_groups,
+                members,
+                previous_window,
+                window,
+                windows_per_day,
+                dtau,
+                shared_days,
+                watched,
+                total_demanded,
+                memo,
+            )
+            watch_seconds += stretch_watch
+        previous_window = max(previous_window, window)
+        while index < num_events and events[index][0] == window:
+            _, kind, _, session = events[index]
+            if kind == _REMOVE:
+                members.pop(session.session_id, None)
+            elif kind == _DEMOTE:
+                entry = members.get(session.session_id)
+                if entry is not None:
+                    state, supplies = entry
+                    members[session.session_id] = (
+                        PeerState(
+                            member_id=state.member_id,
+                            user_id=state.user_id,
+                            demand=0.0,
+                            supply=state.supply,
+                            exchange=state.exchange,
+                            pop=state.pop,
+                            isp=state.isp,
+                            attachment=state.attachment,
+                        ),
+                        supplies,
+                    )
+            else:
+                attachment = session.attachment
+                bitrate = session.bitrate
+                demand = bitrate * dtau
+                if all_participate:
+                    pattern: Optional[Tuple[bool, ...]] = None
+                else:
+                    user_id = session.user_id
+                    pattern = participation_cache.get(user_id)
+                    if pattern is None:
+                        pattern = participation_cache[user_id] = tuple(
+                            config.participates(user_id)
+                            for config in group_configs
+                        )
+                supply_key = (bitrate, pattern)
+                supplies = supply_cache.get(supply_key)
+                if supplies is None:
+                    if pattern is None:
+                        supplies = tuple(
+                            config.upload_rate_for(bitrate) * dtau
+                            for config in group_configs
+                        )
+                    else:
+                        supplies = tuple(
+                            (config.upload_rate_for(bitrate) if participates else 0.0)
+                            * dtau
+                            for config, participates in zip(group_configs, pattern)
+                        )
+                    supply_cache[supply_key] = supplies
+                members[session.session_id] = (
+                    PeerState(
+                        member_id=session.session_id,
+                        user_id=session.user_id,
+                        demand=demand,
+                        supply=supplies[0],
+                        exchange=attachment.exchange,
+                        pop=attachment.pop,
+                        isp=session.isp,
+                        attachment=attachment,
+                    ),
+                    supplies,
+                )
+            index += 1
+
+    # Materialize each config's output from the shared + per-slot state.
+    arrival_rate = len(sessions) / task.horizon if task.horizon > 0 else 0.0
+    mean_duration = (
+        sum(s.duration for s in sessions) / len(sessions) if sessions else 0.0
+    )
+    capacity = watch_seconds / task.horizon if task.horizon > 0 else 0.0
+    isp = task.key.isp if task.key.isp is not None else "all"
+    for j, k in enumerate(positions):
+        slot = slots[j]
+        per_isp_day: Dict[Tuple[str, int], ByteLedger] = {}
+        for day, (day_watch, day_demanded) in shared_days.items():
+            day_peer = slot.day_peer.get(day)
+            per_isp_day[(isp, day)] = ByteLedger(
+                server_bits=slot.day_server.get(day, 0.0),
+                peer_bits=day_peer if day_peer is not None else {},
+                demanded_bits=day_demanded,
+                watch_seconds=day_watch,
+            )
+        uploads = slot.uploads
+        per_user = {
+            user_id: UserTraffic(
+                watched_bits=bits, uploaded_bits=uploads.get(user_id, 0.0)
+            )
+            for user_id, bits in watched.items()
+        }
+        outputs[k] = SwarmOutput(
+            result=SwarmResult(
+                key=task.key,
+                ledger=ByteLedger(
+                    server_bits=slot.server_total,
+                    peer_bits=slot.peer_total,
+                    demanded_bits=total_demanded,
+                    watch_seconds=watch_seconds,
+                    sessions=len(sessions),
+                ),
+                capacity=capacity,
+                arrival_rate=arrival_rate,
+                mean_duration=mean_duration,
+            ),
+            per_isp_day=per_isp_day,
+            per_user=per_user,
+        )
+
+
+def _account_stretch_multi(
+    slots: List[_SlotAccount],
+    flag_groups: Dict[Tuple[bool, bool], List[int]],
+    members: Dict[int, Tuple[PeerState, Tuple[float, ...]]],
+    w_from: int,
+    w_to: int,
+    windows_per_day: int,
+    dtau: float,
+    shared_days: Dict[int, List[float]],
+    watched: Dict[int, float],
+    total_demanded: float,
+    memo: _AllocationMemo,
+) -> Tuple[float, float]:
+    """Account one constant-membership stretch for every config at once.
+
+    The demand side (total/day demanded bits, watch-seconds, per-user
+    watched bits) accumulates once into the group-shared structures; the
+    supply side replays per config from a per-config allocation *view*
+    ``(server_bits, peer items, upload items)``, which comes from the
+    canonical-signature memo when this membership state was seen before
+    and otherwise from one shared-structure
+    :func:`~repro.sim.matching.match_window_multi` call per flag group.
+    ``total_demanded`` is the group's *running* demanded-bits total: it
+    is advanced one chunk at a time (never via a per-stretch subtotal),
+    replaying the flat addition sequence of the single-config ledger.
+    Returns ``(watch_seconds, total_demanded)``.
+    """
+    if len(members) == 1:
+        # The dominant stretch shape on catalogue-style traces: one
+        # member, served entirely by the CDN under every config.  The
+        # per-config delta is a single shared server/demand value, so
+        # the whole stretch accounts in a handful of adds per slot --
+        # value-for-value the additions the general path performs.
+        state, _supplies = next(iter(members.values()))
+        demand = state.demand
+        watch_per_window = dtau if demand > 0.0 else 0.0
+        user_id = state.user_id
+        first_day = w_from // windows_per_day
+        day_end = (first_day + 1) * windows_per_day
+        watch_total = 0.0
+        window = w_from
+        day = first_day
+        while window < w_to:
+            num_windows = min(w_to, day_end) - window
+            day_shared = shared_days.get(day)
+            if day_shared is None:
+                day_shared = shared_days[day] = [0.0, 0.0]
+            watch_chunk = watch_per_window * num_windows
+            server_chunk = demand * num_windows
+            day_shared[0] += watch_chunk
+            day_shared[1] += server_chunk
+            watch_total += watch_chunk
+            total_demanded += server_chunk
+            watched[user_id] = watched.get(user_id, 0.0) + server_chunk
+            for slot in slots:
+                slot.server_total += server_chunk
+                day_server = slot.day_server
+                day_server[day] = day_server.get(day, 0.0) + server_chunk
+            window += num_windows
+            day += 1
+            day_end += windows_per_day
+        return watch_total, total_demanded
+
+    bases = list(members.values())
+    shared_members = [state for state, _supplies in bases]
+    viewers = sum(1 for member in shared_members if member.demand > 0.0)
+    watch_per_window = viewers * dtau
+    # Bit-for-bit the window allocation's demand total: the same
+    # generator-sum over the same demands in the same member order.
+    demanded_per_window = sum(member.demand for member in shared_members)
+
+    # Views: (server_bits, peer items, upload items) per group slot.
+    # (Single-member stretches never reach here -- the fast path above
+    # returned -- so every stretch below has at least two members.)
+    views: Dict[int, Tuple[float, object, object]] = {}
+    memoizable = False
+    if memo.enabled:
+        user_ids = [member.user_id for member in shared_members]
+        distinct = sorted(set(user_ids))
+        memoizable = len(distinct) == len(user_ids)
+        if memoizable:
+            rank_of = {uid: rank for rank, uid in enumerate(distinct)}
+            shared_signature = tuple(
+                (member.demand, member.exchange, member.pop, member.isp, rank)
+                for member, rank in zip(
+                    shared_members, (rank_of[u] for u in user_ids)
+                )
+            )
+    for (allow_cross_isp, locality_aware), slot_ids in flag_groups.items():
+        pending: List[Tuple[int, Optional[Tuple]]] = []
+        if memoizable:
+            entries = memo.entries
+            for j in slot_ids:
+                signature = (
+                    allow_cross_isp,
+                    locality_aware,
+                    shared_signature,
+                    tuple(supplies[j] for _state, supplies in bases),
+                )
+                entry = entries.get(signature)
+                if entry is None:
+                    pending.append((j, signature))
+                else:
+                    server_bits, peer_items, ranked_uploads = entry
+                    views[j] = (
+                        server_bits,
+                        peer_items,
+                        [(distinct[rank], bits) for rank, bits in ranked_uploads],
+                    )
+                    memo.hits += 1
+        else:
+            pending = [(j, None) for j in slot_ids]
+        if pending:
+            profiles = [
+                [supplies[j] for _state, supplies in bases]
+                for j, _signature in pending
+            ]
+            solved = match_window_multi(
+                shared_members,
+                profiles,
+                allow_cross_isp=allow_cross_isp,
+                locality_aware=locality_aware,
+            )
+            for (j, signature), allocation in zip(pending, solved):
+                views[j] = (
+                    allocation.server_bits,
+                    tuple(allocation.peer_bits.items()),
+                    tuple(allocation.uploaded_bits.items()),
+                )
+                if signature is not None:
+                    # Uploads stored against user ranks: with unique
+                    # user ids every float match_window computes is
+                    # invariant under this order-preserving
+                    # relabelling, so replays are exact.
+                    memo.entries[signature] = (
+                        allocation.server_bits,
+                        tuple(allocation.peer_bits.items()),
+                        tuple(
+                            (rank_of[user_id], bits)
+                            for user_id, bits in allocation.uploaded_bits.items()
+                        ),
+                    )
+                    memo.misses += 1
+    if memoizable:
+        memo.reassess()
+
+    # Day-boundary chunks, shared by every config in the group (almost
+    # every stretch lies inside one day: take the single-chunk fast
+    # path without building a list).
+    first_day = w_from // windows_per_day
+    day_end = (first_day + 1) * windows_per_day
+    if w_to <= day_end:
+        chunks: Sequence[Tuple[int, int]] = ((w_to - w_from, first_day),)
+    else:
+        chunk_list = [(day_end - w_from, first_day)]
+        window = day_end
+        while window < w_to:
+            day = window // windows_per_day
+            day_end = (day + 1) * windows_per_day
+            chunk = min(w_to, day_end) - window
+            chunk_list.append((chunk, day))
+            window += chunk
+        chunks = chunk_list
+
+    # -- demand-side accounting, once for the whole group ---------------
+    watch_total = 0.0
+    for num_windows, day in chunks:
+        day_shared = shared_days.get(day)
+        if day_shared is None:
+            day_shared = shared_days[day] = [0.0, 0.0]
+        watch_chunk = watch_per_window * num_windows
+        demanded_chunk = demanded_per_window * num_windows
+        day_shared[0] += watch_chunk
+        day_shared[1] += demanded_chunk
+        watch_total += watch_chunk
+        total_demanded += demanded_chunk
+        for member in shared_members:
+            user_id = member.user_id
+            watched[user_id] = watched.get(user_id, 0.0) + member.demand * num_windows
+
+    # -- supply-side accounting, per config -----------------------------
+    for j, (server_bits, peer_items, upload_items) in views.items():
+        slot = slots[j]
+        day_server = slot.day_server
+        for num_windows, day in chunks:
+            server_chunk = server_bits * num_windows
+            slot.server_total += server_chunk
+            day_server[day] = day_server.get(day, 0.0) + server_chunk
+            if peer_items:
+                peer_total = slot.peer_total
+                day_peer = slot.day_peer.get(day)
+                if day_peer is None:
+                    day_peer = slot.day_peer[day] = {}
+                for layer, bits in peer_items:
+                    peer_chunk = bits * num_windows
+                    peer_total[layer] = peer_total.get(layer, 0.0) + peer_chunk
+                    day_peer[layer] = day_peer.get(layer, 0.0) + peer_chunk
+            if upload_items:
+                uploads = slot.uploads
+                for user_id, bits in upload_items:
+                    uploads[user_id] = uploads.get(user_id, 0.0) + bits * num_windows
+
+    return watch_total, total_demanded
+
+
+# ----------------------------------------------------------------------
 # Shard execution and deterministic reduction
 # ----------------------------------------------------------------------
 
@@ -341,6 +912,20 @@ def run_shard(
     a worker holds at most one decoded task at a time.
     """
     return [run_swarm(resolve_task(task), config) for task in tasks]
+
+
+def run_shard_multi(
+    tasks: Sequence[object], configs: Sequence["SimulationConfig"]
+) -> List[MultiSwarmOutput]:
+    """Run a batch of swarm task refs under every sweep config.
+
+    The multi-config counterpart of :func:`run_shard` -- and the whole
+    point of the fan-out amortization: one pickle round-trip ships the
+    task refs plus K config deltas, each task's sessions are decoded
+    exactly once, and :func:`run_swarm_multi` shares the schedule and
+    timeline across the configs.  Task order is preserved.
+    """
+    return [run_swarm_multi(resolve_task(task), configs) for task in tasks]
 
 
 def merge_outputs(

@@ -35,19 +35,31 @@ to contributed supply.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.topology.layers import NetworkLayer
-from repro.topology.nodes import AttachmentPoint, lowest_common_layer
+from repro.topology.nodes import AttachmentPoint, intern_attachment, lowest_common_layer
 
-__all__ = ["PeerState", "WindowAllocation", "match_window", "GroupKey", "BlockKey"]
+__all__ = [
+    "PeerState",
+    "WindowAllocation",
+    "match_window",
+    "match_window_multi",
+    "GroupKey",
+    "BlockKey",
+]
 
 _EPS = 1e-9
 
 
-@dataclass
+@dataclass(slots=True)
 class PeerState:
     """One swarm member's state within a single window.
+
+    A hot per-window type: the kernel creates one per (member, config)
+    and the matcher touches every field per phase, so the class is
+    ``slots=True`` (no per-instance dict) and carries the *interned*
+    attachment flyweight so no phase ever rebuilds one.
 
     Attributes:
         member_id: unique id within the swarm (session id).
@@ -57,6 +69,10 @@ class PeerState:
         exchange: the member's exchange-point index.
         pop: the member's PoP index.
         isp: the member's ISP name.
+        attachment: the member's interned
+            :class:`~repro.topology.nodes.AttachmentPoint`; filled from
+            the flyweight cache when not supplied (producers that already
+            hold the session's interned attachment pass it through).
     """
 
     member_id: int
@@ -66,12 +82,15 @@ class PeerState:
     exchange: int
     pop: int
     isp: str
+    attachment: Optional[AttachmentPoint] = None
 
     def __post_init__(self) -> None:
         if self.demand < 0 or self.supply < 0:
             raise ValueError(
                 f"demand/supply must be >= 0, got {self.demand!r}/{self.supply!r}"
             )
+        if self.attachment is None:
+            self.attachment = intern_attachment(self.isp, self.pop, self.exchange)
 
 
 #: Maps a member to its matching scope within a phase (e.g. its PoP).
@@ -82,7 +101,7 @@ GroupKey = Callable[[PeerState], Hashable]
 BlockKey = Callable[[int], Hashable]
 
 
-@dataclass
+@dataclass(slots=True)
 class WindowAllocation:
     """Where one window's bytes came from.
 
@@ -187,6 +206,207 @@ def match_window(
     return allocation
 
 
+def match_window_multi(
+    members: Sequence[PeerState],
+    supply_profiles: Sequence[Sequence[float]],
+    *,
+    allow_cross_isp: bool = False,
+    locality_aware: bool = True,
+) -> List[WindowAllocation]:
+    """Allocate one window under K supply profiles of one membership.
+
+    The sweep kernel's workhorse: one shared member list provides the
+    geometry, ids and demands, and ``supply_profiles[k]`` overrides the
+    per-member supplies for sweep config ``k`` (upload ratio / bandwidth
+    / participation are the swept axes -- only supply varies across a
+    sweep's configs within a schedule group).  Everything that depends
+    on membership and geometry alone is computed once: the seed and
+    fresh selection, the per-phase matching scopes, and each scope's
+    forbidden-block structure.  Only the per-config drain arithmetic
+    runs K times, and it replays *exactly* the float-operation sequence
+    :func:`match_window` performs -- same summation orders, same
+    in-place drains, same dict-accumulation orders -- so each returned
+    allocation is bit-for-bit what the independent call on members
+    carrying that profile's supplies would have produced.
+
+    Random (locality-blind) matching shares no precomputable structure
+    worth the complexity (its cost is the supply x demand pair loop,
+    which is per-config anyway); those calls delegate per profile.
+    """
+    if not supply_profiles:
+        return []
+    base = members
+    if not base:
+        return [WindowAllocation() for _ in supply_profiles]
+    if not locality_aware:
+        allocations = []
+        for profile in supply_profiles:
+            rebuilt = [
+                PeerState(
+                    member_id=m.member_id,
+                    user_id=m.user_id,
+                    demand=m.demand,
+                    supply=supply,
+                    exchange=m.exchange,
+                    pop=m.pop,
+                    isp=m.isp,
+                    attachment=m.attachment,
+                )
+                for m, supply in zip(base, profile)
+            ]
+            allocations.append(
+                match_window(
+                    rebuilt, allow_cross_isp=allow_cross_isp, locality_aware=False
+                )
+            )
+        return allocations
+
+    n = len(base)
+    demanded_bits = sum(m.demand for m in base)
+    if n == 1:
+        allocations = []
+        for _profile in supply_profiles:
+            allocation = WindowAllocation()
+            allocation.demanded_bits = demanded_bits
+            allocation.server_bits = base[0].demand
+            allocations.append(allocation)
+        return allocations
+
+    # Seed / fresh positions: the selectors compare only demand
+    # positivity and (user, member) ids, which are shared across the
+    # profiles, so both positions are computed once.  Ids are unique,
+    # so min/max have no ties and positional selection is exact.
+    positions = range(n)
+    seed_pos = min(
+        positions,
+        key=lambda i: (base[i].demand > 0.0, base[i].user_id, base[i].member_id),
+    )
+    watcher_positions = [
+        i for i in positions if i != seed_pos and base[i].demand > 0.0
+    ]
+    fresh_pos = max(
+        watcher_positions,
+        key=lambda i: (base[i].user_id, base[i].member_id),
+        default=None,
+    )
+    base_demands = [0.0 if i == seed_pos else base[i].demand for i in positions]
+
+    # Phase structure from the shared geometry: for each phase, the
+    # scopes in first-appearance order, each with its member indices and
+    # a dense renumbering of its forbidden blocks.  Mirrors the scope /
+    # block_totals dicts match_window builds per call, including the
+    # exchange phase's singleton-scope skip.
+    # Scopes that provably transfer nothing under *any* profile are
+    # compiled away up front: demands only ever shrink (and float
+    # addition is monotone for non-negative values), so a scope whose
+    # initial demand total is below the epsilon stays below it in every
+    # phase; likewise a scope none of whose members starts with positive
+    # supply in any profile keeps a zero supply total.  Dropping them
+    # skips only side-effect-free sums the per-profile loop would have
+    # discarded anyway, so outputs are untouched -- but seed-only and
+    # fresh-only scopes (the bulk of small-swarm scopes) cost nothing.
+    can_supply = [
+        i != fresh_pos and any(profile[i] > 0.0 for profile in supply_profiles)
+        for i in positions
+    ]
+    # Per-member scope keys, one attribute pass: each phase's forbidden
+    # block is exactly the previous phase's scope (the subtree already
+    # matched), so four key lists describe the whole phase stack without
+    # per-call lambdas.
+    exchange_keys: List[Hashable] = []
+    pop_keys: List[Hashable] = []
+    core_keys: List[Hashable] = []
+    for member in base:
+        isp = member.isp
+        exchange_keys.append((isp, member.exchange))
+        pop_keys.append((isp, member.pop))
+        core_keys.append(isp)
+    index_keys: List[Hashable] = list(positions)
+    phase_specs: List[Tuple[NetworkLayer, List[Hashable], List[Hashable]]] = [
+        (NetworkLayer.EXCHANGE, exchange_keys, index_keys),
+        (NetworkLayer.POP, pop_keys, exchange_keys),
+        (NetworkLayer.CORE, core_keys, pop_keys),
+    ]
+    if allow_cross_isp:
+        none_keys: List[Hashable] = [None] * n
+        phase_specs.append((NetworkLayer.SERVER, none_keys, core_keys))
+
+    structure: List[Tuple[NetworkLayer, List[Tuple[List[int], List[int], int]]]] = []
+    for layer, group_keys, block_keys in phase_specs:
+        scopes: Dict[Hashable, List[int]] = {}
+        for index, group in enumerate(group_keys):
+            scopes.setdefault(group, []).append(index)
+        compiled: List[Tuple[List[int], List[int], int]] = []
+        for indices in scopes.values():
+            if len(indices) < 2 and layer is NetworkLayer.EXCHANGE:
+                continue
+            if sum(base_demands[i] for i in indices) <= _EPS:
+                continue
+            if not any(can_supply[i] for i in indices):
+                continue
+            block_ids: List[int] = []
+            block_index: Dict[Hashable, int] = {}
+            for i in indices:
+                block = block_keys[i]
+                dense = block_index.get(block)
+                if dense is None:
+                    dense = block_index[block] = len(block_index)
+                block_ids.append(dense)
+            compiled.append((indices, block_ids, len(block_index)))
+        if compiled:
+            structure.append((layer, compiled))
+
+    allocations = []
+    for profile in supply_profiles:
+        allocation = WindowAllocation()
+        allocation.demanded_bits = demanded_bits
+        allocation.server_bits = base[seed_pos].demand
+        demands = base_demands.copy()
+        supplies = list(profile)
+        if fresh_pos is not None:
+            supplies[fresh_pos] = 0.0
+        uploaded = allocation.uploaded_bits
+        for layer, compiled in structure:
+            for indices, block_ids, num_blocks in compiled:
+                # One pass, plain adds: bit-for-bit the generator sums
+                # match_window computes (same order, same 0-start).
+                total_demand = 0.0
+                total_supply = 0.0
+                for i in indices:
+                    total_demand += demands[i]
+                    total_supply += supplies[i]
+                if total_demand <= _EPS or total_supply <= _EPS:
+                    continue
+                block_totals = [0.0] * num_blocks
+                for i, block in zip(indices, block_ids):
+                    # Left-associated on purpose: match_window computes
+                    # ``(total + demand) + supply``, and bit-for-bit
+                    # replay means replaying its rounding too.
+                    block_totals[block] = block_totals[block] + demands[i] + supplies[i]
+                bound = total_demand + total_supply - max(block_totals)
+                transferred = min(total_demand, total_supply, bound)
+                if transferred <= _EPS:
+                    continue
+                demand_factor = transferred / total_demand
+                supply_factor = transferred / total_supply
+                for i in indices:
+                    supply = supplies[i]
+                    if supply > 0.0:
+                        contributed = supply * supply_factor
+                        uid = members[i].user_id
+                        uploaded[uid] = uploaded.get(uid, 0.0) + contributed
+                        supplies[i] = supply - contributed
+                    demand = demands[i]
+                    if demand > 0.0:
+                        demands[i] = demand - demand * demand_factor
+                allocation.peer_bits[layer] = (
+                    allocation.peer_bits.get(layer, 0.0) + transferred
+                )
+        allocation.server_bits += sum(demands)
+        allocations.append(allocation)
+    return allocations
+
+
 def _match_randomly(
     active: List[PeerState],
     demands: List[float],
@@ -221,18 +441,19 @@ def _match_randomly(
             continue
 
         # Layer mixture of a random (supply x demand)-weighted pair.
+        # Members carry their interned attachment, so the n^2 pair loop
+        # only classifies layers -- it never constructs (or validates) an
+        # AttachmentPoint per supplier x demander pair.
         layer_weights: Dict[NetworkLayer, float] = {}
         pair_total = 0.0
         for i in indices:
             if supplies[i] <= 0.0:
                 continue
-            a = AttachmentPoint(isp=active[i].isp, pop=active[i].pop, exchange=active[i].exchange)
+            a = active[i].attachment
             for j in indices:
                 if i == j or demands[j] <= 0.0:
                     continue
-                b = AttachmentPoint(
-                    isp=active[j].isp, pop=active[j].pop, exchange=active[j].exchange
-                )
+                b = active[j].attachment
                 layer = lowest_common_layer(a, b)
                 weight = supplies[i] * demands[j]
                 layer_weights[layer] = layer_weights.get(layer, 0.0) + weight

@@ -70,6 +70,7 @@ __all__ = [
     "FootprintStats",
     "FootprintAccumulator",
     "StreamingReducer",
+    "SweepReducer",
     "ReductionStats",
     "iter_user_deltas",
     "load_user_deltas",
@@ -437,6 +438,84 @@ class StreamingReducer:
             peak_resident=self.peak_resident,
             peak_resident_outputs=self.peak_resident_outputs,
             spill_path=str(spill) if spill is not None else None,
+        )
+
+
+class SweepReducer:
+    """Folds a sweep's shard blocks into K results in one pass.
+
+    The reduction half of ``Simulator.run_sweep``: backends deliver
+    ``(start_index, [MultiSwarmOutput, ...])`` blocks (each carrying one
+    output per sweep config for each task in the block), and this class
+    demultiplexes every block into K :class:`StreamingReducer` instances
+    -- one per config -- as it arrives.  Each per-config reducer sees
+    exactly the ``(index, outputs)`` sequence a single-config run would
+    have produced, so every result of :meth:`results` is bit-for-bit the
+    result of the corresponding independent run, under any backend,
+    completion order or reduction mode.
+    """
+
+    def __init__(self, reducers: Sequence[StreamingReducer]) -> None:
+        if not reducers:
+            raise ValueError("SweepReducer needs at least one per-config reducer")
+        self.reducers = list(reducers)
+
+    def add(self, index: int, multi_block: Sequence) -> None:
+        """Demultiplex one sweep block into every per-config reducer.
+
+        ``multi_block`` holds one :class:`~repro.sim.kernel.\
+MultiSwarmOutput` per task, each with ``outputs`` aligned with the
+        sweep's config list.
+        """
+        for position, reducer in enumerate(self.reducers):
+            reducer.add(index, [multi.outputs[position] for multi in multi_block])
+
+    @property
+    def outputs_folded(self) -> int:
+        """Per-config outputs folded so far (identical across configs)."""
+        return self.reducers[0].outputs_folded
+
+    def results(self) -> List[SimulationResult]:
+        """Finish every per-config reduction, in config order."""
+        return [reducer.result() for reducer in self.reducers]
+
+    def config_stats(self, mode: str) -> List[ReductionStats]:
+        """Per-config :class:`ReductionStats`, in config order."""
+        return [reducer.stats(mode) for reducer in self.reducers]
+
+    def stats(self, mode: str) -> ReductionStats:
+        """Sweep-aggregate stats.
+
+        ``outputs`` and ``blocks`` count fold operations across all
+        per-config reducers; ``peak_resident`` is the worst single
+        reducer's reorder buffer (the number the ``workers + 1`` bound
+        applies to -- every reducer sees the same block sequence, so
+        peaks coincide); ``peak_resident_outputs`` sums the per-reducer
+        peaks, the honest total of simultaneously buffered outputs.
+        ``spill_path`` is the single log when one config spilled, or the
+        logs' common directory when several did (the engine creates all
+        per-config logs in one spill root), so every persistent log is
+        discoverable from the stats.
+        """
+        per_config = self.config_stats(mode)
+        spill_paths = [
+            stats.spill_path for stats in per_config if stats.spill_path is not None
+        ]
+        if not spill_paths:
+            spill_path = None
+        elif len(spill_paths) == 1:
+            spill_path = spill_paths[0]
+        else:
+            spill_path = str(Path(spill_paths[0]).parent)
+        return ReductionStats(
+            mode=mode,
+            outputs=sum(stats.outputs for stats in per_config),
+            blocks=sum(stats.blocks for stats in per_config),
+            peak_resident=max(stats.peak_resident for stats in per_config),
+            peak_resident_outputs=sum(
+                stats.peak_resident_outputs for stats in per_config
+            ),
+            spill_path=spill_path,
         )
 
 

@@ -122,9 +122,12 @@ class SwarmResult:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class UserTraffic:
     """Per-user byte totals over the run.
+
+    A hot accounting type -- one instance per user per shard output --
+    so ``slots=True`` keeps it dict-free.
 
     Attributes:
         watched_bits: bits the user streamed (server + peers).

@@ -37,6 +37,7 @@ bit -- to the one written.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import json
 import os
@@ -62,6 +63,7 @@ from repro.trace.events import Session
 
 __all__ = [
     "RECORD_SIZE",
+    "STORE_VERSION",
     "StoreWriter",
     "StoreReader",
     "Extent",
@@ -71,6 +73,10 @@ __all__ = [
     "shared_reader",
     "evict_reader",
     "clear_reader_cache",
+    "trace_fingerprint",
+    "file_fingerprint",
+    "save_manifest",
+    "load_manifest",
 ]
 
 #: File layout:  [header][records...][footer JSON][tail]
@@ -82,6 +88,13 @@ _MAGIC = b"RPSS"
 _VERSION = 1
 _HEADER = struct.Struct("<4sI")
 _TAIL = struct.Struct("<Q4s")
+
+#: The on-disk format version, exported for cache keying: a cached
+#: shard + manifest is only reusable by a process that writes (and
+#: reads) the identical record layout, so content-addressed cache keys
+#: must include this number -- bumping ``_VERSION`` automatically
+#: invalidates every cache entry built by older code.
+STORE_VERSION = _VERSION
 
 #: One session: session_id, user_id, content ref, start, duration,
 #: bitrate, isp ref, pop, exchange, device ref.  Little-endian, packed
@@ -557,3 +570,161 @@ class ExternalSessionSorter:
                 except OSError:  # pragma: no cover - best-effort cleanup
                     pass
             self._run_paths = []
+
+
+# ----------------------------------------------------------------------
+# Content addressing: trace fingerprints and persisted manifests
+# ----------------------------------------------------------------------
+
+#: Per-session numeric fields fed to the fingerprint, packed exactly
+#: (IEEE-754 doubles, not decimal round-trips).
+_FINGERPRINT_RECORD = struct.Struct("<qqdddII")
+
+
+def trace_fingerprint(sessions: Iterable[Session]) -> str:
+    """A stable content hash of a session sequence.
+
+    The cache key half of the content-addressed shard cache: two traces
+    with the same fingerprint (and the same grouping policy and store
+    version) would produce byte-identical sorted shards, so a cached
+    shard + manifest can be reused across runs *and across processes*
+    without re-reading the sessions.
+
+    The hash covers every field a session carries -- ids, times,
+    bitrate (as exact doubles), content/ISP/device strings and the
+    attachment coordinates -- and is **order-sensitive**, so fingerprint
+    a canonically ordered source (a :class:`~repro.trace.events.Trace`
+    orders its sessions at construction; hashing it is deterministic).
+    Hashing is a single streamed pass: far cheaper than the sort /
+    spill / merge it lets a run skip.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    update = hasher.update
+    pack = _FINGERPRINT_RECORD.pack
+    for session in sessions:
+        attachment = session.attachment
+        update(
+            pack(
+                session.session_id,
+                session.user_id,
+                session.start,
+                session.duration,
+                session.bitrate,
+                attachment.pop,
+                attachment.exchange,
+            )
+        )
+        update(session.content_id.encode("utf-8"))
+        update(b"\x00")
+        update(attachment.isp.encode("utf-8"))
+        update(b"\x00")
+        update(session.device.encode("utf-8"))
+        update(b"\x1f")
+    return hasher.hexdigest()
+
+
+def file_fingerprint(path: Union[str, Path]) -> str:
+    """A content hash of a trace *file*, for cache tokens.
+
+    The streamed-file counterpart of :func:`trace_fingerprint`: callers
+    that would rather not parse a session stream twice (the CLI's
+    out-of-core path feeds a ``.jsonl`` straight into external
+    grouping) can key the shard cache on the raw bytes instead.  Any
+    stable content identifier is a valid token -- a byte-level and a
+    session-level fingerprint of the same trace simply address separate
+    (equally correct) cache entries.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                break
+            hasher.update(chunk)
+    return "file:" + hasher.hexdigest()
+
+
+def save_manifest(
+    manifest: ShardManifest,
+    path: Union[str, Path],
+    *,
+    key_encoder: Callable[[object], Dict],
+    meta: Optional[Dict] = None,
+) -> None:
+    """Persist a :class:`ShardManifest` as JSON next to its shard.
+
+    The shard path is stored *relative to the manifest's directory*, so
+    a cache directory can be moved (or mounted at a different root by a
+    worker host) and still resolve.  ``key_encoder`` turns each extent
+    key into a JSON object -- the simulation layer supplies the
+    :class:`~repro.sim.policies.SwarmKey` codec, keeping this module
+    free of simulation imports.  The write is atomic (temp file +
+    ``os.replace``), so readers never observe a torn manifest.
+    """
+    path = Path(path)
+    shard = Path(manifest.path)
+    try:
+        shard_ref = str(shard.relative_to(path.parent))
+    except ValueError:
+        shard_ref = str(shard)
+    payload = {
+        "store_version": STORE_VERSION,
+        "shard": shard_ref,
+        "horizon": manifest.horizon,
+        "records": manifest.num_sessions,
+        "meta": meta or {},
+        "extents": [
+            {"index": extent.index, "count": extent.count, "key": key_encoder(extent.key)}
+            for extent in manifest.extents
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp_path = path.with_name(path.name + ".tmp")
+    temp_path.write_text(json.dumps(payload), encoding="utf-8")
+    os.replace(temp_path, path)
+
+
+def load_manifest(
+    path: Union[str, Path], *, key_decoder: Callable[[Dict], object]
+) -> Tuple[ShardManifest, Dict]:
+    """Load a persisted manifest; returns ``(manifest, meta)``.
+
+    Validates the store version and that the shard file both exists and
+    holds exactly the record count the manifest promises (one cheap
+    footer read) -- a truncated or half-written cache entry raises
+    ``ValueError`` instead of producing silently wrong extents.
+    """
+    path = Path(path)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("store_version") != STORE_VERSION:
+        raise ValueError(
+            f"{path}: manifest store version {payload.get('store_version')!r} "
+            f"does not match this process ({STORE_VERSION})"
+        )
+    shard_path = Path(payload["shard"])
+    if not shard_path.is_absolute():
+        shard_path = path.parent / shard_path
+    extents = tuple(
+        Extent(
+            key=key_decoder(entry["key"]),
+            index=int(entry["index"]),
+            count=int(entry["count"]),
+        )
+        for entry in payload["extents"]
+    )
+    manifest = ShardManifest(
+        path=str(shard_path), horizon=float(payload["horizon"]), extents=extents
+    )
+    expected = int(payload["records"])
+    if manifest.num_sessions != expected:
+        raise ValueError(
+            f"{path}: extents cover {manifest.num_sessions} records, "
+            f"manifest promises {expected}"
+        )
+    with StoreReader(shard_path) as reader:
+        if len(reader) != expected:
+            raise ValueError(
+                f"{shard_path}: shard holds {len(reader)} records, "
+                f"manifest promises {expected}"
+            )
+    return manifest, dict(payload.get("meta") or {})

@@ -278,6 +278,73 @@ class TestReductionMatrix:
                 backend.close()
 
 
+class TestSweepMatrix:
+    """Sweep x backend x reduction x grouping: ``run_sweep`` reproduces
+    the K independent serial-batched runs bit for bit in every cell of
+    the {serial, thread, process} x {batched, streaming, spill} x
+    {memory, external} matrix, while the streaming cells keep each
+    per-config reducer inside the ``workers + 1`` residency bound."""
+
+    RATIOS = (0.2, 0.6, 1.0)
+
+    @pytest.fixture(scope="class")
+    def sweep_reference(self, trace):
+        return [
+            Simulator(SimulationConfig(upload_ratio=r), backend=SerialBackend()).run(
+                trace
+            )
+            for r in self.RATIOS
+        ]
+
+    @pytest.mark.parametrize("backend_name", ["serial", "thread", "process"])
+    @pytest.mark.parametrize("reduction", ["batched", "streaming", "spill"])
+    @pytest.mark.parametrize("grouping", ["memory", "external"])
+    def test_sweep_matrix_cell(
+        self, trace, sweep_reference, backend_name, reduction, grouping, tmp_path
+    ):
+        backends = {
+            "serial": lambda: SerialBackend(),
+            "thread": lambda: ThreadBackend(3),
+            # min_sessions=0 forces real worker processes on this trace.
+            "process": lambda: ProcessPoolBackend(2, min_sessions=0),
+        }
+        backend = backends[backend_name]()
+        spill_dir = str(tmp_path / "spill") if reduction == "spill" else None
+        config = SimulationConfig(reduction=reduction, spill_dir=spill_dir)
+        strategy = (
+            ExternalGrouping(shard_dir=tmp_path / "shards", run_sessions=500)
+            if grouping == "external"
+            else None
+        )
+        simulator = Simulator(config, backend=backend, grouping=strategy)
+        configs = [SimulationConfig(upload_ratio=r) for r in self.RATIOS]
+        try:
+            results = simulator.run_sweep(trace, configs)
+            assert len(results) == len(self.RATIOS)
+            for reference, result in zip(sweep_reference, results):
+                assert_identical(reference, result)
+            sweep_stats = simulator.last_sweep
+            assert sweep_stats is not None
+            assert sweep_stats.configs == len(self.RATIOS)
+            reduction_stats = simulator.last_reduction
+            assert reduction_stats is not None and reduction_stats.mode == reduction
+            if reduction != "batched":
+                workers = getattr(backend, "workers", 1)
+                # peak_resident is the worst single per-config reducer.
+                assert 1 <= reduction_stats.peak_resident <= workers + 1
+            grouping_stats = simulator.last_grouping
+            assert grouping_stats is not None and grouping_stats.mode == grouping
+
+            from_stream = simulator.run_sweep_stream(
+                iter(trace.sessions), trace.horizon, configs
+            )
+            for reference, result in zip(sweep_reference, from_stream):
+                assert_identical(reference, result)
+        finally:
+            if hasattr(backend, "close"):
+                backend.close()
+
+
 class TestExecutorReuse:
     def test_pool_persists_across_runs(self, trace):
         backend = ProcessPoolBackend(2, min_sessions=0)

@@ -1,0 +1,239 @@
+"""The content-addressed shard cache: group once, reuse everywhere.
+
+ROADMAP item (d): the sorted shard + manifest produced by external
+grouping is a reusable artefact keyed by (trace fingerprint, policy,
+store version).  These tests pin the contract:
+
+* a second plan over the same (trace, policy) reuses the manifest with
+  ``GroupingStats.cache_hit is True`` and **never consumes the session
+  stream** (proved with a poisoned iterator -- the strongest possible
+  "no re-sort" witness);
+* reuse crosses Simulator instances and OS processes;
+* cache keys separate on trace content, policy and horizon;
+* corrupt entries rebuild instead of failing;
+* cached results stay bit-for-bit identical to uncached ones.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.sim import SimulationConfig, Simulator
+from repro.sim.grouping import ExternalGrouping, MemoryGrouping
+from repro.sim.policies import PAPER_POLICY, SwarmPolicy
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+from repro.trace.loader import save_jsonl
+from repro.trace.store import trace_fingerprint
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = GeneratorConfig(
+        num_users=120, num_items=10, days=1, expected_sessions=600, seed=13
+    )
+    return TraceGenerator(config=config).generate()
+
+
+def poisoned_sessions():
+    """An iterator that explodes if anyone consumes it."""
+
+    def explode():
+        raise AssertionError("cached plan consumed the session stream")
+        yield  # pragma: no cover
+
+    return explode()
+
+
+class TestPlanLevelCache:
+    def test_second_plan_hits_without_consuming_stream(self, trace, tmp_path):
+        grouping = ExternalGrouping(shard_dir=tmp_path / "shards", run_sessions=200)
+        token = trace_fingerprint(trace)
+        first = grouping.plan(trace, trace.horizon, PAPER_POLICY, cache_token=token)
+        stats = first.stats()
+        assert stats.cache_hit is False
+        assert stats.runs_spilled >= 1  # the sort really happened
+        first.cleanup()
+
+        second = grouping.plan(
+            poisoned_sessions(), trace.horizon, PAPER_POLICY, cache_token=token
+        )
+        hit_stats = second.stats()
+        assert hit_stats.cache_hit is True
+        assert hit_stats.runs_spilled == 0
+        assert hit_stats.peak_buffered_sessions == 0  # nothing buffered at all
+        # Identical task partition: same keys, same session counts.
+        assert [e.key for e in second.manifest.extents] == [
+            e.key for e in first.manifest.extents
+        ]
+        assert list(second.session_counts) == list(first.session_counts)
+        second.cleanup()
+
+    def test_fresh_grouping_instance_hits(self, trace, tmp_path):
+        shard_dir = tmp_path / "shards"
+        token = trace_fingerprint(trace)
+        ExternalGrouping(shard_dir=shard_dir).plan(
+            trace, trace.horizon, PAPER_POLICY, cache_token=token
+        ).cleanup()
+        plan = ExternalGrouping(shard_dir=shard_dir).plan(
+            poisoned_sessions(), trace.horizon, PAPER_POLICY, cache_token=token
+        )
+        assert plan.stats().cache_hit is True
+        plan.cleanup()
+
+    def test_no_token_means_no_cache(self, trace, tmp_path):
+        grouping = ExternalGrouping(shard_dir=tmp_path / "shards")
+        plan = grouping.plan(trace, trace.horizon, PAPER_POLICY)
+        assert plan.stats().cache_hit is None
+        plan.cleanup()
+
+    def test_no_shard_dir_means_no_cache(self, trace):
+        grouping = ExternalGrouping()  # run-scoped temp dir
+        assert grouping.supports_cache is False
+        plan = grouping.plan(
+            trace, trace.horizon, PAPER_POLICY, cache_token=trace_fingerprint(trace)
+        )
+        assert plan.stats().cache_hit is None
+        plan.cleanup()
+
+    def test_memory_grouping_ignores_token(self, trace):
+        plan = MemoryGrouping().plan(
+            trace, trace.horizon, PAPER_POLICY, cache_token="whatever"
+        )
+        assert plan.stats().cache_hit is None
+
+    def test_key_separates_policy_and_horizon_and_content(self, trace, tmp_path):
+        shard_dir = tmp_path / "shards"
+        grouping = ExternalGrouping(shard_dir=shard_dir)
+        token = trace_fingerprint(trace)
+        grouping.plan(trace, trace.horizon, PAPER_POLICY, cache_token=token).cleanup()
+
+        other_policy = grouping.plan(
+            trace, trace.horizon, SwarmPolicy(split_by_bitrate=False), cache_token=token
+        )
+        assert other_policy.stats().cache_hit is False
+        other_policy.cleanup()
+
+        other_horizon = grouping.plan(
+            trace, trace.horizon * 2, PAPER_POLICY, cache_token=token
+        )
+        assert other_horizon.stats().cache_hit is False
+        other_horizon.cleanup()
+
+        shuffled = TraceGenerator(
+            config=GeneratorConfig(
+                num_users=120, num_items=10, days=1, expected_sessions=600, seed=14
+            )
+        ).generate()
+        assert trace_fingerprint(shuffled) != trace_fingerprint(trace)
+
+    def test_corrupt_manifest_rebuilds(self, trace, tmp_path):
+        shard_dir = tmp_path / "shards"
+        grouping = ExternalGrouping(shard_dir=shard_dir)
+        token = trace_fingerprint(trace)
+        grouping.plan(trace, trace.horizon, PAPER_POLICY, cache_token=token).cleanup()
+        (manifest_path,) = shard_dir.glob("cache-*/manifest.json")
+        manifest_path.write_text("{ not json")
+        rebuilt = grouping.plan(
+            trace, trace.horizon, PAPER_POLICY, cache_token=token
+        )
+        assert rebuilt.stats().cache_hit is False
+        rebuilt.cleanup()
+
+
+class TestSimulatorCache:
+    def test_second_simulator_reuses_and_matches(self, trace, tmp_path):
+        baseline = Simulator(SimulationConfig()).run(trace)
+        config = SimulationConfig(
+            grouping="external", shard_dir=str(tmp_path / "shards")
+        )
+        first = Simulator(config)
+        built = first.run(trace)
+        assert first.last_grouping.cache_hit is False
+        second = Simulator(config)
+        reused = second.run(trace)
+        assert second.last_grouping.cache_hit is True
+        assert baseline.identical_to(built)
+        assert baseline.identical_to(reused)
+
+    def test_sweep_reuses_cached_shard(self, trace, tmp_path):
+        configs = [SimulationConfig(upload_ratio=r) for r in (0.2, 0.6, 1.0)]
+        baseline = [Simulator(c).run(trace) for c in configs]
+        cached = SimulationConfig(
+            grouping="external", shard_dir=str(tmp_path / "shards")
+        )
+        first = Simulator(cached)
+        built = first.run_sweep(trace, configs)
+        assert first.last_sweep.cache_hit is False
+        second = Simulator(cached)
+        reused = second.run_sweep(trace, configs)
+        assert second.last_sweep.cache_hit is True
+        for reference, a, b in zip(baseline, built, reused):
+            assert reference.identical_to(a)
+            assert reference.identical_to(b)
+
+    def test_run_then_sweep_share_one_shard(self, trace, tmp_path):
+        """A single run and a later sweep over the same trace + policy
+        address the same cache entry."""
+        config = SimulationConfig(
+            grouping="external", shard_dir=str(tmp_path / "shards")
+        )
+        first = Simulator(config)
+        first.run(trace)
+        assert first.last_grouping.cache_hit is False
+        second = Simulator(config)
+        second.run_sweep(trace, [SimulationConfig(upload_ratio=r) for r in (0.4, 0.8)])
+        assert second.last_sweep.cache_hit is True
+        # Exactly one cache entry on disk.
+        assert len(list((tmp_path / "shards").glob("cache-*"))) == 1
+
+
+class TestCrossProcessCache:
+    def test_second_process_reuses_manifest(self, trace, tmp_path):
+        """The acceptance-criterion scenario: a *separate OS process*
+        running a fresh Simulator over the same trace + policy reuses
+        the persisted manifest without re-sorting."""
+        trace_path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, trace_path)
+        shard_dir = tmp_path / "shards"
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro.sim import SimulationConfig, Simulator
+            from repro.trace.loader import load_jsonl
+
+            trace = load_jsonl(sys.argv[1])
+            simulator = Simulator(
+                SimulationConfig(grouping="external", shard_dir=sys.argv[2])
+            )
+            result = simulator.run(trace)
+            print(
+                f"cache_hit={simulator.last_grouping.cache_hit} "
+                f"offload={result.offload_fraction()!r}"
+            )
+            """
+        )
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+
+        def run_once():
+            return subprocess.run(
+                [sys.executable, "-c", script, str(trace_path), str(shard_dir)],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            ).stdout.strip()
+
+        first = run_once()
+        second = run_once()
+        assert "cache_hit=False" in first
+        assert "cache_hit=True" in second
+        # Same bits either way (offload printed via repr round-trips).
+        assert first.split("offload=")[1] == second.split("offload=")[1]

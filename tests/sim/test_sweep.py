@@ -1,0 +1,333 @@
+"""Sweep equivalence: run_swarm_multi / run_sweep == K independent runs.
+
+The sweep runtime's whole contract is "bit-for-bit identical to the
+K-independent-runs baseline, just cheaper".  This module pins that
+contract at every level:
+
+* kernel: ``run_swarm_multi`` vs K x ``run_swarm`` (hypothesis property
+  over adversarial random swarms and config mixes -- shared users, ties,
+  lingering seeds, mixed delta_tau / participation / matching flags);
+* matching: ``match_window_multi`` vs per-profile ``match_window``;
+* engine: ``Simulator.run_sweep`` / ``run_sweep_stream`` vs per-config
+  ``run``, plus validation and :class:`~repro.sim.engine.SweepStats`;
+* the hot slots types pickle-round-trip (they cross process boundaries
+  inside every sweep shard).
+"""
+
+import pickle
+
+import pytest
+
+from repro.sim import SimulationConfig, Simulator, SweepStats
+from repro.sim.accounting import ByteLedger
+from repro.sim.kernel import (
+    MultiSwarmOutput,
+    SwarmTask,
+    build_tasks,
+    run_shard_multi,
+    run_swarm,
+    run_swarm_multi,
+)
+from repro.sim.matching import PeerState, WindowAllocation, match_window, match_window_multi
+from repro.sim.policies import SwarmPolicy
+from repro.sim.results import UserTraffic
+from repro.topology.layers import NetworkLayer
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = GeneratorConfig(
+        num_users=250, num_items=20, days=2, expected_sessions=2_000, seed=77
+    )
+    return TraceGenerator(config=config).generate()
+
+
+#: A deliberately heterogeneous sweep: ratio axis, participation axis,
+#: bandwidth override, lingering seeds, a different window size, the
+#: locality ablation and the cross-ISP matching phase.
+SWEEP_CONFIGS = [
+    SimulationConfig(upload_ratio=0.2),
+    SimulationConfig(upload_ratio=0.6),
+    SimulationConfig(upload_ratio=1.0),
+    SimulationConfig(upload_ratio=0.5, participation_rate=0.35),
+    SimulationConfig(upload_bandwidth=2e6),
+    SimulationConfig(seed_linger_seconds=120.0, participation_rate=0.5),
+    SimulationConfig(delta_tau=30.0),
+    SimulationConfig(locality_aware_matching=False),
+    SimulationConfig(participation_rate=0.0),
+]
+
+
+def assert_output_identical(reference, candidate, context=""):
+    """Exact equality of two SwarmOutputs at every accounting level."""
+    a, b = reference.result.ledger, candidate.result.ledger
+    assert (
+        a.server_bits,
+        a.peer_bits,
+        a.demanded_bits,
+        a.watch_seconds,
+        a.sessions,
+    ) == (b.server_bits, b.peer_bits, b.demanded_bits, b.watch_seconds, b.sessions), context
+    assert reference.result.capacity == candidate.result.capacity, context
+    assert reference.result.arrival_rate == candidate.result.arrival_rate, context
+    assert reference.result.mean_duration == candidate.result.mean_duration, context
+    assert reference.per_isp_day.keys() == candidate.per_isp_day.keys(), context
+    for key in reference.per_isp_day:
+        x, y = reference.per_isp_day[key], candidate.per_isp_day[key]
+        assert (x.server_bits, x.peer_bits, x.demanded_bits, x.watch_seconds) == (
+            y.server_bits,
+            y.peer_bits,
+            y.demanded_bits,
+            y.watch_seconds,
+        ), (context, key)
+    assert reference.per_user.keys() == candidate.per_user.keys(), context
+    for user_id in reference.per_user:
+        mine, theirs = reference.per_user[user_id], candidate.per_user[user_id]
+        assert (mine.watched_bits, mine.uploaded_bits) == (
+            theirs.watched_bits,
+            theirs.uploaded_bits,
+        ), (context, user_id)
+
+
+class TestKernelSweepEquivalence:
+    def test_multi_matches_independent_runs(self, trace):
+        tasks = build_tasks(trace, trace.horizon, SimulationConfig().policy)
+        for task in tasks:
+            multi = run_swarm_multi(task, SWEEP_CONFIGS)
+            assert len(multi.outputs) == len(SWEEP_CONFIGS)
+            for position, config in enumerate(SWEEP_CONFIGS):
+                assert_output_identical(
+                    run_swarm(task, config),
+                    multi.outputs[position],
+                    context=(str(task.key), position),
+                )
+
+    def test_run_shard_multi_preserves_task_order(self, trace):
+        config = SimulationConfig()
+        tasks = build_tasks(trace, trace.horizon, config.policy)[:5]
+        configs = [SimulationConfig(upload_ratio=r) for r in (0.3, 0.9)]
+        multis = run_shard_multi(tasks, configs)
+        assert len(multis) == len(tasks)
+        for task, multi in zip(tasks, multis):
+            assert multi.outputs[0].result.key == task.key
+
+    def test_empty_config_list(self, trace):
+        task = build_tasks(trace, trace.horizon, SimulationConfig().policy)[0]
+        multi = run_swarm_multi(task, [])
+        assert multi.outputs == []
+        assert multi.schedule_builds == 0
+
+    def test_schedule_sharing_counts(self, trace):
+        """Same-signature configs share one schedule; distinct ones don't."""
+        task = build_tasks(trace, trace.horizon, SimulationConfig().policy)[0]
+        ratios_only = [SimulationConfig(upload_ratio=r) for r in (0.2, 0.5, 1.0)]
+        assert run_swarm_multi(task, ratios_only).schedule_builds == 1
+        mixed = ratios_only + [SimulationConfig(delta_tau=30.0)]
+        assert run_swarm_multi(task, mixed).schedule_builds == 2
+
+    def test_memo_stats_are_sane(self, trace):
+        tasks = build_tasks(trace, trace.horizon, SimulationConfig().policy)
+        configs = [SimulationConfig(upload_ratio=r) for r in (0.2, 0.6, 1.0)]
+        hits = misses = 0
+        for task in tasks:
+            multi = run_swarm_multi(task, configs)
+            assert multi.memo_hits >= 0 and multi.memo_misses >= 0
+            hits += multi.memo_hits
+            misses += multi.memo_misses
+        assert misses > 0  # something was actually solved
+
+
+class TestMatchWindowMulti:
+    def _members(self):
+        return [
+            PeerState(member_id=1, user_id=10, demand=100.0, supply=0.0, exchange=0, pop=0, isp="A"),
+            PeerState(member_id=2, user_id=11, demand=100.0, supply=0.0, exchange=0, pop=0, isp="A"),
+            PeerState(member_id=3, user_id=12, demand=50.0, supply=0.0, exchange=1, pop=0, isp="A"),
+            PeerState(member_id=4, user_id=13, demand=80.0, supply=0.0, exchange=2, pop=1, isp="B"),
+            PeerState(member_id=5, user_id=14, demand=0.0, supply=0.0, exchange=1, pop=0, isp="A"),
+        ]
+
+    @pytest.mark.parametrize("allow_cross_isp", [False, True])
+    @pytest.mark.parametrize("locality_aware", [False, True])
+    def test_profiles_match_independent_calls(self, allow_cross_isp, locality_aware):
+        base = self._members()
+        profiles = [
+            [20.0, 0.0, 120.0, 40.0, 65.0],
+            [0.0, 0.0, 0.0, 0.0, 0.0],
+            [100.0, 100.0, 100.0, 100.0, 100.0],
+            [5.0, 250.0, 0.5, 1e-12, 30.0],
+        ]
+        solved = match_window_multi(
+            base,
+            profiles,
+            allow_cross_isp=allow_cross_isp,
+            locality_aware=locality_aware,
+        )
+        assert len(solved) == len(profiles)
+        for profile, multi_allocation in zip(profiles, solved):
+            members = [
+                PeerState(
+                    member_id=m.member_id,
+                    user_id=m.user_id,
+                    demand=m.demand,
+                    supply=supply,
+                    exchange=m.exchange,
+                    pop=m.pop,
+                    isp=m.isp,
+                )
+                for m, supply in zip(base, profile)
+            ]
+            single = match_window(
+                members,
+                allow_cross_isp=allow_cross_isp,
+                locality_aware=locality_aware,
+            )
+            assert multi_allocation.server_bits == single.server_bits
+            assert multi_allocation.demanded_bits == single.demanded_bits
+            assert multi_allocation.peer_bits == single.peer_bits
+            assert multi_allocation.uploaded_bits == single.uploaded_bits
+
+    def test_empty_members_and_profiles(self):
+        assert match_window_multi([], []) == []
+        allocations = match_window_multi([], [[], []])
+        assert len(allocations) == 2
+        assert all(a.demanded_bits == 0.0 for a in allocations)
+
+    def test_single_member(self):
+        member = PeerState(member_id=1, user_id=5, demand=42.0, supply=0.0,
+                           exchange=0, pop=0, isp="A")
+        allocations = match_window_multi([member], [[10.0], [99.0]])
+        for allocation in allocations:
+            assert allocation.server_bits == 42.0
+            assert allocation.demanded_bits == 42.0
+            assert allocation.peer_bits == {}
+
+
+class TestSimulatorSweep:
+    def test_run_sweep_matches_independent_runs(self, trace):
+        configs = [SimulationConfig(upload_ratio=r) for r in (0.2, 0.4, 0.6, 0.8, 1.0)]
+        baseline = [Simulator(config).run(trace) for config in configs]
+        simulator = Simulator(configs[0])
+        swept = simulator.run_sweep(trace, configs)
+        assert len(swept) == len(configs)
+        for reference, result in zip(baseline, swept):
+            assert reference.identical_to(result)
+
+    def test_run_sweep_stream_matches_run_sweep(self, trace):
+        configs = [SimulationConfig(upload_ratio=r) for r in (0.3, 0.9)]
+        simulator = Simulator(configs[0])
+        from_trace = simulator.run_sweep(trace, configs)
+        from_stream = simulator.run_sweep_stream(
+            iter(trace.sessions), trace.horizon, configs
+        )
+        for a, b in zip(from_trace, from_stream):
+            assert a.identical_to(b)
+
+    def test_heterogeneous_sweep(self, trace):
+        baseline = [Simulator(config).run(trace) for config in SWEEP_CONFIGS]
+        swept = Simulator(SWEEP_CONFIGS[0]).run_sweep(trace, SWEEP_CONFIGS)
+        for reference, result in zip(baseline, swept):
+            assert reference.identical_to(result)
+
+    def test_sweep_stats_reported(self, trace):
+        configs = [SimulationConfig(upload_ratio=r) for r in (0.2, 0.6, 1.0)]
+        simulator = Simulator(configs[0])
+        simulator.run_sweep(trace, configs)
+        stats = simulator.last_sweep
+        assert isinstance(stats, SweepStats)
+        assert stats.configs == 3
+        assert stats.tasks == len(
+            build_tasks(trace, trace.horizon, configs[0].policy)
+        )
+        assert 0.0 <= stats.memo_hit_rate <= 1.0
+        # One schedule per task for a pure ratio sweep -- the whole point.
+        assert stats.schedule_builds == stats.tasks
+        assert stats.cache_hit is None  # memory grouping: no cache in play
+
+    def test_single_config_sweep(self, trace):
+        config = SimulationConfig(upload_ratio=0.7)
+        reference = Simulator(config).run(trace)
+        (result,) = Simulator(config).run_sweep(trace, [config])
+        assert reference.identical_to(result)
+
+    def test_rejects_empty_configs(self, trace):
+        with pytest.raises(ValueError, match="at least one config"):
+            Simulator().run_sweep(trace, [])
+
+    def test_rejects_mixed_policies(self, trace):
+        configs = [
+            SimulationConfig(),
+            SimulationConfig(policy=SwarmPolicy(split_by_isp=False)),
+        ]
+        with pytest.raises(ValueError, match="share one swarm policy"):
+            Simulator().run_sweep(trace, configs)
+
+    def test_single_run_stats_not_polluted_by_sweep(self, trace):
+        config = SimulationConfig()
+        simulator = Simulator(config)
+        simulator.run_sweep(trace, [config])
+        assert simulator.last_sweep is not None
+        simulator.run(trace)
+        assert simulator.last_sweep is None  # cleared by the single run
+
+
+class TestSlotsTypesPickle:
+    """The hot per-window types are slotted; they must still pickle
+    (they cross process boundaries inside every sweep shard)."""
+
+    def test_peer_state_round_trip(self):
+        state = PeerState(
+            member_id=7, user_id=3, demand=10.0, supply=4.0, exchange=2, pop=1, isp="BT"
+        )
+        clone = pickle.loads(pickle.dumps(state))
+        assert (clone.member_id, clone.user_id, clone.demand, clone.supply) == (
+            7, 3, 10.0, 4.0,
+        )
+        assert clone.attachment == state.attachment
+
+    def test_window_allocation_round_trip(self):
+        allocation = WindowAllocation(
+            peer_bits={NetworkLayer.EXCHANGE: 5.0},
+            server_bits=2.0,
+            uploaded_bits={3: 5.0},
+            demanded_bits=7.0,
+        )
+        clone = pickle.loads(pickle.dumps(allocation))
+        assert clone.peer_bits == allocation.peer_bits
+        assert clone.server_bits == allocation.server_bits
+        assert clone.uploaded_bits == allocation.uploaded_bits
+        assert clone.demanded_bits == allocation.demanded_bits
+
+    def test_user_traffic_round_trip(self):
+        traffic = UserTraffic(watched_bits=1.5, uploaded_bits=0.5)
+        clone = pickle.loads(pickle.dumps(traffic))
+        assert (clone.watched_bits, clone.uploaded_bits) == (1.5, 0.5)
+
+    def test_byte_ledger_round_trip(self):
+        ledger = ByteLedger(
+            server_bits=1.0,
+            peer_bits={NetworkLayer.POP: 2.0},
+            demanded_bits=3.0,
+            watch_seconds=4.0,
+            sessions=5,
+        )
+        clone = pickle.loads(pickle.dumps(ledger))
+        assert clone.server_bits == 1.0
+        assert clone.peer_bits == {NetworkLayer.POP: 2.0}
+        assert clone.sessions == 5
+
+    def test_slots_reject_rogue_attributes(self):
+        ledger = ByteLedger()
+        with pytest.raises(AttributeError):
+            ledger.rogue = 1  # type: ignore[attr-defined]
+        traffic = UserTraffic()
+        with pytest.raises(AttributeError):
+            traffic.rogue = 1  # type: ignore[attr-defined]
+
+    def test_multi_swarm_output_round_trip(self, trace):
+        task = build_tasks(trace, trace.horizon, SimulationConfig().policy)[0]
+        multi = run_swarm_multi(task, [SimulationConfig(upload_ratio=0.4)])
+        clone = pickle.loads(pickle.dumps(multi))
+        assert isinstance(clone, MultiSwarmOutput)
+        assert_output_identical(multi.outputs[0], clone.outputs[0])
