@@ -1,0 +1,257 @@
+#!/usr/bin/env python
+"""Distributed-backend benchmark/smoke: coordinator + real worker processes.
+
+Exercises the whole multi-host contract on one machine: a coordinator
+(:class:`repro.sim.backends.DistributedBackend` with ``spawn=False``)
+publishes jobs onto a file-based work queue in a shared directory, and
+**independently launched** worker processes -- started exactly the way
+an operator would on another host, ``python -m repro.sim.worker
+--queue-dir DIR`` -- claim, execute and ack the work.  The benchmark
+
+* runs a single-config simulation (external grouping + streaming
+  reduction, the out-of-core pipeline) and a 3-ratio sweep through the
+  queue, and **fails loudly** unless both are bit-for-bit identical to
+  their serial baselines;
+* fails unless the work actually went through the queue in several
+  work items (so a degenerate one-block run cannot pass);
+* shuts the workers down via the queue's STOP file and fails if any
+  worker exited uncleanly;
+* records wall-clock for serial vs distributed and the queue shape in
+  ``BENCH_distributed.json`` at the repo root (override with
+  ``--out``), extending the benchmark trajectory the other BENCH_*
+  files accumulate.
+
+On a single-core container the distributed run is *slower* than serial
+(two workers time-share one core and pay queue latency); the benchmark
+asserts correctness and queue mechanics, and reports timing honestly
+-- speedup is what multi-host hardware buys.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_distributed.py          # full
+    PYTHONPATH=src python benchmarks/bench_distributed.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.sim.backends import DistributedBackend, SerialBackend
+from repro.sim.engine import SimulationConfig, Simulator
+from repro.sim.grouping import ExternalGrouping
+from repro.sim.worker import STOP_FILENAME
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+
+#: Default output path: the repo root, alongside the other BENCH_* files.
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_distributed.json"
+
+#: The sweep exercised through the queue (a slice of the Fig. 2 axis).
+SWEEP_RATIOS = (0.2, 0.6, 1.0)
+
+
+def launch_worker(queue_dir: Path, index: int, poll: float) -> subprocess.Popen:
+    """Start one worker exactly as an operator on another host would."""
+    env = os.environ.copy()
+    package_root = Path(__file__).resolve().parent.parent / "src"
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        f"{package_root}{os.pathsep}{existing}" if existing else str(package_root)
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.sim.worker",
+            "--queue-dir",
+            str(queue_dir),
+            "--poll-interval",
+            str(poll),
+            "--worker-id",
+            f"bench-worker-{index}",
+        ],
+        env=env,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--num-users", type=int, default=2_000, help="trace population"
+    )
+    parser.add_argument(
+        "--num-items", type=int, default=60, help="catalogue size"
+    )
+    parser.add_argument(
+        "--sessions", type=float, default=20_000.0, help="expected sessions"
+    )
+    parser.add_argument("--days", type=int, default=3, help="trace length")
+    parser.add_argument(
+        "--num-workers", type=int, default=2,
+        help="worker processes to launch (default: 2)",
+    )
+    parser.add_argument("--seed", type=int, default=20130901, help="master seed")
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"where to write the JSON record (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke preset: smaller trace (explicit flags still win)",
+    )
+    args = parser.parse_args(argv)
+
+    num_users, sessions = args.num_users, args.sessions
+    if args.quick:
+        if args.num_users == parser.get_default("num_users"):
+            num_users = 800
+        if args.sessions == parser.get_default("sessions"):
+            sessions = 6_000.0
+
+    config = GeneratorConfig(
+        num_users=num_users,
+        num_items=args.num_items,
+        days=args.days,
+        expected_sessions=sessions,
+        seed=args.seed,
+    )
+    trace = TraceGenerator(config=config).generate()
+    print(
+        f"distributed benchmark: {len(trace)} sessions / "
+        f"{args.num_workers} worker processes over a shared file queue"
+    )
+
+    violations: List[str] = []
+    sweep_configs = [SimulationConfig(upload_ratio=r) for r in SWEEP_RATIOS]
+
+    # Serial baselines (and their wall-clock).
+    start = time.perf_counter()
+    serial_single = Simulator(SimulationConfig(), backend=SerialBackend()).run(trace)
+    serial_single_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    serial_sweep = [
+        Simulator(cfg, backend=SerialBackend()).run(trace) for cfg in sweep_configs
+    ]
+    serial_sweep_seconds = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="bench-distributed-") as temp_dir:
+        queue_dir = Path(temp_dir) / "queue"
+        queue_dir.mkdir()
+        workers = [
+            launch_worker(queue_dir, index, poll=0.05)
+            for index in range(args.num_workers)
+        ]
+        # spawn=False: every result must come from the externally
+        # launched workers -- the coordinator cannot "help".
+        backend = DistributedBackend(
+            workers=args.num_workers,
+            queue_dir=queue_dir,
+            spawn=False,
+            lease_timeout=60.0,
+            shard_quantum=max(200, int(sessions) // 40),
+        )
+        try:
+            run_config = SimulationConfig(
+                reduction="streaming", grouping="external"
+            )
+            simulator = Simulator(
+                run_config,
+                backend=backend,
+                grouping=ExternalGrouping(
+                    shard_dir=Path(temp_dir) / "shards", run_sessions=50_000
+                ),
+            )
+            start = time.perf_counter()
+            distributed_single = simulator.run(trace)
+            distributed_single_seconds = time.perf_counter() - start
+            reduction = simulator.last_reduction
+
+            start = time.perf_counter()
+            distributed_sweep = simulator.run_sweep(trace, sweep_configs)
+            distributed_sweep_seconds = time.perf_counter() - start
+
+            if not serial_single.identical_to(distributed_single):
+                violations.append(
+                    "distributed single-config result differs from serial"
+                )
+            for ratio, base, swept in zip(
+                SWEEP_RATIOS, serial_sweep, distributed_sweep
+            ):
+                if not base.identical_to(swept):
+                    violations.append(
+                        f"distributed sweep result at q/beta={ratio} differs "
+                        f"from serial"
+                    )
+            if reduction.blocks < 2:
+                violations.append(
+                    f"single run used {reduction.blocks} work item(s); "
+                    f"expected the queue to carry several"
+                )
+        finally:
+            (queue_dir / STOP_FILENAME).touch()
+            exit_codes = []
+            for proc in workers:
+                try:
+                    exit_codes.append(proc.wait(timeout=30))
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    exit_codes.append(proc.wait())
+                    violations.append("a worker had to be killed at shutdown")
+            backend.close()
+        for index, code in enumerate(exit_codes):
+            if code != 0:
+                violations.append(f"worker {index} exited with code {code}")
+
+    print(
+        f"   single run: serial {serial_single_seconds:7.3f}s  "
+        f"distributed {distributed_single_seconds:7.3f}s  "
+        f"({reduction.blocks} work items, peak resident "
+        f"{reduction.peak_resident} blocks)"
+    )
+    print(
+        f"   {len(SWEEP_RATIOS)}-ratio sweep: serial "
+        f"{serial_sweep_seconds:7.3f}s  distributed "
+        f"{distributed_sweep_seconds:7.3f}s"
+    )
+
+    record = {
+        "benchmark": "bench_distributed",
+        "sessions": len(trace),
+        "num_workers": args.num_workers,
+        "sweep_ratios": list(SWEEP_RATIOS),
+        "single": {
+            "serial_seconds": serial_single_seconds,
+            "distributed_seconds": distributed_single_seconds,
+            "work_items": reduction.blocks,
+            "peak_resident_blocks": reduction.peak_resident,
+        },
+        "sweep": {
+            "serial_seconds": serial_sweep_seconds,
+            "distributed_seconds": distributed_sweep_seconds,
+        },
+        "worker_exit_codes": exit_codes,
+        "violations": violations,
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if violations:
+        for violation in violations:
+            print(f"VIOLATION: {violation}")
+        return 1
+    print(
+        "ok: independently launched workers served the queue, results "
+        "bit-for-bit identical to serial, workers exited cleanly"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

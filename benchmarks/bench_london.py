@@ -47,6 +47,7 @@ from typing import Optional, Sequence
 
 from repro.core.energy import builtin_models
 from repro.experiments.config import CITY_DEVICE_MIX
+from repro.sim.backends import BACKEND_NAMES
 from repro.sim.engine import SimulationConfig, Simulator
 from repro.sim.grouping import ExternalGrouping
 from repro.trace.generator import GeneratorConfig, TraceGenerator
@@ -99,8 +100,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="worker processes for the simulation (default: 1 = serial)",
     )
     parser.add_argument(
-        "--backend", choices=("serial", "thread", "process"), default=None,
-        help="execution backend (default: auto from --workers)",
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="execution backend (default: auto from --workers); "
+        "'distributed' fans shards out over a file-based work queue "
+        "(workers on any host sharing --queue-dir and the shard file)",
+    )
+    parser.add_argument(
+        "--queue-dir", default=None,
+        help="with --backend distributed: the shared work-queue root "
+        "(default: a private temporary queue with local workers)",
     )
     parser.add_argument(
         "--run-sessions", type=int, default=None,
@@ -134,10 +142,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if density <= 0:
         parser.error(f"--density must be > 0, got {density}")
 
+    if args.queue_dir is not None and args.backend != "distributed":
+        parser.error("--queue-dir requires --backend distributed")
     config = london_config(density, args.seed)
     sim_config = SimulationConfig(
         workers=args.workers if args.workers > 1 else None,
         backend=args.backend,
+        queue_dir=args.queue_dir,
         reduction="spill",
         grouping="external",
     )
@@ -163,7 +174,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     rss_before = peak_rss_mb()
     start = time.perf_counter()
-    result = simulator.run_stream(generator.iter_sessions(), config.horizon)
+    try:
+        result = simulator.run_stream(generator.iter_sessions(), config.horizon)
+    finally:
+        # The distributed backend owns spawned workers + maybe a temp queue.
+        simulator.close()
     seconds = time.perf_counter() - start
 
     grouping = simulator.last_grouping

@@ -21,7 +21,12 @@ and **fails loudly** if
   baseline,
 * a sweep is slower than its K-run baseline (or below ``--min-speedup``),
 * the second sweep over an explicit ``--shard-dir`` misses the
-  content-addressed shard cache (``GroupingStats.cache_hit``).
+  content-addressed shard cache (``GroupingStats.cache_hit``),
+* with ``--check-baseline FILE``: any per-ratio offload fraction
+  deviates from the committed baseline (the CI smoke pins the quick
+  preset's physics against ``benchmarks/baselines/sweep_quick.json``,
+  so a silent behaviour change cannot hide behind a green equality
+  check that only compares the run against itself).
 
 A machine-readable ``BENCH_sweep.json`` is written at the repo root
 (override with ``--out``) so the perf trajectory accumulates across
@@ -118,6 +123,7 @@ def measure_workload(
                 f"{name}: sweep result at q/beta={ratio} differs from the "
                 f"independent run"
             )
+    offload_fractions = [result.offload_fraction() for result in sweep_results]
     speedup = baseline_best / sweep_best if sweep_best > 0 else float("inf")
     print(
         f"   {name:>10}: {len(trace):>7} sessions  "
@@ -137,6 +143,7 @@ def measure_workload(
         "memo_hit_rate": sweep_stats.memo_hit_rate,
         "schedule_builds": sweep_stats.schedule_builds,
         "tasks": sweep_stats.tasks,
+        "offload_fractions": offload_fractions,
     }
 
 
@@ -216,6 +223,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--quick", action="store_true",
         help="CI smoke preset: small scale, fewer repetitions",
     )
+    parser.add_argument(
+        "--check-baseline", type=Path, default=None, metavar="FILE",
+        help="fail if per-ratio offload fractions deviate from this "
+        "committed baseline JSON (see benchmarks/baselines/)",
+    )
     args = parser.parse_args(argv)
 
     scale = args.scale if args.scale is not None else (0.05 if args.quick else 0.1)
@@ -235,6 +247,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, trace in traces.items()
     }
     cache = measure_shard_cache(traces["exemplar"], violations)
+
+    if args.check_baseline is not None:
+        baseline = json.loads(args.check_baseline.read_text())
+        for name, row in workloads.items():
+            expected = baseline.get("offload_fractions", {}).get(name)
+            if expected is None:
+                violations.append(f"{name}: no offload baseline in {args.check_baseline}")
+                continue
+            if len(expected) != len(UPLOAD_RATIOS):
+                violations.append(
+                    f"{name}: baseline has {len(expected)} offload "
+                    f"fractions for {len(UPLOAD_RATIOS)} ratios -- "
+                    f"regenerate {args.check_baseline}"
+                )
+                continue
+            for ratio, want, got in zip(
+                UPLOAD_RATIOS, expected, row["offload_fractions"]
+            ):
+                if abs(want - got) > 1e-12:
+                    violations.append(
+                        f"{name}: offload fraction at q/beta={ratio} is "
+                        f"{got!r}, baseline says {want!r} "
+                        f"(physics changed -- regenerate the baseline only "
+                        f"if the change is intended)"
+                    )
 
     for name, row in workloads.items():
         if row["speedup"] < args.min_speedup:

@@ -8,8 +8,7 @@ daily simulated series (Fig. 4's "theo." lines).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.energy import EnergyModel
 from repro.core.localisation import LayerProbabilities, LONDON_LAYERS

@@ -9,7 +9,7 @@ stack.  Markers from later series overwrite earlier ones on collisions.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 __all__ = ["ascii_chart"]
 

@@ -7,6 +7,7 @@ Subcommands::
     consume-local all                # everything (writes files with --out)
     consume-local generate trace.jsonl    # emit a synthetic trace
     consume-local simulate trace.jsonl    # simulate a saved trace
+    consume-local worker --queue-dir DIR  # serve a distributed work queue
 
 Common options: ``--scale`` (trace size multiplier), ``--days``,
 ``--seed``, ``--quick`` (preset small scale), ``--out DIR``,
@@ -23,11 +24,19 @@ runs over the same trace + policy skip the sort entirely; bit-for-bit
 identical either way).  ``simulate --upload-ratios 0.2 0.6 1.0`` runs a
 whole q/beta sweep in one amortized pass (``Simulator.run_sweep``),
 bit-for-bit identical to the per-ratio runs.
+
+Distributed execution: ``--backend distributed --queue-dir DIR`` makes
+the run a *coordinator* over a crash-safe file-based work queue, and
+``consume-local worker --queue-dir DIR`` serves that queue from any
+host sharing the directory (see :mod:`repro.sim.queue` /
+:mod:`repro.sim.worker`).  Without external workers the coordinator
+spawns ``--workers`` local ones.  Bit-for-bit identical to serial.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -35,12 +44,12 @@ from typing import List, Optional
 
 from repro.core.energy import builtin_models
 from repro.experiments.config import ExperimentSettings
-from repro.experiments.runner import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.runner import run_all, run_experiment
 from repro.sim.backends import BACKEND_NAMES
 from repro.sim.engine import SimulationConfig, Simulator
 from repro.sim.grouping import GROUPING_MODES
 from repro.sim.reduce import REDUCTION_MODES
-from repro.trace.generator import GeneratorConfig, TraceGenerator
+from repro.trace.generator import TraceGenerator
 from repro.trace.store import file_fingerprint
 from repro.trace.loader import (
     iter_jsonl,
@@ -104,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="execution backend (default: auto from --workers)",
     )
+    _add_queue_dir_arg(simulate)
     _add_reduction_arg(simulate)
     simulate.add_argument(
         "--spill-dir",
@@ -116,6 +126,40 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_grouping_args(simulate)
+
+    worker = sub.add_parser(
+        "worker",
+        help=(
+            "serve a distributed work queue (claim swarm shards enqueued "
+            "by --backend distributed coordinators; run on any host that "
+            "shares the queue directory)"
+        ),
+    )
+    worker.add_argument(
+        "--queue-dir", type=Path, required=True,
+        help="queue root directory shared with the coordinator",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.1,
+        help="seconds between queue scans when idle (default: 0.1)",
+    )
+    worker.add_argument(
+        "--lease-timeout", type=float, default=30.0,
+        help="fallback lease horizon for renewal pacing when a job "
+        "does not publish the coordinator's own (default: 30)",
+    )
+    worker.add_argument(
+        "--max-tasks", type=_positive_int, default=None,
+        help="exit after processing this many items (default: serve forever)",
+    )
+    worker.add_argument(
+        "--idle-exit", type=float, default=None,
+        help="exit after this many seconds without work (default: never)",
+    )
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="stable worker identity for lease files (default: host:pid)",
+    )
     return parser
 
 
@@ -124,6 +168,20 @@ def _positive_int(value: str) -> int:
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value!r}")
     return number
+
+
+def _add_queue_dir_arg(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--queue-dir",
+        type=Path,
+        default=None,
+        help=(
+            "with --backend distributed: the shared work-queue directory "
+            "(start workers anywhere it is visible via "
+            "'consume-local worker --queue-dir DIR'; default: a private "
+            "temporary queue served by locally spawned workers)"
+        ),
+    )
 
 
 def _add_reduction_arg(cmd: argparse.ArgumentParser) -> None:
@@ -179,12 +237,21 @@ def _add_settings_args(
                 "bit-for-bit identical at any worker count; default: serial)"
             ),
         )
+        cmd.add_argument(
+            "--backend",
+            choices=BACKEND_NAMES,
+            default=None,
+            help="execution backend (default: auto from --workers)",
+        )
+        _add_queue_dir_arg(cmd)
         _add_reduction_arg(cmd)
         _add_grouping_args(cmd)
 
 
 def _settings_from(args: argparse.Namespace) -> ExperimentSettings:
     workers = getattr(args, "workers", None)
+    backend = getattr(args, "backend", None)
+    queue_dir = getattr(args, "queue_dir", None)
     reduction = getattr(args, "reduction", None)
     grouping = getattr(args, "grouping", None)
     shard_dir = getattr(args, "shard_dir", None)
@@ -193,6 +260,10 @@ def _settings_from(args: argparse.Namespace) -> ExperimentSettings:
         overrides = {}
         if workers is not None:
             overrides["workers"] = workers
+        if backend is not None:
+            overrides["backend"] = backend
+        if queue_dir is not None:
+            overrides["queue_dir"] = str(queue_dir)
         if reduction is not None:
             overrides["reduction"] = reduction
         if grouping is not None:
@@ -205,6 +276,8 @@ def _settings_from(args: argparse.Namespace) -> ExperimentSettings:
         days=args.days,
         seed=args.seed,
         workers=workers,
+        backend=backend,
+        queue_dir=str(queue_dir) if queue_dir is not None else None,
         reduction=reduction,
         grouping=grouping,
         shard_dir=str(shard_dir) if shard_dir is not None else None,
@@ -215,10 +288,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.command == "worker":
+        from repro.sim.worker import run_worker
+
+        logging.basicConfig(
+            level=logging.INFO,
+            format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+            stream=sys.stderr,
+        )
+        processed = run_worker(
+            args.queue_dir,
+            poll_interval=args.poll_interval,
+            lease_timeout=args.lease_timeout,
+            max_tasks=args.max_tasks,
+            idle_exit=args.idle_exit,
+            worker_id=args.worker_id,
+        )
+        print(f"worker processed {processed} work item(s)")
+        return 0
+
     if getattr(args, "spill_dir", None) is not None and args.reduction != "spill":
         parser.error("--spill-dir requires --reduction spill")
     if getattr(args, "shard_dir", None) is not None and args.grouping != "external":
         parser.error("--shard-dir requires --grouping external")
+    if (
+        getattr(args, "queue_dir", None) is not None
+        and getattr(args, "backend", None) != "distributed"
+    ):
+        parser.error("--queue-dir requires --backend distributed")
     settings = _settings_from(args) if hasattr(args, "scale") else None
 
     if args.command == "all":
@@ -259,6 +357,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             upload_ratio=args.upload_ratio,
             workers=args.workers,
             backend=args.backend,
+            queue_dir=str(args.queue_dir) if args.queue_dir is not None else None,
             reduction=args.reduction or "batched",
             spill_dir=str(args.spill_dir) if args.spill_dir is not None else None,
             grouping=args.grouping or "memory",
@@ -266,91 +365,102 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         simulator = Simulator(config)
         horizon = read_jsonl_horizon(args.path)
-        ratios = getattr(args, "upload_ratios", None)
-        if ratios:
-            # Whole sweep in one pass: grouped once, decoded once, the
-            # membership timeline swept once for every ratio.
-            sweep = [replace(config, upload_ratio=ratio) for ratio in ratios]
-            if config.grouping == "external" and horizon > 0:
-                # Streamed out-of-core sweep; with --shard-dir the shard
-                # cache is keyed on the trace file's content, so a
-                # second invocation (a second process) skips the sort.
-                results = simulator.run_sweep_stream(
-                    iter_jsonl(args.path),
-                    horizon,
-                    sweep,
-                    cache_token=(
-                        file_fingerprint(args.path)
-                        if simulator.grouping.supports_cache
-                        else None
-                    ),
-                )
-            else:
-                results = simulator.run_sweep(load_jsonl(args.path), sweep)
-            print(f"sessions: {results[0].total.sessions}  ({len(ratios)}-ratio sweep)")
-            for ratio, result in zip(ratios, results):
-                savings = ", ".join(
-                    f"{model.name} {result.savings(model):.4f}"
-                    for model in builtin_models()
-                )
-                print(
-                    f"  q/beta {ratio:g}: offload G {result.offload_fraction():.4f}, "
-                    f"savings {savings}"
-                )
-            sweep_stats = simulator.last_sweep
-            if sweep_stats is not None:
-                line = (
-                    f"sweep: {sweep_stats.tasks} swarms x {sweep_stats.configs} "
-                    f"configs, {sweep_stats.schedule_builds} schedules built, "
-                    f"allocation-memo hit rate {sweep_stats.memo_hit_rate:.1%}"
-                )
-                if sweep_stats.cache_hit is not None:
-                    line += f", shard cache {'hit' if sweep_stats.cache_hit else 'miss'}"
-                print(line)
-        else:
-            if config.grouping == "external" and horizon > 0:
-                # The out-of-core path: the trace file streams straight
-                # into external grouping (no full Trace materialized);
-                # with --shard-dir the shard cache is keyed on the trace
-                # file's content, so repeat runs skip the sort.
-                result = simulator.run_stream(
-                    iter_jsonl(args.path),
-                    horizon,
-                    cache_token=(
-                        file_fingerprint(args.path)
-                        if simulator.grouping.supports_cache
-                        else None
-                    ),
-                )
-                num_sessions = result.total.sessions
-            else:
-                # Memory grouping -- or a headerless file whose horizon
-                # must be re-derived from session ends before simulating.
-                trace = load_jsonl(args.path)
-                result = simulator.run(trace)
-                num_sessions = len(trace)
-            print(f"sessions: {num_sessions}  offload G: {result.offload_fraction():.4f}")
-            for model in builtin_models():
-                print(
-                    f"{model.name:>10}: savings {result.savings(model):.4f}, "
-                    f"carbon-positive users {result.carbon_positive_share(model):.1%}"
-                )
-        stats = simulator.last_reduction
-        if stats is not None and stats.spill_path is not None:
-            print(f"per-user delta log: {stats.spill_path}")
-        grouping_stats = simulator.last_grouping
-        if grouping_stats is not None and grouping_stats.shard_path is not None:
-            line = f"sorted session shard: {grouping_stats.shard_path}"
-            if grouping_stats.cache_hit is not None:
-                line += (
-                    " (cache hit: reused, no re-sort)"
-                    if grouping_stats.cache_hit
-                    else " (cache miss: built)"
-                )
-            print(line)
-        return 0
+        try:
+            return _run_simulate(args, config, simulator, horizon)
+        finally:
+            # Release backend resources deterministically (the
+            # distributed backend owns spawned worker processes and
+            # possibly a temporary queue directory).
+            simulator.close()
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def _run_simulate(args, config, simulator, horizon) -> int:
+    """The body of the ``simulate`` subcommand (backend closed by caller)."""
+    ratios = getattr(args, "upload_ratios", None)
+    if ratios:
+        # Whole sweep in one pass: grouped once, decoded once, the
+        # membership timeline swept once for every ratio.
+        sweep = [replace(config, upload_ratio=ratio) for ratio in ratios]
+        if config.grouping == "external" and horizon > 0:
+            # Streamed out-of-core sweep; with --shard-dir the shard
+            # cache is keyed on the trace file's content, so a
+            # second invocation (a second process) skips the sort.
+            results = simulator.run_sweep_stream(
+                iter_jsonl(args.path),
+                horizon,
+                sweep,
+                cache_token=(
+                    file_fingerprint(args.path)
+                    if simulator.grouping.supports_cache
+                    else None
+                ),
+            )
+        else:
+            results = simulator.run_sweep(load_jsonl(args.path), sweep)
+        print(f"sessions: {results[0].total.sessions}  ({len(ratios)}-ratio sweep)")
+        for ratio, result in zip(ratios, results):
+            savings = ", ".join(
+                f"{model.name} {result.savings(model):.4f}"
+                for model in builtin_models()
+            )
+            print(
+                f"  q/beta {ratio:g}: offload G {result.offload_fraction():.4f}, "
+                f"savings {savings}"
+            )
+        sweep_stats = simulator.last_sweep
+        if sweep_stats is not None:
+            line = (
+                f"sweep: {sweep_stats.tasks} swarms x {sweep_stats.configs} "
+                f"configs, {sweep_stats.schedule_builds} schedules built, "
+                f"allocation-memo hit rate {sweep_stats.memo_hit_rate:.1%}"
+            )
+            if sweep_stats.cache_hit is not None:
+                line += f", shard cache {'hit' if sweep_stats.cache_hit else 'miss'}"
+            print(line)
+    else:
+        if config.grouping == "external" and horizon > 0:
+            # The out-of-core path: the trace file streams straight
+            # into external grouping (no full Trace materialized);
+            # with --shard-dir the shard cache is keyed on the trace
+            # file's content, so repeat runs skip the sort.
+            result = simulator.run_stream(
+                iter_jsonl(args.path),
+                horizon,
+                cache_token=(
+                    file_fingerprint(args.path)
+                    if simulator.grouping.supports_cache
+                    else None
+                ),
+            )
+            num_sessions = result.total.sessions
+        else:
+            # Memory grouping -- or a headerless file whose horizon
+            # must be re-derived from session ends before simulating.
+            trace = load_jsonl(args.path)
+            result = simulator.run(trace)
+            num_sessions = len(trace)
+        print(f"sessions: {num_sessions}  offload G: {result.offload_fraction():.4f}")
+        for model in builtin_models():
+            print(
+                f"{model.name:>10}: savings {result.savings(model):.4f}, "
+                f"carbon-positive users {result.carbon_positive_share(model):.1%}"
+            )
+    stats = simulator.last_reduction
+    if stats is not None and stats.spill_path is not None:
+        print(f"per-user delta log: {stats.spill_path}")
+    grouping_stats = simulator.last_grouping
+    if grouping_stats is not None and grouping_stats.shard_path is not None:
+        line = f"sorted session shard: {grouping_stats.shard_path}"
+        if grouping_stats.cache_hit is not None:
+            line += (
+                " (cache hit: reused, no re-sort)"
+                if grouping_stats.cache_hit
+                else " (cache miss: built)"
+            )
+        print(line)
+    return 0
 
 
 if __name__ == "__main__":

@@ -28,7 +28,7 @@ constants ``gamma_exp / gamma_pop / gamma_core``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, Mapping, Tuple
 
 from repro.topology.layers import NetworkLayer

@@ -32,7 +32,6 @@ simulator by the test-suite.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from repro.core import queueing
 from repro.core.energy import EnergyModel

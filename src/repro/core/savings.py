@@ -15,7 +15,7 @@ paper asks without threading four arguments everywhere::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.core import analytical, carbon

@@ -15,9 +15,10 @@ simulation run exactly like they share one trace in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.sim.backends import BACKEND_NAMES
 from repro.sim.engine import SimulationConfig, Simulator
 from repro.sim.grouping import GROUPING_MODES
 from repro.sim.reduce import REDUCTION_MODES
@@ -87,6 +88,16 @@ class ExperimentSettings:
             = serial; > 1 shards swarms over a process pool).  Results
             are bit-for-bit identical at any worker count, so this is a
             pure wall-clock knob.
+        backend: execution backend name (see
+            :data:`repro.sim.backends.BACKEND_NAMES`); ``None``
+            auto-selects from ``workers``.  "distributed" runs swarm
+            shards through the file-based work queue
+            (:mod:`repro.sim.queue`), so experiments can fan out to
+            workers on other hosts.  Bit-for-bit identical either way.
+        queue_dir: shared work-queue directory for
+            ``backend="distributed"`` (``None``: a run-scoped private
+            queue with locally spawned workers).  Only meaningful with
+            the distributed backend.
         reduction: shard-output reduction mode ("batched", "streaming"
             or "spill", see :data:`repro.sim.reduce.REDUCTION_MODES`);
             ``None`` uses the simulator default ("batched").  Results
@@ -110,6 +121,8 @@ class ExperimentSettings:
     num_items: int = 600
     expected_sessions: float = 1_200_000.0
     workers: Optional[int] = None
+    backend: Optional[str] = None
+    queue_dir: Optional[str] = None
     reduction: Optional[str] = None
     grouping: Optional[str] = None
     shard_dir: Optional[str] = None
@@ -121,6 +134,15 @@ class ExperimentSettings:
             raise ValueError(f"days must be >= 1, got {self.days}")
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers!r}")
+        if self.backend is not None and self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES}, got {self.backend!r}"
+            )
+        if self.queue_dir is not None and self.backend != "distributed":
+            raise ValueError(
+                "queue_dir is only valid with backend='distributed', "
+                f"got backend={self.backend!r}"
+            )
         if self.reduction is not None and self.reduction not in REDUCTION_MODES:
             raise ValueError(
                 f"reduction must be one of {REDUCTION_MODES}, got {self.reduction!r}"
@@ -131,7 +153,7 @@ class ExperimentSettings:
             )
         if self.shard_dir is not None and self.grouping != "external":
             raise ValueError(
-                f"shard_dir is only valid with grouping='external', "
+                "shard_dir is only valid with grouping='external', "
                 f"got grouping={self.grouping!r}"
             )
 
@@ -176,6 +198,8 @@ class ExperimentSettings:
         return SimulationConfig(
             upload_ratio=ratio,
             workers=self.workers,
+            backend=self.backend,
+            queue_dir=self.queue_dir,
             reduction=self.reduction or "batched",
             grouping=self.grouping or "memory",
             shard_dir=self.shard_dir,
@@ -193,17 +217,25 @@ _RESULTS: Dict[Tuple, SimulationResult] = {}
 def memo_key(kind: str, settings: ExperimentSettings) -> Tuple:
     """Cache key for memoised artefacts.
 
-    ``workers``, ``reduction``, ``grouping`` and ``shard_dir`` are
-    excluded: they only change wall-clock and memory, never values
-    (backends, reduction modes and grouping strategies are bit-for-bit
-    identical), so runs differing only in those knobs share traces and
-    simulation results.  Exported so figure drivers can key their own
-    sweep-level artefacts (e.g. fig2's per-tier ratio sweeps) the same
-    way.
+    ``workers``, ``backend``, ``queue_dir``, ``reduction``,
+    ``grouping`` and ``shard_dir`` are excluded: they only change
+    wall-clock and memory, never values (backends, reduction modes and
+    grouping strategies are bit-for-bit identical), so runs differing
+    only in those knobs share traces and simulation results.  Exported
+    so figure drivers can key their own sweep-level artefacts (e.g.
+    fig2's per-tier ratio sweeps) the same way.
     """
     return (
         kind,
-        replace(settings, workers=None, reduction=None, grouping=None, shard_dir=None),
+        replace(
+            settings,
+            workers=None,
+            backend=None,
+            queue_dir=None,
+            reduction=None,
+            grouping=None,
+            shard_dir=None,
+        ),
     )
 
 
@@ -250,5 +282,11 @@ def paper_simulation(settings: ExperimentSettings) -> SimulationResult:
     key = memo_key("city-sim", settings)
     if key not in _RESULTS:
         simulator = Simulator(settings.simulation_config())
-        _RESULTS[key] = simulator.run(city_trace(settings))
+        try:
+            _RESULTS[key] = simulator.run(city_trace(settings))
+        finally:
+            # Deterministic release: a distributed backend owns spawned
+            # worker processes (and maybe a temp queue dir) that must
+            # not wait for garbage collection.
+            simulator.close()
     return _RESULTS[key]

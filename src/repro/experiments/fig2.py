@@ -30,7 +30,7 @@ from repro.experiments.config import (
 from repro.experiments.report import Report
 from repro.sim.accounting import ByteLedger, savings as ledger_savings
 from repro.sim.engine import Simulator
-from repro.trace.events import SECONDS_PER_DAY, Trace
+from repro.trace.events import SECONDS_PER_DAY
 
 __all__ = ["run_fig2", "UPLOAD_RATIOS", "tier_dots"]
 
@@ -68,15 +68,18 @@ def _tier_sweep_entries(
         simulator = Simulator(settings.simulation_config(missing[0]))
         configs = sweep_configs(settings, missing)
         fresh: Dict[float, List[Tuple[float, ByteLedger]]] = {r: [] for r in missing}
-        for isp in trace.isps:
-            sub = trace.for_isp(isp)
-            results = simulator.run_sweep(sub, configs)
-            for ratio, result in zip(missing, results):
-                samples = fresh[ratio]
-                for (name, _day), ledger in result.per_isp_day.items():
-                    if name != isp or ledger.watch_seconds <= 0.0:
-                        continue
-                    samples.append((ledger.watch_seconds / SECONDS_PER_DAY, ledger))
+        try:
+            for isp in trace.isps:
+                sub = trace.for_isp(isp)
+                results = simulator.run_sweep(sub, configs)
+                for ratio, result in zip(missing, results):
+                    samples = fresh[ratio]
+                    for (name, _day), ledger in result.per_isp_day.items():
+                        if name != isp or ledger.watch_seconds <= 0.0:
+                            continue
+                        samples.append((ledger.watch_seconds / SECONDS_PER_DAY, ledger))
+        finally:
+            simulator.close()  # release pools/fleets deterministically
         entries.update(fresh)
     return entries
 

@@ -104,7 +104,7 @@ def run_fig4(settings: ExperimentSettings) -> Report:
         )
         data[f"extrapolated/{model.name}"] = extrapolated
     report.add(
-        f"Whole-system savings (paper headline: 24-48 %); extrapolation "
+        "Whole-system savings (paper headline: 24-48 %); extrapolation "
         f"rescales measured capacities x{density_factor:.1f} to the paper's "
         "trace density before applying Eq. 12",
         render_table(

@@ -105,7 +105,7 @@ def run_fig6(settings: ExperimentSettings) -> Report:
         extrapolated_rows.append([model.name, f"{share:.1%}"])
         data[model.name]["carbon_positive_share_extrapolated"] = share
     report.add(
-        f"Carbon-positive users extrapolated to paper density "
+        "Carbon-positive users extrapolated to paper density "
         f"(capacities x{factor:.1f}; paper: ~41 % Valancius, >70 % Baliga)",
         render_table(["model", "carbon positive (extrapolated)"], extrapolated_rows),
     )

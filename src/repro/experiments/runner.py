@@ -54,6 +54,8 @@ def _resolve_settings(
     workers: Optional[int],
     reduction: Optional[str] = None,
     grouping: Optional[str] = None,
+    backend: Optional[str] = None,
+    queue_dir: Optional[str] = None,
 ) -> ExperimentSettings:
     settings = settings or ExperimentSettings()
     if workers is not None:
@@ -62,6 +64,10 @@ def _resolve_settings(
         settings = replace(settings, reduction=reduction)
     if grouping is not None:
         settings = replace(settings, grouping=grouping)
+    if backend is not None:
+        settings = replace(settings, backend=backend)
+    if queue_dir is not None:
+        settings = replace(settings, queue_dir=queue_dir)
     return settings
 
 
@@ -72,11 +78,13 @@ def run_experiment(
     workers: Optional[int] = None,
     reduction: Optional[str] = None,
     grouping: Optional[str] = None,
+    backend: Optional[str] = None,
+    queue_dir: Optional[str] = None,
 ) -> Report:
     """Run one experiment by id ("table1", "fig2", ...).
 
-    ``workers`` / ``reduction`` / ``grouping`` override the settings'
-    values for this invocation.
+    ``workers`` / ``reduction`` / ``grouping`` / ``backend`` /
+    ``queue_dir`` override the settings' values for this invocation.
     """
     try:
         driver = EXPERIMENTS[name]
@@ -84,7 +92,9 @@ def run_experiment(
         raise ValueError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return driver(_resolve_settings(settings, workers, reduction, grouping))
+    return driver(
+        _resolve_settings(settings, workers, reduction, grouping, backend, queue_dir)
+    )
 
 
 def run_all(
@@ -94,13 +104,17 @@ def run_all(
     workers: Optional[int] = None,
     reduction: Optional[str] = None,
     grouping: Optional[str] = None,
+    backend: Optional[str] = None,
+    queue_dir: Optional[str] = None,
 ) -> List[Report]:
     """Run every experiment; optionally write one text file per report.
 
-    ``workers`` / ``reduction`` / ``grouping`` override the settings'
-    values for this invocation.
+    ``workers`` / ``reduction`` / ``grouping`` / ``backend`` /
+    ``queue_dir`` override the settings' values for this invocation.
     """
-    settings = _resolve_settings(settings, workers, reduction, grouping)
+    settings = _resolve_settings(
+        settings, workers, reduction, grouping, backend, queue_dir
+    )
     reports = [driver(settings) for driver in EXPERIMENTS.values()]
     if out_dir is not None:
         out_dir = Path(out_dir)

@@ -12,6 +12,7 @@ from repro.sim.accounting import (
     savings,
 )
 from repro.sim.backends import (
+    DistributedBackend,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
@@ -38,6 +39,7 @@ from repro.sim.kernel import (
 )
 from repro.sim.matching import PeerState, WindowAllocation, match_window
 from repro.sim.policies import PAPER_POLICY, SwarmKey, SwarmPolicy
+from repro.sim.queue import JobSpec, WorkItem, WorkQueue
 from repro.sim.reduce import (
     REDUCTION_MODES,
     FootprintAccumulator,
@@ -56,6 +58,8 @@ from repro.sim.validation import (
 
 __all__ = [
     "ByteLedger",
+    "DistributedBackend",
+    "JobSpec",
     "ExecutionBackend",
     "ExternalGrouping",
     "FootprintAccumulator",
@@ -83,6 +87,8 @@ __all__ = [
     "TaskPlan",
     "ThreadBackend",
     "UserTraffic",
+    "WorkItem",
+    "WorkQueue",
     "ValidationPoint",
     "ValidationReport",
     "WindowAllocation",

@@ -19,7 +19,7 @@ cost ``psi_s`` and ``E_hybrid`` prices the ledger as recorded.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable
 
 from repro.core.energy import EnergyModel
 from repro.topology.layers import NetworkLayer

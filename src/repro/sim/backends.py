@@ -71,11 +71,28 @@ ProcessPoolExecutor` over interleaved shards of tasks.  Tasks are
   the Zipf catalogue (tasks arrive sorted by content id, with wildly
   uneven session counts) spreads across workers; each shard costs one
   pickle round-trip.
+* :class:`DistributedBackend` -- a coordinator over a crash-safe
+  file-based work queue (:mod:`repro.sim.queue`).  Work items carry
+  the same picklable refs the process pool ships, but through shared
+  storage instead of a pipe, so the workers
+  (``python -m repro.sim.worker``) can live on **any host that sees
+  the queue directory and the shard file** -- the multi-host extension
+  of the same contract.  Completion-order result blocks feed the same
+  streaming reducer; dead workers are survived via lease-expiry
+  requeue, so results stay bit-for-bit identical to serial even when
+  workers are killed mid-run.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+import uuid
 from abc import ABC, abstractmethod
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -85,18 +102,28 @@ from concurrent.futures import (
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
 from typing import (
     TYPE_CHECKING,
+    Dict,
     Iterable,
     Iterator,
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
 
-from repro.sim.grouping import TaskPlan, as_task_plan
+from repro.sim.grouping import TaskPlan, as_task_plan, plan_handoff
+from repro.sim.queue import (
+    JobSpec,
+    WorkQueue,
+    item_id_for,
+    make_items,
+    position_of,
+)
 from repro.sim.kernel import (
     MultiSwarmOutput,
     SwarmOutput,
@@ -117,6 +144,7 @@ __all__ = [
     "SerialBackend",
     "ThreadBackend",
     "ProcessPoolBackend",
+    "DistributedBackend",
     "resolve_backend",
     "contiguous_blocks",
 ]
@@ -628,6 +656,366 @@ class ProcessPoolBackend(ExecutionBackend):
             raise
 
 
+class DistributedBackend(ExecutionBackend):
+    """Run swarm shards on worker processes over a file-based work queue.
+
+    The multi-host counterpart of :class:`ProcessPoolBackend`: instead
+    of a pipe to a local executor, each invocation publishes a *job*
+    under ``queue_dir`` -- a spec (config or sweep configs), a grouping
+    handoff (``plan.json``, see
+    :func:`repro.sim.grouping.plan_handoff`), and one crash-safe work
+    item per contiguous session-balanced task block -- and collects
+    result files as independent workers (``python -m
+    repro.sim.worker``) claim, run and ack them.  Workers need nothing
+    from the coordinator but shared storage: the queue directory, and
+    (under external grouping) the sorted shard file the
+    :class:`~repro.sim.grouping.ExtentTaskRef` values point into.
+
+    Fault tolerance: claims carry leases that live workers renew; the
+    coordinator requeues any item whose lease expires (worker killed
+    mid-task), honours results written by workers that died before
+    acking, fails fast on poisoned items parked in ``failed/``, and
+    raises if an item keeps bouncing (``max_attempts``) or nothing at
+    all makes progress for ``progress_timeout`` seconds.  Because
+    kernels are pure and result blocks fold in canonical task order,
+    every recovery path is bit-for-bit invisible in the result.
+
+    Args:
+        workers: local worker processes to spawn (default: CPU count).
+            The spawned fleet persists across runs (like the process
+            pool) until :meth:`close`.
+        queue_dir: the shared queue root.  ``None`` uses a private
+            temporary directory (single-host convenience); point it at
+            shared storage and start extra workers on other hosts to
+            scale out -- the coordinator happily feeds both its own
+            and foreign workers.
+        spawn: set False to spawn no local workers and rely entirely
+            on externally launched ones (``workers`` then only sizes
+            the streaming window).
+        lease_timeout: seconds an unrenewed claim may age before the
+            coordinator requeues it.  Renewal runs every third of
+            this, so only dead (not slow) workers trip it.
+        poll_interval: coordinator/worker scan period in seconds.
+        shards_per_worker: target task blocks per worker (same
+            balancing role as in :class:`ProcessPoolBackend`).
+        shard_quantum: streaming-path cap on sessions per block, so
+            resident result blocks stay O(1)-sized (the sweep path
+            divides it by the config count, like the process pool).
+        progress_timeout: seconds without any activity -- no new
+            result, no requeue, and no live (in-lease) claim -- before
+            the coordinator gives up (e.g. no worker can reach the
+            queue).  A claim kept alive by lease renewal counts as
+            activity, so long-running kernels never trip this.
+        max_attempts: executions allowed per item before the
+            coordinator declares it poisoned.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        queue_dir: Optional[Union[str, Path]] = None,
+        *,
+        spawn: bool = True,
+        lease_timeout: float = 30.0,
+        poll_interval: float = 0.05,
+        shards_per_worker: int = 4,
+        shard_quantum: int = 5_000,
+        progress_timeout: float = 300.0,
+        max_attempts: int = 5,
+    ) -> None:
+        # State first: __del__ -> close() must work even if validation
+        # below raises on a half-constructed instance.
+        self._queue_root = Path(queue_dir) if queue_dir is not None else None
+        self._owned_root: Optional[Path] = None
+        self._procs: List[subprocess.Popen] = []
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        if lease_timeout <= 0:
+            raise ValueError(f"lease_timeout must be > 0, got {lease_timeout!r}")
+        if poll_interval <= 0:
+            raise ValueError(f"poll_interval must be > 0, got {poll_interval!r}")
+        if shards_per_worker < 1:
+            raise ValueError(
+                f"shards_per_worker must be >= 1, got {shards_per_worker!r}"
+            )
+        if shard_quantum < 1:
+            raise ValueError(f"shard_quantum must be >= 1, got {shard_quantum!r}")
+        if progress_timeout <= 0:
+            raise ValueError(
+                f"progress_timeout must be > 0, got {progress_timeout!r}"
+            )
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts!r}")
+        self.workers = workers or _default_workers()
+        self.spawn = spawn
+        self.lease_timeout = lease_timeout
+        self.poll_interval = poll_interval
+        self.shards_per_worker = shards_per_worker
+        self.shard_quantum = shard_quantum
+        self.progress_timeout = progress_timeout
+        self.max_attempts = max_attempts
+        #: Stale-lease requeues performed during the most recent job --
+        #: how many work items had to be recovered from dead workers.
+        #: 0 on a healthy run; tests and benchmarks assert fault
+        #: handling through this.
+        self.last_requeues = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Terminate spawned workers; delete the queue root if owned."""
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+                proc.kill()
+                proc.wait()
+        self._procs = []
+        if self._owned_root is not None:
+            shutil.rmtree(self._owned_root, ignore_errors=True)
+            self._owned_root = None
+            self._queue_root = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        self.close()
+
+    def _root(self) -> Path:
+        if self._queue_root is None:
+            self._owned_root = Path(tempfile.mkdtemp(prefix="repro-queue-"))
+            self._queue_root = self._owned_root
+        self._queue_root.mkdir(parents=True, exist_ok=True)
+        return self._queue_root
+
+    def live_workers(self) -> int:
+        """How many of the spawned local workers are still alive."""
+        return sum(1 for proc in self._procs if proc.poll() is None)
+
+    def _ensure_workers(self, root: Path) -> None:
+        """Top the spawned fleet up to ``workers`` (first run, or reuse)."""
+        if not self.spawn:
+            return
+        self._procs = [proc for proc in self._procs if proc.poll() is None]
+        while len(self._procs) < self.workers:
+            self._procs.append(self._spawn_worker(root))
+
+    def _spawn_worker(self, root: Path) -> subprocess.Popen:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent.parent
+        env = os.environ.copy()
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            f"{package_root}{os.pathsep}{existing}" if existing else str(package_root)
+        )
+        command = [
+            sys.executable,
+            "-m",
+            "repro.sim.worker",
+            "--queue-dir",
+            str(root),
+            "--poll-interval",
+            str(self.poll_interval),
+            "--lease-timeout",
+            str(self.lease_timeout),
+        ]
+        return subprocess.Popen(command, env=env)
+
+    # -- job plumbing ---------------------------------------------------
+
+    def _streaming_shards(self, plan: TaskPlan, num_configs: int = 1) -> int:
+        """Block count for the streaming paths (bounded block size)."""
+        total_sessions = sum(plan.session_counts)
+        quantum = max(1, self.shard_quantum // max(1, num_configs))
+        return min(
+            len(plan),
+            max(
+                self.workers * self.shards_per_worker,
+                -(-total_sessions // quantum),  # ceil division
+            ),
+        )
+
+    def _run_job(
+        self,
+        blocks: Sequence[Tuple[int, List]],
+        spec: JobSpec,
+        window: int,
+        handoff: Optional[Dict] = None,
+    ) -> Iterator[Tuple[int, List]]:
+        """Publish one job, collect its result blocks, clean up."""
+        root = self._root()
+        job_dir = root / f"job-{time.time_ns():020d}-{uuid.uuid4().hex[:8]}"
+        self.last_requeues = 0
+        queue = WorkQueue(job_dir, lease_timeout=self.lease_timeout)
+        queue.write_spec(spec)
+        if handoff is not None:
+            (job_dir / WorkQueue.PLAN_FILENAME).write_text(
+                json.dumps(handoff, indent=2) + "\n"
+            )
+        for item in make_items(blocks):
+            queue.put(item)
+        self._ensure_workers(root)
+        try:
+            yield from self._collect(queue, blocks, window)
+        finally:
+            queue.mark_done()
+            shutil.rmtree(job_dir, ignore_errors=True)
+
+    def _collect(
+        self,
+        queue: WorkQueue,
+        blocks: Sequence[Tuple[int, List]],
+        window: int,
+    ) -> Iterator[Tuple[int, List]]:
+        """Yield result blocks in completion order, window-bounded.
+
+        The same invariant as :func:`_stream_blocks`, shifted to disk:
+        a block is loaded and yielded only while it is fewer than
+        ``window`` positions past the earliest unyielded block, so the
+        reducer's reorder buffer -- the only place results are resident
+        -- never exceeds ``window``.  Results completed beyond the
+        window stay on disk (free) until the frontier catches up.
+        """
+        total = len(blocks)
+        yielded = [False] * total
+        frontier = 0
+        ready: Set[int] = set()  # result on disk, not yet yielded
+        seen: Set[str] = set()
+        attempts: Dict[str, int] = {}
+        last_progress = time.monotonic()
+        while frontier < total:
+            progress = False
+            for item_id in queue.result_ids() - seen:
+                seen.add(item_id)
+                ready.add(position_of(item_id))
+                progress = True
+            while True:
+                eligible = sorted(p for p in ready if p < frontier + window)
+                if not eligible:
+                    break
+                for position in eligible:
+                    ready.discard(position)
+                    yielded[position] = True
+                    yield blocks[position][0], queue.load_result(
+                        item_id_for(position)
+                    )
+                while frontier < total and yielded[frontier]:
+                    frontier += 1
+            if frontier >= total:
+                break
+            failures = queue.failed_items()
+            if failures:
+                item_id, error = sorted(failures.items())[0]
+                raise RuntimeError(
+                    f"distributed worker gave up on {item_id}: {error}"
+                )
+            for item_id in queue.requeue_stale():
+                attempts[item_id] = attempts.get(item_id, 0) + 1
+                self.last_requeues += 1
+                progress = True  # requeue IS progress (the lease moved)
+                if attempts[item_id] >= self.max_attempts:
+                    raise RuntimeError(
+                        f"work item {item_id} requeued {attempts[item_id]} "
+                        "times without completing; giving up"
+                    )
+            if not progress and queue.claimed_ids():
+                # A claim that survived requeue_stale is within its
+                # lease: either a live worker is renewing it (a long
+                # kernel run is work, not a stall), or it will go stale
+                # and be requeued -- which registers as progress above
+                # -- within one lease_timeout.  Only a queue with no
+                # results, no requeues AND no live claims is stalled.
+                progress = True
+            if progress:
+                last_progress = time.monotonic()
+            elif time.monotonic() - last_progress > self.progress_timeout:
+                raise RuntimeError(
+                    f"distributed run stalled for {self.progress_timeout:.0f}s: "
+                    f"{len(queue.pending_ids())} pending / "
+                    f"{len(queue.claimed_ids())} claimed items, "
+                    f"{self.live_workers()} live local workers "
+                    f"(queue: {queue.job_dir})"
+                )
+            else:
+                time.sleep(self.poll_interval)
+
+    # -- ExecutionBackend API -------------------------------------------
+
+    def map_swarms(
+        self, tasks: TaskSource, config: "SimulationConfig"
+    ) -> List[SwarmOutput]:
+        plan = as_task_plan(tasks)
+        num_tasks = len(plan)
+        if num_tasks == 0:
+            return []
+        blocks = contiguous_blocks(
+            plan.refs(), min(num_tasks, self.workers * self.shards_per_worker)
+        )
+        outputs: List[Optional[SwarmOutput]] = [None] * num_tasks
+        spec = JobSpec(
+            kind="single", config=config, lease_timeout=self.lease_timeout
+        )
+        for start, outs in self._run_job(
+            blocks, spec, window=len(blocks), handoff=plan_handoff(plan)
+        ):
+            outputs[start : start + len(outs)] = outs
+        return outputs  # type: ignore[return-value] - every slot is filled
+
+    def iter_outputs(
+        self, tasks: TaskSource, config: "SimulationConfig"
+    ) -> Iterator[OutputBlock]:
+        plan = as_task_plan(tasks)
+        if len(plan) == 0:
+            return
+        blocks = contiguous_blocks(plan.refs(), self._streaming_shards(plan))
+        spec = JobSpec(
+            kind="single", config=config, lease_timeout=self.lease_timeout
+        )
+        yield from self._run_job(
+            blocks, spec, window=self.workers + 1, handoff=plan_handoff(plan)
+        )
+
+    def map_swarms_multi(
+        self, tasks: TaskSource, configs: Sequence["SimulationConfig"]
+    ) -> List[MultiSwarmOutput]:
+        plan = as_task_plan(tasks)
+        num_tasks = len(plan)
+        if num_tasks == 0:
+            return []
+        blocks = contiguous_blocks(
+            plan.refs(), min(num_tasks, self.workers * self.shards_per_worker)
+        )
+        outputs: List[Optional[MultiSwarmOutput]] = [None] * num_tasks
+        spec = JobSpec(
+            kind="sweep", configs=tuple(configs), lease_timeout=self.lease_timeout
+        )
+        for start, outs in self._run_job(
+            blocks, spec, window=len(blocks), handoff=plan_handoff(plan)
+        ):
+            outputs[start : start + len(outs)] = outs
+        return outputs  # type: ignore[return-value] - every slot is filled
+
+    def iter_outputs_multi(
+        self, tasks: TaskSource, configs: Sequence["SimulationConfig"]
+    ) -> Iterator[MultiOutputBlock]:
+        plan = as_task_plan(tasks)
+        if len(plan) == 0:
+            return
+        blocks = contiguous_blocks(
+            plan.refs(), self._streaming_shards(plan, len(configs))
+        )
+        spec = JobSpec(
+            kind="sweep", configs=tuple(configs), lease_timeout=self.lease_timeout
+        )
+        yield from self._run_job(
+            blocks, spec, window=self.workers + 1, handoff=plan_handoff(plan)
+        )
+
+
 #: The registry of selectable backend names -- the single source of
 #: truth consumed by ``SimulationConfig`` validation and the CLI's
 #: ``--backend`` choices.
@@ -635,17 +1023,23 @@ BACKEND_NAMES: tuple = (
     SerialBackend.name,
     ThreadBackend.name,
     ProcessPoolBackend.name,
+    DistributedBackend.name,
 )
 
 
 def resolve_backend(
-    backend: Optional[str] = None, workers: Optional[int] = None
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    queue_dir: Optional[str] = None,
 ) -> ExecutionBackend:
     """Pick a backend from ``SimulationConfig(backend=..., workers=...)``.
 
     * an explicit name (one of :data:`BACKEND_NAMES`) wins;
     * otherwise ``workers`` > 1 selects the process pool;
     * otherwise the serial baseline.
+
+    ``queue_dir`` reaches only the distributed backend (the engine
+    validates it is never set for the others).
     """
     if backend is None:
         if workers is not None and workers > 1:
@@ -657,6 +1051,8 @@ def resolve_backend(
         return ThreadBackend(workers)
     if backend == ProcessPoolBackend.name:
         return ProcessPoolBackend(workers)
+    if backend == DistributedBackend.name:
+        return DistributedBackend(workers, queue_dir)
     raise ValueError(
         f"unknown backend {backend!r}; choose from {', '.join(BACKEND_NAMES)}"
     )

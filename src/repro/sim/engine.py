@@ -119,9 +119,19 @@ class SimulationConfig:
             runs serially; > 1 selects the process pool unless
             ``backend`` says otherwise.  Results are bit-for-bit
             identical at any worker count.
-        backend: execution backend name ("serial", "thread" or
-            "process"); ``None`` auto-selects from ``workers``.  See
-            :mod:`repro.sim.backends`.
+        backend: execution backend name ("serial", "thread", "process"
+            or "distributed"); ``None`` auto-selects from ``workers``.
+            See :mod:`repro.sim.backends`.  "distributed" fans swarm
+            shards out over a file-based work queue to worker processes
+            that may live on other hosts (``python -m
+            repro.sim.worker``); ``workers`` then sizes the locally
+            spawned worker fleet.  Results stay bit-for-bit identical
+            to serial.
+        queue_dir: the shared work-queue directory for
+            ``backend="distributed"`` (any storage every worker host
+            can see).  ``None`` uses a run-scoped private temporary
+            queue served by locally spawned workers.  Only valid with
+            the distributed backend.
         reduction: how shard outputs reduce into the final result (see
             :data:`repro.sim.reduce.REDUCTION_MODES`).  "batched" (the
             default) materializes every output before folding;
@@ -164,6 +174,7 @@ class SimulationConfig:
     seed_linger_seconds: float = 0.0
     workers: Optional[int] = None
     backend: Optional[str] = None
+    queue_dir: Optional[str] = None
     reduction: str = "batched"
     spill_dir: Optional[str] = None
     grouping: str = "memory"
@@ -196,13 +207,18 @@ class SimulationConfig:
             raise ValueError(
                 f"backend must be one of {BACKEND_NAMES}, got {self.backend!r}"
             )
+        if self.queue_dir is not None and self.backend != "distributed":
+            raise ValueError(
+                "queue_dir is only valid with backend='distributed', "
+                f"got backend={self.backend!r}"
+            )
         if self.reduction not in REDUCTION_MODES:
             raise ValueError(
                 f"reduction must be one of {REDUCTION_MODES}, got {self.reduction!r}"
             )
         if self.spill_dir is not None and self.reduction != "spill":
             raise ValueError(
-                f"spill_dir is only valid with reduction='spill', "
+                "spill_dir is only valid with reduction='spill', "
                 f"got reduction={self.reduction!r}"
             )
         if self.grouping not in GROUPING_MODES:
@@ -211,7 +227,7 @@ class SimulationConfig:
             )
         if self.shard_dir is not None and self.grouping != "external":
             raise ValueError(
-                f"shard_dir is only valid with grouping='external', "
+                "shard_dir is only valid with grouping='external', "
                 f"got grouping={self.grouping!r}"
             )
 
@@ -292,6 +308,9 @@ class Simulator:
     ) -> None:
         self.config = config or SimulationConfig()
         self._backend = backend
+        # An injected backend belongs to the caller; one resolved from
+        # the config is owned (and released) by this simulator.
+        self._owns_backend = backend is None
         self._grouping = grouping
         #: :class:`~repro.sim.reduce.ReductionStats` of the most recent
         #: run -- how many blocks folded, the peak resident partial
@@ -317,7 +336,9 @@ class Simulator:
         so the resolution cannot change).
         """
         if self._backend is None:
-            self._backend = resolve_backend(self.config.backend, self.config.workers)
+            self._backend = resolve_backend(
+                self.config.backend, self.config.workers, self.config.queue_dir
+            )
         return self._backend
 
     @property
@@ -332,6 +353,21 @@ class Simulator:
                 self.config.grouping, self.config.shard_dir
             )
         return self._grouping
+
+    def close(self) -> None:
+        """Release backend-owned resources (pools, worker fleets, queues).
+
+        Only closes a backend this simulator resolved from its own
+        config -- an injected backend belongs to the caller.  Safe to
+        call repeatedly; a closed backend re-creates its resources
+        lazily if the simulator is used again.
+        """
+        if (
+            self._owns_backend
+            and self._backend is not None
+            and hasattr(self._backend, "close")
+        ):
+            self._backend.close()
 
     def _cache_token(self, trace: Trace) -> Optional[str]:
         """A shard-cache token for ``trace``, when caching can pay off.
@@ -518,9 +554,9 @@ class Simulator:
         for config in configs[1:]:
             if config.policy != policy:
                 raise ValueError(
-                    f"sweep configs must share one swarm policy; got "
+                    "sweep configs must share one swarm policy; got "
                     f"{policy!r} and {config.policy!r} (run separate sweeps "
-                    f"per policy -- the task partition is policy-defined)"
+                    "per policy -- the task partition is policy-defined)"
                 )
         run_config = self.config
         self.last_reduction = None

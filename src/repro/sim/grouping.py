@@ -74,6 +74,7 @@ __all__ = [
     "GroupingStrategy",
     "MemoryGrouping",
     "ExternalGrouping",
+    "plan_handoff",
     "resolve_grouping",
     "as_task_plan",
 ]
@@ -589,6 +590,35 @@ def _decode_swarm_key(payload: Dict) -> SwarmKey:
         isp=payload.get("isp"),
         bitrate_class=payload.get("bitrate_class"),
     )
+
+
+def plan_handoff(plan: TaskPlan) -> Dict[str, object]:
+    """A JSON-able description of where a plan's task data lives.
+
+    The grouping half of the distributed handoff: the coordinator
+    writes this next to each distributed job's work items
+    (``plan.json``) so operators -- and workers on other hosts -- can
+    see what storage the task refs point into.  Memory plans carry
+    their sessions inside the refs ("shard": None); external plans
+    reference the sorted shard file, which must be reachable at the
+    same path on every worker host (shared storage), exactly like the
+    :class:`ExtentTaskRef` values workers resolve.
+    """
+    stats = plan.stats()
+    payload: Dict[str, object] = {
+        "mode": stats.mode,
+        "tasks": stats.tasks,
+        "sessions": stats.sessions,
+        "shard": None,
+    }
+    manifest = getattr(plan, "manifest", None)
+    if manifest is not None:
+        payload["shard"] = {
+            "path": manifest.path,
+            "horizon": manifest.horizon,
+            "extents": len(manifest.extents),
+        }
+    return payload
 
 
 def resolve_grouping(

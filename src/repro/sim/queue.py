@@ -1,0 +1,450 @@
+"""A crash-safe, file-based work queue for distributed swarm execution.
+
+The distributed backend (:class:`repro.sim.backends.DistributedBackend`)
+fans swarm shards out to worker processes that share **nothing but
+storage**: no sockets, no broker, no coordinator RPC.  Every queue
+operation is a file create or an atomic ``os.rename`` on one
+filesystem, so the protocol inherits exactly the guarantees POSIX
+rename gives -- a work item is claimed by at most one worker, a result
+file is either absent or complete, and any participant can crash at
+any instruction without corrupting the queue.
+
+Layout of one job directory::
+
+    job-<id>/
+        job.pkl          # JobSpec: what to run (config or sweep configs)
+        plan.json        # grouping handoff: where the shard/manifest live
+        pending/         # item-<pos>.task  (pickled WorkItem, ready to claim)
+        claimed/         # item-<pos>.task  (claimed; mtime is the lease clock)
+                         # item-<pos>.task.lease (who claimed, informational)
+        results/         # item-<pos>.out   (pickled kernel outputs)
+        acked/           # item-<pos>.task  (completed work items)
+        failed/          # item-<pos>.task + .error (corrupt/poisoned items)
+        DONE             # coordinator finished collecting; workers skip
+
+Protocol:
+
+* **enqueue** (coordinator): write the payload to a temp file, rename
+  into ``pending/``.  Items appear atomically.
+* **claim** (worker): rename ``pending/x`` -> ``claimed/x``.  Exactly
+  one renamer wins; losers see ``FileNotFoundError`` and try the next
+  item.  The claimed file's mtime starts the lease; workers renew it
+  (``os.utime``) while the task runs.
+* **ack** (worker): write the result to a temp file, rename into
+  ``results/``, then rename ``claimed/x`` -> ``acked/x``.  Acking is
+  **idempotent**: kernels are pure, so a duplicate execution renames an
+  identical result over the first one, and a missing claimed file
+  (someone requeued and finished it already) is ignored.
+* **requeue** (coordinator): a claimed item whose lease expired is
+  renamed back to ``pending/`` -- unless its result already exists, in
+  which case the dead worker finished the work and is acked on its
+  behalf.  Because rename is atomic, a late worker and the requeue
+  race benignly: whoever renames first wins, the other's rename fails
+  and is ignored.
+* **resume** (coordinator): all state is on disk, so a restarted
+  coordinator reopens the directory and continues -- acked results are
+  collected without re-running, pending/claimed items proceed normally.
+
+Shared-storage assumptions: rename atomicity within the queue
+directory (true for local filesystems and NFS), and clocks coherent
+enough that lease mtimes age monotonically (use generous
+``lease_timeout`` values across hosts).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import SimulationConfig
+
+__all__ = [
+    "JobSpec",
+    "QueueItemError",
+    "WorkClaim",
+    "WorkItem",
+    "WorkQueue",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Suffix of work-item payload files.
+_TASK_SUFFIX = ".task"
+
+#: Suffix of result payload files.
+_RESULT_SUFFIX = ".out"
+
+
+class QueueItemError(RuntimeError):
+    """A work-item or spec payload could not be decoded (corrupt file)."""
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One contiguous block of swarm-task refs, addressed for the queue.
+
+    Attributes:
+        item_id: stable identifier (``item-<position>``); doubles as the
+            file stem in every queue subdirectory.
+        start_index: task index of the block's first ref -- the tag the
+            streaming reducer re-orders by.
+        refs: picklable task refs (resident
+            :class:`~repro.sim.kernel.SwarmTask` values under memory
+            grouping, :class:`~repro.sim.grouping.ExtentTaskRef` extent
+            handles under external grouping).
+    """
+
+    item_id: str
+    start_index: int
+    refs: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What one distributed job runs: a single config, or a K-config sweep.
+
+    ``kind`` is ``"single"`` (workers call
+    :func:`~repro.sim.kernel.run_shard` with ``config``) or ``"sweep"``
+    (workers call :func:`~repro.sim.kernel.run_shard_multi` with
+    ``configs``).
+
+    ``lease_timeout`` is the *coordinator's* lease horizon, published
+    with the job so workers pace their renewals against the clock that
+    actually requeues them -- a worker's own configuration can never
+    drift out from under the coordinator's ``requeue_stale``.
+    """
+
+    kind: str
+    config: Optional["SimulationConfig"] = None
+    configs: Optional[Tuple["SimulationConfig", ...]] = None
+    lease_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("single", "sweep"):
+            raise ValueError(f"kind must be 'single' or 'sweep', got {self.kind!r}")
+        if self.kind == "single" and self.config is None:
+            raise ValueError("single jobs need a config")
+        if self.kind == "sweep" and not self.configs:
+            raise ValueError("sweep jobs need at least one config")
+        if self.lease_timeout <= 0:
+            raise ValueError(
+                f"lease_timeout must be > 0, got {self.lease_timeout!r}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkClaim:
+    """A successful claim: the worker's exclusive lease on one item."""
+
+    item_id: str
+    path: Path
+    worker_id: str
+
+    def renew(self) -> bool:
+        """Refresh the lease clock (claimed-file mtime).
+
+        Returns False when the claimed file is gone -- the coordinator
+        requeued the item past a stale lease, so this worker's result
+        (if it still produces one) will be acked idempotently or
+        ignored.
+        """
+        try:
+            os.utime(self.path)
+            return True
+        except OSError:
+            return False
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write ``data`` so ``path`` is only ever absent or complete."""
+    handle, raw = tempfile.mkstemp(prefix=path.name + ".", dir=path.parent)
+    try:
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(data)
+        os.replace(raw, path)
+    except BaseException:
+        try:
+            os.unlink(raw)
+        except OSError:
+            pass
+        raise
+
+
+class WorkQueue:
+    """One job's work queue, rooted at a (shared-storage) directory.
+
+    Both the coordinator and every worker construct their own
+    ``WorkQueue`` over the same directory; all state lives on disk, so
+    instances are cheap, stateless views that can be re-created at any
+    time (in particular by a restarted coordinator).
+
+    Args:
+        job_dir: the job directory (created if ``create``).
+        lease_timeout: seconds a claimed item's lease may go unrenewed
+            before :meth:`requeue_stale` hands it to another worker.
+        create: create the queue subdirectories (coordinator side);
+            workers pass ``False`` and treat missing directories as an
+            empty queue.
+    """
+
+    SPEC_FILENAME = "job.pkl"
+    PLAN_FILENAME = "plan.json"
+    DONE_FILENAME = "DONE"
+
+    def __init__(
+        self,
+        job_dir,
+        lease_timeout: float = 30.0,
+        create: bool = True,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ValueError(f"lease_timeout must be > 0, got {lease_timeout!r}")
+        self.job_dir = Path(job_dir)
+        self.lease_timeout = lease_timeout
+        self.pending_dir = self.job_dir / "pending"
+        self.claimed_dir = self.job_dir / "claimed"
+        self.results_dir = self.job_dir / "results"
+        self.acked_dir = self.job_dir / "acked"
+        self.failed_dir = self.job_dir / "failed"
+        if create:
+            for directory in (
+                self.pending_dir,
+                self.claimed_dir,
+                self.results_dir,
+                self.acked_dir,
+                self.failed_dir,
+            ):
+                directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Coordinator side
+    # ------------------------------------------------------------------
+
+    def write_spec(self, spec: JobSpec) -> None:
+        """Publish the job spec (atomically; workers skip spec-less jobs)."""
+        _atomic_write(self.job_dir / self.SPEC_FILENAME, pickle.dumps(spec))
+
+    def load_spec(self) -> JobSpec:
+        """The job spec, or :class:`QueueItemError` if absent/corrupt."""
+        path = self.job_dir / self.SPEC_FILENAME
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError) as error:
+            raise QueueItemError(f"unreadable job spec {path}: {error}") from error
+        if not isinstance(payload, JobSpec):
+            raise QueueItemError(f"job spec {path} holds {type(payload).__name__}")
+        return payload
+
+    def put(self, item: WorkItem) -> None:
+        """Enqueue one work item (appears atomically in ``pending/``)."""
+        _atomic_write(
+            self.pending_dir / f"{item.item_id}{_TASK_SUFFIX}", pickle.dumps(item)
+        )
+
+    def requeue_stale(self) -> List[str]:
+        """Return expired claims to ``pending/`` (or ack finished ones).
+
+        A claim is stale when its lease clock (the claimed file's
+        mtime, renewed by live workers) is older than
+        ``lease_timeout``.  If the claimant died *after* writing its
+        result but before acking, the result is honoured: the item is
+        acked on the dead worker's behalf instead of re-run.
+
+        Returns the item ids that were actually handed back to
+        ``pending/`` (i.e. will run again).
+        """
+        requeued: List[str] = []
+        now = time.time()
+        for path in self._list(self.claimed_dir, _TASK_SUFFIX):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # acked or requeued under us
+            if age < self.lease_timeout:
+                continue
+            item_id = path.stem
+            lease = path.with_name(path.name + ".lease")
+            if (self.results_dir / f"{item_id}{_RESULT_SUFFIX}").exists():
+                # The worker finished, then died before acking.
+                if self._rename(path, self.acked_dir / path.name):
+                    logger.warning(
+                        "acked %s on behalf of a dead worker (result present)",
+                        item_id,
+                    )
+            elif self._rename(path, self.pending_dir / path.name):
+                logger.warning(
+                    "requeued %s: lease expired after %.1fs", item_id, age
+                )
+                requeued.append(item_id)
+            lease.unlink(missing_ok=True)
+        return requeued
+
+    def result_ids(self) -> Set[str]:
+        """Item ids that currently have a (complete) result file."""
+        return {
+            path.stem for path in self._list(self.results_dir, _RESULT_SUFFIX)
+        }
+
+    def load_result(self, item_id: str) -> object:
+        """Unpickle one result payload (rename-published, so complete)."""
+        path = self.results_dir / f"{item_id}{_RESULT_SUFFIX}"
+        return pickle.loads(path.read_bytes())
+
+    def failed_items(self) -> Dict[str, str]:
+        """Item id -> error text for items workers gave up on."""
+        failures: Dict[str, str] = {}
+        for path in self._list(self.failed_dir, _TASK_SUFFIX):
+            error_path = path.with_name(path.name + ".error")
+            try:
+                failures[path.stem] = error_path.read_text().strip()
+            except OSError:
+                failures[path.stem] = "unknown failure"
+        return failures
+
+    def mark_done(self) -> None:
+        """Tell workers this job is over (they skip DONE-marked jobs)."""
+        (self.job_dir / self.DONE_FILENAME).touch()
+
+    @property
+    def is_done(self) -> bool:
+        return (self.job_dir / self.DONE_FILENAME).exists()
+
+    def pending_ids(self) -> Set[str]:
+        return {path.stem for path in self._list(self.pending_dir, _TASK_SUFFIX)}
+
+    def claimed_ids(self) -> Set[str]:
+        return {path.stem for path in self._list(self.claimed_dir, _TASK_SUFFIX)}
+
+    def acked_ids(self) -> Set[str]:
+        return {path.stem for path in self._list(self.acked_dir, _TASK_SUFFIX)}
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def claim(self, worker_id: str) -> Optional[WorkClaim]:
+        """Claim the next pending item, or None if nothing is claimable.
+
+        Lowest item first (matching the streaming reducer's fold
+        frontier); the atomic rename guarantees exclusivity, so
+        concurrent claimers simply fall through to the next item.
+        """
+        for path in sorted(self._list(self.pending_dir, _TASK_SUFFIX)):
+            target = self.claimed_dir / path.name
+            if not self._rename(path, target):
+                continue  # another worker won this item
+            try:
+                os.utime(target)  # start the lease clock at claim time
+            except OSError:
+                continue  # requeued already; let them have it
+            claim = WorkClaim(item_id=path.stem, path=target, worker_id=worker_id)
+            try:
+                _atomic_write(
+                    target.with_name(target.name + ".lease"),
+                    f"{worker_id} {time.time():.3f}\n".encode("ascii"),
+                )
+            except OSError:  # pragma: no cover - informational only
+                pass
+            return claim
+        return None
+
+    def load_item(self, claim: WorkClaim) -> WorkItem:
+        """Decode a claimed item; :class:`QueueItemError` if corrupt."""
+        try:
+            payload = pickle.loads(claim.path.read_bytes())
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError) as error:
+            raise QueueItemError(
+                f"corrupt work item {claim.path}: {error}"
+            ) from error
+        if not isinstance(payload, WorkItem):
+            raise QueueItemError(
+                f"work item {claim.path} holds {type(payload).__name__}"
+            )
+        return payload
+
+    def ack(self, claim: WorkClaim, result: object) -> None:
+        """Publish the result, then retire the claim.  Idempotent.
+
+        The result rename happens *first*, so a crash between the two
+        renames loses nothing: :meth:`requeue_stale` sees the result
+        and acks on this worker's behalf.  A duplicate ack (the item
+        was requeued and finished elsewhere) replaces the result with
+        an identical one -- kernels are pure -- and skips the missing
+        claimed file.
+        """
+        _atomic_write(
+            self.results_dir / f"{claim.item_id}{_RESULT_SUFFIX}",
+            pickle.dumps(result),
+        )
+        self._rename(claim.path, self.acked_dir / claim.path.name)
+        claim.path.with_name(claim.path.name + ".lease").unlink(missing_ok=True)
+
+    def discard(self, claim: WorkClaim, error: str) -> None:
+        """Move a poisoned item to ``failed/`` with its error text.
+
+        Failed items are terminal: they are never requeued, and the
+        coordinator surfaces the error instead of waiting forever.
+        """
+        target = self.failed_dir / claim.path.name
+        try:
+            _atomic_write(target.with_name(target.name + ".error"), error.encode())
+        except OSError:  # pragma: no cover - the .task move still lands
+            pass
+        self._rename(claim.path, target)
+        claim.path.with_name(claim.path.name + ".lease").unlink(missing_ok=True)
+        logger.error("discarded work item %s: %s", claim.item_id, error)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _list(directory: Path, suffix: str) -> List[Path]:
+        try:
+            return [
+                directory / name
+                for name in os.listdir(directory)
+                if name.endswith(suffix)
+            ]
+        except OSError:
+            return []  # job dir removed (or not yet created): empty queue
+
+    @staticmethod
+    def _rename(source: Path, target: Path) -> bool:
+        """Atomic rename; False when someone else moved ``source`` first."""
+        try:
+            os.rename(source, target)
+            return True
+        except OSError:
+            return False
+
+
+def item_id_for(position: int) -> str:
+    """The canonical item id for a block position (sortable, stable)."""
+    return f"item-{position:06d}"
+
+
+def position_of(item_id: str) -> int:
+    """Inverse of :func:`item_id_for`."""
+    return int(item_id.rsplit("-", 1)[1])
+
+
+def make_items(blocks: Sequence[Tuple[int, Sequence[object]]]) -> List[WorkItem]:
+    """Wrap ``contiguous_blocks`` output into enqueueable work items."""
+    return [
+        WorkItem(
+            item_id=item_id_for(position),
+            start_index=start,
+            refs=tuple(refs),
+        )
+        for position, (start, refs) in enumerate(blocks)
+    ]

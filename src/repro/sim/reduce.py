@@ -179,7 +179,7 @@ class FootprintAccumulator:
             # refuse instead of silently losing data.
             raise RuntimeError(
                 f"spill log {self.spill_path} was already closed; "
-                f"cannot fold further deltas"
+                "cannot fold further deltas"
             )
         if self._spill_file is None:
             self.spill_path.parent.mkdir(parents=True, exist_ok=True)

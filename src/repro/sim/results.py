@@ -22,7 +22,7 @@ shards anywhere and reduce them afterwards.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.core.carbon import UserFootprint
 from repro.core.energy import EnergyModel
@@ -200,19 +200,19 @@ class SimulationResult:
         """
         if other.delta_tau != self.delta_tau:
             raise ValueError(
-                f"cannot merge results with different delta_tau: "
+                "cannot merge results with different delta_tau: "
                 f"{self.delta_tau!r} vs {other.delta_tau!r}"
             )
         if other.upload_ratio != self.upload_ratio:
             raise ValueError(
-                f"cannot merge results with different upload_ratio: "
+                "cannot merge results with different upload_ratio: "
                 f"{self.upload_ratio!r} vs {other.upload_ratio!r}"
             )
         if self.horizon > 0.0 and other.horizon > 0.0 and self.horizon != other.horizon:
             raise ValueError(
-                f"cannot merge results with different horizons: "
+                "cannot merge results with different horizons: "
                 f"{self.horizon!r} vs {other.horizon!r} (capacities and "
-                f"arrival rates are normalized by the horizon)"
+                "arrival rates are normalized by the horizon)"
             )
         self.total.merge(other.total)
         for key, result in other.per_swarm.items():

@@ -17,7 +17,7 @@ engine and want to know it still honours the theory.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.analysis.tables import render_table
 from repro.core.energy import EnergyModel, VALANCIUS

@@ -1,0 +1,268 @@
+"""Distributed worker entry point: ``python -m repro.sim.worker``.
+
+A worker is a plain OS process that shares **storage only** with the
+coordinator (:class:`repro.sim.backends.DistributedBackend`): point it
+at a queue directory on any filesystem both sides can see and it will
+claim work items, resolve their task refs locally
+(:func:`~repro.sim.kernel.resolve_task` -- under external grouping the
+worker opens the shard file itself and decodes only its own byte
+extents), run the kernel, and publish result blocks the coordinator's
+streaming reducer folds in completion order.
+
+Launch workers anywhere shared storage reaches::
+
+    PYTHONPATH=src python -m repro.sim.worker --queue-dir /shared/queue
+    # ... on as many hosts as you like; add --idle-exit for batch jobs
+
+The worker loop:
+
+* scan the queue root for ``job-*`` directories without a ``DONE``
+  marker, oldest job first;
+* claim the lowest pending item (atomic rename -- see
+  :mod:`repro.sim.queue`); a lease-renewal thread keeps the claim
+  alive while the kernel runs, so generous coordinator lease timeouts
+  never fire on healthy-but-slow workers;
+* run :func:`~repro.sim.kernel.run_shard` (single config) or
+  :func:`~repro.sim.kernel.run_shard_multi` (sweep) over the item's
+  refs and ack the pickled outputs;
+* a corrupt work item or job spec is moved to ``failed/`` / skipped
+  with a logged error instead of crashing the worker;
+* exit on a ``STOP`` file in the queue root, after ``--max-tasks``
+  items, or after ``--idle-exit`` seconds without work.
+
+Crash safety: a worker may be SIGKILLed at any point.  An unacked
+claim's lease expires and the coordinator requeues the item; an
+already-written result is honoured even if the ack never happened.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import os
+import socket
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.sim.kernel import run_shard, run_shard_multi
+from repro.sim.queue import (
+    JobSpec,
+    QueueItemError,
+    WorkClaim,
+    WorkQueue,
+    WorkItem,
+)
+
+__all__ = ["run_worker", "main", "default_worker_id"]
+
+logger = logging.getLogger(__name__)
+
+#: Queue-root file whose presence tells every worker to exit.
+STOP_FILENAME = "STOP"
+
+
+def default_worker_id() -> str:
+    """host:pid -- unique enough across the shared-storage fleet."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class _LeaseRenewer:
+    """Daemon thread renewing a claim's lease while the kernel runs."""
+
+    def __init__(self, claim: WorkClaim, interval: float) -> None:
+        self._claim = claim
+        self._interval = max(0.05, interval)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_LeaseRenewer":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            if not self._claim.renew():
+                return  # requeued under us; nothing left to keep alive
+
+
+def _execute(item: WorkItem, spec: JobSpec) -> object:
+    """Run one work item's refs under the job spec's config(s)."""
+    if spec.kind == "sweep":
+        return run_shard_multi(item.refs, list(spec.configs or ()))
+    return run_shard(item.refs, spec.config)
+
+
+def _job_dirs(queue_root: Path) -> List[Path]:
+    """Active job directories, oldest (lowest-sorting) first."""
+    try:
+        names = sorted(
+            name for name in os.listdir(queue_root) if name.startswith("job-")
+        )
+    except OSError:
+        return []
+    return [queue_root / name for name in names]
+
+
+def run_worker(
+    queue_dir,
+    *,
+    poll_interval: float = 0.1,
+    lease_timeout: float = 30.0,
+    max_tasks: Optional[int] = None,
+    idle_exit: Optional[float] = None,
+    worker_id: Optional[str] = None,
+) -> int:
+    """Serve a queue directory until told (or timed out) to stop.
+
+    Returns the number of work items processed.  Importable directly
+    (tests drive it in-process) and the body of the module CLI.
+    """
+    root = Path(queue_dir)
+    worker_id = worker_id or default_worker_id()
+    specs: dict = {}  # job dir -> JobSpec (immutable once published)
+    bad_jobs: set = set()  # job dirs with unreadable specs (logged once)
+    processed = 0
+    idle_since = time.monotonic()
+    logger.info("worker %s serving %s", worker_id, root)
+    while True:
+        if (root / STOP_FILENAME).exists():
+            logger.info("worker %s: STOP file present, exiting", worker_id)
+            break
+        claimed_something = False
+        active_jobs = _job_dirs(root)
+        # Retired jobs usually vanish (the coordinator deletes the
+        # directory right after DONE), so prune by absence too -- a
+        # long-lived worker must not accumulate one spec per job.
+        active_set = set(active_jobs)
+        for cached in [d for d in specs if d not in active_set]:
+            specs.pop(cached, None)
+        bad_jobs &= active_set
+        for job_dir in active_jobs:
+            queue = WorkQueue(job_dir, lease_timeout=lease_timeout, create=False)
+            if queue.is_done:
+                specs.pop(job_dir, None)
+                continue
+            if job_dir not in specs:
+                try:
+                    specs[job_dir] = queue.load_spec()
+                except QueueItemError as error:
+                    if job_dir not in bad_jobs:
+                        logger.error("skipping job %s: %s", job_dir.name, error)
+                        bad_jobs.add(job_dir)
+                    continue
+                bad_jobs.discard(job_dir)
+            claim = queue.claim(worker_id)
+            if claim is None:
+                continue
+            claimed_something = True
+            try:
+                item = queue.load_item(claim)
+            except QueueItemError as error:
+                # Poisoned payload: park it in failed/ (terminal) so the
+                # coordinator can surface the error; keep serving.
+                queue.discard(claim, str(error))
+                break
+            logger.debug(
+                "worker %s running %s (%d refs) from %s",
+                worker_id, item.item_id, len(item.refs), job_dir.name,
+            )
+            # Pace renewals against the lease horizon the COORDINATOR
+            # published with the job, not this worker's own flag -- the
+            # coordinator's clock is the one that requeues stale claims.
+            job_lease = getattr(specs[job_dir], "lease_timeout", lease_timeout)
+            with _LeaseRenewer(claim, interval=job_lease / 3.0):
+                result = _execute(item, specs[job_dir])
+            try:
+                queue.ack(claim, result)
+            except OSError:
+                # The job directory vanished mid-task: the coordinator
+                # collected a duplicate's result and retired the job
+                # (this worker was presumed dead).  The work is done
+                # elsewhere; dropping our identical copy is safe.
+                logger.warning(
+                    "could not ack %s (job %s retired); dropping duplicate "
+                    "result", item.item_id, job_dir.name,
+                )
+            processed += 1
+            if max_tasks is not None and processed >= max_tasks:
+                logger.info(
+                    "worker %s: reached --max-tasks %d", worker_id, max_tasks
+                )
+                return processed
+            break  # rescan from the oldest job so fold frontiers drain first
+        if claimed_something:
+            idle_since = time.monotonic()
+            continue
+        if idle_exit is not None and time.monotonic() - idle_since >= idle_exit:
+            logger.info(
+                "worker %s: idle for %.1fs, exiting", worker_id, idle_exit
+            )
+            break
+        time.sleep(poll_interval)
+    return processed
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.worker",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--queue-dir", required=True,
+        help="queue root directory shared with the coordinator",
+    )
+    parser.add_argument(
+        "--poll-interval", type=float, default=0.1,
+        help="seconds between queue scans when idle (default: 0.1)",
+    )
+    parser.add_argument(
+        "--lease-timeout", type=float, default=30.0,
+        help="fallback lease horizon for renewal pacing when a job "
+        "does not publish the coordinator's own (default: 30)",
+    )
+    parser.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="exit after processing this many items (default: serve forever)",
+    )
+    parser.add_argument(
+        "--idle-exit", type=float, default=None,
+        help="exit after this many seconds without work (default: never)",
+    )
+    parser.add_argument(
+        "--worker-id", default=None,
+        help="stable worker identity for lease files (default: host:pid)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log each processed item"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr,
+    )
+    processed = run_worker(
+        args.queue_dir,
+        poll_interval=args.poll_interval,
+        lease_timeout=args.lease_timeout,
+        max_tasks=args.max_tasks,
+        idle_exit=args.idle_exit,
+        worker_id=args.worker_id,
+    )
+    logger.info("worker processed %d item(s)", processed)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

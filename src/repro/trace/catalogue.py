@@ -17,8 +17,8 @@ Section IV.A).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
 
 __all__ = ["ContentItem", "Catalogue", "zipf_weights"]
 

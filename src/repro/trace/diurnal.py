@@ -18,7 +18,7 @@ import bisect
 import itertools
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 __all__ = ["DiurnalProfile", "UK_TV_PROFILE", "FLAT_PROFILE"]
 

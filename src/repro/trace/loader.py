@@ -26,7 +26,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Dict, Iterator, List, Union
+from typing import Dict, Iterator, Union
 
 from repro.topology.nodes import intern_attachment
 from repro.trace.events import Session, Trace

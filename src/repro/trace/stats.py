@@ -12,9 +12,9 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
-from repro.trace.events import SECONDS_PER_DAY, Trace
+from repro.trace.events import Trace
 
 __all__ = ["TraceStats", "summarise"]
 

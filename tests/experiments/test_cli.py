@@ -140,3 +140,101 @@ class TestWorkersFlag:
         assert main(["simulate", str(path), "--workers", "2"]) == 0
         out = capsys.readouterr().out
         assert "offload G" in out
+
+
+class TestDistributedFlags:
+    def test_simulate_accepts_distributed_backend(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "simulate", "t.jsonl",
+                "--backend", "distributed",
+                "--queue-dir", str(tmp_path / "q"),
+                "--workers", "2",
+            ]
+        )
+        assert args.backend == "distributed"
+        assert str(args.queue_dir) == str(tmp_path / "q")
+
+    def test_queue_dir_requires_distributed_backend(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["simulate", "t.jsonl", "--queue-dir", str(tmp_path)])
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "simulate", "t.jsonl",
+                    "--backend", "process",
+                    "--queue-dir", str(tmp_path),
+                ]
+            )
+
+    def test_figure_commands_accept_backend(self):
+        from repro.cli import _settings_from
+
+        args = build_parser().parse_args(
+            ["fig5", "--quick", "--backend", "serial"]
+        )
+        settings = _settings_from(args)
+        assert settings.backend == "serial"
+        assert settings.simulation_config().backend == "serial"
+
+    def test_worker_parser(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "worker",
+                "--queue-dir", str(tmp_path),
+                "--max-tasks", "3",
+                "--idle-exit", "0.5",
+            ]
+        )
+        assert args.command == "worker"
+        assert args.max_tasks == 3
+        assert args.idle_exit == 0.5
+
+    def test_worker_requires_queue_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_worker_command_serves_and_exits(self, tmp_path):
+        """`consume-local worker` drains a queue and honours --idle-exit."""
+        import pickle
+
+        from repro.sim.engine import SimulationConfig
+        from repro.sim.queue import JobSpec, WorkItem, WorkQueue, item_id_for
+
+        queue = WorkQueue(tmp_path / "job-cli", lease_timeout=30.0)
+        queue.write_spec(JobSpec(kind="single", config=SimulationConfig()))
+        queue.put(WorkItem(item_id=item_id_for(0), start_index=0, refs=()))
+        assert main(
+            [
+                "worker",
+                "--queue-dir", str(tmp_path),
+                "--max-tasks", "1",
+                "--idle-exit", "1.0",
+            ]
+        ) == 0
+        assert queue.result_ids() == {item_id_for(0)}
+        assert pickle.loads(
+            (queue.results_dir / f"{item_id_for(0)}.out").read_bytes()
+        ) == []
+
+    def test_simulate_distributed_round_trip(self, tmp_path, capsys):
+        """generate -> simulate --backend distributed matches the serial
+        CLI output byte for byte."""
+        path = tmp_path / "trace.jsonl"
+        assert main(["generate", str(path), "--quick", "--days", "1"]) == 0
+        capsys.readouterr()  # drop the generate output
+        assert main(["simulate", str(path)]) == 0
+        serial_out = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "simulate", str(path),
+                    "--backend", "distributed",
+                    "--queue-dir", str(tmp_path / "q"),
+                    "--workers", "2",
+                ]
+            )
+            == 0
+        )
+        distributed_out = capsys.readouterr().out
+        assert distributed_out == serial_out

@@ -67,3 +67,44 @@ class TestRunAll:
         start = time.perf_counter()
         run_experiment("fig3", settings)
         assert time.perf_counter() - start < 2.0
+
+
+class TestBackendOverride:
+    def test_backend_and_queue_dir_thread_through(self, tmp_path):
+        from repro.experiments.runner import _resolve_settings
+
+        settings = _resolve_settings(
+            ExperimentSettings.quick(),
+            workers=2,
+            backend="distributed",
+            queue_dir=str(tmp_path / "q"),
+        )
+        assert settings.backend == "distributed"
+        assert settings.queue_dir == str(tmp_path / "q")
+        config = settings.simulation_config()
+        assert config.backend == "distributed"
+        assert config.queue_dir == str(tmp_path / "q")
+        assert config.workers == 2
+
+    def test_settings_reject_queue_dir_without_distributed(self, tmp_path):
+        with pytest.raises(ValueError):
+            ExperimentSettings(queue_dir=str(tmp_path))
+        with pytest.raises(ValueError):
+            ExperimentSettings(backend="process", queue_dir=str(tmp_path))
+        with pytest.raises(ValueError):
+            ExperimentSettings(backend="warp-drive")
+
+    def test_backend_excluded_from_memo_key(self, tmp_path):
+        from repro.experiments.config import memo_key
+
+        plain = memo_key("city", ExperimentSettings.quick())
+        distributed = memo_key(
+            "city",
+            ExperimentSettings(
+                scale=0.05,
+                days=7,
+                backend="distributed",
+                queue_dir=str(tmp_path),
+            ),
+        )
+        assert plain == distributed  # runtime knobs never split the cache

@@ -7,10 +7,16 @@ baseline *exactly* (float equality, not approx), across policies,
 participation rates and the lingering-seed extension.
 """
 
+import os
+import signal
+import threading
+import time
+
 import pytest
 
 from repro.sim import SimulationConfig, Simulator, simulate
 from repro.sim.backends import (
+    DistributedBackend,
     ProcessPoolBackend,
     SerialBackend,
     ThreadBackend,
@@ -19,6 +25,8 @@ from repro.sim.backends import (
 from repro.sim.grouping import ExternalGrouping
 from repro.sim.kernel import build_tasks, merge_outputs, run_swarm
 from repro.sim.policies import SwarmPolicy
+from repro.sim.queue import WorkQueue
+from repro.sim.worker import run_worker
 from repro.trace.generator import GeneratorConfig, TraceGenerator
 
 
@@ -186,6 +194,43 @@ class TestBackendSelection:
         assert isinstance(resolve_backend("thread", 3), ThreadBackend)
         assert isinstance(resolve_backend("process", 3), ProcessPoolBackend)
 
+    def test_distributed_name_resolves_with_queue_dir(self, tmp_path):
+        backend = resolve_backend("distributed", 2, str(tmp_path / "q"))
+        try:
+            assert isinstance(backend, DistributedBackend)
+            assert backend.workers == 2
+            assert backend._queue_root == tmp_path / "q"
+        finally:
+            backend.close()
+
+    def test_config_queue_dir_requires_distributed(self, tmp_path):
+        with pytest.raises(ValueError):
+            SimulationConfig(backend="process", queue_dir=str(tmp_path))
+        with pytest.raises(ValueError):
+            SimulationConfig(queue_dir=str(tmp_path))
+        config = SimulationConfig(backend="distributed", queue_dir=str(tmp_path))
+        assert config.queue_dir == str(tmp_path)
+
+    def test_distributed_backend_validation(self):
+        with pytest.raises(ValueError):
+            DistributedBackend(0)
+        with pytest.raises(ValueError):
+            DistributedBackend(2, lease_timeout=0.0)
+        with pytest.raises(ValueError):
+            DistributedBackend(2, shard_quantum=0)
+        with pytest.raises(ValueError):
+            DistributedBackend(2, max_attempts=0)
+
+    def test_distributed_empty_plan_short_circuits(self, tmp_path):
+        """No tasks -> no job, no workers, no queue traffic."""
+        backend = DistributedBackend(2, queue_dir=tmp_path / "q")
+        try:
+            assert backend.map_swarms([], SimulationConfig()) == []
+            assert list(backend.iter_outputs([], SimulationConfig())) == []
+            assert backend.live_workers() == 0  # nothing was ever spawned
+        finally:
+            backend.close()
+
     def test_unknown_name_rejected(self):
         with pytest.raises(ValueError):
             resolve_backend("gpu")
@@ -222,31 +267,48 @@ class TestBackendSelection:
         assert simulator.backend is simulator.backend
 
 
+def make_matrix_backend(backend_name, tmp_path):
+    """One backend per matrix axis value, tuned to really parallelize
+    on the test trace (no inline fallbacks, real worker processes)."""
+    backends = {
+        "serial": lambda: SerialBackend(),
+        "thread": lambda: ThreadBackend(3),
+        # min_sessions=0 forces real worker processes on this trace.
+        "process": lambda: ProcessPoolBackend(2, min_sessions=0),
+        # A tiny shard quantum forces several work items through the
+        # file queue; the two spawned workers are real OS processes.
+        "distributed": lambda: DistributedBackend(
+            2,
+            queue_dir=tmp_path / "queue",
+            lease_timeout=60.0,
+            poll_interval=0.01,
+            shard_quantum=400,
+        ),
+    }
+    return backends[backend_name]()
+
+
 class TestReductionMatrix:
     """Backend x reduction x grouping equivalence: every cell of the
-    {serial, thread, process} x {batched, streaming, spill} x
-    {memory, external} matrix, on both entry points (run / run_stream),
-    reproduces the serial-batched baseline bit for bit -- the streaming
-    modes obey the ``workers + 1`` residency bound, and external
-    grouping obeys its sort-buffer bound, while doing it."""
+    {serial, thread, process, distributed} x {batched, streaming, spill}
+    x {memory, external} matrix, on both entry points (run /
+    run_stream), reproduces the serial-batched baseline bit for bit --
+    the streaming modes obey the ``workers + 1`` residency bound, and
+    external grouping obeys its sort-buffer bound, while doing it."""
 
     @pytest.fixture(scope="class")
     def reference(self, trace):
         return Simulator(SimulationConfig(), backend=SerialBackend()).run(trace)
 
-    @pytest.mark.parametrize("backend_name", ["serial", "thread", "process"])
+    @pytest.mark.parametrize(
+        "backend_name", ["serial", "thread", "process", "distributed"]
+    )
     @pytest.mark.parametrize("reduction", ["batched", "streaming", "spill"])
     @pytest.mark.parametrize("grouping", ["memory", "external"])
     def test_backend_reduction_equivalence(
         self, trace, reference, backend_name, reduction, grouping, tmp_path
     ):
-        backends = {
-            "serial": lambda: SerialBackend(),
-            "thread": lambda: ThreadBackend(3),
-            # min_sessions=0 forces real worker processes on this trace.
-            "process": lambda: ProcessPoolBackend(2, min_sessions=0),
-        }
-        backend = backends[backend_name]()
+        backend = make_matrix_backend(backend_name, tmp_path)
         spill_dir = str(tmp_path / "spill") if reduction == "spill" else None
         config = SimulationConfig(reduction=reduction, spill_dir=spill_dir)
         # run_sessions=500 forces real spill-and-merge grouping on this
@@ -281,9 +343,9 @@ class TestReductionMatrix:
 class TestSweepMatrix:
     """Sweep x backend x reduction x grouping: ``run_sweep`` reproduces
     the K independent serial-batched runs bit for bit in every cell of
-    the {serial, thread, process} x {batched, streaming, spill} x
-    {memory, external} matrix, while the streaming cells keep each
-    per-config reducer inside the ``workers + 1`` residency bound."""
+    the {serial, thread, process, distributed} x {batched, streaming,
+    spill} x {memory, external} matrix, while the streaming cells keep
+    each per-config reducer inside the ``workers + 1`` residency bound."""
 
     RATIOS = (0.2, 0.6, 1.0)
 
@@ -296,19 +358,15 @@ class TestSweepMatrix:
             for r in self.RATIOS
         ]
 
-    @pytest.mark.parametrize("backend_name", ["serial", "thread", "process"])
+    @pytest.mark.parametrize(
+        "backend_name", ["serial", "thread", "process", "distributed"]
+    )
     @pytest.mark.parametrize("reduction", ["batched", "streaming", "spill"])
     @pytest.mark.parametrize("grouping", ["memory", "external"])
     def test_sweep_matrix_cell(
         self, trace, sweep_reference, backend_name, reduction, grouping, tmp_path
     ):
-        backends = {
-            "serial": lambda: SerialBackend(),
-            "thread": lambda: ThreadBackend(3),
-            # min_sessions=0 forces real worker processes on this trace.
-            "process": lambda: ProcessPoolBackend(2, min_sessions=0),
-        }
-        backend = backends[backend_name]()
+        backend = make_matrix_backend(backend_name, tmp_path)
         spill_dir = str(tmp_path / "spill") if reduction == "spill" else None
         config = SimulationConfig(reduction=reduction, spill_dir=spill_dir)
         strategy = (
@@ -343,6 +401,166 @@ class TestSweepMatrix:
         finally:
             if hasattr(backend, "close"):
                 backend.close()
+
+
+class TestDistributedFaultTolerance:
+    """Worker death must be invisible in the result: stale leases are
+    requeued onto surviving workers and the fold converges bit for bit."""
+
+    @pytest.fixture()
+    def small_trace(self):
+        return TraceGenerator(
+            config=GeneratorConfig(
+                num_users=200, num_items=12, days=1, expected_sessions=1_200, seed=7
+            )
+        ).generate()
+
+    def test_abandoned_claim_requeued_end_to_end(self, small_trace, tmp_path):
+        """Deterministic lease recovery: a 'worker' claims an item and
+        dies (never renews, never acks); the coordinator requeues it
+        past the lease and a real worker completes the run."""
+        serial = Simulator(SimulationConfig(), backend=SerialBackend()).run(
+            small_trace
+        )
+        queue_root = tmp_path / "queue"
+        backend = DistributedBackend(
+            2,
+            queue_dir=queue_root,
+            spawn=False,  # only our in-test worker may serve the queue
+            lease_timeout=0.4,
+            poll_interval=0.01,
+            shard_quantum=100,
+            progress_timeout=60.0,
+        )
+        claimed = threading.Event()
+        stop_recorded = {}
+
+        def dead_worker():
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and not claimed.is_set():
+                for job_dir in queue_root.glob("job-*"):
+                    queue = WorkQueue(job_dir, lease_timeout=0.4, create=False)
+                    if queue.claim("dead-worker") is not None:
+                        claimed.set()  # ...and never renew, ack, or return
+                        return
+                time.sleep(0.005)
+
+        def live_worker():
+            claimed.wait(timeout=30.0)
+            stop_recorded["processed"] = run_worker(
+                queue_root, poll_interval=0.01, worker_id="survivor"
+            )
+
+        threads = [
+            threading.Thread(target=dead_worker),
+            threading.Thread(target=live_worker),
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            result = Simulator(SimulationConfig(), backend=backend).run(small_trace)
+        finally:
+            (queue_root / "STOP").touch()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            backend.close()
+        assert claimed.is_set(), "the saboteur never got a claim"
+        assert backend.last_requeues >= 1  # the dead claim was recovered
+        assert stop_recorded["processed"] >= 1
+        assert_identical(serial, result)
+
+    def test_sigkilled_worker_process_converges(self, small_trace, tmp_path):
+        """Kill -9 one of two real worker processes mid-run: the
+        coordinator requeues whatever it held and the other worker
+        finishes; the result is still bit-for-bit serial."""
+        serial = Simulator(SimulationConfig(), backend=SerialBackend()).run(
+            small_trace
+        )
+        queue_root = tmp_path / "queue"
+        backend = DistributedBackend(
+            2,
+            queue_dir=queue_root,
+            lease_timeout=1.0,
+            poll_interval=0.01,
+            shards_per_worker=2,
+            shard_quantum=10**9,  # few, large blocks: kills land mid-task
+            progress_timeout=120.0,
+        )
+        killed = threading.Event()
+
+        def assassin():
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline and not killed.is_set():
+                pids = {proc.pid for proc in backend._procs}
+                for lease in queue_root.glob("job-*/claimed/*.lease"):
+                    try:
+                        worker_id = lease.read_text().split()[0]
+                        pid = int(worker_id.rsplit(":", 1)[1])
+                    except (OSError, ValueError, IndexError):
+                        continue
+                    if pid in pids:
+                        try:
+                            os.kill(pid, signal.SIGKILL)
+                        except OSError:  # already gone
+                            continue
+                        killed.set()
+                        return
+                time.sleep(0.002)
+
+        thread = threading.Thread(target=assassin)
+        thread.start()
+        try:
+            result = Simulator(SimulationConfig(), backend=backend).run(small_trace)
+            thread.join(timeout=60.0)
+            assert killed.is_set(), "no worker was ever holding a claim"
+            assert backend.live_workers() == 1  # the victim really died
+            assert_identical(serial, result)
+        finally:
+            thread.join(timeout=1.0)
+            backend.close()
+
+    def test_failed_item_surfaces_error(self, tmp_path):
+        """A poisoned item parked in failed/ aborts the run with its
+        error instead of hanging the coordinator."""
+        queue_root = tmp_path / "queue"
+        backend = DistributedBackend(
+            1,
+            queue_dir=queue_root,
+            spawn=False,
+            lease_timeout=30.0,
+            poll_interval=0.01,
+            progress_timeout=60.0,
+        )
+
+        def corrupting_worker():
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                for task in queue_root.glob("job-*/pending/*.task"):
+                    try:
+                        task.write_bytes(b"\x80poisoned")
+                    except OSError:
+                        continue
+                    run_worker(
+                        queue_root, poll_interval=0.01, idle_exit=0.1,
+                        worker_id="victim",
+                    )
+                    return
+                time.sleep(0.005)
+
+        trace = TraceGenerator(
+            config=GeneratorConfig(
+                num_users=50, num_items=2, days=1, expected_sessions=150, seed=3
+            )
+        ).generate()
+        thread = threading.Thread(target=corrupting_worker)
+        thread.start()
+        try:
+            with pytest.raises(RuntimeError, match="gave up"):
+                Simulator(SimulationConfig(), backend=backend).run(trace)
+        finally:
+            (queue_root / "STOP").touch()
+            thread.join(timeout=30.0)
+            backend.close()
 
 
 class TestExecutorReuse:

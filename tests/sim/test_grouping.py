@@ -8,6 +8,8 @@ equal; its coordinator residency must be bounded by the sort buffer;
 and its plan must hand workers extent refs, not pickled sessions.
 """
 
+import json
+
 import pytest
 
 from repro.sim import SimulationConfig, Simulator, simulate
@@ -18,6 +20,7 @@ from repro.sim.grouping import (
     ExternalGrouping,
     MemoryGrouping,
     as_task_plan,
+    plan_handoff,
     resolve_grouping,
 )
 from repro.sim.kernel import SwarmTask, build_tasks, resolve_task
@@ -234,3 +237,32 @@ class TestResolution:
         assert len(plan) == len(tasks)
         assert list(plan.iter_tasks()) == tasks
         assert as_task_plan(plan) is plan
+
+
+class TestPlanHandoff:
+    """plan_handoff: the JSON-able shard/manifest description the
+    distributed backend publishes beside each job's work items."""
+
+    def test_memory_plan_has_no_shard(self, trace):
+        plan = MemoryGrouping().plan(trace, trace.horizon, PAPER_POLICY)
+        payload = plan_handoff(plan)
+        assert payload["mode"] == "memory"
+        assert payload["tasks"] == len(plan)
+        assert payload["sessions"] == len(trace)
+        assert payload["shard"] is None
+        json.dumps(payload)  # must be JSON-serializable as-is
+
+    def test_external_plan_references_the_shard(self, trace, tmp_path):
+        plan = ExternalGrouping(shard_dir=tmp_path).plan(
+            trace, trace.horizon, PAPER_POLICY
+        )
+        try:
+            payload = plan_handoff(plan)
+            assert payload["mode"] == "external"
+            assert payload["shard"] is not None
+            assert payload["shard"]["path"] == plan.manifest.path
+            assert payload["shard"]["extents"] == len(plan)
+            assert payload["shard"]["horizon"] == trace.horizon
+            json.dumps(payload)
+        finally:
+            plan.cleanup()

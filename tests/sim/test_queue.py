@@ -1,0 +1,338 @@
+"""Failure paths of the file-based work queue (repro/sim/queue.py).
+
+The distributed backend's correctness rests on the queue's crash
+protocol: claims are exclusive, leases expire into requeues, acks are
+idempotent, poisoned items are terminal, and every byte of state lives
+on disk so a restarted coordinator resumes instead of re-running.
+These tests drive each of those paths directly -- no subprocesses, no
+timing slack beyond tiny leases -- so the engine-level distributed
+matrix can assume them.
+"""
+
+import logging
+import os
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.sim.engine import SimulationConfig
+from repro.sim.queue import (
+    JobSpec,
+    QueueItemError,
+    WorkItem,
+    WorkQueue,
+    item_id_for,
+    make_items,
+    position_of,
+)
+from repro.sim.worker import run_worker
+
+
+def make_queue(tmp_path, lease_timeout=0.2):
+    return WorkQueue(tmp_path / "job-test", lease_timeout=lease_timeout)
+
+
+def put_items(queue, count):
+    items = [
+        WorkItem(item_id=item_id_for(i), start_index=i, refs=(f"ref-{i}",))
+        for i in range(count)
+    ]
+    for item in items:
+        queue.put(item)
+    return items
+
+
+class TestClaimProtocol:
+    def test_claim_is_exclusive(self, tmp_path):
+        queue = make_queue(tmp_path)
+        put_items(queue, 1)
+        first = queue.claim("worker-a")
+        assert first is not None and first.item_id == item_id_for(0)
+        assert queue.claim("worker-b") is None  # nothing left to claim
+        assert queue.pending_ids() == set()
+        assert queue.claimed_ids() == {item_id_for(0)}
+
+    def test_claim_lowest_item_first(self, tmp_path):
+        queue = make_queue(tmp_path)
+        put_items(queue, 3)
+        order = [queue.claim("w").item_id for _ in range(3)]
+        assert order == [item_id_for(0), item_id_for(1), item_id_for(2)]
+
+    def test_concurrent_claimers_cover_disjointly(self, tmp_path):
+        """N racing claimers: every item claimed exactly once."""
+        queue = make_queue(tmp_path)
+        put_items(queue, 20)
+        won = []
+        lock = threading.Lock()
+
+        def claimer(name):
+            while True:
+                claim = queue.claim(name)
+                if claim is None:
+                    return
+                with lock:
+                    won.append(claim.item_id)
+
+        threads = [
+            threading.Thread(target=claimer, args=(f"w{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(won) == [item_id_for(i) for i in range(20)]
+        assert len(set(won)) == 20  # no double claims
+
+    def test_roundtrip_item_payload(self, tmp_path):
+        queue = make_queue(tmp_path)
+        item = WorkItem(item_id=item_id_for(7), start_index=42, refs=("a", "b"))
+        queue.put(item)
+        claim = queue.claim("w")
+        assert queue.load_item(claim) == item
+
+
+class TestStaleLeaseRequeue:
+    def test_expired_lease_is_requeued(self, tmp_path):
+        queue = make_queue(tmp_path, lease_timeout=0.15)
+        put_items(queue, 1)
+        claim = queue.claim("doomed-worker")
+        assert claim is not None
+        assert queue.requeue_stale() == []  # fresh lease: nothing to do
+        time.sleep(0.2)
+        assert queue.requeue_stale() == [item_id_for(0)]
+        # The item is claimable again by a surviving worker.
+        second = queue.claim("survivor")
+        assert second is not None and second.item_id == item_id_for(0)
+
+    def test_renewed_lease_is_not_requeued(self, tmp_path):
+        queue = make_queue(tmp_path, lease_timeout=0.25)
+        put_items(queue, 1)
+        claim = queue.claim("slow-but-alive")
+        for _ in range(4):  # keep renewing past several lease horizons
+            time.sleep(0.1)
+            assert claim.renew()
+            assert queue.requeue_stale() == []
+
+    def test_renew_reports_lost_claim(self, tmp_path):
+        queue = make_queue(tmp_path, lease_timeout=0.1)
+        put_items(queue, 1)
+        claim = queue.claim("doomed-worker")
+        time.sleep(0.15)
+        queue.requeue_stale()
+        assert claim.renew() is False  # the claim is gone; worker learns it
+
+    def test_dead_worker_with_result_is_acked_not_rerun(self, tmp_path):
+        """Crash between result write and ack: the work is honoured."""
+        queue = make_queue(tmp_path, lease_timeout=0.1)
+        put_items(queue, 1)
+        claim = queue.claim("died-after-writing")
+        # Simulate the result landing without the ack rename.
+        (queue.results_dir / f"{claim.item_id}.out").write_bytes(
+            pickle.dumps(["the outputs"])
+        )
+        time.sleep(0.15)
+        assert queue.requeue_stale() == []  # acked on the dead worker's behalf
+        assert queue.pending_ids() == set()
+        assert queue.acked_ids() == {claim.item_id}
+        assert queue.load_result(claim.item_id) == ["the outputs"]
+
+
+class TestDuplicateAck:
+    def test_double_ack_same_worker_is_benign(self, tmp_path):
+        queue = make_queue(tmp_path)
+        put_items(queue, 1)
+        claim = queue.claim("w")
+        queue.ack(claim, ["result"])
+        queue.ack(claim, ["result"])  # crash-retry: no error, same state
+        assert queue.result_ids() == {claim.item_id}
+        assert queue.load_result(claim.item_id) == ["result"]
+        assert queue.acked_ids() == {claim.item_id}
+
+    def test_ack_after_requeue_and_reexecution(self, tmp_path):
+        """A 'dead' worker that was merely slow acks after the item was
+        requeued and finished by someone else: one result, no error."""
+        queue = make_queue(tmp_path, lease_timeout=0.1)
+        put_items(queue, 1)
+        slow = queue.claim("presumed-dead")
+        time.sleep(0.15)
+        assert queue.requeue_stale() == [slow.item_id]
+        fast = queue.claim("replacement")
+        queue.ack(fast, ["deterministic result"])
+        # Kernels are pure: the zombie's late ack carries identical data.
+        queue.ack(slow, ["deterministic result"])
+        assert queue.result_ids() == {item_id_for(0)}
+        assert queue.load_result(item_id_for(0)) == ["deterministic result"]
+        # Exactly one retired copy of the item exists.
+        assert queue.acked_ids() == {item_id_for(0)}
+        assert queue.pending_ids() == set()
+        assert queue.claimed_ids() == set()
+
+
+class TestCorruptPayloads:
+    def test_corrupt_item_raises_queue_item_error(self, tmp_path):
+        queue = make_queue(tmp_path)
+        (queue.pending_dir / f"{item_id_for(0)}.task").write_bytes(b"not pickle")
+        claim = queue.claim("w")
+        with pytest.raises(QueueItemError):
+            queue.load_item(claim)
+
+    def test_wrong_payload_type_rejected(self, tmp_path):
+        queue = make_queue(tmp_path)
+        (queue.pending_dir / f"{item_id_for(0)}.task").write_bytes(
+            pickle.dumps({"not": "a WorkItem"})
+        )
+        claim = queue.claim("w")
+        with pytest.raises(QueueItemError):
+            queue.load_item(claim)
+
+    def test_discard_parks_item_in_failed(self, tmp_path):
+        queue = make_queue(tmp_path)
+        (queue.pending_dir / f"{item_id_for(0)}.task").write_bytes(b"garbage")
+        claim = queue.claim("w")
+        queue.discard(claim, "corrupt work item")
+        failures = queue.failed_items()
+        assert set(failures) == {item_id_for(0)}
+        assert "corrupt" in failures[item_id_for(0)]
+        # Terminal: never claimable again.
+        assert queue.claim("w") is None
+        assert queue.requeue_stale() == []
+
+    def test_worker_skips_corrupt_item_with_logged_error(self, tmp_path, caplog):
+        """A real worker meets a corrupt item: logs, parks it, keeps
+        serving the healthy items."""
+        queue = make_queue(tmp_path, lease_timeout=30.0)
+        queue.write_spec(JobSpec(kind="single", config=SimulationConfig()))
+        (queue.pending_dir / f"{item_id_for(0)}.task").write_bytes(b"\x80garbage")
+        # A healthy (empty-refs) item behind the poisoned one.
+        queue.put(WorkItem(item_id=item_id_for(1), start_index=0, refs=()))
+        with caplog.at_level(logging.ERROR, logger="repro.sim.queue"):
+            processed = run_worker(
+                tmp_path, poll_interval=0.01, idle_exit=0.2, worker_id="w"
+            )
+        assert processed == 1  # the healthy item ran
+        assert set(queue.failed_items()) == {item_id_for(0)}
+        assert any("corrupt" in message for message in caplog.messages)
+
+    def test_corrupt_spec_is_skipped_and_logged(self, tmp_path, caplog):
+        queue = make_queue(tmp_path)
+        (queue.job_dir / WorkQueue.SPEC_FILENAME).write_bytes(b"junk")
+        put_items(queue, 1)
+        with caplog.at_level(logging.ERROR, logger="repro.sim.worker"):
+            processed = run_worker(
+                tmp_path, poll_interval=0.01, idle_exit=0.15, worker_id="w"
+            )
+        assert processed == 0
+        assert queue.pending_ids() == {item_id_for(0)}  # untouched
+        assert any("skipping job" in message for message in caplog.messages)
+
+
+class TestCoordinatorRestart:
+    def test_restart_resumes_from_acked_state(self, tmp_path):
+        """All queue state is on disk: a 'restarted coordinator' (a new
+        WorkQueue over the same directory) sees acked results without
+        re-running them and hands out exactly the remaining work."""
+        first = make_queue(tmp_path)
+        first.write_spec(JobSpec(kind="single", config=SimulationConfig()))
+        put_items(first, 4)
+        for _ in range(2):  # half the job completes before the "crash"
+            claim = first.claim("w")
+            first.ack(claim, [f"result-{claim.item_id}"])
+        del first
+
+        restarted = make_queue(tmp_path)
+        assert restarted.load_spec().kind == "single"
+        assert restarted.result_ids() == {item_id_for(0), item_id_for(1)}
+        assert restarted.load_result(item_id_for(0)) == [
+            f"result-{item_id_for(0)}"
+        ]
+        # Only the unfinished items remain claimable.
+        remaining = set()
+        while True:
+            claim = restarted.claim("w2")
+            if claim is None:
+                break
+            remaining.add(claim.item_id)
+            restarted.ack(claim, ["late result"])
+        assert remaining == {item_id_for(2), item_id_for(3)}
+        assert restarted.result_ids() == {item_id_for(i) for i in range(4)}
+
+    def test_restart_recovers_orphaned_claims(self, tmp_path):
+        """Items claimed by workers that died with the old coordinator
+        come back through the standard stale-lease path."""
+        first = make_queue(tmp_path, lease_timeout=0.1)
+        put_items(first, 2)
+        first.claim("old-world-worker")
+        del first
+
+        time.sleep(0.15)
+        restarted = make_queue(tmp_path, lease_timeout=0.1)
+        assert restarted.requeue_stale() == [item_id_for(0)]
+        assert restarted.pending_ids() == {item_id_for(0), item_id_for(1)}
+
+
+class TestSpecAndHelpers:
+    def test_spec_roundtrip(self, tmp_path):
+        queue = make_queue(tmp_path)
+        spec = JobSpec(kind="sweep", configs=(SimulationConfig(),))
+        queue.write_spec(spec)
+        assert queue.load_spec() == spec
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            JobSpec(kind="nonsense")
+        with pytest.raises(ValueError):
+            JobSpec(kind="single")
+        with pytest.raises(ValueError):
+            JobSpec(kind="sweep", configs=())
+
+    def test_spec_publishes_coordinator_lease(self):
+        """Workers pace renewals against the coordinator's lease, which
+        therefore travels with the job spec."""
+        spec = JobSpec(kind="single", config=SimulationConfig(), lease_timeout=5.0)
+        assert spec.lease_timeout == 5.0
+        with pytest.raises(ValueError):
+            JobSpec(kind="single", config=SimulationConfig(), lease_timeout=0.0)
+
+    def test_item_id_round_trip(self):
+        assert position_of(item_id_for(0)) == 0
+        assert position_of(item_id_for(123456)) == 123456
+        assert sorted(item_id_for(i) for i in (5, 50, 500)) == [
+            item_id_for(5), item_id_for(50), item_id_for(500),
+        ]
+
+    def test_make_items_preserves_block_tags(self):
+        blocks = [(0, ["a", "b"]), (2, ["c"])]
+        items = make_items(blocks)
+        assert [item.start_index for item in items] == [0, 2]
+        assert [item.refs for item in items] == [("a", "b"), ("c",)]
+        assert [item.item_id for item in items] == [item_id_for(0), item_id_for(1)]
+
+    def test_done_marker_stops_workers(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.write_spec(JobSpec(kind="single", config=SimulationConfig()))
+        put_items(queue, 1)
+        queue.mark_done()
+        processed = run_worker(
+            tmp_path, poll_interval=0.01, idle_exit=0.1, worker_id="w"
+        )
+        assert processed == 0  # DONE jobs are invisible to workers
+
+    def test_stop_file_exits_worker(self, tmp_path):
+        (tmp_path / "STOP").touch()
+        start = time.monotonic()
+        processed = run_worker(tmp_path, poll_interval=0.01, worker_id="w")
+        assert processed == 0
+        assert time.monotonic() - start < 5.0  # exited on STOP, not idle
+
+    def test_lease_timeout_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            WorkQueue(tmp_path / "q", lease_timeout=0.0)
+
+    def test_missing_directories_read_as_empty(self, tmp_path):
+        queue = WorkQueue(tmp_path / "never-created", create=False)
+        assert queue.pending_ids() == set()
+        assert queue.claim("w") is None
+        assert queue.requeue_stale() == []
+        assert queue.failed_items() == {}
