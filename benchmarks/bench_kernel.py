@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""Kernel-vs-kernel benchmark: object sweep against the columnar sweep.
+
+Runs the month-of-London quick workload (``bench_london --quick``
+semantics: ``london_config(density)`` sessions through the paper
+policy's swarm tasks) through three single-core kernel variants:
+
+* ``object``    -- the reference kernel (``run_swarm_object``),
+* ``columnar``  -- the packed-column kernel with whatever backend the
+  import selected (compiled ``_ckernel`` when built, else python),
+* ``columnar-python`` -- the columnar kernel with the compiled backend
+  masked off, i.e. the pure-python fallback every install gets.
+
+Every columnar output is checked bit-for-bit against the object kernel
+before any timing is reported -- a benchmark of a wrong kernel is
+meaningless.  The headline number is ``speedup`` (object seconds /
+columnar seconds, best-of-``--repetitions``), gated against the 5x
+target this optimisation shipped with (``meets_target`` in the JSON).
+
+Results append-or-overwrite BENCH_kernel.json at the repo root
+(override with ``--out``) so the perf trajectory accumulates across
+optimisation PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py           # full
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_kernel.py --profile
+
+Run standalone (argparse, not pytest) so CI and operators can invoke it
+without the benchmark plugin stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_london import london_config  # noqa: E402
+
+from repro.experiments.config import CITY_DEVICE_MIX  # noqa: E402
+from repro.sim import kernel_columns  # noqa: E402
+from repro.sim.engine import SimulationConfig  # noqa: E402
+from repro.sim.kernel import SwarmOutput, build_tasks, run_swarm_object  # noqa: E402
+from repro.sim.kernel_columns import run_swarm_columnar  # noqa: E402
+from repro.sim.profiling import PROFILE  # noqa: E402
+from repro.trace.generator import TraceGenerator  # noqa: E402
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+#: The speedup this kernel shipped with; regressions below it should
+#: fail loudly in CI rather than drift silently.
+SPEEDUP_TARGET = 5.0
+
+
+def _outputs_identical(a: SwarmOutput, b: SwarmOutput) -> bool:
+    """Bit-for-bit equality of two swarm outputs, dict orders included."""
+    ra, rb = a.result, b.result
+    la, lb = ra.ledger, rb.ledger
+    return (
+        la.server_bits == lb.server_bits
+        and la.demanded_bits == lb.demanded_bits
+        and la.watch_seconds == lb.watch_seconds
+        and la.sessions == lb.sessions
+        and list(la.peer_bits.items()) == list(lb.peer_bits.items())
+        and ra.capacity == rb.capacity
+        and ra.arrival_rate == rb.arrival_rate
+        and ra.mean_duration == rb.mean_duration
+        and list(a.per_isp_day.keys()) == list(b.per_isp_day.keys())
+        and all(
+            a.per_isp_day[k].server_bits == b.per_isp_day[k].server_bits
+            and a.per_isp_day[k].demanded_bits == b.per_isp_day[k].demanded_bits
+            and a.per_isp_day[k].watch_seconds == b.per_isp_day[k].watch_seconds
+            and list(a.per_isp_day[k].peer_bits.items())
+            == list(b.per_isp_day[k].peer_bits.items())
+            for k in a.per_isp_day
+        )
+        and list(a.per_user.keys()) == list(b.per_user.keys())
+        and all(
+            a.per_user[k].watched_bits == b.per_user[k].watched_bits
+            and a.per_user[k].uploaded_bits == b.per_user[k].uploaded_bits
+            for k in a.per_user
+        )
+    )
+
+
+def _time_kernel(run, tasks, config, repetitions: int) -> float:
+    """Best-of-N seconds for one full pass, GC paused for stability."""
+    best = float("inf")
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repetitions):
+            t0 = time.perf_counter()
+            for task in tasks:
+                run(task, config)
+            best = min(best, time.perf_counter() - t0)
+            gc.enable()
+            gc.collect()
+            gc.disable()
+    finally:
+        gc.enable()
+    return best
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--density",
+        type=float,
+        default=0.0006,
+        help="london workload density (default: 0.0006, the --quick smoke "
+        "preset of bench_london)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20130901, help="trace seed (default: 20130901)"
+    )
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=3,
+        help="timing repetitions, best-of (default: 3; with --quick: 2)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help=f"result JSON path (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke preset (2 repetitions)"
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-phase kernel profile of one columnar pass",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.repetitions = min(args.repetitions, 2)
+
+    gen_config = london_config(args.density, args.seed)
+    generator = TraceGenerator(config=gen_config, device_mix=CITY_DEVICE_MIX)
+    sessions = list(generator.iter_sessions())
+    horizon = gen_config.days * 86_400.0
+    config = SimulationConfig()
+    tasks = build_tasks(sessions, horizon, config.policy)
+    print(
+        f"workload: {len(sessions)} sessions, {len(tasks)} swarm tasks, "
+        f"{gen_config.days} days (density {args.density}, seed {args.seed})"
+    )
+
+    compiled = kernel_columns.HAVE_COMPILED
+    print(f"compiled backend: {'yes' if compiled else 'no (pure-python fallback)'}")
+
+    object_seconds = _time_kernel(run_swarm_object, tasks, config, args.repetitions)
+    columnar_seconds = _time_kernel(run_swarm_columnar, tasks, config, args.repetitions)
+    saved = kernel_columns._ckernel
+    kernel_columns._ckernel = None
+    try:
+        python_seconds = _time_kernel(
+            run_swarm_columnar, tasks, config, args.repetitions
+        )
+    finally:
+        kernel_columns._ckernel = saved
+
+    # Correctness gate: every columnar output must be bit-for-bit the
+    # object kernel's, on both the selected and the fallback backend.
+    # (Timed first, verified second, so the timing loops run without a
+    # thousand live reference outputs dragging on the allocator.)
+    mismatches = 0
+    reference: List[SwarmOutput] = [run_swarm_object(task, config) for task in tasks]
+    for backend_ckernel in {None, kernel_columns._ckernel}:
+        saved = kernel_columns._ckernel
+        kernel_columns._ckernel = backend_ckernel
+        try:
+            for task, expected in zip(tasks, reference):
+                if not _outputs_identical(expected, run_swarm_columnar(task, config)):
+                    mismatches += 1
+        finally:
+            kernel_columns._ckernel = saved
+    del reference
+    identical = mismatches == 0
+    print(f"bit-for-bit identity: {'OK' if identical else f'{mismatches} MISMATCHES'}")
+
+    speedup = object_seconds / columnar_seconds if columnar_seconds > 0 else 0.0
+    python_speedup = object_seconds / python_seconds if python_seconds > 0 else 0.0
+    print(f"object kernel     {object_seconds * 1e3:10.1f} ms")
+    print(f"columnar kernel   {columnar_seconds * 1e3:10.1f} ms  ({speedup:.2f}x)")
+    print(f"columnar (python) {python_seconds * 1e3:10.1f} ms  ({python_speedup:.2f}x)")
+
+    profile_record = None
+    if args.profile:
+        PROFILE.enabled = True
+        PROFILE.reset()
+        try:
+            for task in tasks:
+                run_swarm_columnar(task, config)
+        finally:
+            PROFILE.enabled = False
+        print(PROFILE.report())
+        profile_record = {
+            "schedule_seconds": PROFILE.schedule_seconds,
+            "sweep_seconds": PROFILE.sweep_seconds,
+            "match_seconds": PROFILE.match_seconds,
+            "account_seconds": PROFILE.account_seconds,
+            "reduce_seconds": PROFILE.reduce_seconds,
+            "tasks": PROFILE.tasks,
+            "compiled_tasks": PROFILE.compiled_tasks,
+        }
+
+    meets_target = compiled and identical and speedup >= SPEEDUP_TARGET
+    record = {
+        "benchmark": "bench_kernel",
+        "density": args.density,
+        "seed": args.seed,
+        "days": gen_config.days,
+        "sessions": len(sessions),
+        "tasks": len(tasks),
+        "repetitions": args.repetitions,
+        "compiled_available": compiled,
+        "identical": identical,
+        "object_seconds": object_seconds,
+        "columnar_seconds": columnar_seconds,
+        "speedup": speedup,
+        "python_columnar_seconds": python_seconds,
+        "python_speedup": python_speedup,
+        "speedup_target": SPEEDUP_TARGET,
+        "meets_target": meets_target,
+    }
+    if profile_record is not None:
+        record["profile"] = profile_record
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not identical:
+        print("FAIL: columnar kernel is not bit-for-bit identical", file=sys.stderr)
+        return 1
+    if compiled and speedup < SPEEDUP_TARGET:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below the {SPEEDUP_TARGET:.0f}x target",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.experiments.config import ExperimentSettings, UNIFORM_DEVICE_MIX
 from repro.sim.backends import ProcessPoolBackend, SerialBackend, ThreadBackend
 from repro.sim.engine import SimulationConfig, Simulator
+from repro.sim.kernel import build_tasks, run_swarm_multi, sweep_memo
 from repro.trace.events import Trace
 from repro.trace.generator import TraceGenerator
 
@@ -129,7 +130,6 @@ def measure_workload(
         f"   {name:>10}: {len(trace):>7} sessions  "
         f"{len(UPLOAD_RATIOS)}x run {baseline_best:7.3f}s  "
         f"run_sweep {sweep_best:7.3f}s  speedup {speedup:5.2f}x  "
-        f"memo hit rate {sweep_stats.memo_hit_rate:6.1%}  "
         f"schedules {sweep_stats.schedule_builds}/{sweep_stats.tasks * len(configs)}"
     )
     return {
@@ -138,12 +138,70 @@ def measure_workload(
         "baseline_seconds": baseline_best,
         "sweep_seconds": sweep_best,
         "speedup": speedup,
-        "memo_hits": sweep_stats.memo_hits,
-        "memo_misses": sweep_stats.memo_misses,
-        "memo_hit_rate": sweep_stats.memo_hit_rate,
         "schedule_builds": sweep_stats.schedule_builds,
         "tasks": sweep_stats.tasks,
         "offload_fractions": offload_fractions,
+    }
+
+
+def measure_memo(trace: Trace, violations: List[str]) -> Dict:
+    """Allocation-memo hit rates on the object multi-kernel.
+
+    The memo only applies to ``kernel="object"`` sweeps (the columnar
+    sweep replaces the shared-timeline machinery it accelerates), so it
+    is characterized here on that kernel directly: the same catalogue
+    sweep once with per-task memo lifetimes and once with one
+    sweep-shared :func:`sweep_memo`.  Both use an effectively infinite
+    probation so the reported rates cover the *full* attempted-lookup
+    population instead of whatever prefix the adaptive off-switch
+    happens to observe -- production runs keep the off-switch, which on
+    low-repeat traces correctly disables keying.  Sharing must beat
+    per-task lifetimes (that is the point of the shared memo); a shared
+    rate at or below the per-task rate is a violation.
+    """
+    configs = [
+        SimulationConfig(upload_ratio=ratio, kernel="object")
+        for ratio in UPLOAD_RATIOS
+    ]
+    tasks = build_tasks(trace, trace.horizon, configs[0].policy)
+    no_cutoff = 1 << 62
+
+    per_hits = per_misses = 0
+    for task in tasks:
+        multi = run_swarm_multi(task, configs, sweep_memo(probation=no_cutoff))
+        per_hits += multi.memo_hits
+        per_misses += multi.memo_misses
+
+    shared = sweep_memo(probation=no_cutoff)
+    shared_hits_misses = [0, 0]
+    for task in tasks:
+        multi = run_swarm_multi(task, configs, shared)
+        shared_hits_misses[0] += multi.memo_hits
+        shared_hits_misses[1] += multi.memo_misses
+    shared_hits, shared_misses = shared_hits_misses
+
+    per_rate = per_hits / (per_hits + per_misses) if per_hits + per_misses else 0.0
+    shared_total = shared_hits + shared_misses
+    shared_rate = shared_hits / shared_total if shared_total else 0.0
+    print(
+        f"   memo (object kernel): per-task {per_hits}/{per_hits + per_misses} "
+        f"({per_rate:.2%})  sweep-shared {shared_hits}/{shared_total} "
+        f"({shared_rate:.2%})"
+    )
+    if shared_rate <= per_rate:
+        violations.append(
+            f"sweep-shared memo hit rate {shared_rate:.2%} does not beat "
+            f"per-task lifetimes ({per_rate:.2%})"
+        )
+    return {
+        "kernel": "object",
+        "tasks": len(tasks),
+        "per_task_hits": per_hits,
+        "per_task_misses": per_misses,
+        "per_task_hit_rate": per_rate,
+        "shared_hits": shared_hits,
+        "shared_misses": shared_misses,
+        "shared_hit_rate": shared_rate,
     }
 
 
@@ -246,6 +304,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         for name, trace in traces.items()
     }
+    memo = measure_memo(traces["catalogue"], violations)
     cache = measure_shard_cache(traces["exemplar"], violations)
 
     if args.check_baseline is not None:
@@ -288,6 +347,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "backend": args.backend,
         "repetitions": repetitions,
         "workloads": workloads,
+        "memo": memo,
         "shard_cache": cache,
         "violations": violations,
     }

@@ -1,10 +1,30 @@
-"""Legacy installer shim.
+"""Legacy installer shim + optional compiled-kernel build.
 
-All metadata lives in pyproject.toml (PEP 621).  This file exists only so
+All metadata lives in pyproject.toml (PEP 621).  This file exists so
 that ``pip install -e .`` works in offline environments without the
-``wheel`` package, via setuptools' legacy develop-mode code path.
+``wheel`` package (setuptools' legacy develop-mode code path), and to
+declare the optional ``repro.sim._ckernel`` extension -- the compiled
+columnar sweep.  The extension is marked ``optional``: a missing or
+failing compiler produces a pure-python install that loses nothing but
+speed (``repro.sim.kernel_columns`` falls back at import time).
+
+Build in place with::
+
+    python setup.py build_ext --inplace
+
+``-ffp-contract=off`` is load-bearing: the C sweep's bit-for-bit
+contract with the python kernels forbids fused multiply-adds.
 """
 
-from setuptools import setup
+from setuptools import Extension, setup
 
-setup()
+setup(
+    ext_modules=[
+        Extension(
+            "repro.sim._ckernel",
+            sources=["src/repro/sim/_ckernel.c"],
+            optional=True,
+            extra_compile_args=["-O2", "-ffp-contract=off"],
+        )
+    ]
+)

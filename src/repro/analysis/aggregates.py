@@ -60,7 +60,9 @@ def top_share_of_savings(
     saved: List[float] = []
     for swarm in result.per_content_results().values():
         ledger = swarm.ledger
-        saved.append(baseline_energy_nj(ledger, model) - hybrid_energy_nj(ledger, model))
+        saved.append(
+            baseline_energy_nj(ledger, model) - hybrid_energy_nj(ledger, model)
+        )
     total = sum(saved)
     if total <= 0.0:
         return 0.0

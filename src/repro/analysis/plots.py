@@ -76,7 +76,8 @@ def ascii_chart(
     out: List[str] = []
     if title:
         out.append(title)
-    out.append(f"  [{y_label}]  " + "   ".join(legend) if y_label else "  " + "   ".join(legend))
+    prefix = f"  [{y_label}]  " if y_label else "  "
+    out.append(prefix + "   ".join(legend))
     top_label = f"{y_max:.3g}"
     bottom_label = f"{y_min:.3g}"
     label_width = max(len(top_label), len(bottom_label))

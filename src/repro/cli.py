@@ -46,8 +46,9 @@ from repro.core.energy import builtin_models
 from repro.experiments.config import ExperimentSettings
 from repro.experiments.runner import run_all, run_experiment
 from repro.sim.backends import BACKEND_NAMES
-from repro.sim.engine import SimulationConfig, Simulator
+from repro.sim.engine import KERNEL_MODES, SimulationConfig, Simulator
 from repro.sim.grouping import GROUPING_MODES
+from repro.sim.profiling import PROFILE
 from repro.sim.reduce import REDUCTION_MODES
 from repro.trace.generator import TraceGenerator
 from repro.trace.store import file_fingerprint
@@ -112,6 +113,26 @@ def build_parser() -> argparse.ArgumentParser:
         choices=BACKEND_NAMES,
         default=None,
         help="execution backend (default: auto from --workers)",
+    )
+    simulate.add_argument(
+        "--kernel",
+        choices=KERNEL_MODES,
+        default=None,
+        help=(
+            "swarm kernel: 'object' (reference), 'columnar' (packed "
+            "columns + optional compiled sweep), or 'auto' (default; "
+            "columnar where it applies) -- results are bit-for-bit "
+            "identical either way"
+        ),
+    )
+    simulate.add_argument(
+        "--profile-kernel",
+        action="store_true",
+        help=(
+            "print a per-phase kernel time breakdown (schedule build, "
+            "sweep, matching, drain, reduce) after the run; forces the "
+            "columnar kernel unless --kernel says otherwise"
+        ),
     )
     _add_queue_dir_arg(simulate)
     _add_reduction_arg(simulate)
@@ -349,7 +370,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace = TraceGenerator(config=settings.city_config()).generate()
         save_jsonl(trace, args.path)
         stats = summarise(trace)
-        print(f"wrote {stats.num_sessions} sessions / {stats.num_users} users to {args.path}")
+        print(
+            f"wrote {stats.num_sessions} sessions / "
+            f"{stats.num_users} users to {args.path}"
+        )
         return 0
 
     if args.command == "simulate":
@@ -362,12 +386,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             spill_dir=str(args.spill_dir) if args.spill_dir is not None else None,
             grouping=args.grouping or "memory",
             shard_dir=str(args.shard_dir) if args.shard_dir is not None else None,
+            kernel=args.kernel or ("columnar" if args.profile_kernel else "auto"),
         )
         simulator = Simulator(config)
         horizon = read_jsonl_horizon(args.path)
+        if args.profile_kernel:
+            PROFILE.reset()
+            PROFILE.enabled = True
         try:
             return _run_simulate(args, config, simulator, horizon)
         finally:
+            if args.profile_kernel:
+                PROFILE.enabled = False
+                print(PROFILE.report())
             # Release backend resources deterministically (the
             # distributed backend owns spawned worker processes and
             # possibly a temporary queue directory).

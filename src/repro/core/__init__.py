@@ -30,7 +30,8 @@ from repro.core.carbon import (
     neutrality_capacity,
     neutrality_offload_fraction,
 )
-from repro.core.energy import BALIGA, BUILTIN_MODELS, EnergyModel, VALANCIUS, builtin_models
+from repro.core.energy import BALIGA, BUILTIN_MODELS, EnergyModel, VALANCIUS
+from repro.core.energy import builtin_models
 from repro.core.extensions import (
     energy_savings_extended,
     offload_fraction_with_linger,

@@ -112,7 +112,11 @@ def peer_network_energy_per_bit(
     _check_ratio(upload_ratio)
     if c == 0.0:
         return 0.0
-    gammas = {layer: model.gamma_for_layer(layer) for layer in NetworkLayer if layer.is_peer_layer}
+    gammas = {
+        layer: model.gamma_for_layer(layer)
+        for layer in NetworkLayer
+        if layer.is_peer_layer
+    }
     weighted = expected_weighted_gamma(gammas, layers, c)
     return model.pue * upload_ratio * weighted / c
 
@@ -143,7 +147,10 @@ def energy_savings(
     g = offload_fraction(c, upload_ratio)
     psi_s = model.psi_server
     first = g * (psi_s - model.psi_peer_modem) / psi_s
-    second = peer_network_energy_per_bit(c, model, upload_ratio=upload_ratio, layers=layers) / psi_s
+    second = (
+        peer_network_energy_per_bit(c, model, upload_ratio=upload_ratio, layers=layers)
+        / psi_s
+    )
     return first - second
 
 

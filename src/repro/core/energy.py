@@ -98,9 +98,13 @@ class EnergyModel:
             if not value >= 0.0:
                 raise ValueError(f"{label} must be >= 0, got {value!r}")
         if self.pue < 1.0:
-            raise ValueError(f"pue must be >= 1 (it is an overhead factor), got {self.pue!r}")
+            raise ValueError(
+                f"pue must be >= 1 (it is an overhead factor), got {self.pue!r}"
+            )
         if self.loss < 1.0:
-            raise ValueError(f"loss must be >= 1 (it is an overhead factor), got {self.loss!r}")
+            raise ValueError(
+                f"loss must be >= 1 (it is an overhead factor), got {self.loss!r}"
+            )
         if not (self.gamma_exchange <= self.gamma_pop <= self.gamma_core):
             raise ValueError(
                 "per-layer P2P costs must be monotone: "
@@ -128,7 +132,10 @@ class EnergyModel:
         and the network between server and user are shared infrastructure
         (PUE-inflated); the user's modem is hit once.
         """
-        return self.pue * (self.gamma_server + self.gamma_cdn_network) + self.loss * self.gamma_modem
+        return (
+            self.pue * (self.gamma_server + self.gamma_cdn_network)
+            + self.loss * self.gamma_modem
+        )
 
     @property
     def psi_peer_modem(self) -> float:

@@ -98,7 +98,9 @@ class LayerProbabilities:
     def __post_init__(self) -> None:
         for label, p in self.as_mapping().items():
             if not 0.0 < p <= 1.0:
-                raise ValueError(f"probability for {label} must be in (0, 1], got {p!r}")
+                raise ValueError(
+                    f"probability for {label} must be in (0, 1], got {p!r}"
+                )
         if not (self.exchange <= self.pop <= self.core):
             raise ValueError(
                 "localisation probabilities must be monotone up the tree: "
@@ -106,7 +108,9 @@ class LayerProbabilities:
             )
 
     @classmethod
-    def from_counts(cls, *, exchanges: int, pops: int, cores: int = 1) -> "LayerProbabilities":
+    def from_counts(
+        cls, *, exchanges: int, pops: int, cores: int = 1
+    ) -> "LayerProbabilities":
         """Derive probabilities from node counts (uniform attachment).
 
         ``p_layer = 1 / count`` for each layer; e.g. the paper's London
@@ -167,7 +171,11 @@ def peer_found_probability(p: float, num_online: int) -> float:
     _check_probability(p)
     if num_online < 1:
         raise ValueError(f"num_online must be >= 1, got {num_online}")
-    return -math.expm1((num_online - 1) * math.log1p(-p)) if p < 1.0 else (0.0 if num_online == 1 else 1.0)
+    return (
+        -math.expm1((num_online - 1) * math.log1p(-p))
+        if p < 1.0
+        else (0.0 if num_online == 1 else 1.0)
+    )
 
 
 def gamma_p2p(

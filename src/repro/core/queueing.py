@@ -64,7 +64,9 @@ def capacity(arrival_rate: float, mean_duration: float) -> float:
     if not math.isfinite(arrival_rate) or arrival_rate < 0:
         raise ValueError(f"arrival_rate must be finite and >= 0, got {arrival_rate!r}")
     if not math.isfinite(mean_duration) or mean_duration < 0:
-        raise ValueError(f"mean_duration must be finite and >= 0, got {mean_duration!r}")
+        raise ValueError(
+            f"mean_duration must be finite and >= 0, got {mean_duration!r}"
+        )
     return arrival_rate * mean_duration
 
 

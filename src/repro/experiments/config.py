@@ -192,7 +192,9 @@ class ExperimentSettings:
             seed=self.seed + 1,
         )
 
-    def simulation_config(self, upload_ratio: Optional[float] = None) -> SimulationConfig:
+    def simulation_config(
+        self, upload_ratio: Optional[float] = None
+    ) -> SimulationConfig:
         """Simulation config at a given (or the default) upload ratio."""
         ratio = self.upload_ratio if upload_ratio is None else upload_ratio
         return SimulationConfig(

@@ -137,7 +137,14 @@ def run_fig2(settings: ExperimentSettings) -> Report:
                 theo_mean = sum(theo_at) / len(theo_at)
                 mae = sum(abs(s - t) for (_, s), t in zip(dots, theo_at)) / len(dots)
                 summary_rows.append(
-                    [model.name, tier, ratio, round(sim_mean, 4), round(theo_mean, 4), round(mae, 4)]
+                    [
+                        model.name,
+                        tier,
+                        ratio,
+                        round(sim_mean, 4),
+                        round(theo_mean, 4),
+                        round(mae, 4),
+                    ]
                 )
                 data[f"{model.name}/{tier}/{ratio}"] = {
                     "sim_mean": sim_mean,
@@ -147,7 +154,9 @@ def run_fig2(settings: ExperimentSettings) -> Report:
                 }
             if series:
                 chart_series = {
-                    k: v for k, v in series.items() if k.endswith("=1.0") or k.endswith("=0.2")
+                    k: v
+                    for k, v in series.items()
+                    if k.endswith("=1.0") or k.endswith("=0.2")
                 }
                 report.add(
                     f"{model.name} / {tier}",
@@ -175,4 +184,6 @@ def _log_grid(lo: float, hi: float, points: int = 40) -> List[float]:
     lo = max(lo / 2.0, 1e-3)
     hi = max(hi * 2.0, lo * 10.0)
     log_lo, log_hi = math.log10(lo), math.log10(hi)
-    return [10 ** (log_lo + (log_hi - log_lo) * i / (points - 1)) for i in range(points)]
+    return [
+        10 ** (log_lo + (log_hi - log_lo) * i / (points - 1)) for i in range(points)
+    ]

@@ -39,10 +39,11 @@ def run_fig3(settings: ExperimentSettings) -> Report:
 
     capacities = [r.capacity for r in per_content.values() if r.capacity > 0]
     capacity_dist = EmpiricalDistribution.from_sample(capacities)
+    ccdf = [(x, p) for x, p in ccdf_points(capacities) if x > 0 and p > 0]
     report.add(
         "Per-swarm capacity CCDF (left panel)",
         ascii_chart(
-            {"capacity CCDF": [(x, p) for x, p in ccdf_points(capacities) if x > 0 and p > 0]},
+            {"capacity CCDF": ccdf},
             log_x=True,
             title="P[capacity > x]",
             y_label="CCDF",
@@ -88,7 +89,12 @@ def run_fig3(settings: ExperimentSettings) -> Report:
     report.add(
         "Catalogue skew (paper: median ~2 %, top-1 % capture 21-33 % of savings)",
         render_table(
-            ["model", "median per-item S", "top-1% share of saved energy", "max item S"],
+            [
+                "model",
+                "median per-item S",
+                "top-1% share of saved energy",
+                "max item S",
+            ],
             rows,
         ),
     )

@@ -62,7 +62,12 @@ def run_fig4(settings: ExperimentSettings) -> Report:
             mean_sim = sum(s for _, s in simulated) / len(simulated)
             mean_theo = sum(s for _, s in theoretical) / len(theoretical)
             rows.append(
-                [isp, round(mean_sim, 4), round(mean_theo, 4), round(summary.mean_absolute_error, 4)]
+                [
+                    isp,
+                    round(mean_sim, 4),
+                    round(mean_theo, 4),
+                    round(summary.mean_absolute_error, 4),
+                ]
             )
             data[f"{model.name}/{isp}"] = {
                 "mean_sim": mean_sim,
@@ -88,7 +93,8 @@ def run_fig4(settings: ExperimentSettings) -> Report:
     # measured capacity back up by N and applying the (simulation-
     # validated) Eq. 12, traffic-weighted, estimates the full-density
     # system savings -- this recovers the paper's ~30 % / ~18 %.
-    density_factor = PAPER_MONTHLY_SESSIONS * (settings.days / 30.0) / max(len(trace), 1)
+    month_fraction = settings.days / 30.0
+    density_factor = PAPER_MONTHLY_SESSIONS * month_fraction / max(len(trace), 1)
     headline = []
     for model in builtin_models():
         savings_model = SavingsModel(model, upload_ratio=settings.upload_ratio)

@@ -49,20 +49,26 @@ def run_fig5(settings: ExperimentSettings) -> Report:
         }
         report.add(
             f"{model.name}: savings vs capacity",
-            ascii_chart(series, log_x=True, title=f"Fig. 5, {model.name}", y_label="savings"),
+            ascii_chart(
+                series, log_x=True, title=f"Fig. 5, {model.name}", y_label="savings"
+            ),
         )
 
         neutrality = savings_model.neutrality_capacity()
         asymptote = savings_model.asymptotic_carbon_positivity()
+        if math.isfinite(neutrality):
+            neutral_capacity = round(neutrality, 3)
+            neutral_offload = round(savings_model.offload_fraction(neutrality), 4)
+        else:
+            neutral_capacity = "inf"
+            neutral_offload = "unreachable"
         report.add(
             f"{model.name}: carbon neutrality",
             render_table(
                 ["quantity", "value"],
                 [
-                    ["neutral capacity c*", round(neutrality, 3) if math.isfinite(neutrality) else "inf"],
-                    ["neutral offload G*", round(
-                        savings_model.offload_fraction(neutrality), 4
-                    ) if math.isfinite(neutrality) else "unreachable"],
+                    ["neutral capacity c*", neutral_capacity],
+                    ["neutral offload G*", neutral_offload],
                     ["asymptotic CCT (G=1)", round(asymptote, 4)],
                 ],
             ),

@@ -1,0 +1,1070 @@
+/* Compiled columnar swarm sweep (optional fast path).
+ *
+ * A straight transcription of the pure-python columnar sweep in
+ * repro/sim/kernel_columns.py (_sweep_python + matching's
+ * match_window_arrays) into C, preserving the float-operation sequence
+ * exactly: every addition, multiplication and division runs on the
+ * same operands in the same order with the same association, so the
+ * results are bit-for-bit identical to both the python fallback and
+ * the object kernel.  Compile with -ffp-contract=off (setup.py does) --
+ * fused multiply-adds would change roundings.
+ *
+ * Inputs are the packed columns of a ColumnSchedule (stdlib array
+ * buffers: f64 demand/supply, i64 user/member ids and event windows,
+ * i32 dense codes and event sessions, i8 event kinds); the output is a
+ * flat tuple the python side materializes into a SwarmOutput.  Dict
+ * insertion orders are reproduced via first-touch order stamps
+ * (per-layer peer bits, per-day ledgers, per-user traffic).
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+#include <time.h>
+
+#define K_REMOVE 0
+#define K_DEMOTE 1
+/* kind 2 is ADD (anything not remove/demote). */
+
+#define N_LAYERS 4 /* EXCHANGE, POP, CORE, SERVER -- phase index == layer */
+
+static const double EPS = 1e-9;
+
+static double now_seconds(void) {
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return (double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec;
+}
+
+/* All scratch state for one sweep call, allocated once. */
+typedef struct {
+    double *cur_demand;   /* [n] live demand (demotes zero it) */
+    int32_t *nxt, *prv;   /* [n] membership linked list */
+    uint8_t *in_list;     /* [n] */
+    int32_t *order;       /* [n] live positions, list order */
+    double *ph_dem;       /* [n] per-stretch matching working copies */
+    double *ph_sup;       /* [n] */
+    /* scope/block grouping, epoch-tagged so no per-stretch clearing */
+    uint64_t *scope_epoch; /* [ncodes] */
+    int32_t *scope_id;     /* [ncodes] code -> scope index */
+    int32_t *scope_count;  /* [ncodes] then reused as scatter cursor */
+    int32_t *scope_off;    /* [ncodes + 1] */
+    int32_t *scope_members; /* [n] member positions grouped by scope */
+    uint64_t *block_epoch; /* [nblk] */
+    double *block_val;     /* [nblk] */
+    int32_t *block_list;   /* [n] blocks touched in one scope */
+    /* per-stretch uploads, keyed by user slot */
+    uint64_t *up_epoch; /* [num_users] */
+    double *up_acc;     /* [num_users] */
+    int32_t *up_list;   /* [n] */
+    /* totals */
+    double *day_watch, *day_server, *day_demanded; /* [num_days] */
+    uint8_t *day_touched;                          /* [num_days] */
+    int64_t *day_order;                            /* [num_days] */
+    double *day_peer;                              /* [num_days * 4] */
+    uint8_t *day_peer_present;                     /* [num_days * 4] */
+    uint8_t *day_peer_seq;                         /* [num_days * 4] */
+    uint8_t *day_peer_cnt;                         /* [num_days] */
+    double *user_watched, *user_uploaded; /* [num_users] */
+    uint8_t *user_touched;                /* [num_users] */
+    int32_t *user_order;                  /* [num_users] */
+} Scratch;
+
+static void scratch_free(Scratch *s) {
+    free(s->cur_demand);
+    free(s->nxt);
+    free(s->prv);
+    free(s->in_list);
+    free(s->order);
+    free(s->ph_dem);
+    free(s->ph_sup);
+    free(s->scope_epoch);
+    free(s->scope_id);
+    free(s->scope_count);
+    free(s->scope_off);
+    free(s->scope_members);
+    free(s->block_epoch);
+    free(s->block_val);
+    free(s->block_list);
+    free(s->up_epoch);
+    free(s->up_acc);
+    free(s->up_list);
+    free(s->day_watch);
+    free(s->day_server);
+    free(s->day_demanded);
+    free(s->day_touched);
+    free(s->day_order);
+    free(s->day_peer);
+    free(s->day_peer_present);
+    free(s->day_peer_seq);
+    free(s->day_peer_cnt);
+    free(s->user_watched);
+    free(s->user_uploaded);
+    free(s->user_touched);
+    free(s->user_order);
+}
+
+static int scratch_alloc(Scratch *s, Py_ssize_t n, Py_ssize_t ncodes,
+                         Py_ssize_t nblk, Py_ssize_t num_users,
+                         Py_ssize_t num_days) {
+    memset(s, 0, sizeof(*s));
+    Py_ssize_t nd = num_days > 0 ? num_days : 1;
+    Py_ssize_t nu = num_users > 0 ? num_users : 1;
+    s->cur_demand = malloc(n * sizeof(double));
+    s->nxt = malloc(n * sizeof(int32_t));
+    s->prv = malloc(n * sizeof(int32_t));
+    s->in_list = calloc(n, 1);
+    s->order = malloc(n * sizeof(int32_t));
+    s->ph_dem = malloc(n * sizeof(double));
+    s->ph_sup = malloc(n * sizeof(double));
+    s->scope_epoch = calloc(ncodes, sizeof(uint64_t));
+    s->scope_id = malloc(ncodes * sizeof(int32_t));
+    s->scope_count = malloc(ncodes * sizeof(int32_t));
+    s->scope_off = malloc((ncodes + 1) * sizeof(int32_t));
+    s->scope_members = malloc(n * sizeof(int32_t));
+    s->block_epoch = calloc(nblk, sizeof(uint64_t));
+    s->block_val = malloc(nblk * sizeof(double));
+    s->block_list = malloc(n * sizeof(int32_t));
+    s->up_epoch = calloc(nu, sizeof(uint64_t));
+    s->up_acc = malloc(nu * sizeof(double));
+    s->up_list = malloc(n * sizeof(int32_t));
+    s->day_watch = calloc(nd, sizeof(double));
+    s->day_server = calloc(nd, sizeof(double));
+    s->day_demanded = calloc(nd, sizeof(double));
+    s->day_touched = calloc(nd, 1);
+    s->day_order = malloc(nd * sizeof(int64_t));
+    s->day_peer = calloc(nd * N_LAYERS, sizeof(double));
+    s->day_peer_present = calloc(nd * N_LAYERS, 1);
+    s->day_peer_seq = malloc(nd * N_LAYERS);
+    s->day_peer_cnt = calloc(nd, 1);
+    s->user_watched = calloc(nu, sizeof(double));
+    s->user_uploaded = calloc(nu, sizeof(double));
+    s->user_touched = calloc(nu, 1);
+    s->user_order = malloc(nu * sizeof(int32_t));
+    if (!s->cur_demand || !s->nxt || !s->prv || !s->in_list || !s->order ||
+        !s->ph_dem || !s->ph_sup || !s->scope_epoch || !s->scope_id ||
+        !s->scope_count || !s->scope_off || !s->scope_members ||
+        !s->block_epoch || !s->block_val || !s->block_list || !s->up_epoch ||
+        !s->up_acc || !s->up_list || !s->day_watch || !s->day_server ||
+        !s->day_demanded || !s->day_touched || !s->day_order || !s->day_peer ||
+        !s->day_peer_present || !s->day_peer_seq || !s->day_peer_cnt ||
+        !s->user_watched || !s->user_uploaded || !s->user_touched ||
+        !s->user_order) {
+        scratch_free(s);
+        return -1;
+    }
+    return 0;
+}
+
+static int check_len(const Py_buffer *buf, Py_ssize_t count,
+                     Py_ssize_t itemsize, const char *name) {
+    if (buf->len != count * itemsize) {
+        PyErr_Format(PyExc_ValueError, "%s buffer: expected %zd bytes, got %zd",
+                     name, count * itemsize, buf->len);
+        return -1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Columnar schedule builder: the fast path for ColumnSchedule.        */
+/* Reads Session slots directly via member-descriptor offsets and      */
+/* replays the python builder's arithmetic exactly.  Declines (returns */
+/* None) whenever any assumption fails -- odd session types, non-float */
+/* times, huge windows -- and the python builder takes over.           */
+
+/* Open-addressing map from uint64 keys (user ids, attachment pointers,
+ * bitrate bit patterns) to dense int32 codes; capacity 2x expected
+ * inserts keeps the load factor under 50%. */
+typedef struct {
+    uint64_t *keys;
+    int32_t *vals;
+    uint8_t *used;
+    uint64_t mask;
+} U64Map;
+
+static int u64map_init(U64Map *m, Py_ssize_t expected) {
+    uint64_t cap = 16;
+    while ((Py_ssize_t)(cap / 2) < expected) cap <<= 1;
+    m->keys = malloc(cap * sizeof(uint64_t));
+    m->vals = malloc(cap * sizeof(int32_t));
+    m->used = calloc(cap, 1);
+    m->mask = cap - 1;
+    return (m->keys && m->vals && m->used) ? 0 : -1;
+}
+
+static void u64map_free(U64Map *m) {
+    free(m->keys);
+    free(m->vals);
+    free(m->used);
+}
+
+/* Returns the probe slot for key; *found says whether it holds key. */
+static uint64_t u64map_probe(const U64Map *m, uint64_t key, int *found) {
+    uint64_t i = (key * UINT64_C(0x9E3779B97F4A7C15) >> 29) & m->mask;
+    while (m->used[i]) {
+        if (m->keys[i] == key) {
+            *found = 1;
+            return i;
+        }
+        i = (i + 1) & m->mask;
+    }
+    *found = 0;
+    return i;
+}
+
+static void u64map_set(U64Map *m, uint64_t slot, uint64_t key, int32_t val) {
+    m->used[slot] = 1;
+    m->keys[slot] = key;
+    m->vals[slot] = val;
+}
+
+/* Offset of a T_OBJECT(_EX) slot member, or -1 when `name` is not a
+ * plain member descriptor on `tp` (caller declines to python). */
+static Py_ssize_t member_offset(PyTypeObject *tp, const char *name) {
+    PyObject *descr = PyObject_GetAttrString((PyObject *)tp, name);
+    if (!descr) {
+        PyErr_Clear();
+        return -1;
+    }
+    Py_ssize_t off = -1;
+    if (Py_TYPE(descr) == &PyMemberDescr_Type) {
+        PyMemberDef *md = ((PyMemberDescrObject *)descr)->d_member;
+        if (md->type == T_OBJECT_EX || md->type == T_OBJECT) off = md->offset;
+    }
+    Py_DECREF(descr);
+    return off;
+}
+
+/* CPython's float floor-division (floatobject.c float_divmod), so that
+ * int(start // dtau) here is bit-for-bit the python builder's value. */
+static double py_float_floordiv(double vx, double wx) {
+    double mod = fmod(vx, wx);
+    double div = (vx - mod) / wx;
+    if (mod != 0.0) {
+        if ((wx < 0.0) != (mod < 0.0)) {
+            mod += wx;
+            div -= 1.0;
+        }
+    }
+    if (div != 0.0) {
+        double floordiv = floor(div);
+        if (div - floordiv > 0.5) floordiv += 1.0;
+        return floordiv;
+    }
+    return copysign(0.0, vx / wx);
+}
+
+static int cmp_i64(const void *a, const void *b) {
+    int64_t x = *(const int64_t *)a, y = *(const int64_t *)b;
+    return (x > y) - (x < y);
+}
+
+/* Dense first-encounter code for `key` in dict `of` (the canonical
+ * scope-key maps: equality, not identity, decides code sharing). */
+static int dense_code(PyObject *of, PyObject *key, int32_t *out) {
+    PyObject *val = PyDict_GetItemWithError(of, key);
+    if (val) {
+        long code = PyLong_AsLong(val);
+        if (code == -1 && PyErr_Occurred()) return -1;
+        *out = (int32_t)code;
+        return 0;
+    }
+    if (PyErr_Occurred()) return -1;
+    Py_ssize_t code = PyDict_GET_SIZE(of);
+    val = PyLong_FromSsize_t(code);
+    if (!val) return -1;
+    int rc = PyDict_SetItem(of, key, val);
+    Py_DECREF(val);
+    if (rc < 0) return -1;
+    *out = (int32_t)code;
+    return 0;
+}
+
+static int resolve_attachment(PyObject *att, PyObject *ex_of, PyObject *pop_of,
+                              PyObject *isp_of, int32_t *ex, int32_t *pop,
+                              int32_t *isp) {
+    PyObject *isp_o = PyObject_GetAttrString(att, "isp");
+    if (!isp_o) return -1;
+    PyObject *exch_o = PyObject_GetAttrString(att, "exchange");
+    PyObject *pop_o = exch_o ? PyObject_GetAttrString(att, "pop") : NULL;
+    PyObject *key_ex = pop_o ? PyTuple_Pack(2, isp_o, exch_o) : NULL;
+    PyObject *key_pop = key_ex ? PyTuple_Pack(2, isp_o, pop_o) : NULL;
+    int rc = -1;
+    if (key_pop && dense_code(ex_of, key_ex, ex) == 0 &&
+        dense_code(pop_of, key_pop, pop) == 0 &&
+        dense_code(isp_of, isp_o, isp) == 0)
+        rc = 0;
+    Py_XDECREF(key_ex);
+    Py_XDECREF(key_pop);
+    Py_DECREF(isp_o);
+    Py_XDECREF(exch_o);
+    Py_XDECREF(pop_o);
+    return rc;
+}
+
+/* Compiled-path windows are packed into int64 as (w << 34) | ...; the
+ * python builder handles anything wider. */
+#define BUILD_WINDOW_LIMIT ((int64_t)1 << 29)
+
+static PyObject *build(PyObject *self, PyObject *args) {
+    PyObject *seq_in;
+    double dtau;
+    if (!PyArg_ParseTuple(args, "Od", &seq_in, &dtau)) return NULL;
+    if (dtau <= 0.0) Py_RETURN_NONE;
+    PyObject *seq = PySequence_Fast(seq_in, "sessions must be a sequence");
+    if (!seq) return NULL;
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(seq);
+    if (n <= 0 || n > INT32_MAX) {
+        Py_DECREF(seq);
+        Py_RETURN_NONE;
+    }
+    PyObject **items = PySequence_Fast_ITEMS(seq);
+    PyTypeObject *tp = Py_TYPE(items[0]);
+    Py_ssize_t off_start = member_offset(tp, "start");
+    Py_ssize_t off_dur = member_offset(tp, "duration");
+    Py_ssize_t off_rate = member_offset(tp, "bitrate");
+    Py_ssize_t off_uid = member_offset(tp, "user_id");
+    Py_ssize_t off_sid = member_offset(tp, "session_id");
+    Py_ssize_t off_att = member_offset(tp, "attachment");
+    if (off_start < 0 || off_dur < 0 || off_rate < 0 || off_uid < 0 ||
+        off_sid < 0 || off_att < 0) {
+        Py_DECREF(seq);
+        Py_RETURN_NONE;
+    }
+
+    double *demand = malloc(n * sizeof(double));
+    int64_t *uid = malloc(n * sizeof(int64_t));
+    int64_t *mid = malloc(n * sizeof(int64_t));
+    int32_t *slot = malloc(n * sizeof(int32_t));
+    int32_t *exc = malloc(n * sizeof(int32_t));
+    int32_t *popc = malloc(n * sizeof(int32_t));
+    int32_t *ispc = malloc(n * sizeof(int32_t));
+    int32_t *bcode = malloc(n * sizeof(int32_t));
+    int64_t *ev = malloc(2 * n * sizeof(int64_t));
+    double *distinct = malloc(n * sizeof(double));
+    int32_t *att_ex = malloc(n * sizeof(int32_t));
+    int32_t *att_pop = malloc(n * sizeof(int32_t));
+    int32_t *att_isp = malloc(n * sizeof(int32_t));
+    U64Map slot_map = {0}, att_map = {0}, rate_map = {0};
+    PyObject *slot_users = NULL, *ex_of = NULL, *pop_of = NULL, *isp_of = NULL;
+    PyObject *distinct_list = NULL, *result = NULL;
+    int decline = 0;
+
+    if (!demand || !uid || !mid || !slot || !exc || !popc || !ispc || !bcode ||
+        !ev || !distinct || !att_ex || !att_pop || !att_isp ||
+        u64map_init(&slot_map, n) < 0 || u64map_init(&att_map, n) < 0 ||
+        u64map_init(&rate_map, n) < 0) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    slot_users = PyList_New(0);
+    ex_of = PyDict_New();
+    pop_of = PyDict_New();
+    isp_of = PyDict_New();
+    if (!slot_users || !ex_of || !pop_of || !isp_of) goto done;
+
+    int32_t num_slots = 0, num_att = 0, num_rates = 0;
+    int64_t max_window = 0;
+    double dur_total = 0.0;
+
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *s = items[i];
+        if (Py_TYPE(s) != tp) {
+            decline = 1;
+            goto done;
+        }
+        PyObject *v_start = *(PyObject **)((char *)s + off_start);
+        PyObject *v_dur = *(PyObject **)((char *)s + off_dur);
+        PyObject *v_rate = *(PyObject **)((char *)s + off_rate);
+        PyObject *v_uid = *(PyObject **)((char *)s + off_uid);
+        PyObject *v_sid = *(PyObject **)((char *)s + off_sid);
+        PyObject *att = *(PyObject **)((char *)s + off_att);
+        if (!v_start || !v_dur || !v_rate || !v_uid || !v_sid || !att ||
+            !PyFloat_CheckExact(v_start) || !PyFloat_CheckExact(v_dur) ||
+            !PyFloat_CheckExact(v_rate) || !PyLong_CheckExact(v_uid) ||
+            !PyLong_CheckExact(v_sid)) {
+            decline = 1;
+            goto done;
+        }
+        double start = PyFloat_AS_DOUBLE(v_start);
+        double duration = PyFloat_AS_DOUBLE(v_dur);
+        double rate = PyFloat_AS_DOUBLE(v_rate);
+        dur_total += duration;
+        double end = start + duration;
+        double fdiv = py_float_floordiv(start, dtau);
+        double ce = ceil(end / dtau);
+        if (!(fdiv >= 0.0) || fdiv >= (double)BUILD_WINDOW_LIMIT ||
+            !(ce >= 0.0) || ce >= (double)BUILD_WINDOW_LIMIT) {
+            decline = 1;
+            goto done;
+        }
+        int64_t w_start = (int64_t)fdiv;
+        int64_t w_end = (int64_t)ce;
+        if (w_end <= w_start) w_end = w_start + 1;
+        if (w_end > max_window) max_window = w_end;
+        ev[2 * i] = (w_start << 34) | ((int64_t)2 << 32) | (int64_t)i;
+        ev[2 * i + 1] = (w_end << 34) | (int64_t)i; /* K_REMOVE == 0 */
+        demand[i] = rate * dtau;
+
+        int64_t uval = PyLong_AsLongLong(v_uid);
+        if (uval == -1 && PyErr_Occurred()) {
+            PyErr_Clear();
+            decline = 1;
+            goto done;
+        }
+        int64_t sval = PyLong_AsLongLong(v_sid);
+        if (sval == -1 && PyErr_Occurred()) {
+            PyErr_Clear();
+            decline = 1;
+            goto done;
+        }
+        uid[i] = uval;
+        mid[i] = sval;
+
+        int found;
+        uint64_t mslot = u64map_probe(&slot_map, (uint64_t)uval, &found);
+        if (found) {
+            slot[i] = slot_map.vals[mslot];
+        } else {
+            u64map_set(&slot_map, mslot, (uint64_t)uval, num_slots);
+            if (PyList_Append(slot_users, v_uid) < 0) goto done;
+            slot[i] = num_slots++;
+        }
+
+        /* Identity-keyed attachment cache; every attachment stays alive
+         * (referenced by its session) so pointers are unambiguous. */
+        uint64_t aslot =
+            u64map_probe(&att_map, (uint64_t)(uintptr_t)att, &found);
+        int32_t acode;
+        if (found) {
+            acode = att_map.vals[aslot];
+        } else {
+            if (resolve_attachment(att, ex_of, pop_of, isp_of, &att_ex[num_att],
+                                   &att_pop[num_att], &att_isp[num_att]) < 0)
+                goto done;
+            u64map_set(&att_map, aslot, (uint64_t)(uintptr_t)att, num_att);
+            acode = num_att++;
+        }
+        exc[i] = att_ex[acode];
+        popc[i] = att_pop[acode];
+        ispc[i] = att_isp[acode];
+
+        uint64_t rbits;
+        memcpy(&rbits, &rate, 8);
+        uint64_t rslot = u64map_probe(&rate_map, rbits, &found);
+        if (found) {
+            bcode[i] = rate_map.vals[rslot];
+        } else {
+            u64map_set(&rate_map, rslot, rbits, num_rates);
+            distinct[num_rates] = rate;
+            bcode[i] = num_rates++;
+        }
+    }
+
+    qsort(ev, (size_t)(2 * n), sizeof(int64_t), cmp_i64);
+
+    distinct_list = PyList_New(num_rates);
+    if (!distinct_list) goto done;
+    for (int32_t k = 0; k < num_rates; k++) {
+        PyObject *f = PyFloat_FromDouble(distinct[k]);
+        if (!f) goto done;
+        PyList_SET_ITEM(distinct_list, k, f);
+    }
+
+    result = Py_BuildValue(
+        "(y#y#y#y#y#y#y#y#y#OOnnndL)", (char *)demand,
+        n * (Py_ssize_t)sizeof(double), (char *)uid,
+        n * (Py_ssize_t)sizeof(int64_t), (char *)mid,
+        n * (Py_ssize_t)sizeof(int64_t), (char *)slot,
+        n * (Py_ssize_t)sizeof(int32_t), (char *)exc,
+        n * (Py_ssize_t)sizeof(int32_t), (char *)popc,
+        n * (Py_ssize_t)sizeof(int32_t), (char *)ispc,
+        n * (Py_ssize_t)sizeof(int32_t), (char *)ev,
+        2 * n * (Py_ssize_t)sizeof(int64_t), (char *)bcode,
+        n * (Py_ssize_t)sizeof(int32_t), distinct_list, slot_users,
+        (Py_ssize_t)PyDict_GET_SIZE(ex_of), (Py_ssize_t)PyDict_GET_SIZE(pop_of),
+        (Py_ssize_t)PyDict_GET_SIZE(isp_of), dur_total / (double)n,
+        (long long)max_window);
+
+done:
+    free(demand);
+    free(uid);
+    free(mid);
+    free(slot);
+    free(exc);
+    free(popc);
+    free(ispc);
+    free(bcode);
+    free(ev);
+    free(distinct);
+    free(att_ex);
+    free(att_pop);
+    free(att_isp);
+    u64map_free(&slot_map);
+    u64map_free(&att_map);
+    u64map_free(&rate_map);
+    Py_XDECREF(slot_users);
+    Py_XDECREF(ex_of);
+    Py_XDECREF(pop_of);
+    Py_XDECREF(isp_of);
+    Py_XDECREF(distinct_list);
+    Py_DECREF(seq);
+    if (result) return result;
+    if (decline && !PyErr_Occurred()) Py_RETURN_NONE;
+    return NULL;
+}
+
+/* Supply column for a native-built schedule: out[i] = rates[bcode[i]]
+ * (zeroed for non-participating slots).  rates[] is computed in python
+ * as upload_rate_for(bitrate) * dtau per distinct bitrate, so values
+ * match the python supplies_for exactly. */
+static PyObject *supplies_helper(PyObject *self, PyObject *args) {
+    Py_ssize_t n;
+    Py_buffer bcode_b, rates_b, slot_b;
+    PyObject *part_obj;
+    if (!PyArg_ParseTuple(args, "ny*y*y*O", &n, &bcode_b, &rates_b, &slot_b,
+                          &part_obj))
+        return NULL;
+    PyObject *result = NULL;
+    Py_buffer part_b = {0};
+    int have_part = 0;
+    if (part_obj != Py_None) {
+        if (PyObject_GetBuffer(part_obj, &part_b, PyBUF_SIMPLE) < 0) goto done;
+        have_part = 1;
+    }
+    if (check_len(&bcode_b, n, 4, "bcode") ||
+        check_len(&slot_b, n, 4, "user_slot"))
+        goto done;
+    const int32_t *bcode = bcode_b.buf;
+    const double *rates = rates_b.buf;
+    const int32_t *slot = slot_b.buf;
+    Py_ssize_t num_rates = rates_b.len / (Py_ssize_t)sizeof(double);
+    result = PyBytes_FromStringAndSize(NULL, n * (Py_ssize_t)sizeof(double));
+    if (!result) goto done;
+    double *out = (double *)PyBytes_AS_STRING(result);
+    const uint8_t *part = have_part ? part_b.buf : NULL;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        int32_t code = bcode[i];
+        if (code < 0 || code >= num_rates ||
+            (part && (slot[i] < 0 || slot[i] >= part_b.len))) {
+            Py_CLEAR(result);
+            PyErr_SetString(PyExc_ValueError, "supplies: code out of range");
+            goto done;
+        }
+        out[i] = (!part || part[slot[i]]) ? rates[code] : 0.0;
+    }
+
+done:
+    PyBuffer_Release(&bcode_b);
+    PyBuffer_Release(&rates_b);
+    PyBuffer_Release(&slot_b);
+    if (have_part) PyBuffer_Release(&part_b);
+    return result;
+}
+
+static PyObject *sweep(PyObject *self, PyObject *args) {
+    Py_ssize_t n, num_users, num_ex, num_pop, num_isp;
+    Py_ssize_t windows_per_day, num_days;
+    double dtau;
+    int allow_cross, profile;
+    Py_buffer dem_b, sup_b, uid_b, mid_b, slot_b, ex_b, pop_b, isp_b;
+    Py_buffer ev_b;
+
+    if (!PyArg_ParseTuple(
+            args, "ny*y*y*y*y*y*y*y*nnnny*nndii", &n, &dem_b, &sup_b, &uid_b,
+            &mid_b, &slot_b, &ex_b, &pop_b, &isp_b, &num_users, &num_ex,
+            &num_pop, &num_isp, &ev_b, &windows_per_day, &num_days, &dtau,
+            &allow_cross, &profile))
+        return NULL;
+
+    PyObject *result = NULL;
+    Scratch scr;
+    int have_scratch = 0;
+    Py_ssize_t m = ev_b.len / (Py_ssize_t)sizeof(int64_t);
+
+    if (n <= 0 || n > INT32_MAX || windows_per_day <= 0) {
+        PyErr_SetString(PyExc_ValueError,
+                        "sweep requires 0 < n <= INT32_MAX and "
+                        "windows_per_day > 0");
+        goto done;
+    }
+    if (check_len(&dem_b, n, 8, "demand") || check_len(&sup_b, n, 8, "supply") ||
+        check_len(&uid_b, n, 8, "user_id") ||
+        check_len(&mid_b, n, 8, "member_id") ||
+        check_len(&slot_b, n, 4, "user_slot") ||
+        check_len(&ex_b, n, 4, "ex_code") || check_len(&pop_b, n, 4, "pop_code") ||
+        check_len(&isp_b, n, 4, "isp_code"))
+        goto done;
+
+    const double *demand0 = dem_b.buf;
+    const double *supply = sup_b.buf;
+    const int64_t *uid = uid_b.buf;
+    const int64_t *mid = mid_b.buf;
+    const int32_t *slot = slot_b.buf;
+    const int32_t *ex = ex_b.buf;
+    const int32_t *pop = pop_b.buf;
+    const int32_t *ispc = isp_b.buf;
+    /* Events are packed (window << 34) | (kind << 32) | session_index;
+     * integer order == (window, kind, index) lexicographic order. */
+    const int64_t *evp = ev_b.buf;
+
+    Py_ssize_t ncodes = 1;
+    if (num_ex > ncodes) ncodes = num_ex;
+    if (num_pop > ncodes) ncodes = num_pop;
+    if (num_isp > ncodes) ncodes = num_isp;
+    Py_ssize_t nblk = ncodes > n ? ncodes : n;
+    if (scratch_alloc(&scr, n, ncodes, nblk, num_users, num_days) < 0) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    have_scratch = 1;
+
+    double watch_total = 0.0, server_total = 0.0, demanded_total = 0.0;
+    double tot_peer[N_LAYERS] = {0.0, 0.0, 0.0, 0.0};
+    uint8_t tot_peer_present[N_LAYERS] = {0, 0, 0, 0};
+    uint8_t tot_peer_order[N_LAYERS];
+    int tot_peer_cnt = 0;
+    Py_ssize_t day_cnt = 0, user_cnt = 0;
+    double match_s = 0.0, account_s = 0.0;
+    int oom = 0;
+
+    Py_BEGIN_ALLOW_THREADS;
+    {
+        memcpy(scr.cur_demand, demand0, n * sizeof(double));
+        int32_t head = -1, tail = -1;
+        Py_ssize_t live = 0;
+        uint64_t epoch = 0;
+        int64_t prev_w = 0;
+        Py_ssize_t index = 0;
+
+        while (index < m) {
+            int64_t w = evp[index] >> 34;
+            if (w > prev_w && live > 0) {
+                /* Collect the live members in list (== dict) order. */
+                Py_ssize_t L = 0;
+                for (int32_t j = head; j != -1; j = scr.nxt[j])
+                    scr.order[L++] = j;
+
+                Py_ssize_t viewers = 0;
+                for (Py_ssize_t i = 0; i < L; i++)
+                    if (scr.cur_demand[scr.order[i]] > 0.0) viewers++;
+                double watch_per_window = (double)viewers * dtau;
+
+                double t_match = profile ? now_seconds() : 0.0;
+
+                /* -- match_window_arrays, transcribed ------------------ */
+                double demanded_bits = 0.0;
+                for (Py_ssize_t i = 0; i < L; i++)
+                    demanded_bits += scr.cur_demand[scr.order[i]];
+                double server_bits;
+                double alloc_val[N_LAYERS];
+                uint8_t alloc_present[N_LAYERS] = {0, 0, 0, 0};
+                uint8_t alloc_order[N_LAYERS];
+                int alloc_cnt = 0;
+                Py_ssize_t up_cnt = 0;
+                uint64_t up_epoch_cur = 0;
+
+                if (L == 1) {
+                    server_bits = scr.cur_demand[scr.order[0]];
+                } else {
+                    /* Seed: min over (demand > 0, user_id, member_id);
+                     * keep-first on ties, exactly like python min(). */
+                    Py_ssize_t seed = 0;
+                    int sk_d = scr.cur_demand[scr.order[0]] > 0.0;
+                    int64_t sk_u = uid[scr.order[0]], sk_m = mid[scr.order[0]];
+                    for (Py_ssize_t i = 1; i < L; i++) {
+                        int32_t pos = scr.order[i];
+                        int kd = scr.cur_demand[pos] > 0.0;
+                        int64_t ku = uid[pos], km = mid[pos];
+                        if (kd < sk_d ||
+                            (kd == sk_d &&
+                             (ku < sk_u || (ku == sk_u && km < sk_m)))) {
+                            seed = i;
+                            sk_d = kd;
+                            sk_u = ku;
+                            sk_m = km;
+                        }
+                    }
+                    /* Fresh: max over watchers by (user_id, member_id);
+                     * replace only on strictly-greater (keep-first). */
+                    Py_ssize_t fresh = -1;
+                    int64_t fk_u = 0, fk_m = 0;
+                    for (Py_ssize_t i = 0; i < L; i++) {
+                        if (i == seed) continue;
+                        int32_t pos = scr.order[i];
+                        if (!(scr.cur_demand[pos] > 0.0)) continue;
+                        int64_t ku = uid[pos], km = mid[pos];
+                        if (fresh < 0 || ku > fk_u ||
+                            (ku == fk_u && km > fk_m)) {
+                            fresh = i;
+                            fk_u = ku;
+                            fk_m = km;
+                        }
+                    }
+                    server_bits = scr.cur_demand[scr.order[seed]];
+                    for (Py_ssize_t i = 0; i < L; i++) {
+                        int32_t pos = scr.order[i];
+                        scr.ph_dem[i] =
+                            i == seed ? 0.0 : scr.cur_demand[pos];
+                        scr.ph_sup[i] = supply[pos];
+                    }
+                    if (fresh >= 0) scr.ph_sup[fresh] = 0.0;
+
+                    int num_phases = allow_cross ? 4 : 3;
+                    for (int phase = 0; phase < num_phases; phase++) {
+                        const int32_t *gcodes =
+                            phase == 0 ? ex
+                            : phase == 1 ? pop
+                            : phase == 2 ? ispc
+                                         : NULL;
+                        Py_ssize_t nscopes;
+                        if (gcodes == NULL) {
+                            nscopes = 1;
+                            scr.scope_off[0] = 0;
+                            scr.scope_off[1] = (int32_t)L;
+                            for (Py_ssize_t i = 0; i < L; i++)
+                                scr.scope_members[i] = (int32_t)i;
+                        } else {
+                            epoch++;
+                            nscopes = 0;
+                            for (Py_ssize_t i = 0; i < L; i++) {
+                                int32_t c = gcodes[scr.order[i]];
+                                if (scr.scope_epoch[c] != epoch) {
+                                    scr.scope_epoch[c] = epoch;
+                                    scr.scope_id[c] = (int32_t)nscopes;
+                                    scr.scope_count[nscopes] = 0;
+                                    nscopes++;
+                                }
+                                scr.scope_count[scr.scope_id[c]]++;
+                            }
+                            scr.scope_off[0] = 0;
+                            for (Py_ssize_t sc = 0; sc < nscopes; sc++)
+                                scr.scope_off[sc + 1] =
+                                    scr.scope_off[sc] + scr.scope_count[sc];
+                            for (Py_ssize_t sc = 0; sc < nscopes; sc++)
+                                scr.scope_count[sc] = scr.scope_off[sc];
+                            for (Py_ssize_t i = 0; i < L; i++) {
+                                int32_t sc =
+                                    scr.scope_id[gcodes[scr.order[i]]];
+                                scr.scope_members[scr.scope_count[sc]++] =
+                                    (int32_t)i;
+                            }
+                        }
+                        for (Py_ssize_t sc = 0; sc < nscopes; sc++) {
+                            Py_ssize_t lo = scr.scope_off[sc];
+                            Py_ssize_t hi = scr.scope_off[sc + 1];
+                            if (hi - lo < 2 && phase == 0) continue;
+                            double td = 0.0, ts = 0.0;
+                            for (Py_ssize_t i = lo; i < hi; i++)
+                                td += scr.ph_dem[scr.scope_members[i]];
+                            for (Py_ssize_t i = lo; i < hi; i++)
+                                ts += scr.ph_sup[scr.scope_members[i]];
+                            if (td <= EPS || ts <= EPS) continue;
+                            /* Block totals: (0.0 + d) + s, then max of
+                             * the final values -- python association. */
+                            double mx;
+                            if (phase == 0) {
+                                /* Blocks are member positions: each is
+                                 * its own block, so the max is direct. */
+                                mx = 0.0 + scr.ph_dem[scr.scope_members[lo]] +
+                                     scr.ph_sup[scr.scope_members[lo]];
+                                for (Py_ssize_t i = lo + 1; i < hi; i++) {
+                                    double v =
+                                        0.0 +
+                                        scr.ph_dem[scr.scope_members[i]] +
+                                        scr.ph_sup[scr.scope_members[i]];
+                                    if (v > mx) mx = v;
+                                }
+                            } else {
+                                const int32_t *bcodes =
+                                    phase == 1 ? ex
+                                    : phase == 2 ? pop
+                                                 : ispc;
+                                epoch++;
+                                Py_ssize_t nblocks = 0;
+                                for (Py_ssize_t i = lo; i < hi; i++) {
+                                    int32_t posn = scr.scope_members[i];
+                                    int32_t b = bcodes[scr.order[posn]];
+                                    if (scr.block_epoch[b] != epoch) {
+                                        scr.block_epoch[b] = epoch;
+                                        scr.block_val[b] = 0.0;
+                                        scr.block_list[nblocks++] = b;
+                                    }
+                                    double v = scr.block_val[b];
+                                    v = v + scr.ph_dem[posn];
+                                    v = v + scr.ph_sup[posn];
+                                    scr.block_val[b] = v;
+                                }
+                                mx = scr.block_val[scr.block_list[0]];
+                                for (Py_ssize_t i = 1; i < nblocks; i++) {
+                                    double v =
+                                        scr.block_val[scr.block_list[i]];
+                                    if (v > mx) mx = v;
+                                }
+                            }
+                            double bound = td + ts - mx;
+                            double transferred = td;
+                            if (ts < transferred) transferred = ts;
+                            if (bound < transferred) transferred = bound;
+                            if (transferred <= EPS) continue;
+                            double df = transferred / td;
+                            double sf = transferred / ts;
+                            for (Py_ssize_t i = lo; i < hi; i++) {
+                                int32_t posn = scr.scope_members[i];
+                                double sp = scr.ph_sup[posn];
+                                if (sp > 0.0) {
+                                    double contributed = sp * sf;
+                                    int32_t us = slot[scr.order[posn]];
+                                    if (up_epoch_cur == 0) {
+                                        epoch++;
+                                        up_epoch_cur = epoch;
+                                    }
+                                    if (scr.up_epoch[us] != up_epoch_cur) {
+                                        scr.up_epoch[us] = up_epoch_cur;
+                                        scr.up_acc[us] = 0.0;
+                                        scr.up_list[up_cnt++] = us;
+                                    }
+                                    scr.up_acc[us] =
+                                        scr.up_acc[us] + contributed;
+                                    scr.ph_sup[posn] = sp - contributed;
+                                }
+                                double dm = scr.ph_dem[posn];
+                                if (dm > 0.0)
+                                    scr.ph_dem[posn] = dm - dm * df;
+                            }
+                            if (!alloc_present[phase]) {
+                                alloc_present[phase] = 1;
+                                alloc_order[alloc_cnt++] = (uint8_t)phase;
+                                alloc_val[phase] = 0.0;
+                            }
+                            alloc_val[phase] =
+                                alloc_val[phase] + transferred;
+                        }
+                    }
+                    for (Py_ssize_t i = 0; i < L; i++)
+                        server_bits += scr.ph_dem[i];
+                }
+                /* -- end match_window_arrays --------------------------- */
+
+                double t_account = 0.0;
+                if (profile) {
+                    t_account = now_seconds();
+                    match_s += t_account - t_match;
+                }
+
+                double stretch_watch = 0.0;
+                int64_t window = prev_w;
+                while (window < w) {
+                    int64_t day = window / windows_per_day;
+                    int64_t day_end = (day + 1) * windows_per_day;
+                    int64_t end = w < day_end ? w : day_end;
+                    double chunk = (double)(end - window);
+                    if (!scr.day_touched[day]) {
+                        scr.day_touched[day] = 1;
+                        scr.day_order[day_cnt++] = day;
+                    }
+                    double watch_chunk = watch_per_window * chunk;
+                    scr.day_watch[day] += watch_chunk;
+                    double server_chunk = server_bits * chunk;
+                    double demanded_chunk = demanded_bits * chunk;
+                    server_total += server_chunk;
+                    demanded_total += demanded_chunk;
+                    scr.day_server[day] += server_chunk;
+                    scr.day_demanded[day] += demanded_chunk;
+                    for (int k = 0; k < alloc_cnt; k++) {
+                        int layer = alloc_order[k];
+                        double peer_chunk = alloc_val[layer] * chunk;
+                        if (!tot_peer_present[layer]) {
+                            tot_peer_present[layer] = 1;
+                            tot_peer_order[tot_peer_cnt++] = (uint8_t)layer;
+                        }
+                        tot_peer[layer] += peer_chunk;
+                        Py_ssize_t dslot = day * N_LAYERS + layer;
+                        if (!scr.day_peer_present[dslot]) {
+                            scr.day_peer_present[dslot] = 1;
+                            scr.day_peer_seq[day * N_LAYERS +
+                                             scr.day_peer_cnt[day]++] =
+                                (uint8_t)layer;
+                        }
+                        scr.day_peer[dslot] += peer_chunk;
+                    }
+                    for (Py_ssize_t i = 0; i < L; i++) {
+                        int32_t pos = scr.order[i];
+                        int32_t us = slot[pos];
+                        if (!scr.user_touched[us]) {
+                            scr.user_touched[us] = 1;
+                            scr.user_order[user_cnt++] = us;
+                        }
+                        scr.user_watched[us] +=
+                            scr.cur_demand[pos] * chunk;
+                    }
+                    for (Py_ssize_t k = 0; k < up_cnt; k++) {
+                        int32_t us = scr.up_list[k];
+                        if (!scr.user_touched[us]) {
+                            scr.user_touched[us] = 1;
+                            scr.user_order[user_cnt++] = us;
+                        }
+                        scr.user_uploaded[us] += scr.up_acc[us] * chunk;
+                    }
+                    stretch_watch += watch_chunk;
+                    window = end;
+                }
+                watch_total += stretch_watch;
+                if (profile) account_s += now_seconds() - t_account;
+            }
+            if (w > prev_w) prev_w = w;
+            while (index < m && (evp[index] >> 34) == w) {
+                int64_t event = evp[index];
+                int kind = (int)((event >> 32) & 3);
+                int32_t sess = (int32_t)(event & 0xFFFFFFFF);
+                if (kind == K_REMOVE) {
+                    if (scr.in_list[sess]) {
+                        scr.in_list[sess] = 0;
+                        int32_t before = scr.prv[sess];
+                        int32_t after = scr.nxt[sess];
+                        if (before != -1)
+                            scr.nxt[before] = after;
+                        else
+                            head = after;
+                        if (after != -1)
+                            scr.prv[after] = before;
+                        else
+                            tail = before;
+                        live--;
+                    }
+                } else if (kind == K_DEMOTE) {
+                    if (scr.in_list[sess]) scr.cur_demand[sess] = 0.0;
+                } else {
+                    scr.in_list[sess] = 1;
+                    scr.prv[sess] = tail;
+                    scr.nxt[sess] = -1;
+                    if (tail == -1)
+                        head = sess;
+                    else
+                        scr.nxt[tail] = sess;
+                    tail = sess;
+                    live++;
+                }
+                index++;
+            }
+        }
+    }
+    Py_END_ALLOW_THREADS;
+    (void)oom;
+
+    /* Build the flat result tuple. */
+    PyObject *peer_list = PyList_New(tot_peer_cnt);
+    if (!peer_list) goto done;
+    for (int k = 0; k < tot_peer_cnt; k++) {
+        int layer = tot_peer_order[k];
+        PyObject *item = Py_BuildValue("(id)", layer, tot_peer[layer]);
+        if (!item) {
+            Py_DECREF(peer_list);
+            goto done;
+        }
+        PyList_SET_ITEM(peer_list, k, item);
+    }
+    PyObject *day_list = PyList_New(day_cnt);
+    if (!day_list) {
+        Py_DECREF(peer_list);
+        goto done;
+    }
+    for (Py_ssize_t k = 0; k < day_cnt; k++) {
+        int64_t day = scr.day_order[k];
+        int cnt = scr.day_peer_cnt[day];
+        PyObject *inner = PyList_New(cnt);
+        if (!inner) {
+            Py_DECREF(peer_list);
+            Py_DECREF(day_list);
+            goto done;
+        }
+        for (int t = 0; t < cnt; t++) {
+            int layer = scr.day_peer_seq[day * N_LAYERS + t];
+            PyObject *item = Py_BuildValue(
+                "(id)", layer, scr.day_peer[day * N_LAYERS + layer]);
+            if (!item) {
+                Py_DECREF(inner);
+                Py_DECREF(peer_list);
+                Py_DECREF(day_list);
+                goto done;
+            }
+            PyList_SET_ITEM(inner, t, item);
+        }
+        PyObject *entry = Py_BuildValue(
+            "(LdddN)", (long long)day, scr.day_watch[day],
+            scr.day_server[day], scr.day_demanded[day], inner);
+        if (!entry) {
+            Py_DECREF(peer_list);
+            Py_DECREF(day_list);
+            goto done;
+        }
+        PyList_SET_ITEM(day_list, k, entry);
+    }
+    PyObject *user_list = PyList_New(user_cnt);
+    if (!user_list) {
+        Py_DECREF(peer_list);
+        Py_DECREF(day_list);
+        goto done;
+    }
+    for (Py_ssize_t k = 0; k < user_cnt; k++) {
+        int32_t us = scr.user_order[k];
+        PyObject *item = Py_BuildValue("(idd)", (int)us, scr.user_watched[us],
+                                       scr.user_uploaded[us]);
+        if (!item) {
+            Py_DECREF(peer_list);
+            Py_DECREF(day_list);
+            Py_DECREF(user_list);
+            goto done;
+        }
+        PyList_SET_ITEM(user_list, k, item);
+    }
+    result = Py_BuildValue("(dddNNNdd)", watch_total, server_total,
+                           demanded_total, peer_list, day_list, user_list,
+                           match_s, account_s);
+
+done:
+    if (have_scratch) scratch_free(&scr);
+    PyBuffer_Release(&dem_b);
+    PyBuffer_Release(&sup_b);
+    PyBuffer_Release(&uid_b);
+    PyBuffer_Release(&mid_b);
+    PyBuffer_Release(&slot_b);
+    PyBuffer_Release(&ex_b);
+    PyBuffer_Release(&pop_b);
+    PyBuffer_Release(&isp_b);
+    PyBuffer_Release(&ev_b);
+    return result;
+}
+
+static PyMethodDef ckernel_methods[] = {
+    {"sweep", sweep, METH_VARARGS,
+     "Columnar swarm sweep over packed schedule columns; returns the "
+     "flat accumulator tuple kernel_columns materializes."},
+    {"build", build, METH_VARARGS,
+     "Build packed schedule columns straight from Session objects "
+     "(no-linger case); returns None when the python builder should "
+     "take over."},
+    {"supplies", supplies_helper, METH_VARARGS,
+     "Per-session supply column from per-bitrate rates (and optional "
+     "per-slot participation bytes) for a native-built schedule."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef ckernel_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.sim._ckernel",
+    "Compiled columnar swarm sweep (bit-for-bit replay of the python "
+    "kernels; see repro/sim/kernel_columns.py).",
+    -1,
+    ckernel_methods,
+};
+
+PyMODINIT_FUNC PyInit__ckernel(void) {
+    return PyModule_Create(&ckernel_module);
+}

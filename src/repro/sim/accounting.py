@@ -121,7 +121,9 @@ def hybrid_energy_nj(ledger: ByteLedger, model: EnergyModel) -> float:
     energy = model.server_energy_nj(ledger.server_bits)
     for layer, bits in ledger.peer_bits.items():
         if layer is NetworkLayer.SERVER:
-            energy += bits * (model.psi_peer_modem + model.pue * model.gamma_cdn_network)
+            energy += bits * (
+                model.psi_peer_modem + model.pue * model.gamma_cdn_network
+            )
         else:
             energy += model.peer_energy_nj(bits, layer)
     return energy

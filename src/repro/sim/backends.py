@@ -133,6 +133,7 @@ from repro.sim.kernel import (
     run_shard_multi,
     run_swarm,
     run_swarm_multi,
+    sweep_memo,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
@@ -236,9 +237,15 @@ def _iter_single_tasks(
 def _iter_single_tasks_multi(
     tasks: Iterable[SwarmTask], configs: Sequence["SimulationConfig"]
 ) -> Iterator[MultiOutputBlock]:
-    """The sweep counterpart of :func:`_iter_single_tasks`."""
+    """The sweep counterpart of :func:`_iter_single_tasks`.
+
+    The allocation memo is shared across the stream's tasks (exactly
+    like :func:`~repro.sim.kernel.run_shard_multi` does per shard), so
+    inline sweeps hit on catalogue tails with repeating membership.
+    """
+    memo = sweep_memo()
     for index, task in enumerate(tasks):
-        yield index, [run_swarm_multi(task, configs)]
+        yield index, [run_swarm_multi(task, configs, memo)]
 
 
 def _stream_blocks(
@@ -338,9 +345,11 @@ class ExecutionBackend(ABC):
         membership timeline -- is paid once instead of K times.  The
         base implementation runs inline; parallel backends override it
         to ship one task ref + K config deltas per worker round-trip.
+        Inline runs share one sweep-scoped allocation memo across tasks.
         """
         plan = as_task_plan(tasks)
-        return [run_swarm_multi(task, configs) for task in plan.iter_tasks()]
+        memo = sweep_memo()
+        return [run_swarm_multi(task, configs, memo) for task in plan.iter_tasks()]
 
     def iter_outputs_multi(
         self, tasks: TaskSource, configs: Sequence["SimulationConfig"]
@@ -516,7 +525,9 @@ class ProcessPoolBackend(ExecutionBackend):
         if num_shards <= 1 or self.workers <= 1 or total_sessions < self.min_sessions:
             return [run_swarm(task, config) for task in plan.iter_tasks()]
         refs = plan.refs()
-        shard_indices = [range(offset, num_tasks, num_shards) for offset in range(num_shards)]
+        shard_indices = [
+            range(offset, num_tasks, num_shards) for offset in range(num_shards)
+        ]
         outputs: List[Optional[SwarmOutput]] = [None] * num_tasks
         try:
             executor = self._pool()
@@ -598,9 +609,14 @@ class ProcessPoolBackend(ExecutionBackend):
             or self.workers <= 1
             or total_sessions * max(1, len(configs)) < self.min_sessions
         ):
-            return [run_swarm_multi(task, configs) for task in plan.iter_tasks()]
+            memo = sweep_memo()
+            return [
+                run_swarm_multi(task, configs, memo) for task in plan.iter_tasks()
+            ]
         refs = plan.refs()
-        shard_indices = [range(offset, num_tasks, num_shards) for offset in range(num_shards)]
+        shard_indices = [
+            range(offset, num_tasks, num_shards) for offset in range(num_shards)
+        ]
         outputs: List[Optional[MultiSwarmOutput]] = [None] * num_tasks
         try:
             executor = self._pool()

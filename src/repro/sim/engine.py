@@ -84,7 +84,18 @@ from repro.sim.results import SimulationResult
 from repro.trace.events import SECONDS_PER_DAY, Session, Trace
 from repro.trace.store import trace_fingerprint
 
-__all__ = ["SimulationConfig", "Simulator", "SweepStats", "simulate"]
+__all__ = [
+    "KERNEL_MODES",
+    "SimulationConfig",
+    "Simulator",
+    "SweepStats",
+    "simulate",
+]
+
+#: Selectable per-swarm kernels: the single source of truth consumed by
+#: ``SimulationConfig`` validation and the CLI's ``--kernel`` choices.
+#: All modes are bit-for-bit identical (see ``SimulationConfig.kernel``).
+KERNEL_MODES: tuple = ("auto", "object", "columnar")
 
 
 @dataclass(frozen=True)
@@ -162,6 +173,19 @@ class SimulationConfig:
             directory that is removed once the run finishes; an
             explicit directory keeps the shard for out-of-core
             consumers.  Only valid with ``grouping="external"``.
+        kernel: which per-swarm kernel sweeps the windows (see
+            :data:`KERNEL_MODES`).  "object" is the original
+            per-session-object kernel -- the semantics reference every
+            other path must reproduce bit for bit.  "columnar" packs
+            each swarm into flat per-session columns and sweeps them
+            with :mod:`repro.sim.kernel_columns` (using the compiled
+            ``repro.sim._ckernel`` extension when it is built, a pure
+            python column sweep otherwise).  "auto" (the default)
+            picks columnar for single-config runs and keeps the
+            amortized object multi-kernel for sweeps.  All kernels are
+            bit-for-bit identical; the choice is wall-clock only.
+            Random (locality-blind) matching always runs on the object
+            kernel regardless of this setting.
     """
 
     delta_tau: float = 10.0
@@ -179,6 +203,7 @@ class SimulationConfig:
     spill_dir: Optional[str] = None
     grouping: str = "memory"
     shard_dir: Optional[str] = None
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.delta_tau <= 0:
@@ -229,6 +254,10 @@ class SimulationConfig:
             raise ValueError(
                 "shard_dir is only valid with grouping='external', "
                 f"got grouping={self.grouping!r}"
+            )
+        if self.kernel not in KERNEL_MODES:
+            raise ValueError(
+                f"kernel must be one of {KERNEL_MODES}, got {self.kernel!r}"
             )
 
     def upload_rate_for(self, bitrate: float) -> float:
@@ -673,6 +702,8 @@ class Simulator:
         return results, (memo_hits, memo_misses, schedule_builds)
 
 
-def simulate(trace: Trace, config: Optional[SimulationConfig] = None) -> SimulationResult:
+def simulate(
+    trace: Trace, config: Optional[SimulationConfig] = None
+) -> SimulationResult:
     """One-call simulation with defaults (see :class:`SimulationConfig`)."""
     return Simulator(config).run(trace)

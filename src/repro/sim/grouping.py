@@ -395,7 +395,9 @@ class ExternalGrouping(GroupingStrategy):
         """True when a persistent ``shard_dir`` makes caching possible."""
         return self.shard_dir is not None
 
-    def _cache_digest(self, cache_token: str, policy: SwarmPolicy, horizon: float) -> str:
+    def _cache_digest(
+        self, cache_token: str, policy: SwarmPolicy, horizon: float
+    ) -> str:
         """The content address of one (trace, policy, format) triple."""
         policy_fingerprint = (
             f"{type(policy).__module__}.{type(policy).__qualname__}:{policy!r}"

@@ -53,9 +53,11 @@ __all__ = [
     "build_tasks",
     "resolve_task",
     "run_swarm",
+    "run_swarm_object",
     "run_swarm_multi",
     "run_shard",
     "run_shard_multi",
+    "sweep_memo",
     "merge_outputs",
 ]
 
@@ -207,10 +209,32 @@ def _build_events(
 def run_swarm(task: SwarmTask, config: "SimulationConfig") -> SwarmOutput:
     """Simulate one swarm; pure, picklable, shared-nothing.
 
+    The kernel dispatcher: ``config.kernel`` selects between the object
+    sweep (:func:`run_swarm_object`, the semantics reference) and the
+    columnar sweep (:mod:`repro.sim.kernel_columns`, packed columns
+    with an optional compiled fast path).  ``"auto"`` -- the default --
+    takes the columnar path, which is bit-for-bit identical by
+    contract, so dispatch can never change results.  Random matching
+    (``locality_aware_matching=False``) has no columnar form and always
+    runs on the object kernel.
+    """
+    if config.kernel != "object" and config.locality_aware_matching:
+        from repro.sim.kernel_columns import run_swarm_columnar
+
+        return run_swarm_columnar(task, config)
+    return run_swarm_object(task, config)
+
+
+def run_swarm_object(task: SwarmTask, config: "SimulationConfig") -> SwarmOutput:
+    """The object-sweep kernel: per-session python objects, no packing.
+
     Builds add/demote/remove events on the window grid, sweeps the
     stretches of constant membership, and accounts every byte into the
     output's own ledgers.  See the module docstring in
-    :mod:`repro.sim.engine` for the windowing scheme.
+    :mod:`repro.sim.engine` for the windowing scheme.  This is the
+    semantics reference the columnar kernel must reproduce bit-for-bit
+    (the hypothesis law in ``tests/sim/test_kernel_columns.py`` pins
+    the contract).
     """
     dtau = config.delta_tau
     windows_per_day = int(SECONDS_PER_DAY // dtau)
@@ -341,7 +365,9 @@ def _apply_allocation(
         ledger.server_bits += server
         ledger.demanded_bits += demanded
         for layer, bits in allocation.peer_bits.items():
-            ledger.peer_bits[layer] = ledger.peer_bits.get(layer, 0.0) + bits * num_windows
+            ledger.peer_bits[layer] = (
+                ledger.peer_bits.get(layer, 0.0) + bits * num_windows
+            )
 
     per_user = output.per_user
     for member in member_list:
@@ -402,25 +428,59 @@ class _AllocationMemo:
     lookups, so reported hit rates stay honest.
     """
 
-    __slots__ = ("entries", "hits", "misses", "enabled")
+    __slots__ = ("entries", "hits", "misses", "enabled", "probation")
 
-    #: Attempted lookups before the hit rate is judged.
+    #: Attempted lookups before the hit rate is judged (per-swarm memos).
     PROBATION = 64
+    #: Probation for sweep-shared memos: cross-task hits only appear
+    #: once the catalogue tail starts repeating membership patterns, so
+    #: a shared memo must observe far more lookups before judging.
+    SHARED_PROBATION = 4096
     #: Minimum hit rate that keeps the memo keying past probation.
     MIN_HIT_RATE = 0.05
 
-    def __init__(self) -> None:
+    def __init__(self, probation: Optional[int] = None) -> None:
         self.entries: Dict[Tuple, Tuple] = {}
         self.hits = 0
         self.misses = 0
         self.enabled = True
+        self.probation = self.PROBATION if probation is None else probation
 
     def reassess(self) -> None:
         """Disable keying when probation shows it cannot pay."""
         attempts = self.hits + self.misses
-        if attempts >= self.PROBATION and self.hits < attempts * self.MIN_HIT_RATE:
+        if attempts >= self.probation and self.hits < attempts * self.MIN_HIT_RATE:
             self.enabled = False
             self.entries.clear()
+
+
+def sweep_memo(probation: Optional[int] = None) -> "_AllocationMemo":
+    """A sweep-scoped allocation memo, shared across a run's tasks.
+
+    The canonical membership signature (user-rank relabelled, see
+    :func:`_account_stretch_multi`) is already task-independent: ranks,
+    demands, geometry and supplies carry no swarm identity, so an entry
+    learned in one swarm replays exactly in any other whose stretch
+    presents the same signature.  Sharing one memo across every task
+    multiplies the repeat pool: on the catalogue workload the full
+    attempted-lookup population hits ~6x more often shared than
+    per-task (BENCH_sweep.json's ``memo`` section measures both).
+    Absolute rates stay low -- single-member stretches take the
+    closed-form fast path and never consult the memo, and multi-member
+    membership signatures are diverse -- which is exactly why the
+    adaptive off-switch stays: on traces where even the shared pool
+    cannot pay, keying shuts off after ``probation`` attempts.  Callers
+    pass the memo to :func:`run_swarm_multi`; sharing scope can never
+    change results, only wall-clock and the hit-rate accounting.
+
+    Args:
+        probation: attempted lookups before the hit rate is judged
+            (default ``SHARED_PROBATION``); benchmarks pass a huge
+            value to measure the full population un-truncated.
+    """
+    if probation is None:
+        probation = _AllocationMemo.SHARED_PROBATION
+    return _AllocationMemo(probation=probation)
 
 
 def _schedule_signature(config: "SimulationConfig") -> Tuple:
@@ -441,7 +501,9 @@ def _schedule_signature(config: "SimulationConfig") -> Tuple:
 
 
 def run_swarm_multi(
-    task: SwarmTask, configs: Sequence["SimulationConfig"]
+    task: SwarmTask,
+    configs: Sequence["SimulationConfig"],
+    memo: Optional[_AllocationMemo] = None,
 ) -> MultiSwarmOutput:
     """Simulate one swarm under every config, amortizing shared work.
 
@@ -449,21 +511,39 @@ def run_swarm_multi(
     are decoded once by the caller, the event schedule is built once per
     distinct :func:`_schedule_signature`, and each signature group's
     membership timeline is swept once while producing per-config
-    allocations.  Within a sweep, window allocations are memoized per
-    swarm by a canonical membership signature (see
-    :func:`_canonical_allocation`), so stretches that revisit an
-    identical membership state -- diurnal traces do so constantly --
-    skip ``match_window`` entirely.
+    allocations.  Within a sweep, window allocations are memoized by a
+    canonical membership signature (see :func:`_account_stretch_multi`);
+    the signature is task-independent, so callers running many tasks
+    pass a shared :func:`sweep_memo` and stretches that revisit an
+    identical membership state -- diurnal traces and catalogue tails do
+    so constantly -- skip ``match_window`` entirely.  Without a caller
+    memo, a per-swarm one is used.
+
+    Unless some config pins ``kernel="object"``, the sweep runs on the
+    columnar kernel (one :class:`ColumnSchedule` per signature group,
+    see :func:`repro.sim.kernel_columns.run_swarm_multi_columnar`):
+    per-config columnar sweeps over a shared schedule beat the object
+    multi-kernel's shared-timeline accumulators outright, and anything
+    else would leave ``run_sweep`` slower than K independent ``auto``
+    runs.  Pinning ``kernel="object"`` on every config keeps a sweep on
+    this multi-kernel -- the semantics reference, and the only path the
+    allocation memo (and its sweep stats) applies to.
 
     Every output is **bit-for-bit identical** to the corresponding
     independent ``run_swarm(task, config)`` call: the shared sweep
     replays the exact event order, member ordering and float-addition
     sequences of the single-config kernel, and the memo only answers
     when replaying is provably exact (unique user ids; values invariant
-    under the user-rank relabelling the signature applies).
+    under the user-rank relabelling the signature applies).  Reported
+    memo counters are this call's deltas, so shared memos still yield
+    per-task honest stats.
     """
     if not configs:
         return MultiSwarmOutput(outputs=[])
+    if all(config.kernel != "object" for config in configs):
+        from repro.sim.kernel_columns import run_swarm_multi_columnar
+
+        return run_swarm_multi_columnar(task, configs)
     groups: Dict[Tuple, List[int]] = {}
     for position, config in enumerate(configs):
         groups.setdefault(_schedule_signature(config), []).append(position)
@@ -472,13 +552,15 @@ def run_swarm_multi(
     # allocation is a pure function of (member states, matching flags),
     # and member states already encode delta_tau / participation via
     # their values.
-    memo = _AllocationMemo()
+    if memo is None:
+        memo = _AllocationMemo()
+    hits_before, misses_before = memo.hits, memo.misses
     for positions in groups.values():
         _sweep_signature_group(task, configs, positions, outputs, memo)
     return MultiSwarmOutput(
         outputs=outputs,  # type: ignore[arg-type] - every slot is filled
-        memo_hits=memo.hits,
-        memo_misses=memo.misses,
+        memo_hits=memo.hits - hits_before,
+        memo_misses=memo.misses - misses_before,
         schedule_builds=len(groups),
     )
 
@@ -923,9 +1005,13 @@ def run_shard_multi(
     point of the fan-out amortization: one pickle round-trip ships the
     task refs plus K config deltas, each task's sessions are decoded
     exactly once, and :func:`run_swarm_multi` shares the schedule and
-    timeline across the configs.  Task order is preserved.
+    timeline across the configs.  The allocation memo is shared across
+    the shard's tasks (see :func:`sweep_memo`), so catalogue tails with
+    repeating membership patterns hit across swarms.  Task order is
+    preserved.
     """
-    return [run_swarm_multi(resolve_task(task), configs) for task in tasks]
+    memo = sweep_memo()
+    return [run_swarm_multi(resolve_task(task), configs, memo) for task in tasks]
 
 
 def merge_outputs(

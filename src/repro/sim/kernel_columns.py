@@ -1,0 +1,807 @@
+"""Columnar swarm kernel: packed session columns + an optional C sweep.
+
+The object kernel (:func:`repro.sim.kernel.run_swarm`) walks per-session
+python objects -- ``PeerState`` dataclasses, tuple events carrying
+``Session`` references, dict-of-object ledgers -- and its attribute
+traffic dominates the profile.  This module is the columnar
+counterpart: a :class:`ColumnSchedule` packs one swarm's sessions into
+parallel scalar columns (demand, identity, dense geometry codes, sorted
+window events), and the sweep runs over integer indices with a
+linked-list membership timeline, either in pure python or -- when the
+optional ``repro.sim._ckernel`` extension is built -- in C.
+
+The contract is the one that makes the dispatch safe to default on:
+**bit-for-bit identity with the object kernel.**  Every float operation
+of :func:`~repro.sim.kernel.run_swarm` is replayed in the same order
+with the same association -- window indices use the object kernel's
+exact expressions (``int(start // dtau)``, ``int(math.ceil(end /
+dtau))``), matching runs through the array-form replay
+(:func:`repro.sim.matching.match_window_arrays` in python,
+the same sequence transcribed to C on the fast path), day chunks split
+identically, and even dict *insertion orders* (per-layer peer bits,
+per-(ISP, day) ledgers, per-user traffic) are reproduced, so reducers
+and serializers see indistinguishable outputs.
+
+The compiled backend is selected once at import time: if
+``repro.sim._ckernel`` imports (built via ``python setup.py build_ext
+--inplace`` or the ``compiled`` extra) it is used for every sweep;
+otherwise the pure-python fallback runs with identical results.  Set
+``REPRO_NO_CKERNEL=1`` to force the fallback even when the extension is
+present (the equivalence tests use this to exercise both paths).
+
+Random (non-locality-aware) matching has no precomputable structure, so
+those configs stay on the object kernel -- the dispatchers in
+:mod:`repro.sim.kernel` route them there.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from array import array
+from time import perf_counter
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.accounting import ByteLedger
+from repro.sim.kernel import (
+    _ADD,
+    _DEMOTE,
+    _REMOVE,
+    MultiSwarmOutput,
+    SwarmOutput,
+    SwarmTask,
+    _schedule_signature,
+    run_swarm_object,
+)
+from repro.sim.matching import match_window_arrays
+from repro.sim.profiling import PROFILE
+from repro.sim.results import SwarmResult, UserTraffic
+from repro.topology.layers import NetworkLayer
+from repro.trace.events import SECONDS_PER_DAY
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import SimulationConfig
+
+__all__ = [
+    "HAVE_COMPILED",
+    "ColumnSchedule",
+    "run_from_schedule",
+    "run_swarm_columnar",
+    "run_swarm_multi_columnar",
+]
+
+_ckernel = None
+if not os.environ.get("REPRO_NO_CKERNEL"):
+    try:
+        from repro.sim import _ckernel  # type: ignore[no-redef]
+    except ImportError:  # pragma: no cover - depends on the local build
+        _ckernel = None
+
+#: Whether the compiled sweep is active in this process.
+HAVE_COMPILED = _ckernel is not None
+
+#: Matching-phase layers by compiled-kernel index (the C sweep reports
+#: peer bits against these positions).
+_LAYERS = (
+    NetworkLayer.EXCHANGE,
+    NetworkLayer.POP,
+    NetworkLayer.CORE,
+    NetworkLayer.SERVER,
+)
+
+
+class ColumnSchedule:
+    """One swarm's sessions packed into parallel scalar columns.
+
+    Built once per ``(task, schedule signature)`` -- the same sharing
+    unit as the object kernel's ``_build_events`` -- and reused across
+    every sweep config with that signature: the event timeline and the
+    demand/identity/geometry columns depend only on ``(delta_tau,
+    seed_linger_seconds, participation)``, while per-config supplies
+    are derived on demand via :meth:`supplies_for`.
+
+    Geometry is stored as dense per-swarm codes with the same equality
+    structure as the object matcher's scope keys: ``ex_code`` equal iff
+    ``(isp, exchange)`` equal, ``pop_code`` iff ``(isp, pop)``,
+    ``isp_code`` iff ``isp`` -- which is exactly what
+    :func:`~repro.sim.matching.match_window_arrays` requires.  Events
+    are packed into single sorted integers ``(window << 34) | (kind <<
+    32) | session_index``: the bit layout makes integer order equal
+    ``(window, kind, session_index)`` lexicographic order, and within a
+    ``(window, kind)`` tie the session index reproduces the object
+    kernel's creation-order tie-break, because each session contributes
+    at most one event per kind and creation order is session order.
+    (Python integers never overflow the encoding; only the compiled
+    path needs ``window < 2**29`` to fit int64, and
+    :func:`run_from_schedule` falls back to python beyond that.)
+    """
+
+    __slots__ = (
+        "n",
+        "dtau",
+        "windows_per_day",
+        "num_days",
+        "mean_duration",
+        "demand",
+        "bitrates",
+        "user_ids",
+        "member_ids",
+        "user_slot",
+        "slot_users",
+        "slot_of",
+        "num_users",
+        "ex_code",
+        "pop_code",
+        "isp_code",
+        "num_ex",
+        "num_pop",
+        "num_isp",
+        "ev_enc",
+        "native",
+        "bcode",
+        "distinct_bitrates",
+        "_packed",
+    )
+
+    def __init__(self, task: SwarmTask, config: "SimulationConfig") -> None:
+        sessions = task.sessions
+        dtau = config.delta_tau
+        n = len(sessions)
+        self.n = n
+        self.dtau = dtau
+        self.windows_per_day = int(SECONDS_PER_DAY // dtau)
+
+        # Native fast path: the C module builds the packed columns
+        # straight from the Session slots (no-linger case only -- seed
+        # lingering needs config.participates per user, which stays in
+        # python).  It returns None to decline, and this python builder
+        # takes over; results are identical either way.
+        if _ckernel is not None and n > 0 and config.seed_linger_seconds <= 0.0:
+            built = _ckernel.build(sessions, dtau)
+            if built is not None:
+                (
+                    demand_b,
+                    uid_b,
+                    mid_b,
+                    slot_b,
+                    ex_b,
+                    pop_b,
+                    isp_b,
+                    ev_b,
+                    bcode_b,
+                    distinct_bitrates,
+                    slot_users,
+                    num_ex,
+                    num_pop,
+                    num_isp,
+                    mean_duration,
+                    max_window,
+                ) = built
+                self.native = True
+                self._packed = (
+                    demand_b,
+                    uid_b,
+                    mid_b,
+                    slot_b,
+                    ex_b,
+                    pop_b,
+                    isp_b,
+                    ev_b,
+                )
+                self.bcode = bcode_b
+                self.distinct_bitrates = distinct_bitrates
+                self.slot_users = slot_users
+                self.num_users = len(slot_users)
+                self.num_ex = num_ex
+                self.num_pop = num_pop
+                self.num_isp = num_isp
+                self.mean_duration = mean_duration
+                self.num_days = (
+                    (max_window - 1) // self.windows_per_day + 1
+                    if max_window > 0
+                    else 0
+                )
+                # List-form columns exist only on the python-built path
+                # (the python sweep never runs on a native schedule).
+                self.demand = None
+                self.bitrates = None
+                self.user_ids = None
+                self.member_ids = None
+                self.user_slot = None
+                self.slot_of = None
+                self.ex_code = None
+                self.pop_code = None
+                self.isp_code = None
+                self.ev_enc = None
+                return
+        self.native = False
+        self.bcode = None
+        self.distinct_bitrates = None
+
+        demand: List[float] = []
+        bitrates: List[float] = []
+        user_ids: List[int] = []
+        member_ids: List[int] = []
+        user_slot: List[int] = []
+        ex_code: List[int] = []
+        pop_code: List[int] = []
+        isp_code: List[int] = []
+        slot_users: List[int] = []
+        slot_of: Dict[int, int] = {}
+        ex_of: Dict[Tuple[object, object], int] = {}
+        pop_of: Dict[Tuple[object, object], int] = {}
+        isp_of: Dict[object, int] = {}
+        # One id-keyed cache resolves all three scope codes per session
+        # without hashing the attachment dataclass.  Keying by identity
+        # is sound because every attachment in this task stays alive
+        # (referenced by its session) for the whole loop, and correct
+        # even for equal-but-distinct attachment objects because the
+        # canonical tuple-keyed dicts above stay the source of truth
+        # (two attachments sharing an (isp, exchange) share the ex
+        # code); ``Session.isp`` is ``attachment.isp``, so identity
+        # determines all three scope keys.
+        codes_of: Dict[int, Tuple[int, int, int]] = {}
+
+        demand_append = demand.append
+        bitrates_append = bitrates.append
+        uid_append = user_ids.append
+        mid_append = member_ids.append
+        slot_append = user_slot.append
+        ex_append = ex_code.append
+        pop_append = pop_code.append
+        isp_append = isp_code.append
+
+        linger = config.seed_linger_seconds
+        lingering = linger > 0.0
+        part_cache: Dict[int, bool] = {}
+        events: List[int] = []
+        ev_append = events.append
+        ceil = math.ceil
+        identity = id
+        add_tag = _ADD << 32
+        demote_tag = _DEMOTE << 32
+        remove_tag = _REMOVE << 32
+        duration_total = 0
+
+        idx = 0
+        for session in sessions:
+            # The object kernel's exact window expressions: float
+            # floordiv and ceil-divide must not be "simplified" -- the
+            # window grid is part of the bit-for-bit contract.
+            # ``Session.end`` is ``start + duration``, inlined here.
+            duration = session.duration
+            duration_total += duration
+            start = session.start
+            end = start + duration
+            w_start = int(start // dtau)
+            w_end = int(ceil(end / dtau))
+            if w_end <= w_start:
+                w_end = w_start + 1
+            ev_append((w_start << 34) | add_tag | idx)
+            uid = session.user_id
+            if lingering:
+                lingers = part_cache.get(uid)
+                if lingers is None:
+                    lingers = part_cache[uid] = config.participates(uid)
+                if lingers:
+                    w_linger = int(ceil((end + linger) / dtau))
+                    if w_linger > w_end:
+                        ev_append((w_end << 34) | demote_tag | idx)
+                        ev_append((w_linger << 34) | remove_tag | idx)
+                    else:
+                        ev_append((w_end << 34) | remove_tag | idx)
+                else:
+                    ev_append((w_end << 34) | remove_tag | idx)
+            else:
+                ev_append((w_end << 34) | remove_tag | idx)
+
+            bitrate = session.bitrate
+            demand_append(bitrate * dtau)
+            bitrates_append(bitrate)
+            uid_append(uid)
+            mid_append(session.session_id)
+            slot = slot_of.get(uid)
+            if slot is None:
+                slot = slot_of[uid] = len(slot_users)
+                slot_users.append(uid)
+            slot_append(slot)
+            attachment = session.attachment
+            att_key = identity(attachment)
+            codes = codes_of.get(att_key)
+            if codes is None:
+                isp = attachment.isp
+                key_ex = (isp, attachment.exchange)
+                code_ex = ex_of.get(key_ex)
+                if code_ex is None:
+                    code_ex = ex_of[key_ex] = len(ex_of)
+                key_pop = (isp, attachment.pop)
+                code_pop = pop_of.get(key_pop)
+                if code_pop is None:
+                    code_pop = pop_of[key_pop] = len(pop_of)
+                code_isp = isp_of.get(isp)
+                if code_isp is None:
+                    code_isp = isp_of[isp] = len(isp_of)
+                codes = codes_of[att_key] = (code_ex, code_pop, code_isp)
+            ex_append(codes[0])
+            pop_append(codes[1])
+            isp_append(codes[2])
+            idx += 1
+
+        events.sort()
+        # Replays ``sum(s.duration for s in sessions) / len(sessions)``:
+        # same left-to-right float additions from the same int 0 start.
+        self.mean_duration = duration_total / n if n else 0.0
+        self.demand = demand
+        self.bitrates = bitrates
+        self.user_ids = user_ids
+        self.member_ids = member_ids
+        self.user_slot = user_slot
+        self.slot_users = slot_users
+        self.slot_of = slot_of
+        self.num_users = len(slot_users)
+        self.ex_code = ex_code
+        self.pop_code = pop_code
+        self.isp_code = isp_code
+        self.num_ex = len(ex_of)
+        self.num_pop = len(pop_of)
+        self.num_isp = len(isp_of)
+        self.ev_enc = events
+        max_window = events[-1] >> 34 if events else 0
+        self.num_days = (
+            (max_window - 1) // self.windows_per_day + 1 if max_window > 0 else 0
+        )
+        self._packed: Optional[Tuple[array, ...]] = None
+
+    def supplies_for(self, config: "SimulationConfig") -> "List[float] | bytes":
+        """Per-session supply column (bits/window) under one config.
+
+        Replays the object kernel's expression ``upload_rate_for(
+        bitrate) * dtau`` for participants and ``0.0`` otherwise;
+        participation resolves once per user and rates once per
+        distinct bitrate, so the column costs O(n) dict hits -- or, on
+        a native-built schedule, O(distinct) python calls plus a C map
+        returning the packed f64 buffer directly.
+        """
+        dtau = self.dtau
+        if self.native:
+            rates = array(
+                "d",
+                [
+                    config.upload_rate_for(bitrate) * dtau
+                    for bitrate in self.distinct_bitrates
+                ],
+            )
+            _, _, _, slot_b, _, _, _, _ = self._packed
+            if config.participation_rate >= 1.0:
+                part = None
+            else:
+                part = bytes(
+                    bytearray(
+                        1 if config.participates(uid) else 0
+                        for uid in self.slot_users
+                    )
+                )
+            return _ckernel.supplies(self.n, self.bcode, rates, slot_b, part)
+        bitrates = self.bitrates
+        rate_of: Dict[float, float] = {}
+        if config.participation_rate >= 1.0:
+            out = []
+            for bitrate in bitrates:
+                supply = rate_of.get(bitrate)
+                if supply is None:
+                    supply = rate_of[bitrate] = config.upload_rate_for(bitrate) * dtau
+                out.append(supply)
+            return out
+        user_slot = self.user_slot
+        user_ids = self.user_ids
+        part_of: Dict[int, bool] = {}
+        out = []
+        for index in range(self.n):
+            slot = user_slot[index]
+            participates = part_of.get(slot)
+            if participates is None:
+                participates = part_of[slot] = config.participates(user_ids[index])
+            if participates:
+                bitrate = bitrates[index]
+                supply = rate_of.get(bitrate)
+                if supply is None:
+                    supply = rate_of[bitrate] = config.upload_rate_for(bitrate) * dtau
+                out.append(supply)
+            else:
+                out.append(0.0)
+        return out
+
+    def packed(self) -> Tuple[array, ...]:
+        """The columns as typed buffers for the compiled sweep (cached)."""
+        packed = self._packed
+        if packed is None:
+            packed = self._packed = (
+                array("d", self.demand),
+                array("q", self.user_ids),
+                array("q", self.member_ids),
+                array("i", self.user_slot),
+                array("i", self.ex_code),
+                array("i", self.pop_code),
+                array("i", self.isp_code),
+                array("q", self.ev_enc),
+            )
+        return packed
+
+
+def run_swarm_columnar(task: SwarmTask, config: "SimulationConfig") -> SwarmOutput:
+    """Columnar :func:`~repro.sim.kernel.run_swarm`: bit-for-bit equal."""
+    profile = PROFILE.enabled
+    if profile:
+        t0 = perf_counter()
+    schedule = ColumnSchedule(task, config)
+    if profile:
+        PROFILE.schedule_seconds += perf_counter() - t0
+    return run_from_schedule(task, config, schedule)
+
+
+def run_swarm_multi_columnar(
+    task: SwarmTask, configs: Sequence["SimulationConfig"]
+) -> MultiSwarmOutput:
+    """Columnar sweep: one schedule per signature group, K columnar runs.
+
+    Mirrors :func:`~repro.sim.kernel.run_swarm_multi`'s sharing unit
+    (the schedule signature) but replaces the shared-timeline
+    accumulator machinery with per-config columnar sweeps over one
+    shared :class:`ColumnSchedule` -- the sweep itself is fast enough
+    that re-running it per config beats the object multi-kernel, and
+    each output is bit-for-bit the single-config result by the columnar
+    identity law.  The allocation memo does not apply here
+    (``memo_hits``/``memo_misses`` report 0); ``schedule_builds``
+    counts distinct signatures that actually built a schedule.
+    Random-matching configs fall back to the object kernel per config.
+    """
+    if not configs:
+        return MultiSwarmOutput(outputs=[])
+    groups: Dict[Tuple, List[int]] = {}
+    for position, config in enumerate(configs):
+        groups.setdefault(_schedule_signature(config), []).append(position)
+    outputs: List[Optional[SwarmOutput]] = [None] * len(configs)
+    profile = PROFILE.enabled
+    schedule_builds = 0
+    for positions in groups.values():
+        # Built lazily: a group whose configs all use random matching
+        # runs entirely on the object kernel and needs no schedule.
+        schedule: Optional[ColumnSchedule] = None
+        for position in positions:
+            config = configs[position]
+            if config.locality_aware_matching:
+                if schedule is None:
+                    if profile:
+                        t0 = perf_counter()
+                    schedule = ColumnSchedule(task, config)
+                    if profile:
+                        PROFILE.schedule_seconds += perf_counter() - t0
+                    schedule_builds += 1
+                outputs[position] = run_from_schedule(task, config, schedule)
+            else:
+                outputs[position] = run_swarm_object(task, config)
+    return MultiSwarmOutput(
+        outputs=outputs,  # type: ignore[arg-type] - every slot is filled
+        memo_hits=0,
+        memo_misses=0,
+        schedule_builds=schedule_builds,
+    )
+
+
+def run_from_schedule(
+    task: SwarmTask, config: "SimulationConfig", schedule: ColumnSchedule
+) -> SwarmOutput:
+    """Sweep a prebuilt schedule under one config and materialize."""
+    supplies = schedule.supplies_for(config)
+    allow_cross = config.allow_cross_isp_matching
+    profile = PROFILE.enabled
+    if profile:
+        t0 = perf_counter()
+    compiled = _ckernel is not None and (
+        schedule.native
+        # Encoded events must fit int64 for the C path (window < 2**29;
+        # python integers are unbounded, so only packing is affected).
+        or (schedule.n > 0 and schedule.ev_enc[-1] < (1 << 63))
+    )
+    if compiled:
+        flat = _sweep_compiled(schedule, supplies, allow_cross, profile)
+    else:
+        flat = _sweep_python(schedule, supplies, allow_cross, profile)
+    if profile:
+        PROFILE.sweep_seconds += perf_counter() - t0
+        PROFILE.match_seconds += flat[6]
+        PROFILE.account_seconds += flat[7]
+        PROFILE.tasks += 1
+        if compiled:
+            PROFILE.compiled_tasks += 1
+    return _materialize(task, schedule, flat)
+
+
+def _sweep_python(
+    schedule: ColumnSchedule,
+    supplies: List[float],
+    allow_cross: bool,
+    profile: bool,
+) -> Tuple:
+    """The pure-python columnar sweep (also the semantics reference for
+    the C transcription): linked-list membership over session indices,
+    array-form matching per stretch, flat accumulators per output field.
+
+    Flat accumulation is exact because every output field accumulates
+    through its own independent variable in stretch order -- the same
+    per-field float-addition sequence the object kernel performs
+    interleaved.
+    """
+    n = schedule.n
+    dtau = schedule.dtau
+    wpd = schedule.windows_per_day
+    ev = schedule.ev_enc
+    cur_demand = list(schedule.demand)
+    user_ids = schedule.user_ids
+    member_ids = schedule.member_ids
+    user_slot = schedule.user_slot
+    slot_of = schedule.slot_of
+    ex_code = schedule.ex_code
+    pop_code = schedule.pop_code
+    isp_code = schedule.isp_code
+
+    # Membership as a doubly linked list over session indices: insertion
+    # order equals the object kernel's dict order (adds append, demotes
+    # keep position, removals unlink).
+    nxt = [-1] * n
+    prv = [-1] * n
+    in_list = [False] * n
+    head = -1
+    tail = -1
+    live = 0
+
+    watch_total = 0.0
+    server_total = 0.0
+    demanded_total = 0.0
+    peer_totals: Dict[NetworkLayer, float] = {}
+    # day -> [watch, server, demanded, {layer: bits}] in first-touch order.
+    days: Dict[int, List] = {}
+    # user slot -> [watched, uploaded] in first-touch order.
+    users: Dict[int, List[float]] = {}
+    match_s = 0.0
+    account_s = 0.0
+
+    num_events = len(ev)
+    prev_w = 0
+    index = 0
+    while index < num_events:
+        w = ev[index] >> 34
+        if w > prev_w and live:
+            order = []
+            j = head
+            while j != -1:
+                order.append(j)
+                j = nxt[j]
+            stretch_demand = [cur_demand[j] for j in order]
+            viewers = 0
+            for demand in stretch_demand:
+                if demand > 0.0:
+                    viewers += 1
+            watch_per_window = viewers * dtau
+            if profile:
+                t0 = perf_counter()
+            demanded_bits, server_bits, peer_items, upload_items = (
+                match_window_arrays(
+                    stretch_demand,
+                    [supplies[j] for j in order],
+                    [user_ids[j] for j in order],
+                    [member_ids[j] for j in order],
+                    [ex_code[j] for j in order],
+                    [pop_code[j] for j in order],
+                    [isp_code[j] for j in order],
+                    allow_cross_isp=allow_cross,
+                )
+            )
+            if profile:
+                t1 = perf_counter()
+                match_s += t1 - t0
+            stretch_watch = 0.0
+            window = prev_w
+            while window < w:
+                day = window // wpd
+                day_end = (day + 1) * wpd
+                chunk = min(w, day_end) - window
+                entry = days.get(day)
+                if entry is None:
+                    entry = days[day] = [0.0, 0.0, 0.0, {}]
+                watch_chunk = watch_per_window * chunk
+                entry[0] += watch_chunk
+                server_chunk = server_bits * chunk
+                demanded_chunk = demanded_bits * chunk
+                server_total += server_chunk
+                demanded_total += demanded_chunk
+                entry[1] += server_chunk
+                entry[2] += demanded_chunk
+                day_peer = entry[3]
+                for layer, bits in peer_items:
+                    peer_chunk = bits * chunk
+                    peer_totals[layer] = peer_totals.get(layer, 0.0) + peer_chunk
+                    day_peer[layer] = day_peer.get(layer, 0.0) + peer_chunk
+                for j in order:
+                    slot = user_slot[j]
+                    traffic = users.get(slot)
+                    if traffic is None:
+                        traffic = users[slot] = [0.0, 0.0]
+                    traffic[0] += cur_demand[j] * chunk
+                for uid, bits in upload_items:
+                    traffic = users.get(slot_of[uid])
+                    if traffic is None:  # pragma: no cover - uploaders are members
+                        traffic = users[slot_of[uid]] = [0.0, 0.0]
+                    traffic[1] += bits * chunk
+                stretch_watch += watch_chunk
+                window += chunk
+            watch_total += stretch_watch
+            if profile:
+                account_s += perf_counter() - t1
+        if w > prev_w:
+            prev_w = w
+        while index < num_events:
+            event = ev[index]
+            if event >> 34 != w:
+                break
+            kind = (event >> 32) & 3
+            s = event & 0xFFFFFFFF
+            if kind == _REMOVE:
+                if in_list[s]:
+                    in_list[s] = False
+                    before = prv[s]
+                    after = nxt[s]
+                    if before != -1:
+                        nxt[before] = after
+                    else:
+                        head = after
+                    if after != -1:
+                        prv[after] = before
+                    else:
+                        tail = before
+                    live -= 1
+            elif kind == _DEMOTE:
+                if in_list[s]:
+                    cur_demand[s] = 0.0
+            else:
+                in_list[s] = True
+                prv[s] = tail
+                nxt[s] = -1
+                if tail == -1:
+                    head = s
+                else:
+                    nxt[tail] = s
+                tail = s
+                live += 1
+            index += 1
+
+    return (
+        watch_total,
+        server_total,
+        demanded_total,
+        list(peer_totals.items()),
+        [
+            (day, entry[0], entry[1], entry[2], list(entry[3].items()))
+            for day, entry in days.items()
+        ],
+        [(slot, traffic[0], traffic[1]) for slot, traffic in users.items()],
+        match_s,
+        account_s,
+    )
+
+
+def _sweep_compiled(
+    schedule: ColumnSchedule,
+    supplies: List[float],
+    allow_cross: bool,
+    profile: bool,
+) -> Tuple:
+    """Run the C sweep and lift its layer indices back to enums."""
+    (
+        demand_buf,
+        uid_buf,
+        mid_buf,
+        slot_buf,
+        ex_buf,
+        pop_buf,
+        isp_buf,
+        ev_buf,
+    ) = schedule.packed()
+    (
+        watch_total,
+        server_total,
+        demanded_total,
+        peer_items,
+        day_items,
+        user_items,
+        match_s,
+        account_s,
+    ) = _ckernel.sweep(
+        schedule.n,
+        demand_buf,
+        supplies if type(supplies) is bytes else array("d", supplies),
+        uid_buf,
+        mid_buf,
+        slot_buf,
+        ex_buf,
+        pop_buf,
+        isp_buf,
+        schedule.num_users,
+        schedule.num_ex,
+        schedule.num_pop,
+        schedule.num_isp,
+        ev_buf,
+        schedule.windows_per_day,
+        schedule.num_days,
+        schedule.dtau,
+        1 if allow_cross else 0,
+        1 if profile else 0,
+    )
+    layers = _LAYERS
+    return (
+        watch_total,
+        server_total,
+        demanded_total,
+        [(layers[layer], bits) for layer, bits in peer_items],
+        [
+            (
+                day,
+                watch,
+                server,
+                demanded,
+                [(layers[layer], bits) for layer, bits in day_peer],
+            )
+            for day, watch, server, demanded, day_peer in day_items
+        ],
+        user_items,
+        match_s,
+        account_s,
+    )
+
+
+def _materialize(task: SwarmTask, schedule: ColumnSchedule, flat: Tuple) -> SwarmOutput:
+    """Build the :class:`SwarmOutput` from a sweep's flat accumulators."""
+    (
+        watch_seconds,
+        server_total,
+        demanded_total,
+        peer_items,
+        day_items,
+        user_items,
+        _match_s,
+        _account_s,
+    ) = flat
+    n = schedule.n
+    horizon = task.horizon
+    isp = task.key.isp if task.key.isp is not None else "all"
+    per_isp_day = {
+        (isp, day): ByteLedger(
+            server_bits=server,
+            peer_bits=dict(day_peer),
+            demanded_bits=demanded,
+            watch_seconds=watch,
+        )
+        for day, watch, server, demanded, day_peer in day_items
+    }
+    slot_users = schedule.slot_users
+    per_user = {
+        slot_users[slot]: UserTraffic(watched_bits=watched, uploaded_bits=uploaded)
+        for slot, watched, uploaded in user_items
+    }
+    return SwarmOutput(
+        result=SwarmResult(
+            key=task.key,
+            ledger=ByteLedger(
+                server_bits=server_total,
+                peer_bits=dict(peer_items),
+                demanded_bits=demanded_total,
+                watch_seconds=watch_seconds,
+                sessions=n,
+            ),
+            capacity=watch_seconds / horizon if horizon > 0 else 0.0,
+            arrival_rate=n / horizon if horizon > 0 else 0.0,
+            mean_duration=schedule.mean_duration,
+        ),
+        per_isp_day=per_isp_day,
+        per_user=per_user,
+    )

@@ -44,6 +44,7 @@ __all__ = [
     "PeerState",
     "WindowAllocation",
     "match_window",
+    "match_window_arrays",
     "match_window_multi",
     "GroupKey",
     "BlockKey",
@@ -128,7 +129,9 @@ class WindowAllocation:
         return WindowAllocation(
             peer_bits={layer: bits * factor for layer, bits in self.peer_bits.items()},
             server_bits=self.server_bits * factor,
-            uploaded_bits={uid: bits * factor for uid, bits in self.uploaded_bits.items()},
+            uploaded_bits={
+                uid: bits * factor for uid, bits in self.uploaded_bits.items()
+            },
             demanded_bits=self.demanded_bits * factor,
         )
 
@@ -193,7 +196,11 @@ def match_window(
     phases: List[Tuple[NetworkLayer, GroupKey, BlockKey]] = [
         # (layer at which bits turn around, group key, forbidden-block key)
         (NetworkLayer.EXCHANGE, lambda m: (m.isp, m.exchange), lambda i: i),
-        (NetworkLayer.POP, lambda m: (m.isp, m.pop), lambda i: (active[i].isp, active[i].exchange)),
+        (
+            NetworkLayer.POP,
+            lambda m: (m.isp, m.pop),
+            lambda i: (active[i].isp, active[i].exchange),
+        ),
         (NetworkLayer.CORE, lambda m: m.isp, lambda i: (active[i].isp, active[i].pop)),
     ]
     if allow_cross_isp:
@@ -204,6 +211,118 @@ def match_window(
 
     allocation.server_bits += sum(demands)
     return allocation
+
+
+def match_window_arrays(
+    demands_in: Sequence[float],
+    supplies_in: Sequence[float],
+    user_ids: Sequence[int],
+    member_ids: Sequence[int],
+    exchange_codes: Sequence[int],
+    pop_codes: Sequence[int],
+    isp_codes: Sequence[int],
+    *,
+    allow_cross_isp: bool = False,
+) -> Tuple[float, float, List[Tuple[NetworkLayer, float]], List[Tuple[int, float]]]:
+    """Array-form :func:`match_window`: columns in, flat allocation out.
+
+    The columnar kernel's matcher (:mod:`repro.sim.kernel_columns`):
+    instead of :class:`PeerState` objects it takes parallel columns for
+    the window's live members, in member order -- demands/supplies plus
+    the identity and geometry columns.  The geometry columns are dense
+    *codes* with the same equality structure as the object matcher's
+    scope keys (equal code iff equal ``(isp, exchange)`` / ``(isp,
+    pop)`` / ``isp``), which the schedule builder guarantees per swarm.
+
+    The replay is bit-for-bit: seed/fresh selection compares the same
+    ``(demand > 0, user_id, member_id)`` keys, scopes form in the same
+    first-appearance order, and every float operation -- generator
+    sums, left-associated block totals, drain arithmetic -- runs in
+    exactly the sequence :func:`match_window` performs.  Only
+    locality-aware matching is supported (random matching has no
+    precomputable structure and stays on the object kernel).
+
+    Returns ``(demanded_bits, server_bits, peer_items, upload_items)``
+    where ``peer_items`` / ``upload_items`` preserve the allocation
+    dicts' insertion order.
+    """
+    n = len(demands_in)
+    if n == 0:
+        return 0.0, 0.0, [], []
+    demanded_bits = sum(demands_in[i] for i in range(n))
+    if n == 1:
+        return demanded_bits, demands_in[0], [], []
+
+    positions = range(n)
+    seed_pos = min(
+        positions,
+        key=lambda i: (demands_in[i] > 0.0, user_ids[i], member_ids[i]),
+    )
+    watcher_positions = [
+        i for i in positions if i != seed_pos and demands_in[i] > 0.0
+    ]
+    fresh_pos = max(
+        watcher_positions,
+        key=lambda i: (user_ids[i], member_ids[i]),
+        default=None,
+    )
+    server_bits = demands_in[seed_pos]
+
+    demands = [0.0 if i == seed_pos else demands_in[i] for i in positions]
+    supplies = list(supplies_in)
+    if fresh_pos is not None:
+        supplies[fresh_pos] = 0.0
+
+    index_codes: List[int] = list(positions)
+    phase_specs: List[Tuple[NetworkLayer, Sequence[int], Sequence[int]]] = [
+        (NetworkLayer.EXCHANGE, exchange_codes, index_codes),
+        (NetworkLayer.POP, pop_codes, exchange_codes),
+        (NetworkLayer.CORE, isp_codes, pop_codes),
+    ]
+    if allow_cross_isp:
+        zero_codes = [0] * n
+        phase_specs.append((NetworkLayer.SERVER, zero_codes, isp_codes))
+
+    peer: Dict[NetworkLayer, float] = {}
+    uploaded: Dict[int, float] = {}
+    for layer, group_codes, block_codes in phase_specs:
+        scopes: Dict[int, List[int]] = {}
+        for i in positions:
+            scopes.setdefault(group_codes[i], []).append(i)
+        for indices in scopes.values():
+            if len(indices) < 2 and layer is NetworkLayer.EXCHANGE:
+                continue
+            total_demand = sum(demands[i] for i in indices)
+            total_supply = sum(supplies[i] for i in indices)
+            if total_demand <= _EPS or total_supply <= _EPS:
+                continue
+            block_totals: Dict[int, float] = {}
+            for i in indices:
+                block = block_codes[i]
+                # Left-associated on purpose: ``(total + demand) +
+                # supply`` replays match_window's rounding exactly.
+                block_totals[block] = (
+                    block_totals.get(block, 0.0) + demands[i] + supplies[i]
+                )
+            bound = total_demand + total_supply - max(block_totals.values())
+            transferred = min(total_demand, total_supply, bound)
+            if transferred <= _EPS:
+                continue
+            demand_factor = transferred / total_demand
+            supply_factor = transferred / total_supply
+            for i in indices:
+                supply = supplies[i]
+                if supply > 0.0:
+                    contributed = supply * supply_factor
+                    uid = user_ids[i]
+                    uploaded[uid] = uploaded.get(uid, 0.0) + contributed
+                    supplies[i] = supply - contributed
+                demand = demands[i]
+                if demand > 0.0:
+                    demands[i] = demand - demand * demand_factor
+            peer[layer] = peer.get(layer, 0.0) + transferred
+    server_bits += sum(demands)
+    return demanded_bits, server_bits, list(peer.items()), list(uploaded.items())
 
 
 def match_window_multi(
@@ -509,7 +628,9 @@ def _run_phase(
         block_totals: Dict[Hashable, float] = {}
         for i in indices:
             block = block_key(i)
-            block_totals[block] = block_totals.get(block, 0.0) + demands[i] + supplies[i]
+            block_totals[block] = (
+                block_totals.get(block, 0.0) + demands[i] + supplies[i]
+            )
         bound = total_demand + total_supply - max(block_totals.values())
         transferred = min(total_demand, total_supply, bound)
         if transferred <= _EPS:

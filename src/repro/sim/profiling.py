@@ -1,0 +1,73 @@
+"""Per-phase kernel timing counters (the ``--profile-kernel`` hook).
+
+The columnar kernel (:mod:`repro.sim.kernel_columns`) and the reducer
+(:func:`repro.sim.reduce.reduce_outputs`) accumulate wall-clock into the
+module-level :data:`PROFILE` singleton whenever it is enabled, split by
+phase: schedule build, sweep (membership timeline), matching (seed/fresh
+selection + phase drains), drain/accounting (ledger and per-user
+arithmetic), and reduce (the output fold).  ``consume-local simulate
+--profile-kernel`` and ``bench_kernel --profile`` enable it around a run
+and print the breakdown, so perf work measures instead of guessing.
+
+Profiling is strictly observational: enabling it never changes results,
+only adds ``perf_counter`` calls around phases.  The compiled sweep
+times its matching/accounting split internally (it receives a profile
+flag) so the breakdown stays meaningful on the fast path; the object
+kernel does not report here (it predates the counters -- profile runs
+force the columnar kernel).
+"""
+
+from __future__ import annotations
+
+__all__ = ["KernelProfile", "PROFILE"]
+
+
+class KernelProfile:
+    """Accumulated per-phase seconds for one profiled run."""
+
+    __slots__ = (
+        "enabled",
+        "schedule_seconds",
+        "sweep_seconds",
+        "match_seconds",
+        "account_seconds",
+        "reduce_seconds",
+        "tasks",
+        "compiled_tasks",
+    )
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter (``enabled`` is left as-is)."""
+        self.schedule_seconds = 0.0
+        self.sweep_seconds = 0.0
+        self.match_seconds = 0.0
+        self.account_seconds = 0.0
+        self.reduce_seconds = 0.0
+        self.tasks = 0
+        self.compiled_tasks = 0
+
+    def report(self) -> str:
+        """A human-readable per-phase breakdown."""
+        rows = [
+            ("schedule build", self.schedule_seconds),
+            ("sweep", self.sweep_seconds),
+            ("  matching", self.match_seconds),
+            ("  drain/accounting", self.account_seconds),
+            ("reduce", self.reduce_seconds),
+        ]
+        lines = [
+            "kernel profile "
+            f"({self.tasks} swarms, {self.compiled_tasks} on the compiled path):"
+        ]
+        for label, seconds in rows:
+            lines.append(f"  {label:<20} {seconds * 1e3:10.2f} ms")
+        return "\n".join(lines)
+
+
+#: The process-wide profile sink.  Off by default; the CLI / benchmarks
+#: enable it around a run and read the totals back.
+PROFILE = KernelProfile()

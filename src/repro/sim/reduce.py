@@ -39,6 +39,7 @@ from __future__ import annotations
 from array import array
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -533,6 +534,11 @@ def reduce_outputs(
     one output per block, delivered in order, so the reducer never
     buffers.
     """
+    from repro.sim.profiling import PROFILE
+
+    profile = PROFILE.enabled
+    if profile:
+        t0 = perf_counter()
     reducer = StreamingReducer(
         delta_tau=delta_tau,
         horizon=horizon,
@@ -543,4 +549,7 @@ def reduce_outputs(
     for output in outputs:
         reducer.add(index, (output,))
         index += 1
-    return reducer.result()
+    result = reducer.result()
+    if profile:
+        PROFILE.reduce_seconds += perf_counter() - t0
+    return result

@@ -10,7 +10,8 @@ from repro.topology.city import CityNetwork, DEFAULT_ISP_SHARES, default_london
 from repro.topology.isp import ISPNetwork, LONDON_EXCHANGES, LONDON_POPS
 from repro.topology.layers import NetworkLayer, P2P_LAYERS
 from repro.topology.nodes import AttachmentPoint, lowest_common_layer
-from repro.topology.routing import Transfer, classify_transfer, hop_count, transfer_energy_nj
+from repro.topology.routing import Transfer, classify_transfer, hop_count
+from repro.topology.routing import transfer_energy_nj
 
 __all__ = [
     "AttachmentPoint",

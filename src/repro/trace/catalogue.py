@@ -30,7 +30,9 @@ _SLOT_DURATIONS: Tuple[Tuple[float, float], ...] = (
     (90 * 60.0, 0.10),
 )
 
-_GENRES = ("drama", "comedy", "news", "documentary", "entertainment", "sport", "children")
+_GENRES = (
+    "drama", "comedy", "news", "documentary", "entertainment", "sport", "children"
+)
 
 
 def zipf_weights(n: int, exponent: float) -> List[float]:
@@ -67,7 +69,9 @@ class ContentItem:
         if self.duration <= 0:
             raise ValueError(f"duration must be > 0, got {self.duration!r}")
         if self.expected_views < 0:
-            raise ValueError(f"expected_views must be >= 0, got {self.expected_views!r}")
+            raise ValueError(
+                f"expected_views must be >= 0, got {self.expected_views!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -176,7 +180,9 @@ class Catalogue:
         return cls(items=tuple(items))
 
 
-def _make_item(content_id: str, expected_views: float, rng: random.Random) -> ContentItem:
+def _make_item(
+    content_id: str, expected_views: float, rng: random.Random
+) -> ContentItem:
     durations = [d for d, _ in _SLOT_DURATIONS]
     weights = [w for _, w in _SLOT_DURATIONS]
     duration = rng.choices(durations, weights=weights)[0]

@@ -52,7 +52,9 @@ class DiurnalProfile:
 
     def __post_init__(self) -> None:
         if len(self.hourly) != HOURS_PER_DAY:
-            raise ValueError(f"need {HOURS_PER_DAY} hourly weights, got {len(self.hourly)}")
+            raise ValueError(
+                f"need {HOURS_PER_DAY} hourly weights, got {len(self.hourly)}"
+            )
         if any(w < 0 for w in self.hourly):
             raise ValueError("hourly weights must be >= 0")
         if sum(self.hourly) <= 0:

@@ -111,7 +111,9 @@ class Trace:
             )
 
     @classmethod
-    def from_sessions(cls, sessions: Iterable[Session], horizon: float = 0.0) -> "Trace":
+    def from_sessions(
+        cls, sessions: Iterable[Session], horizon: float = 0.0
+    ) -> "Trace":
         return cls(sessions=tuple(sessions), horizon=horizon)
 
     def __len__(self) -> int:

@@ -236,7 +236,8 @@ class TraceGenerator:
         Uses crc32 rather than ``hash()`` -- string hashing is salted per
         process and would break cross-process reproducibility.
         """
-        return (zlib.crc32(stream.encode("utf-8")) ^ (self.config.seed * 0x9E3779B1)) & 0x7FFFFFFF
+        mixed = zlib.crc32(stream.encode("utf-8")) ^ (self.config.seed * 0x9E3779B1)
+        return mixed & 0x7FFFFFFF
 
 
 def generate_trace(

@@ -61,7 +61,10 @@ class TraceStats:
             ("Hours watched", f"{self.total_hours_watched:,.0f}"),
             ("Mean session (min)", f"{self.mean_session_minutes:.1f}"),
             ("Mean concurrent viewers", f"{self.mean_concurrency:,.1f}"),
-            ("Top-decile session share", f"{self.sessions_per_user_top_decile_share:.0%}"),
+            (
+                "Top-decile session share",
+                f"{self.sessions_per_user_top_decile_share:.0%}",
+            ),
         ]
 
 

@@ -674,7 +674,11 @@ def save_manifest(
         "records": manifest.num_sessions,
         "meta": meta or {},
         "extents": [
-            {"index": extent.index, "count": extent.count, "key": key_encoder(extent.key)}
+            {
+                "index": extent.index,
+                "count": extent.count,
+                "key": key_encoder(extent.key),
+            }
             for extent in manifest.extents
         ],
     }

@@ -294,11 +294,17 @@ class TestReductionMatrix:
     x {memory, external} matrix, on both entry points (run /
     run_stream), reproduces the serial-batched baseline bit for bit --
     the streaming modes obey the ``workers + 1`` residency bound, and
-    external grouping obeys its sort-buffer bound, while doing it."""
+    external grouping obeys its sort-buffer bound, while doing it.
+
+    The baseline runs ``kernel="object"`` and every matrix cell runs
+    ``kernel="columnar"``, so each cell is also a cross-kernel identity
+    check (see repro/sim/kernel_columns.py)."""
 
     @pytest.fixture(scope="class")
     def reference(self, trace):
-        return Simulator(SimulationConfig(), backend=SerialBackend()).run(trace)
+        return Simulator(
+            SimulationConfig(kernel="object"), backend=SerialBackend()
+        ).run(trace)
 
     @pytest.mark.parametrize(
         "backend_name", ["serial", "thread", "process", "distributed"]
@@ -310,7 +316,9 @@ class TestReductionMatrix:
     ):
         backend = make_matrix_backend(backend_name, tmp_path)
         spill_dir = str(tmp_path / "spill") if reduction == "spill" else None
-        config = SimulationConfig(reduction=reduction, spill_dir=spill_dir)
+        config = SimulationConfig(
+            reduction=reduction, spill_dir=spill_dir, kernel="columnar"
+        )
         # run_sessions=500 forces real spill-and-merge grouping on this
         # ~2.5K-session trace (and exercises worker-side extent decode).
         strategy = (
@@ -345,16 +353,21 @@ class TestSweepMatrix:
     the K independent serial-batched runs bit for bit in every cell of
     the {serial, thread, process, distributed} x {batched, streaming,
     spill} x {memory, external} matrix, while the streaming cells keep
-    each per-config reducer inside the ``workers + 1`` residency bound."""
+    each per-config reducer inside the ``workers + 1`` residency bound.
+
+    As in TestReductionMatrix, the baselines run ``kernel="object"``
+    and the sweep configs run ``kernel="columnar"``, so the whole
+    matrix is also a cross-kernel identity check."""
 
     RATIOS = (0.2, 0.6, 1.0)
 
     @pytest.fixture(scope="class")
     def sweep_reference(self, trace):
         return [
-            Simulator(SimulationConfig(upload_ratio=r), backend=SerialBackend()).run(
-                trace
-            )
+            Simulator(
+                SimulationConfig(upload_ratio=r, kernel="object"),
+                backend=SerialBackend(),
+            ).run(trace)
             for r in self.RATIOS
         ]
 
@@ -375,7 +388,9 @@ class TestSweepMatrix:
             else None
         )
         simulator = Simulator(config, backend=backend, grouping=strategy)
-        configs = [SimulationConfig(upload_ratio=r) for r in self.RATIOS]
+        configs = [
+            SimulationConfig(upload_ratio=r, kernel="columnar") for r in self.RATIOS
+        ]
         try:
             results = simulator.run_sweep(trace, configs)
             assert len(results) == len(self.RATIOS)

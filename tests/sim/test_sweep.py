@@ -127,8 +127,12 @@ class TestKernelSweepEquivalence:
         assert run_swarm_multi(task, mixed).schedule_builds == 2
 
     def test_memo_stats_are_sane(self, trace):
+        # kernel="object" pins the object multi-kernel: the allocation
+        # memo only applies there (columnar sweeps report 0/0).
         tasks = build_tasks(trace, trace.horizon, SimulationConfig().policy)
-        configs = [SimulationConfig(upload_ratio=r) for r in (0.2, 0.6, 1.0)]
+        configs = [
+            SimulationConfig(upload_ratio=r, kernel="object") for r in (0.2, 0.6, 1.0)
+        ]
         hits = misses = 0
         for task in tasks:
             multi = run_swarm_multi(task, configs)
