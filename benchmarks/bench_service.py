@@ -1,0 +1,255 @@
+#!/usr/bin/env python
+"""Service-mode benchmark/smoke: paced live replay with a forced restart.
+
+Exercises the always-on coordinator (:mod:`repro.sim.service`) the way
+an operator would run it, against the failure it is designed for:
+
+* a seeded trace is replayed as a **live feed** -- the head is written
+  up front, the tail appended in paced chunks while the coordinator
+  tails the file mid-write;
+* the coordinator is a real ``serve_jsonl`` subprocess; once it has
+  emitted at least one epoch it is **SIGKILLed** and a fresh one is
+  started over the same state dir, resuming from the checkpoint while
+  the feed keeps growing;
+* the benchmark **fails loudly** unless the sink holds every epoch
+  exactly once (no duplicates, no gaps across the kill) and the
+  restarted coordinator's cumulative result is **bit-for-bit
+  identical** to one batch ``Simulator.run`` over the same trace under
+  the epoch-scoped config;
+* wall-clock for the batch baseline and the full serve (including the
+  kill, the restart and the feed pacing -- reported honestly: service
+  mode buys incremental results and crash recovery, not throughput) is
+  recorded in ``BENCH_service.json`` at the repo root (override with
+  ``--out``), extending the benchmark trajectory the other BENCH_*
+  files accumulate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py          # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.sim.engine import SimulationConfig, Simulator
+from repro.sim.service import JsonlSink, ServiceConfig, SimulationService
+from repro.trace.events import SECONDS_PER_DAY, Trace
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+from repro.trace.loader import append_jsonl_end, save_jsonl, session_to_record
+
+#: Default output path: the repo root, alongside the other BENCH_* files.
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def launch_coordinator(
+    feed: Path, state: Path, epoch_seconds: float, horizon: float
+) -> subprocess.Popen:
+    """Start a service coordinator exactly as an operator would."""
+    env = os.environ.copy()
+    package_root = Path(__file__).resolve().parent.parent / "src"
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        f"{package_root}{os.pathsep}{existing}" if existing else str(package_root)
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            str(feed),
+            "--state-dir",
+            str(state),
+            "--epoch-seconds",
+            str(epoch_seconds),
+            "--horizon",
+            str(horizon),
+            "--poll-interval",
+            "0.02",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_epochs(sink: Path, count: int, timeout: float = 120.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if sink.exists() and len(JsonlSink.read(sink)) >= count:
+            return
+        time.sleep(0.05)
+    raise RuntimeError(f"sink never reached {count} epoch(s) in {timeout}s")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--num-users", type=int, default=2_000, help="trace population"
+    )
+    parser.add_argument(
+        "--num-items", type=int, default=60, help="catalogue size"
+    )
+    parser.add_argument(
+        "--sessions", type=float, default=20_000.0, help="expected sessions"
+    )
+    parser.add_argument("--days", type=int, default=3, help="trace length")
+    parser.add_argument("--seed", type=int, default=20130901, help="master seed")
+    parser.add_argument(
+        "--chunks", type=int, default=10,
+        help="paced append chunks for the feed tail (default: 10)",
+    )
+    parser.add_argument(
+        "--pace", type=float, default=0.05,
+        help="seconds between tail chunks (default: 0.05)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"where to write the JSON record (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke preset: smaller trace (explicit flags still win)",
+    )
+    args = parser.parse_args(argv)
+
+    num_users, sessions = args.num_users, args.sessions
+    if args.quick:
+        if args.num_users == parser.get_default("num_users"):
+            num_users = 600
+        if args.sessions == parser.get_default("sessions"):
+            sessions = 4_000.0
+
+    generator = GeneratorConfig(
+        num_users=num_users,
+        num_items=args.num_items,
+        days=args.days,
+        expected_sessions=sessions,
+        seed=args.seed,
+    )
+    trace = TraceGenerator(config=generator).generate()
+    epoch_seconds = SECONDS_PER_DAY
+    service_config = ServiceConfig(
+        simulation=SimulationConfig(),
+        epoch_seconds=epoch_seconds,
+        horizon=trace.horizon,
+    )
+    expected_epochs = (
+        int(max(s.start for s in trace.sessions) // epoch_seconds) + 1
+    )
+    print(
+        f"service benchmark: {len(trace)} sessions replayed live over "
+        f"{expected_epochs} epoch(s), one SIGKILL mid-run"
+    )
+
+    violations: List[str] = []
+
+    # Batch baseline under the epoch-scoped config (the exactness
+    # reference AND the throughput yardstick).
+    start = time.perf_counter()
+    batch = Simulator(service_config.scoped_config).run(trace)
+    batch_seconds = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as temp_dir:
+        feed = Path(temp_dir) / "feed.jsonl"
+        state = Path(temp_dir) / "state"
+        sink = state / "results.jsonl"
+
+        # The head of the feed exists before the coordinator starts;
+        # enough of day 1 follows that epoch 0 closes and checkpoints.
+        cutoff = 1.5 * epoch_seconds
+        head = [s for s in trace.sessions if s.start < cutoff]
+        tail = [s for s in trace.sessions if s.start >= cutoff]
+        save_jsonl(Trace.from_sessions(head, horizon=trace.horizon), feed)
+
+        start = time.perf_counter()
+        victim = launch_coordinator(feed, state, epoch_seconds, trace.horizon)
+        try:
+            wait_for_epochs(sink, 1)
+            os.kill(victim.pid, signal.SIGKILL)  # the forced restart
+        finally:
+            victim.wait(timeout=30)
+        kill_seconds = time.perf_counter() - start
+        epochs_before_kill = len(JsonlSink.read(sink))
+
+        # The feed keeps growing while nobody is listening, then the
+        # replacement coordinator catches up from the checkpoint.
+        chunk = max(1, len(tail) // max(1, args.chunks))
+        survivor = launch_coordinator(feed, state, epoch_seconds, trace.horizon)
+        with feed.open("a", encoding="utf-8") as handle:
+            for offset in range(0, len(tail), chunk):
+                for session in tail[offset : offset + chunk]:
+                    handle.write(json.dumps(session_to_record(session)) + "\n")
+                handle.flush()
+                time.sleep(args.pace)
+        append_jsonl_end(feed)
+        code = survivor.wait(timeout=300)
+        serve_seconds = time.perf_counter() - start
+        if code != 0:
+            violations.append(f"restarted coordinator exited with code {code}")
+
+        # Exactly-once emission: every epoch present, none twice.
+        records = JsonlSink.read(sink)
+        emitted = [record["epoch"] for record in records]
+        if emitted != list(range(expected_epochs)):
+            violations.append(
+                f"sink epochs {emitted} are not exactly 0..{expected_epochs - 1}"
+            )
+        if sum(record["sessions"] for record in records) != len(trace):
+            violations.append("sink session counts do not cover the trace")
+
+        # Bit-for-bit batch parity of the cumulative fold across the kill.
+        final = SimulationService(service_config, state)
+        try:
+            cumulative = final.result()
+        finally:
+            final.close()
+        if not cumulative.identical_to(batch):
+            violations.append(
+                "cumulative service result differs from the batch run"
+            )
+
+    print(
+        f"   batch run: {batch_seconds:7.3f}s   live serve (paced feed, "
+        f"kill at {kill_seconds:5.2f}s after {epochs_before_kill} epoch(s), "
+        f"restart): {serve_seconds:7.3f}s"
+    )
+
+    record = {
+        "benchmark": "bench_service",
+        "sessions": len(trace),
+        "epochs": expected_epochs,
+        "epoch_seconds": epoch_seconds,
+        "batch_seconds": batch_seconds,
+        "serve_seconds": serve_seconds,
+        "kill_after_seconds": kill_seconds,
+        "epochs_before_kill": epochs_before_kill,
+        "violations": violations,
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if violations:
+        for violation in violations:
+            print(f"VIOLATION: {violation}")
+        return 1
+    print(
+        "ok: coordinator SIGKILLed and restarted mid-stream; every epoch "
+        "emitted exactly once, cumulative result bit-for-bit equal to batch"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

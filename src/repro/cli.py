@@ -8,6 +8,7 @@ Subcommands::
     consume-local generate trace.jsonl    # emit a synthetic trace
     consume-local simulate trace.jsonl    # simulate a saved trace
     consume-local worker --queue-dir DIR  # serve a distributed work queue
+    consume-local serve feed.jsonl --state-dir DIR  # always-on service mode
 
 Common options: ``--scale`` (trace size multiplier), ``--days``,
 ``--seed``, ``--quick`` (preset small scale), ``--out DIR``,
@@ -31,6 +32,13 @@ the run a *coordinator* over a crash-safe file-based work queue, and
 host sharing the directory (see :mod:`repro.sim.queue` /
 :mod:`repro.sim.worker`).  Without external workers the coordinator
 spawns ``--workers`` local ones.  Bit-for-bit identical to serial.
+
+Service mode: ``consume-local serve feed.jsonl --state-dir DIR`` tails a
+live-appended session feed, partitions it into bounded simulation
+epochs, and appends one result record per closed epoch to a JSONL sink
+-- checkpointing after every epoch so a killed coordinator restarted
+over the same state dir resumes mid-stream with no duplicated and no
+dropped epochs (see :mod:`repro.sim.service`).
 """
 
 from __future__ import annotations
@@ -50,6 +58,7 @@ from repro.sim.engine import KERNEL_MODES, SimulationConfig, Simulator
 from repro.sim.grouping import GROUPING_MODES
 from repro.sim.profiling import PROFILE
 from repro.sim.reduce import REDUCTION_MODES
+from repro.trace.events import SECONDS_PER_DAY
 from repro.trace.generator import TraceGenerator
 from repro.trace.store import file_fingerprint
 from repro.trace.loader import (
@@ -181,6 +190,96 @@ def build_parser() -> argparse.ArgumentParser:
         "--worker-id", default=None,
         help="stable worker identity for lease files (default: host:pid)",
     )
+    worker.add_argument(
+        "--job-ttl", type=float, default=None,
+        help="quarantine jobs with no pending/claimed items and no "
+        "activity for this many seconds -- orphans left by crashed "
+        "coordinators (default: never)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "always-on service mode: tail a live JSONL session feed, "
+            "simulate it in bounded epochs, and append one result record "
+            "per closed epoch to a sink -- checkpointed, so restarting "
+            "over the same --state-dir resumes mid-stream"
+        ),
+    )
+    serve.add_argument(
+        "path", type=Path,
+        help="JSONL session feed to follow (may still be growing)",
+    )
+    serve.add_argument(
+        "--state-dir", type=Path, required=True,
+        help=(
+            "service state directory (checkpoint + default sink); a "
+            "restarted coordinator pointed at the same directory resumes "
+            "from its checkpoint"
+        ),
+    )
+    serve.add_argument(
+        "--results", type=Path, default=None,
+        help="per-epoch results sink (default: STATE_DIR/results.jsonl)",
+    )
+    serve.add_argument(
+        "--epoch-seconds", type=float, default=SECONDS_PER_DAY,
+        help="epoch length in simulated seconds (default: one day)",
+    )
+    serve.add_argument(
+        "--horizon", type=float, default=None,
+        help=(
+            "fixed accounting horizon in seconds (required for exact "
+            "batch parity; default: the feed header's horizon when "
+            "present, else a rolling per-epoch horizon)"
+        ),
+    )
+    serve.add_argument(
+        "--allowed-lateness", type=float, default=0.0,
+        help=(
+            "seconds a session may lag the watermark before its epoch "
+            "has already closed (late sessions are counted and dropped; "
+            "default: 0)"
+        ),
+    )
+    serve.add_argument(
+        "--upload-ratio", type=float, default=1.0, help="q/beta (default 1.0)"
+    )
+    serve.add_argument(
+        "--poll-interval", type=float, default=0.2,
+        help="seconds between feed polls while no complete line is "
+        "available (default: 0.2)",
+    )
+    serve.add_argument(
+        "--idle-exit", type=float, default=None,
+        help=(
+            "stop following after this many seconds without new records "
+            "(default: follow until a trace-end marker)"
+        ),
+    )
+    serve.add_argument(
+        "--no-flush", action="store_true",
+        help=(
+            "leave open epochs buffered in the checkpoint when the follow "
+            "ends, instead of force-closing them -- for coordinators that "
+            "will be restarted to continue the same stream"
+        ),
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes for swarm shards (default: serial)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="execution backend (default: auto from --workers)",
+    )
+    _add_queue_dir_arg(serve)
+    _add_reduction_arg(serve)
+    _add_grouping_args(serve)
     return parser
 
 
@@ -325,6 +424,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_tasks=args.max_tasks,
             idle_exit=args.idle_exit,
             worker_id=args.worker_id,
+            job_ttl=args.job_ttl,
         )
         print(f"worker processed {processed} work item(s)")
         return 0
@@ -338,6 +438,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         and getattr(args, "backend", None) != "distributed"
     ):
         parser.error("--queue-dir requires --backend distributed")
+    if args.command == "serve":
+        return _run_serve(args)
+
     settings = _settings_from(args) if hasattr(args, "scale") else None
 
     if args.command == "all":
@@ -405,6 +508,60 @@ def main(argv: Optional[List[str]] = None) -> int:
             simulator.close()
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def _run_serve(args) -> int:
+    """The body of the ``serve`` subcommand (always-on service mode)."""
+    from repro.sim.service import ServiceConfig, serve_jsonl
+
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr,
+    )
+    simulation = SimulationConfig(
+        upload_ratio=args.upload_ratio,
+        workers=args.workers,
+        backend=args.backend,
+        queue_dir=str(args.queue_dir) if args.queue_dir is not None else None,
+        reduction=args.reduction or "batched",
+        grouping=args.grouping or "memory",
+        shard_dir=str(args.shard_dir) if args.shard_dir is not None else None,
+    )
+    horizon = args.horizon
+    if horizon is None:
+        # A headerless feed falls back to rolling per-epoch horizons.
+        horizon = read_jsonl_horizon(args.path) or None
+    config = ServiceConfig(
+        simulation=simulation,
+        epoch_seconds=args.epoch_seconds,
+        horizon=horizon,
+        allowed_lateness=args.allowed_lateness,
+    )
+    sink_path = (
+        args.results if args.results is not None else args.state_dir / "results.jsonl"
+    )
+    service = serve_jsonl(
+        args.path,
+        args.state_dir,
+        config,
+        sink_path=sink_path,
+        poll_interval=args.poll_interval,
+        idle_timeout=args.idle_exit,
+        flush=not args.no_flush,
+    )
+    print(
+        f"epochs emitted: {service.emitted}  "
+        f"late sessions dropped: {service.late_sessions}"
+    )
+    result = service.result()
+    if result.total.sessions:
+        print(
+            f"cumulative: {result.total.sessions} sessions, "
+            f"offload G {result.offload_fraction():.4f}"
+        )
+    print(f"per-epoch results: {sink_path}")
+    return 0
 
 
 def _run_simulate(args, config, simulator, horizon) -> int:

@@ -16,14 +16,17 @@ simulation run exactly like they share one trace in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.sim.backends import BACKEND_NAMES
 from repro.sim.engine import SimulationConfig, Simulator
 from repro.sim.grouping import GROUPING_MODES
 from repro.sim.reduce import REDUCTION_MODES
 from repro.sim.results import SimulationResult
-from repro.trace.events import Trace
+from repro.trace.events import SECONDS_PER_DAY, Trace
+
+if TYPE_CHECKING:  # deferred: sim.service imports are runtime-local
+    from repro.sim.service import ServiceConfig
 from repro.trace.generator import GeneratorConfig, TraceGenerator
 from repro.trace.population import DeviceProfile
 
@@ -205,6 +208,29 @@ class ExperimentSettings:
             reduction=self.reduction or "batched",
             grouping=self.grouping or "memory",
             shard_dir=self.shard_dir,
+        )
+
+    def service_config(
+        self,
+        epoch_seconds: float = SECONDS_PER_DAY,
+        *,
+        upload_ratio: Optional[float] = None,
+        allowed_lateness: float = 0.0,
+    ) -> "ServiceConfig":
+        """Service-mode config over these settings' simulation knobs.
+
+        The accounting horizon is pinned to the settings' trace length
+        (``days`` worth of seconds) -- the fixed-horizon mode in which
+        the service's cumulative result is bit-for-bit equal to the
+        batch run of the same trace (see :mod:`repro.sim.service`).
+        """
+        from repro.sim.service import ServiceConfig
+
+        return ServiceConfig(
+            simulation=self.simulation_config(upload_ratio),
+            epoch_seconds=epoch_seconds,
+            horizon=self.days * SECONDS_PER_DAY,
+            allowed_lateness=allowed_lateness,
         )
 
 

@@ -38,8 +38,16 @@ from repro.sim.kernel import (
     run_swarm,
 )
 from repro.sim.matching import PeerState, WindowAllocation, match_window
-from repro.sim.policies import PAPER_POLICY, SwarmKey, SwarmPolicy
+from repro.sim.policies import PAPER_POLICY, EpochPolicy, SwarmKey, SwarmPolicy
 from repro.sim.queue import JobSpec, WorkItem, WorkQueue
+from repro.sim.service import (
+    EpochResult,
+    JsonlSink,
+    ServiceCheckpoint,
+    ServiceConfig,
+    SimulationService,
+    serve_jsonl,
+)
 from repro.sim.reduce import (
     REDUCTION_MODES,
     FootprintAccumulator,
@@ -59,7 +67,10 @@ from repro.sim.validation import (
 __all__ = [
     "ByteLedger",
     "DistributedBackend",
+    "EpochPolicy",
+    "EpochResult",
     "JobSpec",
+    "JsonlSink",
     "ExecutionBackend",
     "ExternalGrouping",
     "FootprintAccumulator",
@@ -74,8 +85,11 @@ __all__ = [
     "REDUCTION_MODES",
     "ReductionStats",
     "SerialBackend",
+    "ServiceCheckpoint",
+    "ServiceConfig",
     "SimulationConfig",
     "SimulationResult",
+    "SimulationService",
     "Simulator",
     "SweepStats",
     "StreamingReducer",
@@ -100,6 +114,7 @@ __all__ = [
     "resolve_grouping",
     "resolve_task",
     "run_swarm",
+    "serve_jsonl",
     "validate_against_theory",
     "baseline_energy_nj",
     "hybrid_energy_nj",

@@ -777,6 +777,17 @@ class DistributedBackend(ExecutionBackend):
         #: 0 on a healthy run; tests and benchmarks assert fault
         #: handling through this.
         self.last_requeues = 0
+        #: Optional stable name for the *next* job's directory
+        #: (``job-<token>`` instead of a fresh timestamped id).  Set by
+        #: the always-on service before each epoch run: if a directory
+        #: with that name already exists -- a previous coordinator was
+        #: killed mid-epoch -- the job is **resumed**: only items not
+        #: already known to the queue are enqueued, and acked results
+        #: from the dead run are collected instead of re-run.  The
+        #: caller owns token uniqueness (the service scopes tokens by a
+        #: per-state-dir service id).  ``None``: historical one-shot
+        #: job naming.
+        self.job_token: Optional[str] = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -862,18 +873,34 @@ class DistributedBackend(ExecutionBackend):
         window: int,
         handoff: Optional[Dict] = None,
     ) -> Iterator[Tuple[int, List]]:
-        """Publish one job, collect its result blocks, clean up."""
+        """Publish one job, collect its result blocks, clean up.
+
+        With :attr:`job_token` set and the token's directory already on
+        disk, the job is resumed: the spec and handoff are re-published
+        (byte-identical -- blocks are a deterministic function of the
+        plan), a stale ``DONE`` marker from a half-retired run is
+        lifted so workers serve the job again, and only items absent
+        from every queue state are enqueued.
+        """
         root = self._root()
-        job_dir = root / f"job-{time.time_ns():020d}-{uuid.uuid4().hex[:8]}"
+        if self.job_token is not None:
+            job_dir = root / f"job-{self.job_token}"
+        else:
+            job_dir = root / f"job-{time.time_ns():020d}-{uuid.uuid4().hex[:8]}"
         self.last_requeues = 0
+        resuming = self.job_token is not None and job_dir.exists()
         queue = WorkQueue(job_dir, lease_timeout=self.lease_timeout)
         queue.write_spec(spec)
         if handoff is not None:
             (job_dir / WorkQueue.PLAN_FILENAME).write_text(
                 json.dumps(handoff, indent=2) + "\n"
             )
+        known = queue.known_item_ids() if resuming else frozenset()
+        if resuming:
+            (job_dir / WorkQueue.DONE_FILENAME).unlink(missing_ok=True)
         for item in make_items(blocks):
-            queue.put(item)
+            if item.item_id not in known:
+                queue.put(item)
         self._ensure_workers(root)
         try:
             yield from self._collect(queue, blocks, window)

@@ -478,14 +478,17 @@ class ExternalGrouping(GroupingStrategy):
             current_key = None
             current_start = 0
             previous: Optional[Session] = None
+            # A batch swarm key is a pure function of (content_id, isp,
+            # bitrate); recomputing it per session would triple the
+            # key-construction cost of the sort, so only a change in
+            # those raw fields starts a new extent.  A time-scoped
+            # policy (EpochPolicy) breaks that assumption -- the key
+            # also depends on the session's start time -- so it opts
+            # out of the shortcut and the key is rebuilt per session.
+            time_scoped = bool(getattr(policy, "time_scoped", False))
             with StoreWriter(shard_path, horizon=horizon) as writer:
                 for session in sorter.finish():
-                    # A swarm key is a pure function of (content_id,
-                    # isp, bitrate); recomputing it per session would
-                    # triple the key-construction cost of the sort, so
-                    # only a change in those raw fields can start a new
-                    # extent and only then is the key rebuilt.
-                    if previous is None or (
+                    if previous is None or time_scoped or (
                         session.content_id != previous.content_id
                         or session.bitrate != previous.bitrate
                         or session.isp != previous.isp
@@ -578,11 +581,16 @@ def _encode_swarm_key(key: object) -> Dict:
     """JSON codec (encode half) for manifest extent keys."""
     if not isinstance(key, SwarmKey):
         raise TypeError(f"cannot persist non-SwarmKey extent key: {key!r}")
-    return {
+    payload = {
         "content_id": key.content_id,
         "isp": key.isp,
         "bitrate_class": key.bitrate_class,
     }
+    # Written only for time-scoped keys, so manifests from batch
+    # policies keep their historical shape (and digest inputs).
+    if key.epoch is not None:
+        payload["epoch"] = key.epoch
+    return payload
 
 
 def _decode_swarm_key(payload: Dict) -> SwarmKey:
@@ -591,6 +599,7 @@ def _decode_swarm_key(payload: Dict) -> SwarmKey:
         content_id=payload["content_id"],
         isp=payload.get("isp"),
         bitrate_class=payload.get("bitrate_class"),
+        epoch=payload.get("epoch"),
     )
 
 

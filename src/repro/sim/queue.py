@@ -46,9 +46,12 @@ Protocol:
   collected without re-running, pending/claimed items proceed normally.
 
 Shared-storage assumptions: rename atomicity within the queue
-directory (true for local filesystems and NFS), and clocks coherent
-enough that lease mtimes age monotonically (use generous
-``lease_timeout`` values across hosts).
+directory (true for local filesystems and NFS).  Lease ages are
+measured **on the storage server's clock** (the mtime of a freshly
+written probe file, see :meth:`WorkQueue.fs_now`), never against the
+coordinator host's ``time.time()`` -- so clock skew between hosts
+sharing the queue can neither requeue a live lease nor keep a dead
+one alive.
 """
 
 from __future__ import annotations
@@ -71,6 +74,8 @@ __all__ = [
     "WorkClaim",
     "WorkItem",
     "WorkQueue",
+    "atomic_write_bytes",
+    "quarantine_abandoned",
 ]
 
 logger = logging.getLogger(__name__)
@@ -80,6 +85,13 @@ _TASK_SUFFIX = ".task"
 
 #: Suffix of result payload files.
 _RESULT_SUFFIX = ".out"
+
+#: Probe file (in ``claimed/``) whose mtime reads the storage clock.
+_CLOCK_PROBE_FILENAME = ".clock-probe"
+
+#: Prefix a quarantined job directory is renamed under (workers only
+#: scan ``job-*``, so the rename atomically hides the job).
+QUARANTINE_PREFIX = "quarantined-"
 
 
 class QueueItemError(RuntimeError):
@@ -162,8 +174,14 @@ class WorkClaim:
             return False
 
 
-def _atomic_write(path: Path, data: bytes) -> None:
-    """Write ``data`` so ``path`` is only ever absent or complete."""
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` so ``path`` is only ever absent or complete.
+
+    The queue's one publication primitive (temp file + ``os.replace``),
+    exported because the service checkpoint
+    (:class:`repro.sim.service.ServiceCheckpoint`) publishes with the
+    same discipline.
+    """
     handle, raw = tempfile.mkstemp(prefix=path.name + ".", dir=path.parent)
     try:
         with os.fdopen(handle, "wb") as stream:
@@ -175,6 +193,10 @@ def _atomic_write(path: Path, data: bytes) -> None:
         except OSError:
             pass
         raise
+
+
+#: Backwards-compatible private alias (pre-service-mode name).
+_atomic_write = atomic_write_bytes
 
 
 class WorkQueue:
@@ -249,12 +271,33 @@ class WorkQueue:
             self.pending_dir / f"{item.item_id}{_TASK_SUFFIX}", pickle.dumps(item)
         )
 
+    def fs_now(self) -> float:
+        """The queue storage's clock: mtime of a freshly touched probe.
+
+        Claimed-file mtimes are written by whatever server hosts the
+        queue directory; comparing them against the coordinator host's
+        ``time.time()`` silently mixes two clocks, and on shared
+        storage with skew that either requeues live leases (skew
+        forward) or never expires dead ones (skew backward).  Touching
+        a probe file and reading its mtime back asks the *same* clock
+        that stamps every lease renewal, so lease ages are
+        skew-immune.  Falls back to the local clock only when the
+        queue directory is gone (the job was retired under us).
+        """
+        probe = self.claimed_dir / _CLOCK_PROBE_FILENAME
+        try:
+            probe.touch()
+            return probe.stat().st_mtime
+        except OSError:
+            return time.time()
+
     def requeue_stale(self) -> List[str]:
         """Return expired claims to ``pending/`` (or ack finished ones).
 
         A claim is stale when its lease clock (the claimed file's
         mtime, renewed by live workers) is older than
-        ``lease_timeout``.  If the claimant died *after* writing its
+        ``lease_timeout`` on the storage server's clock
+        (:meth:`fs_now`).  If the claimant died *after* writing its
         result but before acking, the result is honoured: the item is
         acked on the dead worker's behalf instead of re-run.
 
@@ -262,7 +305,7 @@ class WorkQueue:
         ``pending/`` (i.e. will run again).
         """
         requeued: List[str] = []
-        now = time.time()
+        now = self.fs_now()
         for path in self._list(self.claimed_dir, _TASK_SUFFIX):
             try:
                 age = now - path.stat().st_mtime
@@ -325,6 +368,77 @@ class WorkQueue:
 
     def acked_ids(self) -> Set[str]:
         return {path.stem for path in self._list(self.acked_dir, _TASK_SUFFIX)}
+
+    def known_item_ids(self) -> Set[str]:
+        """Every item id this job has ever seen, in any state.
+
+        The resume primitive behind per-epoch jobs: a restarted
+        coordinator re-publishing an epoch enqueues only the items not
+        already present, so work acked before the crash is collected
+        instead of re-run.
+        """
+        known = (
+            self.pending_ids()
+            | self.claimed_ids()
+            | self.acked_ids()
+            | self.result_ids()
+        )
+        known |= {path.stem for path in self._list(self.failed_dir, _TASK_SUFFIX)}
+        return known
+
+    def is_abandoned(self, ttl: float) -> bool:
+        """Whether this job's coordinator is presumed dead.
+
+        A job is abandoned when it has a published spec but **no
+        pending and no claimed items** -- nothing is running and
+        nothing is waiting to run -- and its newest sign of life (the
+        spec, or any result/acked/failed file) is older than ``ttl``
+        seconds on the storage clock.  That covers both halves of the
+        orphan-job leak: a coordinator that crashed between spec
+        publication and the first ``put`` (empty queue from birth),
+        and one that crashed after workers drained every item but
+        before it collected and retired the directory.
+
+        Jobs with pending or claimed items are never abandoned: a
+        claimed item within its lease is live work, and an expired one
+        is the (live) coordinator's ``requeue_stale`` business.
+        """
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl!r}")
+        spec_path = self.job_dir / self.SPEC_FILENAME
+        try:
+            newest = spec_path.stat().st_mtime
+        except OSError:
+            return False  # spec not (yet) published: not our call
+        if self.pending_ids() or self.claimed_ids():
+            return False
+        for directory, suffix in (
+            (self.results_dir, _RESULT_SUFFIX),
+            (self.acked_dir, _TASK_SUFFIX),
+            (self.failed_dir, _TASK_SUFFIX),
+        ):
+            for path in self._list(directory, suffix):
+                try:
+                    newest = max(newest, path.stat().st_mtime)
+                except OSError:
+                    continue
+        return self.fs_now() - newest > ttl
+
+    def quarantine(self, reason: str) -> bool:
+        """Atomically hide this job from workers (rename the dir).
+
+        Returns False when someone else renamed or removed the job
+        first (benign race with a coordinator retiring it).
+        """
+        target = self.job_dir.with_name(QUARANTINE_PREFIX + self.job_dir.name)
+        if not self._rename(self.job_dir, target):
+            return False
+        try:
+            (target / "QUARANTINED").write_text(reason + "\n")
+        except OSError:  # pragma: no cover - informational only
+            pass
+        logger.warning("quarantined job %s: %s", self.job_dir.name, reason)
+        return True
 
     # ------------------------------------------------------------------
     # Worker side
@@ -426,6 +540,35 @@ class WorkQueue:
             return True
         except OSError:
             return False
+
+
+def quarantine_abandoned(queue_root, ttl: float) -> List[str]:
+    """Quarantine every abandoned ``job-*`` directory under a queue root.
+
+    Workers call this once per scan (when launched with a job TTL) so a
+    coordinator that crashed between job publication and collection
+    cannot leak its directory forever.  Returns the names of the jobs
+    actually quarantined.
+    """
+    root = Path(queue_root)
+    try:
+        names = sorted(
+            name for name in os.listdir(root) if name.startswith("job-")
+        )
+    except OSError:
+        return []
+    quarantined: List[str] = []
+    for name in names:
+        queue = WorkQueue(root / name, create=False)
+        try:
+            abandoned = queue.is_abandoned(ttl)
+        except OSError:  # pragma: no cover - dir vanished mid-check
+            continue
+        if abandoned and queue.quarantine(
+            f"abandoned: no pending/claimed items and no activity for {ttl}s"
+        ):
+            quarantined.append(name)
+    return quarantined
 
 
 def item_id_for(position: int) -> str:

@@ -36,6 +36,7 @@ share one fold implementation and cannot drift.
 
 from __future__ import annotations
 
+import pickle
 from array import array
 from dataclasses import dataclass
 from pathlib import Path
@@ -401,6 +402,41 @@ class StreamingReducer:
         else:
             merge_traffic_map(self._per_user, output.per_user)
         self.outputs_folded += 1
+
+    def advance_horizon(self, horizon: float) -> None:
+        """Extend the horizon stamped on the final result (never shrink).
+
+        The always-on service folds epoch after epoch into one
+        long-lived reducer; under a rolling per-epoch horizon the
+        reducer's stamp must track the furthest epoch folded so far.
+
+        Raises:
+            RuntimeError: after :meth:`result` has been called.
+        """
+        if self._finalized:
+            raise RuntimeError("cannot advance horizon after result() was taken")
+        self._horizon = max(self._horizon, horizon)
+
+    def snapshot_result(self) -> SimulationResult:
+        """The result so far, without finalizing this reducer.
+
+        Built from a pickled deep copy, so the returned result shares
+        no state with the live fold and more blocks can keep arriving.
+        This is how the service reads its cumulative result between
+        epochs -- and why the reducer itself is picklable enough to
+        live inside a :class:`~repro.sim.service.ServiceCheckpoint`.
+
+        Raises:
+            ValueError: if out-of-order blocks are still buffered.
+            RuntimeError: with a :class:`FootprintAccumulator` attached
+                (its spill handle cannot be copied; snapshotting is a
+                plain-dict-fold feature).
+        """
+        if self._users is not None:
+            raise RuntimeError(
+                "snapshot_result() requires the plain dict fold (users=None)"
+            )
+        return pickle.loads(pickle.dumps(self)).result()
 
     def result(self) -> SimulationResult:
         """Finish the reduction and build the final result.

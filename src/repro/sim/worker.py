@@ -54,6 +54,7 @@ from repro.sim.queue import (
     WorkClaim,
     WorkQueue,
     WorkItem,
+    quarantine_abandoned,
 )
 
 __all__ = ["run_worker", "main", "default_worker_id"]
@@ -118,11 +119,18 @@ def run_worker(
     max_tasks: Optional[int] = None,
     idle_exit: Optional[float] = None,
     worker_id: Optional[str] = None,
+    job_ttl: Optional[float] = None,
 ) -> int:
     """Serve a queue directory until told (or timed out) to stop.
 
     Returns the number of work items processed.  Importable directly
     (tests drive it in-process) and the body of the module CLI.
+
+    ``job_ttl`` (seconds, storage clock) enables orphan-job cleanup: a
+    job whose coordinator published a spec but left no pending or
+    claimed items for that long is quarantined
+    (:func:`repro.sim.queue.quarantine_abandoned`) instead of leaking
+    its directory forever.  ``None`` (the default) never quarantines.
     """
     root = Path(queue_dir)
     worker_id = worker_id or default_worker_id()
@@ -136,6 +144,9 @@ def run_worker(
             logger.info("worker %s: STOP file present, exiting", worker_id)
             break
         claimed_something = False
+        if job_ttl is not None:
+            for name in quarantine_abandoned(root, job_ttl):
+                logger.info("worker %s quarantined orphan job %s", worker_id, name)
         active_jobs = _job_dirs(root)
         # Retired jobs usually vanish (the coordinator deletes the
         # directory right after DONE), so prune by absence too -- a
@@ -240,6 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="stable worker identity for lease files (default: host:pid)",
     )
     parser.add_argument(
+        "--job-ttl", type=float, default=None,
+        help="quarantine jobs with no pending/claimed items and no "
+        "activity for this many seconds -- orphans left by crashed "
+        "coordinators (default: never)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log each processed item"
     )
     return parser
@@ -259,6 +276,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_tasks=args.max_tasks,
         idle_exit=args.idle_exit,
         worker_id=args.worker_id,
+        job_ttl=args.job_ttl,
     )
     logger.info("worker processed %d item(s)", processed)
     return 0

@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import csv
 import json
+import time
 from pathlib import Path
-from typing import Dict, Iterator, Union
+from typing import Callable, Dict, Iterator, Optional, Union
 
 from repro.topology.nodes import intern_attachment
 from repro.trace.events import Session, Trace
@@ -36,8 +37,10 @@ __all__ = [
     "session_to_record",
     "session_from_record",
     "save_jsonl",
+    "append_jsonl_end",
     "load_jsonl",
     "iter_jsonl",
+    "follow_jsonl",
     "read_jsonl_horizon",
     "save_csv",
     "load_csv",
@@ -117,22 +120,49 @@ def save_jsonl(trace: Trace, path: Union[str, Path]) -> None:
             handle.write(json.dumps(session_to_record(session)) + "\n")
 
 
-def iter_jsonl(path: Union[str, Path]) -> Iterator[Session]:
+def append_jsonl_end(path: Union[str, Path]) -> None:
+    """Append the end-of-stream marker record to a live JSONL feed.
+
+    :func:`follow_jsonl` stops cleanly when it reads the marker; plain
+    :func:`iter_jsonl` skips it (like any other non-session ``kind``
+    record), so a terminated feed still loads as a normal trace.
+    """
+    with Path(path).open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps({"kind": "trace-end"}) + "\n")
+        handle.flush()
+
+
+def iter_jsonl(
+    path: Union[str, Path], *, allow_partial_tail: bool = False
+) -> Iterator[Session]:
     """Yield sessions from a JSONL trace lazily, one line at a time.
 
-    Header records are skipped (use :func:`load_jsonl` when the stored
-    horizon matters, or read the first line yourself); only the current
-    line is ever resident, so arbitrarily large trace files stream
-    straight into ``Simulator.run_stream``.
+    Header (and other non-session ``kind``) records are skipped (use
+    :func:`load_jsonl` when the stored horizon matters, or read the
+    first line yourself); only the current line is ever resident, so
+    arbitrarily large trace files stream straight into
+    ``Simulator.run_stream``.
+
+    Args:
+        path: the JSONL trace file.
+        allow_partial_tail: tolerate a truncated final record -- the
+            steady state of a feed that is still being appended when
+            the reader arrives mid-write.  A final line without its
+            terminating newline is silently ignored instead of raising
+            (re-read, or :func:`follow_jsonl`, picks it up once the
+            writer finishes it).  A *complete* line that fails to
+            parse is real corruption and still raises.
     """
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle):
-            line = line.strip()
+        for line_number, raw in enumerate(handle):
+            if allow_partial_tail and not raw.endswith("\n"):
+                break  # mid-write tail: the writer owes us a newline
+            line = raw.strip()
             if not line:
                 continue
             record = json.loads(line)
-            if record.get("kind") == "trace-header":
+            if record.get("kind") is not None:
                 continue
             try:
                 yield session_from_record(record)
@@ -140,6 +170,76 @@ def iter_jsonl(path: Union[str, Path]) -> Iterator[Session]:
                 raise ValueError(
                     f"{path}:{line_number + 1}: bad session record: {exc}"
                 ) from exc
+
+
+def follow_jsonl(
+    path: Union[str, Path],
+    *,
+    poll_interval: float = 0.2,
+    idle_timeout: Optional[float] = None,
+    stop: Optional[Callable[[], bool]] = None,
+    start_record: int = 0,
+) -> Iterator[Session]:
+    """Tail a live-appended JSONL feed, yielding sessions as lines land.
+
+    The streaming loader for service mode: a partial final record is
+    never parsed -- the reader seeks back to the start of the
+    incomplete line and re-polls until the writer finishes it, so a
+    feed read mid-write can neither crash the reader nor drop the
+    record.  Stops cleanly at a ``{"kind": "trace-end"}`` marker
+    (:func:`append_jsonl_end`), when ``stop()`` returns True, or after
+    ``idle_timeout`` seconds without file growth; with all three unset
+    it follows forever.
+
+    Args:
+        path: the feed file (must exist; may be empty).
+        poll_interval: seconds between polls while no complete line is
+            available.
+        idle_timeout: give up after this long without a new record
+            (``None``: never).
+        stop: callable checked between polls; True ends the follow.
+        start_record: session records to skip before yielding -- the
+            service's stream cursor on checkpointed resume.
+    """
+    path = Path(path)
+    seen = 0
+    idle_since = time.monotonic()
+    with path.open("r", encoding="utf-8") as handle:
+        line_number = 0
+        while True:
+            position = handle.tell()
+            raw = handle.readline()
+            if raw.endswith("\n"):
+                line_number += 1
+                idle_since = time.monotonic()
+                line = raw.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if record.get("kind") == "trace-end":
+                    return
+                if record.get("kind") is not None:
+                    continue
+                seen += 1
+                if seen <= start_record:
+                    continue
+                try:
+                    yield session_from_record(record)
+                except (ValueError, TypeError) as exc:
+                    raise ValueError(
+                        f"{path}:{line_number}: bad session record: {exc}"
+                    ) from exc
+                continue
+            # No complete line: rewind over the partial tail and wait.
+            handle.seek(position)
+            if stop is not None and stop():
+                return
+            if (
+                idle_timeout is not None
+                and time.monotonic() - idle_since >= idle_timeout
+            ):
+                return
+            time.sleep(poll_interval)
 
 
 def read_jsonl_horizon(path: Union[str, Path]) -> float:

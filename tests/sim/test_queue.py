@@ -272,6 +272,152 @@ class TestCoordinatorRestart:
         assert restarted.pending_ids() == {item_id_for(0), item_id_for(1)}
 
 
+class TestFilesystemClockLeases:
+    """Lease ages must come from the storage clock, not the host's."""
+
+    def test_skewed_coordinator_clock_does_not_requeue_fresh_leases(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: a coordinator whose host clock runs an hour ahead
+        of the storage server must not declare freshly renewed leases
+        stale (claimed-file mtimes are stamped by the *storage* clock)."""
+        queue = make_queue(tmp_path, lease_timeout=5.0)
+        put_items(queue, 1)
+        assert queue.claim("healthy-worker") is not None
+        real_time = time.time
+        monkeypatch.setattr(
+            "repro.sim.queue.time.time", lambda: real_time() + 3600.0
+        )
+        assert queue.requeue_stale() == []  # the lease is seconds old
+
+    def test_skewed_coordinator_clock_still_expires_dead_leases(
+        self, tmp_path, monkeypatch
+    ):
+        """The mirror image: a coordinator running an hour *behind* must
+        still expire a genuinely dead worker's lease."""
+        queue = make_queue(tmp_path, lease_timeout=0.2)
+        put_items(queue, 1)
+        claim = queue.claim("doomed-worker")
+        past = time.time() - 10.0  # the worker died ages ago (fs clock)
+        os.utime(claim.path, (past, past))
+        real_time = time.time
+        monkeypatch.setattr(
+            "repro.sim.queue.time.time", lambda: real_time() - 3600.0
+        )
+        assert queue.requeue_stale() == [item_id_for(0)]
+
+    def test_fs_now_reads_the_storage_clock(self, tmp_path):
+        queue = make_queue(tmp_path)
+        now = queue.fs_now()
+        assert abs(now - time.time()) < 5.0  # tmp_path is local storage
+        assert queue.fs_now() >= now - 1.0  # touch keeps it moving
+
+    def test_fs_now_survives_a_retired_job(self, tmp_path):
+        """The queue dir vanishing mid-call falls back to the local
+        clock instead of raising."""
+        import shutil
+
+        queue = make_queue(tmp_path)
+        shutil.rmtree(queue.job_dir)
+        assert abs(queue.fs_now() - time.time()) < 5.0
+
+
+class TestAbandonedJobs:
+    """Orphan job-* dirs from crashed coordinators get quarantined."""
+
+    @staticmethod
+    def _backdate(queue, seconds=60.0):
+        past = time.time() - seconds
+        for path in queue.job_dir.rglob("*"):
+            if path.is_file():
+                os.utime(path, (past, past))
+
+    def test_empty_from_birth_job_is_abandoned(self, tmp_path):
+        """A coordinator that crashed between spec publication and the
+        first put leaves a job with a spec and nothing else."""
+        queue = make_queue(tmp_path)
+        queue.write_spec(JobSpec(kind="single", config=SimulationConfig()))
+        assert not queue.is_abandoned(1.0)  # too young to call
+        self._backdate(queue)
+        assert queue.is_abandoned(1.0)
+
+    def test_drained_but_uncollected_job_is_abandoned(self, tmp_path):
+        """Workers finished everything; the coordinator never collected."""
+        queue = make_queue(tmp_path)
+        queue.write_spec(JobSpec(kind="single", config=SimulationConfig()))
+        put_items(queue, 2)
+        for _ in range(2):
+            claim = queue.claim("w")
+            queue.ack(claim, ["result"])
+        self._backdate(queue)
+        assert queue.is_abandoned(1.0)
+
+    def test_pending_items_keep_a_job_alive(self, tmp_path):
+        queue = make_queue(tmp_path)
+        queue.write_spec(JobSpec(kind="single", config=SimulationConfig()))
+        put_items(queue, 1)
+        self._backdate(queue, seconds=3600.0)
+        assert not queue.is_abandoned(1.0)
+
+    def test_claimed_items_keep_a_job_alive(self, tmp_path):
+        """Even an expired claim is the live coordinator's requeue
+        business, never quarantine's."""
+        queue = make_queue(tmp_path)
+        queue.write_spec(JobSpec(kind="single", config=SimulationConfig()))
+        put_items(queue, 1)
+        assert queue.claim("w") is not None
+        self._backdate(queue, seconds=3600.0)
+        assert not queue.is_abandoned(1.0)
+
+    def test_specless_job_is_not_our_call(self, tmp_path):
+        queue = make_queue(tmp_path)
+        assert not queue.is_abandoned(1.0)
+
+    def test_ttl_validation(self, tmp_path):
+        queue = make_queue(tmp_path)
+        with pytest.raises(ValueError):
+            queue.is_abandoned(0.0)
+
+    def test_quarantine_hides_the_job_from_workers(self, tmp_path):
+        from repro.sim.queue import quarantine_abandoned
+
+        queue = make_queue(tmp_path)
+        queue.write_spec(JobSpec(kind="single", config=SimulationConfig()))
+        self._backdate(queue)
+        assert quarantine_abandoned(tmp_path, ttl=1.0) == ["job-test"]
+        target = tmp_path / "quarantined-job-test"
+        assert target.is_dir()
+        assert "abandoned" in (target / "QUARANTINED").read_text()
+        # Workers scan job-* names only: the quarantined dir is invisible.
+        processed = run_worker(
+            tmp_path, poll_interval=0.01, idle_exit=0.1, worker_id="w"
+        )
+        assert processed == 0
+        # And a second sweep finds nothing left to quarantine.
+        assert quarantine_abandoned(tmp_path, ttl=1.0) == []
+
+    def test_live_jobs_survive_a_quarantine_sweep(self, tmp_path):
+        from repro.sim.queue import quarantine_abandoned
+
+        queue = make_queue(tmp_path)
+        queue.write_spec(JobSpec(kind="single", config=SimulationConfig()))
+        put_items(queue, 1)
+        self._backdate(queue, seconds=3600.0)
+        assert quarantine_abandoned(tmp_path, ttl=1.0) == []
+        assert queue.job_dir.is_dir()
+
+    def test_worker_job_ttl_quarantines_during_scan(self, tmp_path):
+        orphan = make_queue(tmp_path)
+        orphan.write_spec(JobSpec(kind="single", config=SimulationConfig()))
+        self._backdate(orphan)
+        run_worker(
+            tmp_path, poll_interval=0.01, idle_exit=0.1, worker_id="w",
+            job_ttl=1.0,
+        )
+        assert not orphan.job_dir.exists()
+        assert (tmp_path / "quarantined-job-test").is_dir()
+
+
 class TestSpecAndHelpers:
     def test_spec_roundtrip(self, tmp_path):
         queue = make_queue(tmp_path)

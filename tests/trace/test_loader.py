@@ -1,11 +1,15 @@
 """Tests for trace persistence (JSONL / CSV round-trips)."""
 
 import json
+import threading
+import time
 
 import pytest
 
 from repro.trace.generator import GeneratorConfig, TraceGenerator
 from repro.trace.loader import (
+    append_jsonl_end,
+    follow_jsonl,
     iter_csv,
     iter_jsonl,
     iter_store,
@@ -142,6 +146,115 @@ class TestStreamingLoaders:
         for session in iter_jsonl(path):
             a = session.attachment
             assert by_triple.setdefault((a.isp, a.pop, a.exchange), a) is a
+
+
+class TestPartialTail:
+    """A feed read mid-write has a truncated final record."""
+
+    def _torn(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        raw = path.read_text()
+        # Chop the last record mid-line: the writer hasn't finished it.
+        path.write_text(raw[: raw.rfind("\n", 0, len(raw) - 1) + 1 + 20])
+        return path
+
+    def test_strict_reader_crashes(self, trace, tmp_path):
+        path = self._torn(trace, tmp_path)
+        with pytest.raises(json.JSONDecodeError):
+            list(iter_jsonl(path))
+
+    def test_tolerant_reader_skips_the_tail(self, trace, tmp_path):
+        path = self._torn(trace, tmp_path)
+        sessions = tuple(iter_jsonl(path, allow_partial_tail=True))
+        assert sessions == trace.sessions[:-1]
+
+    def test_tolerant_reader_picks_the_record_up_once_complete(
+        self, trace, tmp_path
+    ):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        raw = path.read_text()
+        cut = raw.rfind("\n", 0, len(raw) - 1) + 1 + 20
+        path.write_text(raw[:cut])
+        assert len(tuple(iter_jsonl(path, allow_partial_tail=True))) == (
+            len(trace) - 1
+        )
+        path.write_text(raw)  # the writer finished the line
+        assert tuple(iter_jsonl(path, allow_partial_tail=True)) == trace.sessions
+
+    def test_complete_but_corrupt_line_still_raises(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_jsonl(trace, path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        del record["bitrate"]
+        lines[1] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=":2:"):
+            list(iter_jsonl(path, allow_partial_tail=True))
+
+
+class TestFollowJsonl:
+    """The polling tail reader behind service mode."""
+
+    def test_follows_a_terminated_feed(self, trace, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        save_jsonl(trace, path)
+        append_jsonl_end(path)
+        sessions = tuple(follow_jsonl(path, poll_interval=0.01))
+        assert sessions == trace.sessions
+
+    def test_end_marker_is_invisible_to_plain_readers(self, trace, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        save_jsonl(trace, path)
+        append_jsonl_end(path)
+        assert tuple(iter_jsonl(path)) == trace.sessions
+
+    def test_start_record_skips_the_cursor_prefix(self, trace, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        save_jsonl(trace, path)
+        append_jsonl_end(path)
+        tail = tuple(follow_jsonl(path, poll_interval=0.01, start_record=5))
+        assert tail == trace.sessions[5:]
+
+    def test_idle_timeout_ends_a_quiet_feed(self, trace, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        save_jsonl(trace, path)  # no end marker: the feed just goes quiet
+        sessions = tuple(
+            follow_jsonl(path, poll_interval=0.01, idle_timeout=0.05)
+        )
+        assert sessions == trace.sessions
+
+    def test_stop_callback_ends_the_follow(self, trace, tmp_path):
+        path = tmp_path / "feed.jsonl"
+        save_jsonl(trace, path)
+        sessions = tuple(
+            follow_jsonl(path, poll_interval=0.01, stop=lambda: True)
+        )
+        assert sessions == trace.sessions
+
+    def test_waits_out_a_mid_write_record(self, trace, tmp_path):
+        """A half-written line is re-polled, never parsed or dropped."""
+        path = tmp_path / "feed.jsonl"
+        save_jsonl(trace, path)
+        raw = path.read_text()
+        cut = raw.rfind("\n", 0, len(raw) - 1) + 1 + 20
+        path.write_text(raw[:cut])  # torn tail: writer mid-record
+
+        def finish_the_write():
+            time.sleep(0.05)
+            with path.open("a", encoding="utf-8") as handle:
+                handle.write(raw[cut:])
+            append_jsonl_end(path)
+
+        writer = threading.Thread(target=finish_the_write)
+        writer.start()
+        try:
+            sessions = tuple(follow_jsonl(path, poll_interval=0.01))
+        finally:
+            writer.join()
+        assert sessions == trace.sessions
 
 
 class TestBinaryStore:
