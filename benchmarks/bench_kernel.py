@@ -11,11 +11,28 @@ policy's swarm tasks) through three single-core kernel variants:
 * ``columnar-python`` -- the columnar kernel with the compiled backend
   masked off, i.e. the pure-python fallback every install gets.
 
+On top of the resident-task comparison, the same workload is written
+to a sorted shard (``ExternalGrouping``) and replayed end-to-end --
+decode + schedule build + sweep -- through two ingest paths:
+
+* ``pr7``         -- decode each extent to ``Session`` objects, then
+  run the columnar kernel on the resident task (the previous release's
+  external-grouping hot path),
+* ``zero-object`` -- :func:`~repro.sim.kernel.run_ref` on the extent
+  ref: the fused C decoder builds packed columns and the integer event
+  schedule straight from the raw 56-byte records, with no ``Session``
+  tuples ever materialised.
+
 Every columnar output is checked bit-for-bit against the object kernel
 before any timing is reported -- a benchmark of a wrong kernel is
-meaningless.  The headline number is ``speedup`` (object seconds /
+meaningless.  The headline numbers are ``speedup`` (object seconds /
 columnar seconds, best-of-``--repetitions``), gated against the 5x
-target this optimisation shipped with (``meets_target`` in the JSON).
+target the columnar kernel shipped with, and ``ingest_speedup`` (pr7
+seconds / zero-object seconds), gated at 1.5x (``meets_target`` /
+``meets_ingest_target`` in the JSON).  With the compiled backend
+present the zero-object pass must also actually hit the fused decoder
+(``fused_tasks > 0``) -- a silent fallback to object decoding fails
+the run.
 
 Results append-or-overwrite BENCH_kernel.json at the repo root
 (override with ``--out``) so the perf trajectory accumulates across
@@ -37,6 +54,7 @@ import argparse
 import gc
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -48,7 +66,14 @@ from bench_london import london_config  # noqa: E402
 from repro.experiments.config import CITY_DEVICE_MIX  # noqa: E402
 from repro.sim import kernel_columns  # noqa: E402
 from repro.sim.engine import SimulationConfig  # noqa: E402
-from repro.sim.kernel import SwarmOutput, build_tasks, run_swarm_object  # noqa: E402
+from repro.sim.grouping import ExternalGrouping  # noqa: E402
+from repro.sim.kernel import (  # noqa: E402
+    SwarmOutput,
+    build_tasks,
+    resolve_task,
+    run_ref,
+    run_swarm_object,
+)
 from repro.sim.kernel_columns import run_swarm_columnar  # noqa: E402
 from repro.sim.profiling import PROFILE  # noqa: E402
 from repro.trace.generator import TraceGenerator  # noqa: E402
@@ -58,6 +83,10 @@ DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 #: The speedup this kernel shipped with; regressions below it should
 #: fail loudly in CI rather than drift silently.
 SPEEDUP_TARGET = 5.0
+
+#: End-to-end ingest (decode + schedule + sweep) speedup the
+#: zero-object path shipped with, over the decode-to-objects path.
+INGEST_SPEEDUP_TARGET = 1.5
 
 
 def _outputs_identical(a: SwarmOutput, b: SwarmOutput) -> bool:
@@ -171,10 +200,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         kernel_columns._ckernel = saved
 
+    # Zero-object ingest comparison: the same workload replayed from
+    # the sorted shard, end to end (decode + schedule build + sweep).
+    shard_tmp = tempfile.TemporaryDirectory(prefix="bench-kernel-shard-")
+    plan = ExternalGrouping(shard_dir=shard_tmp.name).plan(
+        sessions, horizon, config.policy
+    )
+    refs = plan.refs()
+
+    def run_pr7(ref, cfg):
+        """The previous external hot path: extent -> objects -> columnar."""
+        return run_swarm_columnar(resolve_task(ref), cfg)
+
+    pr7_seconds = _time_kernel(run_pr7, refs, config, args.repetitions)
+    zero_object_seconds = _time_kernel(run_ref, refs, config, args.repetitions)
+
     # Correctness gate: every columnar output must be bit-for-bit the
-    # object kernel's, on both the selected and the fallback backend.
-    # (Timed first, verified second, so the timing loops run without a
-    # thousand live reference outputs dragging on the allocator.)
+    # object kernel's -- resident tasks and extent refs alike, on both
+    # the selected and the fallback backend.  (Timed first, verified
+    # second, so the timing loops run without a thousand live reference
+    # outputs dragging on the allocator.)
     mismatches = 0
     reference: List[SwarmOutput] = [run_swarm_object(task, config) for task in tasks]
     for backend_ckernel in {None, kernel_columns._ckernel}:
@@ -184,6 +229,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             for task, expected in zip(tasks, reference):
                 if not _outputs_identical(expected, run_swarm_columnar(task, config)):
                     mismatches += 1
+            for ref, expected in zip(refs, reference):
+                if not _outputs_identical(expected, run_ref(ref, config)):
+                    mismatches += 1
         finally:
             kernel_columns._ckernel = saved
     del reference
@@ -192,31 +240,53 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     speedup = object_seconds / columnar_seconds if columnar_seconds > 0 else 0.0
     python_speedup = object_seconds / python_seconds if python_seconds > 0 else 0.0
-    print(f"object kernel     {object_seconds * 1e3:10.1f} ms")
-    print(f"columnar kernel   {columnar_seconds * 1e3:10.1f} ms  ({speedup:.2f}x)")
-    print(f"columnar (python) {python_seconds * 1e3:10.1f} ms  ({python_speedup:.2f}x)")
+    ingest_speedup = (
+        pr7_seconds / zero_object_seconds if zero_object_seconds > 0 else 0.0
+    )
+    print(f"object kernel      {object_seconds * 1e3:10.1f} ms")
+    print(f"columnar kernel    {columnar_seconds * 1e3:10.1f} ms  ({speedup:.2f}x)")
+    print(f"columnar (python)  {python_seconds * 1e3:10.1f} ms  ({python_speedup:.2f}x)")
+    print(f"ingest via objects {pr7_seconds * 1e3:10.1f} ms")
+    print(
+        f"ingest zero-object {zero_object_seconds * 1e3:10.1f} ms  "
+        f"({ingest_speedup:.2f}x)"
+    )
 
-    profile_record = None
+    # One profiled zero-object pass: surfaces the decode phase in the
+    # committed record and proves the fused decoder actually ran (a
+    # compiled build that quietly fell back to object decoding is a
+    # regression, not a slow day).
+    PROFILE.enabled = True
+    PROFILE.reset()
+    try:
+        for ref in refs:
+            run_ref(ref, config)
+    finally:
+        PROFILE.enabled = False
+    fused_active = PROFILE.fused_tasks > 0
     if args.profile:
-        PROFILE.enabled = True
-        PROFILE.reset()
-        try:
-            for task in tasks:
-                run_swarm_columnar(task, config)
-        finally:
-            PROFILE.enabled = False
         print(PROFILE.report())
-        profile_record = {
-            "schedule_seconds": PROFILE.schedule_seconds,
-            "sweep_seconds": PROFILE.sweep_seconds,
-            "match_seconds": PROFILE.match_seconds,
-            "account_seconds": PROFILE.account_seconds,
-            "reduce_seconds": PROFILE.reduce_seconds,
-            "tasks": PROFILE.tasks,
-            "compiled_tasks": PROFILE.compiled_tasks,
-        }
+    profile_record = {
+        "decode_seconds": PROFILE.decode_seconds,
+        "schedule_seconds": PROFILE.schedule_seconds,
+        "sweep_seconds": PROFILE.sweep_seconds,
+        "match_seconds": PROFILE.match_seconds,
+        "account_seconds": PROFILE.account_seconds,
+        "reduce_seconds": PROFILE.reduce_seconds,
+        "tasks": PROFILE.tasks,
+        "compiled_tasks": PROFILE.compiled_tasks,
+        "fused_tasks": PROFILE.fused_tasks,
+    }
+    plan.cleanup()
+    shard_tmp.cleanup()
 
     meets_target = compiled and identical and speedup >= SPEEDUP_TARGET
+    meets_ingest_target = (
+        compiled
+        and identical
+        and fused_active
+        and ingest_speedup >= INGEST_SPEEDUP_TARGET
+    )
     record = {
         "benchmark": "bench_kernel",
         "density": args.density,
@@ -234,18 +304,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "python_speedup": python_speedup,
         "speedup_target": SPEEDUP_TARGET,
         "meets_target": meets_target,
+        "pr7_ingest_seconds": pr7_seconds,
+        "zero_object_ingest_seconds": zero_object_seconds,
+        "ingest_speedup": ingest_speedup,
+        "ingest_speedup_target": INGEST_SPEEDUP_TARGET,
+        "meets_ingest_target": meets_ingest_target,
+        "fused_decoder_active": fused_active,
+        "profile": profile_record,
     }
-    if profile_record is not None:
-        record["profile"] = profile_record
     args.out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {args.out}")
 
     if not identical:
         print("FAIL: columnar kernel is not bit-for-bit identical", file=sys.stderr)
         return 1
+    if compiled and not fused_active:
+        print(
+            "FAIL: compiled backend present but the fused decoder never ran "
+            "(zero-object ingest regressed to object decoding)",
+            file=sys.stderr,
+        )
+        return 1
     if compiled and speedup < SPEEDUP_TARGET:
         print(
             f"FAIL: speedup {speedup:.2f}x below the {SPEEDUP_TARGET:.0f}x target",
+            file=sys.stderr,
+        )
+        return 1
+    if compiled and ingest_speedup < INGEST_SPEEDUP_TARGET:
+        print(
+            f"FAIL: ingest speedup {ingest_speedup:.2f}x below the "
+            f"{INGEST_SPEEDUP_TARGET:.1f}x target",
             file=sys.stderr,
         )
         return 1

@@ -40,9 +40,11 @@ without the benchmark plugin stack.
 from __future__ import annotations
 
 import argparse
+import json
 import resource
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.energy import builtin_models
@@ -50,8 +52,11 @@ from repro.experiments.config import CITY_DEVICE_MIX
 from repro.sim.backends import BACKEND_NAMES
 from repro.sim.engine import SimulationConfig, Simulator
 from repro.sim.grouping import ExternalGrouping
+from repro.sim.profiling import PROFILE
 from repro.trace.generator import GeneratorConfig, TraceGenerator
 from repro.trace.stats import USERS_PER_IP
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_london.json"
 
 #: The paper's Table I, Sep 2013 column -- the density-1.0 targets.
 PAPER_USERS = 3_300_000
@@ -124,6 +129,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--seed", type=int, default=20130901, help="master seed",
     )
     parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"result JSON path (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="CI smoke preset: tiny density and sort buffer (explicit "
         "flags still win)",
@@ -174,12 +183,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     rss_before = peak_rss_mb()
     start = time.perf_counter()
+    # Phase profiling is per-process: with parallel backends the decode
+    # runs in the workers, so the coordinator's counters only capture
+    # the serial/inline share of the ingest.
+    PROFILE.enabled = True
+    PROFILE.reset()
     try:
         result = simulator.run_stream(generator.iter_sessions(), config.horizon)
     finally:
+        PROFILE.enabled = False
         # The distributed backend owns spawned workers + maybe a temp queue.
         simulator.close()
     seconds = time.perf_counter() - start
+    decode_seconds = PROFILE.decode_seconds
+    fused_tasks = PROFILE.fused_tasks
 
     grouping = simulator.last_grouping
     reduction = simulator.last_reduction
@@ -219,11 +236,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     if grouping.shard_path is not None:
         print(f"   sorted shard kept at: {grouping.shard_path}")
+    ingest_rate = num_sessions / decode_seconds if decode_seconds > 0 else 0.0
+    if decode_seconds > 0:
+        print(
+            f"   ingest decode: {decode_seconds:,.2f}s "
+            f"({ingest_rate:,.0f} sessions/s, {fused_tasks:,} swarms "
+            f"fused-decoded)"
+        )
     print(f"   wall clock: {seconds:,.1f}s")
     print(
         f"   coordinator peak RSS: {peak_rss_mb():,.1f} MB "
         f"(was {rss_before:,.1f} MB before the run)"
     )
+
+    record = {
+        "benchmark": "bench_london",
+        "density": density,
+        "seed": args.seed,
+        "days": config.days,
+        "backend": simulator.backend.name,
+        "workers": args.workers,
+        "run_sessions": run_sessions,
+        "sessions": num_sessions,
+        "users": num_users,
+        "swarms": grouping.tasks,
+        "wall_seconds": seconds,
+        "decode_seconds": decode_seconds,
+        "ingest_sessions_per_second": ingest_rate,
+        "fused_tasks": fused_tasks,
+        "offload_fraction": result.offload_fraction(),
+        "peak_rss_mb": peak_rss_mb(),
+        "runs_spilled": grouping.runs_spilled,
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"   wrote {args.out}")
 
     # Sanity gates: the run must actually have exercised the pipeline.
     failures = []

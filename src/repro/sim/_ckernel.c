@@ -520,6 +520,198 @@ done:
     return NULL;
 }
 
+/* Fused zero-object ingest: decode raw 56-byte store records and build
+ * the packed schedule columns in one pass over the extent buffer --
+ * Session objects (and even per-field tuples) never exist.  The record
+ * layout mirrors trace/store.py's _RECORD ("<qqIdddHIIH"): session_id@0
+ * (i64), user_id@8 (i64), content_ref@16 (u32), start@20 (f64),
+ * duration@28 (f64), bitrate@36 (f64), isp_ref@44 (u16), pop@46 (u32),
+ * exchange@50 (u32), device_ref@54 (u16).  Packed little-endian, so the
+ * doubles are unaligned (memcpy each field) and a big-endian host
+ * declines to the python path.
+ *
+ * Scope codes are first-encounter dense codes over integer keys --
+ * (isp_ref << 32 | exchange), (isp_ref << 32 | pop), isp_ref -- which
+ * equal the string-keyed codes the python builders assign, because the
+ * store's interned string table is a bijection within one file. */
+#define DB_RECORD_SIZE 56
+
+static PyObject *decode_build(PyObject *self, PyObject *args) {
+    Py_buffer buf;
+    Py_ssize_t n;
+    double dtau;
+    if (!PyArg_ParseTuple(args, "y*nd", &buf, &n, &dtau)) return NULL;
+    const uint16_t endian_probe = 1;
+    if (dtau <= 0.0 || n <= 0 || n > INT32_MAX ||
+        buf.len != n * DB_RECORD_SIZE ||
+        *(const uint8_t *)&endian_probe != 1) {
+        PyBuffer_Release(&buf);
+        Py_RETURN_NONE;
+    }
+
+    double *demand = malloc(n * sizeof(double));
+    int64_t *uid = malloc(n * sizeof(int64_t));
+    int64_t *mid = malloc(n * sizeof(int64_t));
+    int32_t *slot = malloc(n * sizeof(int32_t));
+    int32_t *exc = malloc(n * sizeof(int32_t));
+    int32_t *popc = malloc(n * sizeof(int32_t));
+    int32_t *ispc = malloc(n * sizeof(int32_t));
+    int32_t *bcode = malloc(n * sizeof(int32_t));
+    int64_t *ev = malloc(2 * n * sizeof(int64_t));
+    double *distinct = malloc(n * sizeof(double));
+    U64Map slot_map = {0}, ex_map = {0}, pop_map = {0}, isp_map = {0};
+    U64Map rate_map = {0};
+    PyObject *slot_users = NULL, *distinct_list = NULL, *result = NULL;
+    int decline = 0;
+
+    if (!demand || !uid || !mid || !slot || !exc || !popc || !ispc || !bcode ||
+        !ev || !distinct || u64map_init(&slot_map, n) < 0 ||
+        u64map_init(&ex_map, n) < 0 || u64map_init(&pop_map, n) < 0 ||
+        u64map_init(&isp_map, n) < 0 || u64map_init(&rate_map, n) < 0) {
+        PyErr_NoMemory();
+        goto done;
+    }
+    slot_users = PyList_New(0);
+    if (!slot_users) goto done;
+
+    int32_t num_slots = 0, num_ex = 0, num_pop = 0, num_isp = 0;
+    int32_t num_rates = 0;
+    int64_t max_window = 0;
+    double dur_total = 0.0;
+    const uint8_t *base = (const uint8_t *)buf.buf;
+
+    for (Py_ssize_t i = 0; i < n; i++) {
+        const uint8_t *rec = base + i * DB_RECORD_SIZE;
+        int64_t sval, uval;
+        double start, duration, rate;
+        uint16_t isp_ref;
+        uint32_t popv, exchv;
+        memcpy(&sval, rec, 8);
+        memcpy(&uval, rec + 8, 8);
+        memcpy(&start, rec + 20, 8);
+        memcpy(&duration, rec + 28, 8);
+        memcpy(&rate, rec + 36, 8);
+        memcpy(&isp_ref, rec + 44, 2);
+        memcpy(&popv, rec + 46, 4);
+        memcpy(&exchv, rec + 50, 4);
+
+        dur_total += duration;
+        double end = start + duration;
+        double fdiv = py_float_floordiv(start, dtau);
+        double ce = ceil(end / dtau);
+        if (!(fdiv >= 0.0) || fdiv >= (double)BUILD_WINDOW_LIMIT ||
+            !(ce >= 0.0) || ce >= (double)BUILD_WINDOW_LIMIT) {
+            decline = 1;
+            goto done;
+        }
+        int64_t w_start = (int64_t)fdiv;
+        int64_t w_end = (int64_t)ce;
+        if (w_end <= w_start) w_end = w_start + 1;
+        if (w_end > max_window) max_window = w_end;
+        ev[2 * i] = (w_start << 34) | ((int64_t)2 << 32) | (int64_t)i;
+        ev[2 * i + 1] = (w_end << 34) | (int64_t)i; /* K_REMOVE == 0 */
+        demand[i] = rate * dtau;
+        uid[i] = uval;
+        mid[i] = sval;
+
+        int found;
+        uint64_t mslot = u64map_probe(&slot_map, (uint64_t)uval, &found);
+        if (found) {
+            slot[i] = slot_map.vals[mslot];
+        } else {
+            PyObject *uo = PyLong_FromLongLong((long long)uval);
+            if (!uo) goto done;
+            int rc = PyList_Append(slot_users, uo);
+            Py_DECREF(uo);
+            if (rc < 0) goto done;
+            u64map_set(&slot_map, mslot, (uint64_t)uval, num_slots);
+            slot[i] = num_slots++;
+        }
+
+        uint64_t key_ex = ((uint64_t)isp_ref << 32) | (uint64_t)exchv;
+        uint64_t eslot = u64map_probe(&ex_map, key_ex, &found);
+        if (found) {
+            exc[i] = ex_map.vals[eslot];
+        } else {
+            u64map_set(&ex_map, eslot, key_ex, num_ex);
+            exc[i] = num_ex++;
+        }
+        uint64_t key_pop = ((uint64_t)isp_ref << 32) | (uint64_t)popv;
+        uint64_t pslot = u64map_probe(&pop_map, key_pop, &found);
+        if (found) {
+            popc[i] = pop_map.vals[pslot];
+        } else {
+            u64map_set(&pop_map, pslot, key_pop, num_pop);
+            popc[i] = num_pop++;
+        }
+        uint64_t islot = u64map_probe(&isp_map, (uint64_t)isp_ref, &found);
+        if (found) {
+            ispc[i] = isp_map.vals[islot];
+        } else {
+            u64map_set(&isp_map, islot, (uint64_t)isp_ref, num_isp);
+            ispc[i] = num_isp++;
+        }
+
+        uint64_t rbits;
+        memcpy(&rbits, &rate, 8);
+        uint64_t rslot = u64map_probe(&rate_map, rbits, &found);
+        if (found) {
+            bcode[i] = rate_map.vals[rslot];
+        } else {
+            u64map_set(&rate_map, rslot, rbits, num_rates);
+            distinct[num_rates] = rate;
+            bcode[i] = num_rates++;
+        }
+    }
+
+    qsort(ev, (size_t)(2 * n), sizeof(int64_t), cmp_i64);
+
+    distinct_list = PyList_New(num_rates);
+    if (!distinct_list) goto done;
+    for (int32_t k = 0; k < num_rates; k++) {
+        PyObject *f = PyFloat_FromDouble(distinct[k]);
+        if (!f) goto done;
+        PyList_SET_ITEM(distinct_list, k, f);
+    }
+
+    result = Py_BuildValue(
+        "(y#y#y#y#y#y#y#y#y#OOnnndL)", (char *)demand,
+        n * (Py_ssize_t)sizeof(double), (char *)uid,
+        n * (Py_ssize_t)sizeof(int64_t), (char *)mid,
+        n * (Py_ssize_t)sizeof(int64_t), (char *)slot,
+        n * (Py_ssize_t)sizeof(int32_t), (char *)exc,
+        n * (Py_ssize_t)sizeof(int32_t), (char *)popc,
+        n * (Py_ssize_t)sizeof(int32_t), (char *)ispc,
+        n * (Py_ssize_t)sizeof(int32_t), (char *)ev,
+        2 * n * (Py_ssize_t)sizeof(int64_t), (char *)bcode,
+        n * (Py_ssize_t)sizeof(int32_t), distinct_list, slot_users,
+        (Py_ssize_t)num_ex, (Py_ssize_t)num_pop, (Py_ssize_t)num_isp,
+        dur_total / (double)n, (long long)max_window);
+
+done:
+    free(demand);
+    free(uid);
+    free(mid);
+    free(slot);
+    free(exc);
+    free(popc);
+    free(ispc);
+    free(bcode);
+    free(ev);
+    free(distinct);
+    u64map_free(&slot_map);
+    u64map_free(&ex_map);
+    u64map_free(&pop_map);
+    u64map_free(&isp_map);
+    u64map_free(&rate_map);
+    Py_XDECREF(slot_users);
+    Py_XDECREF(distinct_list);
+    PyBuffer_Release(&buf);
+    if (result) return result;
+    if (decline && !PyErr_Occurred()) Py_RETURN_NONE;
+    return NULL;
+}
+
 /* Supply column for a native-built schedule: out[i] = rates[bcode[i]]
  * (zeroed for non-participating slots).  rates[] is computed in python
  * as upload_rate_for(bitrate) * dtau per distinct bitrate, so values
@@ -1050,6 +1242,11 @@ static PyMethodDef ckernel_methods[] = {
      "Build packed schedule columns straight from Session objects "
      "(no-linger case); returns None when the python builder should "
      "take over."},
+    {"decode_build", decode_build, METH_VARARGS,
+     "Fused zero-object ingest: decode raw 56-byte store records and "
+     "build packed schedule columns in one pass over the extent buffer "
+     "(no-linger case); returns None when the python path should take "
+     "over."},
     {"supplies", supplies_helper, METH_VARARGS,
      "Per-session supply column from per-bitrate rates (and optional "
      "per-slot participation bytes) for a native-built schedule."},

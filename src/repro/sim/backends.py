@@ -30,10 +30,11 @@ session counts (enough to balance shards) and yields tasks or cheap
 picklable *refs* lazily.  Under ``grouping="memory"`` a ref is the
 :class:`~repro.sim.kernel.SwarmTask` itself; under
 ``grouping="external"`` it is an extent handle ``(path, offset,
-length, key)`` into the sorted shard file, and the worker decodes its
-own sessions (:func:`~repro.sim.kernel.resolve_task`) -- the
-coordinator never pickles session tuples to workers.  Plain task
-sequences are still accepted everywhere (normalized via
+length, key)`` into the sorted shard file, and the worker resolves it
+itself (:func:`~repro.sim.kernel.run_ref` -- under the columnar kernel
+straight into packed schedule columns, no ``Session`` objects at all)
+-- the coordinator never pickles session tuples to workers.  Plain
+task sequences are still accepted everywhere (normalized via
 :func:`~repro.sim.grouping.as_task_plan`).
 
 Every backend also exposes a **streaming** submission path
@@ -128,11 +129,10 @@ from repro.sim.kernel import (
     MultiSwarmOutput,
     SwarmOutput,
     SwarmTask,
-    resolve_task,
+    run_ref,
+    run_ref_multi,
     run_shard,
     run_shard_multi,
-    run_swarm,
-    run_swarm_multi,
     sweep_memo,
 )
 
@@ -220,22 +220,23 @@ def contiguous_blocks(
 
 
 def _iter_single_tasks(
-    tasks: Iterable[SwarmTask], config: "SimulationConfig"
+    refs: Iterable, config: "SimulationConfig"
 ) -> Iterator[OutputBlock]:
     """One task at a time, lazily: exactly one output ever resident.
 
     The shared inline streaming path -- the serial backend's whole
     strategy, and the parallel backends' small-workload fallback.
-    Consumes any task iterable (in particular a lazy plan's
-    ``iter_tasks()``, which decodes one extent at a time), so at most
-    one decoded task is resident alongside its output.
+    Consumes any ref iterable (resident tasks or extent refs):
+    :func:`~repro.sim.kernel.run_ref` resolves each one on demand --
+    via the zero-object columnar path where eligible -- so at most one
+    task's working set is resident alongside its output.
     """
-    for index, task in enumerate(tasks):
-        yield index, [run_swarm(task, config)]
+    for index, ref in enumerate(refs):
+        yield index, [run_ref(ref, config)]
 
 
 def _iter_single_tasks_multi(
-    tasks: Iterable[SwarmTask], configs: Sequence["SimulationConfig"]
+    refs: Iterable, configs: Sequence["SimulationConfig"]
 ) -> Iterator[MultiOutputBlock]:
     """The sweep counterpart of :func:`_iter_single_tasks`.
 
@@ -244,8 +245,8 @@ def _iter_single_tasks_multi(
     inline sweeps hit on catalogue tails with repeating membership.
     """
     memo = sweep_memo()
-    for index, task in enumerate(tasks):
-        yield index, [run_swarm_multi(task, configs, memo)]
+    for index, ref in enumerate(refs):
+        yield index, [run_ref_multi(ref, configs, memo)]
 
 
 def _stream_blocks(
@@ -349,7 +350,7 @@ class ExecutionBackend(ABC):
         """
         plan = as_task_plan(tasks)
         memo = sweep_memo()
-        return [run_swarm_multi(task, configs, memo) for task in plan.iter_tasks()]
+        return [run_ref_multi(ref, configs, memo) for ref in plan.refs()]
 
     def iter_outputs_multi(
         self, tasks: TaskSource, configs: Sequence["SimulationConfig"]
@@ -362,7 +363,7 @@ class ExecutionBackend(ABC):
         The base implementation streams inline one task at a time, so
         at most one task's K outputs are resident beyond the reducer.
         """
-        return _iter_single_tasks_multi(as_task_plan(tasks).iter_tasks(), configs)
+        return _iter_single_tasks_multi(as_task_plan(tasks).refs(), configs)
 
 
 class SerialBackend(ExecutionBackend):
@@ -374,13 +375,13 @@ class SerialBackend(ExecutionBackend):
         self, tasks: TaskSource, config: "SimulationConfig"
     ) -> List[SwarmOutput]:
         plan = as_task_plan(tasks)
-        return [run_swarm(task, config) for task in plan.iter_tasks()]
+        return [run_ref(ref, config) for ref in plan.refs()]
 
     def iter_outputs(
         self, tasks: TaskSource, config: "SimulationConfig"
     ) -> Iterator[OutputBlock]:
         """One task at a time, lazily: exactly one output ever resident."""
-        return _iter_single_tasks(as_task_plan(tasks).iter_tasks(), config)
+        return _iter_single_tasks(as_task_plan(tasks).refs(), config)
 
 
 class ThreadBackend(ExecutionBackend):
@@ -407,9 +408,7 @@ class ThreadBackend(ExecutionBackend):
             return []
         with ThreadPoolExecutor(max_workers=self.workers) as executor:
             return list(
-                executor.map(
-                    lambda ref: run_swarm(resolve_task(ref), config), refs
-                )
+                executor.map(lambda ref: run_ref(ref, config), refs)
             )
 
     def iter_outputs(
@@ -433,9 +432,7 @@ class ThreadBackend(ExecutionBackend):
             return []
         with ThreadPoolExecutor(max_workers=self.workers) as executor:
             return list(
-                executor.map(
-                    lambda ref: run_swarm_multi(resolve_task(ref), configs), refs
-                )
+                executor.map(lambda ref: run_ref_multi(ref, configs), refs)
             )
 
     def iter_outputs_multi(
@@ -463,7 +460,7 @@ class ProcessPoolBackend(ExecutionBackend):
     tasks under memory grouping, but under external grouping just
     ``(path, offset, length, key)`` extent handles -- each worker opens
     the shard file itself and decodes only its own byte ranges
-    (:func:`~repro.sim.kernel.resolve_task`), so the coordinator's
+    (:func:`~repro.sim.kernel.run_ref`), so the coordinator's
     session-pickling hot path disappears entirely.
 
     Workloads below ``min_sessions`` run inline instead: spawning a
@@ -523,7 +520,7 @@ class ProcessPoolBackend(ExecutionBackend):
         num_shards = min(num_tasks, self.workers * self.shards_per_worker)
         total_sessions = sum(plan.session_counts)
         if num_shards <= 1 or self.workers <= 1 or total_sessions < self.min_sessions:
-            return [run_swarm(task, config) for task in plan.iter_tasks()]
+            return [run_ref(ref, config) for ref in plan.refs()]
         refs = plan.refs()
         shard_indices = [
             range(offset, num_tasks, num_shards) for offset in range(num_shards)
@@ -576,7 +573,7 @@ class ProcessPoolBackend(ExecutionBackend):
             or total_sessions < self.min_sessions
             or num_shards <= 1
         ):
-            yield from _iter_single_tasks(plan.iter_tasks(), config)
+            yield from _iter_single_tasks(plan.refs(), config)
             return
         blocks = contiguous_blocks(plan.refs(), num_shards)
         try:
@@ -610,9 +607,7 @@ class ProcessPoolBackend(ExecutionBackend):
             or total_sessions * max(1, len(configs)) < self.min_sessions
         ):
             memo = sweep_memo()
-            return [
-                run_swarm_multi(task, configs, memo) for task in plan.iter_tasks()
-            ]
+            return [run_ref_multi(ref, configs, memo) for ref in plan.refs()]
         refs = plan.refs()
         shard_indices = [
             range(offset, num_tasks, num_shards) for offset in range(num_shards)
@@ -660,7 +655,7 @@ class ProcessPoolBackend(ExecutionBackend):
             or total_sessions * num_configs < self.min_sessions
             or num_shards <= 1
         ):
-            yield from _iter_single_tasks_multi(plan.iter_tasks(), configs)
+            yield from _iter_single_tasks_multi(plan.refs(), configs)
             return
         blocks = contiguous_blocks(plan.refs(), num_shards)
         try:

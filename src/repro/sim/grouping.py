@@ -56,6 +56,7 @@ from repro.trace.store import (
     STORE_VERSION,
     Extent,
     ExternalSessionSorter,
+    SessionColumns,
     ShardManifest,
     StoreWriter,
     evict_reader,
@@ -145,6 +146,19 @@ class ExtentTaskRef:
         return SwarmTask(
             key=self.key, sessions=tuple(sessions), horizon=self.horizon
         )
+
+    def read_raw(self) -> bytes:
+        """The extent's raw 56 B records, validated, straight off disk.
+
+        The zero-object handoff: the compiled fused decoder
+        (``_ckernel.decode_build``) parses these bytes directly into
+        packed schedule columns -- no ``Session`` objects anywhere.
+        """
+        return shared_reader(self.path).read_raw_range(self.index, self.count)
+
+    def read_columns(self) -> "SessionColumns":
+        """The extent decoded into typed columns (pure-python path)."""
+        return shared_reader(self.path).read_columns(self.index, self.count)
 
 
 class TaskPlan(ABC):

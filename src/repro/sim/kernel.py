@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.accounting import ByteLedger
@@ -39,6 +40,7 @@ from repro.sim.matching import (
     match_window_multi,
 )
 from repro.sim.policies import SwarmKey, SwarmPolicy
+from repro.sim.profiling import PROFILE
 from repro.sim.reduce import reduce_outputs
 from repro.sim.results import SimulationResult, SwarmResult, UserTraffic
 from repro.trace.events import SECONDS_PER_DAY, Session
@@ -55,6 +57,8 @@ __all__ = [
     "run_swarm",
     "run_swarm_object",
     "run_swarm_multi",
+    "run_ref",
+    "run_ref_multi",
     "run_shard",
     "run_shard_multi",
     "sweep_memo",
@@ -101,6 +105,11 @@ def resolve_task(ref: object) -> SwarmTask:
     """
     if isinstance(ref, SwarmTask):
         return ref
+    if PROFILE.enabled:
+        t0 = perf_counter()
+        task = ref.materialize()  # type: ignore[attr-defined]
+        PROFILE.decode_seconds += perf_counter() - t0
+        return task
     return ref.materialize()  # type: ignore[attr-defined]
 
 
@@ -982,6 +991,62 @@ def _account_stretch_multi(
 # ----------------------------------------------------------------------
 
 
+def _is_extent_ref(ref: object) -> bool:
+    """Whether ``ref`` supports the zero-object extent protocol.
+
+    Duck-typed (``read_raw``/``read_columns``, provided by
+    :class:`repro.sim.grouping.ExtentTaskRef`) to keep this module free
+    of a grouping import; a resident :class:`SwarmTask` never does.
+    """
+    return not isinstance(ref, SwarmTask) and hasattr(ref, "read_raw")
+
+
+def run_ref(ref: object, config: "SimulationConfig") -> SwarmOutput:
+    """Run one task ref, decoding straight to columns when possible.
+
+    The ref-level dispatcher every backend funnels through: an extent
+    ref bound for the columnar kernel takes the zero-object path
+    (:func:`repro.sim.kernel_columns.run_ref_columnar` -- raw store
+    bytes to packed columns, no ``Session`` objects); anything else --
+    resident tasks, ``kernel="object"``, random matching -- materializes
+    via :func:`resolve_task` and runs :func:`run_swarm` unchanged.
+    Outputs are bit-for-bit identical either way (the extent columns
+    decode to the exact field values the objects would carry).
+    """
+    if (
+        config.kernel != "object"
+        and config.locality_aware_matching
+        and _is_extent_ref(ref)
+    ):
+        from repro.sim.kernel_columns import run_ref_columnar
+
+        return run_ref_columnar(ref, config)
+    return run_swarm(resolve_task(ref), config)
+
+
+def run_ref_multi(
+    ref: object,
+    configs: Sequence["SimulationConfig"],
+    memo: Optional[_AllocationMemo] = None,
+) -> MultiSwarmOutput:
+    """Multi-config :func:`run_ref`: zero-object when every config can.
+
+    Mirrors :func:`run_swarm_multi`'s dispatch rule -- the columnar
+    multi path requires no config to pin ``kernel="object"``; random-
+    matching configs inside the columnar multi still materialize the
+    task lazily for their object-kernel runs.
+    """
+    if (
+        configs
+        and all(config.kernel != "object" for config in configs)
+        and _is_extent_ref(ref)
+    ):
+        from repro.sim.kernel_columns import run_ref_multi_columnar
+
+        return run_ref_multi_columnar(ref, configs)
+    return run_swarm_multi(resolve_task(ref), configs, memo)
+
+
 def run_shard(
     tasks: Sequence[object], config: "SimulationConfig"
 ) -> List[SwarmOutput]:
@@ -989,11 +1054,12 @@ def run_shard(
 
     The unit of work a process backend ships to a worker: one pickle
     round-trip amortises over the whole shard.  Accepts resident
-    :class:`SwarmTask` values or lazy refs (see :func:`resolve_task`);
-    each task is materialized, swept and released before the next, so
-    a worker holds at most one decoded task at a time.
+    :class:`SwarmTask` values or lazy refs; extent refs go through the
+    zero-object columnar path (:func:`run_ref`), others are
+    materialized, swept and released before the next, so a worker holds
+    at most one decoded task at a time.
     """
-    return [run_swarm(resolve_task(task), config) for task in tasks]
+    return [run_ref(task, config) for task in tasks]
 
 
 def run_shard_multi(
@@ -1004,14 +1070,14 @@ def run_shard_multi(
     The multi-config counterpart of :func:`run_shard` -- and the whole
     point of the fan-out amortization: one pickle round-trip ships the
     task refs plus K config deltas, each task's sessions are decoded
-    exactly once, and :func:`run_swarm_multi` shares the schedule and
-    timeline across the configs.  The allocation memo is shared across
-    the shard's tasks (see :func:`sweep_memo`), so catalogue tails with
-    repeating membership patterns hit across swarms.  Task order is
-    preserved.
+    exactly once (to columns on the zero-object path), and
+    :func:`run_ref_multi` shares the schedule across the configs.  The
+    allocation memo is shared across the shard's tasks (see
+    :func:`sweep_memo`); it only applies when a config pins the object
+    multi-kernel.  Task order is preserved.
     """
     memo = sweep_memo()
-    return [run_swarm_multi(resolve_task(task), configs, memo) for task in tasks]
+    return [run_ref_multi(task, configs, memo) for task in tasks]
 
 
 def merge_outputs(

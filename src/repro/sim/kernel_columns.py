@@ -51,6 +51,7 @@ from repro.sim.kernel import (
     SwarmOutput,
     SwarmTask,
     _schedule_signature,
+    resolve_task,
     run_swarm_object,
 )
 from repro.sim.matching import match_window_arrays
@@ -61,6 +62,8 @@ from repro.trace.events import SECONDS_PER_DAY
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import SimulationConfig
+    from repro.sim.grouping import ExtentTaskRef
+    from repro.trace.store import SessionColumns
 
 __all__ = [
     "HAVE_COMPILED",
@@ -68,6 +71,9 @@ __all__ = [
     "run_from_schedule",
     "run_swarm_columnar",
     "run_swarm_multi_columnar",
+    "schedule_from_ref",
+    "run_ref_columnar",
+    "run_ref_multi_columnar",
 ]
 
 _ckernel = None
@@ -159,60 +165,7 @@ class ColumnSchedule:
         if _ckernel is not None and n > 0 and config.seed_linger_seconds <= 0.0:
             built = _ckernel.build(sessions, dtau)
             if built is not None:
-                (
-                    demand_b,
-                    uid_b,
-                    mid_b,
-                    slot_b,
-                    ex_b,
-                    pop_b,
-                    isp_b,
-                    ev_b,
-                    bcode_b,
-                    distinct_bitrates,
-                    slot_users,
-                    num_ex,
-                    num_pop,
-                    num_isp,
-                    mean_duration,
-                    max_window,
-                ) = built
-                self.native = True
-                self._packed = (
-                    demand_b,
-                    uid_b,
-                    mid_b,
-                    slot_b,
-                    ex_b,
-                    pop_b,
-                    isp_b,
-                    ev_b,
-                )
-                self.bcode = bcode_b
-                self.distinct_bitrates = distinct_bitrates
-                self.slot_users = slot_users
-                self.num_users = len(slot_users)
-                self.num_ex = num_ex
-                self.num_pop = num_pop
-                self.num_isp = num_isp
-                self.mean_duration = mean_duration
-                self.num_days = (
-                    (max_window - 1) // self.windows_per_day + 1
-                    if max_window > 0
-                    else 0
-                )
-                # List-form columns exist only on the python-built path
-                # (the python sweep never runs on a native schedule).
-                self.demand = None
-                self.bitrates = None
-                self.user_ids = None
-                self.member_ids = None
-                self.user_slot = None
-                self.slot_of = None
-                self.ex_code = None
-                self.pop_code = None
-                self.isp_code = None
-                self.ev_enc = None
+                self._adopt_native(built)
                 return
         self.native = False
         self.bcode = None
@@ -352,6 +305,224 @@ class ColumnSchedule:
         )
         self._packed: Optional[Tuple[array, ...]] = None
 
+    def _adopt_native(self, built: Tuple) -> None:
+        """Take ownership of a compiled builder's 16-tuple (``build`` or
+        ``decode_build`` -- both return the same shape).  Requires ``n``,
+        ``dtau`` and ``windows_per_day`` to be set already."""
+        (
+            demand_b,
+            uid_b,
+            mid_b,
+            slot_b,
+            ex_b,
+            pop_b,
+            isp_b,
+            ev_b,
+            bcode_b,
+            distinct_bitrates,
+            slot_users,
+            num_ex,
+            num_pop,
+            num_isp,
+            mean_duration,
+            max_window,
+        ) = built
+        self.native = True
+        self._packed = (
+            demand_b,
+            uid_b,
+            mid_b,
+            slot_b,
+            ex_b,
+            pop_b,
+            isp_b,
+            ev_b,
+        )
+        self.bcode = bcode_b
+        self.distinct_bitrates = distinct_bitrates
+        self.slot_users = slot_users
+        self.num_users = len(slot_users)
+        self.num_ex = num_ex
+        self.num_pop = num_pop
+        self.num_isp = num_isp
+        self.mean_duration = mean_duration
+        self.num_days = (
+            (max_window - 1) // self.windows_per_day + 1 if max_window > 0 else 0
+        )
+        # List-form columns exist only on the python-built path
+        # (the python sweep never runs on a native schedule).
+        self.demand = None
+        self.bitrates = None
+        self.user_ids = None
+        self.member_ids = None
+        self.user_slot = None
+        self.slot_of = None
+        self.ex_code = None
+        self.pop_code = None
+        self.isp_code = None
+        self.ev_enc = None
+
+    @classmethod
+    def from_native(cls, built: Tuple, n: int, dtau: float) -> "ColumnSchedule":
+        """Wrap a fused ``decode_build`` result (zero-object fast path)."""
+        self = cls.__new__(cls)
+        self.n = n
+        self.dtau = dtau
+        self.windows_per_day = int(SECONDS_PER_DAY // dtau)
+        self._adopt_native(built)
+        return self
+
+    @classmethod
+    def from_columns(
+        cls, columns: "SessionColumns", config: "SimulationConfig"
+    ) -> "ColumnSchedule":
+        """Build a schedule straight from decoded extent columns.
+
+        The zero-object counterpart of the ``__init__`` python builder:
+        the same arithmetic over the same float values in the same order
+        (stored doubles round-trip losslessly), so the packed columns
+        are byte-identical.  Scope identities stay the store file's
+        integer refs -- ``(isp_ref, exchange)`` / ``(isp_ref, pop)`` /
+        ``isp_ref`` keys in place of the string-keyed dicts -- which
+        assign the same dense first-encounter codes because the store's
+        interned string table is bijective within one file.  Strings are
+        never interned here; accounting boundaries carry the swarm key's
+        ISP, not per-session strings.
+        """
+        self = cls.__new__(cls)
+        dtau = config.delta_tau
+        n = columns.count
+        self.n = n
+        self.dtau = dtau
+        self.windows_per_day = int(SECONDS_PER_DAY // dtau)
+        self.native = False
+        self.bcode = None
+        self.distinct_bitrates = None
+
+        demand: List[float] = []
+        bitrates: List[float] = []
+        user_ids: List[int] = []
+        member_ids: List[int] = []
+        user_slot: List[int] = []
+        ex_code: List[int] = []
+        pop_code: List[int] = []
+        isp_code: List[int] = []
+        slot_users: List[int] = []
+        slot_of: Dict[int, int] = {}
+        ex_of: Dict[Tuple[int, int], int] = {}
+        pop_of: Dict[Tuple[int, int], int] = {}
+        isp_of: Dict[int, int] = {}
+
+        demand_append = demand.append
+        bitrates_append = bitrates.append
+        uid_append = user_ids.append
+        mid_append = member_ids.append
+        slot_append = user_slot.append
+        ex_append = ex_code.append
+        pop_append = pop_code.append
+        isp_append = isp_code.append
+
+        linger = config.seed_linger_seconds
+        lingering = linger > 0.0
+        part_cache: Dict[int, bool] = {}
+        events: List[int] = []
+        ev_append = events.append
+        ceil = math.ceil
+        add_tag = _ADD << 32
+        demote_tag = _DEMOTE << 32
+        remove_tag = _REMOVE << 32
+        duration_total = 0
+
+        col_starts = columns.starts
+        col_durations = columns.durations
+        col_bitrates = columns.bitrates
+        col_uids = columns.user_ids
+        col_sids = columns.session_ids
+        col_isp_refs = columns.isp_refs
+        col_pops = columns.pops
+        col_exchanges = columns.exchanges
+
+        for idx in range(n):
+            # The object kernel's exact window expressions over the same
+            # stored doubles -- part of the bit-for-bit contract.
+            duration = col_durations[idx]
+            duration_total += duration
+            start = col_starts[idx]
+            end = start + duration
+            w_start = int(start // dtau)
+            w_end = int(ceil(end / dtau))
+            if w_end <= w_start:
+                w_end = w_start + 1
+            ev_append((w_start << 34) | add_tag | idx)
+            uid = col_uids[idx]
+            if lingering:
+                lingers = part_cache.get(uid)
+                if lingers is None:
+                    lingers = part_cache[uid] = config.participates(uid)
+                if lingers:
+                    w_linger = int(ceil((end + linger) / dtau))
+                    if w_linger > w_end:
+                        ev_append((w_end << 34) | demote_tag | idx)
+                        ev_append((w_linger << 34) | remove_tag | idx)
+                    else:
+                        ev_append((w_end << 34) | remove_tag | idx)
+                else:
+                    ev_append((w_end << 34) | remove_tag | idx)
+            else:
+                ev_append((w_end << 34) | remove_tag | idx)
+
+            bitrate = col_bitrates[idx]
+            demand_append(bitrate * dtau)
+            bitrates_append(bitrate)
+            uid_append(uid)
+            mid_append(col_sids[idx])
+            slot = slot_of.get(uid)
+            if slot is None:
+                slot = slot_of[uid] = len(slot_users)
+                slot_users.append(uid)
+            slot_append(slot)
+            isp_ref = col_isp_refs[idx]
+            key_ex = (isp_ref, col_exchanges[idx])
+            code_ex = ex_of.get(key_ex)
+            if code_ex is None:
+                code_ex = ex_of[key_ex] = len(ex_of)
+            key_pop = (isp_ref, col_pops[idx])
+            code_pop = pop_of.get(key_pop)
+            if code_pop is None:
+                code_pop = pop_of[key_pop] = len(pop_of)
+            code_isp = isp_of.get(isp_ref)
+            if code_isp is None:
+                code_isp = isp_of[isp_ref] = len(isp_of)
+            ex_append(code_ex)
+            pop_append(code_pop)
+            isp_append(code_isp)
+
+        events.sort()
+        # Same left-to-right float additions from the same int 0 start
+        # as the object-path builder (and the object kernel's mean).
+        self.mean_duration = duration_total / n if n else 0.0
+        self.demand = demand
+        self.bitrates = bitrates
+        self.user_ids = user_ids
+        self.member_ids = member_ids
+        self.user_slot = user_slot
+        self.slot_users = slot_users
+        self.slot_of = slot_of
+        self.num_users = len(slot_users)
+        self.ex_code = ex_code
+        self.pop_code = pop_code
+        self.isp_code = isp_code
+        self.num_ex = len(ex_of)
+        self.num_pop = len(pop_of)
+        self.num_isp = len(isp_of)
+        self.ev_enc = events
+        max_window = events[-1] >> 34 if events else 0
+        self.num_days = (
+            (max_window - 1) // self.windows_per_day + 1 if max_window > 0 else 0
+        )
+        self._packed = None
+        return self
+
     def supplies_for(self, config: "SimulationConfig") -> "List[float] | bytes":
         """Per-session supply column (bits/window) under one config.
 
@@ -488,10 +659,109 @@ def run_swarm_multi_columnar(
     )
 
 
+def schedule_from_ref(
+    ref: "ExtentTaskRef", config: "SimulationConfig"
+) -> ColumnSchedule:
+    """Build a :class:`ColumnSchedule` straight from a shard extent.
+
+    The zero-object ingest path: the extent's raw bytes (or typed
+    columns) come directly off the store file and Session objects are
+    never created.  Three tiers, all bit-for-bit identical:
+
+    1. **Fused** (compiled, no lingering): one ``_ckernel.decode_build``
+       pass over the raw 56 B records decodes *and* builds the packed
+       schedule.  Charged to the ``decode`` profile phase and counted in
+       ``fused_tasks``.
+    2. **Columns** (pure python, or the C builder declined): batched
+       ``struct.iter_unpack`` into typed arrays (``decode`` phase), then
+       :meth:`ColumnSchedule.from_columns` (``schedule build`` phase).
+    3. Lingering configs always take tier 2 -- ``config.participates``
+       stays in python, same as the object-path builder.
+    """
+    profile = PROFILE.enabled
+    count = ref.num_sessions
+    if _ckernel is not None and count > 0 and config.seed_linger_seconds <= 0.0:
+        if profile:
+            t0 = perf_counter()
+        built = _ckernel.decode_build(ref.read_raw(), count, config.delta_tau)
+        if built is not None:
+            schedule = ColumnSchedule.from_native(built, count, config.delta_tau)
+            if profile:
+                PROFILE.decode_seconds += perf_counter() - t0
+                PROFILE.fused_tasks += 1
+            return schedule
+        if profile:
+            PROFILE.decode_seconds += perf_counter() - t0
+    if profile:
+        t0 = perf_counter()
+    columns = ref.read_columns()
+    if profile:
+        t1 = perf_counter()
+        PROFILE.decode_seconds += t1 - t0
+    schedule = ColumnSchedule.from_columns(columns, config)
+    if profile:
+        PROFILE.schedule_seconds += perf_counter() - t1
+    return schedule
+
+
+def run_ref_columnar(ref: "ExtentTaskRef", config: "SimulationConfig") -> SwarmOutput:
+    """Columnar run straight from a shard extent ref (zero-object).
+
+    ``ref`` carries ``key`` and ``horizon``, which is all
+    :func:`run_from_schedule` needs from a task -- the sessions
+    themselves only ever exist as columns.
+    """
+    return run_from_schedule(ref, config, schedule_from_ref(ref, config))
+
+
+def run_ref_multi_columnar(
+    ref: "ExtentTaskRef", configs: Sequence["SimulationConfig"]
+) -> MultiSwarmOutput:
+    """Zero-object counterpart of :func:`run_swarm_multi_columnar`.
+
+    One :func:`schedule_from_ref` per schedule-signature group, K sweeps
+    over it.  Random-matching configs need the object kernel; the task
+    is materialized (once, lazily) only for them.
+    """
+    if not configs:
+        return MultiSwarmOutput(outputs=[])
+    groups: Dict[Tuple, List[int]] = {}
+    for position, config in enumerate(configs):
+        groups.setdefault(_schedule_signature(config), []).append(position)
+    outputs: List[Optional[SwarmOutput]] = [None] * len(configs)
+    schedule_builds = 0
+    task: Optional[SwarmTask] = None
+    for positions in groups.values():
+        schedule: Optional[ColumnSchedule] = None
+        for position in positions:
+            config = configs[position]
+            if config.locality_aware_matching:
+                if schedule is None:
+                    schedule = schedule_from_ref(ref, config)
+                    schedule_builds += 1
+                outputs[position] = run_from_schedule(ref, config, schedule)
+            else:
+                if task is None:
+                    task = resolve_task(ref)
+                outputs[position] = run_swarm_object(task, config)
+    return MultiSwarmOutput(
+        outputs=outputs,  # type: ignore[arg-type] - every slot is filled
+        memo_hits=0,
+        memo_misses=0,
+        schedule_builds=schedule_builds,
+    )
+
+
 def run_from_schedule(
-    task: SwarmTask, config: "SimulationConfig", schedule: ColumnSchedule
+    task: "SwarmTask | ExtentTaskRef",
+    config: "SimulationConfig",
+    schedule: ColumnSchedule,
 ) -> SwarmOutput:
-    """Sweep a prebuilt schedule under one config and materialize."""
+    """Sweep a prebuilt schedule under one config and materialize.
+
+    ``task`` may be a :class:`SwarmTask` or an extent ref -- only its
+    ``key`` and ``horizon`` are read (see :func:`_materialize`).
+    """
     supplies = schedule.supplies_for(config)
     allow_cross = config.allow_cross_isp_matching
     profile = PROFILE.enabled
@@ -759,8 +1029,15 @@ def _sweep_compiled(
     )
 
 
-def _materialize(task: SwarmTask, schedule: ColumnSchedule, flat: Tuple) -> SwarmOutput:
-    """Build the :class:`SwarmOutput` from a sweep's flat accumulators."""
+def _materialize(
+    task: "SwarmTask | ExtentTaskRef", schedule: ColumnSchedule, flat: Tuple
+) -> SwarmOutput:
+    """Build the :class:`SwarmOutput` from a sweep's flat accumulators.
+
+    Only ``task.key`` and ``task.horizon`` are read, so an extent ref
+    works as well as a materialized task -- the accounting boundary
+    interns nothing per session (the ledger's ISP comes from the key).
+    """
     (
         watch_seconds,
         server_total,

@@ -3,11 +3,18 @@
 The columnar kernel (:mod:`repro.sim.kernel_columns`) and the reducer
 (:func:`repro.sim.reduce.reduce_outputs`) accumulate wall-clock into the
 module-level :data:`PROFILE` singleton whenever it is enabled, split by
-phase: schedule build, sweep (membership timeline), matching (seed/fresh
+phase: decode (store extent bytes -> columns, or the fused decode+build
+pass), schedule build, sweep (membership timeline), matching (seed/fresh
 selection + phase drains), drain/accounting (ledger and per-user
 arithmetic), and reduce (the output fold).  ``consume-local simulate
 --profile-kernel`` and ``bench_kernel --profile`` enable it around a run
 and print the breakdown, so perf work measures instead of guessing.
+
+On the zero-object ingest path the compiled ``decode_build`` fuses
+decoding and schedule construction into a single pass over the raw
+extent buffer; that whole pass is charged to ``decode_seconds`` and the
+task is counted in ``fused_tasks`` (its ``schedule_seconds`` share is
+zero by construction -- there is no separate build step to time).
 
 Profiling is strictly observational: enabling it never changes results,
 only adds ``perf_counter`` calls around phases.  The compiled sweep
@@ -27,6 +34,7 @@ class KernelProfile:
 
     __slots__ = (
         "enabled",
+        "decode_seconds",
         "schedule_seconds",
         "sweep_seconds",
         "match_seconds",
@@ -34,6 +42,7 @@ class KernelProfile:
         "reduce_seconds",
         "tasks",
         "compiled_tasks",
+        "fused_tasks",
     )
 
     def __init__(self) -> None:
@@ -42,6 +51,7 @@ class KernelProfile:
 
     def reset(self) -> None:
         """Zero every counter (``enabled`` is left as-is)."""
+        self.decode_seconds = 0.0
         self.schedule_seconds = 0.0
         self.sweep_seconds = 0.0
         self.match_seconds = 0.0
@@ -49,10 +59,12 @@ class KernelProfile:
         self.reduce_seconds = 0.0
         self.tasks = 0
         self.compiled_tasks = 0
+        self.fused_tasks = 0
 
     def report(self) -> str:
         """A human-readable per-phase breakdown."""
         rows = [
+            ("decode", self.decode_seconds),
             ("schedule build", self.schedule_seconds),
             ("sweep", self.sweep_seconds),
             ("  matching", self.match_seconds),
@@ -61,7 +73,8 @@ class KernelProfile:
         ]
         lines = [
             "kernel profile "
-            f"({self.tasks} swarms, {self.compiled_tasks} on the compiled path):"
+            f"({self.tasks} swarms, {self.compiled_tasks} on the compiled path, "
+            f"{self.fused_tasks} fused-decoded):"
         ]
         for label, seconds in rows:
             lines.append(f"  {label:<20} {seconds * 1e3:10.2f} ms")

@@ -43,6 +43,7 @@ import json
 import os
 import struct
 import threading
+from array import array
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -64,6 +65,8 @@ from repro.trace.events import Session
 __all__ = [
     "RECORD_SIZE",
     "STORE_VERSION",
+    "StoreCorruptionError",
+    "SessionColumns",
     "StoreWriter",
     "StoreReader",
     "Extent",
@@ -104,6 +107,52 @@ RECORD_SIZE = _RECORD.size
 
 #: Sequential readers decode this many records per file read.
 _READ_CHUNK_RECORDS = 4096
+
+
+class StoreCorruptionError(ValueError):
+    """A store file's bytes do not match its self-description.
+
+    Raised when a file fails structural validation: bad magic, an
+    unsupported version, a tail pointing outside the file, a record
+    region whose size disagrees with the footer's record count, or an
+    extent read that comes back short.  Subclasses :class:`ValueError`
+    so existing ``except ValueError`` call sites keep working.
+    """
+
+
+@dataclass(frozen=True)
+class SessionColumns:
+    """One extent decoded straight into typed columns -- no objects.
+
+    The zero-object ingest primitive: every numeric field of the 56-byte
+    record lands in a stdlib :class:`array.array` (``q`` for integers,
+    ``d`` for IEEE-754 doubles, both lossless round-trips of the stored
+    values), and string-valued fields stay as integer refs into the
+    store file's interned tables.  ``content_table`` / ``isp_table`` /
+    ``device_table`` are the read-only tables themselves so callers can
+    intern ``isp_table[isp_refs[i]]`` at accounting boundaries -- but the
+    hot path never has to.
+
+    Within one store file the ref <-> string mapping is bijective
+    (:class:`_StringTable` interns first-encounter), so dense codes
+    computed over integer refs are identical to codes computed over the
+    strings -- the property the columnar schedule builder relies on.
+    """
+
+    count: int
+    session_ids: array
+    user_ids: array
+    content_refs: array
+    starts: array
+    durations: array
+    bitrates: array
+    isp_refs: array
+    pops: array
+    exchanges: array
+    device_refs: array
+    content_table: Sequence[str]
+    isp_table: Sequence[str]
+    device_table: Sequence[str]
 
 
 class _StringTable:
@@ -224,12 +273,16 @@ class StoreReader:
         try:
             size = os.fstat(self._fd).st_size
             if size < _HEADER.size + _TAIL.size:
-                raise ValueError(f"{self.path}: not a session store (truncated)")
+                raise StoreCorruptionError(
+                    f"{self.path}: not a session store (truncated)"
+                )
             magic, version = _HEADER.unpack(os.pread(self._fd, _HEADER.size, 0))
             if magic != _MAGIC:
-                raise ValueError(f"{self.path}: not a session store (bad magic)")
+                raise StoreCorruptionError(
+                    f"{self.path}: not a session store (bad magic)"
+                )
             if version != _VERSION:
-                raise ValueError(
+                raise StoreCorruptionError(
                     f"{self.path}: unsupported store version {version} "
                     f"(expected {_VERSION})"
                 )
@@ -237,7 +290,7 @@ class StoreReader:
                 os.pread(self._fd, _TAIL.size, size - _TAIL.size)
             )
             if tail_magic != _MAGIC or footer_offset > size - _TAIL.size:
-                raise ValueError(f"{self.path}: corrupt store tail")
+                raise StoreCorruptionError(f"{self.path}: corrupt store tail")
             footer = json.loads(
                 os.pread(
                     self._fd, size - _TAIL.size - footer_offset, footer_offset
@@ -248,6 +301,18 @@ class StoreReader:
             self._content: List[str] = list(footer["content"])
             self._isp: List[str] = list(footer["isp"])
             self._device: List[str] = list(footer["device"])
+            # The record region must hold exactly the footer's promised
+            # count.  Without this check a store missing record bytes
+            # (truncation, a torn copy) would open fine and short-decode
+            # extents silently.
+            expected_offset = _HEADER.size + self._count * RECORD_SIZE
+            if footer_offset != expected_offset:
+                raise StoreCorruptionError(
+                    f"{self.path}: record region is "
+                    f"{footer_offset - _HEADER.size} bytes but the footer "
+                    f"promises {self._count} records "
+                    f"({self._count * RECORD_SIZE} bytes)"
+                )
         except Exception:
             os.close(self._fd)
             raise
@@ -270,9 +335,14 @@ class StoreReader:
     # -- decoding ------------------------------------------------------
 
     def _decode(self, buffer: bytes, count: int) -> List[Session]:
+        if len(buffer) != count * RECORD_SIZE:
+            raise StoreCorruptionError(
+                f"{self.path}: extent holds {len(buffer)} bytes, "
+                f"expected {count} records ({count * RECORD_SIZE} bytes)"
+            )
         content, isp, device = self._content, self._isp, self._device
         sessions: List[Session] = []
-        for fields in _RECORD.iter_unpack(buffer[: count * RECORD_SIZE]):
+        for fields in _RECORD.iter_unpack(buffer):
             (
                 session_id,
                 user_id,
@@ -299,11 +369,13 @@ class StoreReader:
             )
         return sessions
 
-    def read_range(self, index: int, count: int) -> List[Session]:
-        """Decode ``count`` sessions starting at record ``index``.
+    def read_raw_range(self, index: int, count: int) -> bytes:
+        """Read ``count`` raw 56 B records starting at record ``index``.
 
-        The zero-copy handoff primitive: a worker holding only
-        ``(path, index, count)`` reads exactly its own bytes.
+        The fused-kernel handoff primitive: the compiled decoder parses
+        these bytes directly, so the hot path never materializes Python
+        objects (or even per-field tuples).  The returned buffer is
+        validated to be exactly ``count * RECORD_SIZE`` bytes.
         """
         if index < 0 or count < 0 or index + count > self._count:
             raise ValueError(
@@ -311,12 +383,58 @@ class StoreReader:
                 f"[0, {self._count})"
             )
         if count == 0:
-            return []
+            return b""
         offset = _HEADER.size + index * RECORD_SIZE
         buffer = os.pread(self._fd, count * RECORD_SIZE, offset)
         if len(buffer) != count * RECORD_SIZE:
-            raise ValueError(f"{self.path}: short read at record {index}")
-        return self._decode(buffer, count)
+            raise StoreCorruptionError(
+                f"{self.path}: short read at record {index} "
+                f"(got {len(buffer)} of {count * RECORD_SIZE} bytes)"
+            )
+        return buffer
+
+    def read_range(self, index: int, count: int) -> List[Session]:
+        """Decode ``count`` sessions starting at record ``index``.
+
+        The zero-copy handoff primitive: a worker holding only
+        ``(path, index, count)`` reads exactly its own bytes.
+        """
+        if count == 0:
+            # Still bounds-check the empty range.
+            self.read_raw_range(index, count)
+            return []
+        return self._decode(self.read_raw_range(index, count), count)
+
+    def read_columns(self, index: int, count: int) -> SessionColumns:
+        """Decode ``count`` records starting at ``index`` into columns.
+
+        The pure-python half of zero-object ingest: one batched
+        ``struct.iter_unpack`` pass transposed straight into typed
+        arrays.  Field values are bit-identical to the ones
+        :meth:`read_range` would put on :class:`Session` objects; string
+        fields stay as integer refs (see :class:`SessionColumns`).
+        """
+        buffer = self.read_raw_range(index, count)
+        if count == 0:
+            columns: Tuple[Sequence, ...] = ((),) * 10
+        else:
+            columns = tuple(zip(*_RECORD.iter_unpack(buffer)))
+        return SessionColumns(
+            count=count,
+            session_ids=array("q", columns[0]),
+            user_ids=array("q", columns[1]),
+            content_refs=array("q", columns[2]),
+            starts=array("d", columns[3]),
+            durations=array("d", columns[4]),
+            bitrates=array("d", columns[5]),
+            isp_refs=array("q", columns[6]),
+            pops=array("q", columns[7]),
+            exchanges=array("q", columns[8]),
+            device_refs=array("q", columns[9]),
+            content_table=self._content,
+            isp_table=self._isp,
+            device_table=self._device,
+        )
 
     def iter_sessions(self) -> Iterator[Session]:
         """Yield every session in record order, chunk-buffered."""

@@ -1,0 +1,356 @@
+"""The zero-object ingest law: extent refs == resident-object tasks.
+
+The zero-object path (``schedule_from_ref`` / ``run_ref``) builds the
+packed columnar schedule straight from a shard extent's raw 56-byte
+records -- through the fused C decoder when built, through typed
+stdlib-array columns otherwise -- without ever materialising a
+``Session``.  Its contract is *byte* equality: the packed columns must
+be identical to what the object-path builder
+(``ColumnSchedule(task, config)``) packs from resident sessions, and
+the swept outputs must be bit-for-bit the object kernel's.
+
+``hypothesis`` drives adversarial stores at the contract: duplicate
+users, window-boundary starts, sub-window durations, multi-ISP
+attachments, lingering seeds (which the fused decoder must decline
+into the column fallback).  A subprocess check pins the fused C
+decoder against a ``REPRO_NO_CKERNEL=1`` interpreter, so compiled and
+pure-python installs are provably interchangeable at the store-file
+boundary.
+
+``hypothesis`` is an optional dependency: the module skips without it.
+"""
+
+import hashlib
+import itertools
+import os
+import subprocess
+import sys
+import tempfile
+from contextlib import contextmanager
+from dataclasses import replace
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim import kernel_columns
+from repro.sim.engine import SimulationConfig
+from repro.sim.grouping import ExtentTaskRef
+from repro.sim.kernel import SwarmTask, run_ref, run_ref_multi, run_swarm_object
+from repro.sim.kernel_columns import ColumnSchedule, schedule_from_ref
+from repro.sim.policies import SwarmKey
+from repro.topology.nodes import intern_attachment
+from repro.trace.events import SECONDS_PER_DAY, Session
+from repro.trace.store import StoreWriter, clear_reader_cache
+
+LAW = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+HORIZON = 2 * SECONDS_PER_DAY
+
+
+@contextmanager
+def _no_compiled_backend():
+    """Mask the compiled backend so the pure-python columnar path runs."""
+    saved = kernel_columns._ckernel
+    kernel_columns._ckernel = None
+    try:
+        yield
+    finally:
+        kernel_columns._ckernel = saved
+
+
+def assert_bitwise_identical(reference, candidate):
+    """Bit-for-bit output equality, dict insertion orders included."""
+    a, b = reference.result.ledger, candidate.result.ledger
+    assert (
+        a.server_bits,
+        a.demanded_bits,
+        a.watch_seconds,
+        a.sessions,
+    ) == (b.server_bits, b.demanded_bits, b.watch_seconds, b.sessions)
+    assert list(a.peer_bits.items()) == list(b.peer_bits.items())
+    assert reference.result.capacity == candidate.result.capacity
+    assert reference.result.arrival_rate == candidate.result.arrival_rate
+    assert reference.result.mean_duration == candidate.result.mean_duration
+    assert list(reference.per_isp_day.keys()) == list(candidate.per_isp_day.keys())
+    for key in reference.per_isp_day:
+        x, y = reference.per_isp_day[key], candidate.per_isp_day[key]
+        assert (x.server_bits, x.demanded_bits, x.watch_seconds) == (
+            y.server_bits,
+            y.demanded_bits,
+            y.watch_seconds,
+        )
+        assert list(x.peer_bits.items()) == list(y.peer_bits.items())
+    assert list(reference.per_user.keys()) == list(candidate.per_user.keys())
+    for user_id in reference.per_user:
+        mine, theirs = reference.per_user[user_id], candidate.per_user[user_id]
+        assert (mine.watched_bits, mine.uploaded_bits) == (
+            theirs.watched_bits,
+            theirs.uploaded_bits,
+        )
+
+_attachments = st.sampled_from(
+    [
+        intern_attachment("ISP-1", 0, 0),
+        intern_attachment("ISP-1", 0, 1),
+        intern_attachment("ISP-1", 1, 3),
+        intern_attachment("ISP-2", 1, 5),
+    ]
+)
+
+_starts = st.one_of(
+    st.integers(min_value=0, max_value=int(HORIZON) - 1000),
+    st.builds(lambda k: k * 60, st.integers(min_value=0, max_value=2000)),
+)
+
+_session_bodies = st.tuples(
+    st.integers(min_value=0, max_value=6),  # user_id (duplicates likely)
+    _starts,
+    st.sampled_from([1, 7, 60, 120, 601]),  # duration: sub-window to multi
+    st.sampled_from([800_000.0, 1_500_000.0]),  # bitrate
+    _attachments,
+)
+
+_configs = st.builds(
+    SimulationConfig,
+    upload_ratio=st.sampled_from([0.0, 0.2, 0.6, 1.0, 1.7]),
+    upload_bandwidth=st.sampled_from([None, None, 1e6]),
+    participation_rate=st.sampled_from([0.0, 0.35, 1.0]),
+    seed_linger_seconds=st.sampled_from([0.0, 0.0, 180.0]),
+    delta_tau=st.sampled_from([10.0, 30.0, 60.0]),
+    allow_cross_isp_matching=st.booleans(),
+)
+
+
+@st.composite
+def swarm_tasks(draw):
+    bodies = draw(st.lists(_session_bodies, min_size=1, max_size=16))
+    sessions = sorted(
+        (
+            Session(
+                session_id=index,
+                user_id=user_id,
+                content_id="item",
+                start=float(start),
+                duration=float(duration),
+                bitrate=bitrate,
+                attachment=attachment,
+            )
+            for index, (user_id, start, duration, bitrate, attachment) in enumerate(
+                bodies
+            )
+        ),
+        key=lambda s: (s.start, s.session_id),
+    )
+    return SwarmTask(
+        key=SwarmKey(content_id="item"), sessions=tuple(sessions), horizon=HORIZON
+    )
+
+
+_store_counter = itertools.count()
+_store_dir = tempfile.TemporaryDirectory(prefix="zero-object-stores-")
+
+
+def _store_ref(task: SwarmTask) -> ExtentTaskRef:
+    """Persist a task's sessions to a fresh store; hand back its extent.
+
+    Fresh path per call: the shared reader cache is keyed by path, so
+    reusing one would serve a previous example's records.
+    """
+    path = os.path.join(_store_dir.name, f"task-{next(_store_counter)}.store")
+    with StoreWriter(path, horizon=task.horizon) as writer:
+        for session in task.sessions:
+            writer.append(session)
+    return ExtentTaskRef(
+        path=path,
+        index=0,
+        count=len(task.sessions),
+        key=task.key,
+        horizon=task.horizon,
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _clean_readers():
+    yield
+    clear_reader_cache()
+
+
+def _schedule_bytes(schedule: ColumnSchedule) -> bytes:
+    """Everything the sweep consumes, as one comparable byte string."""
+    digest = hashlib.sha256()
+    for buffer in schedule.packed():
+        digest.update(bytes(buffer))
+    digest.update(
+        repr(
+            (
+                schedule.slot_users,
+                schedule.num_users,
+                schedule.num_ex,
+                schedule.num_pop,
+                schedule.num_isp,
+                schedule.num_days,
+                schedule.mean_duration,
+            )
+        ).encode()
+    )
+    return digest.digest()
+
+
+class TestPackedEqualityLaw:
+    @LAW
+    @given(task=swarm_tasks(), config=_configs)
+    def test_ref_schedule_packs_object_schedule(self, task, config):
+        """Extent -> columns packing is byte-equal to object-path packing."""
+        ref = _store_ref(task)
+        assert _schedule_bytes(schedule_from_ref(ref, config)) == _schedule_bytes(
+            ColumnSchedule(task, config)
+        )
+
+    @LAW
+    @given(task=swarm_tasks(), config=_configs)
+    def test_ref_schedule_packs_object_schedule_pure_python(self, task, config):
+        """The same law with the compiled module masked off entirely."""
+        ref = _store_ref(task)
+        with _no_compiled_backend():
+            assert _schedule_bytes(
+                schedule_from_ref(ref, config)
+            ) == _schedule_bytes(ColumnSchedule(task, config))
+
+
+class TestZeroObjectOutputs:
+    @LAW
+    @given(task=swarm_tasks(), config=_configs)
+    def test_run_ref_equals_object_kernel(self, task, config):
+        ref = _store_ref(task)
+        assert_bitwise_identical(
+            run_swarm_object(task, config), run_ref(ref, config)
+        )
+
+    @LAW
+    @given(task=swarm_tasks(), configs=st.lists(_configs, min_size=1, max_size=3))
+    def test_run_ref_multi_equals_object_runs(self, task, configs):
+        configs = [replace(config, kernel="columnar") for config in configs]
+        ref = _store_ref(task)
+        multi = run_ref_multi(ref, configs)
+        assert len(multi.outputs) == len(configs)
+        assert multi.schedule_builds >= 1
+        for config, output in zip(configs, multi.outputs):
+            assert_bitwise_identical(run_swarm_object(task, config), output)
+
+    def test_object_kernel_config_resolves_the_task(self):
+        """kernel="object" on a ref decodes and runs the reference kernel."""
+        task = SwarmTask(
+            key=SwarmKey(content_id="item"),
+            sessions=(
+                Session(
+                    session_id=0,
+                    user_id=1,
+                    content_id="item",
+                    start=30.0,
+                    duration=120.0,
+                    bitrate=1_000_000.0,
+                    attachment=intern_attachment("ISP-1", 0, 0),
+                ),
+            ),
+            horizon=HORIZON,
+        )
+        ref = _store_ref(task)
+        config = SimulationConfig(kernel="object")
+        assert_bitwise_identical(
+            run_swarm_object(task, config), run_ref(ref, config)
+        )
+
+
+@pytest.mark.skipif(
+    not kernel_columns.HAVE_COMPILED, reason="compiled kernel not built"
+)
+class TestFusedDecoder:
+    def _deterministic_task(self) -> SwarmTask:
+        """200 sessions with colliding users, windows and attachments."""
+        attachments = [
+            intern_attachment("ISP-1", 0, 0),
+            intern_attachment("ISP-1", 1, 3),
+            intern_attachment("ISP-2", 1, 5),
+        ]
+        sessions = sorted(
+            (
+                Session(
+                    session_id=index,
+                    user_id=(index * 7) % 23,
+                    content_id="item",
+                    start=float((index * 977) % int(HORIZON - 2000)),
+                    duration=float(1 + (index * 13) % 700),
+                    bitrate=[800_000.0, 1_500_000.0][index % 2],
+                    attachment=attachments[index % 3],
+                )
+                for index in range(200)
+            ),
+            key=lambda s: (s.start, s.session_id),
+        )
+        return SwarmTask(
+            key=SwarmKey(content_id="item"),
+            sessions=tuple(sessions),
+            horizon=HORIZON,
+        )
+
+    def test_fused_decode_matches_no_ckernel_subprocess(self):
+        """The fused C decoder equals a REPRO_NO_CKERNEL=1 interpreter.
+
+        The strongest interchangeability statement: a compiled install
+        and a pure-python install, separated by a process boundary,
+        derive identical packed schedules from the same store file.
+        """
+        task = self._deterministic_task()
+        ref = _store_ref(task)
+        schedule = schedule_from_ref(ref, SimulationConfig())
+        assert schedule.native, "fused decoder unexpectedly declined"
+        code = (
+            "import hashlib\n"
+            "from repro.sim.engine import SimulationConfig\n"
+            "from repro.sim.grouping import ExtentTaskRef\n"
+            "from repro.sim.kernel_columns import HAVE_COMPILED, schedule_from_ref\n"
+            "from repro.sim.policies import SwarmKey\n"
+            "assert not HAVE_COMPILED\n"
+            f"ref = ExtentTaskRef(path={ref.path!r}, index=0, "
+            f"count={ref.count}, key=SwarmKey(content_id='item'), "
+            f"horizon={ref.horizon!r})\n"
+            "schedule = schedule_from_ref(ref, SimulationConfig())\n"
+            "digest = hashlib.sha256()\n"
+            "for buffer in schedule.packed():\n"
+            "    digest.update(bytes(buffer))\n"
+            "digest.update(repr((schedule.slot_users, schedule.num_users, "
+            "schedule.num_ex, schedule.num_pop, schedule.num_isp, "
+            "schedule.num_days, schedule.mean_duration)).encode())\n"
+            "print(digest.hexdigest())\n"
+        )
+        env = dict(os.environ, REPRO_NO_CKERNEL="1")
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == _schedule_bytes(schedule).hex()
+
+    def test_fused_decoder_declines_lingering_seeds(self):
+        """Seed linger needs participation identity -> the column path."""
+        task = self._deterministic_task()
+        ref = _store_ref(task)
+        config = SimulationConfig(
+            seed_linger_seconds=180.0, participation_rate=0.35
+        )
+        schedule = schedule_from_ref(ref, config)
+        assert not schedule.native
+        assert _schedule_bytes(schedule) == _schedule_bytes(
+            ColumnSchedule(task, config)
+        )

@@ -1,5 +1,7 @@
 """Tests for the binary session store and external merge-sort."""
 
+import os
+
 import pytest
 
 from repro.sim.policies import PAPER_POLICY
@@ -10,8 +12,10 @@ from repro.trace.store import (
     Extent,
     ExternalSessionSorter,
     ShardManifest,
+    StoreCorruptionError,
     StoreReader,
     StoreWriter,
+    _TAIL,
     clear_reader_cache,
     evict_reader,
     shared_reader,
@@ -104,6 +108,91 @@ class TestCorruption:
         path.write_bytes(b"RPSS")
         with pytest.raises(ValueError, match="truncated"):
             StoreReader(path)
+
+    def test_corruption_error_is_a_value_error(self):
+        """Existing ``except ValueError`` call sites keep working."""
+        assert issubclass(StoreCorruptionError, ValueError)
+
+    def test_record_region_shorter_than_footer_promises(self, trace, tmp_path):
+        """A store missing records fails at open, not with silent short data.
+
+        Drop the first record and repoint the tail at the (now earlier)
+        footer: every structural field still parses, but the record
+        region no longer holds the count the footer promises -- the
+        exact corruption the old masking decode slipped past.
+        """
+        path = write_store(trace.sessions[:10], tmp_path / "whole.store")
+        raw = path.read_bytes()
+        footer_offset, magic = _TAIL.unpack(raw[-_TAIL.size :])
+        corrupt = (
+            raw[:8]
+            + raw[8 + RECORD_SIZE : footer_offset]
+            + raw[footer_offset : -_TAIL.size]
+            + _TAIL.pack(footer_offset - RECORD_SIZE, magic)
+        )
+        bad = tmp_path / "bad.store"
+        bad.write_bytes(corrupt)
+        with pytest.raises(StoreCorruptionError, match="promises"):
+            StoreReader(bad)
+
+    def test_short_read_after_truncation(self, trace, tmp_path):
+        """A store truncated underneath an open reader raises, loudly."""
+        path = write_store(trace.sessions[:10], tmp_path / "t.store")
+        with StoreReader(path) as reader:
+            os.truncate(path, 8 + 5 * RECORD_SIZE)
+            with pytest.raises(StoreCorruptionError, match="short read"):
+                reader.read_raw_range(0, 10)
+
+
+class TestRawAndColumnReads:
+    def test_raw_range_is_the_exact_record_bytes(self, trace, tmp_path):
+        path = write_store(trace, tmp_path / "t.store")
+        raw = path.read_bytes()
+        with StoreReader(path) as reader:
+            assert reader.read_raw_range(3, 4) == raw[
+                8 + 3 * RECORD_SIZE : 8 + 7 * RECORD_SIZE
+            ]
+            assert reader.read_raw_range(0, 0) == b""
+
+    def test_raw_range_bounds_checked(self, trace, tmp_path):
+        path = write_store(trace, tmp_path / "t.store")
+        with StoreReader(path) as reader:
+            with pytest.raises(ValueError):
+                reader.read_raw_range(0, len(trace) + 1)
+            with pytest.raises(ValueError):
+                reader.read_raw_range(-1, 1)
+
+    def test_columns_match_decoded_sessions(self, trace, tmp_path):
+        path = write_store(trace, tmp_path / "t.store")
+        with StoreReader(path) as reader:
+            sessions = reader.read_range(5, 17)
+            columns = reader.read_columns(5, 17)
+        assert columns.count == 17
+        for i, session in enumerate(sessions):
+            assert columns.session_ids[i] == session.session_id
+            assert columns.user_ids[i] == session.user_id
+            assert (
+                columns.content_table[columns.content_refs[i]]
+                == session.content_id
+            )
+            assert columns.starts[i] == session.start
+            assert columns.durations[i] == session.duration
+            assert columns.bitrates[i] == session.bitrate
+            attachment = session.attachment
+            assert columns.isp_table[columns.isp_refs[i]] == attachment.isp
+            assert columns.pops[i] == attachment.pop
+            assert columns.exchanges[i] == attachment.exchange
+            assert (
+                columns.device_table[columns.device_refs[i]] == session.device
+            )
+
+    def test_empty_column_read(self, trace, tmp_path):
+        path = write_store(trace, tmp_path / "t.store")
+        with StoreReader(path) as reader:
+            columns = reader.read_columns(4, 0)
+        assert columns.count == 0
+        assert len(columns.starts) == 0
+        assert len(columns.session_ids) == 0
 
 
 class TestSharedReaderCache:
