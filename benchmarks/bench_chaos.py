@@ -1,0 +1,278 @@
+#!/usr/bin/env python
+"""Chaos benchmark/smoke: seeded fault plans against the full stack.
+
+For each fixed seed this derives a :func:`repro.sim.faults.chaos_plan`
+-- a deterministic schedule of torn writes, ENOSPC/EIO, stale rename
+visibility, clock skew and crash points over the queue/worker/service
+fault sites -- installs it process-wide, and drives
+
+* a **distributed** run (coordinator + supervised in-process workers
+  that treat injected crashes as process death and respawn), and
+* a **service-mode** run (epoch stream with checkpointed
+  crash-and-restart resume),
+
+then **fails loudly** unless every run is bit-for-bit identical to the
+clean serial baseline and every queue drained completely (no pending,
+claimed or failed item left behind).  Wall-clock overhead versus the
+clean run and the per-kind fault counts are recorded in
+``BENCH_chaos.json`` at the repo root (override with ``--out``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py          # full
+    PYTHONPATH=src python benchmarks/bench_chaos.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.sim import faults
+from repro.sim.backends import DistributedBackend, SerialBackend
+from repro.sim.engine import SimulationConfig, Simulator
+from repro.sim.faults import InjectedCrash, chaos_plan
+from repro.sim.queue import WorkQueue
+from repro.sim.service import JsonlSink, ServiceConfig, SimulationService
+from repro.sim.worker import run_worker
+from repro.trace.events import SECONDS_PER_DAY
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+
+#: Default output path: the repo root, alongside the other BENCH_* files.
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_chaos.json"
+
+#: Fixed fault-plan seeds -- the benchmark's unit of replay.  ``--quick``
+#: runs a prefix of the same seeds, so CI exercises the same plans.
+DISTRIBUTED_SEEDS = (0, 1, 2, 3, 4, 5, 6, 7)
+SERVICE_SEEDS = (0, 1, 2, 3)
+QUICK_DISTRIBUTED = 3
+QUICK_SERVICE = 2
+
+
+def run_distributed_under(plan, trace, queue_root: Path):
+    """One distributed run with ``plan`` installed process-wide."""
+    backend = DistributedBackend(
+        2,
+        queue_dir=queue_root,
+        spawn=False,
+        lease_timeout=0.5,
+        poll_interval=0.01,
+        shard_quantum=60,
+        progress_timeout=120.0,
+        max_attempts=20,
+        compact_every=16,
+    )
+
+    def supervised_worker(ordinal: int) -> None:
+        while True:
+            try:
+                run_worker(
+                    queue_root,
+                    poll_interval=0.01,
+                    lease_timeout=0.5,
+                    worker_id=f"chaos-{ordinal}",
+                )
+                return  # STOP file: clean shutdown
+            except InjectedCrash:
+                continue  # the "process" died mid-item; respawn
+
+    threads = [
+        threading.Thread(target=supervised_worker, args=(i,)) for i in range(2)
+    ]
+    with faults.injected(plan):
+        for thread in threads:
+            thread.start()
+        try:
+            result = Simulator(SimulationConfig(), backend=backend).run(trace)
+        finally:
+            (queue_root / "STOP").touch()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            backend.close()
+    return result
+
+
+def run_service_under(plan, trace, config, state_dir: Path):
+    """One service run with ``plan`` installed, restarting over the same
+    state dir whenever an injected crash point kills it."""
+    sink_path = state_dir / "out.jsonl"
+    with faults.injected(plan):
+        for _ in range(10):
+            service = SimulationService(
+                config, state_dir, subscribers=[JsonlSink(sink_path)]
+            )
+            try:
+                service.run(iter(trace.sessions[service.cursor :]))
+                cumulative = service.result()
+                service.close()
+                return cumulative
+            except InjectedCrash:
+                service.close()
+    raise RuntimeError("service never completed within the restart budget")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--num-users", type=int, default=400, help="trace population"
+    )
+    parser.add_argument(
+        "--sessions", type=float, default=3_000.0, help="expected sessions"
+    )
+    parser.add_argument("--seed", type=int, default=20130901, help="trace seed")
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"where to write the JSON record (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke preset: smaller trace, first few seeds only",
+    )
+    args = parser.parse_args(argv)
+
+    num_users, sessions = args.num_users, args.sessions
+    distributed_seeds: Sequence[int] = DISTRIBUTED_SEEDS
+    service_seeds: Sequence[int] = SERVICE_SEEDS
+    if args.quick:
+        if args.num_users == parser.get_default("num_users"):
+            num_users = 120
+        if args.sessions == parser.get_default("sessions"):
+            sessions = 800.0
+        distributed_seeds = DISTRIBUTED_SEEDS[:QUICK_DISTRIBUTED]
+        service_seeds = SERVICE_SEEDS[:QUICK_SERVICE]
+
+    trace = TraceGenerator(
+        config=GeneratorConfig(
+            num_users=num_users,
+            num_items=12,
+            days=1,
+            expected_sessions=sessions,
+            seed=args.seed,
+        )
+    ).generate()
+    print(
+        f"chaos benchmark: {len(trace)} sessions, "
+        f"{len(distributed_seeds)} distributed + {len(service_seeds)} "
+        f"service fault plans"
+    )
+
+    violations: List[str] = []
+    faults.uninstall()  # a clean facade no matter who ran before us
+
+    start = time.perf_counter()
+    serial = Simulator(SimulationConfig(), backend=SerialBackend()).run(trace)
+    serial_seconds = time.perf_counter() - start
+
+    service_config = ServiceConfig(
+        simulation=SimulationConfig(),
+        epoch_seconds=SECONDS_PER_DAY / 4,
+        horizon=trace.horizon,
+    )
+    batch = Simulator(service_config.scoped_config).run(trace)
+
+    distributed_runs = []
+    for seed in distributed_seeds:
+        plan = chaos_plan(seed, crash_mode="raise")
+        with tempfile.TemporaryDirectory(prefix="bench-chaos-") as temp_dir:
+            queue_root = Path(temp_dir) / "queue"
+            start = time.perf_counter()
+            result = run_distributed_under(plan, trace, queue_root)
+            elapsed = time.perf_counter() - start
+            if not result.identical_to(serial):
+                violations.append(
+                    f"distributed result under fault seed {seed} differs "
+                    f"from serial"
+                )
+            for job_dir in queue_root.glob("job-*"):
+                queue = WorkQueue(job_dir, lease_timeout=0.5, create=False)
+                unretired = sorted(queue.pending_ids() | queue.claimed_ids())
+                if unretired:
+                    violations.append(
+                        f"seed {seed}: {len(unretired)} unretired item(s) "
+                        f"left in {job_dir.name}: {unretired[:3]}"
+                    )
+                failed = queue.failed_items()
+                if failed:
+                    violations.append(
+                        f"seed {seed}: {len(failed)} item(s) quarantined "
+                        f"in {job_dir.name}"
+                    )
+        fired = Counter(kind for _, kind, _ in plan.fired)
+        distributed_runs.append(
+            {
+                "seed": seed,
+                "seconds": elapsed,
+                "rules": len(plan.rules),
+                "faults_fired": dict(sorted(fired.items())),
+            }
+        )
+        print(
+            f"   distributed seed {seed}: {elapsed:6.3f}s, "
+            f"{sum(fired.values())} fault(s) fired {dict(sorted(fired.items()))}"
+        )
+
+    service_runs = []
+    for seed in service_seeds:
+        plan = chaos_plan(seed, crash_mode="raise")
+        with tempfile.TemporaryDirectory(prefix="bench-chaos-") as temp_dir:
+            start = time.perf_counter()
+            cumulative = run_service_under(
+                plan, trace, service_config, Path(temp_dir)
+            )
+            elapsed = time.perf_counter() - start
+        if not cumulative.identical_to(batch):
+            violations.append(
+                f"service result under fault seed {seed} differs from batch"
+            )
+        fired = Counter(kind for _, kind, _ in plan.fired)
+        service_runs.append(
+            {
+                "seed": seed,
+                "seconds": elapsed,
+                "rules": len(plan.rules),
+                "faults_fired": dict(sorted(fired.items())),
+            }
+        )
+        print(
+            f"   service     seed {seed}: {elapsed:6.3f}s, "
+            f"{sum(fired.values())} fault(s) fired {dict(sorted(fired.items()))}"
+        )
+
+    total_faults = sum(
+        sum(run["faults_fired"].values())
+        for run in distributed_runs + service_runs
+    )
+    record = {
+        "benchmark": "bench_chaos",
+        "sessions": len(trace),
+        "serial_seconds": serial_seconds,
+        "distributed": distributed_runs,
+        "service": service_runs,
+        "total_faults_fired": total_faults,
+        "violations": violations,
+    }
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if violations:
+        for violation in violations:
+            print(f"VIOLATION: {violation}")
+        return 1
+    print(
+        f"ok: {total_faults} injected fault(s) across "
+        f"{len(distributed_runs) + len(service_runs)} seeded plans, every "
+        f"run bit-for-bit identical to the clean baseline, every queue "
+        f"drained"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

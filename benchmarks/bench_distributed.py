@@ -47,7 +47,7 @@ from typing import List, Optional, Sequence
 from repro.sim.backends import DistributedBackend, SerialBackend
 from repro.sim.engine import SimulationConfig, Simulator
 from repro.sim.grouping import ExternalGrouping
-from repro.sim.worker import STOP_FILENAME
+from repro.sim.worker import EXIT_STOP_FILE, STOP_FILENAME
 from repro.trace.generator import GeneratorConfig, TraceGenerator
 
 #: Default output path: the repo root, alongside the other BENCH_* files.
@@ -205,9 +205,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     exit_codes.append(proc.wait())
                     violations.append("a worker had to be killed at shutdown")
             backend.close()
+        # Workers report *why* they exited; a STOP-file shutdown must
+        # come back as exactly EXIT_STOP_FILE -- anything else (fatal,
+        # rss-limit, a bare 0 from a codepath that bypassed the reason
+        # machinery) is a contract violation.
         for index, code in enumerate(exit_codes):
-            if code != 0:
-                violations.append(f"worker {index} exited with code {code}")
+            if code != EXIT_STOP_FILE:
+                violations.append(
+                    f"worker {index} exited with code {code}; expected "
+                    f"EXIT_STOP_FILE ({EXIT_STOP_FILE}) after queue shutdown"
+                )
 
     print(
         f"   single run: serial {serial_single_seconds:7.3f}s  "

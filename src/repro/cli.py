@@ -166,8 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     worker.add_argument(
-        "--queue-dir", type=Path, required=True,
-        help="queue root directory shared with the coordinator",
+        "--queue-dir", type=Path, action="append", required=True,
+        help="queue root directory shared with the coordinator; repeat "
+        "to steal work from additional roots when the first (home) "
+        "root is idle",
     )
     worker.add_argument(
         "--poll-interval", type=float, default=0.1,
@@ -195,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="quarantine jobs with no pending/claimed items and no "
         "activity for this many seconds -- orphans left by crashed "
         "coordinators (default: never)",
+    )
+    worker.add_argument(
+        "--max-rss", default=None,
+        help="self-limit resident memory (e.g. 800M, 2G): release any "
+        "unstarted claim and exit with status 33 instead of dying to "
+        "the OOM killer (default: unlimited)",
     )
 
     serve = sub.add_parser(
@@ -410,14 +418,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "worker":
-        from repro.sim.worker import run_worker
+        from repro.sim import faults
+        from repro.sim.worker import parse_size, run_worker
 
         logging.basicConfig(
             level=logging.INFO,
             format="%(asctime)s %(levelname)s %(name)s: %(message)s",
             stream=sys.stderr,
         )
-        processed = run_worker(
+        faults.install_from_env()
+        result = run_worker(
             args.queue_dir,
             poll_interval=args.poll_interval,
             lease_timeout=args.lease_timeout,
@@ -425,9 +435,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             idle_exit=args.idle_exit,
             worker_id=args.worker_id,
             job_ttl=args.job_ttl,
+            max_rss=(
+                parse_size(args.max_rss) if args.max_rss is not None else None
+            ),
         )
-        print(f"worker processed {processed} work item(s)")
-        return 0
+        print(
+            f"worker processed {int(result)} work item(s), "
+            f"exiting: {result.reason}"
+        )
+        return result.code
 
     if getattr(args, "spill_dir", None) is not None and args.reduction != "spill":
         parser.error("--spill-dir requires --reduction spill")

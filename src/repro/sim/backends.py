@@ -117,6 +117,7 @@ from typing import (
     Union,
 )
 
+from repro.sim import faults
 from repro.sim.grouping import TaskPlan, as_task_plan, plan_handoff
 from repro.sim.queue import (
     JobSpec,
@@ -719,6 +720,10 @@ class DistributedBackend(ExecutionBackend):
             activity, so long-running kernels never trip this.
         max_attempts: executions allowed per item before the
             coordinator declares it poisoned.
+        compact_every: collected results are folded into the job's
+            append-only ``results.pack`` every this many items
+            (0: never), keeping huge jobs from drowning the results
+            directory in loose files.
     """
 
     name = "distributed"
@@ -735,12 +740,14 @@ class DistributedBackend(ExecutionBackend):
         shard_quantum: int = 5_000,
         progress_timeout: float = 300.0,
         max_attempts: int = 5,
+        compact_every: int = 256,
     ) -> None:
         # State first: __del__ -> close() must work even if validation
         # below raises on a half-constructed instance.
         self._queue_root = Path(queue_dir) if queue_dir is not None else None
         self._owned_root: Optional[Path] = None
         self._procs: List[subprocess.Popen] = []
+        self._spawned = 0
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
         if lease_timeout <= 0:
@@ -759,6 +766,10 @@ class DistributedBackend(ExecutionBackend):
             )
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts!r}")
+        if compact_every < 0:
+            raise ValueError(
+                f"compact_every must be >= 0, got {compact_every!r}"
+            )
         self.workers = workers or _default_workers()
         self.spawn = spawn
         self.lease_timeout = lease_timeout
@@ -767,6 +778,12 @@ class DistributedBackend(ExecutionBackend):
         self.shard_quantum = shard_quantum
         self.progress_timeout = progress_timeout
         self.max_attempts = max_attempts
+        #: Fold collected results into the job's ``results.pack`` every
+        #: this many items, so a million-block job never leaves a
+        #: million loose ``.out`` files in one directory (shared
+        #: filesystems degrade badly on huge directories).  0 disables
+        #: compaction.
+        self.compact_every = compact_every
         #: Stale-lease requeues performed during the most recent job --
         #: how many work items had to be recovered from dead workers.
         #: 0 on a healthy run; tests and benchmarks assert fault
@@ -834,6 +851,12 @@ class DistributedBackend(ExecutionBackend):
         env["PYTHONPATH"] = (
             f"{package_root}{os.pathsep}{existing}" if existing else str(package_root)
         )
+        self._spawned += 1
+        if faults.PLAN_ENV_VAR in env:
+            # Chaos runs: decorrelate each worker's fault streams so the
+            # fleet doesn't crash in lockstep (still deterministic: the
+            # salt is the spawn ordinal).
+            env[faults.SALT_ENV_VAR] = f"worker-{self._spawned}"
         command = [
             sys.executable,
             "-m",
@@ -924,6 +947,7 @@ class DistributedBackend(ExecutionBackend):
         ready: Set[int] = set()  # result on disk, not yet yielded
         seen: Set[str] = set()
         attempts: Dict[str, int] = {}
+        compactable: List[str] = []  # yielded, not yet folded into the pack
         last_progress = time.monotonic()
         while frontier < total:
             progress = False
@@ -941,15 +965,25 @@ class DistributedBackend(ExecutionBackend):
                     yield blocks[position][0], queue.load_result(
                         item_id_for(position)
                     )
+                    compactable.append(item_id_for(position))
                 while frontier < total and yielded[frontier]:
                     frontier += 1
+            if self.compact_every and len(compactable) >= self.compact_every:
+                queue.compact_results(compactable)
+                compactable = []
             if frontier >= total:
                 break
             failures = queue.failed_items()
             if failures:
                 item_id, error = sorted(failures.items())[0]
+                detail = ""
+                if getattr(error, "exception_type", None):
+                    detail = (
+                        f" [{error.exception_type}, attempt {error.attempts}"
+                        f", worker {error.worker_id}]"
+                    )
                 raise RuntimeError(
-                    f"distributed worker gave up on {item_id}: {error}"
+                    f"distributed worker gave up on {item_id}: {error}{detail}"
                 )
             for item_id in queue.requeue_stale():
                 attempts[item_id] = attempts.get(item_id, 0) + 1
@@ -968,6 +1002,11 @@ class DistributedBackend(ExecutionBackend):
                 # -- within one lease_timeout.  Only a queue with no
                 # results, no requeues AND no live claims is stalled.
                 progress = True
+            if self.spawn and self.live_workers() < self.workers:
+                # Fleet self-healing: a worker that died mid-job
+                # (crash, OOM, --max-rss self-limit) is replaced while
+                # the job is still running, not at the next job.
+                self._ensure_workers(queue.job_dir.parent)
             if progress:
                 last_progress = time.monotonic()
             elif time.monotonic() - last_progress > self.progress_timeout:

@@ -1,0 +1,725 @@
+"""Seeded, deterministic fault injection for the distributed stack.
+
+The distributed backend (:mod:`repro.sim.queue` / :mod:`repro.sim.worker`
+/ :mod:`repro.sim.backends`), the always-on service
+(:mod:`repro.sim.service`) and the binary session store
+(:mod:`repro.trace.store`) all claim crash-safety on shared storage.
+This module is how those claims are *tested systematically* instead of
+by hand-placed SIGKILLs: every filesystem and clock primitive the stack
+touches goes through a swappable :class:`Storage` facade, and a
+:class:`FaultPlan` -- a seeded schedule of named **fault sites** firing
+the failures a real shared-filesystem fleet sees -- can be installed to
+make any of those primitives misbehave deterministically.
+
+Fault kinds (:data:`FAULT_KINDS`):
+
+* ``eio`` -- the primitive raises ``OSError(EIO)`` before doing anything.
+* ``enospc`` -- likewise with ``ENOSPC`` (disk full).
+* ``torn`` -- a write persists only a prefix of its payload, then raises
+  (a torn write); a read returns a short buffer.
+* ``hide`` -- an *observation* (``exists`` / ``listdir``) reports the
+  previous state: the file is there, the observer does not see it yet.
+  This is the NFS-ish "rename done but not yet visible to the other
+  host" case.
+* ``skew`` -- a clock read (storage-probe mtime) is offset by
+  ``FaultRule.skew`` seconds.
+* ``crash`` -- the process dies at a labeled point
+  (:func:`crash_point`): ``os._exit`` for subprocess workers
+  (indistinguishable from SIGKILL), or an :class:`InjectedCrash` raise
+  for in-process harnesses.
+
+Determinism: each ``(rule, site)`` pair owns an independent decision
+stream seeded from ``(plan.seed, rule index, site)``, consumed once per
+invocation of the site.  The *n*-th invocation of a site therefore
+always gets the same decision for a given seed -- in any process, on
+any host -- so an exact failure history is replayable from its seed
+alone.  Plans serialize to JSON and cross process boundaries through
+the :data:`PLAN_ENV_VAR` environment variable (spawned workers install
+the plan at startup; ``REPRO_FAULT_SALT`` perturbs the seed per worker
+so a fleet does not fail in lockstep).
+
+The facade is a single module-global (:func:`storage`); with no plan
+installed it is a plain passthrough to ``os`` -- one attribute lookup
+and one call of overhead, nothing else.
+
+Retry policy: :func:`retrying` is the bounded-exponential-backoff
+primitive the queue and service use around *transient* storage errors
+(:data:`TRANSIENT_ERRNOS`: EIO, ENOSPC, EAGAIN, EBUSY, EINTR,
+ETIMEDOUT, ESTALE, EDQUOT -- never ENOENT, which is how rename races
+lose, and losing a race is protocol, not failure).  Backoff jitter is
+*deterministic* (hashed from the site name and attempt number), so a
+retried failure history replays exactly like the original.
+"""
+
+from __future__ import annotations
+
+import errno
+import fnmatch
+import hashlib
+import json
+import logging
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "PLAN_ENV_VAR",
+    "SALT_ENV_VAR",
+    "INJECTED_CRASH_EXIT_CODE",
+    "TRANSIENT_ERRNOS",
+    "FaultRule",
+    "FaultPlan",
+    "InjectedCrash",
+    "RetryPolicy",
+    "Storage",
+    "FaultyStorage",
+    "active_plan",
+    "chaos_plan",
+    "crash_point",
+    "injected",
+    "install",
+    "install_from_env",
+    "is_transient",
+    "retrying",
+    "storage",
+    "uninstall",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Every fault kind a :class:`FaultRule` may carry.
+FAULT_KINDS = ("eio", "enospc", "torn", "hide", "skew", "crash")
+
+#: Environment variable carrying a JSON fault plan into worker
+#: subprocesses (either the JSON itself, or ``@/path/to/plan.json``).
+PLAN_ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Optional companion variable: a per-process salt mixed into the plan
+#: seed, so every worker of a fleet sees a *different* (but still
+#: deterministic) decision stream instead of failing in lockstep.
+SALT_ENV_VAR = "REPRO_FAULT_SALT"
+
+#: Exit status of a process killed by an injected ``crash`` fault in
+#: ``exit`` mode -- distinct from every deliberate worker exit code.
+INJECTED_CRASH_EXIT_CODE = 86
+
+#: OS errors worth retrying: the storage hiccups a shared-filesystem
+#: fleet sees and survives.  ENOENT is deliberately absent -- a missing
+#: source is how atomic-rename races *lose*, and losing is protocol.
+TRANSIENT_ERRNOS = frozenset(
+    code
+    for code in (
+        errno.EIO,
+        errno.ENOSPC,
+        errno.EAGAIN,
+        errno.EBUSY,
+        errno.EINTR,
+        errno.ETIMEDOUT,
+        getattr(errno, "ESTALE", None),
+        getattr(errno, "EDQUOT", None),
+    )
+    if code is not None
+)
+
+
+class InjectedCrash(BaseException):
+    """An injected crash in ``raise`` mode.
+
+    Subclasses :class:`BaseException` so no ``except Exception`` path in
+    the stack under test can accidentally swallow the "process death" --
+    in-process chaos harnesses catch it where a supervisor would respawn
+    the worker.
+    """
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether an ``OSError`` is worth retrying (see the retry policy)."""
+    return (
+        isinstance(error, OSError) and error.errno in TRANSIENT_ERRNOS
+    )
+
+
+# ----------------------------------------------------------------------
+# Fault plans
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One line of a fault plan: *where*, *what*, and *when*.
+
+    Attributes:
+        site: fault-site pattern, matched against site names with
+            :func:`fnmatch.fnmatchcase` (so ``"queue.*"`` covers every
+            queue primitive).
+        kind: one of :data:`FAULT_KINDS`.
+        prob: per-invocation firing probability, drawn from the rule's
+            deterministic per-site stream.  Ignored when ``at`` is set.
+        at: explicit 0-based invocation indices that fire (exact
+            scheduling for regression tests).
+        limit: maximum total fires for this rule (None: unbounded).
+            Transient-error rules should stay below the retry budget so
+            injected hiccups are survivable by construction.
+        skew: clock offset in seconds (``kind="skew"``).
+        keep_fraction: prefix fraction a torn write persists / a torn
+            read returns (``kind="torn"``).
+        crash_mode: ``"exit"`` (``os._exit``, subprocess workers) or
+            ``"raise"`` (:class:`InjectedCrash`, in-process harnesses).
+    """
+
+    site: str
+    kind: str
+    prob: float = 1.0
+    at: Tuple[int, ...] = ()
+    limit: Optional[int] = None
+    skew: float = 0.0
+    keep_fraction: float = 0.5
+    crash_mode: str = "exit"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"prob must be in [0, 1], got {self.prob!r}")
+        if not 0.0 <= self.keep_fraction <= 1.0:
+            raise ValueError(
+                f"keep_fraction must be in [0, 1], got {self.keep_fraction!r}"
+            )
+        if self.crash_mode not in ("exit", "raise"):
+            raise ValueError(
+                f"crash_mode must be 'exit' or 'raise', got {self.crash_mode!r}"
+            )
+        if self.limit is not None and self.limit < 1:
+            raise ValueError(f"limit must be >= 1, got {self.limit!r}")
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "prob": self.prob,
+            "at": list(self.at),
+            "limit": self.limit,
+            "skew": self.skew,
+            "keep_fraction": self.keep_fraction,
+            "crash_mode": self.crash_mode,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "FaultRule":
+        return cls(
+            site=str(payload["site"]),
+            kind=str(payload["kind"]),
+            prob=float(payload.get("prob", 1.0)),
+            at=tuple(int(i) for i in payload.get("at", ())),
+            limit=(
+                None
+                if payload.get("limit") is None
+                else int(payload["limit"])  # type: ignore[arg-type]
+            ),
+            skew=float(payload.get("skew", 0.0)),
+            keep_fraction=float(payload.get("keep_fraction", 0.5)),
+            crash_mode=str(payload.get("crash_mode", "exit")),
+        )
+
+
+class FaultPlan:
+    """A seeded, replayable schedule of fault-site decisions.
+
+    Thread-safe: worker threads, lease renewers and the coordinator may
+    all consult the plan concurrently; each ``(rule, site)`` pair's
+    decision stream is still consumed in a single deterministic order
+    per site.
+    """
+
+    def __init__(self, seed: int, rules: Tuple[FaultRule, ...] = ()) -> None:
+        self.seed = int(seed)
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        #: Every fault actually fired: ``(site, kind, invocation)``
+        #: triples in firing order -- the replayable failure history.
+        self.fired: List[Tuple[str, str, int]] = []
+        self._lock = threading.Lock()
+        self._streams: Dict[Tuple[int, str], random.Random] = {}
+        self._counts: Dict[Tuple[int, str], int] = {}
+        self._rule_fires: Dict[int, int] = {}
+
+    def _stream(self, rule_index: int, site: str) -> random.Random:
+        key = (rule_index, site)
+        stream = self._streams.get(key)
+        if stream is None:
+            digest = hashlib.blake2b(
+                f"{self.seed}:{rule_index}:{site}".encode("utf-8"),
+                digest_size=8,
+            ).digest()
+            stream = self._streams[key] = random.Random(
+                int.from_bytes(digest, "little")
+            )
+        return stream
+
+    def decide(self, site: str) -> Optional[FaultRule]:
+        """The rule firing at this invocation of ``site``, if any.
+
+        Every matching rule's stream and invocation counter advance on
+        every call (fire or not), so decisions depend only on the
+        site's own invocation count -- never on what other sites did.
+        """
+        hit: Optional[FaultRule] = None
+        with self._lock:
+            for index, rule in enumerate(self.rules):
+                if not fnmatch.fnmatchcase(site, rule.site):
+                    continue
+                key = (index, site)
+                count = self._counts.get(key, 0)
+                self._counts[key] = count + 1
+                draw = self._stream(index, site).random()
+                if (
+                    rule.limit is not None
+                    and self._rule_fires.get(index, 0) >= rule.limit
+                ):
+                    continue
+                fires = count in rule.at if rule.at else draw < rule.prob
+                if fires and hit is None:
+                    self._rule_fires[index] = (
+                        self._rule_fires.get(index, 0) + 1
+                    )
+                    self.fired.append((site, rule.kind, count))
+                    hit = rule
+        return hit
+
+    # -- serialization (environment handoff to worker subprocesses) ----
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "rules": [rule.to_payload() for rule in self.rules],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FaultPlan":
+        data = json.loads(payload)
+        return cls(
+            seed=int(data["seed"]),
+            rules=tuple(
+                FaultRule.from_payload(entry) for entry in data["rules"]
+            ),
+        )
+
+    def with_salt(self, salt: str) -> "FaultPlan":
+        """The same rules under a seed perturbed by ``salt``.
+
+        Gives each worker of a fleet its own (deterministic) decision
+        streams, so injected faults land scattered across the fleet
+        instead of striking every process at the same instruction.
+        """
+        digest = hashlib.blake2b(
+            f"{self.seed}:{salt}".encode("utf-8"), digest_size=8
+        ).digest()
+        return FaultPlan(
+            seed=int.from_bytes(digest, "little"), rules=self.rules
+        )
+
+
+#: The menu :func:`chaos_plan` draws from: (site, kind, overrides).
+#: Transient-error rules are capped below the retry budget, crash and
+#: visibility rules are bounded, so every generated plan is survivable
+#: by construction -- the soak asserts the stack actually survives it.
+_CHAOS_MENU: Tuple[Tuple[str, str, Dict[str, object]], ...] = (
+    ("queue.put", "enospc", {"prob": 0.1, "limit": 3}),
+    ("queue.put", "eio", {"prob": 0.1, "limit": 3}),
+    ("queue.spec", "eio", {"at": (0,), "limit": 1}),
+    ("queue.result", "torn", {"prob": 0.15, "limit": 3}),
+    ("queue.result", "enospc", {"prob": 0.15, "limit": 3}),
+    ("queue.claim_rename", "eio", {"prob": 0.1, "limit": 4}),
+    ("queue.ack_rename", "eio", {"prob": 0.15, "limit": 4}),
+    ("queue.requeue_rename", "eio", {"prob": 0.2, "limit": 3}),
+    ("queue.scan_pending", "hide", {"prob": 0.1, "limit": 5}),
+    ("queue.result_visible", "hide", {"prob": 0.3, "limit": 4}),
+    ("queue.fs_now", "skew", {"at": (1, 3), "limit": 2, "skew": 45.0}),
+    ("queue.fs_now", "skew", {"at": (2,), "limit": 1, "skew": -45.0}),
+    ("queue.fs_now", "eio", {"prob": 0.2, "limit": 3}),
+    ("queue.compact", "torn", {"at": (0,), "limit": 1}),
+    ("store.pread", "eio", {"prob": 0.05, "limit": 4}),
+    ("store.pread", "torn", {"prob": 0.05, "limit": 4}),
+    ("lease.renew", "eio", {"prob": 0.2, "limit": 4}),
+    ("sink.append", "torn", {"at": (0,), "limit": 1}),
+    ("sink.append", "enospc", {"prob": 0.2, "limit": 3}),
+    ("checkpoint.save", "enospc", {"prob": 0.2, "limit": 3}),
+    ("worker.claimed", "crash", {"at": (1,), "limit": 1}),
+    ("queue.ack.crash", "crash", {"at": (1,), "limit": 1}),
+    ("service.emitted", "crash", {"at": (1,), "limit": 1}),
+)
+
+
+def chaos_plan(seed: int, *, crash_mode: str = "raise") -> FaultPlan:
+    """A deterministic mixed fault plan derived entirely from ``seed``.
+
+    Picks 3-6 distinct-site rules from the chaos menu (at most one rule
+    per site, so no site can out-fire the retry budget), stamping crash
+    rules with ``crash_mode``.  Same seed, same plan, same failure
+    history -- the chaos soak's unit of replay.
+    """
+    picker = random.Random(seed)
+    chosen: Dict[str, FaultRule] = {}
+    menu = list(_CHAOS_MENU)
+    picker.shuffle(menu)
+    target = picker.randint(3, 6)
+    for site, kind, overrides in menu:
+        if len(chosen) >= target:
+            break
+        if site in chosen:
+            continue
+        extra = dict(overrides)
+        if kind == "crash":
+            extra["crash_mode"] = crash_mode
+        chosen[site] = FaultRule(site=site, kind=kind, **extra)  # type: ignore[arg-type]
+    return FaultPlan(seed=seed, rules=tuple(chosen.values()))
+
+
+# ----------------------------------------------------------------------
+# Retry with deterministic jitter
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient storage errors.
+
+    ``attempts`` counts total tries (so ``attempts - 1`` retries);
+    delays grow ``base_delay * factor**n`` capped at ``max_delay``,
+    scaled by a deterministic jitter in [0.5, 1.5) hashed from the
+    fault-site name and attempt number -- replays back off exactly like
+    the original run.
+    """
+
+    attempts: int = 6
+    base_delay: float = 0.02
+    max_delay: float = 2.0
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts!r}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor!r}")
+
+
+#: The default policy every retried primitive uses (tests may swap it).
+RETRY_POLICY = RetryPolicy()
+
+
+def _jitter(site: str, attempt: int) -> float:
+    digest = hashlib.blake2b(
+        f"{site}:{attempt}".encode("utf-8"), digest_size=4
+    ).digest()
+    return 0.5 + int.from_bytes(digest, "little") / 0xFFFFFFFF
+
+
+def retrying(
+    site: str,
+    operation: Callable[[], object],
+    *,
+    policy: Optional[RetryPolicy] = None,
+    classify: Callable[[BaseException], bool] = is_transient,
+    on_retry: Optional[Callable[[BaseException], None]] = None,
+):
+    """Run ``operation``, retrying transient ``OSError`` failures.
+
+    Non-transient errors (and transient ones past the attempt budget)
+    propagate unchanged.  ``on_retry`` runs before each retry -- the
+    hook callers use to repair partial state a torn write left behind.
+    Every retry is logged at debug level with the fault-site name, so
+    injected (and real) storage hiccups are attributable.
+    """
+    policy = policy if policy is not None else RETRY_POLICY
+    attempt = 0
+    while True:
+        try:
+            return operation()
+        except OSError as error:
+            attempt += 1
+            if attempt >= policy.attempts or not classify(error):
+                raise
+            delay = min(
+                policy.max_delay,
+                policy.base_delay * policy.factor ** (attempt - 1),
+            ) * _jitter(site, attempt)
+            logger.debug(
+                "fault site %s: transient error (%s); retry %d/%d in %.3fs",
+                site,
+                error,
+                attempt,
+                policy.attempts - 1,
+                delay,
+            )
+            if on_retry is not None:
+                on_retry(error)
+            if delay > 0:
+                time.sleep(delay)
+
+
+# ----------------------------------------------------------------------
+# The storage facade
+# ----------------------------------------------------------------------
+
+
+class Storage:
+    """Passthrough facade over the fs/clock primitives the stack uses.
+
+    Every method takes a ``site`` keyword naming the fault site (see the
+    README's fault-model table); the base class ignores it entirely, so
+    with no plan installed the facade costs one call of indirection.
+    """
+
+    def rename(self, source, target, *, site: str = "fs.rename") -> None:
+        os.rename(source, target)
+
+    def replace(self, source, target, *, site: str = "fs.replace") -> None:
+        os.replace(source, target)
+
+    def utime(self, path, *, site: str = "fs.utime") -> None:
+        os.utime(path)
+
+    def touch(self, path, *, site: str = "fs.touch") -> None:
+        Path(path).touch()
+
+    def unlink(
+        self, path, *, missing_ok: bool = False, site: str = "fs.unlink"
+    ) -> None:
+        Path(path).unlink(missing_ok=missing_ok)
+
+    def exists(self, path, *, site: str = "fs.exists") -> bool:
+        return os.path.exists(path)
+
+    def listdir(self, path, *, site: str = "fs.listdir") -> List[str]:
+        return os.listdir(path)
+
+    def mtime(self, path, *, site: str = "fs.mtime") -> float:
+        return os.stat(path).st_mtime
+
+    def pread(
+        self, fd: int, length: int, offset: int, *, site: str = "fs.pread"
+    ) -> bytes:
+        return os.pread(fd, length, offset)
+
+    def write(self, handle, data: bytes, *, site: str = "fs.write") -> None:
+        handle.write(data)
+
+    def crash_point(self, label: str) -> None:
+        """A labeled point a ``crash`` fault may kill the process at."""
+
+
+class FaultyStorage(Storage):
+    """The facade with a :class:`FaultPlan` deciding every call."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    # -- fault dispatch -------------------------------------------------
+
+    def _crash(self, rule: FaultRule, site: str) -> None:
+        logger.warning("injected crash at %s (%s)", site, rule.crash_mode)
+        if rule.crash_mode == "raise":
+            raise InjectedCrash(site)
+        os._exit(INJECTED_CRASH_EXIT_CODE)
+
+    def _raise(self, rule: FaultRule, site: str) -> None:
+        """Raise the rule's error (kinds a primitive can't express map
+        to EIO, so a mis-targeted rule still injects *something*)."""
+        if rule.kind == "crash":
+            self._crash(rule, site)
+        if rule.kind == "enospc":
+            raise OSError(
+                errno.ENOSPC, f"injected ENOSPC at fault site {site}"
+            )
+        raise OSError(errno.EIO, f"injected EIO at fault site {site}")
+
+    def _error_fault(self, site: str) -> None:
+        """For primitives where only error/crash kinds make sense."""
+        rule = self.plan.decide(site)
+        if rule is not None and rule.kind not in ("hide", "skew"):
+            self._raise(rule, site)
+
+    # -- primitives -----------------------------------------------------
+
+    def rename(self, source, target, *, site: str = "fs.rename") -> None:
+        self._error_fault(site)
+        os.rename(source, target)
+
+    def replace(self, source, target, *, site: str = "fs.replace") -> None:
+        self._error_fault(site)
+        os.replace(source, target)
+
+    def utime(self, path, *, site: str = "fs.utime") -> None:
+        self._error_fault(site)
+        os.utime(path)
+
+    def touch(self, path, *, site: str = "fs.touch") -> None:
+        self._error_fault(site)
+        Path(path).touch()
+
+    def unlink(
+        self, path, *, missing_ok: bool = False, site: str = "fs.unlink"
+    ) -> None:
+        self._error_fault(site)
+        Path(path).unlink(missing_ok=missing_ok)
+
+    def exists(self, path, *, site: str = "fs.exists") -> bool:
+        rule = self.plan.decide(site)
+        if rule is not None:
+            if rule.kind == "hide":
+                logger.debug("fault site %s: hiding %s", site, path)
+                return False
+            if rule.kind != "skew":
+                self._raise(rule, site)
+        return os.path.exists(path)
+
+    def listdir(self, path, *, site: str = "fs.listdir") -> List[str]:
+        rule = self.plan.decide(site)
+        if rule is not None:
+            if rule.kind == "hide":
+                logger.debug("fault site %s: hiding listing of %s", site, path)
+                return []
+            if rule.kind != "skew":
+                self._raise(rule, site)
+        return os.listdir(path)
+
+    def mtime(self, path, *, site: str = "fs.mtime") -> float:
+        rule = self.plan.decide(site)
+        if rule is not None:
+            if rule.kind == "skew":
+                logger.debug(
+                    "fault site %s: skewing clock by %+.1fs", site, rule.skew
+                )
+                return os.stat(path).st_mtime + rule.skew
+            self._raise(rule, site)
+        return os.stat(path).st_mtime
+
+    def pread(
+        self, fd: int, length: int, offset: int, *, site: str = "fs.pread"
+    ) -> bytes:
+        rule = self.plan.decide(site)
+        if rule is not None:
+            if rule.kind == "torn":
+                keep = int(length * rule.keep_fraction)
+                logger.debug(
+                    "fault site %s: torn read (%d of %d bytes)",
+                    site, keep, length,
+                )
+                return os.pread(fd, keep, offset)
+            if rule.kind not in ("hide", "skew"):
+                self._raise(rule, site)
+        return os.pread(fd, length, offset)
+
+    def write(self, handle, data: bytes, *, site: str = "fs.write") -> None:
+        rule = self.plan.decide(site)
+        if rule is not None:
+            if rule.kind == "torn":
+                keep = int(len(data) * rule.keep_fraction)
+                logger.debug(
+                    "fault site %s: torn write (%d of %d bytes)",
+                    site, keep, len(data),
+                )
+                handle.write(data[:keep])
+                raise OSError(
+                    errno.EIO, f"injected torn write at fault site {site}"
+                )
+            if rule.kind not in ("hide", "skew"):
+                self._raise(rule, site)
+        handle.write(data)
+
+    def crash_point(self, label: str) -> None:
+        rule = self.plan.decide(label)
+        if rule is not None and rule.kind == "crash":
+            self._crash(rule, label)
+
+
+# ----------------------------------------------------------------------
+# Installation
+# ----------------------------------------------------------------------
+
+_DEFAULT_STORAGE = Storage()
+_STORAGE: Storage = _DEFAULT_STORAGE
+
+
+def storage() -> Storage:
+    """The active storage facade (passthrough unless a plan is live)."""
+    return _STORAGE
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed fault plan, or None."""
+    return _STORAGE.plan if isinstance(_STORAGE, FaultyStorage) else None
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Install a plan process-wide; returns it for chaining."""
+    global _STORAGE
+    _STORAGE = FaultyStorage(plan)
+    logger.info(
+        "fault plan installed: seed=%d, %d rule(s)", plan.seed, len(plan.rules)
+    )
+    return plan
+
+
+def uninstall() -> None:
+    """Restore the passthrough facade."""
+    global _STORAGE
+    _STORAGE = _DEFAULT_STORAGE
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """``with injected(plan):`` -- install for a scope, always restore."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+def install_from_env(
+    environ: Optional[Mapping[str, str]] = None,
+) -> Optional[FaultPlan]:
+    """Install the plan :data:`PLAN_ENV_VAR` carries, if any.
+
+    Worker subprocesses call this at startup, so a coordinator (or a
+    chaos benchmark) injects faults into an entire fleet by exporting
+    one variable.  A value starting with ``@`` names a JSON file; the
+    optional :data:`SALT_ENV_VAR` perturbs the seed per process.
+    """
+    environ = environ if environ is not None else os.environ
+    raw = environ.get(PLAN_ENV_VAR)
+    if not raw:
+        return None
+    if raw.startswith("@"):
+        raw = Path(raw[1:]).read_text(encoding="utf-8")
+    plan = FaultPlan.from_json(raw)
+    salt = environ.get(SALT_ENV_VAR)
+    if salt:
+        plan = plan.with_salt(salt)
+    return install(plan)
+
+
+def crash_point(label: str) -> None:
+    """Mark a labeled point an installed plan may crash the process at."""
+    _STORAGE.crash_point(label)

@@ -56,19 +56,25 @@ one alive.
 
 from __future__ import annotations
 
+import json
 import logging
 import os
 import pickle
+import struct
 import tempfile
 import time
+import traceback as traceback_module
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sim import faults
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import SimulationConfig
 
 __all__ = [
+    "FailureRecord",
     "JobSpec",
     "QueueItemError",
     "WorkClaim",
@@ -93,9 +99,44 @@ _CLOCK_PROBE_FILENAME = ".clock-probe"
 #: scan ``job-*``, so the rename atomically hides the job).
 QUARANTINE_PREFIX = "quarantined-"
 
+#: Per-record header of the results pack: id length, payload length.
+_PACK_HEADER = struct.Struct("<II")
+
 
 class QueueItemError(RuntimeError):
     """A work-item or spec payload could not be decoded (corrupt file)."""
+
+
+class FailureRecord(str):
+    """A failure reason carrying structured sidecar metadata.
+
+    Subclasses :class:`str` (the bare reason text), so every existing
+    consumer of :meth:`WorkQueue.failed_items` -- substring checks,
+    error formatting -- keeps working, while supervisors get the
+    exception type, traceback, worker id and attempt count the
+    ``failed/<id>.error.json`` sidecar recorded.
+    """
+
+    exception_type: Optional[str]
+    traceback_text: Optional[str]
+    worker_id: Optional[str]
+    attempts: int
+
+    def __new__(
+        cls,
+        message: str,
+        *,
+        exception_type: Optional[str] = None,
+        traceback_text: Optional[str] = None,
+        worker_id: Optional[str] = None,
+        attempts: int = 1,
+    ) -> "FailureRecord":
+        record = super().__new__(cls, message)
+        record.exception_type = exception_type
+        record.traceback_text = traceback_text
+        record.worker_id = worker_id
+        record.attempts = attempts
+        return record
 
 
 @dataclass(frozen=True)
@@ -165,34 +206,65 @@ class WorkClaim:
         Returns False when the claimed file is gone -- the coordinator
         requeued the item past a stale lease, so this worker's result
         (if it still produces one) will be acked idempotently or
-        ignored.
+        ignored.  Transient storage errors are retried before the
+        renewal is given up on.
         """
         try:
-            os.utime(self.path)
+            _retry_utime(self.path, "lease.renew")
             return True
-        except OSError:
+        except FileNotFoundError:
+            logger.debug(
+                "fault site lease.renew: claim %s gone (requeued under us)",
+                self.path.name,
+            )
+            return False
+        except OSError as error:
+            logger.debug(
+                "fault site lease.renew: renewing %s failed: %s",
+                self.path.name,
+                error,
+            )
             return False
 
 
-def atomic_write_bytes(path: Path, data: bytes) -> None:
+def _retry_utime(path: Path, site: str) -> None:
+    faults.retrying(site, lambda: faults.storage().utime(path, site=site))
+
+
+def atomic_write_bytes(
+    path: Path,
+    data: bytes,
+    *,
+    site: str = "atomic_write",
+    policy: Optional[faults.RetryPolicy] = None,
+) -> None:
     """Write ``data`` so ``path`` is only ever absent or complete.
 
     The queue's one publication primitive (temp file + ``os.replace``),
     exported because the service checkpoint
     (:class:`repro.sim.service.ServiceCheckpoint`) publishes with the
-    same discipline.
+    same discipline.  Transient storage errors (torn writes, ENOSPC,
+    EIO -- see :data:`repro.sim.faults.TRANSIENT_ERRNOS`) retry the
+    whole publication with a fresh temp file, so a partially written
+    temp never becomes visible and a hiccup never loses the payload.
+    ``site`` names the fault site for injection and retry logging.
     """
-    handle, raw = tempfile.mkstemp(prefix=path.name + ".", dir=path.parent)
-    try:
-        with os.fdopen(handle, "wb") as stream:
-            stream.write(data)
-        os.replace(raw, path)
-    except BaseException:
+    path = Path(path)
+
+    def publish() -> None:
+        handle, raw = tempfile.mkstemp(prefix=path.name + ".", dir=path.parent)
         try:
-            os.unlink(raw)
-        except OSError:
-            pass
-        raise
+            with os.fdopen(handle, "wb") as stream:
+                faults.storage().write(stream, data, site=site)
+            faults.storage().replace(raw, path, site=site)
+        except BaseException:
+            try:
+                os.unlink(raw)
+            except OSError:
+                pass
+            raise
+
+    faults.retrying(site, publish, policy=policy)
 
 
 #: Backwards-compatible private alias (pre-service-mode name).
@@ -219,6 +291,8 @@ class WorkQueue:
     SPEC_FILENAME = "job.pkl"
     PLAN_FILENAME = "plan.json"
     DONE_FILENAME = "DONE"
+    REQUEUES_FILENAME = "requeues.log"
+    RESULTS_PACK_FILENAME = "results.pack"
 
     def __init__(
         self,
@@ -235,6 +309,8 @@ class WorkQueue:
         self.results_dir = self.job_dir / "results"
         self.acked_dir = self.job_dir / "acked"
         self.failed_dir = self.job_dir / "failed"
+        self._pack_ids: Dict[str, Tuple[int, int]] = {}
+        self._pack_offset = 0
         if create:
             for directory in (
                 self.pending_dir,
@@ -251,7 +327,11 @@ class WorkQueue:
 
     def write_spec(self, spec: JobSpec) -> None:
         """Publish the job spec (atomically; workers skip spec-less jobs)."""
-        _atomic_write(self.job_dir / self.SPEC_FILENAME, pickle.dumps(spec))
+        _atomic_write(
+            self.job_dir / self.SPEC_FILENAME,
+            pickle.dumps(spec),
+            site="queue.spec",
+        )
 
     def load_spec(self) -> JobSpec:
         """The job spec, or :class:`QueueItemError` if absent/corrupt."""
@@ -268,7 +348,9 @@ class WorkQueue:
     def put(self, item: WorkItem) -> None:
         """Enqueue one work item (appears atomically in ``pending/``)."""
         _atomic_write(
-            self.pending_dir / f"{item.item_id}{_TASK_SUFFIX}", pickle.dumps(item)
+            self.pending_dir / f"{item.item_id}{_TASK_SUFFIX}",
+            pickle.dumps(item),
+            site="queue.put",
         )
 
     def fs_now(self) -> float:
@@ -285,10 +367,20 @@ class WorkQueue:
         queue directory is gone (the job was retired under us).
         """
         probe = self.claimed_dir / _CLOCK_PROBE_FILENAME
+
+        def read_probe() -> float:
+            store = faults.storage()
+            store.touch(probe, site="queue.fs_now")
+            return store.mtime(probe, site="queue.fs_now")
+
         try:
-            probe.touch()
-            return probe.stat().st_mtime
-        except OSError:
+            return faults.retrying("queue.fs_now", read_probe)
+        except OSError as error:
+            logger.debug(
+                "fault site queue.fs_now: probe failed (%s); "
+                "falling back to the local clock",
+                error,
+            )
             return time.time()
 
     def requeue_stale(self) -> List[str]:
@@ -306,50 +398,260 @@ class WorkQueue:
         """
         requeued: List[str] = []
         now = self.fs_now()
-        for path in self._list(self.claimed_dir, _TASK_SUFFIX):
+        for path in self._list(
+            self.claimed_dir, _TASK_SUFFIX, site="queue.scan_claimed"
+        ):
             try:
                 age = now - path.stat().st_mtime
-            except OSError:
-                continue  # acked or requeued under us
+            except OSError as error:
+                # Acked or requeued under us.
+                logger.debug(
+                    "fault site queue.lease_age: %s gone (%s)", path.name, error
+                )
+                continue
             if age < self.lease_timeout:
                 continue
             item_id = path.stem
             lease = path.with_name(path.name + ".lease")
-            if (self.results_dir / f"{item_id}{_RESULT_SUFFIX}").exists():
+            if self.has_result(item_id):
                 # The worker finished, then died before acking.
-                if self._rename(path, self.acked_dir / path.name):
+                if self._rename(
+                    path, self.acked_dir / path.name, site="queue.ack_rename"
+                ):
                     logger.warning(
                         "acked %s on behalf of a dead worker (result present)",
                         item_id,
                     )
-            elif self._rename(path, self.pending_dir / path.name):
+            elif self._rename(
+                path, self.pending_dir / path.name, site="queue.requeue_rename"
+            ):
                 logger.warning(
                     "requeued %s: lease expired after %.1fs", item_id, age
                 )
                 requeued.append(item_id)
-            lease.unlink(missing_ok=True)
+            try:
+                lease.unlink(missing_ok=True)
+            except OSError as error:
+                logger.debug("fault site queue.lease_unlink: %s", error)
+        if requeued:
+            self._log_requeues(requeued)
         return requeued
 
+    def has_result(self, item_id: str) -> bool:
+        """Whether a complete result exists (loose file or results pack).
+
+        The loose-file check goes through the storage facade's
+        ``queue.result_visible`` fault site -- the NFS-ish case where a
+        worker's result rename has happened but is not yet observed by
+        the coordinator's host.  The protocol tolerates the delayed
+        observation (the item is requeued and re-acked idempotently);
+        the chaos tests inject it here to prove that.
+        """
+        loose = self.results_dir / f"{item_id}{_RESULT_SUFFIX}"
+        if faults.storage().exists(loose, site="queue.result_visible"):
+            return True
+        return item_id in self._scan_pack()
+
+    def _log_requeues(self, item_ids: Sequence[str]) -> None:
+        """Append requeued ids to the job's requeue log (best effort).
+
+        The log is how attempt counts survive worker turnover: a worker
+        discarding a poisoned item reads :meth:`requeue_counts` to
+        stamp the failure sidecar with how many times the fleet has
+        tried the item, even though every attempt ran somewhere else.
+        """
+        try:
+            with open(
+                self.job_dir / self.REQUEUES_FILENAME, "a", encoding="ascii"
+            ) as stream:
+                for item_id in item_ids:
+                    stream.write(item_id + "\n")
+        except OSError as error:
+            logger.debug("fault site queue.requeue_log: %s", error)
+
+    def requeue_counts(self) -> Dict[str, int]:
+        """Item id -> how many times it has been requeued (from the log)."""
+        counts: Dict[str, int] = {}
+        try:
+            text = (self.job_dir / self.REQUEUES_FILENAME).read_text(
+                encoding="ascii"
+            )
+        except OSError:
+            return counts
+        for line in text.splitlines():
+            item_id = line.strip()
+            if item_id:
+                counts[item_id] = counts.get(item_id, 0) + 1
+        return counts
+
     def result_ids(self) -> Set[str]:
-        """Item ids that currently have a (complete) result file."""
-        return {
+        """Item ids with a complete result (loose file or results pack)."""
+        ids = {
             path.stem for path in self._list(self.results_dir, _RESULT_SUFFIX)
         }
+        ids.update(self._scan_pack())
+        return ids
 
     def load_result(self, item_id: str) -> object:
-        """Unpickle one result payload (rename-published, so complete)."""
-        path = self.results_dir / f"{item_id}{_RESULT_SUFFIX}"
-        return pickle.loads(path.read_bytes())
+        """Unpickle one result payload (rename-published, so complete).
 
-    def failed_items(self) -> Dict[str, str]:
-        """Item id -> error text for items workers gave up on."""
-        failures: Dict[str, str] = {}
+        Loose ``results/<id>.out`` files win over the results pack --
+        a crash between a pack append and the loose-file cleanup leaves
+        a benign duplicate, and both copies are identical bytes.
+        """
+        path = self.results_dir / f"{item_id}{_RESULT_SUFFIX}"
+        try:
+            return pickle.loads(path.read_bytes())
+        except FileNotFoundError:
+            pass
+        entry = self._scan_pack().get(item_id)
+        if entry is None:
+            raise FileNotFoundError(f"no result for {item_id} in {self.job_dir}")
+        offset, length = entry
+        with open(self._pack_path, "rb") as stream:
+            stream.seek(offset)
+            return pickle.loads(stream.read(length))
+
+    # -- results pack (compaction for million-block jobs) --------------
+
+    @property
+    def _pack_path(self) -> Path:
+        return self.results_dir / self.RESULTS_PACK_FILENAME
+
+    def _scan_pack(self) -> Dict[str, Tuple[int, int]]:
+        """Index the results pack: id -> (payload offset, length).
+
+        Incremental: only bytes past the last fully parsed record are
+        re-read, so collectors polling every few milliseconds pay for
+        new records only.  A torn tail (a crashed append) simply stops
+        the scan; :meth:`compact_results` truncates it before the next
+        append, and until then the affected item still has its loose
+        result file (loose files are only unlinked after fsync).
+        """
+        try:
+            size = os.path.getsize(self._pack_path)
+        except OSError:
+            self._pack_ids = {}
+            self._pack_offset = 0
+            return self._pack_ids
+        if size == self._pack_offset:
+            return self._pack_ids
+        if size < self._pack_offset:  # replaced/truncated under us
+            self._pack_ids = {}
+            self._pack_offset = 0
+        with open(self._pack_path, "rb") as stream:
+            stream.seek(self._pack_offset)
+            while True:
+                header = stream.read(_PACK_HEADER.size)
+                if len(header) < _PACK_HEADER.size:
+                    break
+                id_length, payload_length = _PACK_HEADER.unpack(header)
+                body = stream.read(id_length + payload_length)
+                if len(body) < id_length + payload_length:
+                    break
+                item_id = body[:id_length].decode("ascii", "replace")
+                self._pack_ids[item_id] = (
+                    self._pack_offset + _PACK_HEADER.size + id_length,
+                    payload_length,
+                )
+                self._pack_offset += (
+                    _PACK_HEADER.size + id_length + payload_length
+                )
+        return self._pack_ids
+
+    def compact_results(self, item_ids: Sequence[str]) -> int:
+        """Fold loose result files into the append-only results pack.
+
+        A million-block job otherwise leaves a million ``.out`` files
+        in one directory, and shared filesystems degrade badly on huge
+        directories.  The coordinator (the pack's single writer) calls
+        this with ids it has already collected: each loose payload is
+        appended to ``results/results.pack`` and fsynced **before** the
+        loose file is unlinked, so a crash anywhere leaves every result
+        readable (worst case: both copies, which
+        :meth:`load_result` resolves loose-first).  Torn pack appends
+        are truncated back to the last complete record before writing.
+        Returns how many results were compacted.
+        """
+        records: List[Tuple[str, Path, bytes]] = []
+        for item_id in item_ids:
+            loose = self.results_dir / f"{item_id}{_RESULT_SUFFIX}"
+            try:
+                payload = loose.read_bytes()
+            except OSError:
+                continue  # already compacted (or never produced)
+            records.append((item_id, loose, payload))
+        if not records:
+            return 0
+        self._scan_pack()  # establish the last valid offset
+
+        def append_all() -> None:
+            with open(self._pack_path, "ab") as stream:
+                if stream.tell() > self._pack_offset:
+                    # Torn tail from a crashed/failed append: discard it
+                    # (every record past the valid end is re-appended).
+                    stream.truncate(self._pack_offset)
+                for item_id, _, payload in records:
+                    ident = item_id.encode("ascii")
+                    faults.storage().write(
+                        stream,
+                        _PACK_HEADER.pack(len(ident), len(payload))
+                        + ident
+                        + payload,
+                        site="queue.compact",
+                    )
+                stream.flush()
+                os.fsync(stream.fileno())
+
+        faults.retrying("queue.compact", append_all)
+        offset = self._pack_offset
+        for item_id, _, payload in records:
+            id_length = len(item_id.encode("ascii"))
+            self._pack_ids[item_id] = (
+                offset + _PACK_HEADER.size + id_length,
+                len(payload),
+            )
+            offset += _PACK_HEADER.size + id_length + len(payload)
+        self._pack_offset = offset
+        for _, loose, _ in records:
+            try:
+                faults.storage().unlink(
+                    loose, missing_ok=True, site="queue.compact_unlink"
+                )
+            except OSError as error:
+                logger.debug("fault site queue.compact_unlink: %s", error)
+        return len(records)
+
+    def failed_items(self) -> Dict[str, FailureRecord]:
+        """Item id -> :class:`FailureRecord` for items workers gave up on.
+
+        Values are plain strings (the reason text) carrying the
+        structured ``failed/<id>.error.json`` sidecar as attributes;
+        legacy bare ``.error`` text files are still honoured.
+        """
+        failures: Dict[str, FailureRecord] = {}
         for path in self._list(self.failed_dir, _TASK_SUFFIX):
+            item_id = path.stem
+            sidecar = self.failed_dir / f"{item_id}.error.json"
+            try:
+                data = json.loads(sidecar.read_text(encoding="utf-8"))
+                failures[item_id] = FailureRecord(
+                    str(data.get("error", "unknown failure")),
+                    exception_type=data.get("exception_type"),
+                    traceback_text=data.get("traceback"),
+                    worker_id=data.get("worker_id"),
+                    attempts=int(data.get("attempts", 1)),
+                )
+                continue
+            except (OSError, ValueError, TypeError):
+                pass  # no/corrupt sidecar: fall back to legacy text
             error_path = path.with_name(path.name + ".error")
             try:
-                failures[path.stem] = error_path.read_text().strip()
+                failures[item_id] = FailureRecord(
+                    error_path.read_text().strip()
+                )
             except OSError:
-                failures[path.stem] = "unknown failure"
+                failures[item_id] = FailureRecord("unknown failure")
         return failures
 
     def mark_done(self) -> None:
@@ -451,22 +753,31 @@ class WorkQueue:
         frontier); the atomic rename guarantees exclusivity, so
         concurrent claimers simply fall through to the next item.
         """
-        for path in sorted(self._list(self.pending_dir, _TASK_SUFFIX)):
+        for path in sorted(
+            self._list(self.pending_dir, _TASK_SUFFIX, site="queue.scan_pending")
+        ):
             target = self.claimed_dir / path.name
-            if not self._rename(path, target):
+            if not self._rename(path, target, site="queue.claim_rename"):
                 continue  # another worker won this item
             try:
-                os.utime(target)  # start the lease clock at claim time
-            except OSError:
-                continue  # requeued already; let them have it
+                # Start the lease clock at claim time.
+                _retry_utime(target, "queue.claim_utime")
+            except OSError as error:
+                logger.debug(
+                    "fault site queue.claim_utime: %s requeued under us (%s)",
+                    path.stem,
+                    error,
+                )
+                continue
             claim = WorkClaim(item_id=path.stem, path=target, worker_id=worker_id)
             try:
                 _atomic_write(
                     target.with_name(target.name + ".lease"),
                     f"{worker_id} {time.time():.3f}\n".encode("ascii"),
+                    site="queue.lease",
                 )
-            except OSError:  # pragma: no cover - informational only
-                pass
+            except OSError as error:  # informational only
+                logger.debug("fault site queue.lease: %s", error)
             return claim
         return None
 
@@ -498,23 +809,95 @@ class WorkQueue:
         _atomic_write(
             self.results_dir / f"{claim.item_id}{_RESULT_SUFFIX}",
             pickle.dumps(result),
+            site="queue.result",
         )
-        self._rename(claim.path, self.acked_dir / claim.path.name)
-        claim.path.with_name(claim.path.name + ".lease").unlink(missing_ok=True)
+        faults.crash_point("queue.ack.crash")
+        self._rename(
+            claim.path, self.acked_dir / claim.path.name, site="queue.ack_rename"
+        )
+        try:
+            claim.path.with_name(claim.path.name + ".lease").unlink(
+                missing_ok=True
+            )
+        except OSError as error:
+            logger.debug("fault site queue.lease_unlink: %s", error)
 
-    def discard(self, claim: WorkClaim, error: str) -> None:
-        """Move a poisoned item to ``failed/`` with its error text.
+    def release(self, claim: WorkClaim) -> bool:
+        """Hand a claimed-but-unstarted item back to ``pending/``.
+
+        The graceful half of a worker self-limit (``--max-rss``): when
+        the worker decides *after* claiming that it should not run the
+        item, releasing it makes the work immediately claimable by the
+        rest of the fleet instead of parking it until the lease
+        expires.  Returns False when the claim was already requeued or
+        acked under us (benign).
+        """
+        released = self._rename(
+            claim.path,
+            self.pending_dir / claim.path.name,
+            site="queue.release_rename",
+        )
+        try:
+            claim.path.with_name(claim.path.name + ".lease").unlink(
+                missing_ok=True
+            )
+        except OSError as error:
+            logger.debug("fault site queue.lease_unlink: %s", error)
+        if released:
+            logger.info(
+                "released %s back to pending (worker self-limit)",
+                claim.item_id,
+            )
+        return released
+
+    def discard(
+        self,
+        claim: WorkClaim,
+        error: str,
+        *,
+        exception: Optional[BaseException] = None,
+        worker_id: Optional[str] = None,
+        attempts: int = 1,
+    ) -> None:
+        """Move a poisoned item to ``failed/`` with a structured sidecar.
 
         Failed items are terminal: they are never requeued, and the
-        coordinator surfaces the error instead of waiting forever.
+        coordinator surfaces the error instead of waiting forever.  The
+        ``failed/<id>.error.json`` sidecar records the exception type
+        and traceback, the worker that gave up, and the fleet-wide
+        attempt count (see :meth:`requeue_counts`), so a supervisor can
+        tell a poisoned payload from an unlucky item without grepping
+        worker logs.
         """
         target = self.failed_dir / claim.path.name
+        sidecar = {
+            "error": str(error),
+            "exception_type": (
+                type(exception).__name__ if exception is not None else None
+            ),
+            "traceback": (
+                "".join(traceback_module.format_exception(exception))
+                if exception is not None
+                else None
+            ),
+            "worker_id": worker_id or claim.worker_id,
+            "attempts": attempts,
+        }
         try:
-            _atomic_write(target.with_name(target.name + ".error"), error.encode())
-        except OSError:  # pragma: no cover - the .task move still lands
-            pass
-        self._rename(claim.path, target)
-        claim.path.with_name(claim.path.name + ".lease").unlink(missing_ok=True)
+            _atomic_write(
+                self.failed_dir / f"{claim.item_id}.error.json",
+                json.dumps(sidecar, indent=2).encode("utf-8"),
+                site="queue.error",
+            )
+        except OSError as err:  # the .task move still lands
+            logger.debug("fault site queue.error: sidecar write failed: %s", err)
+        self._rename(claim.path, target, site="queue.discard_rename")
+        try:
+            claim.path.with_name(claim.path.name + ".lease").unlink(
+                missing_ok=True
+            )
+        except OSError as err:
+            logger.debug("fault site queue.lease_unlink: %s", err)
         logger.error("discarded work item %s: %s", claim.item_id, error)
 
     # ------------------------------------------------------------------
@@ -522,23 +905,47 @@ class WorkQueue:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _list(directory: Path, suffix: str) -> List[Path]:
+    def _list(
+        directory: Path, suffix: str, site: str = "queue.scan"
+    ) -> List[Path]:
         try:
             return [
                 directory / name
-                for name in os.listdir(directory)
+                for name in faults.storage().listdir(directory, site=site)
                 if name.endswith(suffix)
             ]
-        except OSError:
-            return []  # job dir removed (or not yet created): empty queue
+        except OSError as error:
+            # Job dir removed (or not yet created): empty queue.
+            logger.debug(
+                "fault site %s: listing %s failed: %s", site, directory, error
+            )
+            return []
 
     @staticmethod
-    def _rename(source: Path, target: Path) -> bool:
-        """Atomic rename; False when someone else moved ``source`` first."""
+    def _rename(source: Path, target: Path, site: str = "queue.rename") -> bool:
+        """Atomic rename; False when someone else moved ``source`` first.
+
+        Transient storage errors are retried (bounded, jittered) before
+        the rename is reported lost; an ENOENT is never retried -- a
+        missing source *is* how rename races lose, and losing the race
+        is part of the protocol, not a failure.
+        """
+
+        def rename() -> None:
+            faults.storage().rename(source, target, site=site)
+
         try:
-            os.rename(source, target)
+            faults.retrying(site, rename)
             return True
-        except OSError:
+        except FileNotFoundError:
+            logger.debug(
+                "fault site %s: lost the rename race for %s", site, source.name
+            )
+            return False
+        except OSError as error:
+            logger.debug(
+                "fault site %s: rename %s failed: %s", site, source.name, error
+            )
             return False
 
 

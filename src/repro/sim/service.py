@@ -66,6 +66,7 @@ from typing import (
     Union,
 )
 
+from repro.sim import faults
 from repro.sim.accounting import ByteLedger
 from repro.sim.engine import SimulationConfig, Simulator
 from repro.sim.policies import EpochPolicy, SwarmKey
@@ -382,10 +383,18 @@ class JsonlSink:
             "sessions": event.sessions,
             "result": result_to_payload(event.delta),
         }
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        payload = (json.dumps(record) + "\n").encode("utf-8")
+
+        def append() -> None:
+            with self.path.open("ab") as handle:
+                faults.storage().write(handle, payload, site="sink.append")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+        # A torn append leaves a partial line at the tail; repairing
+        # (truncating back to the last newline) before each retry keeps
+        # the retried whole record from landing after a garbage prefix.
+        faults.retrying("sink.append", append, on_retry=lambda _: self._recover())
         self.last_epoch = event.epoch
 
     @classmethod
@@ -444,7 +453,7 @@ class ServiceCheckpoint:
 
     def save(self, state_dir: Union[str, Path]) -> Path:
         path = Path(state_dir) / self.FILENAME
-        atomic_write_bytes(path, pickle.dumps(self))
+        atomic_write_bytes(path, pickle.dumps(self), site="checkpoint.save")
         return path
 
     @classmethod
@@ -722,7 +731,9 @@ class SimulationService:
         # epoch -- a gap, which nothing downstream could repair.
         for subscriber in self._subscribers:
             subscriber(event)
+        faults.crash_point("service.emitted")
         self._write_checkpoint()
+        faults.crash_point("service.checkpointed")
 
     def _write_checkpoint(self) -> None:
         ServiceCheckpoint(

@@ -27,8 +27,22 @@ The worker loop:
   refs and ack the pickled outputs;
 * a corrupt work item or job spec is moved to ``failed/`` / skipped
   with a logged error instead of crashing the worker;
-* exit on a ``STOP`` file in the queue root, after ``--max-tasks``
-  items, or after ``--idle-exit`` seconds without work.
+* exit on a ``STOP`` file in the home queue root, after ``--max-tasks``
+  items, after ``--idle-exit`` seconds without work, or when resident
+  memory crosses ``--max-rss`` (the claim in hand is released back to
+  ``pending/`` first -- graceful drain instead of OOM death).
+
+Work stealing: pass ``--queue-dir`` more than once and the worker
+serves every root, **home root first** -- it only steals from the
+later roots when the home root has nothing claimable.  The STOP file
+is honoured in the home root only, so draining one fleet never kills
+its neighbours' borrowed capacity.
+
+Exit status tells the supervisor *why* the worker left (so self-limits
+are distinguishable from crashes): 0 clean (idle-exit or natural end),
+32 ``--max-tasks`` reached, 33 ``--max-rss`` self-limit, 34 STOP file,
+35 fatal error; 86 is an injected crash from the fault harness
+(:mod:`repro.sim.faults`).
 
 Crash safety: a worker may be SIGKILLed at any point.  An unacked
 claim's lease expires and the coordinator requeues the item; an
@@ -45,8 +59,9 @@ import sys
 import threading
 import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
+from repro.sim import faults
 from repro.sim.kernel import run_shard, run_shard_multi
 from repro.sim.queue import (
     JobSpec,
@@ -57,12 +72,100 @@ from repro.sim.queue import (
     quarantine_abandoned,
 )
 
-__all__ = ["run_worker", "main", "default_worker_id"]
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FATAL",
+    "EXIT_MAX_TASKS",
+    "EXIT_RSS_LIMIT",
+    "EXIT_STOP_FILE",
+    "WorkerExit",
+    "current_rss_bytes",
+    "default_worker_id",
+    "main",
+    "parse_size",
+    "run_worker",
+]
 
 logger = logging.getLogger(__name__)
 
 #: Queue-root file whose presence tells every worker to exit.
 STOP_FILENAME = "STOP"
+
+#: Exit statuses (distinct, so fleet supervisors can tell a worker's
+#: deliberate self-limit from a crash).  86 (injected crash) lives in
+#: :data:`repro.sim.faults.INJECTED_CRASH_EXIT_CODE`.
+EXIT_CLEAN = 0
+EXIT_MAX_TASKS = 32
+EXIT_RSS_LIMIT = 33
+EXIT_STOP_FILE = 34
+EXIT_FATAL = 35
+
+_EXIT_CODES = {
+    "clean": EXIT_CLEAN,
+    "max-tasks": EXIT_MAX_TASKS,
+    "rss-limit": EXIT_RSS_LIMIT,
+    "stop-file": EXIT_STOP_FILE,
+    "fatal": EXIT_FATAL,
+}
+
+
+class WorkerExit(int):
+    """:func:`run_worker`'s return value.
+
+    Subclasses :class:`int` (the processed-item count, which existing
+    callers compare directly) and carries *why* the worker stopped:
+    ``reason`` is one of ``clean`` / ``max-tasks`` / ``rss-limit`` /
+    ``stop-file`` / ``fatal``, and ``code`` is the matching process
+    exit status the CLI returns.
+    """
+
+    reason: str
+
+    def __new__(cls, processed: int, reason: str = "clean") -> "WorkerExit":
+        if reason not in _EXIT_CODES:
+            raise ValueError(f"unknown exit reason {reason!r}")
+        value = super().__new__(cls, processed)
+        value.reason = reason
+        return value
+
+    @property
+    def code(self) -> int:
+        return _EXIT_CODES[self.reason]
+
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+
+
+def parse_size(text: str) -> int:
+    """``"800M"`` / ``"2G"`` / ``"1048576"`` -> bytes."""
+    raw = str(text).strip().lower()
+    if raw.endswith("b"):
+        raw = raw[:-1]
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        return int(float(raw[:-1]) * _SIZE_SUFFIXES[raw[-1]])
+    return int(raw)
+
+
+def current_rss_bytes() -> Optional[int]:
+    """This process's resident set size, or None if unmeasurable.
+
+    Prefers ``/proc/self/status`` (current RSS); falls back to
+    ``resource.getrusage`` (peak RSS -- conservative: a worker that
+    *ever* crossed the limit drains, which is the safe direction).
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as stream:
+            for line in stream:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024
+    except (ImportError, OSError, ValueError):
+        return None
 
 
 def default_worker_id() -> str:
@@ -111,8 +214,17 @@ def _job_dirs(queue_root: Path) -> List[Path]:
     return [queue_root / name for name in names]
 
 
+def _queue_roots(queue_dir) -> List[Path]:
+    if isinstance(queue_dir, (str, os.PathLike)):
+        return [Path(queue_dir)]
+    roots = [Path(entry) for entry in queue_dir]
+    if not roots:
+        raise ValueError("at least one queue root is required")
+    return roots
+
+
 def run_worker(
-    queue_dir,
+    queue_dir: Union[str, os.PathLike, Sequence[Union[str, os.PathLike]]],
     *,
     poll_interval: float = 0.1,
     lease_timeout: float = 30.0,
@@ -120,34 +232,64 @@ def run_worker(
     idle_exit: Optional[float] = None,
     worker_id: Optional[str] = None,
     job_ttl: Optional[float] = None,
-) -> int:
-    """Serve a queue directory until told (or timed out) to stop.
+    max_rss: Optional[int] = None,
+) -> WorkerExit:
+    """Serve queue directories until told (or timed out) to stop.
 
-    Returns the number of work items processed.  Importable directly
-    (tests drive it in-process) and the body of the module CLI.
+    Returns a :class:`WorkerExit`: the number of work items processed
+    (it *is* that int) plus the exit reason/status.  Importable
+    directly (tests drive it in-process) and the body of the module
+    CLI.
+
+    ``queue_dir`` may be a single root or a sequence of roots.  The
+    first is the worker's *home*: scanned first every cycle (so home
+    work always wins) and the only root whose STOP file stops this
+    worker; the rest are steal targets served when home is idle.
 
     ``job_ttl`` (seconds, storage clock) enables orphan-job cleanup: a
     job whose coordinator published a spec but left no pending or
     claimed items for that long is quarantined
     (:func:`repro.sim.queue.quarantine_abandoned`) instead of leaking
     its directory forever.  ``None`` (the default) never quarantines.
+
+    ``max_rss`` (bytes) is the self-limit: when resident memory
+    crosses it the worker stops claiming, releases any claim it has
+    not started, and exits with the ``rss-limit`` status -- a
+    supervisor restarts it fresh instead of the kernel OOM-killing it
+    mid-task.
     """
-    root = Path(queue_dir)
+    roots = _queue_roots(queue_dir)
+    home = roots[0]
     worker_id = worker_id or default_worker_id()
     specs: dict = {}  # job dir -> JobSpec (immutable once published)
     bad_jobs: set = set()  # job dirs with unreadable specs (logged once)
     processed = 0
     idle_since = time.monotonic()
-    logger.info("worker %s serving %s", worker_id, root)
+    logger.info(
+        "worker %s serving %s", worker_id, ", ".join(str(r) for r in roots)
+    )
     while True:
-        if (root / STOP_FILENAME).exists():
+        if (home / STOP_FILENAME).exists():
             logger.info("worker %s: STOP file present, exiting", worker_id)
-            break
+            return WorkerExit(processed, "stop-file")
+        if max_rss is not None:
+            rss = current_rss_bytes()
+            if rss is not None and rss > max_rss:
+                logger.warning(
+                    "worker %s: RSS %d over --max-rss %d, exiting",
+                    worker_id, rss, max_rss,
+                )
+                return WorkerExit(processed, "rss-limit")
         claimed_something = False
         if job_ttl is not None:
-            for name in quarantine_abandoned(root, job_ttl):
-                logger.info("worker %s quarantined orphan job %s", worker_id, name)
-        active_jobs = _job_dirs(root)
+            for root in roots:
+                for name in quarantine_abandoned(root, job_ttl):
+                    logger.info(
+                        "worker %s quarantined orphan job %s", worker_id, name
+                    )
+        active_jobs: List[Path] = []
+        for root in roots:
+            active_jobs.extend(_job_dirs(root))
         # Retired jobs usually vanish (the coordinator deletes the
         # directory right after DONE), so prune by absence too -- a
         # long-lived worker must not accumulate one spec per job.
@@ -173,12 +315,31 @@ def run_worker(
             if claim is None:
                 continue
             claimed_something = True
+            if max_rss is not None:
+                rss = current_rss_bytes()
+                if rss is not None and rss > max_rss:
+                    # Drain gracefully: hand the unstarted claim back so
+                    # the fleet picks it up immediately, then exit.
+                    queue.release(claim)
+                    logger.warning(
+                        "worker %s: RSS %d over --max-rss %d, released %s "
+                        "and exiting", worker_id, rss, max_rss, claim.item_id,
+                    )
+                    return WorkerExit(processed, "rss-limit")
+            faults.crash_point("worker.claimed")
             try:
                 item = queue.load_item(claim)
             except QueueItemError as error:
                 # Poisoned payload: park it in failed/ (terminal) so the
                 # coordinator can surface the error; keep serving.
-                queue.discard(claim, str(error))
+                attempts = queue.requeue_counts().get(claim.item_id, 0) + 1
+                queue.discard(
+                    claim,
+                    str(error),
+                    exception=error,
+                    worker_id=worker_id,
+                    attempts=attempts,
+                )
                 break
             logger.debug(
                 "worker %s running %s (%d refs) from %s",
@@ -192,21 +353,22 @@ def run_worker(
                 result = _execute(item, specs[job_dir])
             try:
                 queue.ack(claim, result)
-            except OSError:
+            except OSError as error:
                 # The job directory vanished mid-task: the coordinator
                 # collected a duplicate's result and retired the job
                 # (this worker was presumed dead).  The work is done
                 # elsewhere; dropping our identical copy is safe.
                 logger.warning(
-                    "could not ack %s (job %s retired); dropping duplicate "
-                    "result", item.item_id, job_dir.name,
+                    "could not ack %s (job %s retired, %s); dropping "
+                    "duplicate result", item.item_id, job_dir.name, error,
                 )
             processed += 1
+            faults.crash_point("worker.acked")
             if max_tasks is not None and processed >= max_tasks:
                 logger.info(
                     "worker %s: reached --max-tasks %d", worker_id, max_tasks
                 )
-                return processed
+                return WorkerExit(processed, "max-tasks")
             break  # rescan from the oldest job so fold frontiers drain first
         if claimed_something:
             idle_since = time.monotonic()
@@ -215,9 +377,8 @@ def run_worker(
             logger.info(
                 "worker %s: idle for %.1fs, exiting", worker_id, idle_exit
             )
-            break
+            return WorkerExit(processed, "clean")
         time.sleep(poll_interval)
-    return processed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -226,8 +387,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=__doc__.splitlines()[0],
     )
     parser.add_argument(
-        "--queue-dir", required=True,
-        help="queue root directory shared with the coordinator",
+        "--queue-dir", action="append", required=True,
+        help="queue root directory shared with the coordinator; repeat "
+        "the flag to steal work from additional roots when the first "
+        "(home) root is idle",
     )
     parser.add_argument(
         "--poll-interval", type=float, default=0.1,
@@ -257,6 +420,12 @@ def build_parser() -> argparse.ArgumentParser:
         "coordinators (default: never)",
     )
     parser.add_argument(
+        "--max-rss", default=None,
+        help="self-limit resident memory (e.g. 800M, 2G): release any "
+        "unstarted claim and exit with status 33 instead of dying to "
+        "the OOM killer (default: unlimited)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log each processed item"
     )
     return parser
@@ -269,17 +438,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         format="%(asctime)s %(levelname)s %(name)s: %(message)s",
         stream=sys.stderr,
     )
-    processed = run_worker(
-        args.queue_dir,
-        poll_interval=args.poll_interval,
-        lease_timeout=args.lease_timeout,
-        max_tasks=args.max_tasks,
-        idle_exit=args.idle_exit,
-        worker_id=args.worker_id,
-        job_ttl=args.job_ttl,
+    # Chaos harnesses export a fault plan; production runs have none.
+    faults.install_from_env()
+    try:
+        result = run_worker(
+            args.queue_dir,
+            poll_interval=args.poll_interval,
+            lease_timeout=args.lease_timeout,
+            max_tasks=args.max_tasks,
+            idle_exit=args.idle_exit,
+            worker_id=args.worker_id,
+            job_ttl=args.job_ttl,
+            max_rss=(
+                parse_size(args.max_rss) if args.max_rss is not None else None
+            ),
+        )
+    except Exception:
+        logger.exception("worker died on an unhandled error")
+        return EXIT_FATAL
+    logger.info(
+        "worker processed %d item(s), exiting: %s", int(result), result.reason
     )
-    logger.info("worker processed %d item(s)", processed)
-    return 0
+    return result.code
 
 
 if __name__ == "__main__":

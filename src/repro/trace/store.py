@@ -37,6 +37,7 @@ bit -- to the one written.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import heapq
 import json
@@ -59,6 +60,7 @@ from typing import (
     Union,
 )
 
+from repro.sim import faults
 from repro.topology.nodes import intern_attachment
 from repro.trace.events import Session
 
@@ -385,13 +387,28 @@ class StoreReader:
         if count == 0:
             return b""
         offset = _HEADER.size + index * RECORD_SIZE
-        buffer = os.pread(self._fd, count * RECORD_SIZE, offset)
-        if len(buffer) != count * RECORD_SIZE:
-            raise StoreCorruptionError(
-                f"{self.path}: short read at record {index} "
-                f"(got {len(buffer)} of {count * RECORD_SIZE} bytes)"
+        length = count * RECORD_SIZE
+
+        def pread() -> bytes:
+            buffer = faults.storage().pread(
+                self._fd, length, offset, site="store.pread"
             )
-        return buffer
+            if len(buffer) != length:
+                # A short read on a complete store is transient (EIO
+                # territory on flaky shared storage): surface it as one
+                # so the retry loop gets a shot before we call the
+                # store corrupt.
+                raise OSError(
+                    errno.EIO,
+                    f"short read at record {index} "
+                    f"(got {len(buffer)} of {length} bytes)",
+                )
+            return buffer
+
+        try:
+            return faults.retrying("store.pread", pread)
+        except OSError as error:
+            raise StoreCorruptionError(f"{self.path}: {error}") from error
 
     def read_range(self, index: int, count: int) -> List[Session]:
         """Decode ``count`` sessions starting at record ``index``.

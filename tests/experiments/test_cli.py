@@ -195,11 +195,14 @@ class TestDistributedFlags:
             build_parser().parse_args(["worker"])
 
     def test_worker_command_serves_and_exits(self, tmp_path):
-        """`consume-local worker` drains a queue and honours --idle-exit."""
+        """`consume-local worker` drains a queue and exits with the
+        distinct --max-tasks status so supervisors can tell the
+        self-limit from a crash."""
         import pickle
 
         from repro.sim.engine import SimulationConfig
         from repro.sim.queue import JobSpec, WorkItem, WorkQueue, item_id_for
+        from repro.sim.worker import EXIT_MAX_TASKS
 
         queue = WorkQueue(tmp_path / "job-cli", lease_timeout=30.0)
         queue.write_spec(JobSpec(kind="single", config=SimulationConfig()))
@@ -211,7 +214,7 @@ class TestDistributedFlags:
                 "--max-tasks", "1",
                 "--idle-exit", "1.0",
             ]
-        ) == 0
+        ) == EXIT_MAX_TASKS
         assert queue.result_ids() == {item_id_for(0)}
         assert pickle.loads(
             (queue.results_dir / f"{item_id_for(0)}.out").read_bytes()

@@ -528,7 +528,10 @@ class TestDistributedFaultTolerance:
             result = Simulator(SimulationConfig(), backend=backend).run(small_trace)
             thread.join(timeout=60.0)
             assert killed.is_set(), "no worker was ever holding a claim"
-            assert backend.live_workers() == 1  # the victim really died
+            # The victim really died; the coordinator's mid-job fleet
+            # self-healing may already have spawned a replacement, so
+            # count spawns, not survivors.
+            assert backend._spawned >= 3
             assert_identical(serial, result)
         finally:
             thread.join(timeout=1.0)

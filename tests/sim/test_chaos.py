@@ -1,0 +1,210 @@
+"""Chaos soak: seeded fault plans against the full distributed stack.
+
+Each seed derives a :func:`repro.sim.faults.chaos_plan` -- a mixed
+schedule of torn writes, ENOSPC/EIO, rename-visibility delays, clock
+skew and crash points -- and the suite asserts the strongest property
+the runtime claims: a distributed run and a service-mode run *under
+injected faults* complete and are **bit for bit** identical to the
+clean serial baseline, and every fault schedule is replayable from its
+seed alone.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.sim import SimulationConfig, Simulator
+from repro.sim import faults
+from repro.sim.backends import DistributedBackend, SerialBackend
+from repro.sim.faults import InjectedCrash, chaos_plan
+from repro.sim.queue import WorkQueue
+from repro.sim.service import JsonlSink, ServiceConfig, SimulationService
+from repro.sim.worker import run_worker
+from repro.trace.events import SECONDS_PER_DAY
+from repro.trace.generator import GeneratorConfig, TraceGenerator
+
+SEEDS = list(range(20))
+
+#: Fault rules fire real retries and lease recoveries, so allow the
+#: coordinator more bounces than a clean run would ever need.
+MAX_ATTEMPTS = 20
+
+
+@pytest.fixture(autouse=True)
+def clean_facade():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = GeneratorConfig(
+        num_users=80, num_items=8, days=1, expected_sessions=400, seed=11
+    )
+    return TraceGenerator(config=config).generate()
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(trace):
+    """Computed once, before any plan is ever installed."""
+    return Simulator(SimulationConfig(), backend=SerialBackend()).run(trace)
+
+
+def run_distributed_under(plan, trace, queue_root):
+    """One distributed run with ``plan`` installed process-wide.
+
+    Workers run as in-process threads under a supervisor that treats
+    :class:`InjectedCrash` as a worker-process death and respawns, so
+    crash points exercise the same lease-expiry recovery a SIGKILL
+    would -- deterministically and without subprocess plumbing.
+    """
+    backend = DistributedBackend(
+        2,
+        queue_dir=queue_root,
+        spawn=False,
+        lease_timeout=0.5,
+        poll_interval=0.01,
+        shard_quantum=40,
+        progress_timeout=120.0,
+        max_attempts=MAX_ATTEMPTS,
+        compact_every=8,
+    )
+
+    def supervised_worker(ordinal):
+        while True:
+            try:
+                run_worker(
+                    queue_root,
+                    poll_interval=0.01,
+                    lease_timeout=0.5,
+                    worker_id=f"chaos-{ordinal}",
+                )
+                return  # STOP file: clean shutdown
+            except InjectedCrash:
+                continue  # the "process" died mid-item; respawn
+
+    threads = [
+        threading.Thread(target=supervised_worker, args=(i,)) for i in range(2)
+    ]
+    with faults.injected(plan):
+        for thread in threads:
+            thread.start()
+        try:
+            result = Simulator(SimulationConfig(), backend=backend).run(trace)
+        finally:
+            (queue_root / "STOP").touch()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            backend.close()
+    return result
+
+
+def run_service_under(plan, trace, config, state_dir):
+    """One service run with ``plan`` installed, restarting over the
+    same state dir whenever an injected crash point kills it -- the
+    checkpointed-resume path under fire."""
+    sink_path = state_dir / "out.jsonl"
+    with faults.injected(plan):
+        for _ in range(10):  # far more restarts than crash rules can force
+            service = SimulationService(
+                config, state_dir, subscribers=[JsonlSink(sink_path)]
+            )
+            try:
+                service.run(iter(trace.sessions[service.cursor :]))
+                cumulative = service.result()
+                service.close()
+                return cumulative, sink_path
+            except InjectedCrash:
+                service.close()
+    raise AssertionError("service never completed within the restart budget")
+
+
+class TestDistributedChaos:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_identical_to_serial_under_faults(
+        self, trace, serial_baseline, tmp_path, seed
+    ):
+        plan = chaos_plan(seed, crash_mode="raise")
+        queue_root = tmp_path / "queue"
+        result = run_distributed_under(plan, trace, queue_root)
+        assert result.identical_to(serial_baseline)
+        assert result.total.server_bits == serial_baseline.total.server_bits
+        assert result.total.peer_bits == serial_baseline.total.peer_bits
+        # No unretired work: every item of every job ended acked.
+        for job_dir in queue_root.glob("job-*"):
+            queue = WorkQueue(job_dir, lease_timeout=0.5, create=False)
+            assert queue.pending_ids() == set()
+            assert queue.claimed_ids() == set()
+            assert queue.failed_items() == {}
+
+
+class TestServiceChaos:
+    @pytest.fixture(scope="class")
+    def service_config(self, trace):
+        # Several short epochs, so the crash points (scheduled on the
+        # second invocation) actually land mid-stream.
+        return ServiceConfig(
+            simulation=SimulationConfig(),
+            epoch_seconds=SECONDS_PER_DAY / 4,
+            horizon=trace.horizon,
+        )
+
+    @pytest.fixture(scope="class")
+    def batch_result(self, trace, service_config):
+        return Simulator(service_config.scoped_config).run(trace)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_identical_to_batch_under_faults(
+        self, trace, service_config, batch_result, tmp_path, seed
+    ):
+        plan = chaos_plan(seed, crash_mode="raise")
+        cumulative, sink_path = run_service_under(
+            plan, trace, service_config, tmp_path
+        )
+        assert cumulative.identical_to(batch_result)
+        # The sink holds every epoch exactly once, in order, despite
+        # torn appends, ENOSPC and crash-before-checkpoint restarts.
+        epochs = [
+            json.loads(line)["epoch"]
+            for line in sink_path.read_text().splitlines()
+        ]
+        assert epochs == sorted(set(epochs))
+        assert epochs[0] == 0
+
+
+class TestReplayability:
+    def test_same_seed_same_faults_same_bytes(
+        self, trace, tmp_path, batch_seed=13
+    ):
+        """A chaos run is replayable from its seed alone: two service
+        runs under the same seed fire the identical fault schedule and
+        produce byte-identical sinks."""
+        config = ServiceConfig(
+            simulation=SimulationConfig(),
+            epoch_seconds=SECONDS_PER_DAY / 4,
+            horizon=trace.horizon,
+        )
+        histories, sinks = [], []
+        for attempt in ("first", "second"):
+            plan = chaos_plan(batch_seed, crash_mode="raise")
+            state_dir = tmp_path / attempt
+            state_dir.mkdir()
+            _, sink_path = run_service_under(plan, trace, config, state_dir)
+            histories.append(tuple(plan.fired))
+            sinks.append(sink_path.read_bytes())
+        assert histories[0] == histories[1]
+        assert sinks[0] == sinks[1]
+
+    def test_plan_serializes_for_postmortem_replay(self):
+        """The JSON shipped to workers reconstructs the exact plan."""
+        plan = chaos_plan(7, crash_mode="raise")
+        revived = faults.FaultPlan.from_json(plan.to_json())
+        assert revived.seed == plan.seed
+        assert revived.rules == plan.rules
+        sites = [rule.site for rule in plan.rules]
+        for site in sites:
+            assert [plan.decide(site) for _ in range(20)] == [
+                revived.decide(site) for _ in range(20)
+            ]

@@ -1,0 +1,408 @@
+"""The deterministic fault-injection harness (repro/sim/faults.py).
+
+Everything the chaos soak leans on is pinned here directly: fault
+plans replay bit-for-bit from their seed (across instances, across
+serialization, across salts), the storage facade injects exactly the
+failure each rule names, the retry primitive retries exactly the
+transient errno set with deterministic jitter, and installation is
+scoped and reversible.
+"""
+
+import errno
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.sim import faults
+from repro.sim.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    RetryPolicy,
+    Storage,
+    FaultyStorage,
+    chaos_plan,
+    is_transient,
+    retrying,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_facade():
+    """Never leak an installed plan into (or out of) a test."""
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+class TestFaultRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultRule(site="x", kind="explode")
+
+    def test_rejects_bad_prob(self):
+        with pytest.raises(ValueError, match="prob"):
+            FaultRule(site="x", kind="eio", prob=1.5)
+
+    def test_rejects_bad_crash_mode(self):
+        with pytest.raises(ValueError, match="crash_mode"):
+            FaultRule(site="x", kind="crash", crash_mode="dunno")
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ValueError, match="limit"):
+            FaultRule(site="x", kind="eio", limit=0)
+
+    def test_payload_round_trip(self):
+        rule = FaultRule(
+            site="queue.*", kind="torn", prob=0.25, at=(1, 3), limit=2,
+            skew=-30.0, keep_fraction=0.75, crash_mode="raise",
+        )
+        assert FaultRule.from_payload(rule.to_payload()) == rule
+
+
+class TestFaultPlan:
+    def test_same_seed_same_decisions(self):
+        def history(plan):
+            return [
+                plan.decide("queue.put") is not None for _ in range(200)
+            ]
+
+        rule = FaultRule(site="queue.put", kind="eio", prob=0.3)
+        first = history(FaultPlan(7, (rule,)))
+        second = history(FaultPlan(7, (rule,)))
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_different_seeds_differ(self):
+        rule = FaultRule(site="queue.put", kind="eio", prob=0.3)
+        histories = {
+            tuple(
+                FaultPlan(seed, (rule,)).decide("queue.put") is not None
+                for _ in range(100)
+            )
+            for seed in range(5)
+        }
+        assert len(histories) > 1
+
+    def test_at_schedule_fires_exactly_there(self):
+        plan = FaultPlan(
+            0, (FaultRule(site="s", kind="eio", at=(2, 5)),)
+        )
+        fired = [plan.decide("s") is not None for _ in range(8)]
+        assert fired == [False, False, True, False, False, True, False, False]
+        assert plan.fired == [("s", "eio", 2), ("s", "eio", 5)]
+
+    def test_limit_caps_total_fires(self):
+        plan = FaultPlan(
+            0, (FaultRule(site="s", kind="eio", prob=1.0, limit=3),)
+        )
+        fired = sum(plan.decide("s") is not None for _ in range(10))
+        assert fired == 3
+
+    def test_pattern_matches_site_families(self):
+        plan = FaultPlan(0, (FaultRule(site="queue.*", kind="eio", prob=1.0),))
+        assert plan.decide("queue.put") is not None
+        assert plan.decide("queue.ack_rename") is not None
+        assert plan.decide("sink.append") is None
+
+    def test_sites_have_independent_streams(self):
+        """One site's traffic never perturbs another site's decisions."""
+        rule = FaultRule(site="*", kind="eio", prob=0.3)
+        solo = FaultPlan(3, (rule,))
+        lone = [solo.decide("a") is not None for _ in range(50)]
+        plan = FaultPlan(3, (rule,))
+        mixed = []
+        for _ in range(50):
+            plan.decide("b")  # interleaved traffic on another site
+            mixed.append(plan.decide("a") is not None)
+        assert mixed == lone
+
+    def test_json_round_trip_replays(self):
+        rule = FaultRule(site="s", kind="enospc", prob=0.4, limit=5)
+        original = FaultPlan(11, (rule,))
+        clone = FaultPlan.from_json(original.to_json())
+        assert clone.seed == original.seed and clone.rules == original.rules
+        first = [original.decide("s") is not None for _ in range(100)]
+        second = [clone.decide("s") is not None for _ in range(100)]
+        assert first == second
+
+    def test_with_salt_changes_streams_deterministically(self):
+        rule = FaultRule(site="s", kind="eio", prob=0.3)
+        base = FaultPlan(5, (rule,))
+        salted = base.with_salt("worker-1")
+        salted_again = FaultPlan(5, (rule,)).with_salt("worker-1")
+        a = [base.decide("s") is not None for _ in range(100)]
+        b = [salted.decide("s") is not None for _ in range(100)]
+        c = [salted_again.decide("s") is not None for _ in range(100)]
+        assert b == c
+        assert a != b
+
+
+class TestChaosPlan:
+    def test_deterministic_and_bounded(self):
+        for seed in range(30):
+            plan = chaos_plan(seed)
+            again = chaos_plan(seed)
+            assert plan.to_json() == again.to_json()
+            assert 3 <= len(plan.rules) <= 6
+            # At most one rule per site, so no site can out-fire the
+            # retry budget.
+            sites = [rule.site for rule in plan.rules]
+            assert len(sites) == len(set(sites))
+            for rule in plan.rules:
+                if rule.kind in ("eio", "enospc", "torn"):
+                    assert rule.limit is not None and rule.limit <= 5
+
+    def test_crash_mode_stamped(self):
+        for seed in range(50):
+            for rule in chaos_plan(seed, crash_mode="raise").rules:
+                if rule.kind == "crash":
+                    assert rule.crash_mode == "raise"
+
+    def test_seeds_cover_distinct_mixes(self):
+        mixes = {
+            tuple(sorted((r.site, r.kind) for r in chaos_plan(seed).rules))
+            for seed in range(20)
+        }
+        assert len(mixes) >= 10
+
+
+class TestRetrying:
+    def test_transient_errors_retry_to_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError(errno.EIO, "injected")
+            return "done"
+
+        policy = RetryPolicy(attempts=5, base_delay=0.0)
+        assert retrying("t", flaky, policy=policy) == "done"
+        assert len(calls) == 3
+
+    def test_budget_exhaustion_raises_last_error(self):
+        def always():
+            raise OSError(errno.ENOSPC, "full")
+
+        policy = RetryPolicy(attempts=3, base_delay=0.0)
+        with pytest.raises(OSError) as info:
+            retrying("t", always, policy=policy)
+        assert info.value.errno == errno.ENOSPC
+
+    def test_enoent_is_not_retried(self):
+        calls = []
+
+        def racy():
+            calls.append(1)
+            raise FileNotFoundError(errno.ENOENT, "lost the race")
+
+        policy = RetryPolicy(attempts=5, base_delay=0.0)
+        with pytest.raises(FileNotFoundError):
+            retrying("t", racy, policy=policy)
+        assert len(calls) == 1
+
+    def test_on_retry_runs_before_each_retry(self):
+        repairs = []
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError(errno.EIO, "torn")
+            return "ok"
+
+        retrying(
+            "t",
+            flaky,
+            policy=RetryPolicy(attempts=5, base_delay=0.0),
+            on_retry=lambda error: repairs.append(error.errno),
+        )
+        assert repairs == [errno.EIO, errno.EIO]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        values = [faults._jitter("site", n) for n in range(1, 20)]
+        assert values == [faults._jitter("site", n) for n in range(1, 20)]
+        assert all(0.5 <= v < 1.5 for v in values)
+        assert faults._jitter("other", 1) != faults._jitter("site", 1)
+
+    def test_is_transient_classifier(self):
+        assert is_transient(OSError(errno.EIO, "x"))
+        assert is_transient(OSError(errno.ENOSPC, "x"))
+        assert is_transient(OSError(errno.ESTALE, "x"))
+        assert not is_transient(OSError(errno.ENOENT, "x"))
+        assert not is_transient(ValueError("x"))
+
+
+class TestStorageFacade:
+    def test_passthrough_primitives(self, tmp_path):
+        store = Storage()
+        source = tmp_path / "a"
+        source.write_bytes(b"payload")
+        assert store.exists(source)
+        assert "a" in store.listdir(tmp_path)
+        assert store.mtime(source) > 0
+        store.rename(source, tmp_path / "b")
+        assert not store.exists(source)
+        store.touch(tmp_path / "c")
+        store.utime(tmp_path / "c")
+        store.unlink(tmp_path / "c")
+        store.crash_point("anywhere")  # no-op without a plan
+
+    def test_eio_and_enospc_injection(self, tmp_path):
+        plan = FaultPlan(
+            0,
+            (
+                FaultRule(site="boom.eio", kind="eio", at=(0,)),
+                FaultRule(site="boom.enospc", kind="enospc", at=(0,)),
+            ),
+        )
+        store = FaultyStorage(plan)
+        (tmp_path / "x").write_bytes(b"")
+        with pytest.raises(OSError) as info:
+            store.rename(tmp_path / "x", tmp_path / "y", site="boom.eio")
+        assert info.value.errno == errno.EIO
+        assert (tmp_path / "x").exists()  # fault fired BEFORE the op
+        with pytest.raises(OSError) as info:
+            store.utime(tmp_path / "x", site="boom.enospc")
+        assert info.value.errno == errno.ENOSPC
+        # Streams advance past the scheduled fire: next calls succeed.
+        store.rename(tmp_path / "x", tmp_path / "y", site="boom.eio")
+        assert (tmp_path / "y").exists()
+
+    def test_hide_masks_observation_not_state(self, tmp_path):
+        target = tmp_path / "present"
+        target.write_bytes(b"")
+        plan = FaultPlan(0, (FaultRule(site="look", kind="hide", at=(0, 1)),))
+        store = FaultyStorage(plan)
+        assert store.exists(target, site="look") is False
+        assert store.listdir(tmp_path, site="look") == []
+        assert target.exists()  # the file was there all along
+        assert store.exists(target, site="look") is True
+
+    def test_skew_offsets_mtime(self, tmp_path):
+        target = tmp_path / "clock"
+        target.write_bytes(b"")
+        real = target.stat().st_mtime
+        plan = FaultPlan(
+            0, (FaultRule(site="clock", kind="skew", at=(0,), skew=45.0),)
+        )
+        store = FaultyStorage(plan)
+        assert store.mtime(target, site="clock") == pytest.approx(real + 45.0)
+        assert store.mtime(target, site="clock") == pytest.approx(real)
+
+    def test_torn_write_keeps_prefix_and_raises(self, tmp_path):
+        target = tmp_path / "torn"
+        plan = FaultPlan(
+            0,
+            (
+                FaultRule(
+                    site="w", kind="torn", at=(0,), keep_fraction=0.5
+                ),
+            ),
+        )
+        store = FaultyStorage(plan)
+        data = b"0123456789"
+        with open(target, "wb") as handle:
+            with pytest.raises(OSError) as info:
+                store.write(handle, data, site="w")
+        assert info.value.errno == errno.EIO
+        assert target.read_bytes() == data[:5]
+        with open(target, "wb") as handle:
+            store.write(handle, data, site="w")
+        assert target.read_bytes() == data
+
+    def test_torn_pread_returns_short_buffer(self, tmp_path):
+        target = tmp_path / "store"
+        target.write_bytes(b"0123456789")
+        plan = FaultPlan(
+            0,
+            (FaultRule(site="r", kind="torn", at=(0,), keep_fraction=0.5),),
+        )
+        store = FaultyStorage(plan)
+        fd = os.open(target, os.O_RDONLY)
+        try:
+            assert store.pread(fd, 10, 0, site="r") == b"01234"
+            assert store.pread(fd, 10, 0, site="r") == b"0123456789"
+        finally:
+            os.close(fd)
+
+    def test_crash_raise_mode(self):
+        plan = FaultPlan(
+            0,
+            (
+                FaultRule(
+                    site="point", kind="crash", at=(0,), crash_mode="raise"
+                ),
+            ),
+        )
+        store = FaultyStorage(plan)
+        with pytest.raises(InjectedCrash):
+            store.crash_point("point")
+        store.crash_point("point")  # only invocation 0 crashes
+
+    def test_crash_exit_mode_kills_the_process(self, tmp_path):
+        """Exit-mode crashes are real process deaths with the marker
+        status (checked in a subprocess so the suite survives)."""
+        plan = FaultPlan(
+            0, (FaultRule(site="die", kind="crash", at=(0,), crash_mode="exit"),)
+        )
+        script = (
+            "from repro.sim import faults\n"
+            f"faults.install(faults.FaultPlan.from_json({plan.to_json()!r}))\n"
+            "faults.crash_point('die')\n"
+            "raise SystemExit(0)\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        env = dict(os.environ, PYTHONPATH=str(src))
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, timeout=60
+        )
+        assert proc.returncode == faults.INJECTED_CRASH_EXIT_CODE
+
+
+class TestInstallation:
+    def test_install_and_uninstall(self):
+        assert isinstance(faults.storage(), Storage)
+        assert faults.active_plan() is None
+        plan = faults.install(FaultPlan(0, ()))
+        assert faults.active_plan() is plan
+        faults.uninstall()
+        assert faults.active_plan() is None
+
+    def test_injected_context_always_restores(self):
+        with pytest.raises(RuntimeError):
+            with faults.injected(FaultPlan(0, ())):
+                assert faults.active_plan() is not None
+                raise RuntimeError("boom")
+        assert faults.active_plan() is None
+
+    def test_install_from_env_json_and_file(self, tmp_path):
+        plan = chaos_plan(3)
+        installed = faults.install_from_env({faults.PLAN_ENV_VAR: plan.to_json()})
+        assert installed is not None and installed.seed == plan.seed
+        faults.uninstall()
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        installed = faults.install_from_env(
+            {faults.PLAN_ENV_VAR: f"@{path}"}
+        )
+        assert installed is not None and installed.rules == plan.rules
+        faults.uninstall()
+        assert faults.install_from_env({}) is None
+
+    def test_install_from_env_applies_salt(self):
+        plan = FaultPlan(9, (FaultRule(site="s", kind="eio", prob=0.3),))
+        salted = faults.install_from_env(
+            {
+                faults.PLAN_ENV_VAR: plan.to_json(),
+                faults.SALT_ENV_VAR: "worker-2",
+            }
+        )
+        assert salted is not None
+        assert salted.seed == plan.with_salt("worker-2").seed
+        assert salted.seed != plan.seed

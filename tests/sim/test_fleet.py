@@ -1,0 +1,615 @@
+"""Fleet self-protection under injected faults.
+
+Queue transitions retried through transient storage errors, the
+requeue-vs-ack race under stale rename visibility (the NFS-ish case),
+failure sidecars, the results pack, worker ``--max-rss`` self-limits,
+work stealing across queue roots, and distinct worker exit codes --
+each driven deterministically through :mod:`repro.sim.faults` plans,
+no timing dice.
+"""
+
+import json
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.sim import faults
+from repro.sim.engine import SimulationConfig
+from repro.sim.faults import FaultPlan, FaultRule, InjectedCrash
+from repro.sim.queue import (
+    FailureRecord,
+    JobSpec,
+    WorkItem,
+    WorkQueue,
+    item_id_for,
+)
+from repro.sim import worker as worker_module
+from repro.sim.worker import (
+    EXIT_CLEAN,
+    EXIT_MAX_TASKS,
+    EXIT_RSS_LIMIT,
+    EXIT_STOP_FILE,
+    WorkerExit,
+    current_rss_bytes,
+    parse_size,
+    run_worker,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_facade():
+    faults.uninstall()
+    yield
+    faults.uninstall()
+
+
+def make_queue(tmp_path, lease_timeout=0.2, name="job-test"):
+    return WorkQueue(tmp_path / name, lease_timeout=lease_timeout)
+
+
+def put_items(queue, count):
+    items = [
+        WorkItem(item_id=item_id_for(i), start_index=i, refs=(f"ref-{i}",))
+        for i in range(count)
+    ]
+    for item in items:
+        queue.put(item)
+    return items
+
+
+def publish_job(root, name="job-a", count=1):
+    """A runnable single-config job with ``count`` empty-ref items."""
+    queue = WorkQueue(root / name, lease_timeout=30.0)
+    queue.write_spec(JobSpec(kind="single", config=SimulationConfig()))
+    for i in range(count):
+        queue.put(WorkItem(item_id=item_id_for(i), start_index=i, refs=()))
+    return queue
+
+
+class TestRetriedTransitions:
+    def test_put_retries_injected_enospc(self, tmp_path):
+        plan = FaultPlan(
+            0, (FaultRule(site="queue.put", kind="enospc", at=(0,)),)
+        )
+        with faults.injected(plan):
+            queue = make_queue(tmp_path)
+            put_items(queue, 1)
+        assert queue.pending_ids() == {item_id_for(0)}
+        assert ("queue.put", "enospc", 0) in plan.fired
+
+    def test_result_publication_retries_torn_write(self, tmp_path):
+        plan = FaultPlan(
+            0, (FaultRule(site="queue.result", kind="torn", at=(0,)),)
+        )
+        queue = make_queue(tmp_path)
+        put_items(queue, 1)
+        claim = queue.claim("w")
+        with faults.injected(plan):
+            queue.ack(claim, ["payload"])
+        assert queue.load_result(item_id_for(0)) == ["payload"]
+        assert queue.acked_ids() == {item_id_for(0)}
+        # No partial temp file survived the torn attempt.
+        leftovers = [
+            name
+            for name in os.listdir(queue.results_dir)
+            if not name.endswith(".out")
+        ]
+        assert leftovers == []
+
+    def test_claim_rename_retries_transient_eio(self, tmp_path):
+        plan = FaultPlan(
+            0,
+            (FaultRule(site="queue.claim_rename", kind="eio", at=(0,)),),
+        )
+        queue = make_queue(tmp_path)
+        put_items(queue, 1)
+        with faults.injected(plan):
+            claim = queue.claim("w")
+        assert claim is not None and claim.item_id == item_id_for(0)
+        assert plan.fired  # the fault really fired, and was survived
+
+    def test_fs_now_skew_is_confined_to_scheduled_reads(self, tmp_path):
+        # Invocation 0 is the probe touch, invocation 1 the mtime read.
+        plan = FaultPlan(
+            0,
+            (FaultRule(site="queue.fs_now", kind="skew", at=(1,), skew=45.0),),
+        )
+        queue = make_queue(tmp_path)
+        with faults.injected(plan):
+            skewed = queue.fs_now()
+            normal = queue.fs_now()
+        assert skewed > time.time() + 40.0
+        assert abs(normal - time.time()) < 5.0
+
+    def test_fs_now_falls_back_to_local_clock(self, tmp_path, caplog):
+        plan = FaultPlan(
+            0, (FaultRule(site="queue.fs_now", kind="eio", prob=1.0),)
+        )
+        queue = make_queue(tmp_path)
+        with caplog.at_level("DEBUG", logger="repro.sim.queue"):
+            with faults.injected(plan):
+                now = queue.fs_now()
+        assert abs(now - time.time()) < 5.0
+        assert any("queue.fs_now" in record.message for record in caplog.records)
+
+    def test_lease_renew_retries_then_survives(self, tmp_path):
+        plan = FaultPlan(
+            0, (FaultRule(site="lease.renew", kind="eio", at=(0,)),)
+        )
+        queue = make_queue(tmp_path)
+        put_items(queue, 1)
+        claim = queue.claim("w")
+        with faults.injected(plan):
+            assert claim.renew() is True
+        claim.path.unlink()
+        assert claim.renew() is False  # gone is gone, not retried
+
+
+class TestRequeueAckVisibilityRace:
+    def test_requeue_stale_vs_ack_under_stale_visibility(self, tmp_path):
+        """The NFS-ish race: a worker wrote its result and died before
+        acking, and the coordinator's host does not *see* the result
+        file yet.  The coordinator requeues; a second worker re-runs
+        and acks idempotently.  The item must end acked exactly once --
+        never lost, never duplicated."""
+        queue = make_queue(tmp_path, lease_timeout=0.05)
+        put_items(queue, 1)
+        claim = queue.claim("w1")
+
+        # Worker 1 publishes its result, then dies before the ack
+        # rename (an injected crash at the labeled point).
+        crash = FaultPlan(
+            0,
+            (
+                FaultRule(
+                    site="queue.ack.crash",
+                    kind="crash",
+                    at=(0,),
+                    crash_mode="raise",
+                ),
+            ),
+        )
+        with faults.injected(crash):
+            with pytest.raises(InjectedCrash):
+                queue.ack(claim, ["block"])
+        assert queue.result_ids() == {item_id_for(0)}
+        assert queue.claimed_ids() == {item_id_for(0)}  # never acked
+
+        # The coordinator runs requeue_stale while the result rename is
+        # not yet visible from its host: it must requeue (not lose) the
+        # item.
+        time.sleep(0.06)
+        hidden = FaultPlan(
+            0,
+            (FaultRule(site="queue.result_visible", kind="hide", at=(0,)),),
+        )
+        with faults.injected(hidden):
+            requeued = queue.requeue_stale()
+        assert requeued == [item_id_for(0)]
+        assert queue.pending_ids() == {item_id_for(0)}
+
+        # Worker 2 re-runs the (pure) item and acks over the first
+        # result -- idempotent, byte-identical.
+        second = queue.claim("w2")
+        assert second is not None
+        queue.ack(second, ["block"])
+
+        # Visibility restored: the coordinator settles.  The item is
+        # acked exactly once and lives in exactly one state directory.
+        assert queue.requeue_stale() == []
+        assert queue.acked_ids() == {item_id_for(0)}
+        assert queue.pending_ids() == set()
+        assert queue.claimed_ids() == set()
+        assert queue.load_result(item_id_for(0)) == ["block"]
+        locations = [
+            directory
+            for directory in (
+                queue.pending_dir,
+                queue.claimed_dir,
+                queue.acked_dir,
+                queue.failed_dir,
+            )
+            if (directory / f"{item_id_for(0)}.task").exists()
+        ]
+        assert locations == [queue.acked_dir]
+
+    def test_dead_worker_with_visible_result_is_acked_on_behalf(self, tmp_path):
+        """Control for the race above: with visibility intact, the
+        coordinator honours the orphaned result instead of re-running."""
+        queue = make_queue(tmp_path, lease_timeout=0.05)
+        put_items(queue, 1)
+        claim = queue.claim("w1")
+        crash = FaultPlan(
+            0,
+            (
+                FaultRule(
+                    site="queue.ack.crash",
+                    kind="crash",
+                    at=(0,),
+                    crash_mode="raise",
+                ),
+            ),
+        )
+        with faults.injected(crash):
+            with pytest.raises(InjectedCrash):
+                queue.ack(claim, ["block"])
+        time.sleep(0.06)
+        assert queue.requeue_stale() == []  # acked on behalf, no requeue
+        assert queue.acked_ids() == {item_id_for(0)}
+
+
+class TestFailureSidecar:
+    def test_discard_writes_structured_sidecar(self, tmp_path):
+        queue = make_queue(tmp_path)
+        put_items(queue, 1)
+        claim = queue.claim("w-7")
+        try:
+            raise ValueError("poisoned payload")
+        except ValueError as error:
+            queue.discard(
+                claim,
+                f"corrupt work item: {error}",
+                exception=error,
+                worker_id="w-7",
+                attempts=3,
+            )
+        sidecar = queue.failed_dir / f"{item_id_for(0)}.error.json"
+        data = json.loads(sidecar.read_text(encoding="utf-8"))
+        assert data["exception_type"] == "ValueError"
+        assert "poisoned payload" in data["traceback"]
+        assert data["worker_id"] == "w-7"
+        assert data["attempts"] == 3
+
+        failures = queue.failed_items()
+        record = failures[item_id_for(0)]
+        assert isinstance(record, FailureRecord)
+        assert "corrupt work item" in record  # still a plain str
+        assert record.exception_type == "ValueError"
+        assert record.attempts == 3
+        assert record.worker_id == "w-7"
+        assert "ValueError" in record.traceback_text
+
+    def test_legacy_error_text_still_surfaces(self, tmp_path):
+        queue = make_queue(tmp_path)
+        name = f"{item_id_for(0)}.task"
+        (queue.failed_dir / name).write_bytes(b"junk")
+        (queue.failed_dir / f"{name}.error").write_text("old-style reason\n")
+        failures = queue.failed_items()
+        assert failures[item_id_for(0)] == "old-style reason"
+        assert failures[item_id_for(0)].exception_type is None
+
+    def test_worker_discard_records_attempt_count(self, tmp_path):
+        """A poisoned item discarded by a real worker carries the
+        fleet-wide attempt count from the requeue log."""
+        queue = publish_job(tmp_path, count=1)
+        # Corrupt the payload and fake two earlier requeues.
+        (queue.pending_dir / f"{item_id_for(0)}.task").write_bytes(b"garbage")
+        queue._log_requeues([item_id_for(0), item_id_for(0)])
+        run_worker(tmp_path, poll_interval=0.01, idle_exit=0.2, worker_id="w")
+        record = queue.failed_items()[item_id_for(0)]
+        assert "corrupt work item" in record
+        assert record.attempts == 3  # 2 requeues + this attempt
+        assert record.worker_id == "w"
+        assert record.exception_type == "QueueItemError"
+
+
+class TestResultsPack:
+    def ack_results(self, queue, count):
+        put_items(queue, count)
+        for _ in range(count):
+            claim = queue.claim("w")
+            queue.ack(claim, [f"payload-{claim.item_id}"])
+
+    def test_compaction_preserves_every_read_path(self, tmp_path):
+        queue = make_queue(tmp_path)
+        self.ack_results(queue, 4)
+        ids = [item_id_for(i) for i in range(4)]
+        assert queue.compact_results(ids[:3]) == 3
+        # Loose files gone for the compacted, kept for the rest.
+        loose = {
+            name
+            for name in os.listdir(queue.results_dir)
+            if name.endswith(".out")
+        }
+        assert loose == {f"{item_id_for(3)}.out"}
+        assert queue.result_ids() == set(ids)
+        for item_id in ids:
+            assert queue.load_result(item_id) == [f"payload-{item_id}"]
+        assert set(ids) <= queue.known_item_ids()
+        # A fresh instance (restarted coordinator) re-indexes the pack.
+        reopened = WorkQueue(queue.job_dir, lease_timeout=0.2, create=False)
+        assert reopened.result_ids() == set(ids)
+        assert reopened.load_result(ids[0]) == [f"payload-{ids[0]}"]
+
+    def test_compaction_is_idempotent_and_duplicate_tolerant(self, tmp_path):
+        queue = make_queue(tmp_path)
+        self.ack_results(queue, 2)
+        ids = [item_id_for(i) for i in range(2)]
+        assert queue.compact_results(ids) == 2
+        assert queue.compact_results(ids) == 0  # nothing loose left
+        # Crash-between-append-and-unlink leaves a loose duplicate:
+        # loose wins on load, sets dedup on ids.
+        (queue.results_dir / f"{ids[0]}.out").write_bytes(
+            pickle.dumps([f"payload-{ids[0]}"])
+        )
+        assert queue.result_ids() == set(ids)
+        assert queue.load_result(ids[0]) == [f"payload-{ids[0]}"]
+
+    def test_torn_pack_append_is_repaired_on_retry(self, tmp_path):
+        plan = FaultPlan(
+            0, (FaultRule(site="queue.compact", kind="torn", at=(0,)),)
+        )
+        queue = make_queue(tmp_path)
+        self.ack_results(queue, 3)
+        ids = [item_id_for(i) for i in range(3)]
+        with faults.injected(plan):
+            assert queue.compact_results(ids) == 3
+        assert plan.fired  # the first append really tore
+        reopened = WorkQueue(queue.job_dir, lease_timeout=0.2, create=False)
+        assert reopened.result_ids() == set(ids)
+        for item_id in ids:
+            assert reopened.load_result(item_id) == [f"payload-{item_id}"]
+
+    def test_requeue_stale_honours_packed_results(self, tmp_path):
+        """A dead worker's result that was already compacted still
+        counts as finished work: ack on behalf, never re-run."""
+        queue = make_queue(tmp_path, lease_timeout=0.05)
+        put_items(queue, 1)
+        claim = queue.claim("w")
+        crash = FaultPlan(
+            0,
+            (
+                FaultRule(
+                    site="queue.ack.crash",
+                    kind="crash",
+                    at=(0,),
+                    crash_mode="raise",
+                ),
+            ),
+        )
+        with faults.injected(crash):
+            with pytest.raises(InjectedCrash):
+                queue.ack(claim, ["block"])
+        queue.compact_results([item_id_for(0)])
+        assert not (queue.results_dir / f"{item_id_for(0)}.out").exists()
+        time.sleep(0.06)
+        assert queue.requeue_stale() == []
+        assert queue.acked_ids() == {item_id_for(0)}
+        assert queue.load_result(item_id_for(0)) == ["block"]
+
+
+class TestWorkerExitCodes:
+    def test_worker_exit_is_an_int_with_reason(self):
+        result = WorkerExit(3, "max-tasks")
+        assert result == 3
+        assert result.reason == "max-tasks"
+        assert result.code == EXIT_MAX_TASKS
+        with pytest.raises(ValueError):
+            WorkerExit(0, "vanished")
+
+    def test_stop_file_exit(self, tmp_path):
+        (tmp_path / "STOP").touch()
+        result = run_worker(tmp_path, poll_interval=0.01, worker_id="w")
+        assert result == 0 and result.reason == "stop-file"
+        assert result.code == EXIT_STOP_FILE
+
+    def test_idle_exit_is_clean(self, tmp_path):
+        result = run_worker(
+            tmp_path, poll_interval=0.01, idle_exit=0.05, worker_id="w"
+        )
+        assert result.reason == "clean" and result.code == EXIT_CLEAN
+
+    def test_max_tasks_exit(self, tmp_path):
+        publish_job(tmp_path, count=2)
+        result = run_worker(
+            tmp_path, poll_interval=0.01, max_tasks=1, worker_id="w"
+        )
+        assert result == 1 and result.reason == "max-tasks"
+        assert result.code == EXIT_MAX_TASKS
+
+
+class TestMaxRss:
+    def test_parse_size(self):
+        assert parse_size("1048576") == 1024**2
+        assert parse_size("800M") == 800 * 1024**2
+        assert parse_size("2G") == 2 * 1024**3
+        assert parse_size("1.5g") == int(1.5 * 1024**3)
+        assert parse_size("64KB") == 64 * 1024
+
+    def test_current_rss_is_measurable(self):
+        rss = current_rss_bytes()
+        assert rss is not None and rss > 1024**2  # a python process > 1 MiB
+
+    def test_over_limit_before_claim_exits_without_claiming(self, tmp_path):
+        queue = publish_job(tmp_path, count=1)
+        result = run_worker(
+            tmp_path, poll_interval=0.01, max_rss=1, worker_id="w"
+        )
+        assert result == 0 and result.reason == "rss-limit"
+        assert result.code == EXIT_RSS_LIMIT
+        assert queue.pending_ids() == {item_id_for(0)}  # untouched
+
+    def test_over_limit_after_claim_releases_then_exits(
+        self, tmp_path, monkeypatch
+    ):
+        """Crossing the limit between claim and execute drains
+        gracefully: the claim goes straight back to pending."""
+        queue = publish_job(tmp_path, count=1)
+        readings = iter([10, 10**12])  # pre-claim fine, post-claim over
+        monkeypatch.setattr(
+            worker_module, "current_rss_bytes", lambda: next(readings)
+        )
+        result = run_worker(
+            tmp_path, poll_interval=0.01, max_rss=1024, worker_id="w"
+        )
+        assert result == 0 and result.reason == "rss-limit"
+        assert queue.pending_ids() == {item_id_for(0)}  # released, not leased
+        assert queue.claimed_ids() == set()
+
+    def test_limit_crossed_after_work_exits_with_count(
+        self, tmp_path, monkeypatch
+    ):
+        queue = publish_job(tmp_path, count=2)
+        readings = iter([10, 10, 10**12])
+        monkeypatch.setattr(
+            worker_module, "current_rss_bytes", lambda: next(readings)
+        )
+        result = run_worker(
+            tmp_path, poll_interval=0.01, max_rss=1024, worker_id="w"
+        )
+        assert result == 1 and result.reason == "rss-limit"
+        assert queue.result_ids() == {item_id_for(0)}
+
+
+class TestWorkStealing:
+    def test_steals_from_second_root_when_home_is_idle(self, tmp_path):
+        home = tmp_path / "home"
+        away = tmp_path / "away"
+        home.mkdir()
+        queue = publish_job(away, count=1)
+        result = run_worker(
+            [home, away], poll_interval=0.01, idle_exit=0.3, worker_id="w"
+        )
+        assert result == 1
+        assert queue.acked_ids() == {item_id_for(0)}
+
+    def test_home_work_wins_over_steal_targets(self, tmp_path):
+        """Scan order is home-first even when the foreign job's name
+        sorts earlier."""
+        home = tmp_path / "home"
+        away = tmp_path / "away"
+        home_queue = publish_job(home, name="job-zzz", count=1)
+        away_queue = publish_job(away, name="job-aaa", count=1)
+        result = run_worker(
+            [home, away], poll_interval=0.01, max_tasks=1, worker_id="w"
+        )
+        assert result == 1
+        assert home_queue.acked_ids() == {item_id_for(0)}
+        assert away_queue.acked_ids() == set()
+
+    def test_stop_file_only_honoured_in_home_root(self, tmp_path):
+        home = tmp_path / "home"
+        away = tmp_path / "away"
+        home.mkdir()
+        away.mkdir()
+        (away / "STOP").touch()
+        result = run_worker(
+            [home, away], poll_interval=0.01, idle_exit=0.05, worker_id="w"
+        )
+        assert result.reason == "clean"  # a neighbour's STOP is not ours
+        (home / "STOP").touch()
+        result = run_worker(
+            [home, away], poll_interval=0.01, idle_exit=5.0, worker_id="w"
+        )
+        assert result.reason == "stop-file"
+
+
+class TestFleetPlanPropagation:
+    def test_spawned_workers_get_distinct_fault_salts(
+        self, tmp_path, monkeypatch
+    ):
+        """When a chaos plan rides the environment, each spawned worker
+        gets a spawn-ordinal salt so the fleet's fault streams are
+        decorrelated but still deterministic."""
+        from repro.sim import backends as backends_module
+        from repro.sim.backends import DistributedBackend
+        from repro.sim.faults import chaos_plan
+
+        captured = []
+
+        class FakeProc:
+            pid = 0
+
+            def poll(self):
+                return None
+
+            def terminate(self):
+                pass
+
+            def wait(self, timeout=None):
+                return 0
+
+            def kill(self):
+                pass
+
+        def fake_popen(command, env=None, **kwargs):
+            captured.append(env)
+            return FakeProc()
+
+        monkeypatch.setattr(backends_module.subprocess, "Popen", fake_popen)
+        monkeypatch.setenv(faults.PLAN_ENV_VAR, chaos_plan(1).to_json())
+        backend = DistributedBackend(2, queue_dir=tmp_path / "q")
+        try:
+            backend._ensure_workers(tmp_path / "q")
+        finally:
+            backend.close()
+        salts = [env[faults.SALT_ENV_VAR] for env in captured]
+        assert salts == ["worker-1", "worker-2"]
+
+    def test_no_salt_without_a_plan(self, tmp_path, monkeypatch):
+        from repro.sim import backends as backends_module
+        from repro.sim.backends import DistributedBackend
+
+        captured = []
+
+        class FakeProc:
+            pid = 0
+
+            def poll(self):
+                return None
+
+            def terminate(self):
+                pass
+
+            def wait(self, timeout=None):
+                return 0
+
+            def kill(self):
+                pass
+
+        def fake_popen(command, env=None, **kwargs):
+            captured.append(env)
+            return FakeProc()
+
+        monkeypatch.setattr(backends_module.subprocess, "Popen", fake_popen)
+        monkeypatch.delenv(faults.PLAN_ENV_VAR, raising=False)
+        backend = DistributedBackend(1, queue_dir=tmp_path / "q")
+        try:
+            backend._ensure_workers(tmp_path / "q")
+        finally:
+            backend.close()
+        assert faults.SALT_ENV_VAR not in captured[0]
+
+
+class TestWorkerCrashPoints:
+    def test_crash_after_claim_then_recovery(self, tmp_path):
+        """An injected crash right after claiming leaves a lease that
+        expires into a requeue; a healthy worker then finishes the
+        item."""
+        queue = publish_job(tmp_path, count=1)
+        queue.lease_timeout = 0.05
+        plan = FaultPlan(
+            0,
+            (
+                FaultRule(
+                    site="worker.claimed",
+                    kind="crash",
+                    at=(0,),
+                    crash_mode="raise",
+                ),
+            ),
+        )
+        with faults.injected(plan):
+            with pytest.raises(InjectedCrash):
+                run_worker(tmp_path, poll_interval=0.01, worker_id="w1")
+        assert queue.claimed_ids() == {item_id_for(0)}
+        time.sleep(0.06)
+        stale = WorkQueue(queue.job_dir, lease_timeout=0.05, create=False)
+        assert stale.requeue_stale() == [item_id_for(0)]
+        result = run_worker(
+            tmp_path, poll_interval=0.01, max_tasks=1, worker_id="w2"
+        )
+        assert result == 1
+        assert stale.acked_ids() == {item_id_for(0)}
