@@ -1,0 +1,250 @@
+#!/usr/bin/env python
+"""Federation benchmark/smoke: K synthesized cities, one global result.
+
+Synthesizes K city workloads (:mod:`repro.trace.synth`), then drives the
+same union of sessions through two pipelines:
+
+* **union**: one simulator run over the concatenated session stream --
+  the reference a federation must reproduce, and
+* **federated**: :func:`repro.sim.federate.run_federation`, each city a
+  separate job whose swarm outputs are reconciled at the reducer,
+
+and **fails loudly** unless the federated merged result is bit-for-bit
+identical to the union run (the cities' topologies are disjoint by
+construction).  The parity check repeats on a process backend to show
+the contract is backend-independent.  A second scenario gives every
+city the *same* catalogue prefix and an ISP-agnostic swarm policy, so
+swarms genuinely span regions: there parity is not expected (a union
+run matches peers across cities; federated jobs cannot) and what is
+recorded instead is the federation ledger -- cross-region swarm count
+and directed inter-region byte flows.  Timings and the ledger summary
+land in ``BENCH_federation.json`` at the repo root (override with
+``--out``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_federation.py          # full
+    PYTHONPATH=src python benchmarks/bench_federation.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+import tempfile
+import time
+from contextlib import ExitStack
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.sim.engine import SimulationConfig, Simulator
+from repro.sim.federate import RegionJob, run_federation
+from repro.sim.policies import SwarmPolicy
+from repro.trace.store import StoreReader
+from repro.trace.synth import SynthConfig, synthesize
+
+#: Default output path: the repo root, alongside the other BENCH_* files.
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_federation.json"
+
+
+def city_configs(
+    cities: int, users: int, days: int, seed: int, prefix: Optional[str] = None
+) -> List[SynthConfig]:
+    """K deliberately non-uniform city configs (disjoint by region name
+    unless ``prefix`` forces a shared catalogue)."""
+    configs = []
+    for index in range(cities):
+        configs.append(
+            SynthConfig(
+                region=f"city{index:02d}",
+                seed=seed + index,
+                days=days,
+                users=users + 40 * index,
+                catalogue_size=120 + 30 * index,
+                popularity_drift=0.1 * index,
+                catalogue_churn=0.05 * index,
+                peak_hour=(19.0 + 2.0 * index) % 24.0,
+                num_isps=3 + index % 2,
+                catalogue_prefix=prefix,
+            )
+        )
+    return configs
+
+
+def synth_cities(configs: Sequence[SynthConfig], directory: Path):
+    """Synthesize every city; returns (paths, seconds, sessions)."""
+    paths, sessions = [], 0
+    start = time.perf_counter()
+    for config in configs:
+        result = synthesize(config, directory / f"{config.region}.store")
+        paths.append(result.path)
+        sessions += result.sessions
+    return paths, time.perf_counter() - start, sessions
+
+
+def union_run(
+    paths: Sequence[Path], horizon: float, config: SimulationConfig
+):
+    """The reference: one run over the concatenated session stream."""
+    simulator = Simulator(config)
+    try:
+        with ExitStack() as stack:
+            readers = [stack.enter_context(StoreReader(p)) for p in paths]
+            streams = itertools.chain.from_iterable(
+                reader.iter_sessions() for reader in readers
+            )
+            return simulator.run_stream(streams, horizon)
+    finally:
+        simulator.close()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cities", type=int, default=3, help="number of federated cities"
+    )
+    parser.add_argument(
+        "--users", type=int, default=400, help="base city population"
+    )
+    parser.add_argument("--days", type=int, default=3, help="trace days")
+    parser.add_argument("--seed", type=int, default=20130901, help="base seed")
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT,
+        help=f"where to write the JSON record (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke preset: 2 cities, smaller populations, 2 days",
+    )
+    args = parser.parse_args(argv)
+
+    cities, users, days = args.cities, args.users, args.days
+    if args.quick:
+        if cities == parser.get_default("cities"):
+            cities = 2
+        if users == parser.get_default("users"):
+            users = 150
+        if days == parser.get_default("days"):
+            days = 2
+
+    violations: List[str] = []
+    record = {"benchmark": "bench_federation", "cities": cities}
+
+    with tempfile.TemporaryDirectory(prefix="bench-federation-") as temp:
+        directory = Path(temp)
+
+        # -- scenario 1: disjoint topologies, bit-for-bit parity -------
+        configs = city_configs(cities, users, days, args.seed)
+        paths, synth_seconds, sessions = synth_cities(configs, directory)
+        horizon = max(config.horizon for config in configs)
+        print(
+            f"federation benchmark: {cities} cities, {sessions} sessions, "
+            f"synthesized in {synth_seconds:.3f}s"
+        )
+
+        config = SimulationConfig()
+        start = time.perf_counter()
+        union = union_run(paths, horizon, config)
+        union_seconds = time.perf_counter() - start
+
+        jobs = [
+            RegionJob(name=cfg.region, store=path, cache_token=cfg.cache_token)
+            for cfg, path in zip(configs, paths)
+        ]
+        start = time.perf_counter()
+        fed = run_federation(jobs, config)
+        federated_seconds = time.perf_counter() - start
+        if not fed.merged.identical_to(union):
+            violations.append(
+                "federated merged result differs from the union run "
+                "(disjoint scenario, serial backend)"
+            )
+        if fed.ledger.cross_region_swarms:
+            violations.append(
+                f"disjoint scenario reported "
+                f"{fed.ledger.cross_region_swarms} cross-region swarm(s)"
+            )
+
+        process_config = SimulationConfig(workers=2, backend="process")
+        start = time.perf_counter()
+        fed_process = run_federation(jobs, process_config)
+        process_seconds = time.perf_counter() - start
+        if not fed_process.merged.identical_to(union):
+            violations.append(
+                "federated merged result differs from the union run "
+                "(disjoint scenario, process backend)"
+            )
+
+        print(
+            f"   union run: {union_seconds:6.3f}s   federated serial: "
+            f"{federated_seconds:6.3f}s   federated process x2: "
+            f"{process_seconds:6.3f}s"
+        )
+        print(
+            f"   parity: federated == union bit-for-bit "
+            f"({len(jobs)} regions, {sum(fed.region_tasks.values())} swarms)"
+        )
+        record["disjoint"] = {
+            "sessions": sessions,
+            "synth_seconds": synth_seconds,
+            "union_seconds": union_seconds,
+            "federated_seconds": federated_seconds,
+            "federated_process_seconds": process_seconds,
+            "region_tasks": dict(sorted(fed.region_tasks.items())),
+            "offload_fraction": fed.merged.offload_fraction(),
+        }
+
+        # -- scenario 2: shared catalogue, the federation ledger -------
+        shared = city_configs(
+            cities, users, days, args.seed + 1000, prefix="global"
+        )
+        shared_paths, _, shared_sessions = synth_cities(shared, directory)
+        shared_jobs = [
+            RegionJob(name=cfg.region, store=path, cache_token=cfg.cache_token)
+            for cfg, path in zip(shared, shared_paths)
+        ]
+        # An ISP-agnostic policy: ISP names are region-prefixed, so only
+        # with isp=None keys can a shared-catalogue swarm span regions.
+        ledger_config = SimulationConfig(
+            policy=SwarmPolicy(split_by_isp=False)
+        )
+        start = time.perf_counter()
+        fed_shared = run_federation(shared_jobs, ledger_config)
+        ledger_seconds = time.perf_counter() - start
+        summary = fed_shared.ledger.summary()
+        if not summary["cross_region_swarms"]:
+            violations.append(
+                "shared-catalogue scenario produced no cross-region swarms"
+            )
+        print(
+            f"   shared catalogue: {shared_sessions} sessions, "
+            f"{summary['cross_region_swarms']} cross-region swarm(s), "
+            f"{summary['inter_region_bits']:.3g} inter-region demanded "
+            f"bits across {len(summary['flows'])} flow(s) "
+            f"in {ledger_seconds:.3f}s"
+        )
+        record["shared_catalogue"] = {
+            "sessions": shared_sessions,
+            "federated_seconds": ledger_seconds,
+            "ledger": summary,
+        }
+
+    record["violations"] = violations
+    args.out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if violations:
+        for violation in violations:
+            print(f"VIOLATION: {violation}")
+        return 1
+    print(
+        "ok: federated merged result bit-for-bit identical to the union "
+        "run on both backends; shared-catalogue ledger populated"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

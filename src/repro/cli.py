@@ -6,7 +6,9 @@ Subcommands::
     consume-local fig2 ... fig6      # one figure each
     consume-local all                # everything (writes files with --out)
     consume-local generate trace.jsonl    # emit a synthetic trace
-    consume-local simulate trace.jsonl    # simulate a saved trace
+    consume-local synth city.store --region east  # generative city workload
+    consume-local simulate trace.jsonl    # simulate a saved trace (.jsonl or .store)
+    consume-local simulate --federate east=east.store --federate west=west.store
     consume-local worker --queue-dir DIR  # serve a distributed work queue
     consume-local serve feed.jsonl --state-dir DIR  # always-on service mode
 
@@ -25,6 +27,17 @@ runs over the same trace + policy skip the sort entirely; bit-for-bit
 identical either way).  ``simulate --upload-ratios 0.2 0.6 1.0`` runs a
 whole q/beta sweep in one amortized pass (``Simulator.run_sweep``),
 bit-for-bit identical to the per-ratio runs.
+
+Generative synthesis: ``consume-local synth out.store --region NAME``
+writes a seeded parametric city workload (catalogue churn, popularity
+drift, diurnal demand, ISP/attachment skew -- see
+:mod:`repro.trace.synth`) straight into the binary session store; equal
+parameters always produce byte-identical stores.  ``simulate`` accepts
+``.store`` files directly, and ``simulate --federate REGION=STORE``
+(repeated per city) runs each region as its own job and reconciles them
+at the reducer (:mod:`repro.sim.federate`): for disjoint regions the
+merged result is bit-for-bit the single run over the union trace, and
+cross-region swarms are reported as a federation ledger.
 
 Distributed execution: ``--backend distributed --queue-dir DIR`` makes
 the run a *coordinator* over a crash-safe file-based work queue, and
@@ -94,8 +107,132 @@ def build_parser() -> argparse.ArgumentParser:
     _add_settings_args(generate, include_workers=False)  # generation never simulates
     generate.add_argument("path", type=Path, help="output .jsonl path")
 
+    synth = sub.add_parser(
+        "synth",
+        help=(
+            "synthesize a parametric city workload straight into a binary "
+            ".store file (seeded and deterministic: equal parameters give "
+            "byte-identical stores; see repro.trace.synth)"
+        ),
+    )
+    synth.add_argument("path", type=Path, help="output .store path")
+    synth.add_argument(
+        "--region", default="metro",
+        help="city/region label prefixing content ids and ISP names "
+        "([A-Za-z0-9_]+; default: metro)",
+    )
+    synth.add_argument("--seed", type=int, default=0, help="master seed (default: 0)")
+    synth.add_argument(
+        "--days", type=_positive_int, default=7,
+        help="horizon length in whole days (default: 7)",
+    )
+    synth.add_argument(
+        "--users", type=_positive_int, default=1000,
+        help="population size (default: 1000)",
+    )
+    synth.add_argument(
+        "--catalogue", type=_positive_int, default=300, dest="catalogue_size",
+        help="concurrently available catalogue slots (default: 300)",
+    )
+    synth.add_argument(
+        "--sessions-per-user-day", type=float, default=1.2,
+        help="expected weekday sessions per user per day (default: 1.2)",
+    )
+    synth.add_argument(
+        "--zipf", type=float, default=0.9, dest="zipf_exponent",
+        help="catalogue popularity skew exponent (default: 0.9)",
+    )
+    synth.add_argument(
+        "--drift", type=float, default=0.0, dest="popularity_drift",
+        help="fraction of the rank range an item drifts over the "
+        "horizon, in [0, 1] (default: 0)",
+    )
+    synth.add_argument(
+        "--churn", type=float, default=0.0, dest="catalogue_churn",
+        help="fraction of catalogue slots replaced per day, in [0, 1] "
+        "(default: 0)",
+    )
+    synth.add_argument(
+        "--peak-hour", type=float, default=20.0,
+        help="centre of the diurnal demand peak, 0-23 (default: 20)",
+    )
+    synth.add_argument(
+        "--diurnal-strength", type=float, default=0.7,
+        help="0 flat daily profile .. 1 all demand in the evening bump "
+        "(default: 0.7)",
+    )
+    synth.add_argument(
+        "--weekend-multiplier", type=float, default=1.15,
+        help="demand multiplier on weekend days (default: 1.15)",
+    )
+    synth.add_argument(
+        "--isps", type=_positive_int, default=4, dest="num_isps",
+        help="ISPs in the region (default: 4)",
+    )
+    synth.add_argument(
+        "--isp-skew", type=float, default=1.0,
+        help="Zipf exponent over ISP market shares (default: 1.0)",
+    )
+    synth.add_argument(
+        "--exchanges", type=_positive_int, default=48, dest="num_exchanges",
+        help="exchanges per ISP (default: 48)",
+    )
+    synth.add_argument(
+        "--pops", type=_positive_int, default=4, dest="num_pops",
+        help="PoPs per ISP (default: 4)",
+    )
+    synth.add_argument(
+        "--exchange-skew", type=float, default=0.6,
+        help="Zipf exponent over exchange attachment (default: 0.6)",
+    )
+    synth.add_argument(
+        "--activity-skew", type=float, default=0.5, dest="user_activity_skew",
+        help="Zipf exponent over per-user demand weight (default: 0.5)",
+    )
+    synth.add_argument(
+        "--mean-duration", type=float, default=1500.0,
+        help="mean session length in seconds (default: 1500)",
+    )
+    synth.add_argument(
+        "--duration-sigma", type=float, default=0.5,
+        help="log-normal sigma of session length (default: 0.5)",
+    )
+    synth.add_argument(
+        "--catalogue-prefix", default=None,
+        help="content-id prefix (default: the region name; give several "
+        "regions the same prefix to model a shared catalogue whose "
+        "swarms span regions)",
+    )
+    synth.add_argument(
+        "--force", action="store_true",
+        help="regenerate even when the existing store's sidecar already "
+        "matches this config's fingerprint",
+    )
+
     simulate = sub.add_parser("simulate", help="simulate a saved trace file")
-    simulate.add_argument("path", type=Path, help="input .jsonl path")
+    simulate.add_argument(
+        "path", type=Path, nargs="?", default=None,
+        help="input trace (.jsonl or binary .store); omit with --federate",
+    )
+    simulate.add_argument(
+        "--federate",
+        action="append",
+        default=None,
+        metavar="REGION=STORE",
+        help=(
+            "run REGION's .store as its own job and reconcile all regions "
+            "at the reducer (repeat per city; see repro.sim.federate) -- "
+            "for disjoint regions the merged result is bit-for-bit the "
+            "single run over the union trace"
+        ),
+    )
+    simulate.add_argument(
+        "--horizon", type=float, default=None,
+        help=(
+            "with --federate: explicit shared horizon in seconds "
+            "(default: the maximum of the region stores' horizons)"
+        ),
+    )
     simulate.add_argument(
         "--upload-ratio", type=float, default=1.0, help="q/beta (default 1.0)"
     )
@@ -445,6 +582,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return result.code
 
+    if args.command == "synth":
+        from repro.trace.synth import SynthConfig, synthesize
+
+        config = SynthConfig(
+            region=args.region,
+            seed=args.seed,
+            days=args.days,
+            users=args.users,
+            catalogue_size=args.catalogue_size,
+            sessions_per_user_day=args.sessions_per_user_day,
+            zipf_exponent=args.zipf_exponent,
+            popularity_drift=args.popularity_drift,
+            catalogue_churn=args.catalogue_churn,
+            peak_hour=args.peak_hour,
+            diurnal_strength=args.diurnal_strength,
+            weekend_multiplier=args.weekend_multiplier,
+            num_isps=args.num_isps,
+            isp_skew=args.isp_skew,
+            num_exchanges=args.num_exchanges,
+            num_pops=args.num_pops,
+            exchange_skew=args.exchange_skew,
+            user_activity_skew=args.user_activity_skew,
+            mean_duration=args.mean_duration,
+            duration_sigma=args.duration_sigma,
+            catalogue_prefix=args.catalogue_prefix,
+        )
+        try:
+            result = synthesize(config, args.path, force=args.force)
+        except ValueError as exc:
+            parser.error(str(exc))
+        verb = "reused" if result.reused else "wrote"
+        print(
+            f"{verb} {result.sessions} sessions / {result.users_active} "
+            f"users / {result.distinct_items} items to {result.path}"
+        )
+        print(
+            f"region {config.region}  horizon {result.horizon / SECONDS_PER_DAY:g} "
+            f"days  fingerprint {result.fingerprint}"
+        )
+        return 0
+
     if getattr(args, "spill_dir", None) is not None and args.reduction != "spill":
         parser.error("--spill-dir requires --reduction spill")
     if getattr(args, "shard_dir", None) is not None and args.grouping != "external":
@@ -496,6 +674,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "simulate":
+        if args.federate and args.path is not None:
+            parser.error("give either a trace path or --federate, not both")
+        if not args.federate and args.path is None:
+            parser.error("a trace path (or --federate REGION=STORE) is required")
+        if args.horizon is not None and not args.federate:
+            parser.error("--horizon requires --federate")
+        if args.federate and args.upload_ratios:
+            parser.error("--upload-ratios is not supported with --federate")
         config = SimulationConfig(
             upload_ratio=args.upload_ratio,
             workers=args.workers,
@@ -507,21 +693,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             shard_dir=str(args.shard_dir) if args.shard_dir is not None else None,
             kernel=args.kernel or ("columnar" if args.profile_kernel else "auto"),
         )
-        simulator = Simulator(config)
-        horizon = read_jsonl_horizon(args.path)
         if args.profile_kernel:
             PROFILE.reset()
             PROFILE.enabled = True
         try:
-            return _run_simulate(args, config, simulator, horizon)
+            if args.federate:
+                return _run_federate(args, config, parser)
+            simulator = Simulator(config)
+            try:
+                horizon = _trace_horizon(args.path)
+                return _run_simulate(args, config, simulator, horizon)
+            finally:
+                # Release backend resources deterministically (the
+                # distributed backend owns spawned worker processes and
+                # possibly a temporary queue directory).
+                simulator.close()
         finally:
             if args.profile_kernel:
                 PROFILE.enabled = False
                 print(PROFILE.report())
-            # Release backend resources deterministically (the
-            # distributed backend owns spawned worker processes and
-            # possibly a temporary queue directory).
-            simulator.close()
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
@@ -580,8 +770,97 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _trace_horizon(path: Path) -> float:
+    """The recorded horizon of a ``.jsonl`` or binary ``.store`` trace."""
+    if path.suffix == ".store":
+        from repro.trace.store import StoreReader
+
+        with StoreReader(path) as reader:
+            return reader.horizon
+    return read_jsonl_horizon(path)
+
+
+def _store_cache_token(path: Path) -> str:
+    """Shard-cache token for a ``.store`` trace.
+
+    A synthesized store's ``<path>.synth.json`` sidecar supplies the
+    config fingerprint (``synth:<fp>``), making repeat simulations of a
+    re-synthesized byte-identical store cache hits without hashing the
+    file; any other store falls back to hashing its content.
+    """
+    import json as _json
+
+    sidecar = path.with_name(path.name + ".synth.json")
+    if sidecar.exists():
+        try:
+            fingerprint = _json.loads(sidecar.read_text())["fingerprint"]
+        except (ValueError, KeyError, OSError):
+            fingerprint = None
+        if isinstance(fingerprint, str) and fingerprint:
+            return f"synth:{fingerprint}"
+    return file_fingerprint(path)
+
+
+def _run_federate(args, config, parser) -> int:
+    """The body of ``simulate --federate REGION=STORE ...``."""
+    from repro.sim.federate import RegionJob, run_federation
+
+    jobs = []
+    for spec in args.federate:
+        region, sep, store = spec.partition("=")
+        if not sep or not region or not store:
+            parser.error(f"--federate expects REGION=STORE, got {spec!r}")
+        cache_token = (
+            _store_cache_token(Path(store))
+            if config.grouping == "external" and config.shard_dir is not None
+            else None
+        )
+        try:
+            jobs.append(
+                RegionJob(name=region, store=store, cache_token=cache_token)
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+    try:
+        fed = run_federation(jobs, config, horizon=args.horizon)
+    except ValueError as exc:
+        parser.error(str(exc))
+    merged = fed.merged
+    print(
+        f"regions: {len(fed.per_region)}  sessions: {merged.total.sessions}  "
+        f"offload G: {merged.offload_fraction():.4f}"
+    )
+    for model in builtin_models():
+        print(
+            f"{model.name:>10}: savings {merged.savings(model):.4f}, "
+            f"carbon-positive users {merged.carbon_positive_share(model):.1%}"
+        )
+    for name in sorted(fed.per_region):
+        regional = fed.per_region[name]
+        print(
+            f"  region {name}: {regional.total.sessions} sessions, "
+            f"{fed.region_tasks[name]} swarms, "
+            f"offload G {regional.offload_fraction():.4f}"
+        )
+    ledger = fed.ledger.summary()
+    print(
+        f"federation: {ledger['cross_region_swarms']} cross-region "
+        f"swarm(s), {ledger['inter_region_bits']:.0f} inter-region "
+        f"demanded bits"
+    )
+    for flow in ledger["flows"]:
+        print(
+            f"  flow {flow['source']} -> {flow['home']}: "
+            f"{flow['demanded_bits']:.0f} demanded bits over "
+            f"{flow['sessions']} session(s)"
+        )
+    return 0
+
+
 def _run_simulate(args, config, simulator, horizon) -> int:
     """The body of the ``simulate`` subcommand (backend closed by caller)."""
+    if args.path.suffix == ".store":
+        return _run_simulate_store(args, config, simulator, horizon)
     ratios = getattr(args, "upload_ratios", None)
     if ratios:
         # Whole sweep in one pass: grouped once, decoded once, the
@@ -651,6 +930,62 @@ def _run_simulate(args, config, simulator, horizon) -> int:
                 f"{model.name:>10}: savings {result.savings(model):.4f}, "
                 f"carbon-positive users {result.carbon_positive_share(model):.1%}"
             )
+    _print_pipeline_stats(simulator)
+    return 0
+
+
+def _run_simulate_store(args, config, simulator, horizon) -> int:
+    """``simulate`` over a binary ``.store`` trace (always streamed)."""
+    from repro.trace.store import StoreReader
+
+    if horizon <= 0:
+        raise SystemExit(
+            f"{args.path}: store records no horizon; re-synthesize it or "
+            "simulate the original feed"
+        )
+    cache_token = (
+        _store_cache_token(args.path) if simulator.grouping.supports_cache else None
+    )
+    ratios = getattr(args, "upload_ratios", None)
+    with StoreReader(args.path) as reader:
+        if ratios:
+            sweep = [replace(config, upload_ratio=ratio) for ratio in ratios]
+            results = simulator.run_sweep_stream(
+                reader.iter_sessions(), horizon, sweep, cache_token=cache_token
+            )
+            print(
+                f"sessions: {results[0].total.sessions}  "
+                f"({len(ratios)}-ratio sweep)"
+            )
+            for ratio, result in zip(ratios, results):
+                savings = ", ".join(
+                    f"{model.name} {result.savings(model):.4f}"
+                    for model in builtin_models()
+                )
+                print(
+                    f"  q/beta {ratio:g}: offload G "
+                    f"{result.offload_fraction():.4f}, savings {savings}"
+                )
+        else:
+            result = simulator.run_stream(
+                reader.iter_sessions(), horizon, cache_token=cache_token
+            )
+            print(
+                f"sessions: {result.total.sessions}  "
+                f"offload G: {result.offload_fraction():.4f}"
+            )
+            for model in builtin_models():
+                print(
+                    f"{model.name:>10}: savings {result.savings(model):.4f}, "
+                    "carbon-positive users "
+                    f"{result.carbon_positive_share(model):.1%}"
+                )
+    _print_pipeline_stats(simulator)
+    return 0
+
+
+def _print_pipeline_stats(simulator) -> None:
+    """Report spill/shard artefacts the run left for out-of-core use."""
     stats = simulator.last_reduction
     if stats is not None and stats.spill_path is not None:
         print(f"per-user delta log: {stats.spill_path}")
@@ -664,7 +999,6 @@ def _run_simulate(args, config, simulator, horizon) -> int:
                 else " (cache miss: built)"
             )
         print(line)
-    return 0
 
 
 if __name__ == "__main__":

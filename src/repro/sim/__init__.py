@@ -20,6 +20,14 @@ from repro.sim.backends import (
     resolve_backend,
 )
 from repro.sim.engine import SimulationConfig, Simulator, SweepStats, simulate
+from repro.sim.federate import (
+    FederationLedger,
+    FederationResult,
+    RegionJob,
+    declared_home_rule,
+    default_home_rule,
+    run_federation,
+)
 from repro.sim.grouping import (
     GROUPING_MODES,
     ExternalGrouping,
@@ -69,6 +77,8 @@ __all__ = [
     "DistributedBackend",
     "EpochPolicy",
     "EpochResult",
+    "FederationLedger",
+    "FederationResult",
     "JobSpec",
     "JsonlSink",
     "ExecutionBackend",
@@ -84,6 +94,7 @@ __all__ = [
     "ProcessPoolBackend",
     "REDUCTION_MODES",
     "ReductionStats",
+    "RegionJob",
     "SerialBackend",
     "ServiceCheckpoint",
     "ServiceConfig",
@@ -107,12 +118,15 @@ __all__ = [
     "ValidationReport",
     "WindowAllocation",
     "build_tasks",
+    "declared_home_rule",
+    "default_home_rule",
     "iter_user_deltas",
     "load_user_deltas",
     "merge_outputs",
     "resolve_backend",
     "resolve_grouping",
     "resolve_task",
+    "run_federation",
     "run_swarm",
     "serve_jsonl",
     "validate_against_theory",

@@ -210,6 +210,7 @@ class FaultRule:
             raise ValueError(f"limit must be >= 1, got {self.limit!r}")
 
     def to_payload(self) -> Dict[str, object]:
+        """This rule as a JSON-able dict (see :meth:`from_payload`)."""
         return {
             "site": self.site,
             "kind": self.kind,
@@ -223,6 +224,7 @@ class FaultRule:
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, object]) -> "FaultRule":
+        """Rebuild a rule from :meth:`to_payload` output."""
         return cls(
             site=str(payload["site"]),
             kind=str(payload["kind"]),
@@ -305,6 +307,7 @@ class FaultPlan:
     # -- serialization (environment handoff to worker subprocesses) ----
 
     def to_json(self) -> str:
+        """Serialize the plan (rules + seed) for env-var shipping."""
         return json.dumps(
             {
                 "seed": self.seed,
@@ -314,6 +317,8 @@ class FaultPlan:
 
     @classmethod
     def from_json(cls, payload: str) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_json` output; decision streams start fresh.
+        """
         data = json.loads(payload)
         return cls(
             seed=int(data["seed"]),
@@ -491,37 +496,48 @@ class Storage:
     """
 
     def rename(self, source, target, *, site: str = "fs.rename") -> None:
+        """``os.rename`` -- atomic within one filesystem."""
         os.rename(source, target)
 
     def replace(self, source, target, *, site: str = "fs.replace") -> None:
+        """``os.replace`` -- atomic, overwriting rename."""
         os.replace(source, target)
 
     def utime(self, path, *, site: str = "fs.utime") -> None:
+        """Touch ``path``'s mtime to now (the lease-renewal primitive)."""
         os.utime(path)
 
     def touch(self, path, *, site: str = "fs.touch") -> None:
+        """Create ``path`` (or update its mtime) like ``Path.touch``."""
         Path(path).touch()
 
     def unlink(
         self, path, *, missing_ok: bool = False, site: str = "fs.unlink"
     ) -> None:
+        """Delete ``path``; ``missing_ok`` mirrors ``Path.unlink``."""
         Path(path).unlink(missing_ok=missing_ok)
 
     def exists(self, path, *, site: str = "fs.exists") -> bool:
+        """``os.path.exists`` -- an *observation*, maskable by ``hide`` faults.
+        """
         return os.path.exists(path)
 
     def listdir(self, path, *, site: str = "fs.listdir") -> List[str]:
+        """``os.listdir`` -- an *observation*, maskable by ``hide`` faults."""
         return os.listdir(path)
 
     def mtime(self, path, *, site: str = "fs.mtime") -> float:
+        """Read ``path``'s mtime (the lease clock; skewable under faults)."""
         return os.stat(path).st_mtime
 
     def pread(
         self, fd: int, length: int, offset: int, *, site: str = "fs.pread"
     ) -> bytes:
+        """``os.pread`` -- positional read, tearable under faults."""
         return os.pread(fd, length, offset)
 
     def write(self, handle, data: bytes, *, site: str = "fs.write") -> None:
+        """``handle.write(data)`` -- tearable under faults."""
         handle.write(data)
 
     def crash_point(self, label: str) -> None:
@@ -562,28 +578,34 @@ class FaultyStorage(Storage):
     # -- primitives -----------------------------------------------------
 
     def rename(self, source, target, *, site: str = "fs.rename") -> None:
+        """Rename, after consulting the plan for error faults."""
         self._error_fault(site)
         os.rename(source, target)
 
     def replace(self, source, target, *, site: str = "fs.replace") -> None:
+        """Replace, after consulting the plan for error faults."""
         self._error_fault(site)
         os.replace(source, target)
 
     def utime(self, path, *, site: str = "fs.utime") -> None:
+        """Lease-renewal touch, after consulting the plan for error faults."""
         self._error_fault(site)
         os.utime(path)
 
     def touch(self, path, *, site: str = "fs.touch") -> None:
+        """Touch, after consulting the plan for error faults."""
         self._error_fault(site)
         Path(path).touch()
 
     def unlink(
         self, path, *, missing_ok: bool = False, site: str = "fs.unlink"
     ) -> None:
+        """Unlink, after consulting the plan for error faults."""
         self._error_fault(site)
         Path(path).unlink(missing_ok=missing_ok)
 
     def exists(self, path, *, site: str = "fs.exists") -> bool:
+        """Existence probe; a ``hide`` rule answers False without looking."""
         rule = self.plan.decide(site)
         if rule is not None:
             if rule.kind == "hide":
@@ -594,6 +616,7 @@ class FaultyStorage(Storage):
         return os.path.exists(path)
 
     def listdir(self, path, *, site: str = "fs.listdir") -> List[str]:
+        """Directory listing; a ``hide`` rule answers [] without looking."""
         rule = self.plan.decide(site)
         if rule is not None:
             if rule.kind == "hide":
@@ -604,6 +627,7 @@ class FaultyStorage(Storage):
         return os.listdir(path)
 
     def mtime(self, path, *, site: str = "fs.mtime") -> float:
+        """Mtime read; a ``skew`` rule offsets the storage clock."""
         rule = self.plan.decide(site)
         if rule is not None:
             if rule.kind == "skew":
@@ -617,6 +641,7 @@ class FaultyStorage(Storage):
     def pread(
         self, fd: int, length: int, offset: int, *, site: str = "fs.pread"
     ) -> bytes:
+        """Positional read; a ``torn`` rule returns a short prefix."""
         rule = self.plan.decide(site)
         if rule is not None:
             if rule.kind == "torn":
@@ -631,6 +656,7 @@ class FaultyStorage(Storage):
         return os.pread(fd, length, offset)
 
     def write(self, handle, data: bytes, *, site: str = "fs.write") -> None:
+        """Write; a ``torn`` rule writes a prefix then raises EIO."""
         rule = self.plan.decide(site)
         if rule is not None:
             if rule.kind == "torn":
@@ -648,6 +674,7 @@ class FaultyStorage(Storage):
         handle.write(data)
 
     def crash_point(self, label: str) -> None:
+        """Die here (``os._exit`` or raise) when a ``crash`` rule fires."""
         rule = self.plan.decide(label)
         if rule is not None and rule.kind == "crash":
             self._crash(rule, label)

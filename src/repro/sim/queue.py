@@ -252,6 +252,7 @@ def atomic_write_bytes(
     path = Path(path)
 
     def publish() -> None:
+        """Write the temp file and rename it into place."""
         handle, raw = tempfile.mkstemp(prefix=path.name + ".", dir=path.parent)
         try:
             with os.fdopen(handle, "wb") as stream:
@@ -369,6 +370,7 @@ class WorkQueue:
         probe = self.claimed_dir / _CLOCK_PROBE_FILENAME
 
         def read_probe() -> float:
+            """Stat the probe file's mtime (the fault-injectable read)."""
             store = faults.storage()
             store.touch(probe, site="queue.fs_now")
             return store.mtime(probe, site="queue.fs_now")
@@ -586,6 +588,7 @@ class WorkQueue:
         self._scan_pack()  # establish the last valid offset
 
         def append_all() -> None:
+            """Append every collected record to the open pack handle."""
             with open(self._pack_path, "ab") as stream:
                 if stream.tell() > self._pack_offset:
                     # Torn tail from a crashed/failed append: discard it
@@ -660,15 +663,19 @@ class WorkQueue:
 
     @property
     def is_done(self) -> bool:
+        """True once every item of the job has been acked."""
         return (self.job_dir / self.DONE_FILENAME).exists()
 
     def pending_ids(self) -> Set[str]:
+        """Ids of items currently waiting in ``pending/``."""
         return {path.stem for path in self._list(self.pending_dir, _TASK_SUFFIX)}
 
     def claimed_ids(self) -> Set[str]:
+        """Ids of items currently claimed (leased) by workers."""
         return {path.stem for path in self._list(self.claimed_dir, _TASK_SUFFIX)}
 
     def acked_ids(self) -> Set[str]:
+        """Ids of items already retired to ``acked/``."""
         return {path.stem for path in self._list(self.acked_dir, _TASK_SUFFIX)}
 
     def known_item_ids(self) -> Set[str]:
@@ -932,6 +939,7 @@ class WorkQueue:
         """
 
         def rename() -> None:
+            """One atomic rename through the fault-injectable facade."""
             faults.storage().rename(source, target, site=site)
 
         try:

@@ -386,6 +386,7 @@ class JsonlSink:
         payload = (json.dumps(record) + "\n").encode("utf-8")
 
         def append() -> None:
+            """Append the record line through the fault-injectable facade."""
             with self.path.open("ab") as handle:
                 faults.storage().write(handle, payload, site="sink.append")
                 handle.flush()
@@ -452,6 +453,7 @@ class ServiceCheckpoint:
     version: int = 1
 
     def save(self, state_dir: Union[str, Path]) -> Path:
+        """Atomically publish this checkpoint to ``path`` (temp + rename)."""
         path = Path(state_dir) / self.FILENAME
         atomic_write_bytes(path, pickle.dumps(self), site="checkpoint.save")
         return path
@@ -585,6 +587,7 @@ class SimulationService:
         return sorted(self._buffers)
 
     def add_subscriber(self, subscriber: Subscriber) -> None:
+        """Register ``subscriber`` for every future :class:`EpochResult`."""
         self._subscribers.append(subscriber)
 
     def result(self) -> SimulationResult:

@@ -41,6 +41,7 @@ from repro.trace.population import (
     User,
 )
 from repro.trace.stats import TraceStats, summarise
+from repro.trace.synth import SynthConfig, SynthResult, ensure_store, synthesize
 
 __all__ = [
     "Catalogue",
@@ -58,11 +59,14 @@ __all__ = [
     "ShardManifest",
     "StoreReader",
     "StoreWriter",
+    "SynthConfig",
+    "SynthResult",
     "Trace",
     "TraceGenerator",
     "TraceStats",
     "UK_TV_PROFILE",
     "User",
+    "ensure_store",
     "generate_trace",
     "iter_csv",
     "iter_jsonl",
@@ -76,5 +80,6 @@ __all__ = [
     "save_jsonl",
     "save_store",
     "summarise",
+    "synthesize",
     "zipf_weights",
 ]

@@ -167,6 +167,7 @@ class _StringTable:
         self._index: Dict[str, int] = {v: i for i, v in enumerate(self.values)}
 
     def ref(self, value: str) -> int:
+        """Return the ref for ``value``, interning it on first encounter."""
         index = self._index.get(value)
         if index is None:
             index = self._index[value] = len(self.values)
@@ -234,6 +235,56 @@ class StoreWriter:
         self._count += 1
         return index
 
+    def append_fields(
+        self,
+        session_id: int,
+        user_id: int,
+        content_id: str,
+        start: float,
+        duration: float,
+        bitrate: float,
+        isp: str,
+        pop: int,
+        exchange: int,
+        device: str = "unknown",
+    ) -> int:
+        """Write one session from raw field values; returns its record index.
+
+        The zero-object ingest entry point: bulk producers (the
+        generative synthesizer, third-party importers) pack the 56 B
+        record straight from scalars, never constructing a
+        :class:`~repro.trace.events.Session`.  Field semantics and
+        validation mirror ``Session`` exactly, so ``append_fields(...)``
+        and ``append(Session(...))`` write identical bytes.
+        """
+        if self._closed:
+            raise RuntimeError(f"store {self.path} is closed")
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start!r}")
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration!r}")
+        if bitrate <= 0:
+            raise ValueError(f"bitrate must be > 0, got {bitrate!r}")
+        if not content_id:
+            raise ValueError("content_id must be non-empty")
+        self._file.write(
+            _RECORD.pack(
+                session_id,
+                user_id,
+                self._content.ref(content_id),
+                start,
+                duration,
+                bitrate,
+                self._isp.ref(isp),
+                pop,
+                exchange,
+                self._device.ref(device),
+            )
+        )
+        index = self._count
+        self._count += 1
+        return index
+
     def close(self) -> None:
         """Write the footer and tail; the file becomes readable."""
         if self._closed:
@@ -293,16 +344,23 @@ class StoreReader:
             )
             if tail_magic != _MAGIC or footer_offset > size - _TAIL.size:
                 raise StoreCorruptionError(f"{self.path}: corrupt store tail")
-            footer = json.loads(
-                os.pread(
-                    self._fd, size - _TAIL.size - footer_offset, footer_offset
-                ).decode("utf-8")
+            footer_bytes = os.pread(
+                self._fd, size - _TAIL.size - footer_offset, footer_offset
             )
-            self._count: int = int(footer["records"])
-            self.horizon: float = float(footer["horizon"])
-            self._content: List[str] = list(footer["content"])
-            self._isp: List[str] = list(footer["isp"])
-            self._device: List[str] = list(footer["device"])
+            try:
+                footer = json.loads(footer_bytes.decode("utf-8"))
+                self._count: int = int(footer["records"])
+                self.horizon: float = float(footer["horizon"])
+                self._content: List[str] = list(footer["content"])
+                self._isp: List[str] = list(footer["isp"])
+                self._device: List[str] = list(footer["device"])
+            except (UnicodeDecodeError, ValueError, KeyError, TypeError) as exc:
+                # A corrupt footer_offset can land the footer range inside
+                # binary record bytes; surface every shape of that as the
+                # one documented corruption error.
+                raise StoreCorruptionError(
+                    f"{self.path}: corrupt store footer ({exc})"
+                ) from exc
             # The record region must hold exactly the footer's promised
             # count.  Without this check a store missing record bytes
             # (truncation, a torn copy) would open fine and short-decode
@@ -324,6 +382,7 @@ class StoreReader:
         return self._count
 
     def close(self) -> None:
+        """Release the underlying file descriptor (idempotent)."""
         if not self._closed:
             os.close(self._fd)
             self._closed = True
@@ -390,6 +449,7 @@ class StoreReader:
         length = count * RECORD_SIZE
 
         def pread() -> bytes:
+            """One positional read through the fault-injectable facade."""
             buffer = faults.storage().pread(
                 self._fd, length, offset, site="store.pread"
             )
@@ -642,6 +702,7 @@ class ExternalSessionSorter:
 
     @property
     def stats(self) -> SorterStats:
+        """What the sort has done so far (see :class:`SorterStats`)."""
         return SorterStats(
             sessions=self._sessions,
             runs_spilled=self._runs_spilled,

@@ -1,0 +1,57 @@
+"""Smoke-run every ``examples/*.py`` at tiny scale.
+
+The examples are executable documentation; nothing else imports them,
+so API drift used to surface only when a reader ran one by hand.  Each
+test runs an example as a subprocess -- exactly how a reader would --
+and fails on a nonzero exit, with the example's stderr in the report.
+Examples that take a ``--scale`` flag run well below their defaults so
+the whole module stays interactive-fast.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+SRC = REPO / "src"
+
+#: Every example, with the smallest-scale invocation it supports.
+CASES = sorted(
+    (path.name, ["--scale", "0.05"] if "--scale" in path.read_text() else [])
+    for path in EXAMPLES.glob("*.py")
+)
+
+
+def test_every_example_is_covered():
+    """The parametrization below cannot silently miss a new example."""
+    assert [name for name, _ in CASES] == sorted(
+        path.name for path in EXAMPLES.glob("*.py")
+    )
+    assert CASES, "examples/ directory is empty?"
+
+
+@pytest.mark.parametrize(
+    ("name", "extra_args"), CASES, ids=[name for name, _ in CASES]
+)
+def test_example_runs(name: str, extra_args: list):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *extra_args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{name} exited {proc.returncode}\n"
+        f"--- stdout (tail) ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr (tail) ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{name} produced no output"

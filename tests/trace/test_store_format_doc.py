@@ -1,0 +1,178 @@
+"""docs/STORE_FORMAT.md round-trips: the spec is sufficient to write.
+
+``write_store_from_the_doc`` below is a third-party writer implemented
+from docs/STORE_FORMAT.md **alone** -- plain ``struct`` and ``json``,
+no imports from :mod:`repro.trace.store` (the reader side only comes in
+to verify the file).  If the doc drifts from the code, either the
+round-trip here breaks (doc describes bytes the reader rejects) or the
+doc-content assertions break (code changed under an unchanged doc).
+"""
+
+import json
+import struct
+from pathlib import Path
+
+import pytest
+
+from repro.trace.store import STORE_VERSION, StoreCorruptionError, StoreReader
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "STORE_FORMAT.md"
+
+# ----------------------------------------------------------------------
+# The writer, transcribed from the doc (and nothing else)
+# ----------------------------------------------------------------------
+
+#: Each session a caller supplies: (session_id, user_id, content_id,
+#: start, duration, bitrate, isp, pop, exchange, device).
+ROWS = [
+    (1, 10, "east/c00000.g0", 0.0, 1800.0, 5.0e6, "east/isp-0", 0, 3, "tv"),
+    (2, 11, "east/c00001.g0", 60.5, 900.25, 2.5e6, "east/isp-1", 1, 7, "mobile"),
+    (3, 10, "east/c00000.g0", 120.0, 3600.0, 8.0e6, "east/isp-0", 0, 3, "desktop"),
+    (4, 12, "west/c00002.g0", 0.125, 42.5, 1.0e6, "east/isp-1", 2, 1, "tv"),
+]
+HORIZON = 86400.0
+
+
+def write_store_from_the_doc(path, rows, horizon):
+    """Write a ``.store`` file following only docs/STORE_FORMAT.md."""
+    header = struct.pack("<4sI", b"RPSS", 1)
+    record = struct.Struct("<qqIdddHIIH")
+
+    def interner():
+        table = {}
+
+        def ref(value):
+            # "order-preserving first-encounter": first distinct value
+            # appended gets ref 0, the second ref 1, ...
+            if value not in table:
+                table[value] = len(table)
+            return table[value]
+
+        return table, ref
+
+    content_table, content_ref = interner()
+    isp_table, isp_ref = interner()
+    device_table, device_ref = interner()
+
+    body = bytearray(header)
+    for sid, uid, content, start, dur, rate, isp, pop, exch, device in rows:
+        body += record.pack(
+            sid,
+            uid,
+            content_ref(content),
+            start,
+            dur,
+            rate,
+            isp_ref(isp),
+            pop,
+            exch,
+            device_ref(device),
+        )
+
+    footer_offset = 8 + len(rows) * 56
+    assert footer_offset == len(body)  # doc: footer starts after records
+    footer = json.dumps(
+        {
+            "version": 1,
+            "records": len(rows),
+            "horizon": horizon,
+            "content": list(content_table),
+            "isp": list(isp_table),
+            "device": list(device_table),
+        }
+    ).encode("utf-8")
+    body += footer
+    body += struct.pack("<Q4s", footer_offset, b"RPSS")
+    path.write_bytes(bytes(body))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Round-trip: StoreReader accepts the third-party file byte-for-byte
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def store(tmp_path):
+    return write_store_from_the_doc(tmp_path / "thirdparty.store", ROWS, HORIZON)
+
+
+def test_reader_accepts_doc_written_store(store):
+    with StoreReader(store) as reader:
+        assert len(reader) == len(ROWS)
+        assert reader.horizon == HORIZON
+        sessions = list(reader.iter_sessions())
+    assert len(sessions) == len(ROWS)
+    for session, row in zip(sessions, ROWS):
+        sid, uid, content, start, dur, rate, isp, pop, exch, device = row
+        assert session.session_id == sid
+        assert session.user_id == uid
+        assert session.content_id == content
+        # doc: doubles round-trip bit-for-bit, so exact comparison.
+        assert session.start == start
+        assert session.duration == dur
+        assert session.bitrate == rate
+        assert session.attachment.isp == isp
+        assert session.attachment.pop == pop
+        assert session.attachment.exchange == exch
+        assert session.device == device
+
+
+def test_doc_written_store_is_simulatable(store):
+    from repro.sim import SimulationConfig, Simulator
+
+    with StoreReader(store) as reader:
+        result = Simulator(SimulationConfig()).run_stream(
+            reader.iter_sessions(), reader.horizon
+        )
+    assert result.total.sessions == len(ROWS)
+    assert result.total.demanded_bits > 0
+
+
+# ----------------------------------------------------------------------
+# Corruption: violating the doc's invariants must be rejected
+# ----------------------------------------------------------------------
+
+
+def corrupt(store, tmp_path, mutate):
+    data = bytearray(store.read_bytes())
+    mutate(data)
+    bad = tmp_path / "bad.store"
+    bad.write_bytes(bytes(data))
+    return bad
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda d: d.__setitem__(slice(0, 4), b"XXXX"),  # header magic
+        lambda d: d.__setitem__(slice(4, 8), struct.pack("<I", 99)),  # version
+        lambda d: d.__setitem__(slice(-4, None), b"XXXX"),  # tail magic
+        lambda d: d.__setitem__(  # footer_offset != 8 + records*56
+            slice(-12, -4), struct.pack("<Q", 8)
+        ),
+    ],
+    ids=["header-magic", "version", "tail-magic", "offset-mismatch"],
+)
+def test_reader_rejects_doc_violations(store, tmp_path, mutate):
+    bad = corrupt(store, tmp_path, mutate)
+    with pytest.raises(StoreCorruptionError):
+        with StoreReader(bad) as reader:
+            list(reader.iter_sessions())
+
+
+# ----------------------------------------------------------------------
+# Doc content: the normative constants must appear verbatim
+# ----------------------------------------------------------------------
+
+
+def test_doc_states_the_normative_constants():
+    text = DOC.read_text()
+    assert '"<qqIdddHIIH"' in text  # record struct
+    assert "56 bytes" in text  # record size
+    assert '"<4sI"' in text and '"<Q4s"' in text  # header and tail structs
+    assert 'b"RPSS"' in text  # magic
+    assert f"STORE_VERSION = {STORE_VERSION}" in text  # version in sync
+    # Footer keys, exactly as the reader expects them.
+    for key in ("version", "records", "horizon", "content", "isp", "device"):
+        assert f'"{key}"' in text

@@ -1,0 +1,183 @@
+"""Determinism laws for the generative city synthesizer.
+
+The contract (:mod:`repro.trace.synth`): synthesis is a pure function
+of ``SynthConfig`` -- same (seed, params) means a **byte-identical**
+store file and an equal ``trace_fingerprint`` of the sessions read
+back, while changing *any single field* changes
+``SynthConfig.fingerprint()``.  The first half is what makes the shard
+cache and the reuse sidecar sound; the second is what keys them.
+``hypothesis`` is an optional dependency: the law-based tests skip
+when it is missing.
+"""
+
+from dataclasses import fields, replace
+
+import pytest
+
+from repro.trace.store import StoreReader, trace_fingerprint
+from repro.trace.synth import SynthConfig, ensure_store, synthesize
+
+
+def tiny(**overrides) -> SynthConfig:
+    """A fast-to-synthesize config with every feature switched on."""
+    base = dict(
+        region="east",
+        seed=7,
+        days=2,
+        users=40,
+        catalogue_size=12,
+        sessions_per_user_day=1.5,
+        popularity_drift=0.4,
+        catalogue_churn=0.5,
+        num_isps=2,
+        num_exchanges=6,
+        num_pops=2,
+    )
+    base.update(overrides)
+    return SynthConfig(**base)
+
+
+#: One representative perturbation per config field -- a new field added
+#: to SynthConfig without a row here fails test_every_field_perturbed.
+PERTURBATIONS = {
+    "region": {"region": "west"},
+    "seed": {"seed": 8},
+    "days": {"days": 3},
+    "users": {"users": 41},
+    "catalogue_size": {"catalogue_size": 13},
+    "sessions_per_user_day": {"sessions_per_user_day": 1.6},
+    "zipf_exponent": {"zipf_exponent": 1.0},
+    "popularity_drift": {"popularity_drift": 0.5},
+    "catalogue_churn": {"catalogue_churn": 0.6},
+    "peak_hour": {"peak_hour": 21.0},
+    "diurnal_strength": {"diurnal_strength": 0.6},
+    "weekend_multiplier": {"weekend_multiplier": 1.2},
+    "num_isps": {"num_isps": 3},
+    "isp_skew": {"isp_skew": 1.1},
+    "num_exchanges": {"num_exchanges": 7},
+    "num_pops": {"num_pops": 3},
+    "exchange_skew": {"exchange_skew": 0.7},
+    "user_activity_skew": {"user_activity_skew": 0.6},
+    "mean_duration": {"mean_duration": 1600.0},
+    "duration_sigma": {"duration_sigma": 0.6},
+    "catalogue_prefix": {"catalogue_prefix": "shared"},
+}
+
+
+def test_every_field_perturbed():
+    assert sorted(PERTURBATIONS) == sorted(
+        f.name for f in fields(SynthConfig)
+    ), "add a perturbation for every new SynthConfig field"
+
+
+def test_same_config_byte_identical(tmp_path):
+    config = tiny()
+    a = synthesize(config, tmp_path / "a.store")
+    b = synthesize(config, tmp_path / "b.store")
+    assert not a.reused and not b.reused
+    assert (tmp_path / "a.store").read_bytes() == (
+        tmp_path / "b.store"
+    ).read_bytes()
+    with StoreReader(a.path) as reader:
+        fp_a = trace_fingerprint(reader.iter_sessions())
+    with StoreReader(b.path) as reader:
+        fp_b = trace_fingerprint(reader.iter_sessions())
+    assert fp_a == fp_b
+
+
+@pytest.mark.parametrize("field", sorted(PERTURBATIONS))
+def test_single_field_change_alters_fingerprint(field):
+    config = tiny()
+    changed = replace(config, **PERTURBATIONS[field])
+    assert changed != config, field
+    assert changed.fingerprint() != config.fingerprint(), field
+
+
+def test_sidecar_reuse_and_force(tmp_path):
+    config = tiny()
+    first = synthesize(config, tmp_path / "c.store")
+    again = synthesize(config, tmp_path / "c.store")
+    assert not first.reused and again.reused
+    assert again.sessions == first.sessions
+    assert again.fingerprint == first.fingerprint
+    forced = synthesize(config, tmp_path / "c.store", force=True)
+    assert not forced.reused
+    # A changed config at the same path regenerates (fingerprint miss).
+    other = synthesize(replace(config, seed=99), tmp_path / "c.store")
+    assert not other.reused
+
+
+def test_ensure_store_content_addressed(tmp_path):
+    config = tiny()
+    first = ensure_store(config, tmp_path)
+    second = ensure_store(config, tmp_path)
+    assert first.path == second.path
+    assert not first.reused and second.reused
+    assert config.fingerprint()[:16] in first.path.name
+    other = ensure_store(replace(config, seed=99), tmp_path)
+    assert other.path != first.path
+
+
+def test_store_is_simulatable(tmp_path):
+    """The synthesized store round-trips into a real simulation."""
+    from repro.sim import SimulationConfig, Simulator
+
+    config = tiny()
+    result = synthesize(config, tmp_path / "sim.store")
+    with StoreReader(result.path) as reader:
+        assert reader.horizon == config.horizon
+        assert len(reader) == result.sessions
+        sim = Simulator(SimulationConfig()).run_stream(
+            reader.iter_sessions(), reader.horizon
+        )
+    assert sim.total.sessions == result.sessions
+    assert sim.total.demanded_bits > 0
+
+
+# ----------------------------------------------------------------------
+# Hypothesis law: determinism over the whole parameter space
+# ----------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+LAW = settings(
+    max_examples=15,  # each example synthesizes two full stores
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_configs = st.builds(
+    SynthConfig,
+    region=st.sampled_from(["east", "west", "metro_9"]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    days=st.integers(min_value=1, max_value=3),
+    users=st.integers(min_value=1, max_value=60),
+    catalogue_size=st.integers(min_value=1, max_value=20),
+    sessions_per_user_day=st.floats(min_value=0.2, max_value=3.0),
+    zipf_exponent=st.floats(min_value=0.0, max_value=2.0),
+    popularity_drift=st.floats(min_value=0.0, max_value=1.0),
+    catalogue_churn=st.floats(min_value=0.0, max_value=1.0),
+    peak_hour=st.floats(min_value=0.0, max_value=23.5),
+    diurnal_strength=st.floats(min_value=0.0, max_value=1.0),
+    num_isps=st.integers(min_value=1, max_value=4),
+    num_exchanges=st.integers(min_value=1, max_value=8),
+    num_pops=st.integers(min_value=1, max_value=4),
+    duration_sigma=st.floats(min_value=0.0, max_value=1.5),
+)
+
+
+@LAW
+@given(config=_configs)
+def test_law_synthesis_is_deterministic(tmp_path_factory, config):
+    tmp_path = tmp_path_factory.mktemp("synthlaw")
+    a = synthesize(config, tmp_path / "a.store")
+    b = synthesize(config, tmp_path / "b.store")
+    bytes_a = a.path.read_bytes()
+    bytes_b = b.path.read_bytes()
+    assert bytes_a == bytes_b
+    with StoreReader(a.path) as reader:
+        fp_a = trace_fingerprint(reader.iter_sessions())
+    with StoreReader(b.path) as reader:
+        fp_b = trace_fingerprint(reader.iter_sessions())
+    assert fp_a == fp_b

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo links in README.md and docs/.
+
+Stdlib-only (the CI docs job runs it on a bare checkout).  Checks every
+markdown inline link and image whose target is a relative path: the
+target must exist on disk, resolved against the file containing the
+link, and must stay inside the repository.  External schemes
+(``http(s)://``, ``mailto:``) and pure ``#fragment`` self-references
+are out of scope.  When a target carries a ``#fragment`` and points at
+a markdown file, the fragment must match a heading's GitHub-style
+anchor in that file.
+
+Usage::
+
+    python tools/check_links.py            # check README.md + docs/
+    python tools/check_links.py --selftest # exercise the checker itself
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Inline links and images: [text](target) / ![alt](target).  Angle
+#: brackets around the target and an optional "title" are allowed, as
+#: in CommonMark.  Reference-style links are rare enough here not to
+#: exist; the self-test pins that this pattern catches the forms we use.
+_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+#: Fenced code blocks -- links inside them are examples, not navigation.
+_FENCE = re.compile(r"^(```|~~~)")
+
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(text: str) -> Iterator[str]:
+    """Yield link targets outside fenced code blocks and inline code."""
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Strip inline code spans so `[x](y)` in backticks is ignored.
+        bare = re.sub(r"`[^`]*`", "", line)
+        for match in _LINK.finditer(bare):
+            yield match.group(1)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's anchor for a markdown heading (lowercase, dashes)."""
+    anchor = heading.strip().lower()
+    anchor = re.sub(r"[`*_~]", "", anchor)  # inline formatting
+    anchor = re.sub(r"[^\w\- ]", "", anchor)
+    return anchor.replace(" ", "-")
+
+
+def anchors_in(path: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence and line.startswith("#"):
+            anchors.add(github_anchor(line.lstrip("#")))
+    return anchors
+
+
+def check_file(md: Path, root: Path) -> List[str]:
+    """Return one error string per dead link in ``md``."""
+    errors = []
+    for target in iter_links(md.read_text(encoding="utf-8")):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (md.parent / path_part).resolve()
+        relative_to_repo = resolved.is_relative_to(root)
+        if not relative_to_repo:
+            errors.append(f"{md}: link escapes the repo: {target}")
+            continue
+        if not resolved.exists():
+            errors.append(f"{md}: dead link: {target}")
+            continue
+        if fragment and resolved.suffix.lower() in (".md", ".markdown"):
+            if github_anchor(fragment) not in anchors_in(resolved):
+                errors.append(f"{md}: dead anchor: {target}")
+    return errors
+
+
+def markdown_files(root: Path) -> List[Path]:
+    files = [root / "README.md"]
+    files += sorted((root / "docs").glob("**/*.md"))
+    return [f for f in files if f.exists()]
+
+
+def run(root: Path) -> int:
+    errors: List[str] = []
+    checked = 0
+    for md in markdown_files(root):
+        checked += 1
+        errors.extend(check_file(md, root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} markdown file(s): {len(errors)} dead link(s)")
+    return 1 if errors else 0
+
+
+# ----------------------------------------------------------------------
+# Self-test: the checker must catch what it claims to catch
+# ----------------------------------------------------------------------
+
+
+def selftest() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        (root / "docs").mkdir()
+        (root / "docs" / "GOOD.md").write_text(
+            "# Title here\n\n## A Sub-Section!\nbody\n"
+        )
+        cases: List[Tuple[str, int]] = [
+            # (markdown body, expected error count)
+            ("[ok](docs/GOOD.md)", 0),
+            ("[ok](docs/GOOD.md#title-here)", 0),
+            ("[ok](docs/GOOD.md#a-sub-section)", 0),
+            ("[bad anchor](docs/GOOD.md#nope)", 1),
+            ("[dead](docs/MISSING.md)", 1),
+            ("[escape](../outside.md)", 1),
+            ("[ext](https://example.com/x.md) [m](mailto:a@b.c)", 0),
+            ("[self](#whatever)", 0),
+            ("```\n[in fence](docs/MISSING.md)\n```", 0),
+            ("`[in code](docs/MISSING.md)`", 0),
+            ("![img](docs/MISSING.png)", 1),
+            ("two: [a](docs/MISSING.md) [b](docs/ALSO.md)", 2),
+        ]
+        failures = 0
+        for body, expected in cases:
+            readme = root / "README.md"
+            readme.write_text(body + "\n")
+            got = len(check_file(readme, root))
+            if got != expected:
+                failures += 1
+                print(
+                    f"SELFTEST FAIL: {body!r}: expected {expected} "
+                    f"error(s), got {got}",
+                    file=sys.stderr,
+                )
+        print(f"selftest: {len(cases) - failures}/{len(cases)} cases pass")
+        return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path, default=REPO, help="repository root to check"
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run the checker's own test cases instead of checking the repo",
+    )
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return selftest()
+    return run(args.root.resolve())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
